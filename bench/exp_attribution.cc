@@ -1,0 +1,153 @@
+// E3 — Training-data attribution fidelity.
+//
+// Paper anchor: §3 "Model Attribution" and §4 "Attribution" (influence
+// functions [70], TracIn-family estimators, sensitivity analysis). The
+// question the lake must answer: "which training data items are most
+// influential on this decision?" — validated against leave-one-out
+// retraining, the definition the paper gives ("which d, if they were not
+// present in the training data, would cause the decision to change the
+// most?").
+//
+// Protocol: train a classifier, compute influence and TracIn scores for
+// several test points, retrain the head n times for the LOO ground
+// truth, and report correlation + top-k overlap. Also shows the damping
+// ablation.
+
+#include <cstdio>
+
+#include "bench/exp_util.h"
+#include "common/stopwatch.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "provenance/influence.h"
+#include "provenance/tracin.h"
+
+namespace mlake {
+namespace {
+
+constexpr int64_t kDim = 10;
+constexpr int64_t kClasses = 3;
+constexpr size_t kTrain = 48;
+constexpr size_t kProbes = 6;
+
+nn::Dataset MakeData(size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "attribution-bench";
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  spec.noise = 0.8;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E3", "Attribution estimates vs leave-one-out ground truth");
+
+  nn::Dataset train = MakeData(kTrain, 9);
+  Rng rng(10);
+  auto model = bench::Unwrap(
+      nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng), "BuildModel");
+  nn::TrainConfig config;
+  config.epochs = 20;
+  config.lr = 4e-3f;
+  bench::Check(nn::Train(model.get(), train, config).status(), "Train");
+
+  nn::TrainConfig retrain;
+  retrain.epochs = 400;
+  retrain.batch_size = static_cast<int>(kTrain);
+  retrain.lr = 1e-1f;
+  retrain.optimizer = "sgd";
+  retrain.momentum = 0.0f;
+  retrain.seed = 1;
+
+  nn::Dataset probes = MakeData(kProbes, 12);
+  double inf_pearson = 0.0, inf_spearman = 0.0, inf_top10 = 0.0;
+  double tracin_spearman = 0.0;
+  double loo_seconds = 0.0, influence_seconds = 0.0;
+
+  std::printf("%-8s %10s %10s %10s %12s\n", "probe", "pearson", "spearman",
+              "top10", "tracin-rho");
+  for (size_t p = 0; p < kProbes; ++p) {
+    Tensor test_x = probes.x.Row(static_cast<int64_t>(p)).Reshape({1, kDim});
+    int64_t test_y = probes.labels[p];
+
+    Stopwatch sw;
+    auto influence = bench::Unwrap(
+        provenance::ComputeInfluence(model.get(), train, test_x, test_y),
+        "ComputeInfluence");
+    influence_seconds += sw.ElapsedSeconds();
+
+    sw.Restart();
+    auto loo = bench::Unwrap(
+        provenance::LeaveOneOutDeltas(model.get(), train, test_x, test_y,
+                                      retrain),
+        "LeaveOneOutDeltas");
+    loo_seconds += sw.ElapsedSeconds();
+
+    auto tracin = bench::Unwrap(
+        provenance::ComputeTracIn({model.get()}, train, test_x, test_y),
+        "ComputeTracIn");
+
+    double pearson = provenance::PearsonCorrelation(influence.scores, loo);
+    double spearman = provenance::SpearmanCorrelation(influence.scores, loo);
+    double top10 = provenance::TopKOverlap(influence.scores, loo, 10);
+    double trho = provenance::SpearmanCorrelation(tracin, loo);
+    inf_pearson += pearson;
+    inf_spearman += spearman;
+    inf_top10 += top10;
+    tracin_spearman += trho;
+    std::printf("%-8zu %10.3f %10.3f %10.3f %12.3f\n", p, pearson, spearman,
+                top10, trho);
+  }
+  double inv = 1.0 / static_cast<double>(kProbes);
+  bench::Rule();
+  std::printf("%-8s %10.3f %10.3f %10.3f %12.3f\n", "mean",
+              inf_pearson * inv, inf_spearman * inv, inf_top10 * inv,
+              tracin_spearman * inv);
+  std::printf(
+      "\ncost: influence %.3fs/probe (one Hessian solve), LOO ground truth "
+      "%.2fs/probe\n(%zu head retrains) - the %gx speedup is why influence "
+      "estimation exists.\n",
+      influence_seconds * inv, loo_seconds * inv, kTrain,
+      loo_seconds / (influence_seconds + 1e-12));
+
+  // Damping ablation: too little damping destabilizes the solve, too
+  // much flattens the scores.
+  bench::Banner("E3b", "Influence damping ablation (mean Spearman vs LOO)");
+  std::printf("%-12s %10s\n", "damping", "spearman");
+  for (double damping : {1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    provenance::InfluenceConfig iconfig;
+    iconfig.damping = damping;
+    double total = 0.0;
+    size_t used = 0;
+    for (size_t p = 0; p < kProbes; ++p) {
+      Tensor test_x =
+          probes.x.Row(static_cast<int64_t>(p)).Reshape({1, kDim});
+      auto influence = provenance::ComputeInfluence(
+          model.get(), train, test_x, probes.labels[p], iconfig);
+      if (!influence.ok()) continue;  // non-PD at tiny damping is expected
+      auto loo = bench::Unwrap(
+          provenance::LeaveOneOutDeltas(model.get(), train, test_x,
+                                        probes.labels[p], retrain),
+          "LeaveOneOutDeltas");
+      total += provenance::SpearmanCorrelation(
+          influence.ValueUnsafe().scores, loo);
+      ++used;
+    }
+    if (used == 0) {
+      std::printf("%-12.0e %10s\n", damping, "(not PD)");
+    } else {
+      std::printf("%-12.0e %10.3f\n", damping,
+                  total / static_cast<double>(used));
+    }
+  }
+  std::printf(
+      "\nexpected shape: a broad plateau of high correlation around\n"
+      "damping 1e-4..1e-2, degrading at the extremes.\n");
+  return 0;
+}

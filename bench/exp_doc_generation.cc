@@ -1,0 +1,134 @@
+// E6 — Documentation generation, auditing, and citation.
+//
+// Paper anchor: §6 "Documentation Generation", "Auditing", "Data and
+// Model Citation". A lake full of redacted cards is repaired by drafting
+// cards from lake analyses; the harness reports completeness before vs
+// after, the accuracy of inferred fields against ground truth, audit
+// pass rates, and citation stability under graph edits (E9 folded in).
+
+#include <cstdio>
+
+#include "bench/exp_util.h"
+#include "core/model_lake.h"
+#include "lakegen/lakegen.h"
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E6", "Documentation generation over a redacted lake");
+
+  bench::TempDir dir("mlake-e6");
+  core::LakeOptions options;
+  options.root = JoinPath(dir.path(), "lake");
+  auto lake = bench::Unwrap(core::ModelLake::Open(std::move(options)),
+                            "ModelLake::Open");
+
+  lakegen::LakeGenConfig config;
+  config.num_families = 4;
+  config.domains_per_family = 2;
+  config.num_bases = 12;
+  config.children_per_base_min = 2;
+  config.children_per_base_max = 3;
+  config.card_noise.redact_rate = 0.7;
+  config.card_noise.drop_lineage_rate = 0.9;
+  config.seed = 13;
+  auto gen = bench::Unwrap(lakegen::GenerateLake(lake.get(), config),
+                           "GenerateLake");
+  std::printf("lake: %zu models, redact_rate 0.7\n\n", lake->NumModels());
+
+  // Before/after completeness + field accuracy.
+  double before_total = 0.0, after_total = 0.0;
+  size_t task_known = 0, task_inferred_correct = 0, task_inferrable = 0;
+  size_t lineage_filled = 0, lineage_correct = 0, lineage_missing = 0;
+  size_t metrics_filled = 0;
+  for (const auto& m : gen.models) {
+    auto card = bench::Unwrap(lake->CardFor(m.id), "CardFor");
+    before_total += metadata::CompletenessScore(card);
+    bool had_task = !card.task.empty();
+    bool had_lineage = !card.lineage.base_model_id.empty();
+    if (had_task) ++task_known;
+
+    auto draft = bench::Unwrap(lake->GenerateCard(m.id), "GenerateCard");
+    after_total += metadata::CompletenessScore(draft);
+    if (!had_task && !draft.task.empty()) {
+      ++task_inferrable;
+      if (draft.task == m.task_family) ++task_inferred_correct;
+    }
+    if (!had_lineage && !m.parent.empty()) {
+      ++lineage_missing;
+      if (!draft.lineage.base_model_id.empty()) {
+        ++lineage_filled;
+        if (draft.lineage.base_model_id == m.parent) ++lineage_correct;
+      }
+    }
+    if (!draft.metrics.empty()) ++metrics_filled;
+    bench::Check(lake->UpdateCard(draft), "UpdateCard");
+  }
+  double n = static_cast<double>(gen.models.size());
+  std::printf("%-42s %10s %10s\n", "metric", "before", "after");
+  std::printf("%-42s %10.3f %10.3f\n", "mean card completeness",
+              before_total / n, after_total / n);
+  std::printf("%-42s %10zu %10zu\n", "cards with a task tag", task_known,
+              task_known + task_inferrable);
+  std::printf("%-42s %10s %9.0f%%\n", "inferred task correct", "-",
+              task_inferrable == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(task_inferred_correct) /
+                        static_cast<double>(task_inferrable));
+  std::printf("%-42s %10s %7zu/%zu\n",
+              "lineage recovered for undocumented children", "-",
+              lineage_filled, lineage_missing);
+  std::printf("%-42s %10s %9.0f%%\n", "recovered lineage correct", "-",
+              lineage_filled == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(lineage_correct) /
+                        static_cast<double>(lineage_filled));
+  std::printf("%-42s %10s %10zu\n", "cards with benchmark metrics filled",
+              "-", metrics_filled);
+
+  // Audit pass rates.
+  bench::Banner("E6b", "Audit pass rate (before vs after regeneration)");
+  size_t passes = 0;
+  for (const std::string& id : lake->ListModels()) {
+    Json report = bench::Unwrap(lake->AuditModel(id), "AuditModel");
+    if (report.GetBool("passes")) ++passes;
+  }
+  std::printf("after regeneration: %zu/%zu models pass audit\n", passes,
+              lake->NumModels());
+
+  // E9: citation stability.
+  bench::Banner("E9", "Citation stability under version-graph updates");
+  std::string subject;
+  for (const auto& m : gen.models) {
+    if (!m.parent.empty()) {
+      subject = m.id;
+      break;
+    }
+  }
+  Json cite1 = bench::Unwrap(lake->Cite(subject), "Cite");
+  Json cite2 = bench::Unwrap(lake->Cite(subject), "Cite");
+  std::printf("same graph  -> identical citation: %s\n",
+              cite1 == cite2 ? "yes" : "NO (BUG)");
+  uint64_t rev_before = static_cast<uint64_t>(
+      cite1.GetInt64("graph_revision"));
+  // A new derived model enters the lake.
+  versioning::VersionEdge edge;
+  edge.parent = subject;
+  edge.child = subject + "-hypothetical-child";
+  edge.type = versioning::EdgeType::kFinetune;
+  bench::Check(lake->RecordEdge(edge), "RecordEdge");
+  Json cite3 = bench::Unwrap(lake->Cite(subject), "Cite");
+  std::printf("graph edit  -> revision bumped:    %s (%llu -> %llu)\n",
+              cite3.GetInt64("graph_revision") >
+                      static_cast<int64_t>(rev_before)
+                  ? "yes"
+                  : "NO (BUG)",
+              static_cast<unsigned long long>(rev_before),
+              static_cast<unsigned long long>(
+                  cite3.GetInt64("graph_revision")));
+  std::printf("citation text: %s\n", cite3.GetString("text").c_str());
+  std::printf(
+      "\nexpected shape: regeneration roughly doubles mean completeness;\n"
+      "inferred tasks are mostly correct (behavioral neighbors vote);\n"
+      "citations change exactly when the graph revision does (§6).\n");
+  return 0;
+}

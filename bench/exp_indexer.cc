@@ -1,0 +1,158 @@
+// E4 — The lake indexer: HNSW vs exact search.
+//
+// Paper anchor: §5 "Indexer" — "Indices like HNSW [89] have proven
+// effective in practice in indexing high-dimensional embeddings enabling
+// fast nearest-neighbor search ... its use in model lakes remains
+// under-explored." This harness reproduces the standard recall/QPS
+// trade-off on synthetic model embeddings at lake scale, plus the build
+// cost of the M / ef_construction knobs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/exp_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+
+namespace mlake {
+namespace {
+
+std::vector<std::vector<float>> RandomVectors(size_t n, int64_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n);
+  for (auto& v : out) {
+    v.resize(static_cast<size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  const size_t kN = 20000;
+  const int64_t kDim = 64;
+  const size_t kQueries = 200;
+  const size_t kK = 10;
+
+  bench::Banner("E4", "HNSW indexer: recall@10 and QPS vs exact search");
+  std::printf("corpus: %zu embeddings, dim %lld, cosine metric, %zu "
+              "queries\n\n",
+              kN, static_cast<long long>(kDim), kQueries);
+
+  auto vectors = RandomVectors(kN, kDim, 42);
+  auto queries = RandomVectors(kQueries, kDim, 77);
+
+  // Exact baseline.
+  index::BruteForceIndex exact(kDim, index::Metric::kCosine);
+  for (size_t i = 0; i < kN; ++i) {
+    bench::Check(exact.Add(static_cast<int64_t>(i), vectors[i]),
+                 "BruteForce::Add");
+  }
+  std::vector<std::vector<index::Neighbor>> truth(kQueries);
+  Stopwatch sw;
+  for (size_t q = 0; q < kQueries; ++q) {
+    truth[q] = bench::Unwrap(exact.Search(queries[q], kK),
+                             "BruteForce::Search");
+  }
+  double exact_qps = static_cast<double>(kQueries) / sw.ElapsedSeconds();
+  std::printf("%-22s %10s %12s %12s\n", "index", "recall@10", "QPS",
+              "build(s)");
+  std::printf("%-22s %10.3f %12.0f %12s\n", "brute-force (exact)", 1.0,
+              exact_qps, "-");
+
+  // HNSW build.
+  index::HnswConfig config;
+  config.metric = index::Metric::kCosine;
+  config.m = 16;
+  config.ef_construction = 128;
+  index::HnswIndex hnsw(kDim, config);
+  sw.Restart();
+  for (size_t i = 0; i < kN; ++i) {
+    bench::Check(hnsw.Add(static_cast<int64_t>(i), vectors[i]),
+                 "Hnsw::Add");
+  }
+  double build_seconds = sw.ElapsedSeconds();
+
+  for (int ef : {8, 16, 32, 64, 128, 256}) {
+    hnsw.set_ef_search(ef);
+    double recall_total = 0.0;
+    sw.Restart();
+    std::vector<std::vector<index::Neighbor>> results(kQueries);
+    for (size_t q = 0; q < kQueries; ++q) {
+      results[q] = bench::Unwrap(hnsw.Search(queries[q], kK),
+                                 "Hnsw::Search");
+    }
+    double qps = static_cast<double>(kQueries) / sw.ElapsedSeconds();
+    for (size_t q = 0; q < kQueries; ++q) {
+      recall_total += index::RecallAtK(truth[q], results[q], kK);
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "hnsw ef_search=%d", ef);
+    std::printf("%-22s %10.3f %12.0f %12.2f\n", label,
+                recall_total / static_cast<double>(kQueries), qps,
+                build_seconds);
+  }
+  std::printf(
+      "\nexpected shape: recall rises toward 1.0 with ef_search while QPS\n"
+      "falls; at this corpus size HNSW is ~3-25x faster than exact search\n"
+      "depending on the recall target, and the gap widens with corpus\n"
+      "size (exact QPS is O(1/n); see micro_index for the scaling).\n");
+
+  // Build-parameter ablation at fixed ef_search=64.
+  bench::Banner("E4b", "HNSW build parameters (ef_search = 64)");
+  std::printf("%-22s %10s %12s %12s\n", "build config", "recall@10", "QPS",
+              "build(s)");
+  const size_t kSmallN = 8000;
+  index::BruteForceIndex small_exact(kDim, index::Metric::kCosine);
+  for (size_t i = 0; i < kSmallN; ++i) {
+    bench::Check(small_exact.Add(static_cast<int64_t>(i), vectors[i]),
+                 "Add");
+  }
+  std::vector<std::vector<index::Neighbor>> small_truth(kQueries);
+  for (size_t q = 0; q < kQueries; ++q) {
+    small_truth[q] =
+        bench::Unwrap(small_exact.Search(queries[q], kK), "Search");
+  }
+  struct BuildCase {
+    int m;
+    int ef_construction;
+  };
+  for (const BuildCase& bc :
+       {BuildCase{4, 32}, BuildCase{8, 64}, BuildCase{16, 128},
+        BuildCase{32, 256}}) {
+    index::HnswConfig hc;
+    hc.metric = index::Metric::kCosine;
+    hc.m = bc.m;
+    hc.ef_construction = bc.ef_construction;
+    hc.ef_search = 64;
+    index::HnswIndex idx(kDim, hc);
+    Stopwatch build_sw;
+    for (size_t i = 0; i < kSmallN; ++i) {
+      bench::Check(idx.Add(static_cast<int64_t>(i), vectors[i]), "Add");
+    }
+    double build = build_sw.ElapsedSeconds();
+    double recall_total = 0.0;
+    Stopwatch query_sw;
+    for (size_t q = 0; q < kQueries; ++q) {
+      auto hits = bench::Unwrap(idx.Search(queries[q], kK), "Search");
+      recall_total += index::RecallAtK(small_truth[q], hits, kK);
+    }
+    double qps = static_cast<double>(kQueries) / query_sw.ElapsedSeconds();
+    char label[32];
+    std::snprintf(label, sizeof(label), "M=%d efC=%d", bc.m,
+                  bc.ef_construction);
+    std::printf("%-22s %10.3f %12.0f %12.2f\n", label,
+                recall_total / static_cast<double>(kQueries), qps, build);
+  }
+  std::printf(
+      "\nexpected shape: recall and build time both grow with M and\n"
+      "ef_construction; M=16/efC=128 is the knee used as the lake "
+      "default.\n");
+  return 0;
+}

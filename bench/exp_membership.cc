@@ -1,0 +1,96 @@
+// E5 — Membership inference vs overfitting.
+//
+// Paper anchor: §4 "Attribution" (membership inference attacks [134,
+// 135]) and §4 "Privacy and Safety". The lake's audit pipeline can ask
+// "does this model leak who was in its training set?"; this harness
+// reproduces the canonical shape: the loss-threshold attack's AUC grows
+// with the generalization gap, and regularization suppresses it.
+
+#include <cstdio>
+
+#include "bench/exp_util.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "provenance/membership.h"
+
+namespace mlake {
+namespace {
+
+nn::Dataset Sample(size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "membership-bench";
+  spec.domain_id = "d";
+  spec.dim = 12;
+  spec.num_classes = 4;
+  spec.noise = 2.8;  // noisy task: memorization is the only way to 100%
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E5", "Loss-threshold membership inference vs overfitting");
+  std::printf("members: 64 samples, noisy 4-class task; attack: predict "
+              "member if loss below threshold\n\n");
+
+  nn::Dataset members = Sample(64, 3);
+  nn::Dataset nonmembers = Sample(256, 4);
+
+  std::printf("%-10s %10s %10s %12s %12s %12s\n", "epochs", "train_acc",
+              "test_acc", "auc", "bal_acc", "gap(nll)");
+  for (int epochs : {2, 5, 10, 25, 60, 150}) {
+    Rng rng(5);
+    auto model = bench::Unwrap(
+        nn::BuildModel(nn::MlpSpec(12, {64}, 4), &rng), "BuildModel");
+    nn::TrainConfig config;
+    config.epochs = epochs;
+    config.lr = 4e-3f;
+    auto report = bench::Unwrap(nn::Train(model.get(), members, config),
+                                "Train");
+    double test_acc = nn::EvaluateAccuracy(model.get(), nonmembers);
+    auto attack = bench::Unwrap(
+        provenance::LossMembershipAttack(model.get(), members, nonmembers),
+        "LossMembershipAttack");
+    std::printf("%-10d %10.3f %10.3f %12.3f %12.3f %12.3f\n", epochs,
+                report.final_accuracy, test_acc, attack.auc,
+                attack.best_accuracy,
+                attack.nonmember_loss - attack.member_loss);
+  }
+  std::printf(
+      "\nexpected shape: AUC rises from ~0.5 toward ~0.8+ as the train/test\n"
+      "gap opens - the privacy risk the audit application flags.\n");
+
+  bench::Banner("E5b", "Training-set size as a defense (150 epochs)");
+  std::printf("%-10s %10s %10s %12s %12s\n", "members", "train_acc",
+              "test_acc", "auc", "bal_acc");
+  for (size_t member_count : {32, 64, 128, 256, 512}) {
+    nn::Dataset train_set = Sample(member_count, 30 + member_count);
+    Rng rng(5);
+    auto model = bench::Unwrap(
+        nn::BuildModel(nn::MlpSpec(12, {64}, 4), &rng), "BuildModel");
+    nn::TrainConfig config;
+    config.epochs = 150;
+    config.lr = 4e-3f;
+    auto report = bench::Unwrap(nn::Train(model.get(), train_set, config),
+                                "Train");
+    auto attack = bench::Unwrap(
+        provenance::LossMembershipAttack(model.get(), train_set,
+                                         nonmembers),
+        "LossMembershipAttack");
+    std::printf("%-10zu %10.3f %10.3f %12.3f %12.3f\n", member_count,
+                report.final_accuracy,
+                nn::EvaluateAccuracy(model.get(), nonmembers), attack.auc,
+                attack.best_accuracy);
+  }
+  std::printf(
+      "\nexpected shape: per-example memorization (and thus leakage)\n"
+      "shrinks as the training set grows - the canonical membership-\n"
+      "inference result. (We also tried AdamW weight decay up to 1.0:\n"
+      "it shrinks margins but preserves the loss ordering, so the attack\n"
+      "AUC barely moves in this small-model regime - an honest negative\n"
+      "result recorded in EXPERIMENTS.md.)\n");
+  return 0;
+}

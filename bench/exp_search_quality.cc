@@ -1,0 +1,219 @@
+// E1 — Model search quality vs documentation incompleteness.
+//
+// Paper anchor: Example 1.1 + §4 "Model Search and Discovery". The
+// motivating claim: metadata/keyword search degrades as model cards rot,
+// while content-based search (behavioral embeddings over a shared probe
+// set) is immune because it never reads a card; a hybrid is best overall.
+//
+// Protocol: generate a fully-documented benchmark lake, then sweep the
+// card redaction rate. For each rate and each task family, issue the
+// family as a query through four routes and score precision@5 against
+// ground-truth task labels. Also compares the three embedders (the three
+// viewpoints of Figure 1) at a fixed redaction rate.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/exp_util.h"
+#include "core/model_lake.h"
+#include "lakegen/lakegen.h"
+
+namespace mlake {
+namespace {
+
+constexpr size_t kTopK = 5;
+
+struct LakeBundle {
+  std::unique_ptr<bench::TempDir> dir;
+  std::unique_ptr<core::ModelLake> lake;
+  lakegen::LakeGenResult gen;
+  std::map<std::string, std::string> true_task;  // model id -> family
+};
+
+LakeBundle BuildLake(double redact_rate, const std::string& embedder,
+                     uint64_t seed) {
+  LakeBundle bundle;
+  bundle.dir = std::make_unique<bench::TempDir>("mlake-e1");
+  core::LakeOptions options;
+  options.root = JoinPath(bundle.dir->path(), "lake");
+  options.embedder = embedder;
+  bundle.lake = bench::Unwrap(core::ModelLake::Open(std::move(options)),
+                              "ModelLake::Open");
+
+  lakegen::LakeGenConfig config;
+  config.num_families = 6;
+  config.domains_per_family = 2;
+  config.num_bases = 16;
+  config.children_per_base_min = 2;
+  config.children_per_base_max = 4;
+  config.card_noise.redact_rate = redact_rate;
+  config.card_noise.obfuscate_name_rate = redact_rate;
+  config.card_noise.drop_lineage_rate = 0.7;
+  config.noise_cards = true;
+  config.seed = seed;
+  bundle.gen = bench::Unwrap(
+      lakegen::GenerateLake(bundle.lake.get(), config), "GenerateLake");
+  for (const auto& m : bundle.gen.models) {
+    bundle.true_task[m.id] = m.task_family;
+  }
+  return bundle;
+}
+
+double PrecisionAtK(const std::vector<std::string>& ids,
+                    const std::map<std::string, std::string>& true_task,
+                    const std::string& family) {
+  if (ids.empty()) return 0.0;
+  size_t hits = 0, considered = 0;
+  for (const std::string& id : ids) {
+    if (considered >= kTopK) break;
+    ++considered;
+    auto it = true_task.find(id);
+    if (it != true_task.end() && it->second == family) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(kTopK);
+}
+
+struct RouteScores {
+  double keyword = 0.0;
+  double metadata = 0.0;
+  double content = 0.0;
+  double hybrid = 0.0;
+};
+
+constexpr size_t kRecallK = 10;
+
+double RecallAtK(const std::vector<std::string>& ids,
+                 const std::map<std::string, std::string>& true_task,
+                 const std::string& family) {
+  size_t relevant = 0;
+  for (const auto& [id, task] : true_task) {
+    if (task == family) ++relevant;
+  }
+  if (relevant == 0) return 0.0;
+  size_t hits = 0, considered = 0;
+  for (const std::string& id : ids) {
+    if (considered >= kRecallK) break;
+    ++considered;
+    auto it = true_task.find(id);
+    if (it != true_task.end() && it->second == family) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(std::min(relevant, kRecallK));
+}
+
+/// Evaluates the four routes; `scorer` is PrecisionAtK or RecallAtK.
+template <typename Scorer>
+RouteScores EvaluateRoutes(const LakeBundle& bundle, Scorer scorer,
+                           size_t fetch_k) {
+  RouteScores totals;
+  size_t queries = 0;
+  for (const std::string& family : bundle.gen.families) {
+    // A ground-truth example model of this family serves as the
+    // content-route query (the "model as query" of Lu et al. [85]).
+    std::string query_model;
+    for (const auto& m : bundle.gen.models) {
+      if (m.task_family == family) {
+        query_model = m.id;
+        break;
+      }
+    }
+    if (query_model.empty()) continue;
+    ++queries;
+
+    // Route 1: BM25 keyword search over cards.
+    auto keyword_hits = bench::Unwrap(
+        bundle.lake->KeywordScores(family, fetch_k + 1), "KeywordScores");
+    std::vector<std::string> keyword_ids;
+    for (const auto& [id, score] : keyword_hits) {
+      if (id != query_model) keyword_ids.push_back(id);
+    }
+    totals.keyword += scorer(keyword_ids, bundle.true_task, family);
+
+    // Route 2: MLQL metadata filter on the task field.
+    auto mlql = bench::Unwrap(
+        bundle.lake->Query("FIND MODELS WHERE task = '" + family + "' LIMIT " +
+                           std::to_string(fetch_k + 1)),
+        "Query");
+    std::vector<std::string> metadata_ids;
+    for (const auto& m : mlql.models) {
+      if (m.id != query_model) metadata_ids.push_back(m.id);
+    }
+    totals.metadata += scorer(metadata_ids, bundle.true_task, family);
+
+    // Route 3: content-based related-model search.
+    auto related = bench::Unwrap(
+        bundle.lake->RelatedModels(query_model, fetch_k), "RelatedModels");
+    std::vector<std::string> content_ids;
+    for (const auto& m : related) content_ids.push_back(m.id);
+    totals.content += scorer(content_ids, bundle.true_task, family);
+
+    // Route 4: hybrid — reciprocal-rank fusion of keyword and content.
+    std::map<std::string, double> fused;
+    for (size_t i = 0; i < keyword_ids.size(); ++i) {
+      fused[keyword_ids[i]] += 1.0 / (10.0 + static_cast<double>(i));
+    }
+    for (size_t i = 0; i < content_ids.size(); ++i) {
+      fused[content_ids[i]] += 1.0 / (10.0 + static_cast<double>(i));
+    }
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& [id, score] : fused) ranked.emplace_back(score, id);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::vector<std::string> hybrid_ids;
+    for (const auto& [score, id] : ranked) hybrid_ids.push_back(id);
+    totals.hybrid += scorer(hybrid_ids, bundle.true_task, family);
+  }
+  double inv = 1.0 / static_cast<double>(queries);
+  return RouteScores{totals.keyword * inv, totals.metadata * inv,
+                     totals.content * inv, totals.hybrid * inv};
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E1",
+                "Search quality vs card incompleteness (Example 1.1)");
+  std::printf(
+      "precision@%zu over %d task-family queries; lake of ~60-70 models\n\n",
+      kTopK, 6);
+  std::printf("precision@5:\n%-12s %10s %10s %10s %10s\n", "redact_rate",
+              "keyword", "metadata", "content", "hybrid");
+  std::vector<std::string> recall_rows;
+  for (double rate : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+    LakeBundle bundle = BuildLake(rate, "behavioral", 20250325);
+    RouteScores p = EvaluateRoutes(bundle, PrecisionAtK, kTopK);
+    std::printf("%-12.1f %10.3f %10.3f %10.3f %10.3f\n", rate, p.keyword,
+                p.metadata, p.content, p.hybrid);
+    RouteScores r = EvaluateRoutes(bundle, RecallAtK, kRecallK);
+    char row[128];
+    std::snprintf(row, sizeof(row), "%-12.1f %10.3f %10.3f %10.3f %10.3f",
+                  rate, r.keyword, r.metadata, r.content, r.hybrid);
+    recall_rows.push_back(row);
+  }
+  std::printf("\nrecall@10 (of each family's true models):\n"
+              "%-12s %10s %10s %10s %10s\n",
+              "redact_rate", "keyword", "metadata", "content", "hybrid");
+  for (const std::string& row : recall_rows) {
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf(
+      "\nexpected shape: keyword/metadata precision decays with the\n"
+      "redaction rate; content-based precision is flat (embeddings never\n"
+      "read cards); hybrid >= keyword everywhere.\n");
+
+  bench::Banner("E1b",
+                "Embedder ablation at redact_rate = 0.7 (three viewpoints)");
+  std::printf("%-14s %10s\n", "embedder", "content");
+  for (const char* embedder : {"behavioral", "weight_stats", "fisher"}) {
+    LakeBundle bundle = BuildLake(0.7, embedder, 20250325);
+    RouteScores scores = EvaluateRoutes(bundle, PrecisionAtK, kTopK);
+    std::printf("%-14s %10.3f\n", embedder, scores.content);
+  }
+  std::printf(
+      "\nexpected shape: the extrinsic (behavioral) embedder dominates\n"
+      "for task search; weight_stats (pure intrinsic) is weakest since\n"
+      "weight statistics track architecture more than task.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef MLAKE_BENCH_EXP_UTIL_H_
+#define MLAKE_BENCH_EXP_UTIL_H_
+
+// Shared plumbing for the experiment harnesses (bench/exp_*): temp lake
+// directories, table printing, and abort-on-error unwrapping (an
+// experiment binary has no caller to propagate Status to).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/status.h"
+
+namespace mlake::bench {
+
+/// Unwraps a Result<T>, aborting with the error on failure.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result.MoveValueUnsafe();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// RAII temp directory for a lake instance.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix)
+      : path_(Unwrap(MakeTempDir(prefix), "MakeTempDir")) {}
+  ~TempDir() { (void)RemoveAll(path_); }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Prints a horizontal rule sized to the experiment tables.
+inline void Rule() {
+  std::printf(
+      "-----------------------------------------------------------------"
+      "---------------\n");
+}
+
+inline void Banner(const char* exp_id, const char* title) {
+  std::printf("\n");
+  Rule();
+  std::printf("%s  %s\n", exp_id, title);
+  Rule();
+}
+
+}  // namespace mlake::bench
+
+#endif  // MLAKE_BENCH_EXP_UTIL_H_

@@ -1,0 +1,215 @@
+// E2 — Model-tree heritage recovery from weights alone.
+//
+// Paper anchor: §3 "Model Versioning" and §4 "Model Versions" (Horwitz
+// et al. [56]). The lake reconstructs the version forest with no access
+// to recorded history: architecture grouping, weight-distance MST,
+// outlier-edge cuts, kurtosis-based rooting.
+//
+// Protocol: generate lakes of increasing size with lineage withheld,
+// recover, and score directed/undirected precision-recall. Also ablates
+// the distance metric and root heuristic, and breaks recall down by the
+// true transformation type (distillation is expected to be unrecoverable:
+// the student is a fresh init).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/exp_util.h"
+#include "common/stopwatch.h"
+#include "core/model_lake.h"
+#include "lakegen/lakegen.h"
+#include "versioning/edge_classifier.h"
+
+namespace mlake {
+namespace {
+
+struct Generated {
+  std::unique_ptr<bench::TempDir> dir;
+  std::unique_ptr<core::ModelLake> lake;
+  lakegen::LakeGenResult gen;
+};
+
+Generated BuildLake(size_t num_bases, uint64_t seed) {
+  Generated g;
+  g.dir = std::make_unique<bench::TempDir>("mlake-e2");
+  core::LakeOptions options;
+  options.root = JoinPath(g.dir->path(), "lake");
+  g.lake = bench::Unwrap(core::ModelLake::Open(std::move(options)),
+                         "ModelLake::Open");
+  lakegen::LakeGenConfig config;
+  config.num_families = 4;
+  config.domains_per_family = 2;
+  config.num_bases = num_bases;
+  config.children_per_base_min = 2;
+  config.children_per_base_max = 4;
+  config.record_lineage_in_lake = false;
+  config.seed = seed;
+  g.gen = bench::Unwrap(lakegen::GenerateLake(g.lake.get(), config),
+                        "GenerateLake");
+  return g;
+}
+
+void PrintComparison(const char* label,
+                     const versioning::GraphComparison& cmp,
+                     size_t num_trees, double seconds) {
+  std::printf("%-24s %6zu %6zu %7.3f %7.3f %7.3f %7.3f %6zu %7.2fs\n",
+              label, cmp.truth_edges, cmp.recovered_edges,
+              cmp.UndirectedPrecision(), cmp.UndirectedRecall(),
+              cmp.DirectedPrecision(), cmp.DirectedRecall(), num_trees,
+              seconds);
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E2", "Heritage recovery from weights (no history)");
+  std::printf("%-24s %6s %6s %7s %7s %7s %7s %6s %8s\n", "config",
+              "truthE", "recE", "u-prec", "u-rec", "d-prec", "d-rec",
+              "trees", "time");
+
+  // Size sweep.
+  for (size_t bases : {6, 12, 20}) {
+    Generated g = BuildLake(bases, 77);
+    Stopwatch sw;
+    auto recovered =
+        bench::Unwrap(g.lake->RecoverHeritage(), "RecoverHeritage");
+    double seconds = sw.ElapsedSeconds();
+    auto cmp = versioning::CompareGraphs(g.gen.truth_graph, recovered.graph);
+    char label[64];
+    std::snprintf(label, sizeof(label), "lake(%zu models)",
+                  g.gen.models.size());
+    PrintComparison(label, cmp, recovered.num_trees, seconds);
+  }
+
+  // Ablations on one lake.
+  Generated g = BuildLake(12, 77);
+  struct Ablation {
+    const char* label;
+    versioning::HeritageConfig config;
+  };
+  std::vector<Ablation> ablations;
+  {
+    versioning::HeritageConfig base;
+    ablations.push_back({"l2 + kurtosis (default)", base});
+    versioning::HeritageConfig hub = base;
+    hub.root_heuristic = "hub";
+    ablations.push_back({"l2 + hub", hub});
+    versioning::HeritageConfig norm = base;
+    norm.distance = "normalized";
+    ablations.push_back({"normalized + kurtosis", norm});
+    versioning::HeritageConfig tight = base;
+    tight.cut_factor = 1.5;
+    ablations.push_back({"l2, cut_factor=1.5", tight});
+    versioning::HeritageConfig loose = base;
+    loose.cut_factor = 6.0;
+    ablations.push_back({"l2, cut_factor=6.0", loose});
+  }
+  std::printf("\nablations (same %zu-model lake):\n", g.gen.models.size());
+  for (const Ablation& ablation : ablations) {
+    Stopwatch sw;
+    auto recovered = bench::Unwrap(g.lake->RecoverHeritage(ablation.config),
+                                   "RecoverHeritage");
+    auto cmp = versioning::CompareGraphs(g.gen.truth_graph, recovered.graph);
+    PrintComparison(ablation.label, cmp, recovered.num_trees,
+                    sw.ElapsedSeconds());
+  }
+
+  // Recall by true transformation type.
+  auto recovered =
+      bench::Unwrap(g.lake->RecoverHeritage(), "RecoverHeritage");
+  std::map<versioning::EdgeType, std::pair<size_t, size_t>> by_type;
+  for (const auto& e : g.gen.truth_graph.Edges()) {
+    auto& [total, found] = by_type[e.type];
+    ++total;
+    if (recovered.graph.HasEdge(e.parent, e.child) ||
+        recovered.graph.HasEdge(e.child, e.parent)) {
+      ++found;
+    }
+  }
+  std::printf("\nundirected recall by transformation type:\n");
+  std::printf("%-12s %6s %6s %8s\n", "type", "truth", "found", "recall");
+  for (const auto& [type, counts] : by_type) {
+    std::printf("%-12s %6zu %6zu %8.3f\n",
+                std::string(versioning::EdgeTypeToString(type)).c_str(),
+                counts.first, counts.second,
+                counts.first == 0
+                    ? 0.0
+                    : static_cast<double>(counts.second) /
+                          static_cast<double>(counts.first));
+  }
+  std::printf(
+      "\nexpected shape: finetune/lora/edit/prune/noise edges recover\n"
+      "well (child weights stay near the parent); distill edges do not\n"
+      "(the student is a fresh initialization, far away in weight space).\n"
+      "Chains of correlated sibling fine-tunes can swap parent/sibling\n"
+      "assignments - see DESIGN.md.\n");
+
+  // ---- E2b: weight-space edge typing (paper §5 Weight-Space Modeling).
+  bench::Banner("E2b",
+                "Edge typing from weight deltas (weight-space meta-model)");
+  auto collect = [](const Generated& lake_bundle)
+      -> std::vector<std::pair<versioning::EdgeFeatures,
+                               versioning::EdgeType>> {
+    std::vector<std::pair<versioning::EdgeFeatures, versioning::EdgeType>>
+        out;
+    for (const auto& e : lake_bundle.gen.truth_graph.Edges()) {
+      auto parent = lake_bundle.lake->LoadModel(e.parent);
+      auto child = lake_bundle.lake->LoadModel(e.child);
+      if (!parent.ok() || !child.ok()) continue;
+      auto features = versioning::ComputeEdgeFeatures(
+          parent.ValueUnsafe().get(), child.ValueUnsafe().get());
+      if (!features.ok()) continue;  // cross-architecture edge
+      out.emplace_back(features.ValueUnsafe(), e.type);
+    }
+    return out;
+  };
+
+  Generated train_lake = BuildLake(16, 300);
+  Generated test_lake = BuildLake(10, 301);
+  auto train_examples = collect(train_lake);
+  auto test_examples = collect(test_lake);
+  std::printf("train: %zu labeled edges (lake seed 300); test: %zu edges "
+              "(lake seed 301)\n\n",
+              train_examples.size(), test_examples.size());
+  auto classifier =
+      bench::Unwrap(versioning::EdgeClassifier::TrainClassifier(
+                        train_examples, 7),
+                    "TrainClassifier");
+
+  const auto& kinds = versioning::EdgeClassifier::Classes();
+  std::map<versioning::EdgeType,
+           std::map<versioning::EdgeType, size_t>>
+      confusion;
+  size_t correct = 0;
+  for (const auto& [features, truth_type] : test_examples) {
+    versioning::EdgeType predicted =
+        bench::Unwrap(classifier.Classify(features), "Classify");
+    ++confusion[truth_type][predicted];
+    if (predicted == truth_type) ++correct;
+  }
+  std::printf("held-out accuracy: %.3f (chance %.3f)\n\n",
+              static_cast<double>(correct) /
+                  static_cast<double>(test_examples.size()),
+              1.0 / static_cast<double>(kinds.size()));
+  std::printf("confusion (rows = truth, cols = predicted):\n%-10s", "");
+  for (versioning::EdgeType k : kinds) {
+    std::printf("%9s", std::string(versioning::EdgeTypeToString(k)).c_str());
+  }
+  std::printf("\n");
+  for (versioning::EdgeType truth_kind : kinds) {
+    std::printf("%-10s",
+                std::string(versioning::EdgeTypeToString(truth_kind))
+                    .c_str());
+    for (versioning::EdgeType predicted_kind : kinds) {
+      std::printf("%9zu", confusion[truth_kind][predicted_kind]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: LoRA (low-rank delta), pruning (exact zeros) and\n"
+      "editing (head-only delta) separate cleanly; finetune/noise are the\n"
+      "closest pair; distillation is unmistakable (huge delta).\n");
+  return 0;
+}

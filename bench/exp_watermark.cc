@@ -1,0 +1,152 @@
+// E10 (extension) — Weight watermarking for model citation/attribution.
+//
+// Paper anchor: §6 "Data and Model Citation" — "One proposed solution to
+// identify generated output is the use of watermarks [69]". We carry the
+// idea to the model artifact itself: a keyed statistical mark in the
+// weights lets a lake assert "this upload is (derived from) registered
+// model X" even when the card says nothing.
+//
+// Protocol: embed marks into trained models, then measure the detection
+// z-score as the model is attacked with the lake's own transformation
+// menu (fine-tuning, pruning, noise, LoRA) at increasing intensity, plus
+// the false-positive behavior over many wrong keys.
+
+#include <cstdio>
+
+#include "bench/exp_util.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+#include "provenance/watermark.h"
+
+namespace mlake {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(const std::string& family, size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> FreshWatermarked(uint64_t seed) {
+  Rng rng(seed);
+  auto model = bench::Unwrap(
+      nn::BuildModel(nn::MlpSpec(kDim, {64}, kClasses), &rng), "BuildModel");
+  nn::TrainConfig config;
+  config.epochs = 10;
+  bench::Check(nn::Train(model.get(), Task("wm", 192, seed + 1), config)
+                   .status(),
+               "Train");
+  bench::Check(provenance::EmbedWatermark(model.get(), "lake-owner-key"),
+               "EmbedWatermark");
+  return model;
+}
+
+double Z(nn::Model* model) {
+  return bench::Unwrap(
+             provenance::DetectWatermark(model, "lake-owner-key"),
+             "DetectWatermark")
+      .z_score;
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main() {
+  using namespace mlake;
+  bench::Banner("E10", "Watermark robustness under lake transformations");
+  std::printf("mark: 512 positions, 0.35 sigma; detection threshold z = "
+              "4.0\n\n");
+  std::printf("%-34s %10s %10s\n", "attack", "z-score", "detected");
+
+  {
+    auto model = FreshWatermarked(1);
+    double z = Z(model.get());
+    std::printf("%-34s %10.2f %10s\n", "none (clean mark)", z,
+                z >= 4 ? "yes" : "NO");
+  }
+  for (int epochs : {1, 3, 8, 20}) {
+    auto model = FreshWatermarked(2);
+    nn::TrainConfig ft;
+    ft.epochs = epochs;
+    ft.lr = 1e-3f;
+    bench::Check(
+        nn::Finetune(model.get(), Task("other", 128, 50), ft).status(),
+        "Finetune");
+    double z = Z(model.get());
+    char label[48];
+    std::snprintf(label, sizeof(label), "finetune %d epochs", epochs);
+    std::printf("%-34s %10.2f %10s\n", label, z, z >= 4 ? "yes" : "no");
+  }
+  for (double fraction : {0.1, 0.3, 0.5, 0.7}) {
+    auto model = FreshWatermarked(3);
+    bench::Check(nn::MagnitudePrune(model.get(), fraction).status(),
+                 "Prune");
+    double z = Z(model.get());
+    char label[48];
+    std::snprintf(label, sizeof(label), "prune %.0f%%", 100 * fraction);
+    std::printf("%-34s %10.2f %10s\n", label, z, z >= 4 ? "yes" : "no");
+  }
+  for (double rel : {0.02, 0.05, 0.15, 0.4}) {
+    auto model = FreshWatermarked(4);
+    Rng rng(60);
+    nn::AddWeightNoise(model.get(), rel, &rng);
+    double z = Z(model.get());
+    char label[48];
+    std::snprintf(label, sizeof(label), "weight noise %.0f%% rms",
+                  100 * rel);
+    std::printf("%-34s %10.2f %10s\n", label, z, z >= 4 ? "yes" : "no");
+  }
+  {
+    auto model = FreshWatermarked(5);
+    nn::TrainConfig ft;
+    ft.epochs = 8;
+    bench::Check(nn::LoraFinetune(model.get(), Task("other", 128, 70), 4,
+                                  1.0f, ft)
+                     .status(),
+                 "LoraFinetune");
+    double z = Z(model.get());
+    std::printf("%-34s %10.2f %10s\n", "LoRA rank-4 fine-tune", z,
+                z >= 4 ? "yes" : "no");
+  }
+  {
+    // Distillation is the known hole, as with heritage recovery.
+    auto model = FreshWatermarked(6);
+    nn::Dataset data = Task("wm", 256, 80);
+    nn::TrainConfig dc;
+    dc.epochs = 12;
+    Rng rng(81);
+    auto student = bench::Unwrap(
+        nn::Distill(model.get(), model->spec(), data.x, 2.0f, dc, &rng),
+        "Distill");
+    double z = Z(student.get());
+    std::printf("%-34s %10.2f %10s\n", "distillation (fresh student)", z,
+                z >= 4 ? "yes" : "no (expected)");
+  }
+
+  // False positives: many wrong keys on a marked model.
+  int false_positives = 0;
+  auto model = FreshWatermarked(7);
+  const int kKeys = 200;
+  for (int k = 0; k < kKeys; ++k) {
+    auto detection = bench::Unwrap(
+        provenance::DetectWatermark(model.get(),
+                                    "adversary-key-" + std::to_string(k)),
+        "DetectWatermark");
+    if (detection.detected) ++false_positives;
+  }
+  std::printf("\nfalse positives over %d wrong keys: %d\n", kKeys,
+              false_positives);
+  std::printf(
+      "\nexpected shape: the mark survives weight-preserving\n"
+      "transformations (the same set heritage recovery handles) and dies\n"
+      "under distillation; wrong keys never fire.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks: the lake's three indices (HNSW, BM25, MinHash-LSH).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/inverted_index.h"
+#include "index/minhash_lsh.h"
+
+namespace mlake {
+namespace {
+
+std::vector<std::vector<float>> RandomVectors(size_t n, int64_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n);
+  for (auto& v : out) {
+    v.resize(static_cast<size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+void BM_HnswInsert(benchmark::State& state) {
+  const int64_t dim = 64;
+  auto vectors = RandomVectors(20000, dim, 1);
+  size_t i = 0;
+  index::HnswIndex index(dim);
+  for (auto _ : state) {
+    if (i >= vectors.size()) {  // rebuild when exhausted
+      state.PauseTiming();
+      index = index::HnswIndex(dim);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        index.Add(static_cast<int64_t>(i), vectors[i]).ok());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswInsert);
+
+void BM_HnswQuery(benchmark::State& state) {
+  const int64_t dim = 64;
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto vectors = RandomVectors(n, dim, 2);
+  index::HnswIndex index(dim);
+  for (size_t i = 0; i < n; ++i) {
+    (void)index.Add(static_cast<int64_t>(i), vectors[i]);
+  }
+  auto queries = RandomVectors(64, dim, 3);
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = index.Search(queries[q++ % queries.size()], 10);
+    benchmark::DoNotOptimize(hits.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswQuery)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const int64_t dim = 64;
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto vectors = RandomVectors(n, dim, 2);
+  index::BruteForceIndex index(dim, index::Metric::kCosine);
+  for (size_t i = 0; i < n; ++i) {
+    (void)index.Add(static_cast<int64_t>(i), vectors[i]);
+  }
+  auto queries = RandomVectors(64, dim, 3);
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = index.Search(queries[q++ % queries.size()], 10);
+    benchmark::DoNotOptimize(hits.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_Bm25Search(benchmark::State& state) {
+  index::InvertedIndex index;
+  Rng rng(4);
+  static const char* kWords[] = {"legal",    "medical", "summarization",
+                                 "translation", "model", "corpus",
+                                 "finance",  "english", "news",
+                                 "sentiment"};
+  for (int d = 0; d < 5000; ++d) {
+    std::string text;
+    for (int w = 0; w < 24; ++w) {
+      text += kWords[rng.NextBelow(10)];
+      text += ' ';
+    }
+    index.Add(StrFormat("doc-%d", d), text);
+  }
+  for (auto _ : state) {
+    auto hits = index.Search("legal summarization corpus", 10);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bm25Search);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  std::vector<std::string> shards;
+  for (int i = 0; i < 64; ++i) shards.push_back(StrFormat("shard#%d", i));
+  for (auto _ : state) {
+    auto sig = index::ComputeMinHash(shards, 64);
+    benchmark::DoNotOptimize(sig.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(shards.size()));
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_LshQuery(benchmark::State& state) {
+  index::MinHashLsh lsh(32, 2);
+  Rng rng(5);
+  for (int d = 0; d < 2000; ++d) {
+    std::vector<std::string> shards;
+    for (int i = 0; i < 16; ++i) {
+      shards.push_back(StrFormat("d%d#%llu", d,
+                                 static_cast<unsigned long long>(
+                                     rng.NextBelow(1000))));
+    }
+    (void)lsh.Add(StrFormat("dataset-%d", d),
+                  index::ComputeMinHash(shards, 64));
+  }
+  std::vector<std::string> query_shards;
+  for (int i = 0; i < 16; ++i) {
+    query_shards.push_back(StrFormat("d7#%d", i));
+  }
+  auto query = index::ComputeMinHash(query_shards, 64);
+  for (auto _ : state) {
+    auto hits = lsh.Query(query, 0.3);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LshQuery);
+
+}  // namespace
+}  // namespace mlake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Microbenchmarks: lake-level operations (ingest path pieces, card
+// (de)serialization, MLQL parse, embedding computation).
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_util.h"
+#include "embed/embedder.h"
+#include "metadata/model_card.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "search/parser.h"
+
+namespace mlake {
+namespace {
+
+metadata::ModelCard SampleCard() {
+  metadata::ModelCard card;
+  card.model_id = "acme/legal-summarizer-v3";
+  card.name = "ACME legal summarizer";
+  card.description =
+      "Summarizes United States court opinions into plain language for "
+      "non-experts; fine-tuned from the acme base summarizer.";
+  card.task = "summarization";
+  card.tags = {"legal", "english", "finetuned"};
+  card.architecture = "mlp(32-64-8,relu)";
+  card.num_params = 2632;
+  card.training_datasets = {"summarization/legal"};
+  card.lineage = {"acme/base-summarizer", "finetune"};
+  card.metrics = {{"summarization/legal:test", "accuracy", 0.91},
+                  {"summarization/medical:test", "accuracy", 0.55}};
+  card.creator = "acme";
+  card.license = "apache-2.0";
+  card.created_at = "2025-03-25";
+  card.intended_use = {"summarization of legal documents"};
+  card.risk_notes = {"not validated outside US jurisdictions"};
+  return card;
+}
+
+void BM_CardToJson(benchmark::State& state) {
+  metadata::ModelCard card = SampleCard();
+  for (auto _ : state) {
+    std::string text = card.ToJson().Dump();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CardToJson);
+
+void BM_CardFromJson(benchmark::State& state) {
+  std::string text = SampleCard().ToJson().Dump();
+  for (auto _ : state) {
+    auto parsed = Json::Parse(text);
+    auto card = metadata::ModelCard::FromJson(parsed.ValueOrDie());
+    benchmark::DoNotOptimize(card.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CardFromJson);
+
+void BM_CompletenessScore(benchmark::State& state) {
+  metadata::ModelCard card = SampleCard();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metadata::CompletenessScore(card));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompletenessScore);
+
+void BM_MlqlParse(benchmark::State& state) {
+  const char* query =
+      "FIND MODELS WHERE (task = 'summarization' OR tag('legal')) AND "
+      "trained_on('summarization/legal', 0.4) AND num_params >= 1000 "
+      "RANK BY behavior_sim('acme/base') LIMIT 10";
+  for (auto _ : state) {
+    auto parsed = search::ParseQuery(query);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlqlParse);
+
+void BM_EmbedModel(benchmark::State& state) {
+  static const char* kNames[] = {"behavioral", "weight_stats", "fisher"};
+  const char* name = kNames[state.range(0)];
+  Tensor probes = nn::MakeProbeSet(32, 24, 7);
+  auto embedder =
+      embed::MakeEmbedder(name, probes, 8).MoveValueUnsafe();
+  Rng rng(1);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(32, {64}, 8), &rng).MoveValueUnsafe();
+  for (auto _ : state) {
+    auto vec = embedder->Embed(model.get());
+    benchmark::DoNotOptimize(vec.ok());
+  }
+  state.SetLabel(name);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmbedModel)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace mlake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Microbenchmarks: the storage substrate — KV log, blob store, artifact
+// codec, SHA-256/CRC32.
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "nn/model.h"
+#include "storage/blob_store.h"
+#include "storage/kv_store.h"
+#include "storage/model_artifact.h"
+
+namespace mlake {
+namespace {
+
+std::string TempPath(const char* name) {
+  static std::string dir = [] {
+    auto d = MakeTempDir("mlake-micro-storage");
+    return d.ok() ? d.ValueUnsafe() : std::string("/tmp");
+  }();
+  return JoinPath(dir, name);
+}
+
+void BM_KvPut(benchmark::State& state) {
+  std::string path = TempPath("kv-put.log");
+  (void)RemoveFile(path);
+  auto store = storage::KvStore::Open(path).MoveValueUnsafe();
+  std::string value(256, 'v');
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store->Put(StrFormat("key-%08d", i++), value).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGet(benchmark::State& state) {
+  std::string path = TempPath("kv-get.log");
+  (void)RemoveFile(path);
+  auto store = storage::KvStore::Open(path).MoveValueUnsafe();
+  for (int i = 0; i < 10000; ++i) {
+    (void)store->Put(StrFormat("key-%08d", i), std::string(256, 'v'));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto value = store->Get(StrFormat("key-%08d", i++ % 10000));
+    benchmark::DoNotOptimize(value.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvGet);
+
+void BM_KvReplay(benchmark::State& state) {
+  std::string path = TempPath("kv-replay.log");
+  (void)RemoveFile(path);
+  {
+    auto store = storage::KvStore::Open(path).MoveValueUnsafe();
+    for (int i = 0; i < 20000; ++i) {
+      (void)store->Put(StrFormat("key-%08d", i % 5000),
+                       std::string(128, 'v'));
+    }
+  }
+  for (auto _ : state) {
+    auto store = storage::KvStore::Open(path);
+    benchmark::DoNotOptimize(store.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_KvReplay);
+
+void BM_BlobPutGet(benchmark::State& state) {
+  auto store =
+      storage::BlobStore::Open(TempPath("blobs")).MoveValueUnsafe();
+  std::string payload(64 * 1024, 'x');
+  int i = 0;
+  for (auto _ : state) {
+    payload[0] = static_cast<char>(i++);  // distinct digest each round
+    auto digest = store.Put(payload);
+    auto back = store.Get(digest.ValueOrDie());
+    benchmark::DoNotOptimize(back.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * 2 *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_BlobPutGet);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'h');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::HexDigest(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(1 << 20);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string payload(1 << 20, 'c');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_ArtifactRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  auto model = nn::BuildModel(nn::MlpSpec(32, {64, 48}, 8), &rng)
+                   .MoveValueUnsafe();
+  for (auto _ : state) {
+    storage::ModelArtifact artifact =
+        storage::ArtifactFromModel(*model, Json::MakeObject());
+    std::string bytes = storage::SerializeArtifact(artifact);
+    auto parsed = storage::ParseArtifact(bytes);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArtifactRoundTrip);
+
+}  // namespace
+}  // namespace mlake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmarks: tensor kernels (the compute substrate under every
+// lake analysis).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace mlake {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransposedB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(64);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor logits = Tensor::RandomNormal({256, 64}, &rng);
+  for (auto _ : state) {
+    Tensor p = RowSoftmax(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * logits.NumElements());
+}
+BENCHMARK(BM_RowSoftmax);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal({4096}, &rng);
+  Tensor b = Tensor::RandomNormal({4096}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.NumElements());
+}
+BENCHMARK(BM_CosineSimilarity);
+
+void BM_TensorSerialize(benchmark::State& state) {
+  Rng rng(4);
+  Tensor t = Tensor::RandomNormal({64, 256}, &rng);
+  for (auto _ : state) {
+    std::string bytes = TensorToBytes(t);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * t.NumElements() *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_TensorSerialize);
+
+void BM_TensorDeserialize(benchmark::State& state) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomNormal({64, 256}, &rng);
+  std::string bytes = TensorToBytes(t);
+  for (auto _ : state) {
+    auto back = TensorFromBytes(bytes);
+    benchmark::DoNotOptimize(back.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TensorDeserialize);
+
+}  // namespace
+}  // namespace mlake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Lineage recovery and auditing (paper §3 "Model Versioning" + §6
+// "Auditing"): populate a lake WITHOUT recorded lineage, reconstruct the
+// version forest from weights alone, compare against ground truth, then
+// audit every model's documentation.
+//
+//   ./build/examples/lineage_audit
+
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "core/model_lake.h"
+#include "lakegen/lakegen.h"
+
+namespace {
+
+using mlake::Status;
+
+Status Run(const std::string& root) {
+  mlake::core::LakeOptions options;
+  options.root = root;
+  MLAKE_ASSIGN_OR_RETURN(auto lake, mlake::core::ModelLake::Open(options));
+
+  mlake::lakegen::LakeGenConfig config;
+  config.num_families = 3;
+  config.domains_per_family = 2;
+  config.num_bases = 6;
+  config.children_per_base_min = 2;
+  config.children_per_base_max = 3;
+  config.record_lineage_in_lake = false;  // the lake knows nothing
+  config.card_noise.drop_lineage_rate = 1.0;  // and cards don't say
+  config.seed = 7;
+  std::printf("generating a lake with hidden lineage...\n");
+  MLAKE_ASSIGN_OR_RETURN(auto gen,
+                         mlake::lakegen::GenerateLake(lake.get(), config));
+  std::printf("%zu models, %zu true derivation edges (all unrecorded)\n\n",
+              lake->NumModels(), gen.truth_graph.NumEdges());
+
+  // Reconstruct heritage from weights alone.
+  MLAKE_ASSIGN_OR_RETURN(auto recovered, lake->RecoverHeritage());
+  auto cmp = mlake::versioning::CompareGraphs(gen.truth_graph,
+                                              recovered.graph);
+  std::printf("heritage recovery (weights only, no history):\n");
+  std::printf("  recovered edges: %zu (truth: %zu) in %zu trees\n",
+              cmp.recovered_edges, cmp.truth_edges, recovered.num_trees);
+  std::printf("  undirected precision %.2f recall %.2f\n",
+              cmp.UndirectedPrecision(), cmp.UndirectedRecall());
+  std::printf("  directed   precision %.2f recall %.2f (F1 %.2f)\n\n",
+              cmp.DirectedPrecision(), cmp.DirectedRecall(),
+              cmp.DirectedF1());
+
+  std::printf("sample of recovered edges (confidence):\n");
+  size_t shown = 0;
+  for (const auto& e : recovered.graph.Edges()) {
+    bool correct = gen.truth_graph.HasEdge(e.parent, e.child);
+    std::printf("  %-40s -> %-44s %.2f %s\n", e.parent.c_str(),
+                e.child.c_str(), e.confidence, correct ? "[correct]" : "");
+    if (++shown >= 8) break;
+  }
+
+  // Adopt the recovered edges into the lake graph, then audit.
+  for (const auto& e : recovered.graph.Edges()) {
+    MLAKE_RETURN_NOT_OK(lake->RecordEdge(e));
+  }
+
+  std::printf("\naudit results:\n");
+  size_t passes = 0, total = 0;
+  for (const std::string& id : lake->ListModels()) {
+    MLAKE_ASSIGN_OR_RETURN(mlake::Json report, lake->AuditModel(id));
+    ++total;
+    if (report.GetBool("passes")) ++passes;
+  }
+  std::printf("  %zu/%zu models pass audit (artifact intact, lineage "
+              "consistent, training data documented)\n",
+              passes, total);
+  std::printf("  (failures are models whose training-data section was "
+              "redacted - exactly the documentation gap the paper "
+              "describes)\n");
+
+  // Documentation generation closes the gap.
+  std::printf("\nregenerating cards for failing models...\n");
+  size_t fixed = 0;
+  for (const std::string& id : lake->ListModels()) {
+    MLAKE_ASSIGN_OR_RETURN(mlake::Json report, lake->AuditModel(id));
+    if (report.GetBool("passes")) continue;
+    MLAKE_ASSIGN_OR_RETURN(auto draft, lake->GenerateCard(id));
+    MLAKE_RETURN_NOT_OK(lake->UpdateCard(draft));
+    ++fixed;
+  }
+  size_t passes_after = 0;
+  double completeness_total = 0.0;
+  for (const std::string& id : lake->ListModels()) {
+    MLAKE_ASSIGN_OR_RETURN(mlake::Json report, lake->AuditModel(id));
+    if (report.GetBool("passes")) ++passes_after;
+    completeness_total += report.GetDouble("card_completeness");
+  }
+  std::printf("  regenerated %zu cards; now %zu/%zu pass; mean "
+              "completeness %.2f\n",
+              fixed, passes_after, total,
+              completeness_total / static_cast<double>(total));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  auto tmp = mlake::MakeTempDir("mlake-lineage-audit");
+  if (!tmp.ok()) {
+    std::fprintf(stderr, "error: %s\n", tmp.status().ToString().c_str());
+    return 1;
+  }
+  Status st = Run(tmp.ValueUnsafe());
+  (void)mlake::RemoveAll(tmp.ValueUnsafe());
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

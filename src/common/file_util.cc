@@ -1,0 +1,137 @@
+#include "common/file_util.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace mlake {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::string data;
+  in.seekg(0, std::ios::end);
+  std::streampos size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  data.resize(static_cast<size_t>(size));
+  in.seekg(0, std::ios::beg);
+  if (size > 0) in.read(data.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return data;
+}
+
+Status WriteFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + StrFormat(".tmp.%llu",
+                                     static_cast<unsigned long long>(
+                                         counter.fetch_add(1)));
+  MLAKE_RETURN_NOT_OK(WriteFile(tmp, data));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status AppendFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open for append: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("short append: " + path);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat: " + path);
+  return size;
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("cannot create dirs: " + path);
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("cannot remove: " + path);
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("cannot remove file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IOError("cannot list: " + dir);
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) return Status::IOError("no temp dir");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path candidate =
+        base / StrFormat("%s-%d-%llu", prefix.c_str(), attempt,
+                         static_cast<unsigned long long>(
+                             counter.fetch_add(1)));
+    if (fs::create_directory(candidate, ec)) {
+      return candidate.string();
+    }
+  }
+  return Status::IOError("cannot create temp dir");
+}
+
+}  // namespace mlake

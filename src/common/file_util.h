@@ -1,0 +1,48 @@
+#ifndef MLAKE_COMMON_FILE_UTIL_H_
+#define MLAKE_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake {
+
+/// Reads the entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `data` to `path`, replacing any previous contents.
+Status WriteFile(const std::string& path, std::string_view data);
+
+/// Writes via a temp file + rename so readers never observe a torn file.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Appends `data` to `path`, creating it if needed.
+Status AppendFile(const std::string& path, std::string_view data);
+
+bool FileExists(const std::string& path);
+
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Creates the directory and all parents; OK if it already exists.
+Status CreateDirs(const std::string& path);
+
+/// Recursively removes `path`; OK if it does not exist.
+Status RemoveAll(const std::string& path);
+
+Status RemoveFile(const std::string& path);
+
+/// Names (not full paths) of regular files directly inside `dir`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Joins two path segments with exactly one separator.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+/// Creates a unique fresh directory under the system temp dir with the
+/// given prefix; used by tests and examples.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_FILE_UTIL_H_

@@ -1,0 +1,56 @@
+#ifndef MLAKE_COMMON_HASH_H_
+#define MLAKE_COMMON_HASH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mlake {
+
+/// FNV-1a 64-bit hash; used for cheap in-memory hashing (index buckets,
+/// minhash base permutations). Not collision-resistant.
+uint64_t Fnv1a64(const void* data, size_t len);
+uint64_t Fnv1a64(std::string_view s);
+
+/// CRC-32 (IEEE polynomial, reflected). Used for per-section integrity
+/// checks in the model artifact format and the log-structured KV store.
+uint32_t Crc32(const void* data, size_t len);
+uint32_t Crc32(std::string_view s);
+
+/// Incremental SHA-256. Used for content addressing in the blob store:
+/// a model artifact's identity is the digest of its bytes.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards; call Reset() to reuse.
+  std::array<uint8_t, 32> Finish();
+
+  void Reset();
+
+  /// One-shot convenience returning a lowercase hex digest.
+  static std::string HexDigest(std::string_view data);
+  static std::string HexDigest(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex encoding of a byte buffer.
+std::string ToHex(const uint8_t* data, size_t len);
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_HASH_H_

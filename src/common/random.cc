@@ -1,0 +1,108 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace mlake {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr uint64_t kDefaultStream = 1442695040888963407ULL;
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  state_ = 0;
+  inc_ = (kDefaultStream << 1u) | 1u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+  has_cached_normal_ = false;
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  MLAKE_CHECK(n > 0) << "NextBelow(0)";
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MLAKE_CHECK(lo <= hi) << "UniformInt bounds reversed";
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? NextU64() : NextBelow(span));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  MLAKE_CHECK(k <= n) << "sample size exceeds population";
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextBelow(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  MLAKE_CHECK(!weights.empty()) << "empty categorical";
+  double total = 0.0;
+  for (double w : weights) {
+    MLAKE_CHECK(w >= 0.0) << "negative categorical weight";
+    total += w;
+  }
+  MLAKE_CHECK(total > 0.0) << "categorical weights sum to zero";
+  double x = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace mlake

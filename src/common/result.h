@@ -1,0 +1,87 @@
+#ifndef MLAKE_COMMON_RESULT_H_
+#define MLAKE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mlake {
+
+/// The result of an operation that either produces a `T` or fails with a
+/// `Status`.
+///
+/// Mirrors `arrow::Result<T>`: construct implicitly from a value or a
+/// non-OK `Status`; access the payload with `ValueOrDie()` /
+/// `ValueUnsafe()` after checking `ok()`, or move it out with
+/// `MoveValueUnsafe()`. Use `MLAKE_ASSIGN_OR_RETURN` to chain fallible
+/// computations.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : data_(std::in_place_index<1>, std::move(value)) {}
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and aborts.
+  Result(Status status) : data_(std::in_place_index<0>, std::move(status)) {
+    if (std::get<0>(data_).ok()) {
+      std::abort();  // Result from OK status carries no value.
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return data_.index() == 1; }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<0>(data_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const {
+    if (!ok()) std::abort();
+    return std::get<1>(data_);
+  }
+  T& ValueOrDie() {
+    if (!ok()) std::abort();
+    return std::get<1>(data_);
+  }
+
+  /// Unchecked accessors; caller must have verified `ok()`.
+  const T& ValueUnsafe() const { return std::get<1>(data_); }
+  T& ValueUnsafe() { return std::get<1>(data_); }
+  T MoveValueUnsafe() { return std::move(std::get<1>(data_)); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<1>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), returning its Status on failure;
+/// otherwise assigns the moved value to `lhs`.
+#define MLAKE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.MoveValueUnsafe()
+
+#define MLAKE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MLAKE_ASSIGN_OR_RETURN_NAME(a, b) MLAKE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define MLAKE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MLAKE_ASSIGN_OR_RETURN_IMPL(             \
+      MLAKE_ASSIGN_OR_RETURN_NAME(_mlake_result_, __LINE__), lhs, rexpr)
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_RESULT_H_

@@ -1,0 +1,32 @@
+#ifndef MLAKE_COMMON_STOPWATCH_H_
+#define MLAKE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mlake {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to report
+/// per-stage timings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_STOPWATCH_H_

@@ -1,0 +1,609 @@
+#include "core/model_lake.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace mlake::core {
+
+namespace {
+
+Json FloatsToJson(const std::vector<float>& v) {
+  Json arr = Json::MakeArray();
+  for (float x : v) arr.Append(Json(static_cast<double>(x)));
+  return arr;
+}
+
+Result<std::vector<float>> FloatsFromJson(const Json& j) {
+  if (!j.is_array()) return Status::Corruption("expected float array");
+  std::vector<float> out;
+  out.reserve(j.size());
+  for (const Json& x : j.AsArray()) {
+    if (!x.is_number()) return Status::Corruption("expected number");
+    out.push_back(static_cast<float>(x.AsDouble()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ModelLake>> ModelLake::Open(LakeOptions options) {
+  if (options.root.empty()) {
+    return Status::InvalidArgument("LakeOptions.root must be set");
+  }
+  std::unique_ptr<ModelLake> lake(new ModelLake(std::move(options)));
+  MLAKE_RETURN_NOT_OK(lake->Initialize());
+  return lake;
+}
+
+Status ModelLake::Initialize() {
+  MLAKE_RETURN_NOT_OK(CreateDirs(options_.root));
+  MLAKE_ASSIGN_OR_RETURN(storage::BlobStore blobs,
+                         storage::BlobStore::Open(
+                             JoinPath(options_.root, "blobs")));
+  blobs_ = std::make_unique<storage::BlobStore>(std::move(blobs));
+  MLAKE_ASSIGN_OR_RETURN(catalog_, storage::Catalog::Open(JoinPath(
+                                       options_.root, "catalog.log")));
+
+  probes_ = nn::MakeProbeSet(options_.input_dim, options_.probe_count,
+                             options_.probe_seed);
+  MLAKE_ASSIGN_OR_RETURN(
+      embedder_,
+      embed::MakeEmbedder(options_.embedder, probes_, options_.num_classes));
+
+  ann_ = std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
+  dataset_lsh_ = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
+                                                     options_.minhash_rows);
+
+  if (catalog_->Contains("graph", "main")) {
+    MLAKE_ASSIGN_OR_RETURN(Json graph_doc, catalog_->GetDoc("graph", "main"));
+    MLAKE_ASSIGN_OR_RETURN(graph_, versioning::ModelGraph::FromJson(
+                                       graph_doc));
+  }
+  return RebuildIndices();
+}
+
+Status ModelLake::RebuildIndices() {
+  for (const std::string& id : catalog_->ListIds("card")) {
+    MLAKE_ASSIGN_OR_RETURN(Json card_doc, catalog_->GetDoc("card", id));
+    MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card,
+                           metadata::ModelCard::FromJson(card_doc));
+    bm25_.Add(id, card.SearchText());
+  }
+  for (const std::string& id : catalog_->ListIds("embedding")) {
+    MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("embedding", id));
+    MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, FloatsFromJson(doc));
+    int64_t internal = static_cast<int64_t>(ann_ids_.size());
+    ann_ids_.push_back(id);
+    MLAKE_RETURN_NOT_OK(ann_->Add(internal, vec));
+  }
+  for (const std::string& name : catalog_->ListIds("dataset")) {
+    MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
+                           DatasetShards(name));
+    MLAKE_RETURN_NOT_OK(dataset_lsh_->Add(name, DatasetSignature(shards)));
+  }
+  return Status::OK();
+}
+
+index::MinHashSignature ModelLake::DatasetSignature(
+    const std::vector<std::string>& shards) const {
+  return index::ComputeMinHash(shards,
+                               options_.minhash_bands * options_.minhash_rows);
+}
+
+Status ModelLake::PersistGraph() {
+  return catalog_->PutDoc("graph", "main", graph_.ToJson());
+}
+
+Status ModelLake::IndexModel(const std::string& id,
+                             const metadata::ModelCard& card,
+                             const std::vector<float>& embedding) {
+  bm25_.Add(id, card.SearchText());
+  int64_t internal = static_cast<int64_t>(ann_ids_.size());
+  ann_ids_.push_back(id);
+  return ann_->Add(internal, embedding);
+}
+
+Result<std::string> ModelLake::IngestModel(const nn::Model& model,
+                                           const metadata::ModelCard& card) {
+  if (card.model_id.empty()) {
+    return Status::InvalidArgument("card.model_id is required");
+  }
+  if (catalog_->Contains("model", card.model_id)) {
+    return Status::AlreadyExists("model already in lake: " + card.model_id);
+  }
+  std::vector<std::string> problems = metadata::ValidateCard(card);
+  if (!problems.empty()) {
+    // Lakes accept imperfect documentation (that is the paper's reality)
+    // but reject structurally broken cards.
+    for (const std::string& p : problems) {
+      if (p.find("model_id") != std::string::npos) {
+        return Status::InvalidArgument("invalid card: " + p);
+      }
+    }
+  }
+  if (model.spec().input_dim != options_.input_dim ||
+      model.spec().num_classes != options_.num_classes) {
+    return Status::InvalidArgument(
+        "model io dims do not match this lake's shared input/output space");
+  }
+
+  // 1. Artifact -> blob store (content addressed; dedups identical θ).
+  Json meta = Json::MakeObject();
+  meta.Set("model_id", card.model_id);
+  storage::ModelArtifact artifact = storage::ArtifactFromModel(model, meta);
+  std::string bytes = storage::SerializeArtifact(artifact);
+  MLAKE_ASSIGN_OR_RETURN(std::string digest, blobs_->Put(bytes));
+
+  // 2. Embedding.
+  MLAKE_ASSIGN_OR_RETURN(
+      std::vector<float> embedding,
+      embedder_->Embed(const_cast<nn::Model*>(&model)));
+
+  // 3. Catalog docs.
+  Json model_doc = Json::MakeObject();
+  model_doc.Set("artifact_digest", digest);
+  model_doc.Set("arch", model.spec().ToJson());
+  model_doc.Set("num_params", model.spec().input_dim == 0
+                                  ? Json(0)
+                                  : Json(model.NumParams()));
+  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("model", card.model_id, model_doc));
+  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("card", card.model_id, card.ToJson()));
+  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("embedding", card.model_id,
+                                       FloatsToJson(embedding)));
+
+  // 4. Indices + graph node.
+  MLAKE_RETURN_NOT_OK(IndexModel(card.model_id, card, embedding));
+  graph_.AddModel(card.model_id);
+  MLAKE_RETURN_NOT_OK(PersistGraph());
+  return card.model_id;
+}
+
+Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
+    const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+  std::string digest = model_doc.GetString("artifact_digest");
+  if (digest.empty()) return Status::Corruption("model doc missing digest");
+  MLAKE_ASSIGN_OR_RETURN(std::string bytes, blobs_->Get(digest));
+  MLAKE_ASSIGN_OR_RETURN(storage::ModelArtifact artifact,
+                         storage::ParseArtifact(bytes));
+  return storage::ModelFromArtifact(artifact);
+}
+
+Status ModelLake::UpdateCard(const metadata::ModelCard& card) {
+  if (!catalog_->Contains("model", card.model_id)) {
+    return Status::NotFound("model not in lake: " + card.model_id);
+  }
+  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("card", card.model_id, card.ToJson()));
+  bm25_.Add(card.model_id, card.SearchText());  // replaces
+  return Status::OK();
+}
+
+std::vector<std::string> ModelLake::ListModels() const {
+  return catalog_->ListIds("model");
+}
+
+Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
+  std::vector<std::string> corrupted;
+  for (const std::string& id : ListModels()) {
+    MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+    std::string digest = model_doc.GetString("artifact_digest");
+    auto bytes = blobs_->Get(digest);
+    if (!bytes.ok()) {
+      corrupted.push_back(id);
+      continue;
+    }
+    if (!storage::ParseArtifact(bytes.ValueUnsafe()).ok()) {
+      corrupted.push_back(id);
+    }
+  }
+  return corrupted;
+}
+
+// -------------------------------------------------------------- datasets
+
+Status ModelLake::RegisterDataset(const std::string& name,
+                                  const std::vector<std::string>& shards) {
+  if (name.empty() || shards.empty()) {
+    return Status::InvalidArgument("dataset needs a name and shards");
+  }
+  if (catalog_->Contains("dataset", name)) {
+    return Status::AlreadyExists("dataset already registered: " + name);
+  }
+  Json doc = Json::MakeObject();
+  Json arr = Json::MakeArray();
+  for (const std::string& s : shards) arr.Append(Json(s));
+  doc.Set("shards", std::move(arr));
+  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("dataset", name, doc));
+  return dataset_lsh_->Add(name, DatasetSignature(shards));
+}
+
+Result<std::vector<std::string>> ModelLake::DatasetShards(
+    const std::string& name) const {
+  MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("dataset", name));
+  std::vector<std::string> shards;
+  if (const Json* arr = doc.Find("shards");
+      arr != nullptr && arr->is_array()) {
+    for (const Json& s : arr->AsArray()) {
+      if (s.is_string()) shards.push_back(s.AsString());
+    }
+  }
+  return shards;
+}
+
+std::vector<std::string> ModelLake::ListDatasets() const {
+  return catalog_->ListIds("dataset");
+}
+
+// --------------------------------------------------------------- lineage
+
+Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
+  MLAKE_RETURN_NOT_OK(graph_.AddEdge(edge));
+  return PersistGraph();
+}
+
+Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
+    const versioning::HeritageConfig& config) const {
+  std::vector<versioning::WeightSummary> summaries;
+  for (const std::string& id : ListModels()) {
+    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model, LoadModel(id));
+    versioning::WeightSummary summary;
+    summary.id = id;
+    summary.arch_signature = model->spec().Signature();
+    summary.flat_weights = model->FlattenParams();
+    summaries.push_back(std::move(summary));
+  }
+  return versioning::RecoverHeritage(summaries, config);
+}
+
+// ---------------------------------------------------------------- search
+
+Result<search::QueryResult> ModelLake::Query(std::string_view mlql) const {
+  return search::ExecuteQuery(*this, mlql);
+}
+
+Result<std::vector<search::RankedModel>> ModelLake::RelatedModels(
+    const std::string& id, size_t k) const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query, EmbeddingFor(id));
+  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModels(query, k + 1));
+  std::vector<search::RankedModel> out;
+  for (const auto& [other, distance] : neighbors) {
+    if (other == id) continue;
+    if (out.size() >= k) break;
+    out.push_back(search::RankedModel{other, 1.0 - distance});
+  }
+  return out;
+}
+
+Result<std::vector<search::RankedModel>> ModelLake::HybridSearch(
+    const std::string& text, const std::string& query_model_id,
+    size_t k) const {
+  // Escape single quotes for MLQL string literals.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      out.push_back(c);
+      if (c == '\'') out.push_back('\'');
+    }
+    return out;
+  };
+  MLAKE_ASSIGN_OR_RETURN(
+      search::QueryResult result,
+      Query(StrFormat("FIND MODELS RANK BY hybrid('%s', '%s') LIMIT %zu",
+                      escape(text).c_str(), escape(query_model_id).c_str(),
+                      k)));
+  return result.models;
+}
+
+std::vector<std::string> ModelLake::AllModelIds() const {
+  return ListModels();
+}
+
+Result<metadata::ModelCard> ModelLake::CardFor(const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("card", id));
+  return metadata::ModelCard::FromJson(doc);
+}
+
+Result<std::vector<float>> ModelLake::EmbeddingFor(
+    const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("embedding", id));
+  return FloatsFromJson(doc);
+}
+
+Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
+    const std::vector<float>& query, size_t k) const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<index::Neighbor> hits,
+                         ann_->Search(query, k));
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(hits.size());
+  for (const index::Neighbor& n : hits) {
+    out.emplace_back(ann_ids_[static_cast<size_t>(n.id)], n.distance);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, double>>> ModelLake::KeywordScores(
+    const std::string& text, size_t k) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const index::TextHit& hit : bm25_.Search(text, k)) {
+    out.emplace_back(hit.doc_id, hit.score);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, double>>> ModelLake::TrainedOn(
+    const std::string& dataset, double min_overlap) const {
+  // Resolve the query dataset to the set of datasets overlapping it.
+  std::map<std::string, double> related_datasets;
+  related_datasets[dataset] = 1.0;
+  if (catalog_->Contains("dataset", dataset)) {
+    MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
+                           DatasetShards(dataset));
+    for (const auto& hit :
+         dataset_lsh_->Query(DatasetSignature(shards), min_overlap)) {
+      auto it = related_datasets.find(hit.id);
+      if (it == related_datasets.end() || it->second < hit.jaccard) {
+        related_datasets[hit.id] = hit.jaccard;
+      }
+    }
+  }
+  // Models whose cards claim training on any related dataset.
+  std::vector<std::pair<std::string, double>> out;
+  for (const std::string& id : ListModels()) {
+    auto card = CardFor(id);
+    if (!card.ok()) continue;
+    double best = 0.0;
+    for (const std::string& trained : card.ValueUnsafe().training_datasets) {
+      auto it = related_datasets.find(trained);
+      if (it != related_datasets.end()) best = std::max(best, it->second);
+    }
+    if (best >= min_overlap || best == 1.0) {
+      if (best > 0.0) out.emplace_back(id, best);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+bool ModelLake::IsDescendantOf(const std::string& id,
+                               const std::string& ancestor) const {
+  if (!graph_.HasModel(ancestor)) return false;
+  std::vector<std::string> descendants = graph_.Descendants(ancestor);
+  return std::find(descendants.begin(), descendants.end(), id) !=
+         descendants.end();
+}
+
+// ----------------------------------------------------------- benchmarking
+
+Status ModelLake::RegisterBenchmark(const std::string& name,
+                                    nn::Dataset data) {
+  if (name.empty()) return Status::InvalidArgument("benchmark needs a name");
+  if (data.size() == 0) return Status::InvalidArgument("empty benchmark");
+  if (benchmarks_.count(name) > 0) {
+    return Status::AlreadyExists("benchmark exists: " + name);
+  }
+  benchmarks_[name] = std::move(data);
+  return Status::OK();
+}
+
+std::vector<std::string> ModelLake::ListBenchmarks() const {
+  std::vector<std::string> names;
+  for (const auto& [name, data] : benchmarks_) names.push_back(name);
+  return names;
+}
+
+Result<double> ModelLake::EvaluateModel(const std::string& id,
+                                        const std::string& benchmark) const {
+  auto it = benchmarks_.find(benchmark);
+  if (it == benchmarks_.end()) {
+    return Status::NotFound("benchmark not registered: " + benchmark);
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model, LoadModel(id));
+  return nn::EvaluateAccuracy(model.get(), it->second);
+}
+
+// ----------------------------------------------------------- applications
+
+Result<metadata::ModelCard> ModelLake::GenerateCard(
+    const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardFor(id));
+  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+
+  // Intrinsics: always recoverable from the artifact.
+  if (const Json* arch = model_doc.Find("arch"); arch != nullptr) {
+    auto spec = nn::ArchSpec::FromJson(*arch);
+    if (spec.ok()) card.architecture = spec.ValueUnsafe().Signature();
+  }
+  card.num_params = model_doc.GetInt64("num_params", card.num_params);
+
+  // Lineage: the recorded version graph is authoritative when present.
+  std::vector<std::string> parents = graph_.Parents(id);
+  if (!parents.empty()) {
+    for (const versioning::VersionEdge& e : graph_.Edges()) {
+      if (e.child == id) {
+        card.lineage.base_model_id = e.parent;
+        card.lineage.method = std::string(
+            versioning::EdgeTypeToString(e.type));
+        break;
+      }
+    }
+  }
+
+  // Task and training data: if missing, infer by majority vote over the
+  // behaviorally nearest documented models (content-based annotation).
+  // Inferred fields are flagged so reviewers can tell drafted values
+  // from creator-provided ones.
+  if (card.task.empty() || card.training_datasets.empty()) {
+    auto related = RelatedModels(id, 5);
+    if (related.ok()) {
+      std::map<std::string, int> task_votes;
+      std::map<std::string, int> dataset_votes;
+      for (const search::RankedModel& r : related.ValueUnsafe()) {
+        auto other = CardFor(r.id);
+        if (!other.ok()) continue;
+        if (!other.ValueUnsafe().task.empty()) {
+          ++task_votes[other.ValueUnsafe().task];
+        }
+        for (const std::string& d : other.ValueUnsafe().training_datasets) {
+          ++dataset_votes[d];
+        }
+      }
+      auto winner = [](const std::map<std::string, int>& votes,
+                       int min_votes) {
+        std::string best;
+        int best_votes = 0;
+        for (const auto& [key, n] : votes) {
+          if (n > best_votes) {
+            best = key;
+            best_votes = n;
+          }
+        }
+        return best_votes >= min_votes ? best : std::string();
+      };
+      if (card.task.empty()) {
+        std::string task = winner(task_votes, 2);
+        if (!task.empty()) {
+          card.task = task;
+          card.tags.push_back("task-inferred-from-lake");
+        }
+      }
+      if (card.training_datasets.empty()) {
+        std::string dataset = winner(dataset_votes, 2);
+        if (!dataset.empty()) {
+          card.training_datasets.push_back(dataset);
+          card.tags.push_back("training-data-inferred-from-lake");
+          card.risk_notes.push_back(
+              "training data inferred from related models, not verified");
+        }
+      }
+    }
+  }
+
+  // Metrics: evaluate on every registered benchmark.
+  for (const auto& [name, data] : benchmarks_) {
+    bool already = false;
+    for (const metadata::MetricEntry& m : card.metrics) {
+      if (m.benchmark == name && m.metric == "accuracy") already = true;
+    }
+    if (already) continue;
+    auto acc = EvaluateModel(id, name);
+    if (acc.ok()) {
+      card.metrics.push_back(
+          metadata::MetricEntry{name, "accuracy", acc.ValueUnsafe()});
+    }
+  }
+
+  // Intended use / risks from what the lake now knows.
+  if (card.intended_use.empty() && !card.task.empty()) {
+    card.intended_use.push_back("classification for task family '" +
+                                card.task + "'");
+  }
+  for (const metadata::MetricEntry& m : card.metrics) {
+    if (m.metric == "accuracy" && m.value < 0.5) {
+      card.risk_notes.push_back("low accuracy (" +
+                                StrFormat("%.2f", m.value) + ") on " +
+                                m.benchmark);
+    }
+  }
+  std::vector<std::string> children = graph_.Children(id);
+  if (!children.empty()) {
+    card.risk_notes.push_back(StrFormat(
+        "%zu downstream model(s) derive from this model; defects propagate",
+        children.size()));
+  }
+  if (card.description.empty()) {
+    card.description = StrFormat(
+        "Auto-generated: %s model with %lld parameters%s.",
+        card.architecture.c_str(),
+        static_cast<long long>(card.num_params),
+        card.task.empty() ? ""
+                          : (" for task '" + card.task + "'").c_str());
+  }
+  return card;
+}
+
+Result<Json> ModelLake::AuditModel(const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardFor(id));
+  Json report = Json::MakeObject();
+  report.Set("model_id", id);
+  report.Set("card_completeness", metadata::CompletenessScore(card));
+  Json problems = Json::MakeArray();
+  for (const std::string& p : metadata::ValidateCard(card)) {
+    problems.Append(Json(p));
+  }
+  report.Set("card_problems", std::move(problems));
+  report.Set("documents_training_data", !card.training_datasets.empty());
+  report.Set("documents_metrics", !card.metrics.empty());
+  report.Set("documents_risks", !card.risk_notes.empty());
+
+  // Lineage consistency: does the card's claim match the recorded graph?
+  std::vector<std::string> parents = graph_.Parents(id);
+  bool recorded = !parents.empty();
+  report.Set("lineage_recorded", recorded);
+  bool consistent = true;
+  if (!card.lineage.base_model_id.empty()) {
+    consistent = std::find(parents.begin(), parents.end(),
+                           card.lineage.base_model_id) != parents.end();
+  }
+  report.Set("lineage_claim_consistent", consistent);
+
+  // Artifact integrity.
+  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+  std::string digest = model_doc.GetString("artifact_digest");
+  bool intact = blobs_->Get(digest).ok();
+  report.Set("artifact_intact", intact);
+
+  // Benchmark coverage.
+  report.Set("benchmarks_reported", card.metrics.size());
+
+  // Overall: a model "passes" audit when its artifact is intact, its
+  // lineage claim (if any) is consistent, and it documents training
+  // data.
+  report.Set("passes",
+             intact && consistent && !card.training_datasets.empty());
+  return report;
+}
+
+Result<Json> ModelLake::Cite(const std::string& id) const {
+  if (!catalog_->Contains("model", id)) {
+    return Status::NotFound("model not in lake: " + id);
+  }
+  Json citation = Json::MakeObject();
+  citation.Set("model_id", id);
+  citation.Set("graph_revision", graph_.revision());
+
+  // Lineage path from the deepest root.
+  std::vector<std::string> path;
+  std::string current = id;
+  while (true) {
+    path.push_back(current);
+    std::vector<std::string> parents = graph_.Parents(current);
+    if (parents.empty()) break;
+    current = parents.front();  // deterministic: lexicographically first
+  }
+  std::reverse(path.begin(), path.end());
+  Json path_json = Json::MakeArray();
+  for (const std::string& p : path) path_json.Append(Json(p));
+  citation.Set("lineage_path", std::move(path_json));
+
+  auto card = CardFor(id);
+  std::string creator =
+      card.ok() ? card.ValueUnsafe().creator : std::string();
+  citation.Set(
+      "text",
+      StrFormat("%s%s. Model Lake catalog, version-graph revision %llu. "
+                "Lineage: %s.",
+                creator.empty() ? "" : (creator + ". ").c_str(), id.c_str(),
+                static_cast<unsigned long long>(graph_.revision()),
+                Join(path, " -> ").c_str()));
+  return citation;
+}
+
+}  // namespace mlake::core

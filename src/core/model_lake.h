@@ -1,0 +1,203 @@
+#ifndef MLAKE_CORE_MODEL_LAKE_H_
+#define MLAKE_CORE_MODEL_LAKE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "embed/embedder.h"
+#include "index/hnsw_index.h"
+#include "index/inverted_index.h"
+#include "index/minhash_lsh.h"
+#include "metadata/model_card.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "search/context.h"
+#include "search/executor.h"
+#include "storage/blob_store.h"
+#include "storage/catalog.h"
+#include "storage/model_artifact.h"
+#include "versioning/heritage.h"
+#include "versioning/model_graph.h"
+
+namespace mlake::core {
+
+/// Configuration of a lake instance.
+///
+/// All models in one lake share an input space (input_dim) and output
+/// arity (num_classes) so that the extrinsic probe set is meaningful
+/// across the lake — the benchmark-lake simplification documented in
+/// DESIGN.md.
+struct LakeOptions {
+  std::string root;
+
+  int64_t input_dim = 32;
+  int64_t num_classes = 8;
+
+  /// Shared extrinsic probe set.
+  size_t probe_count = 24;
+  uint64_t probe_seed = 20250325;
+
+  /// Model embedder used for the ANN index: "behavioral",
+  /// "weight_stats" or "fisher".
+  std::string embedder = "behavioral";
+
+  index::HnswConfig hnsw;
+
+  /// MinHash/LSH sizing for dataset-overlap search. 32 bands x 2 rows
+  /// keeps recall high down to Jaccard ~0.3 (sibling-domain overlap).
+  size_t minhash_bands = 32;
+  size_t minhash_rows = 2;
+};
+
+/// The model lake (paper Figure 2): content-addressed model storage, a
+/// JSON metadata catalog, model embeddings with an ANN index, keyword
+/// search over cards, dataset-overlap search, a version graph, and the
+/// application layer (MLQL queries, related-model search, documentation
+/// generation, auditing, citation, benchmarking).
+class ModelLake : public search::SearchContext {
+ public:
+  /// Opens (or creates) a lake at options.root, rebuilding in-memory
+  /// indices from the catalog.
+  static Result<std::unique_ptr<ModelLake>> Open(LakeOptions options);
+
+  ModelLake(const ModelLake&) = delete;
+  ModelLake& operator=(const ModelLake&) = delete;
+
+  // ------------------------------------------------------------ ingest
+
+  /// Stores the model artifact (content-addressed), the card, the
+  /// embedding, and updates every index. The card's model_id names the
+  /// model and must be unique in the lake.
+  Result<std::string> IngestModel(const nn::Model& model,
+                                  const metadata::ModelCard& card);
+
+  /// Reconstructs the live model from its stored artifact.
+  Result<std::unique_ptr<nn::Model>> LoadModel(const std::string& id) const;
+
+  Status UpdateCard(const metadata::ModelCard& card);
+
+  std::vector<std::string> ListModels() const;
+  size_t NumModels() const { return catalog_->CountKind("model"); }
+
+  /// Verifies every stored artifact against its digest; returns the ids
+  /// of corrupted models (empty = healthy).
+  Result<std::vector<std::string>> FsckArtifacts() const;
+
+  // ---------------------------------------------------------- datasets
+
+  /// Registers a dataset (its shard ids) for overlap search.
+  Status RegisterDataset(const std::string& name,
+                         const std::vector<std::string>& shards);
+  Result<std::vector<std::string>> DatasetShards(
+      const std::string& name) const;
+  std::vector<std::string> ListDatasets() const;
+
+  // ----------------------------------------------------------- lineage
+
+  /// Records a ground-truth derivation edge and persists the graph.
+  Status RecordEdge(const versioning::VersionEdge& edge);
+
+  const versioning::ModelGraph& graph() const { return graph_; }
+
+  /// Reconstructs lineage from stored weights alone (no history).
+  Result<versioning::HeritageResult> RecoverHeritage(
+      const versioning::HeritageConfig& config = {}) const;
+
+  // ------------------------------------------------------------ search
+
+  /// Executes an MLQL query.
+  Result<search::QueryResult> Query(std::string_view mlql) const;
+
+  /// Model-as-query related-model search via the ANN index.
+  Result<std::vector<search::RankedModel>> RelatedModels(
+      const std::string& id, size_t k) const;
+
+  /// Hybrid search (§5 roadmap): reciprocal-rank fusion of BM25 keyword
+  /// relevance and embedding similarity to `query_model_id`. Robust to
+  /// card rot on one side and embedding blind spots on the other.
+  Result<std::vector<search::RankedModel>> HybridSearch(
+      const std::string& text, const std::string& query_model_id,
+      size_t k) const;
+
+  // SearchContext implementation (used by the MLQL executor).
+  std::vector<std::string> AllModelIds() const override;
+  Result<metadata::ModelCard> CardFor(const std::string& id) const override;
+  Result<std::vector<float>> EmbeddingFor(
+      const std::string& id) const override;
+  Result<std::vector<std::pair<std::string, float>>> NearestModels(
+      const std::vector<float>& query, size_t k) const override;
+  Result<std::vector<std::pair<std::string, double>>> KeywordScores(
+      const std::string& text, size_t k) const override;
+  Result<std::vector<std::pair<std::string, double>>> TrainedOn(
+      const std::string& dataset, double min_overlap) const override;
+  bool IsDescendantOf(const std::string& id,
+                      const std::string& ancestor) const override;
+
+  // ------------------------------------------------------ benchmarking
+
+  /// Registers an evaluation dataset under a benchmark name (in-memory;
+  /// benchmark suites are regenerable from task specs).
+  Status RegisterBenchmark(const std::string& name, nn::Dataset data);
+  std::vector<std::string> ListBenchmarks() const;
+
+  /// Accuracy of a stored model on a registered benchmark.
+  Result<double> EvaluateModel(const std::string& id,
+                               const std::string& benchmark) const;
+
+  // ------------------------------------------------------ applications
+
+  /// Documentation generation (paper §6): drafts a card for `id` from
+  /// lake analyses — architecture/size from the artifact, metrics from
+  /// registered benchmarks, lineage from the version graph, task/tags
+  /// inferred by majority vote over behaviorally-nearest documented
+  /// models.
+  Result<metadata::ModelCard> GenerateCard(const std::string& id) const;
+
+  /// Auditing (paper §6): evidence-backed questionnaire answers about
+  /// documentation completeness, lineage consistency, artifact
+  /// integrity and benchmark coverage.
+  Result<Json> AuditModel(const std::string& id) const;
+
+  /// Citation (paper §6): a citation pinned to the current version-graph
+  /// revision; changes exactly when the graph changes.
+  Result<Json> Cite(const std::string& id) const;
+
+  // ------------------------------------------------------------- misc
+
+  const Tensor& probes() const { return probes_; }
+  const LakeOptions& options() const { return options_; }
+  storage::Catalog* catalog() { return catalog_.get(); }
+
+ private:
+  explicit ModelLake(LakeOptions options) : options_(std::move(options)) {}
+
+  Status Initialize();
+  Status RebuildIndices();
+  Status PersistGraph();
+  Status IndexModel(const std::string& id, const metadata::ModelCard& card,
+                    const std::vector<float>& embedding);
+  index::MinHashSignature DatasetSignature(
+      const std::vector<std::string>& shards) const;
+
+  LakeOptions options_;
+  std::unique_ptr<storage::BlobStore> blobs_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<embed::ModelEmbedder> embedder_;
+  Tensor probes_;
+
+  std::unique_ptr<index::HnswIndex> ann_;
+  std::vector<std::string> ann_ids_;  // ANN internal id -> model id
+  index::InvertedIndex bm25_;
+  std::unique_ptr<index::MinHashLsh> dataset_lsh_;
+
+  versioning::ModelGraph graph_;
+  std::map<std::string, nn::Dataset> benchmarks_;
+};
+
+}  // namespace mlake::core
+
+#endif  // MLAKE_CORE_MODEL_LAKE_H_

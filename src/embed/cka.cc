@@ -1,0 +1,88 @@
+#include "embed/cka.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mlake::embed {
+
+namespace {
+
+/// Centers columns in place.
+void CenterColumns(Tensor* m) {
+  int64_t rows = m->dim(0), cols = m->dim(1);
+  for (int64_t j = 0; j < cols; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < rows; ++i) mean += m->At(i, j);
+    mean /= static_cast<double>(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      m->At(i, j) -= static_cast<float>(mean);
+    }
+  }
+}
+
+/// Squared Frobenius norm of A^T B for column-centered A [n,p], B [n,q].
+double CrossFrobeniusSq(const Tensor& a, const Tensor& b) {
+  Tensor cross = MatMulTransposedA(a, b);  // [p, q]
+  double acc = 0.0;
+  for (float v : cross.storage()) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+/// Index of the final linear layer, or -1.
+int FindHead(nn::Model* model) {
+  int last = -1;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") last = static_cast<int>(i);
+  }
+  return last;
+}
+
+}  // namespace
+
+Result<double> LinearCka(const Tensor& x, const Tensor& y) {
+  if (x.rank() != 2 || y.rank() != 2) {
+    return Status::InvalidArgument("LinearCka: inputs must be matrices");
+  }
+  if (x.dim(0) != y.dim(0)) {
+    return Status::InvalidArgument(
+        "LinearCka: representations must cover the same examples");
+  }
+  if (x.dim(0) < 2) {
+    return Status::InvalidArgument("LinearCka: need at least 2 examples");
+  }
+  Tensor xc = x;
+  Tensor yc = y;
+  CenterColumns(&xc);
+  CenterColumns(&yc);
+  double numerator = CrossFrobeniusSq(xc, yc);
+  double x_norm = std::sqrt(CrossFrobeniusSq(xc, xc));
+  double y_norm = std::sqrt(CrossFrobeniusSq(yc, yc));
+  if (x_norm < 1e-12 || y_norm < 1e-12) {
+    return 0.0;  // a constant representation matches nothing
+  }
+  return numerator / (x_norm * y_norm);
+}
+
+Result<double> RepresentationSimilarity(nn::Model* a, nn::Model* b,
+                                        const Tensor& probes) {
+  if (probes.rank() != 2) {
+    return Status::InvalidArgument("probes must be [n, dim]");
+  }
+  if (a->spec().input_dim != probes.dim(1) ||
+      b->spec().input_dim != probes.dim(1)) {
+    return Status::InvalidArgument(
+        "RepresentationSimilarity: probe dim does not match the models");
+  }
+  int head_a = FindHead(a);
+  int head_b = FindHead(b);
+  if (head_a < 0 || head_b < 0) {
+    return Status::FailedPrecondition(
+        "RepresentationSimilarity: models need a linear head");
+  }
+  Tensor hidden_a = a->ForwardUpTo(probes, static_cast<size_t>(head_a));
+  Tensor hidden_b = b->ForwardUpTo(probes, static_cast<size_t>(head_b));
+  return LinearCka(hidden_a, hidden_b);
+}
+
+}  // namespace mlake::embed

@@ -1,0 +1,32 @@
+#ifndef MLAKE_EMBED_CKA_H_
+#define MLAKE_EMBED_CKA_H_
+
+#include "common/result.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace mlake::embed {
+
+/// Linear Centered Kernel Alignment between two activation matrices
+/// X [n, p1] and Y [n, p2] over the same n inputs:
+///
+///   CKA(X, Y) = ||Xc^T Yc||_F^2 / (||Xc^T Xc||_F ||Yc^T Yc||_F)
+///
+/// (columns centered). Value in [0, 1]; invariant to orthogonal
+/// transformations and isotropic scaling of either representation, which
+/// is what makes it the standard tool for comparing hidden
+/// representations across *different* networks — the "representation
+/// analysis" of the paper's §3 attribution discussion (intrinsic
+/// viewpoint) usable even across architectures with different widths.
+Result<double> LinearCka(const Tensor& x, const Tensor& y);
+
+/// CKA between the final hidden representations (input of the last
+/// linear layer) of two models on a shared probe set. Unlike weight
+/// distance, this works across architectures and is invariant to neuron
+/// permutations.
+Result<double> RepresentationSimilarity(nn::Model* a, nn::Model* b,
+                                        const Tensor& probes);
+
+}  // namespace mlake::embed
+
+#endif  // MLAKE_EMBED_CKA_H_

@@ -1,0 +1,169 @@
+#include "embed/embedder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mlake::embed {
+
+void L2NormalizeInPlace(std::vector<float>* v) {
+  double norm_sq = 0.0;
+  for (float x : *v) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq <= 0.0) return;
+  float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : *v) x *= inv;
+}
+
+// ----------------------------------------------------- BehavioralEmbedder
+
+BehavioralEmbedder::BehavioralEmbedder(Tensor probes, int64_t num_classes)
+    : probes_(std::move(probes)), num_classes_(num_classes) {
+  MLAKE_CHECK(probes_.rank() == 2) << "probes must be [n, dim]";
+  MLAKE_CHECK(num_classes_ > 0) << "num_classes";
+}
+
+Result<std::vector<float>> BehavioralEmbedder::Embed(nn::Model* model) const {
+  if (model->spec().input_dim != probes_.dim(1)) {
+    return Status::InvalidArgument(
+        "BehavioralEmbedder: model input dim does not match probe set");
+  }
+  if (model->spec().num_classes != num_classes_) {
+    return Status::InvalidArgument(
+        "BehavioralEmbedder: model class count does not match lake");
+  }
+  Tensor logits = model->Forward(probes_, /*training=*/false);
+  Tensor probs = RowSoftmax(logits);
+  std::vector<float> out(probs.data(), probs.data() + probs.NumElements());
+  L2NormalizeInPlace(&out);
+  return out;
+}
+
+// ---------------------------------------------------- WeightStatsEmbedder
+
+WeightStatsEmbedder::WeightStatsEmbedder(size_t max_layers)
+    : max_layers_(max_layers) {
+  MLAKE_CHECK(max_layers_ > 0) << "max_layers";
+}
+
+Result<std::vector<float>> WeightStatsEmbedder::Embed(
+    nn::Model* model) const {
+  std::vector<float> out(max_layers_ * kStatsPerLayer, 0.0f);
+  std::vector<nn::Param*> params = model->Params();
+  size_t slot = 0;
+  for (nn::Param* p : params) {
+    if (slot >= max_layers_) break;
+    const std::vector<float>& w = p->value.storage();
+    if (w.empty()) continue;
+    double n = static_cast<double>(w.size());
+    double mean = 0.0;
+    for (float v : w) mean += v;
+    mean /= n;
+    double var = 0.0, abs_mean = 0.0, fourth = 0.0, sum_sq = 0.0;
+    for (float v : w) {
+      double d = v - mean;
+      var += d * d;
+      fourth += d * d * d * d;
+      abs_mean += std::fabs(v);
+      sum_sq += static_cast<double>(v) * v;
+    }
+    var /= n;
+    abs_mean /= n;
+    fourth /= n;
+    double kurtosis = var > 1e-20 ? fourth / (var * var) : 0.0;
+    float* s = out.data() + slot * kStatsPerLayer;
+    s[0] = static_cast<float>(mean);
+    s[1] = static_cast<float>(std::sqrt(var));
+    s[2] = static_cast<float>(abs_mean);
+    s[3] = static_cast<float>(kurtosis);
+    s[4] = static_cast<float>(std::sqrt(sum_sq));
+    ++slot;
+  }
+  L2NormalizeInPlace(&out);
+  return out;
+}
+
+// --------------------------------------------------------- FisherEmbedder
+
+FisherEmbedder::FisherEmbedder(Tensor probes, int64_t num_classes)
+    : probes_(std::move(probes)), num_classes_(num_classes) {
+  MLAKE_CHECK(probes_.rank() == 2) << "probes must be [n, dim]";
+}
+
+Result<std::vector<float>> FisherEmbedder::Embed(nn::Model* model) const {
+  if (model->spec().input_dim != probes_.dim(1)) {
+    return Status::InvalidArgument(
+        "FisherEmbedder: model input dim does not match probe set");
+  }
+  if (model->spec().num_classes != num_classes_) {
+    return Status::InvalidArgument(
+        "FisherEmbedder: model class count does not match lake");
+  }
+  // Find the final linear layer; the "hidden" feature is its input.
+  int last_linear = -1;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      last_linear = static_cast<int>(i);
+    }
+  }
+  if (last_linear < 0) {
+    return Status::FailedPrecondition("FisherEmbedder: no linear head");
+  }
+  Tensor hidden = model->ForwardUpTo(probes_,
+                                     static_cast<size_t>(last_linear));
+  Tensor logits = model->Forward(probes_, /*training=*/false);
+  Tensor probs = RowSoftmax(logits);
+
+  int64_t n = probes_.dim(0);
+  int64_t h_dim = hidden.dim(1);
+  // Diagonal Fisher of head weights W_cj under the model's own
+  // distribution: F_cj = E_x[ p_c (1 - p_c) h_j^2 ]. Summarize per class
+  // by mean, max and log-trace over j.
+  std::vector<float> out(static_cast<size_t>(num_classes_ * kStatsPerClass),
+                         0.0f);
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    double mean_f = 0.0, max_f = 0.0, trace = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double pc = probs.At(i, c);
+      double coeff = pc * (1.0 - pc);
+      double row_sum = 0.0, row_max = 0.0;
+      for (int64_t j = 0; j < h_dim; ++j) {
+        double f = coeff * static_cast<double>(hidden.At(i, j)) *
+                   hidden.At(i, j);
+        row_sum += f;
+        row_max = std::max(row_max, f);
+      }
+      mean_f += row_sum / static_cast<double>(h_dim);
+      max_f = std::max(max_f, row_max);
+      trace += row_sum;
+    }
+    mean_f /= static_cast<double>(n);
+    trace /= static_cast<double>(n);
+    float* s = out.data() + c * kStatsPerClass;
+    s[0] = static_cast<float>(mean_f);
+    s[1] = static_cast<float>(max_f);
+    s[2] = static_cast<float>(std::log1p(trace));
+  }
+  L2NormalizeInPlace(&out);
+  return out;
+}
+
+// ----------------------------------------------------------------- Factory
+
+Result<std::unique_ptr<ModelEmbedder>> MakeEmbedder(
+    const std::string& name, const Tensor& probes, int64_t num_classes) {
+  if (name == "behavioral") {
+    return std::unique_ptr<ModelEmbedder>(
+        new BehavioralEmbedder(probes, num_classes));
+  }
+  if (name == "weight_stats") {
+    return std::unique_ptr<ModelEmbedder>(new WeightStatsEmbedder());
+  }
+  if (name == "fisher") {
+    return std::unique_ptr<ModelEmbedder>(
+        new FisherEmbedder(probes, num_classes));
+  }
+  return Status::InvalidArgument("unknown embedder: " + name);
+}
+
+}  // namespace mlake::embed

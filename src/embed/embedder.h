@@ -1,0 +1,101 @@
+#ifndef MLAKE_EMBED_EMBEDDER_H_
+#define MLAKE_EMBED_EMBEDDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/model.h"
+
+namespace mlake::embed {
+
+/// Maps a model to a fixed-length vector so the lake's ANN index can
+/// compare models — the paper's §5 "Indexer" requires "effective
+/// embedding of models ... crucial for accurate comparison and ranking".
+///
+/// The three implementations realize the three viewpoints of Figure 1:
+///   - BehavioralEmbedder:   extrinsic (p_θ on a shared probe set)
+///   - WeightStatsEmbedder:  intrinsic (statistics of θ per layer)
+///   - FisherEmbedder:       intrinsic×task (Task2Vec-style diagonal
+///                           Fisher information of the classifier head)
+class ModelEmbedder {
+ public:
+  virtual ~ModelEmbedder() = default;
+
+  /// Embedding vector; always `Dim()` long and L2-normalized.
+  virtual Result<std::vector<float>> Embed(nn::Model* model) const = 0;
+
+  virtual int64_t Dim() const = 0;
+
+  /// Stable name recorded in the lake config ("behavioral", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Extrinsic embedding: concatenated softmax outputs on a fixed probe
+/// set. Works for any model exposing the shared input space; requires
+/// no access to weights or history (the pure black-box case).
+class BehavioralEmbedder : public ModelEmbedder {
+ public:
+  /// `probes` is [n, input_dim]; embedding dim = n * num_classes.
+  BehavioralEmbedder(Tensor probes, int64_t num_classes);
+
+  Result<std::vector<float>> Embed(nn::Model* model) const override;
+  int64_t Dim() const override { return probes_.dim(0) * num_classes_; }
+  std::string_view name() const override { return "behavioral"; }
+
+  const Tensor& probes() const { return probes_; }
+
+ private:
+  Tensor probes_;
+  int64_t num_classes_;
+};
+
+/// Intrinsic embedding: per-layer weight statistics (mean, std, abs
+/// mean, kurtosis, L2 norm) for up to `max_layers` parameter tensors,
+/// zero-padded. Cheap, needs weights only, blind to behavior.
+class WeightStatsEmbedder : public ModelEmbedder {
+ public:
+  explicit WeightStatsEmbedder(size_t max_layers = 16);
+
+  Result<std::vector<float>> Embed(nn::Model* model) const override;
+  int64_t Dim() const override {
+    return static_cast<int64_t>(max_layers_ * kStatsPerLayer);
+  }
+  std::string_view name() const override { return "weight_stats"; }
+
+  static constexpr size_t kStatsPerLayer = 5;
+
+ private:
+  size_t max_layers_;
+};
+
+/// Task2Vec-style embedding: diagonal Fisher information of the final
+/// linear layer, estimated on a probe set under the model's own output
+/// distribution, summarized per class. Combines intrinsic access with
+/// extrinsic probing.
+class FisherEmbedder : public ModelEmbedder {
+ public:
+  FisherEmbedder(Tensor probes, int64_t num_classes);
+
+  Result<std::vector<float>> Embed(nn::Model* model) const override;
+  int64_t Dim() const override { return num_classes_ * kStatsPerClass; }
+  std::string_view name() const override { return "fisher"; }
+
+  static constexpr int64_t kStatsPerClass = 3;
+
+ private:
+  Tensor probes_;
+  int64_t num_classes_;
+};
+
+/// Factory by name; probes/num_classes are the lake-wide probe set.
+Result<std::unique_ptr<ModelEmbedder>> MakeEmbedder(
+    const std::string& name, const Tensor& probes, int64_t num_classes);
+
+/// L2-normalizes in place (no-op on the zero vector).
+void L2NormalizeInPlace(std::vector<float>* v);
+
+}  // namespace mlake::embed
+
+#endif  // MLAKE_EMBED_EMBEDDER_H_

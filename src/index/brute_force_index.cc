@@ -1,0 +1,84 @@
+#include "index/brute_force_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace mlake::index {
+
+float Distance(Metric metric, const float* a, const float* b, int64_t dim) {
+  switch (metric) {
+    case Metric::kL2: {
+      float acc = 0.0f;
+      for (int64_t i = 0; i < dim; ++i) {
+        float d = a[i] - b[i];
+        acc += d * d;
+      }
+      return acc;
+    }
+    case Metric::kCosine: {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (int64_t i = 0; i < dim; ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+      }
+      if (na == 0.0 || nb == 0.0) return 1.0f;
+      return static_cast<float>(1.0 - dot / (std::sqrt(na) * std::sqrt(nb)));
+    }
+  }
+  return 0.0f;
+}
+
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<Neighbor>& approx, size_t k) {
+  size_t limit = std::min(k, exact.size());
+  if (limit == 0) return 1.0;
+  std::unordered_set<int64_t> truth;
+  for (size_t i = 0; i < limit; ++i) truth.insert(exact[i].id);
+  size_t hit = 0;
+  for (size_t i = 0; i < approx.size() && i < k; ++i) {
+    if (truth.count(approx[i].id) > 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(limit);
+}
+
+Status BruteForceIndex::Add(int64_t id, const std::vector<float>& vec) {
+  if (static_cast<int64_t>(vec.size()) != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("BruteForceIndex: vector dim %zu != %lld", vec.size(),
+                  static_cast<long long>(dim_)));
+  }
+  for (int64_t existing : ids_) {
+    if (existing == id) {
+      return Status::AlreadyExists(
+          StrFormat("id %lld already indexed", static_cast<long long>(id)));
+    }
+  }
+  ids_.push_back(id);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> BruteForceIndex::Search(
+    const std::vector<float>& query, size_t k) const {
+  if (static_cast<int64_t>(query.size()) != dim_) {
+    return Status::InvalidArgument("BruteForceIndex: query dim mismatch");
+  }
+  std::vector<Neighbor> all;
+  all.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    float d = Distance(metric_, query.data(),
+                       data_.data() + static_cast<int64_t>(i) * dim_, dim_);
+    all.push_back(Neighbor{ids_[i], d});
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end());
+  all.resize(take);
+  return all;
+}
+
+}  // namespace mlake::index

@@ -1,0 +1,32 @@
+#ifndef MLAKE_INDEX_BRUTE_FORCE_INDEX_H_
+#define MLAKE_INDEX_BRUTE_FORCE_INDEX_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace mlake::index {
+
+/// Exact linear-scan nearest-neighbor index — the correctness baseline
+/// for HNSW and the default for small lakes where O(n) per query is
+/// fine.
+class BruteForceIndex : public VectorIndex {
+ public:
+  BruteForceIndex(int64_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+  Status Add(int64_t id, const std::vector<float>& vec) override;
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                       size_t k) const override;
+  size_t Size() const override { return ids_.size(); }
+  int64_t dim() const override { return dim_; }
+
+ private:
+  int64_t dim_;
+  Metric metric_;
+  std::vector<int64_t> ids_;
+  std::vector<float> data_;  // flattened row-major
+};
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_BRUTE_FORCE_INDEX_H_

@@ -1,0 +1,223 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace mlake::index {
+
+namespace {
+
+/// Min-heap by distance.
+struct Closer {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first > b.first;
+  }
+};
+
+/// Max-heap by distance.
+struct Farther {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first < b.first;
+  }
+};
+
+}  // namespace
+
+HnswIndex::HnswIndex(int64_t dim, HnswConfig config)
+    : dim_(dim),
+      config_(config),
+      rng_(config.seed),
+      level_lambda_(1.0 / std::log(std::max(2, config.m))) {}
+
+float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
+  return Distance(config_.metric, query,
+                  data_.data() + static_cast<int64_t>(node) * dim_, dim_);
+}
+
+int HnswIndex::RandomLevel() {
+  double u = rng_.NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<int>(-std::log(u) * level_lambda_);
+}
+
+uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
+                                  int level) const {
+  uint32_t current = entry;
+  float best = DistanceTo(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : links_[current][static_cast<size_t>(level)]) {
+      float d = DistanceTo(query, neighbor);
+      if (d < best) {
+        best = d;
+        current = neighbor;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
+                                                         uint32_t entry,
+                                                         int ef,
+                                                         int level) const {
+  // Epoch-stamped visited set: O(1) reset between searches.
+  if (visited_stamp_.size() != external_ids_.size()) {
+    visited_stamp_.assign(external_ids_.size(), 0);
+    visit_epoch_ = 0;
+  }
+  ++visit_epoch_;
+  if (visit_epoch_ == 0) {  // wrapped
+    std::fill(visited_stamp_.begin(), visited_stamp_.end(), 0);
+    visit_epoch_ = 1;
+  }
+
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, Closer>
+      frontier;
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, Farther>
+      best;
+
+  float d0 = DistanceTo(query, entry);
+  frontier.emplace(d0, entry);
+  best.emplace(d0, entry);
+  visited_stamp_[entry] = visit_epoch_;
+
+  while (!frontier.empty()) {
+    auto [dist, node] = frontier.top();
+    if (dist > best.top().first && best.size() >= static_cast<size_t>(ef)) {
+      break;
+    }
+    frontier.pop();
+    for (uint32_t neighbor : links_[node][static_cast<size_t>(level)]) {
+      if (visited_stamp_[neighbor] == visit_epoch_) continue;
+      visited_stamp_[neighbor] = visit_epoch_;
+      float d = DistanceTo(query, neighbor);
+      if (best.size() < static_cast<size_t>(ef) || d < best.top().first) {
+        frontier.emplace(d, neighbor);
+        best.emplace(d, neighbor);
+        if (best.size() > static_cast<size_t>(ef)) best.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(Candidate{best.top().first, best.top().second});
+    best.pop();
+  }
+  return out;
+}
+
+void HnswIndex::ShrinkNeighbors(uint32_t node, int level, int max_degree) {
+  std::vector<uint32_t>& neighbors = links_[node][static_cast<size_t>(level)];
+  if (neighbors.size() <= static_cast<size_t>(max_degree)) return;
+  const float* base = data_.data() + static_cast<int64_t>(node) * dim_;
+  std::vector<std::pair<float, uint32_t>> scored;
+  scored.reserve(neighbors.size());
+  for (uint32_t n : neighbors) {
+    scored.emplace_back(DistanceTo(base, n), n);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + max_degree,
+                    scored.end());
+  neighbors.clear();
+  for (int i = 0; i < max_degree; ++i) neighbors.push_back(scored[i].second);
+}
+
+Status HnswIndex::Add(int64_t id, const std::vector<float>& vec) {
+  if (static_cast<int64_t>(vec.size()) != dim_) {
+    return Status::InvalidArgument("HnswIndex: vector dim mismatch");
+  }
+  for (int64_t existing : external_ids_) {
+    if (existing == id) {
+      return Status::AlreadyExists(
+          StrFormat("id %lld already indexed", static_cast<long long>(id)));
+    }
+  }
+
+  uint32_t node = static_cast<uint32_t>(external_ids_.size());
+  external_ids_.push_back(id);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  int level = RandomLevel();
+  levels_.push_back(level);
+  links_.emplace_back(static_cast<size_t>(level) + 1);
+
+  const float* query = vec.data();
+
+  if (node == 0) {
+    max_level_ = level;
+    entry_point_ = 0;
+    return Status::OK();
+  }
+
+  uint32_t current = entry_point_;
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    current = GreedyClosest(query, current, l);
+  }
+
+  int top = std::min(level, max_level_);
+  for (int l = top; l >= 0; --l) {
+    std::vector<Candidate> candidates =
+        SearchLayer(query, current, config_.ef_construction, l);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.distance < b.distance;
+              });
+    int max_degree = (l == 0) ? 2 * config_.m : config_.m;
+    size_t take = std::min(candidates.size(),
+                           static_cast<size_t>(config_.m));
+    for (size_t i = 0; i < take; ++i) {
+      uint32_t neighbor = candidates[i].node;
+      links_[node][static_cast<size_t>(l)].push_back(neighbor);
+      links_[neighbor][static_cast<size_t>(l)].push_back(node);
+      ShrinkNeighbors(neighbor, l, max_degree);
+    }
+    if (!candidates.empty()) current = candidates.front().node;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> HnswIndex::Search(
+    const std::vector<float>& query, size_t k) const {
+  if (static_cast<int64_t>(query.size()) != dim_) {
+    return Status::InvalidArgument("HnswIndex: query dim mismatch");
+  }
+  std::vector<Neighbor> out;
+  if (external_ids_.empty()) return out;
+
+  uint32_t current = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    current = GreedyClosest(query.data(), current, l);
+  }
+  int ef = std::max(config_.ef_search, static_cast<int>(k));
+  std::vector<Candidate> candidates =
+      SearchLayer(query.data(), current, ef, 0);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.distance < b.distance;
+            });
+  size_t take = std::min(k, candidates.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(
+        Neighbor{external_ids_[candidates[i].node], candidates[i].distance});
+  }
+  return out;
+}
+
+}  // namespace mlake::index

@@ -1,0 +1,91 @@
+#ifndef MLAKE_INDEX_HNSW_INDEX_H_
+#define MLAKE_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "index/vector_index.h"
+
+namespace mlake::index {
+
+/// HNSW construction/search parameters (Malkov & Yashunin [89]).
+struct HnswConfig {
+  Metric metric = Metric::kCosine;
+  /// Max out-degree per node on upper layers (2M on layer 0).
+  int m = 16;
+  /// Beam width during construction.
+  int ef_construction = 128;
+  /// Default beam width during search (raise for higher recall).
+  int ef_search = 64;
+  uint64_t seed = 42;
+};
+
+/// Hierarchical Navigable Small World approximate nearest-neighbor
+/// index — the paper's roadmap (§5 "Indexer") names this structure as
+/// the scalable sublinear index for model embeddings.
+///
+/// Standard algorithm: each element is assigned a geometric random
+/// level; search greedily descends the upper layers then runs a
+/// best-first beam (width ef) on layer 0. Construction links each new
+/// element to its M nearest candidates per layer, pruning neighbor
+/// lists back to the degree bound.
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(int64_t dim, HnswConfig config = {});
+
+  Status Add(int64_t id, const std::vector<float>& vec) override;
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                       size_t k) const override;
+  size_t Size() const override { return external_ids_.size(); }
+  int64_t dim() const override { return dim_; }
+
+  /// Adjusts the search beam width (recall/latency knob).
+  void set_ef_search(int ef) { config_.ef_search = ef; }
+  const HnswConfig& config() const { return config_; }
+
+  /// Max layer currently in use (diagnostics).
+  int max_level() const { return max_level_; }
+
+ private:
+  struct Candidate {
+    float distance;
+    uint32_t node;
+  };
+
+  float DistanceTo(const float* query, uint32_t node) const;
+
+  /// Greedy single-entry descent on one layer.
+  uint32_t GreedyClosest(const float* query, uint32_t entry,
+                         int level) const;
+
+  /// Best-first beam search on one layer, returning up to `ef`
+  /// candidates (unsorted).
+  std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
+                                     int ef, int level) const;
+
+  /// Prunes a neighbor candidate set to the closest `max_degree`.
+  void ShrinkNeighbors(uint32_t node, int level, int max_degree);
+
+  int RandomLevel();
+
+  int64_t dim_;
+  HnswConfig config_;
+  Rng rng_;
+  double level_lambda_;
+
+  std::vector<int64_t> external_ids_;
+  std::vector<float> data_;                // flattened vectors
+  std::vector<int> levels_;                // per node
+  // links_[node][level] = neighbor node ids.
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+
+  mutable std::vector<uint32_t> visited_stamp_;
+  mutable uint32_t visit_epoch_ = 0;
+};
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_HNSW_INDEX_H_

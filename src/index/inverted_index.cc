@@ -1,0 +1,92 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mlake::index {
+
+void InvertedIndex::Add(const std::string& doc_id, std::string_view text) {
+  auto it = doc_index_.find(doc_id);
+  if (it != doc_index_.end()) {
+    Remove(doc_id);
+  }
+  std::vector<std::string> tokens = TokenizeWords(text);
+
+  uint32_t doc;
+  it = doc_index_.find(doc_id);
+  if (it != doc_index_.end()) {
+    doc = it->second;  // resurrect removed slot
+  } else {
+    doc = static_cast<uint32_t>(doc_ids_.size());
+    doc_ids_.push_back(doc_id);
+    doc_lengths_.push_back(0);
+    doc_index_[doc_id] = doc;
+  }
+
+  std::unordered_map<std::string, uint32_t> counts;
+  for (const std::string& t : tokens) ++counts[t];
+  for (const auto& [term, tf] : counts) {
+    postings_[term].push_back(Posting{doc, tf});
+  }
+  doc_lengths_[doc] = static_cast<uint32_t>(tokens.size());
+  total_tokens_ += tokens.size();
+  ++live_docs_;
+}
+
+void InvertedIndex::Remove(const std::string& doc_id) {
+  auto it = doc_index_.find(doc_id);
+  if (it == doc_index_.end()) return;
+  uint32_t doc = it->second;
+  if (doc_lengths_[doc] == 0) return;  // already removed
+  total_tokens_ -= doc_lengths_[doc];
+  doc_lengths_[doc] = 0;
+  --live_docs_;
+  // Postings are purged lazily at search time (cheap for lake-sized
+  // corpora); a compaction pass would drop them eagerly.
+  for (auto& [term, list] : postings_) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [doc](const Posting& p) { return p.doc == doc; }),
+               list.end());
+  }
+}
+
+std::vector<TextHit> InvertedIndex::Search(std::string_view query,
+                                           size_t k) const {
+  std::vector<std::string> terms = TokenizeWords(query);
+  if (terms.empty() || live_docs_ == 0) return {};
+  double avg_len = static_cast<double>(total_tokens_) /
+                   static_cast<double>(live_docs_);
+  if (avg_len <= 0.0) avg_len = 1.0;
+  double n_docs = static_cast<double>(live_docs_);
+
+  std::unordered_map<uint32_t, double> scores;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end() || it->second.empty()) continue;
+    double df = static_cast<double>(it->second.size());
+    double idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+    for (const Posting& p : it->second) {
+      if (doc_lengths_[p.doc] == 0) continue;  // removed
+      double tf = static_cast<double>(p.term_frequency);
+      double len_norm =
+          1.0 - b_ + b_ * static_cast<double>(doc_lengths_[p.doc]) / avg_len;
+      double contribution = idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+      scores[p.doc] += contribution;
+    }
+  }
+
+  std::vector<TextHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(TextHit{doc_ids_[doc], score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const TextHit& a, const TextHit& b) {
+    return a.score > b.score || (a.score == b.score && a.doc_id < b.doc_id);
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace mlake::index

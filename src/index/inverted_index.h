@@ -1,0 +1,61 @@
+#ifndef MLAKE_INDEX_INVERTED_INDEX_H_
+#define MLAKE_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlake::index {
+
+/// A keyword-search hit.
+struct TextHit {
+  std::string doc_id;
+  double score = 0.0;
+};
+
+/// In-memory inverted index with BM25 ranking over model-card text —
+/// the metadata-search baseline the paper says today's model hubs rely
+/// on (name/documentation keyword relevance, "not a semantic notion
+/// based on the model itself").
+class InvertedIndex {
+ public:
+  /// BM25 parameters (standard defaults).
+  explicit InvertedIndex(double k1 = 1.2, double b = 0.75)
+      : k1_(k1), b_(b) {}
+
+  /// Indexes a document; text is tokenized to lowercase alphanumerics.
+  /// Re-adding an id replaces the previous document.
+  void Add(const std::string& doc_id, std::string_view text);
+
+  /// Removes a document (no-op if absent).
+  void Remove(const std::string& doc_id);
+
+  /// BM25 top-k for a free-text query. Documents matching zero terms
+  /// are not returned.
+  std::vector<TextHit> Search(std::string_view query, size_t k) const;
+
+  size_t NumDocs() const { return doc_lengths_.size(); }
+  size_t NumTerms() const { return postings_.size(); }
+
+ private:
+  struct Posting {
+    uint32_t doc;  // internal doc index
+    uint32_t term_frequency;
+  };
+
+  double k1_;
+  double b_;
+  std::vector<std::string> doc_ids_;           // internal -> external
+  std::unordered_map<std::string, uint32_t> doc_index_;  // external -> internal
+  std::vector<uint32_t> doc_lengths_;          // tokens per live doc (0 = removed)
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  uint64_t total_tokens_ = 0;
+  size_t live_docs_ = 0;
+};
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_INVERTED_INDEX_H_

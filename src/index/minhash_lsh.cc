@@ -1,0 +1,100 @@
+#include "index/minhash_lsh.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mlake::index {
+
+namespace {
+/// Cheap 64-bit mixer (splitmix64 finalizer) to derive independent hash
+/// functions from one base hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+MinHashSignature ComputeMinHash(const std::vector<std::string>& items,
+                                size_t num_hashes, uint64_t seed) {
+  MinHashSignature sig(num_hashes, std::numeric_limits<uint64_t>::max());
+  for (const std::string& item : items) {
+    uint64_t base = Fnv1a64(item);
+    for (size_t h = 0; h < num_hashes; ++h) {
+      uint64_t v = Mix(base ^ Mix(seed + h));
+      if (v < sig[h]) sig[h] = v;
+    }
+  }
+  return sig;
+}
+
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b) {
+  MLAKE_CHECK(a.size() == b.size()) << "signature length mismatch";
+  if (a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+MinHashLsh::MinHashLsh(size_t bands, size_t rows)
+    : bands_(bands), rows_(rows), buckets_(bands) {
+  MLAKE_CHECK(bands > 0 && rows > 0) << "MinHashLsh: bad banding";
+}
+
+Status MinHashLsh::Add(const std::string& id,
+                       const MinHashSignature& signature) {
+  if (signature.size() != bands_ * rows_) {
+    return Status::InvalidArgument("MinHashLsh: signature length mismatch");
+  }
+  if (signatures_.count(id) > 0) {
+    return Status::AlreadyExists("MinHashLsh: id already present: " + id);
+  }
+  signatures_[id] = signature;
+  for (size_t b = 0; b < bands_; ++b) {
+    uint64_t bucket = Fnv1a64(
+        reinterpret_cast<const char*>(signature.data() + b * rows_),
+        rows_ * sizeof(uint64_t));
+    buckets_[b][bucket].push_back(id);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MinHashLsh::QueryCandidates(
+    const MinHashSignature& signature) const {
+  std::vector<std::string> out;
+  if (signature.size() != bands_ * rows_) return out;
+  for (size_t b = 0; b < bands_; ++b) {
+    uint64_t bucket = Fnv1a64(
+        reinterpret_cast<const char*>(signature.data() + b * rows_),
+        rows_ * sizeof(uint64_t));
+    auto it = buckets_[b].find(bucket);
+    if (it == buckets_[b].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<MinHashLsh::OverlapHit> MinHashLsh::Query(
+    const MinHashSignature& signature, double threshold) const {
+  std::vector<OverlapHit> hits;
+  for (const std::string& id : QueryCandidates(signature)) {
+    double j = EstimateJaccard(signature, signatures_.at(id));
+    if (j >= threshold) hits.push_back(OverlapHit{id, j});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const OverlapHit& a, const OverlapHit& b) {
+              return a.jaccard > b.jaccard ||
+                     (a.jaccard == b.jaccard && a.id < b.id);
+            });
+  return hits;
+}
+
+}  // namespace mlake::index

@@ -1,0 +1,62 @@
+#ifndef MLAKE_INDEX_MINHASH_LSH_H_
+#define MLAKE_INDEX_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlake::index {
+
+/// A MinHash signature of a string set.
+using MinHashSignature = std::vector<uint64_t>;
+
+/// Computes a MinHash signature with `num_hashes` permutations
+/// (tabulation via seeded FNV remixing). Jaccard similarity between two
+/// sets is estimated by signature agreement.
+MinHashSignature ComputeMinHash(const std::vector<std::string>& items,
+                                size_t num_hashes, uint64_t seed = 0x517cc1);
+
+/// Unbiased Jaccard estimate from two signatures of equal length.
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+/// MinHash-LSH index over string sets, the classic data-lake machinery
+/// (LSH Ensemble [165]) repurposed for *training-data overlap search*:
+/// "find models trained on (a version of) this dataset" when sets of
+/// training shard ids are available but exact names are not.
+class MinHashLsh {
+ public:
+  /// `bands` x `rows` must equal the signature length. More bands =>
+  /// higher recall at lower precision.
+  MinHashLsh(size_t bands, size_t rows);
+
+  Status Add(const std::string& id, const MinHashSignature& signature);
+
+  /// Candidate ids sharing at least one band bucket with the query.
+  std::vector<std::string> QueryCandidates(
+      const MinHashSignature& signature) const;
+
+  /// Candidates filtered and ranked by estimated Jaccard >= threshold.
+  struct OverlapHit {
+    std::string id;
+    double jaccard;
+  };
+  std::vector<OverlapHit> Query(const MinHashSignature& signature,
+                                double threshold) const;
+
+  size_t Size() const { return signatures_.size(); }
+
+ private:
+  size_t bands_;
+  size_t rows_;
+  std::unordered_map<std::string, MinHashSignature> signatures_;
+  // Per band: bucket-hash -> ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<std::string>>>
+      buckets_;
+};
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_MINHASH_LSH_H_

@@ -1,0 +1,56 @@
+#ifndef MLAKE_INDEX_VECTOR_INDEX_H_
+#define MLAKE_INDEX_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlake::index {
+
+/// Distance metric for dense-vector search.
+enum class Metric {
+  kL2,      // squared euclidean
+  kCosine,  // 1 - cosine similarity
+};
+
+/// A search hit: external id plus distance (smaller = closer).
+struct Neighbor {
+  int64_t id = 0;
+  float distance = 0.0f;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.id < b.id);
+  }
+};
+
+/// Common interface of the exact and approximate indices so experiments
+/// can swap them.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Adds a vector under an external id (ids must be unique).
+  virtual Status Add(int64_t id, const std::vector<float>& vec) = 0;
+
+  /// k nearest neighbors of `query` (ascending distance).
+  virtual Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                               size_t k) const = 0;
+
+  virtual size_t Size() const = 0;
+  virtual int64_t dim() const = 0;
+};
+
+/// Computes the metric distance between two equal-length vectors.
+float Distance(Metric metric, const float* a, const float* b, int64_t dim);
+
+/// Recall@k of `approx` against ground-truth `exact` (fraction of exact
+/// ids present in approx, both truncated to k).
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<Neighbor>& approx, size_t k);
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_VECTOR_INDEX_H_

@@ -1,0 +1,369 @@
+#include "lakegen/lakegen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "nn/transform.h"
+
+namespace mlake::lakegen {
+
+const std::vector<std::string>& TaskFamilyPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "summarization", "translation", "sentiment",  "entity-tagging",
+      "question-answering", "paraphrase", "moderation", "retrieval"};
+  return *pool;
+}
+
+const std::vector<std::string>& DomainPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "legal", "medical", "news", "finance", "social", "scientific"};
+  return *pool;
+}
+
+namespace {
+
+const std::vector<std::string>& CreatorPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "ada-labs", "bellwether-ai", "cortexworks", "deltaml", "everglade"};
+  return *pool;
+}
+
+const std::vector<std::string>& LicensePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "apache-2.0", "mit", "cc-by-4.0", "openrail"};
+  return *pool;
+}
+
+/// Architecture pool: small but genuinely heterogeneous (two MLP shapes,
+/// a deeper layer-normed MLP, and an attention encoder).
+std::vector<nn::ArchSpec> ArchPool(int64_t input_dim, int64_t num_classes) {
+  std::vector<nn::ArchSpec> pool;
+  pool.push_back(nn::MlpSpec(input_dim, {48}, num_classes, "relu"));
+  pool.push_back(nn::MlpSpec(input_dim, {64}, num_classes, "gelu"));
+  pool.push_back(nn::MlpSpec(input_dim, {48, 32}, num_classes, "relu",
+                             /*layer_norm=*/true));
+  pool.push_back(nn::ResMlpSpec(input_dim, 32, /*num_blocks=*/2,
+                                num_classes));
+  if (input_dim % 8 == 0) {
+    pool.push_back(nn::AttnSpec(input_dim / 8, 8, num_classes));
+  }
+  return pool;
+}
+
+/// Shard universe: each family has shared core shards; each domain adds
+/// its own. Sibling domains of one family therefore overlap (Jaccard
+/// ~0.33), while datasets of different families are disjoint — the
+/// structure "find models trained on versions of this dataset" needs.
+std::vector<std::string> DatasetShardSet(const std::string& family,
+                                         const std::string& domain) {
+  std::vector<std::string> shards;
+  for (int i = 0; i < 8; ++i) {
+    shards.push_back(StrFormat("%s/core#%d", family.c_str(), i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    shards.push_back(
+        StrFormat("%s/%s#%d", family.c_str(), domain.c_str(), i));
+  }
+  return shards;
+}
+
+metadata::ModelCard MakeTruthCard(const std::string& id,
+                                  const std::string& family,
+                                  const std::string& domain,
+                                  const nn::Model& model,
+                                  const nn::TrainConfig& train_config,
+                                  double test_accuracy,
+                                  const std::string& parent,
+                                  versioning::EdgeType edge, Rng* rng) {
+  metadata::ModelCard card;
+  card.model_id = id;
+  card.name = id;
+  std::string dataset = family + "/" + domain;
+  card.description = StrFormat(
+      "A %s model for %s over %s text, trained on the %s corpus.",
+      model.spec().family.c_str(), family.c_str(), domain.c_str(),
+      dataset.c_str());
+  card.task = family;
+  card.tags = {domain, model.spec().family};
+  card.architecture = model.spec().Signature();
+  card.num_params = model.NumParams();
+  card.training_datasets = {dataset};
+  card.training_config = train_config.ToJson();
+  if (!parent.empty()) {
+    card.lineage.base_model_id = parent;
+    card.lineage.method = std::string(versioning::EdgeTypeToString(edge));
+  }
+  card.metrics.push_back(metadata::MetricEntry{dataset + ":test", "accuracy",
+                                               test_accuracy});
+  card.creator = CreatorPool()[static_cast<size_t>(
+      rng->NextBelow(CreatorPool().size()))];
+  card.license = LicensePool()[static_cast<size_t>(
+      rng->NextBelow(LicensePool().size()))];
+  card.created_at = StrFormat("2025-%02d-%02d",
+                              static_cast<int>(rng->UniformInt(1, 12)),
+                              static_cast<int>(rng->UniformInt(1, 28)));
+  card.intended_use = {StrFormat("%s of %s documents", family.c_str(),
+                                 domain.c_str())};
+  card.risk_notes = {StrFormat("trained only on synthetic %s data", domain.c_str())};
+  return card;
+}
+
+}  // namespace
+
+Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
+                                   const LakeGenConfig& config) {
+  if (config.num_families == 0 || config.num_bases == 0) {
+    return Status::InvalidArgument("GenerateLake: empty config");
+  }
+  if (config.num_families > TaskFamilyPool().size() ||
+      config.domains_per_family > DomainPool().size()) {
+    return Status::InvalidArgument("GenerateLake: pools too small");
+  }
+  if (config.input_dim != lake->options().input_dim ||
+      config.num_classes != lake->options().num_classes) {
+    return Status::InvalidArgument(
+        "GenerateLake: io dims do not match the lake");
+  }
+
+  Rng rng(config.seed);
+  LakeGenResult result;
+
+  // ----- tasks & datasets -----
+  struct TaskEntry {
+    std::string family;
+    std::string domain;
+    std::string dataset;
+    nn::SyntheticTask task;
+    nn::Dataset train;
+  };
+  std::vector<TaskEntry> tasks;
+  for (size_t f = 0; f < config.num_families; ++f) {
+    const std::string& family = TaskFamilyPool()[f];
+    result.families.push_back(family);
+    for (size_t d = 0; d < config.domains_per_family; ++d) {
+      const std::string& domain = DomainPool()[d];
+      nn::TaskSpec spec;
+      spec.family_id = family;
+      spec.domain_id = domain;
+      spec.dim = config.input_dim;
+      spec.num_classes = config.num_classes;
+      TaskEntry entry;
+      entry.family = family;
+      entry.domain = domain;
+      entry.dataset = spec.DatasetName();
+      entry.task = nn::SyntheticTask::Make(spec);
+      Rng data_rng = rng.Fork();
+      entry.train = entry.task.Sample(config.train_samples, &data_rng);
+      nn::Dataset test = entry.task.Sample(config.test_samples, &data_rng);
+
+      MLAKE_RETURN_NOT_OK(lake->RegisterDataset(
+          entry.dataset, DatasetShardSet(family, domain)));
+      if (config.register_benchmarks) {
+        MLAKE_RETURN_NOT_OK(
+            lake->RegisterBenchmark(entry.dataset + ":test", test));
+      }
+      result.test_sets[entry.dataset] = std::move(test);
+      result.datasets.push_back(entry.dataset);
+      tasks.push_back(std::move(entry));
+    }
+  }
+
+  std::vector<nn::ArchSpec> arch_pool =
+      ArchPool(config.input_dim, config.num_classes);
+
+  // All (model, task index) generated so far, for stitching partners and
+  // grandchild selection.
+  struct Generated {
+    std::string id;
+    size_t task_index;
+    std::unique_ptr<nn::Model> model;
+  };
+  std::vector<Generated> population;
+
+  auto ingest = [&](const std::string& id, nn::Model* model,
+                    const TaskEntry& task, const std::string& parent,
+                    versioning::EdgeType edge,
+                    const nn::TrainConfig& train_config,
+                    const Json& edge_params) -> Status {
+    double acc = 0.0;
+    auto it = result.test_sets.find(task.dataset);
+    if (it != result.test_sets.end()) {
+      acc = nn::EvaluateAccuracy(model, it->second);
+    }
+    Rng card_rng = rng.Fork();
+    metadata::ModelCard truth =
+        MakeTruthCard(id, task.family, task.domain, *model, train_config,
+                      acc, parent, edge, &card_rng);
+    result.truth_cards[id] = truth;
+    metadata::ModelCard visible = truth;
+    if (config.noise_cards) {
+      Rng noise_rng = rng.Fork();
+      visible = metadata::NoiseCard(truth, config.card_noise,
+                                    result.families, &noise_rng);
+    }
+    MLAKE_RETURN_NOT_OK(lake->IngestModel(*model, visible).status());
+
+    result.truth_graph.AddModel(id);
+    GeneratedModel gen;
+    gen.id = id;
+    gen.task_family = task.family;
+    gen.dataset = task.dataset;
+    gen.parent = parent;
+    gen.edge = edge;
+    gen.test_accuracy = acc;
+    result.models.push_back(gen);
+    if (!parent.empty()) {
+      versioning::VersionEdge truth_edge;
+      truth_edge.parent = parent;
+      truth_edge.child = id;
+      truth_edge.type = edge;
+      truth_edge.params = edge_params;
+      MLAKE_RETURN_NOT_OK(result.truth_graph.AddEdge(truth_edge));
+      if (config.record_lineage_in_lake) {
+        MLAKE_RETURN_NOT_OK(lake->RecordEdge(truth_edge));
+      }
+    }
+    return Status::OK();
+  };
+
+  // ----- base models -----
+  for (size_t b = 0; b < config.num_bases; ++b) {
+    size_t task_index = b % tasks.size();
+    const TaskEntry& task = tasks[task_index];
+    const nn::ArchSpec& arch =
+        arch_pool[static_cast<size_t>(rng.NextBelow(arch_pool.size()))];
+    Rng init_rng = rng.Fork();
+    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                           nn::BuildModel(arch, &init_rng));
+    nn::TrainConfig train_config = config.base_train;
+    train_config.seed = rng.NextU64();
+    MLAKE_RETURN_NOT_OK(
+        nn::Train(model.get(), task.train, train_config).status());
+    std::string id = StrFormat("%s/%s-%s-base-%zu",
+                               task.family.c_str(), task.domain.c_str(),
+                               model->spec().family.c_str(), b);
+    MLAKE_RETURN_NOT_OK(ingest(id, model.get(), task, "",
+                               versioning::EdgeType::kUnknown, train_config,
+                               Json::MakeObject()));
+    population.push_back(Generated{id, task_index, std::move(model)});
+  }
+  size_t num_bases = population.size();
+
+  // ----- derived models -----
+  for (size_t b = 0; b < num_bases; ++b) {
+    size_t num_children = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.children_per_base_min),
+                       static_cast<int64_t>(config.children_per_base_max)));
+    std::vector<size_t> lineage_pool{b};  // candidate parents in population
+    for (size_t c = 0; c < num_children; ++c) {
+      size_t parent_pos = lineage_pool[0];
+      if (lineage_pool.size() > 1 && rng.Bernoulli(config.grandchild_rate)) {
+        parent_pos = lineage_pool[static_cast<size_t>(
+            rng.NextBelow(lineage_pool.size() - 1) + 1)];
+      }
+      Generated& parent = population[parent_pos];
+      std::unique_ptr<nn::Model> child = parent.model->Clone();
+
+      // Pick the child's training task: usually a sibling domain of the
+      // same family (the classic "domain adaptation" fine-tune).
+      size_t task_index = parent.task_index;
+      const TaskEntry& parent_task = tasks[parent.task_index];
+      std::vector<size_t> siblings;
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        if (tasks[t].family == parent_task.family && t != parent.task_index) {
+          siblings.push_back(t);
+        }
+      }
+      if (!siblings.empty() && rng.Bernoulli(0.6)) {
+        task_index = siblings[static_cast<size_t>(
+            rng.NextBelow(siblings.size()))];
+      }
+      const TaskEntry& task = tasks[task_index];
+
+      nn::TrainConfig ft = config.finetune_train;
+      ft.seed = rng.NextU64();
+      Json params = Json::MakeObject();
+      params.Set("dataset", task.dataset);
+
+      // Transformation mix.
+      static const char* kKinds[] = {"finetune", "lora", "edit",
+                                     "prune",    "noise", "distill"};
+      size_t kind = rng.Categorical({0.34, 0.22, 0.12, 0.12, 0.10, 0.10});
+      versioning::EdgeType edge = versioning::EdgeType::kFinetune;
+      std::string suffix;
+      switch (kind) {
+        case 0: {  // full fine-tune
+          MLAKE_RETURN_NOT_OK(
+              nn::Finetune(child.get(), task.train, ft).status());
+          edge = versioning::EdgeType::kFinetune;
+          suffix = "ft";
+          break;
+        }
+        case 1: {  // LoRA
+          int64_t rank = rng.Bernoulli(0.5) ? 2 : 4;
+          params.Set("rank", rank);
+          MLAKE_RETURN_NOT_OK(
+              nn::LoraFinetune(child.get(), task.train, rank, 1.0f, ft)
+                  .status());
+          edge = versioning::EdgeType::kLora;
+          suffix = "lora";
+          break;
+        }
+        case 2: {  // model edit
+          Rng probe_rng = rng.Fork();
+          Tensor probe = Tensor::RandomNormal({1, config.input_dim},
+                                              &probe_rng, 1.2f);
+          int64_t target = static_cast<int64_t>(
+              rng.NextBelow(static_cast<uint64_t>(config.num_classes)));
+          params.Set("target_class", target);
+          MLAKE_RETURN_NOT_OK(
+              nn::RankOneEdit(child.get(), probe, target, 6.0f).status());
+          edge = versioning::EdgeType::kEdit;
+          suffix = "edit";
+          break;
+        }
+        case 3: {  // pruning
+          double fraction = rng.Uniform(0.15, 0.4);
+          params.Set("fraction", fraction);
+          MLAKE_RETURN_NOT_OK(
+              nn::MagnitudePrune(child.get(), fraction).status());
+          edge = versioning::EdgeType::kPrune;
+          suffix = "prune";
+          break;
+        }
+        case 4: {  // weight noise ("someone else's continued training")
+          Rng noise_rng = rng.Fork();
+          nn::AddWeightNoise(child.get(), 0.05, &noise_rng);
+          edge = versioning::EdgeType::kNoise;
+          suffix = "noise";
+          break;
+        }
+        case 5: {  // distillation into a fresh same-spec student
+          Rng student_rng = rng.Fork();
+          auto student = nn::Distill(parent.model.get(),
+                                     parent.model->spec(), task.train.x,
+                                     2.0f, ft, &student_rng);
+          MLAKE_RETURN_NOT_OK(student.status());
+          child = student.MoveValueUnsafe();
+          edge = versioning::EdgeType::kDistill;
+          suffix = "distill";
+          break;
+        }
+        default:
+          break;
+      }
+      (void)kKinds;
+
+      std::string id = StrFormat("%s-%s%zu", parent.id.c_str(),
+                                 suffix.c_str(), c);
+      MLAKE_RETURN_NOT_OK(ingest(id, child.get(), task, parent.id, edge,
+                                 ft, params));
+      population.push_back(Generated{id, task_index, std::move(child)});
+      lineage_pool.push_back(population.size() - 1);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mlake::lakegen

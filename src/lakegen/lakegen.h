@@ -1,0 +1,106 @@
+#ifndef MLAKE_LAKEGEN_LAKEGEN_H_
+#define MLAKE_LAKEGEN_LAKEGEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_lake.h"
+#include "metadata/card_noise.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "versioning/model_graph.h"
+
+namespace mlake::lakegen {
+
+/// Configuration of the synthetic benchmark-lake generator.
+///
+/// This is the "benchmark lake with verified ground truth" the paper's
+/// §3 calls for: a population of trained models with fully known tasks,
+/// training data, and lineage — plus a configurable documentation-noise
+/// process that degrades the cards the lake actually sees, mimicking the
+/// incompleteness measured by Liang et al. [80].
+struct LakeGenConfig {
+  /// Task structure: families x domains (a dataset per pair).
+  size_t num_families = 4;
+  size_t domains_per_family = 2;
+
+  /// Base (root) models: assigned round-robin over (family, domain).
+  size_t num_bases = 8;
+
+  /// Derived models per base, uniform in [min, max].
+  size_t children_per_base_min = 2;
+  size_t children_per_base_max = 4;
+  /// Probability a child is derived from a previous child of the same
+  /// base instead of the base itself (depth-2 chains).
+  double grandchild_rate = 0.3;
+
+  /// Shared lake io space (must match the lake's options).
+  int64_t input_dim = 32;
+  int64_t num_classes = 8;
+
+  /// Per-dataset sample counts.
+  size_t train_samples = 384;
+  size_t test_samples = 192;
+
+  nn::TrainConfig base_train;      // base pre-training
+  nn::TrainConfig finetune_train;  // child adaptations
+
+  /// Documentation noise applied to every ingested card.
+  bool noise_cards = true;
+  metadata::CardNoiseConfig card_noise;
+
+  /// Record ground-truth lineage into the lake's version graph (turn
+  /// off for heritage-recovery experiments, which must not see it).
+  bool record_lineage_in_lake = true;
+
+  /// Register each dataset's held-out split as a lake benchmark.
+  bool register_benchmarks = true;
+
+  uint64_t seed = 7;
+
+  LakeGenConfig() {
+    base_train.epochs = 14;
+    base_train.batch_size = 32;
+    base_train.lr = 4e-3f;
+    finetune_train = base_train;
+    finetune_train.epochs = 8;
+  }
+};
+
+/// Ground truth for one generated model.
+struct GeneratedModel {
+  std::string id;
+  std::string task_family;     // semantic task ("summarization", ...)
+  std::string dataset;         // "family/domain" it was (last) trained on
+  std::string parent;          // empty for bases
+  versioning::EdgeType edge = versioning::EdgeType::kUnknown;
+  double test_accuracy = 0.0;
+};
+
+/// Everything the experiments need that the lake must NOT be trusted
+/// for: true lineage, true tasks, held-out evaluation splits.
+struct LakeGenResult {
+  versioning::ModelGraph truth_graph;
+  std::vector<GeneratedModel> models;
+  /// Held-out test split per dataset name.
+  std::map<std::string, nn::Dataset> test_sets;
+  std::vector<std::string> families;
+  std::vector<std::string> datasets;  // "family/domain"
+  /// The pristine (pre-noise) card of every model.
+  std::map<std::string, metadata::ModelCard> truth_cards;
+};
+
+/// Populates `lake` with a synthetic model population. Deterministic
+/// given config.seed.
+Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
+                                   const LakeGenConfig& config);
+
+/// The fixed pools the generator draws from (exposed for tests).
+const std::vector<std::string>& TaskFamilyPool();
+const std::vector<std::string>& DomainPool();
+
+}  // namespace mlake::lakegen
+
+#endif  // MLAKE_LAKEGEN_LAKEGEN_H_

@@ -1,0 +1,45 @@
+#include "metadata/card_noise.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace mlake::metadata {
+
+ModelCard NoiseCard(const ModelCard& truth, const CardNoiseConfig& config,
+                    const std::vector<std::string>& all_tasks, Rng* rng) {
+  ModelCard card = truth;
+  // Each field group is an independent redaction decision: real cards
+  // tend to lose whole sections, not single words.
+  if (rng->Bernoulli(config.redact_rate)) card.description.clear();
+  if (rng->Bernoulli(config.redact_rate)) {
+    card.task.clear();
+    card.tags.clear();
+  }
+  if (rng->Bernoulli(config.redact_rate)) card.training_datasets.clear();
+  if (rng->Bernoulli(config.redact_rate)) card.training_config = Json();
+  if (rng->Bernoulli(config.redact_rate)) card.metrics.clear();
+  if (rng->Bernoulli(config.redact_rate)) card.intended_use.clear();
+  if (rng->Bernoulli(config.redact_rate)) card.risk_notes.clear();
+  if (rng->Bernoulli(config.drop_lineage_rate)) card.lineage = {};
+  if (rng->Bernoulli(config.obfuscate_name_rate)) {
+    card.name = StrFormat(
+        "model-%06llx",
+        static_cast<unsigned long long>(Fnv1a64(truth.model_id) & 0xFFFFFF));
+  }
+
+  if (!card.task.empty() && !all_tasks.empty() &&
+      rng->Bernoulli(config.wrong_task_rate)) {
+    // Replace with a different task drawn uniformly.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& candidate =
+          all_tasks[static_cast<size_t>(rng->NextBelow(all_tasks.size()))];
+      if (candidate != truth.task) {
+        card.task = candidate;
+        break;
+      }
+    }
+  }
+  return card;
+}
+
+}  // namespace mlake::metadata

@@ -1,0 +1,33 @@
+#ifndef MLAKE_METADATA_CARD_NOISE_H_
+#define MLAKE_METADATA_CARD_NOISE_H_
+
+#include "common/random.h"
+#include "metadata/model_card.h"
+
+namespace mlake::metadata {
+
+/// Parameters of the documentation-unreliability process used to turn a
+/// fully-documented benchmark lake into a realistic one (Liang et al.
+/// [80] report most public cards omit training data and evaluation).
+struct CardNoiseConfig {
+  /// Probability that each optional field group is removed.
+  double redact_rate = 0.5;
+  /// Probability that the task tag is replaced with an unrelated one
+  /// (intentional or sloppy misdocumentation; cf. PoisonGPT [130]).
+  double wrong_task_rate = 0.0;
+  /// Probability that the lineage claim is dropped even when known.
+  double drop_lineage_rate = 0.7;
+  /// Probability that the human-readable name is replaced by an
+  /// uninformative handle ("model-3fa9c1") — names on real hubs often
+  /// carry no task signal, which is half of why keyword search fails.
+  double obfuscate_name_rate = 0.0;
+};
+
+/// Applies the noise process; deterministic given `rng`. `all_tasks` is
+/// the pool wrong tasks are drawn from.
+ModelCard NoiseCard(const ModelCard& truth, const CardNoiseConfig& config,
+                    const std::vector<std::string>& all_tasks, Rng* rng);
+
+}  // namespace mlake::metadata
+
+#endif  // MLAKE_METADATA_CARD_NOISE_H_

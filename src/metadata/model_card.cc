@@ -1,0 +1,180 @@
+#include "metadata/model_card.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mlake::metadata {
+
+namespace {
+
+Json StringsToJson(const std::vector<std::string>& values) {
+  Json arr = Json::MakeArray();
+  for (const std::string& v : values) arr.Append(Json(v));
+  return arr;
+}
+
+std::vector<std::string> JsonToStrings(const Json* j) {
+  std::vector<std::string> out;
+  if (j == nullptr || !j->is_array()) return out;
+  for (const Json& v : j->AsArray()) {
+    if (v.is_string()) out.push_back(v.AsString());
+  }
+  return out;
+}
+
+}  // namespace
+
+Json ModelCard::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("model_id", model_id);
+  j.Set("name", name);
+  j.Set("description", description);
+  j.Set("task", task);
+  j.Set("tags", StringsToJson(tags));
+  j.Set("architecture", architecture);
+  j.Set("num_params", num_params);
+  j.Set("training_datasets", StringsToJson(training_datasets));
+  j.Set("training_config", training_config);
+  Json lin = Json::MakeObject();
+  lin.Set("base_model_id", lineage.base_model_id);
+  lin.Set("method", lineage.method);
+  j.Set("lineage", std::move(lin));
+  Json ms = Json::MakeArray();
+  for (const MetricEntry& m : metrics) {
+    Json e = Json::MakeObject();
+    e.Set("benchmark", m.benchmark);
+    e.Set("metric", m.metric);
+    e.Set("value", m.value);
+    ms.Append(std::move(e));
+  }
+  j.Set("metrics", std::move(ms));
+  j.Set("creator", creator);
+  j.Set("license", license);
+  j.Set("created_at", created_at);
+  j.Set("intended_use", StringsToJson(intended_use));
+  j.Set("risk_notes", StringsToJson(risk_notes));
+  return j;
+}
+
+Result<ModelCard> ModelCard::FromJson(const Json& j) {
+  if (!j.is_object()) return Status::Corruption("ModelCard: not an object");
+  ModelCard card;
+  card.model_id = j.GetString("model_id");
+  if (card.model_id.empty()) {
+    return Status::Corruption("ModelCard: missing model_id");
+  }
+  card.name = j.GetString("name");
+  card.description = j.GetString("description");
+  card.task = j.GetString("task");
+  card.tags = JsonToStrings(j.Find("tags"));
+  card.architecture = j.GetString("architecture");
+  card.num_params = j.GetInt64("num_params");
+  card.training_datasets = JsonToStrings(j.Find("training_datasets"));
+  if (const Json* tc = j.Find("training_config"); tc != nullptr) {
+    card.training_config = *tc;
+  }
+  if (const Json* lin = j.Find("lineage");
+      lin != nullptr && lin->is_object()) {
+    card.lineage.base_model_id = lin->GetString("base_model_id");
+    card.lineage.method = lin->GetString("method");
+  }
+  if (const Json* ms = j.Find("metrics"); ms != nullptr && ms->is_array()) {
+    for (const Json& e : ms->AsArray()) {
+      if (!e.is_object()) continue;
+      MetricEntry m;
+      m.benchmark = e.GetString("benchmark");
+      m.metric = e.GetString("metric");
+      m.value = e.GetDouble("value");
+      card.metrics.push_back(std::move(m));
+    }
+  }
+  card.creator = j.GetString("creator");
+  card.license = j.GetString("license");
+  card.created_at = j.GetString("created_at");
+  card.intended_use = JsonToStrings(j.Find("intended_use"));
+  card.risk_notes = JsonToStrings(j.Find("risk_notes"));
+  return card;
+}
+
+std::string ModelCard::SearchText() const {
+  std::vector<std::string> parts;
+  parts.push_back(name);
+  parts.push_back(description);
+  parts.push_back(task);
+  for (const std::string& t : tags) parts.push_back(t);
+  parts.push_back(architecture);
+  for (const std::string& d : training_datasets) parts.push_back(d);
+  for (const std::string& u : intended_use) parts.push_back(u);
+  for (const std::string& r : risk_notes) parts.push_back(r);
+  return Join(parts, " ");
+}
+
+double CompletenessScore(const ModelCard& card) {
+  double score = 0.0;
+  double total = 0.0;
+  auto add = [&](bool present, double weight) {
+    total += weight;
+    if (present) score += weight;
+  };
+  add(!card.name.empty(), 0.5);
+  add(!card.description.empty(), 1.0);
+  add(!card.task.empty(), 1.5);
+  add(!card.tags.empty(), 1.0);
+  add(!card.architecture.empty(), 0.5);
+  add(card.num_params > 0, 0.5);
+  add(!card.training_datasets.empty(), 2.0);  // the gap Liang et al. flag
+  add(!card.training_config.is_null() && card.training_config.size() > 0,
+      1.0);
+  add(!card.lineage.empty(), 1.0);
+  add(!card.metrics.empty(), 1.5);
+  add(!card.creator.empty(), 0.25);
+  add(!card.license.empty(), 0.25);
+  add(!card.intended_use.empty(), 1.0);
+  add(!card.risk_notes.empty(), 1.0);
+  return score / total;
+}
+
+std::vector<std::string> ValidateCard(const ModelCard& card) {
+  std::vector<std::string> problems;
+  if (card.model_id.empty()) {
+    problems.push_back("model_id is required");
+  }
+  for (char c : card.model_id) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_' || c == '.' || c == '/')) {
+      problems.push_back("model_id contains invalid character");
+      break;
+    }
+  }
+  if (card.lineage.base_model_id == card.model_id &&
+      !card.model_id.empty()) {
+    problems.push_back("lineage is self-referential");
+  }
+  if (!card.lineage.base_model_id.empty() && card.lineage.method.empty()) {
+    problems.push_back("lineage claims a base model but no method");
+  }
+  for (const MetricEntry& m : card.metrics) {
+    if (m.benchmark.empty() || m.metric.empty()) {
+      problems.push_back("metric entry missing benchmark or metric name");
+    }
+    if (!std::isfinite(m.value)) {
+      problems.push_back("metric value is not finite");
+    }
+    if (m.metric == "accuracy" && (m.value < 0.0 || m.value > 1.0)) {
+      problems.push_back("accuracy out of [0, 1]: " + m.benchmark);
+    }
+  }
+  for (size_t i = 0; i < card.training_datasets.size(); ++i) {
+    for (size_t k = i + 1; k < card.training_datasets.size(); ++k) {
+      if (card.training_datasets[i] == card.training_datasets[k]) {
+        problems.push_back("duplicate training dataset: " +
+                           card.training_datasets[i]);
+      }
+    }
+  }
+  if (card.num_params < 0) problems.push_back("negative num_params");
+  return problems;
+}
+
+}  // namespace mlake::metadata

@@ -1,0 +1,88 @@
+#ifndef MLAKE_METADATA_MODEL_CARD_H_
+#define MLAKE_METADATA_MODEL_CARD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace mlake::metadata {
+
+/// One reported evaluation number.
+struct MetricEntry {
+  std::string benchmark;  // e.g. "legal-sum/us-courts:test"
+  std::string metric;     // e.g. "accuracy"
+  double value = 0.0;
+
+  friend bool operator==(const MetricEntry&, const MetricEntry&) = default;
+};
+
+/// The card's *claimed* derivation. Claims are documentation, not ground
+/// truth — they can be absent or wrong, which is exactly the failure
+/// mode (Liang et al. [80]) the lake's recovery tooling addresses.
+struct LineageClaim {
+  std::string base_model_id;  // empty => claims to be a base model
+  std::string method;         // "finetune" | "lora" | "edit" | ...
+
+  bool empty() const { return base_model_id.empty() && method.empty(); }
+  friend bool operator==(const LineageClaim&, const LineageClaim&) = default;
+};
+
+/// A model card (Mitchell et al. [97]) extended with nutritional-label
+/// style fields (risk notes) and lineage claims, serialized as a JSON
+/// document in the catalog.
+///
+/// Only `model_id` is mandatory; every other field may be missing in the
+/// wild. The completeness score quantifies how much is filled in.
+struct ModelCard {
+  std::string model_id;
+
+  // Model details.
+  std::string name;
+  std::string description;
+  std::string task;                 // task-family tag, e.g. "summarization"
+  std::vector<std::string> tags;    // free keywords ("legal", "english")
+  std::string architecture;         // arch signature string
+  int64_t num_params = 0;
+
+  // History (D, A) as documented.
+  std::vector<std::string> training_datasets;  // "family/domain" names
+  Json training_config;                        // hyperparameters
+  LineageClaim lineage;
+
+  // Quantitative analyses.
+  std::vector<MetricEntry> metrics;
+
+  // Provenance & governance.
+  std::string creator;
+  std::string license;
+  std::string created_at;  // ISO-8601 date
+
+  // Nutritional-label extensions.
+  std::vector<std::string> intended_use;
+  std::vector<std::string> risk_notes;
+
+  Json ToJson() const;
+  static Result<ModelCard> FromJson(const Json& j);
+
+  /// All searchable text of the card, concatenated — the corpus document
+  /// for keyword (BM25) search.
+  std::string SearchText() const;
+
+  friend bool operator==(const ModelCard&, const ModelCard&) = default;
+};
+
+/// Field-presence weights mirroring the section analysis of Liang et
+/// al.: "important" sections (training data, metrics, intended use)
+/// weigh more than boilerplate. Returns a score in [0, 1].
+double CompletenessScore(const ModelCard& card);
+
+/// Structural validation: returns a list of problems (empty = valid).
+/// Checks id format, metric ranges, self-referential lineage, duplicate
+/// datasets.
+std::vector<std::string> ValidateCard(const ModelCard& card);
+
+}  // namespace mlake::metadata
+
+#endif  // MLAKE_METADATA_MODEL_CARD_H_

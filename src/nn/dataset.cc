@@ -1,0 +1,151 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mlake::nn {
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  int64_t d = dim();
+  out.x = Tensor({static_cast<int64_t>(indices.size()), d});
+  out.labels.reserve(indices.size());
+  for (size_t row = 0; row < indices.size(); ++row) {
+    size_t src = indices[row];
+    MLAKE_CHECK(src < size()) << "Select index out of range";
+    const float* ps = x.data() + static_cast<int64_t>(src) * d;
+    float* pd = out.x.data() + static_cast<int64_t>(row) * d;
+    std::copy(ps, ps + d, pd);
+    out.labels.push_back(labels[src]);
+  }
+  return out;
+}
+
+Dataset Dataset::Without(size_t index) const {
+  std::vector<size_t> keep;
+  keep.reserve(size() - 1);
+  for (size_t i = 0; i < size(); ++i) {
+    if (i != index) keep.push_back(i);
+  }
+  return Select(keep);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng* rng) const {
+  std::vector<size_t> order(size());
+  for (size_t i = 0; i < size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t train_n = static_cast<size_t>(
+      static_cast<double>(size()) * train_fraction);
+  std::vector<size_t> train_idx(order.begin(), order.begin() + train_n);
+  std::vector<size_t> test_idx(order.begin() + train_n, order.end());
+  return {Select(train_idx), Select(test_idx)};
+}
+
+Dataset Dataset::Concat(const Dataset& a, const Dataset& b) {
+  MLAKE_CHECK(a.dim() == b.dim()) << "Concat: dim mismatch";
+  MLAKE_CHECK(a.num_classes == b.num_classes) << "Concat: class mismatch";
+  Dataset out;
+  out.num_classes = a.num_classes;
+  int64_t d = a.dim();
+  out.x = Tensor({static_cast<int64_t>(a.size() + b.size()), d});
+  std::copy(a.x.data(), a.x.data() + a.x.NumElements(), out.x.data());
+  std::copy(b.x.data(), b.x.data() + b.x.NumElements(),
+            out.x.data() + a.x.NumElements());
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+Json TaskSpec::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("family_id", family_id);
+  j.Set("domain_id", domain_id);
+  j.Set("dim", dim);
+  j.Set("num_classes", num_classes);
+  j.Set("noise", noise);
+  return j;
+}
+
+Result<TaskSpec> TaskSpec::FromJson(const Json& j) {
+  if (!j.is_object()) return Status::Corruption("TaskSpec: not an object");
+  TaskSpec spec;
+  spec.family_id = j.GetString("family_id");
+  spec.domain_id = j.GetString("domain_id");
+  spec.dim = j.GetInt64("dim", 32);
+  spec.num_classes = j.GetInt64("num_classes", 8);
+  spec.noise = j.GetDouble("noise", 0.55);
+  if (spec.family_id.empty()) {
+    return Status::Corruption("TaskSpec: missing family_id");
+  }
+  return spec;
+}
+
+SyntheticTask SyntheticTask::Make(const TaskSpec& spec) {
+  SyntheticTask task;
+  task.spec_ = spec;
+
+  // Family geometry: well-separated centroids drawn from the family rng.
+  Rng family_rng(Fnv1a64(spec.family_id) ^ 0xA5A5A5A5ULL);
+  Tensor centroids({spec.num_classes, spec.dim});
+  for (float& v : centroids.storage()) {
+    v = static_cast<float>(family_rng.Normal(0.0, 1.6));
+  }
+
+  // Domain transform: mild linear distortion plus a shift, derived from
+  // the (family, domain) pair so distinct domains of one family stay
+  // related but distinguishable.
+  Rng domain_rng(Fnv1a64(spec.DatasetName()) ^ 0x5A5A5A5AULL);
+  std::vector<float> shift(static_cast<size_t>(spec.dim));
+  for (float& v : shift) v = static_cast<float>(domain_rng.Normal(0.0, 0.6));
+  // Distortion: x -> x + eps * G x with a sparse random G.
+  for (int64_t c = 0; c < spec.num_classes; ++c) {
+    std::vector<float> distorted(static_cast<size_t>(spec.dim), 0.0f);
+    for (int64_t i = 0; i < spec.dim; ++i) {
+      distorted[static_cast<size_t>(i)] = centroids.At(c, i);
+    }
+    Rng g_rng(Fnv1a64(spec.domain_id) ^ 0x77777777ULL);
+    for (int64_t i = 0; i < spec.dim; ++i) {
+      float acc = 0.0f;
+      for (int64_t j = 0; j < spec.dim; ++j) {
+        acc += static_cast<float>(g_rng.Normal(0.0, 0.12)) *
+               centroids.At(c, j);
+      }
+      distorted[static_cast<size_t>(i)] += acc;
+    }
+    for (int64_t i = 0; i < spec.dim; ++i) {
+      centroids.At(c, i) =
+          distorted[static_cast<size_t>(i)] + shift[static_cast<size_t>(i)];
+    }
+  }
+  task.centroids_ = std::move(centroids);
+  return task;
+}
+
+Dataset SyntheticTask::Sample(size_t n, Rng* rng) const {
+  Dataset out;
+  out.num_classes = spec_.num_classes;
+  out.x = Tensor({static_cast<int64_t>(n), spec_.dim});
+  out.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t y = static_cast<int64_t>(rng->NextBelow(
+        static_cast<uint64_t>(spec_.num_classes)));
+    out.labels[i] = y;
+    float* row = out.x.data() + static_cast<int64_t>(i) * spec_.dim;
+    for (int64_t j = 0; j < spec_.dim; ++j) {
+      row[j] = centroids_.At(y, j) +
+               static_cast<float>(rng->Normal(0.0, spec_.noise));
+    }
+  }
+  return out;
+}
+
+Tensor MakeProbeSet(int64_t dim, size_t n, uint64_t seed) {
+  Rng rng(seed ^ 0xBEEFCAFEULL);
+  return Tensor::RandomNormal({static_cast<int64_t>(n), dim}, &rng, 1.4f);
+}
+
+}  // namespace mlake::nn

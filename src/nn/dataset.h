@@ -1,0 +1,82 @@
+#ifndef MLAKE_NN_DATASET_H_
+#define MLAKE_NN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace mlake::nn {
+
+/// An in-memory labeled dataset.
+struct Dataset {
+  Tensor x;  // [n, dim]
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  size_t size() const { return labels.size(); }
+  int64_t dim() const { return x.rank() == 2 ? x.dim(1) : 0; }
+
+  /// Subset by row indices.
+  Dataset Select(const std::vector<size_t>& indices) const;
+
+  /// Copy with row `index` removed (leave-one-out attribution).
+  Dataset Without(size_t index) const;
+
+  /// Random split into (train, test) with `train_fraction` of rows.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng* rng) const;
+
+  /// Concatenates rows of two compatible datasets.
+  static Dataset Concat(const Dataset& a, const Dataset& b);
+};
+
+/// Identifies a synthetic classification task.
+///
+/// The *family* fixes the class-concept geometry (the paper's task, e.g.
+/// "summarization of legal text"); the *domain* applies a systematic
+/// input transformation (e.g. "US supreme court corpus" vs "EU
+/// directives"). Models trained on the same family behave alike on
+/// probes; same family + same domain behave nearly identically — the
+/// structure the search and versioning experiments rely on.
+struct TaskSpec {
+  std::string family_id;  // semantic task family
+  std::string domain_id;  // corpus/domain variant
+  int64_t dim = 32;
+  int64_t num_classes = 8;
+  double noise = 0.55;  // within-class sample noise
+
+  /// Canonical "family/domain" name used in cards and catalogs.
+  std::string DatasetName() const { return family_id + "/" + domain_id; }
+
+  Json ToJson() const;
+  static Result<TaskSpec> FromJson(const Json& j);
+};
+
+/// A materialized task: class centroids in input space, derived
+/// deterministically from the spec (same spec => same task).
+class SyntheticTask {
+ public:
+  static SyntheticTask Make(const TaskSpec& spec);
+
+  /// Draws `n` labeled samples.
+  Dataset Sample(size_t n, Rng* rng) const;
+
+  const TaskSpec& spec() const { return spec_; }
+  const Tensor& centroids() const { return centroids_; }
+
+ private:
+  TaskSpec spec_;
+  Tensor centroids_;  // [classes, dim]
+};
+
+/// A fixed set of unlabeled probe inputs shared across the lake; the
+/// basis of extrinsic (behavioral) model comparison.
+Tensor MakeProbeSet(int64_t dim, size_t n, uint64_t seed);
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_DATASET_H_

@@ -1,0 +1,60 @@
+#ifndef MLAKE_NN_LAYER_H_
+#define MLAKE_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mlake::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Frozen params are skipped by optimizers (used by LoRA fine-tuning
+  /// and linear-probe training).
+  bool frozen = false;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// A differentiable layer.
+///
+/// `Forward` caches whatever activations `Backward` needs; a layer is
+/// therefore stateful across a forward/backward pair and not reentrant.
+/// This is the classic define-by-layer design (no autograd tape), which
+/// keeps the substrate small while supporting every architecture in the
+/// lake.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Maps a [batch, in] activation to [batch, out]. When `training` is
+  /// true the layer caches activations for `Backward`.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must follow a `Forward(x, /*training=*/true)`.
+  virtual Tensor Backward(const Tensor& d_out) = 0;
+
+  /// Trainable parameters (may be empty).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  /// Stable type tag ("linear", "relu", ...) used in parameter names and
+  /// artifact section names.
+  virtual std::string_view type() const = 0;
+
+  /// Output width for input width `in`; used by the model factory for
+  /// shape validation.
+  virtual int64_t OutputDim(int64_t in) const = 0;
+};
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_LAYER_H_

@@ -1,0 +1,371 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace mlake::nn {
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_("weight", Tensor::XavierUniform(out_dim, in_dim, rng)),
+      bias_("bias", Tensor::Zeros({out_dim})) {}
+
+Tensor Linear::Forward(const Tensor& x, bool training) {
+  MLAKE_CHECK(x.rank() == 2 && x.dim(1) == in_dim_)
+      << "Linear: bad input " << x.ShapeString();
+  if (training) cached_input_ = x;
+  return AddRowBroadcast(MatMulTransposedB(x, weight_.value), bias_.value);
+}
+
+Tensor Linear::Backward(const Tensor& d_out) {
+  // dW = dY^T X; db = column-sum dY; dX = dY W.
+  Tensor dw = MatMulTransposedA(d_out, cached_input_);
+  Axpy(1.0f, dw, &weight_.grad);
+  int64_t batch = d_out.dim(0);
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t j = 0; j < out_dim_; ++j) {
+      bias_.grad.At(j) += d_out.At(i, j);
+    }
+  }
+  return MatMul(d_out, weight_.value);
+}
+
+// ------------------------------------------------------------------ Relu
+
+Tensor Relu::Forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  Tensor out = x;
+  for (float& v : out.storage()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& d_out) {
+  Tensor dx = d_out;
+  const float* in = cached_input_.data();
+  float* p = dx.data();
+  for (int64_t i = 0; i < dx.NumElements(); ++i) {
+    if (in[i] <= 0.0f) p[i] = 0.0f;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ Tanh
+
+Tensor Tanh::Forward(const Tensor& x, bool training) {
+  Tensor out = x;
+  for (float& v : out.storage()) v = std::tanh(v);
+  if (training) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& d_out) {
+  Tensor dx = d_out;
+  const float* y = cached_output_.data();
+  float* p = dx.data();
+  for (int64_t i = 0; i < dx.NumElements(); ++i) {
+    p[i] *= (1.0f - y[i] * y[i]);
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ Gelu
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+inline float GeluValue(float x) {
+  float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float GeluGrad(float x) {
+  float x3 = x * x * x;
+  float inner = kGeluC * (x + 0.044715f * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+}  // namespace
+
+Tensor Gelu::Forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  Tensor out = x;
+  for (float& v : out.storage()) v = GeluValue(v);
+  return out;
+}
+
+Tensor Gelu::Backward(const Tensor& d_out) {
+  Tensor dx = d_out;
+  const float* in = cached_input_.data();
+  float* p = dx.data();
+  for (int64_t i = 0; i < dx.NumElements(); ++i) {
+    p[i] *= GeluGrad(in[i]);
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(int64_t dim, float epsilon)
+    : dim_(dim),
+      epsilon_(epsilon),
+      gamma_("gamma", Tensor::Full({dim}, 1.0f)),
+      beta_("beta", Tensor::Zeros({dim})) {}
+
+Tensor LayerNorm::Forward(const Tensor& x, bool training) {
+  MLAKE_CHECK(x.rank() == 2 && x.dim(1) == dim_)
+      << "LayerNorm: bad input " << x.ShapeString();
+  int64_t batch = x.dim(0);
+  Tensor normalized({batch, dim_});
+  Tensor inv_std({batch});
+  Tensor out({batch, dim_});
+  for (int64_t i = 0; i < batch; ++i) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < dim_; ++j) mean += x.At(i, j);
+    mean /= static_cast<double>(dim_);
+    double var = 0.0;
+    for (int64_t j = 0; j < dim_; ++j) {
+      double d = x.At(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim_);
+    float istd = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+    inv_std.At(i) = istd;
+    for (int64_t j = 0; j < dim_; ++j) {
+      float n = (x.At(i, j) - static_cast<float>(mean)) * istd;
+      normalized.At(i, j) = n;
+      out.At(i, j) = n * gamma_.value.At(j) + beta_.value.At(j);
+    }
+  }
+  if (training) {
+    cached_normalized_ = normalized;
+    cached_inv_std_ = inv_std;
+  }
+  return out;
+}
+
+Tensor LayerNorm::Backward(const Tensor& d_out) {
+  int64_t batch = d_out.dim(0);
+  Tensor dx({batch, dim_});
+  for (int64_t i = 0; i < batch; ++i) {
+    // Accumulate dGamma/dBeta and the two row reductions needed for dX.
+    double sum_dn = 0.0;
+    double sum_dn_n = 0.0;
+    for (int64_t j = 0; j < dim_; ++j) {
+      float n = cached_normalized_.At(i, j);
+      float g = d_out.At(i, j);
+      gamma_.grad.At(j) += g * n;
+      beta_.grad.At(j) += g;
+      float dn = g * gamma_.value.At(j);
+      sum_dn += dn;
+      sum_dn_n += static_cast<double>(dn) * n;
+    }
+    float istd = cached_inv_std_.At(i);
+    float inv_dim = 1.0f / static_cast<float>(dim_);
+    for (int64_t j = 0; j < dim_; ++j) {
+      float n = cached_normalized_.At(i, j);
+      float dn = d_out.At(i, j) * gamma_.value.At(j);
+      dx.At(i, j) =
+          istd * (dn - inv_dim * static_cast<float>(sum_dn) -
+                  n * inv_dim * static_cast<float>(sum_dn_n));
+    }
+  }
+  return dx;
+}
+
+// --------------------------------------------------------- SelfAttention
+
+SelfAttention::SelfAttention(int64_t seq_len, int64_t d_model, Rng* rng)
+    : seq_len_(seq_len),
+      d_model_(d_model),
+      wq_("wq", Tensor::XavierUniform(d_model, d_model, rng)),
+      wk_("wk", Tensor::XavierUniform(d_model, d_model, rng)),
+      wv_("wv", Tensor::XavierUniform(d_model, d_model, rng)),
+      wo_("wo", Tensor::XavierUniform(d_model, d_model, rng)) {}
+
+Tensor SelfAttention::Forward(const Tensor& x, bool training) {
+  MLAKE_CHECK(x.rank() == 2 && x.dim(1) == seq_len_ * d_model_)
+      << "SelfAttention: bad input " << x.ShapeString();
+  int64_t batch = x.dim(0);
+  float scale = 1.0f / std::sqrt(static_cast<float>(d_model_));
+  Tensor out({batch, seq_len_ * d_model_});
+  if (training) {
+    cached_x_.clear();
+    cached_q_.clear();
+    cached_k_.clear();
+    cached_v_.clear();
+    cached_a_.clear();
+    cached_z_.clear();
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    Tensor xe = x.Row(b).Reshape({seq_len_, d_model_});
+    Tensor q = MatMulTransposedB(xe, wq_.value);
+    Tensor k = MatMulTransposedB(xe, wk_.value);
+    Tensor v = MatMulTransposedB(xe, wv_.value);
+    Tensor scores = Scale(MatMulTransposedB(q, k), scale);
+    Tensor a = RowSoftmax(scores);
+    Tensor z = MatMul(a, v);
+    Tensor y = MatMulTransposedB(z, wo_.value);
+    const float* py = y.data();
+    float* po = out.data() + b * seq_len_ * d_model_;
+    std::copy(py, py + seq_len_ * d_model_, po);
+    if (training) {
+      cached_x_.push_back(std::move(xe));
+      cached_q_.push_back(std::move(q));
+      cached_k_.push_back(std::move(k));
+      cached_v_.push_back(std::move(v));
+      cached_a_.push_back(std::move(a));
+      cached_z_.push_back(std::move(z));
+    }
+  }
+  return out;
+}
+
+Tensor SelfAttention::Backward(const Tensor& d_out) {
+  int64_t batch = d_out.dim(0);
+  MLAKE_CHECK(static_cast<size_t>(batch) == cached_x_.size())
+      << "SelfAttention::Backward without matching Forward";
+  float scale = 1.0f / std::sqrt(static_cast<float>(d_model_));
+  Tensor dx_full({batch, seq_len_ * d_model_});
+  for (int64_t b = 0; b < batch; ++b) {
+    Tensor dy = d_out.Row(b).Reshape({seq_len_, d_model_});
+    const Tensor& xe = cached_x_[static_cast<size_t>(b)];
+    const Tensor& q = cached_q_[static_cast<size_t>(b)];
+    const Tensor& k = cached_k_[static_cast<size_t>(b)];
+    const Tensor& v = cached_v_[static_cast<size_t>(b)];
+    const Tensor& a = cached_a_[static_cast<size_t>(b)];
+    const Tensor& z = cached_z_[static_cast<size_t>(b)];
+
+    // y = z Wo^T  =>  dWo = dy^T z, dz = dy Wo.
+    Axpy(1.0f, MatMulTransposedA(dy, z), &wo_.grad);
+    Tensor dz = MatMul(dy, wo_.value);
+
+    // z = a v  =>  da = dz v^T, dv = a^T dz.
+    Tensor da = MatMulTransposedB(dz, v);
+    Tensor dv = MatMulTransposedA(a, dz);
+
+    // a = softmax(s) rowwise => ds_ij = a_ij * (da_ij - sum_k da_ik a_ik).
+    Tensor ds({seq_len_, seq_len_});
+    for (int64_t i = 0; i < seq_len_; ++i) {
+      double inner = 0.0;
+      for (int64_t j = 0; j < seq_len_; ++j) {
+        inner += static_cast<double>(da.At(i, j)) * a.At(i, j);
+      }
+      for (int64_t j = 0; j < seq_len_; ++j) {
+        ds.At(i, j) =
+            a.At(i, j) * (da.At(i, j) - static_cast<float>(inner));
+      }
+    }
+
+    // s = scale * q k^T  =>  dq = scale * ds k, dk = scale * ds^T q.
+    Tensor dq = Scale(MatMul(ds, k), scale);
+    Tensor dk = Scale(MatMulTransposedA(ds, q), scale);
+
+    // q = x Wq^T  =>  dWq = dq^T x, dx += dq Wq (same for k, v).
+    Axpy(1.0f, MatMulTransposedA(dq, xe), &wq_.grad);
+    Axpy(1.0f, MatMulTransposedA(dk, xe), &wk_.grad);
+    Axpy(1.0f, MatMulTransposedA(dv, xe), &wv_.grad);
+    Tensor dxe = MatMul(dq, wq_.value);
+    Axpy(1.0f, MatMul(dk, wk_.value), &dxe);
+    Axpy(1.0f, MatMul(dv, wv_.value), &dxe);
+
+    const float* ps = dxe.data();
+    float* pd = dx_full.data() + b * seq_len_ * d_model_;
+    std::copy(ps, ps + seq_len_ * d_model_, pd);
+  }
+  return dx_full;
+}
+
+// --------------------------------------------------------------- Dropout
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  MLAKE_CHECK(rate >= 0.0f && rate < 1.0f) << "dropout rate in [0, 1)";
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0f) return x;
+  cached_mask_ = Tensor(x.shape());
+  float keep_scale = 1.0f / (1.0f - rate_);
+  float* pm = cached_mask_.data();
+  for (int64_t i = 0; i < cached_mask_.NumElements(); ++i) {
+    pm[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return Mul(x, cached_mask_);
+}
+
+Tensor Dropout::Backward(const Tensor& d_out) {
+  if (rate_ == 0.0f) return d_out;
+  return Mul(d_out, cached_mask_);
+}
+
+// ---------------------------------------------------------- ResidualBlock
+
+ResidualBlock::ResidualBlock(int64_t dim, Rng* rng)
+    : dim_(dim), inner_(dim, dim, rng), outer_(dim, dim, rng) {
+  // Distinct parameter names so the flattened state dict stays unique.
+  inner_.weight().name = "w1";
+  inner_.bias().name = "b1";
+  outer_.weight().name = "w2";
+  outer_.bias().name = "b2";
+}
+
+Tensor ResidualBlock::Forward(const Tensor& x, bool training) {
+  Tensor h = inner_.Forward(x, training);
+  h = relu_.Forward(h, training);
+  h = outer_.Forward(h, training);
+  return Add(x, h);
+}
+
+Tensor ResidualBlock::Backward(const Tensor& d_out) {
+  Tensor d = outer_.Backward(d_out);
+  d = relu_.Backward(d);
+  d = inner_.Backward(d);
+  return Add(d_out, d);  // skip path
+}
+
+std::vector<Param*> ResidualBlock::Params() {
+  return {&inner_.weight(), &inner_.bias(), &outer_.weight(),
+          &outer_.bias()};
+}
+
+// -------------------------------------------------------------- MeanPool
+
+Tensor MeanPool::Forward(const Tensor& x, bool training) {
+  MLAKE_CHECK(x.rank() == 2 && x.dim(1) == seq_len_ * d_model_)
+      << "MeanPool: bad input " << x.ShapeString();
+  int64_t batch = x.dim(0);
+  if (training) cached_batch_ = batch;
+  Tensor out({batch, d_model_});
+  float inv = 1.0f / static_cast<float>(seq_len_);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* px = x.data() + b * seq_len_ * d_model_;
+    float* po = out.data() + b * d_model_;
+    for (int64_t t = 0; t < seq_len_; ++t) {
+      for (int64_t j = 0; j < d_model_; ++j) {
+        po[j] += px[t * d_model_ + j] * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MeanPool::Backward(const Tensor& d_out) {
+  int64_t batch = d_out.dim(0);
+  Tensor dx({batch, seq_len_ * d_model_});
+  float inv = 1.0f / static_cast<float>(seq_len_);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* pd = d_out.data() + b * d_model_;
+    float* px = dx.data() + b * seq_len_ * d_model_;
+    for (int64_t t = 0; t < seq_len_; ++t) {
+      for (int64_t j = 0; j < d_model_; ++j) {
+        px[t * d_model_ + j] = pd[j] * inv;
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace mlake::nn

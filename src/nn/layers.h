@@ -1,0 +1,186 @@
+#ifndef MLAKE_NN_LAYERS_H_
+#define MLAKE_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+
+/// Fully connected layer: y = x W^T + b with W of shape [out, in].
+class Linear : public Layer {
+ public:
+  /// Xavier-uniform weight init, zero bias.
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string_view type() const override { return "linear"; }
+  int64_t OutputDim(int64_t) const override { return out_dim_; }
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+/// Rectified linear activation.
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::string_view type() const override { return "relu"; }
+  int64_t OutputDim(int64_t in) const override { return in; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::string_view type() const override { return "tanh"; }
+  int64_t OutputDim(int64_t in) const override { return in; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Gaussian error linear unit (tanh approximation).
+class Gelu : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::string_view type() const override { return "gelu"; }
+  int64_t OutputDim(int64_t in) const override { return in; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Layer normalization over the feature axis with learned gain/bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int64_t dim, float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
+  std::string_view type() const override { return "layernorm"; }
+  int64_t OutputDim(int64_t) const override { return dim_; }
+
+ private:
+  int64_t dim_;
+  float epsilon_;
+  Param gamma_;
+  Param beta_;
+  Tensor cached_normalized_;
+  Tensor cached_inv_std_;  // [batch]
+};
+
+/// Single-head self-attention over an input interpreted as `seq_len`
+/// tokens of width `d_model` (input/output shape [batch, seq*d]).
+///
+/// Weights Wq/Wk/Wv/Wo are [d, d]; per example:
+///   Q = X Wq^T, K = X Wk^T, V = X Wv^T,
+///   A = softmax(Q K^T / sqrt(d)), out = (A V) Wo^T.
+/// Full manual backward pass, including through the softmax.
+class SelfAttention : public Layer {
+ public:
+  SelfAttention(int64_t seq_len, int64_t d_model, Rng* rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::vector<Param*> Params() override {
+    return {&wq_, &wk_, &wv_, &wo_};
+  }
+  std::string_view type() const override { return "attention"; }
+  int64_t OutputDim(int64_t in) const override { return in; }
+
+  int64_t seq_len() const { return seq_len_; }
+  int64_t d_model() const { return d_model_; }
+
+ private:
+  int64_t seq_len_;
+  int64_t d_model_;
+  Param wq_, wk_, wv_, wo_;
+  // Per-example forward caches (training mode only).
+  std::vector<Tensor> cached_x_, cached_q_, cached_k_, cached_v_, cached_a_,
+      cached_z_;
+};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); inference
+/// is the identity. The layer owns its RNG so training runs remain
+/// deterministic given the build seed.
+class Dropout : public Layer {
+ public:
+  Dropout(float rate, uint64_t seed);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::string_view type() const override { return "dropout"; }
+  int64_t OutputDim(int64_t in) const override { return in; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor cached_mask_;
+};
+
+/// Pre-activation residual block of width d:
+///   out = x + W2 · relu(W1 · x + b1) + b2.
+/// Composite layer owning two Linear sublayers; the skip connection is
+/// what lets the "resmlp" family go deep without vanishing gradients.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int64_t dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::vector<Param*> Params() override;
+  std::string_view type() const override { return "resblock"; }
+  int64_t OutputDim(int64_t) const override { return dim_; }
+
+ private:
+  int64_t dim_;
+  Linear inner_;
+  Relu relu_;
+  Linear outer_;
+};
+
+/// Averages token positions: [batch, seq*d] -> [batch, d].
+class MeanPool : public Layer {
+ public:
+  MeanPool(int64_t seq_len, int64_t d_model)
+      : seq_len_(seq_len), d_model_(d_model) {}
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& d_out) override;
+  std::string_view type() const override { return "meanpool"; }
+  int64_t OutputDim(int64_t) const override { return d_model_; }
+
+ private:
+  int64_t seq_len_;
+  int64_t d_model_;
+  int64_t cached_batch_ = 0;
+};
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_LAYERS_H_

@@ -1,0 +1,79 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+
+LossAndGrad SoftmaxCrossEntropy(const Tensor& logits,
+                                const std::vector<int64_t>& labels) {
+  MLAKE_CHECK(logits.rank() == 2) << "SoftmaxCrossEntropy: logits rank";
+  int64_t batch = logits.dim(0);
+  int64_t classes = logits.dim(1);
+  MLAKE_CHECK(static_cast<size_t>(batch) == labels.size())
+      << "SoftmaxCrossEntropy: label count";
+  Tensor probs = RowSoftmax(logits);
+  LossAndGrad out;
+  out.d_logits = probs;
+  double total = 0.0;
+  float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    int64_t y = labels[static_cast<size_t>(i)];
+    MLAKE_CHECK(y >= 0 && y < classes) << "label out of range";
+    double p = probs.At(i, y);
+    total += -std::log(p > 1e-12 ? p : 1e-12);
+    out.d_logits.At(i, y) -= 1.0f;
+  }
+  for (float& v : out.d_logits.storage()) v *= inv_batch;
+  out.loss = total / static_cast<double>(batch);
+  return out;
+}
+
+LossAndGrad SoftCrossEntropy(const Tensor& logits, const Tensor& targets) {
+  MLAKE_CHECK(logits.SameShape(targets)) << "SoftCrossEntropy: shapes";
+  int64_t batch = logits.dim(0);
+  int64_t classes = logits.dim(1);
+  Tensor probs = RowSoftmax(logits);
+  LossAndGrad out;
+  out.d_logits = probs;
+  double total = 0.0;
+  float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t j = 0; j < classes; ++j) {
+      double p = probs.At(i, j);
+      double t = targets.At(i, j);
+      if (t > 0.0) total += -t * std::log(p > 1e-12 ? p : 1e-12);
+      out.d_logits.At(i, j) -= targets.At(i, j);
+    }
+  }
+  for (float& v : out.d_logits.storage()) v *= inv_batch;
+  out.loss = total / static_cast<double>(batch);
+  return out;
+}
+
+std::vector<double> PerExampleNll(const Tensor& logits,
+                                  const std::vector<int64_t>& labels) {
+  Tensor probs = RowSoftmax(logits);
+  int64_t batch = logits.dim(0);
+  std::vector<double> out(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    double p = probs.At(i, labels[static_cast<size_t>(i)]);
+    out[static_cast<size_t>(i)] = -std::log(p > 1e-12 ? p : 1e-12);
+  }
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  std::vector<int64_t> pred = RowArgMax(logits);
+  MLAKE_CHECK(pred.size() == labels.size()) << "Accuracy: label count";
+  if (pred.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace mlake::nn

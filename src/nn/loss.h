@@ -1,0 +1,37 @@
+#ifndef MLAKE_NN_LOSS_H_
+#define MLAKE_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mlake::nn {
+
+/// Mean softmax cross-entropy over a batch.
+struct LossAndGrad {
+  double loss = 0.0;
+  /// dLoss/dLogits, averaged over the batch ([batch, classes]).
+  Tensor d_logits;
+};
+
+/// Computes mean cross-entropy of `logits` [batch, classes] against
+/// integer `labels`, with the analytic gradient (softmax - onehot) / batch.
+LossAndGrad SoftmaxCrossEntropy(const Tensor& logits,
+                                const std::vector<int64_t>& labels);
+
+/// Cross-entropy against full target distributions (used by distillation
+/// on teacher soft labels). `targets` is [batch, classes], rows sum to 1.
+LossAndGrad SoftCrossEntropy(const Tensor& logits, const Tensor& targets);
+
+/// Per-example negative log-likelihood values (no gradient); used by the
+/// membership inference attack.
+std::vector<double> PerExampleNll(const Tensor& logits,
+                                  const std::vector<int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_LOSS_H_

@@ -1,0 +1,333 @@
+#include "nn/model.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/string_util.h"
+#include "nn/layers.h"
+
+namespace mlake::nn {
+
+Json ArchSpec::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("family", family);
+  j.Set("input_dim", input_dim);
+  j.Set("num_classes", num_classes);
+  Json hidden = Json::MakeArray();
+  for (int64_t h : hidden_dims) hidden.Append(Json(h));
+  j.Set("hidden_dims", std::move(hidden));
+  j.Set("activation", activation);
+  j.Set("layer_norm", layer_norm);
+  j.Set("dropout", dropout);
+  j.Set("seq_len", seq_len);
+  j.Set("d_model", d_model);
+  return j;
+}
+
+Result<ArchSpec> ArchSpec::FromJson(const Json& j) {
+  if (!j.is_object()) return Status::Corruption("ArchSpec: not an object");
+  ArchSpec spec;
+  spec.family = j.GetString("family", "mlp");
+  spec.input_dim = j.GetInt64("input_dim");
+  spec.num_classes = j.GetInt64("num_classes");
+  if (const Json* hidden = j.Find("hidden_dims");
+      hidden != nullptr && hidden->is_array()) {
+    for (const Json& h : hidden->AsArray()) {
+      if (!h.is_number()) return Status::Corruption("ArchSpec: bad hidden");
+      spec.hidden_dims.push_back(h.AsInt64());
+    }
+  }
+  spec.activation = j.GetString("activation", "relu");
+  spec.layer_norm = j.GetBool("layer_norm", false);
+  spec.dropout = j.GetDouble("dropout", 0.0);
+  spec.seq_len = j.GetInt64("seq_len");
+  spec.d_model = j.GetInt64("d_model");
+  if (spec.input_dim <= 0 || spec.num_classes <= 0) {
+    return Status::Corruption("ArchSpec: missing dims");
+  }
+  return spec;
+}
+
+std::string ArchSpec::Signature() const {
+  std::string dims = StrFormat("%lld", static_cast<long long>(input_dim));
+  if (family == "attn") {
+    return StrFormat("attn(seq=%lld,d=%lld,classes=%lld)",
+                     static_cast<long long>(seq_len),
+                     static_cast<long long>(d_model),
+                     static_cast<long long>(num_classes));
+  }
+  if (family == "resmlp") {
+    return StrFormat("resmlp(%lld,w=%lld,blocks=%zu,classes=%lld)",
+                     static_cast<long long>(input_dim),
+                     hidden_dims.empty()
+                         ? 0LL
+                         : static_cast<long long>(hidden_dims[0]),
+                     hidden_dims.size(),
+                     static_cast<long long>(num_classes));
+  }
+  for (int64_t h : hidden_dims) {
+    dims += StrFormat("-%lld", static_cast<long long>(h));
+  }
+  dims += StrFormat("-%lld", static_cast<long long>(num_classes));
+  std::string extras;
+  if (layer_norm) extras += ",ln";
+  if (dropout > 0.0) extras += StrFormat(",do%.2g", dropout);
+  return StrFormat("%s(%s,%s%s)", family.c_str(), dims.c_str(),
+                   activation.c_str(), extras.c_str());
+}
+
+bool operator==(const ArchSpec& a, const ArchSpec& b) {
+  return a.family == b.family && a.input_dim == b.input_dim &&
+         a.num_classes == b.num_classes && a.hidden_dims == b.hidden_dims &&
+         a.activation == b.activation && a.layer_norm == b.layer_norm &&
+         a.dropout == b.dropout && a.seq_len == b.seq_len &&
+         a.d_model == b.d_model;
+}
+
+Model::Model(ArchSpec spec, std::vector<std::unique_ptr<Layer>> layers)
+    : spec_(std::move(spec)), layers_(std::move(layers)) {}
+
+Tensor Model::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& layer : layers_) {
+    h = layer->Forward(h, training);
+  }
+  return h;
+}
+
+Tensor Model::Backward(const Tensor& d_logits) {
+  Tensor g = d_logits;
+  for (size_t i = layers_.size(); i > 0; --i) {
+    g = layers_[i - 1]->Backward(g);
+  }
+  return g;
+}
+
+Tensor Model::ForwardUpTo(const Tensor& x, size_t num_layers) {
+  MLAKE_CHECK(num_layers <= layers_.size()) << "ForwardUpTo out of range";
+  Tensor h = x;
+  for (size_t i = 0; i < num_layers; ++i) {
+    h = layers_[i]->Forward(h, /*training=*/false);
+  }
+  return h;
+}
+
+std::vector<Param*> Model::Params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Model::ZeroGrad() {
+  for (Param* p : Params()) p->ZeroGrad();
+}
+
+int64_t Model::NumParams() const {
+  int64_t n = 0;
+  for (const auto& layer : layers_) {
+    for (Param* p : const_cast<Layer*>(layer.get())->Params()) {
+      n += p->value.NumElements();
+    }
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, const Tensor*>> Model::NamedParams() const {
+  std::vector<std::pair<std::string, const Tensor*>> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Layer* layer = const_cast<Layer*>(layers_[i].get());
+    for (Param* p : layer->Params()) {
+      out.emplace_back(StrFormat("%zu.%s.%s", i,
+                                 std::string(layer->type()).c_str(),
+                                 p->name.c_str()),
+                       &p->value);
+    }
+  }
+  return out;
+}
+
+Status Model::LoadStateDict(
+    const std::vector<std::pair<std::string, Tensor>>& state) {
+  std::map<std::string, const Tensor*> by_name;
+  for (const auto& [name, tensor] : state) by_name[name] = &tensor;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Layer* layer = layers_[i].get();
+    for (Param* p : layer->Params()) {
+      std::string key = StrFormat("%zu.%s.%s", i,
+                                  std::string(layer->type()).c_str(),
+                                  p->name.c_str());
+      auto it = by_name.find(key);
+      if (it == by_name.end()) {
+        return Status::InvalidArgument("state dict missing: " + key);
+      }
+      if (!(it->second->shape() == p->value.shape())) {
+        return Status::InvalidArgument("state dict shape mismatch: " + key);
+      }
+      p->value = *it->second;
+      p->grad = Tensor(p->value.shape());
+    }
+  }
+  return Status::OK();
+}
+
+Tensor Model::FlattenParams() const {
+  Tensor out({NumParams()});
+  float* po = out.data();
+  int64_t offset = 0;
+  for (const auto& layer : layers_) {
+    for (Param* p : const_cast<Layer*>(layer.get())->Params()) {
+      int64_t n = p->value.NumElements();
+      std::memcpy(po + offset, p->value.data(),
+                  static_cast<size_t>(n) * sizeof(float));
+      offset += n;
+    }
+  }
+  return out;
+}
+
+Status Model::UnflattenParams(const Tensor& flat) {
+  if (flat.NumElements() != NumParams()) {
+    return Status::InvalidArgument(
+        StrFormat("UnflattenParams: got %lld values, need %lld",
+                  static_cast<long long>(flat.NumElements()),
+                  static_cast<long long>(NumParams())));
+  }
+  const float* pf = flat.data();
+  int64_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) {
+      int64_t n = p->value.NumElements();
+      std::memcpy(p->value.data(), pf + offset,
+                  static_cast<size_t>(n) * sizeof(float));
+      offset += n;
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Model> Model::Clone() const {
+  Rng throwaway(1);
+  auto result = BuildModel(spec_, &throwaway);
+  MLAKE_CHECK(result.ok()) << "Clone: rebuild failed";
+  std::unique_ptr<Model> copy = result.MoveValueUnsafe();
+  Status st = copy->UnflattenParams(FlattenParams());
+  MLAKE_CHECK(st.ok()) << "Clone: weight copy failed";
+  return copy;
+}
+
+namespace {
+
+Result<std::unique_ptr<Layer>> MakeActivation(const std::string& name) {
+  if (name == "relu") return std::unique_ptr<Layer>(new Relu());
+  if (name == "tanh") return std::unique_ptr<Layer>(new Tanh());
+  if (name == "gelu") return std::unique_ptr<Layer>(new Gelu());
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Model>> BuildModel(const ArchSpec& spec, Rng* rng) {
+  if (spec.input_dim <= 0 || spec.num_classes <= 0) {
+    return Status::InvalidArgument("BuildModel: bad dims");
+  }
+  std::vector<std::unique_ptr<Layer>> layers;
+  if (spec.family == "mlp") {
+    int64_t in = spec.input_dim;
+    if (spec.dropout < 0.0 || spec.dropout >= 1.0) {
+      return Status::InvalidArgument("BuildModel: dropout in [0, 1)");
+    }
+    for (int64_t h : spec.hidden_dims) {
+      if (h <= 0) return Status::InvalidArgument("BuildModel: bad hidden dim");
+      layers.push_back(std::make_unique<Linear>(in, h, rng));
+      if (spec.layer_norm) layers.push_back(std::make_unique<LayerNorm>(h));
+      MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Layer> act,
+                             MakeActivation(spec.activation));
+      layers.push_back(std::move(act));
+      if (spec.dropout > 0.0) {
+        layers.push_back(std::make_unique<Dropout>(
+            static_cast<float>(spec.dropout), rng->NextU64()));
+      }
+      in = h;
+    }
+    layers.push_back(std::make_unique<Linear>(in, spec.num_classes, rng));
+  } else if (spec.family == "resmlp") {
+    if (spec.hidden_dims.empty()) {
+      return Status::InvalidArgument("BuildModel: resmlp needs blocks");
+    }
+    int64_t width = spec.hidden_dims[0];
+    for (int64_t h : spec.hidden_dims) {
+      if (h != width || h <= 0) {
+        return Status::InvalidArgument(
+            "BuildModel: resmlp blocks must share one positive width");
+      }
+    }
+    layers.push_back(
+        std::make_unique<Linear>(spec.input_dim, width, rng));
+    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Layer> act,
+                           MakeActivation(spec.activation));
+    layers.push_back(std::move(act));
+    for (size_t b = 0; b < spec.hidden_dims.size(); ++b) {
+      layers.push_back(std::make_unique<ResidualBlock>(width, rng));
+    }
+    layers.push_back(
+        std::make_unique<Linear>(width, spec.num_classes, rng));
+  } else if (spec.family == "attn") {
+    if (spec.seq_len <= 0 || spec.d_model <= 0 ||
+        spec.seq_len * spec.d_model != spec.input_dim) {
+      return Status::InvalidArgument(
+          "BuildModel: attn requires input_dim == seq_len * d_model");
+    }
+    layers.push_back(
+        std::make_unique<SelfAttention>(spec.seq_len, spec.d_model, rng));
+    layers.push_back(
+        std::make_unique<MeanPool>(spec.seq_len, spec.d_model));
+    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Layer> act,
+                           MakeActivation(spec.activation));
+    layers.push_back(std::move(act));
+    layers.push_back(
+        std::make_unique<Linear>(spec.d_model, spec.num_classes, rng));
+  } else {
+    return Status::InvalidArgument("BuildModel: unknown family " +
+                                   spec.family);
+  }
+  return std::make_unique<Model>(spec, std::move(layers));
+}
+
+ArchSpec MlpSpec(int64_t input_dim, std::vector<int64_t> hidden,
+                 int64_t num_classes, std::string activation,
+                 bool layer_norm) {
+  ArchSpec spec;
+  spec.family = "mlp";
+  spec.input_dim = input_dim;
+  spec.hidden_dims = std::move(hidden);
+  spec.num_classes = num_classes;
+  spec.activation = std::move(activation);
+  spec.layer_norm = layer_norm;
+  return spec;
+}
+
+ArchSpec ResMlpSpec(int64_t input_dim, int64_t width, int64_t num_blocks,
+                    int64_t num_classes) {
+  ArchSpec spec;
+  spec.family = "resmlp";
+  spec.input_dim = input_dim;
+  spec.hidden_dims.assign(static_cast<size_t>(num_blocks), width);
+  spec.num_classes = num_classes;
+  spec.activation = "relu";
+  return spec;
+}
+
+ArchSpec AttnSpec(int64_t seq_len, int64_t d_model, int64_t num_classes) {
+  ArchSpec spec;
+  spec.family = "attn";
+  spec.input_dim = seq_len * d_model;
+  spec.seq_len = seq_len;
+  spec.d_model = d_model;
+  spec.num_classes = num_classes;
+  spec.activation = "relu";
+  return spec;
+}
+
+}  // namespace mlake::nn

@@ -1,0 +1,121 @@
+#ifndef MLAKE_NN_MODEL_H_
+#define MLAKE_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace mlake::nn {
+
+/// Declarative architecture description — the `f*` of the paper's
+/// intrinsic viewpoint. A spec fully determines the layer stack; weights
+/// (θ) are carried separately so the same spec can instantiate many
+/// models.
+struct ArchSpec {
+  /// "mlp" (Linear/activation stack), "resmlp" (linear stem + residual
+  /// blocks) or "attn" (self-attention encoder with mean pooling and a
+  /// linear head).
+  std::string family = "mlp";
+  int64_t input_dim = 0;
+  int64_t num_classes = 0;
+
+  // MLP options. For "resmlp", hidden_dims is {width, width, ...}: one
+  // entry per residual block (all equal).
+  std::vector<int64_t> hidden_dims;
+  std::string activation = "relu";  // relu | tanh | gelu
+  bool layer_norm = false;
+  /// Dropout rate after each activation (mlp family only; 0 disables).
+  double dropout = 0.0;
+
+  // Attention options (input_dim must equal seq_len * d_model).
+  int64_t seq_len = 0;
+  int64_t d_model = 0;
+
+  Json ToJson() const;
+  static Result<ArchSpec> FromJson(const Json& j);
+
+  /// Short signature like "mlp(32-64-64-8,relu)" used in cards and logs.
+  std::string Signature() const;
+
+  friend bool operator==(const ArchSpec& a, const ArchSpec& b);
+};
+
+/// A classifier assembled from a layer stack per an ArchSpec.
+///
+/// Owns layers; exposes forward/backward for the trainer, and parameter
+/// access in three forms: per-layer Param pointers (optimizers), a named
+/// state dict (serialization), and a flat vector view (weight-space
+/// analyses: heritage recovery, embeddings, editing).
+class Model {
+ public:
+  Model(ArchSpec spec, std::vector<std::unique_ptr<Layer>> layers);
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  /// Logits for a [batch, input_dim] batch.
+  Tensor Forward(const Tensor& x, bool training = false);
+
+  /// Backprop from dLoss/dLogits; returns dLoss/dInput. Parameter
+  /// gradients accumulate into each Param::grad.
+  Tensor Backward(const Tensor& d_logits);
+
+  /// Activation after `num_layers` leading layers (0 = input). Used by
+  /// model editing and stitching to read hidden representations.
+  Tensor ForwardUpTo(const Tensor& x, size_t num_layers);
+
+  const ArchSpec& spec() const { return spec_; }
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  /// All trainable parameters, in layer order.
+  std::vector<Param*> Params();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  int64_t NumParams() const;
+
+  /// Named parameters, keys like "3.linear.weight" (layer index, layer
+  /// type, param name).
+  std::vector<std::pair<std::string, const Tensor*>> NamedParams() const;
+
+  /// Loads values by name; every model parameter must be present with a
+  /// matching shape.
+  Status LoadStateDict(
+      const std::vector<std::pair<std::string, Tensor>>& state);
+
+  /// All parameters flattened into one vector (layer order).
+  Tensor FlattenParams() const;
+
+  /// Inverse of FlattenParams.
+  Status UnflattenParams(const Tensor& flat);
+
+  /// Deep copy (same spec, copied weights).
+  std::unique_ptr<Model> Clone() const;
+
+ private:
+  ArchSpec spec_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Instantiates a model with fresh random weights.
+Result<std::unique_ptr<Model>> BuildModel(const ArchSpec& spec, Rng* rng);
+
+/// Convenience spec builders.
+ArchSpec MlpSpec(int64_t input_dim, std::vector<int64_t> hidden,
+                 int64_t num_classes, std::string activation = "relu",
+                 bool layer_norm = false);
+ArchSpec AttnSpec(int64_t seq_len, int64_t d_model, int64_t num_classes);
+ArchSpec ResMlpSpec(int64_t input_dim, int64_t width, int64_t num_blocks,
+                    int64_t num_classes);
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_MODEL_H_

@@ -1,0 +1,73 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace mlake::nn {
+
+void Sgd::Step(const std::vector<Param*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Param* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Param* p = params[i];
+    if (p->frozen) {
+      p->ZeroGrad();
+      continue;
+    }
+    float* pv = p->value.data();
+    float* pg = p->grad.data();
+    float* vel = velocity_[i].data();
+    int64_t n = p->value.NumElements();
+    for (int64_t k = 0; k < n; ++k) {
+      float g = pg[k];
+      if (momentum_ != 0.0f) {
+        vel[k] = momentum_ * vel[k] + g;
+        g = vel[k];
+      }
+      if (weight_decay_ != 0.0f) g += weight_decay_ * pv[k];
+      pv[k] -= lr_ * g;
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step(const std::vector<Param*>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Param* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Param* p = params[i];
+    if (p->frozen) {
+      p->ZeroGrad();
+      continue;
+    }
+    float* pv = p->value.data();
+    float* pg = p->grad.data();
+    float* pm = m_[i].data();
+    float* pvv = v_[i].data();
+    int64_t n = p->value.NumElements();
+    for (int64_t k = 0; k < n; ++k) {
+      float g = pg[k];
+      pm[k] = beta1_ * pm[k] + (1.0f - beta1_) * g;
+      pvv[k] = beta2_ * pvv[k] + (1.0f - beta2_) * g * g;
+      float mhat = pm[k] / bias1;
+      float vhat = pvv[k] / bias2;
+      float update = mhat / (std::sqrt(vhat) + epsilon_);
+      if (weight_decay_ != 0.0f) update += weight_decay_ * pv[k];
+      pv[k] -= lr_ * update;
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace mlake::nn

@@ -1,0 +1,59 @@
+#ifndef MLAKE_NN_OPTIMIZER_H_
+#define MLAKE_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mlake::nn {
+
+/// First-order optimizer over a fixed parameter list. Frozen params are
+/// skipped (their gradients may still accumulate; they are simply never
+/// applied).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void Step(const std::vector<Param*>& params) = 0;
+};
+
+/// Stochastic gradient descent with optional momentum and decoupled
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Param*>& params) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;  // lazily sized to params
+};
+
+/// Adam with decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Param*>& params) override;
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_OPTIMIZER_H_

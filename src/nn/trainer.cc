@@ -1,0 +1,112 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+
+Json TrainConfig::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("epochs", epochs);
+  j.Set("batch_size", batch_size);
+  j.Set("lr", static_cast<double>(lr));
+  j.Set("optimizer", optimizer);
+  j.Set("momentum", static_cast<double>(momentum));
+  j.Set("weight_decay", static_cast<double>(weight_decay));
+  j.Set("seed", seed);
+  return j;
+}
+
+TrainConfig TrainConfig::FromJson(const Json& j) {
+  TrainConfig c;
+  c.epochs = static_cast<int>(j.GetInt64("epochs", c.epochs));
+  c.batch_size = static_cast<int>(j.GetInt64("batch_size", c.batch_size));
+  c.lr = static_cast<float>(j.GetDouble("lr", c.lr));
+  c.optimizer = j.GetString("optimizer", c.optimizer);
+  c.momentum = static_cast<float>(j.GetDouble("momentum", c.momentum));
+  c.weight_decay =
+      static_cast<float>(j.GetDouble("weight_decay", c.weight_decay));
+  c.seed = static_cast<uint64_t>(j.GetInt64("seed", 17));
+  return c;
+}
+
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(const TrainConfig& config) {
+  if (config.optimizer == "adam") {
+    return std::unique_ptr<Optimizer>(
+        new Adam(config.lr, 0.9f, 0.999f, 1e-8f, config.weight_decay));
+  }
+  if (config.optimizer == "sgd") {
+    return std::unique_ptr<Optimizer>(
+        new Sgd(config.lr, config.momentum, config.weight_decay));
+  }
+  return Status::InvalidArgument("unknown optimizer: " + config.optimizer);
+}
+
+Result<TrainReport> Train(Model* model, const Dataset& data,
+                          const TrainConfig& config) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument("Train: empty dataset");
+  }
+  if (data.dim() != model->spec().input_dim) {
+    return Status::InvalidArgument("Train: dataset dim mismatch");
+  }
+  if (config.epochs <= 0 || config.batch_size <= 0) {
+    return Status::InvalidArgument("Train: bad epochs/batch");
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> opt,
+                         MakeOptimizer(config));
+
+  Rng rng(config.seed);
+  std::vector<Param*> params = model->Params();
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainReport report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t correct = 0;
+    size_t seen = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      std::vector<size_t> batch_idx(order.begin() + start,
+                                    order.begin() + end);
+      Dataset batch = data.Select(batch_idx);
+      Tensor logits = model->Forward(batch.x, /*training=*/true);
+      LossAndGrad lg = SoftmaxCrossEntropy(logits, batch.labels);
+      epoch_loss += lg.loss * static_cast<double>(batch.size());
+      std::vector<int64_t> pred = RowArgMax(logits);
+      for (size_t i = 0; i < pred.size(); ++i) {
+        if (pred[i] == batch.labels[i]) ++correct;
+      }
+      seen += batch.size();
+      model->Backward(lg.d_logits);
+      opt->Step(params);
+    }
+    report.epoch_loss.push_back(epoch_loss / static_cast<double>(seen));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(seen));
+  }
+  report.final_loss = report.epoch_loss.back();
+  report.final_accuracy = report.epoch_accuracy.back();
+  return report;
+}
+
+double EvaluateAccuracy(Model* model, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  Tensor logits = model->Forward(data.x, /*training=*/false);
+  return Accuracy(logits, data.labels);
+}
+
+double EvaluateLoss(Model* model, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  Tensor logits = model->Forward(data.x, /*training=*/false);
+  LossAndGrad lg = SoftmaxCrossEntropy(logits, data.labels);
+  return lg.loss;
+}
+
+}  // namespace mlake::nn

@@ -1,0 +1,52 @@
+#ifndef MLAKE_NN_TRAINER_H_
+#define MLAKE_NN_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace mlake::nn {
+
+/// Hyperparameters for a training run — the `A` (algorithm) of the
+/// paper's history viewpoint; recorded verbatim in model cards.
+struct TrainConfig {
+  int epochs = 12;
+  int batch_size = 32;
+  float lr = 3e-3f;
+  std::string optimizer = "adam";  // "adam" | "sgd"
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  uint64_t seed = 17;
+
+  Json ToJson() const;
+  static TrainConfig FromJson(const Json& j);
+};
+
+/// Per-epoch training curve.
+struct TrainReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+};
+
+/// Minibatch-trains `model` in place. Deterministic given config.seed.
+Result<TrainReport> Train(Model* model, const Dataset& data,
+                          const TrainConfig& config);
+
+/// Classification accuracy on `data` (inference mode).
+double EvaluateAccuracy(Model* model, const Dataset& data);
+
+/// Mean cross-entropy on `data` (inference mode).
+double EvaluateLoss(Model* model, const Dataset& data);
+
+/// Constructs the optimizer named in the config.
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(const TrainConfig& config);
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_TRAINER_H_

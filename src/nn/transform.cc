@@ -1,0 +1,326 @@
+#include "nn/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+
+Result<TrainReport> Finetune(Model* model, const Dataset& data,
+                             const TrainConfig& config) {
+  return Train(model, data, config);
+}
+
+namespace {
+
+/// Collects pointers to every Linear layer in the model, in order.
+std::vector<Linear*> LinearLayers(Model* model) {
+  std::vector<Linear*> out;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      out.push_back(static_cast<Linear*>(model->layer(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LoraReport> LoraFinetune(Model* model, const Dataset& data,
+                                int64_t rank, float scale,
+                                const TrainConfig& config) {
+  if (rank <= 0) return Status::InvalidArgument("LoraFinetune: rank <= 0");
+  if (data.size() == 0) {
+    return Status::InvalidArgument("LoraFinetune: empty dataset");
+  }
+  std::vector<Linear*> linears = LinearLayers(model);
+  if (linears.empty()) {
+    return Status::FailedPrecondition("LoraFinetune: no linear layers");
+  }
+
+  Rng rng(config.seed ^ 0x10A4ULL);
+  struct Adapter {
+    Linear* layer;
+    Tensor base_w;  // frozen snapshot
+    Param a;        // [rank, in]
+    Param b;        // [out, rank]
+  };
+  std::vector<Adapter> adapters;
+  adapters.reserve(linears.size());
+  for (Linear* lin : linears) {
+    int64_t r = std::min(rank, std::min(lin->in_dim(), lin->out_dim()));
+    Adapter ad{lin, lin->weight().value,
+               Param("lora_a", Tensor::RandomNormal(
+                                   {r, lin->in_dim()}, &rng,
+                                   1.0f / std::sqrt(static_cast<float>(
+                                              lin->in_dim())))),
+               Param("lora_b", Tensor::Zeros({lin->out_dim(), r}))};
+    adapters.push_back(std::move(ad));
+  }
+
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> opt,
+                         MakeOptimizer(config));
+  std::vector<Param*> lora_params;
+  for (Adapter& ad : adapters) {
+    lora_params.push_back(&ad.a);
+    lora_params.push_back(&ad.b);
+  }
+
+  Rng order_rng(config.seed);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainReport report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    order_rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t correct = 0, seen = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      std::vector<size_t> batch_idx(order.begin() + start,
+                                    order.begin() + end);
+      Dataset batch = data.Select(batch_idx);
+
+      // Write merged weights W + s*BA into each linear for this step.
+      for (Adapter& ad : adapters) {
+        Tensor delta = MatMul(ad.b.value, ad.a.value);
+        ad.layer->weight().value = ad.base_w;
+        Axpy(scale, delta, &ad.layer->weight().value);
+      }
+
+      Tensor logits = model->Forward(batch.x, /*training=*/true);
+      LossAndGrad lg = SoftmaxCrossEntropy(logits, batch.labels);
+      epoch_loss += lg.loss * static_cast<double>(batch.size());
+      std::vector<int64_t> pred = RowArgMax(logits);
+      for (size_t i = 0; i < pred.size(); ++i) {
+        if (pred[i] == batch.labels[i]) ++correct;
+      }
+      seen += batch.size();
+
+      model->ZeroGrad();
+      model->Backward(lg.d_logits);
+
+      // Chain rule through W_eff = W + s*BA:
+      //   dA = s * B^T dW,   dB = s * dW A^T.
+      for (Adapter& ad : adapters) {
+        const Tensor& dw = ad.layer->weight().grad;
+        Tensor da = Scale(MatMulTransposedA(ad.b.value, dw), scale);
+        Tensor db = Scale(MatMulTransposedB(dw, ad.a.value), scale);
+        Axpy(1.0f, da, &ad.a.grad);
+        Axpy(1.0f, db, &ad.b.grad);
+      }
+      model->ZeroGrad();  // base params stay frozen
+      opt->Step(lora_params);
+    }
+    report.epoch_loss.push_back(epoch_loss / static_cast<double>(seen));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(seen));
+  }
+
+  // Merge final adapters into the base weights.
+  for (Adapter& ad : adapters) {
+    Tensor delta = MatMul(ad.b.value, ad.a.value);
+    ad.layer->weight().value = ad.base_w;
+    Axpy(scale, delta, &ad.layer->weight().value);
+  }
+
+  report.final_loss = report.epoch_loss.back();
+  report.final_accuracy = report.epoch_accuracy.back();
+  LoraReport out;
+  out.train = std::move(report);
+  out.rank = rank;
+  out.adapted_layers = static_cast<int64_t>(adapters.size());
+  return out;
+}
+
+Result<double> RankOneEdit(Model* model, const Tensor& probe_input,
+                           int64_t target_class, float strength) {
+  if (probe_input.rank() != 2 || probe_input.dim(0) != 1) {
+    return Status::InvalidArgument("RankOneEdit: probe must be [1, d]");
+  }
+  // Locate the final linear layer; its input activation is the "key".
+  int last_linear = -1;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      last_linear = static_cast<int>(i);
+    }
+  }
+  if (last_linear < 0) {
+    return Status::FailedPrecondition("RankOneEdit: no linear layer");
+  }
+  Linear* head = static_cast<Linear*>(model->layer(
+      static_cast<size_t>(last_linear)));
+  if (target_class < 0 || target_class >= head->out_dim()) {
+    return Status::InvalidArgument("RankOneEdit: target class out of range");
+  }
+
+  Tensor hidden = model->ForwardUpTo(probe_input,
+                                     static_cast<size_t>(last_linear));
+  Tensor h = hidden.Row(0);
+  double h_norm_sq = Dot(h, h);
+  if (h_norm_sq < 1e-12) {
+    return Status::FailedPrecondition("RankOneEdit: zero key vector");
+  }
+
+  // Desired logit shift: +strength on the target, -strength/(C-1)
+  // elsewhere (keeps the mean logit unchanged).
+  Tensor logits = model->Forward(probe_input, /*training=*/false);
+  int64_t classes = logits.dim(1);
+  Tensor delta({classes});
+  for (int64_t c = 0; c < classes; ++c) {
+    delta.At(c) = (c == target_class)
+                      ? strength
+                      : -strength / static_cast<float>(classes - 1);
+  }
+
+  // W <- W + (delta ⊗ h) / ||h||^2 so that W' h = W h + delta.
+  Tensor& w = head->weight().value;
+  float inv = static_cast<float>(1.0 / h_norm_sq);
+  for (int64_t r = 0; r < w.dim(0); ++r) {
+    for (int64_t c = 0; c < w.dim(1); ++c) {
+      w.At(r, c) += delta.At(r) * h.At(c) * inv;
+    }
+  }
+
+  Tensor after = model->Forward(probe_input, /*training=*/false);
+  double target_logit = after.At(0, target_class);
+  double best_other = -1e30;
+  for (int64_t c = 0; c < classes; ++c) {
+    if (c != target_class) {
+      best_other = std::max(best_other, static_cast<double>(after.At(0, c)));
+    }
+  }
+  return target_logit - best_other;
+}
+
+Result<std::unique_ptr<Model>> StitchModels(const Model& bottom,
+                                            const Model& top, size_t cut) {
+  if (!(bottom.spec() == top.spec())) {
+    return Status::InvalidArgument("StitchModels: specs differ");
+  }
+  if (cut == 0 || cut >= bottom.num_layers()) {
+    return Status::InvalidArgument("StitchModels: cut out of range");
+  }
+  std::unique_ptr<Model> out = top.Clone();
+  // Copy bottom's parameters for layers below the cut.
+  for (size_t i = 0; i < cut; ++i) {
+    Layer* src = const_cast<Model&>(bottom).layer(i);
+    Layer* dst = out->layer(i);
+    std::vector<Param*> sp = src->Params();
+    std::vector<Param*> dp = dst->Params();
+    MLAKE_CHECK(sp.size() == dp.size()) << "StitchModels: layer mismatch";
+    for (size_t k = 0; k < sp.size(); ++k) {
+      dp[k]->value = sp[k]->value;
+      dp[k]->ZeroGrad();
+    }
+  }
+  return out;
+}
+
+Result<int64_t> MagnitudePrune(Model* model, double fraction) {
+  if (fraction < 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument("MagnitudePrune: fraction in [0,1)");
+  }
+  std::vector<Linear*> linears = LinearLayers(model);
+  std::vector<float> magnitudes;
+  for (Linear* lin : linears) {
+    for (float v : lin->weight().value.storage()) {
+      magnitudes.push_back(std::fabs(v));
+    }
+  }
+  if (magnitudes.empty()) return 0;
+  size_t k = static_cast<size_t>(
+      static_cast<double>(magnitudes.size()) * fraction);
+  if (k == 0) return 0;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (k - 1),
+                   magnitudes.end());
+  float threshold = magnitudes[k - 1];
+  int64_t zeroed = 0;
+  for (Linear* lin : linears) {
+    for (float& v : lin->weight().value.storage()) {
+      if (std::fabs(v) <= threshold && v != 0.0f) {
+        v = 0.0f;
+        ++zeroed;
+      }
+    }
+  }
+  return zeroed;
+}
+
+void AddWeightNoise(Model* model, double relative, Rng* rng) {
+  for (Param* p : model->Params()) {
+    double sum_sq = 0.0;
+    for (float v : p->value.storage()) {
+      sum_sq += static_cast<double>(v) * v;
+    }
+    int64_t n = p->value.NumElements();
+    if (n == 0) continue;
+    double rms = std::sqrt(sum_sq / static_cast<double>(n));
+    double stddev = relative * (rms > 1e-8 ? rms : 1e-8);
+    for (float& v : p->value.storage()) {
+      v += static_cast<float>(rng->Normal(0.0, stddev));
+    }
+  }
+}
+
+Result<std::unique_ptr<Model>> Distill(Model* teacher,
+                                       const ArchSpec& student_spec,
+                                       const Tensor& inputs,
+                                       float temperature,
+                                       const TrainConfig& config, Rng* rng) {
+  if (inputs.rank() != 2 || inputs.dim(1) != teacher->spec().input_dim) {
+    return Status::InvalidArgument("Distill: bad inputs");
+  }
+  if (student_spec.input_dim != teacher->spec().input_dim ||
+      student_spec.num_classes != teacher->spec().num_classes) {
+    return Status::InvalidArgument("Distill: student io dims must match");
+  }
+  if (temperature <= 0.0f) {
+    return Status::InvalidArgument("Distill: temperature <= 0");
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Model> student,
+                         BuildModel(student_spec, rng));
+  Tensor teacher_logits = teacher->Forward(inputs, /*training=*/false);
+  Tensor targets = RowSoftmax(Scale(teacher_logits, 1.0f / temperature));
+
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> opt,
+                         MakeOptimizer(config));
+  std::vector<Param*> params = student->Params();
+  int64_t n = inputs.dim(0);
+  Rng order_rng(config.seed ^ 0xD157ULL);
+  std::vector<size_t> order(static_cast<size_t>(n));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    order_rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      int64_t bsz = static_cast<int64_t>(end - start);
+      Tensor bx({bsz, inputs.dim(1)});
+      Tensor bt({bsz, targets.dim(1)});
+      for (int64_t i = 0; i < bsz; ++i) {
+        size_t src = order[start + static_cast<size_t>(i)];
+        const float* px = inputs.data() +
+                          static_cast<int64_t>(src) * inputs.dim(1);
+        std::copy(px, px + inputs.dim(1), bx.data() + i * inputs.dim(1));
+        const float* pt = targets.data() +
+                          static_cast<int64_t>(src) * targets.dim(1);
+        std::copy(pt, pt + targets.dim(1), bt.data() + i * targets.dim(1));
+      }
+      Tensor logits = student->Forward(bx, /*training=*/true);
+      LossAndGrad lg = SoftCrossEntropy(logits, bt);
+      student->Backward(lg.d_logits);
+      opt->Step(params);
+    }
+  }
+  return student;
+}
+
+}  // namespace mlake::nn

@@ -1,0 +1,73 @@
+#ifndef MLAKE_NN_TRANSFORM_H_
+#define MLAKE_NN_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace mlake::nn {
+
+/// Model-to-model transformations. Each corresponds to one typed edge in
+/// the model version graph (paper §4 "Model Versions"): fine-tuning,
+/// parameter-efficient tuning (LoRA), model editing, model stitching,
+/// pruning, and distillation.
+
+/// Full fine-tuning: continues training every parameter on `data`.
+Result<TrainReport> Finetune(Model* model, const Dataset& data,
+                             const TrainConfig& config);
+
+/// Result of a LoRA fine-tune: the adapters were merged into the model's
+/// linear weights (W <- W + scale * B A) after training.
+struct LoraReport {
+  TrainReport train;
+  int64_t rank = 0;
+  int64_t adapted_layers = 0;
+};
+
+/// Parameter-efficient fine-tuning with low-rank adapters on every
+/// Linear layer. Base weights and biases stay frozen during adaptation;
+/// gradients for A and B are derived from the merged-weight gradient by
+/// the chain rule (dA = s B^T dW, dB = s dW A^T). On success the deltas
+/// are merged, so downstream weight-space analyses see a low-rank
+/// difference from the parent — the signature heritage recovery exploits.
+Result<LoraReport> LoraFinetune(Model* model, const Dataset& data,
+                                int64_t rank, float scale,
+                                const TrainConfig& config);
+
+/// ROME-style rank-one edit of the final Linear layer: for the hidden key
+/// vector produced by `probe_input` (a [1, input_dim] tensor), shifts the
+/// layer's output toward `target_class` by `strength` logits:
+///   W <- W + (delta ⊗ h) / ||h||^2.
+/// Returns the logit gap achieved for the probe after the edit.
+Result<double> RankOneEdit(Model* model, const Tensor& probe_input,
+                           int64_t target_class, float strength);
+
+/// Model stitching: layers [0, cut) from `bottom` and [cut, end) from
+/// `top`. Both models must share the same architecture spec.
+Result<std::unique_ptr<Model>> StitchModels(const Model& bottom,
+                                            const Model& top, size_t cut);
+
+/// Global magnitude pruning: zeroes the smallest-|w| `fraction` of linear
+/// weight entries (biases untouched). Returns the number zeroed.
+Result<int64_t> MagnitudePrune(Model* model, double fraction);
+
+/// Adds i.i.d. Gaussian noise with stddev `relative * rms(weights)` to
+/// every parameter; models "continued pre-training by someone else".
+void AddWeightNoise(Model* model, double relative, Rng* rng);
+
+/// Knowledge distillation: trains a fresh `student_spec` model to match
+/// the teacher's softened output distribution on `inputs`.
+Result<std::unique_ptr<Model>> Distill(Model* teacher,
+                                       const ArchSpec& student_spec,
+                                       const Tensor& inputs,
+                                       float temperature,
+                                       const TrainConfig& config, Rng* rng);
+
+}  // namespace mlake::nn
+
+#endif  // MLAKE_NN_TRANSFORM_H_

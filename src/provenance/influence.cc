@@ -1,0 +1,302 @@
+#include "provenance/influence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace mlake::provenance {
+
+namespace {
+
+/// Index of the final linear layer, or -1.
+int FindHead(nn::Model* model) {
+  int last = -1;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") last = static_cast<int>(i);
+  }
+  return last;
+}
+
+/// In-place Cholesky factorization A = L Lᵀ (lower triangle); returns
+/// false if the matrix is not positive definite.
+bool CholeskyFactor(std::vector<double>* a, size_t n) {
+  std::vector<double>& m = *a;
+  for (size_t j = 0; j < n; ++j) {
+    double diag = m[j * n + j];
+    for (size_t k = 0; k < j; ++k) diag -= m[j * n + k] * m[j * n + k];
+    if (diag <= 0.0) return false;
+    double l_jj = std::sqrt(diag);
+    m[j * n + j] = l_jj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = m[i * n + j];
+      for (size_t k = 0; k < j; ++k) v -= m[i * n + k] * m[j * n + k];
+      m[i * n + j] = v / l_jj;
+    }
+  }
+  return true;
+}
+
+/// Solves L Lᵀ x = b given the Cholesky factor (lower triangle of `l`).
+std::vector<double> CholeskySolve(const std::vector<double>& l, size_t n,
+                                  const std::vector<double>& b) {
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l[i * n + k] * y[k];
+    y[i] = v / l[i * n + i];
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double v = y[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l[k * n + i] * x[k];
+    x[i] = v / l[i * n + i];
+  }
+  return x;
+}
+
+/// Per-example head gradient of CE loss, flattened [(C)(H+1)] with the
+/// bias folded in as feature H.
+void HeadGradient(const Tensor& probs_row, int64_t label,
+                  const Tensor& hidden_row, std::vector<double>* grad) {
+  int64_t classes = probs_row.NumElements();
+  int64_t h_dim = hidden_row.NumElements();
+  grad->assign(static_cast<size_t>(classes * (h_dim + 1)), 0.0);
+  for (int64_t c = 0; c < classes; ++c) {
+    double err = probs_row.At(c) - (c == label ? 1.0 : 0.0);
+    double* row = grad->data() + c * (h_dim + 1);
+    for (int64_t j = 0; j < h_dim; ++j) {
+      row[j] = err * hidden_row.At(j);
+    }
+    row[h_dim] = err;  // bias
+  }
+}
+
+}  // namespace
+
+Result<InfluenceReport> ComputeInfluence(nn::Model* model,
+                                         const nn::Dataset& train,
+                                         const Tensor& test_x,
+                                         int64_t test_label,
+                                         const InfluenceConfig& config) {
+  if (train.size() == 0) {
+    return Status::InvalidArgument("ComputeInfluence: empty training set");
+  }
+  if (test_x.rank() != 2 || test_x.dim(0) != 1) {
+    return Status::InvalidArgument("ComputeInfluence: test_x must be [1, d]");
+  }
+  int head_idx = FindHead(model);
+  if (head_idx < 0) {
+    return Status::FailedPrecondition("ComputeInfluence: no linear head");
+  }
+  auto head_layer = static_cast<nn::Linear*>(
+      model->layer(static_cast<size_t>(head_idx)));
+  int64_t h_dim = head_layer->in_dim();
+  int64_t classes = head_layer->out_dim();
+  if (test_label < 0 || test_label >= classes) {
+    return Status::InvalidArgument("ComputeInfluence: bad test label");
+  }
+  size_t dim = static_cast<size_t>(classes * (h_dim + 1));
+
+  Tensor hidden = model->ForwardUpTo(train.x, static_cast<size_t>(head_idx));
+  Tensor logits = model->Forward(train.x, /*training=*/false);
+  Tensor probs = RowSoftmax(logits);
+
+  // Empirical-risk Hessian: mean over examples of
+  //   (diag(p) - p pᵀ) ⊗ ĥ ĥᵀ, plus damping.
+  std::vector<double> hess(dim * dim, 0.0);
+  int64_t n = static_cast<int64_t>(train.size());
+  std::vector<double> h_hat(static_cast<size_t>(h_dim + 1));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < h_dim; ++j) {
+      h_hat[static_cast<size_t>(j)] = hidden.At(i, j);
+    }
+    h_hat[static_cast<size_t>(h_dim)] = 1.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      double pc = probs.At(i, c);
+      for (int64_t c2 = c; c2 < classes; ++c2) {
+        double coeff = (c == c2) ? pc * (1.0 - pc)
+                                 : -pc * static_cast<double>(probs.At(i, c2));
+        if (coeff == 0.0) continue;
+        for (int64_t j = 0; j <= h_dim; ++j) {
+          double hj = h_hat[static_cast<size_t>(j)];
+          if (hj == 0.0) continue;
+          size_t row = static_cast<size_t>(c * (h_dim + 1) + j);
+          double coeff_hj = coeff * hj;
+          for (int64_t j2 = 0; j2 <= h_dim; ++j2) {
+            size_t col = static_cast<size_t>(c2 * (h_dim + 1) + j2);
+            double v = coeff_hj * h_hat[static_cast<size_t>(j2)];
+            hess[row * dim + col] += v;
+            if (c != c2) hess[col * dim + row] += v;
+          }
+        }
+      }
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (double& v : hess) v *= inv_n;
+  // Symmetrize the same-class blocks (upper was filled, mirror down).
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = r + 1; c < dim; ++c) {
+      double v = 0.5 * (hess[r * dim + c] + hess[c * dim + r]);
+      hess[r * dim + c] = v;
+      hess[c * dim + r] = v;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) hess[d * dim + d] += config.damping;
+
+  if (!CholeskyFactor(&hess, dim)) {
+    return Status::Internal(
+        "ComputeInfluence: Hessian not PD (increase damping)");
+  }
+
+  // Test gradient and H⁻¹ g_test.
+  Tensor test_hidden =
+      model->ForwardUpTo(test_x, static_cast<size_t>(head_idx));
+  Tensor test_logits = model->Forward(test_x, /*training=*/false);
+  Tensor test_probs = RowSoftmax(test_logits);
+  std::vector<double> g_test;
+  HeadGradient(test_probs.Row(0), test_label, test_hidden.Row(0), &g_test);
+  std::vector<double> h_inv_g = CholeskySolve(hess, dim, g_test);
+
+  InfluenceReport report;
+  report.scores.resize(train.size());
+  std::vector<double> g_train;
+  for (int64_t i = 0; i < n; ++i) {
+    HeadGradient(probs.Row(i), train.labels[static_cast<size_t>(i)],
+                 hidden.Row(i), &g_train);
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += g_train[d] * h_inv_g[d];
+    // I = -g_testᵀ H⁻¹ g_train ... scaled by 1/n to match the LOO delta
+    // convention (up-weighting one point by 1/n).
+    report.scores[static_cast<size_t>(i)] = dot * inv_n;
+  }
+  report.ranking.resize(train.size());
+  std::iota(report.ranking.begin(), report.ranking.end(), 0);
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [&](size_t a, size_t b) {
+              return report.scores[a] > report.scores[b];
+            });
+  return report;
+}
+
+Result<nn::TrainReport> TrainHeadOnly(nn::Model* model,
+                                      const nn::Dataset& data,
+                                      const nn::TrainConfig& config) {
+  int head_idx = FindHead(model);
+  if (head_idx < 0) {
+    return Status::FailedPrecondition("TrainHeadOnly: no linear head");
+  }
+  nn::Layer* head = model->layer(static_cast<size_t>(head_idx));
+  std::vector<nn::Param*> head_params = head->Params();
+  std::vector<nn::Param*> all = model->Params();
+  std::vector<bool> saved_frozen;
+  saved_frozen.reserve(all.size());
+  for (nn::Param* p : all) {
+    saved_frozen.push_back(p->frozen);
+    bool is_head = std::find(head_params.begin(), head_params.end(), p) !=
+                   head_params.end();
+    p->frozen = !is_head;
+  }
+  auto result = nn::Train(model, data, config);
+  for (size_t i = 0; i < all.size(); ++i) all[i]->frozen = saved_frozen[i];
+  return result;
+}
+
+Result<std::vector<double>> LeaveOneOutDeltas(
+    nn::Model* model, const nn::Dataset& train, const Tensor& test_x,
+    int64_t test_label, const nn::TrainConfig& retrain_config) {
+  if (train.size() == 0) {
+    return Status::InvalidArgument("LeaveOneOutDeltas: empty training set");
+  }
+  auto test_loss = [&](nn::Model* m) {
+    Tensor logits = m->Forward(test_x, /*training=*/false);
+    return nn::PerExampleNll(logits, {test_label})[0];
+  };
+
+  // Baseline: head retrained on the full set from the current weights.
+  std::unique_ptr<nn::Model> base = model->Clone();
+  MLAKE_RETURN_NOT_OK(
+      TrainHeadOnly(base.get(), train, retrain_config).status());
+  double base_loss = test_loss(base.get());
+
+  std::vector<double> deltas(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    std::unique_ptr<nn::Model> loo = model->Clone();
+    nn::Dataset without = train.Without(i);
+    MLAKE_RETURN_NOT_OK(
+        TrainHeadOnly(loo.get(), without, retrain_config).status());
+    deltas[i] = test_loss(loo.get()) - base_loss;
+  }
+  return deltas;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  MLAKE_CHECK(a.size() == b.size() && !a.empty()) << "Pearson sizes";
+  double n = static_cast<double>(a.size());
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+namespace {
+std::vector<double> Ranks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    double avg_rank = 0.5 * static_cast<double>(i + j);
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+double TopKOverlap(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t k) {
+  MLAKE_CHECK(a.size() == b.size()) << "TopKOverlap sizes";
+  k = std::min(k, a.size());
+  if (k == 0) return 1.0;
+  auto top_indices = [k](const std::vector<double>& v) {
+    std::vector<size_t> order(v.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(),
+                      [&](size_t x, size_t y) { return v[x] > v[y]; });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+    return order;
+  };
+  std::vector<size_t> ta = top_indices(a);
+  std::vector<size_t> tb = top_indices(b);
+  std::vector<size_t> common;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+}  // namespace mlake::provenance

@@ -1,0 +1,72 @@
+#ifndef MLAKE_PROVENANCE_INFLUENCE_H_
+#define MLAKE_PROVENANCE_INFLUENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace mlake::provenance {
+
+/// Training-data attribution via influence functions (Koh & Liang [70]),
+/// computed exactly on the classifier head.
+///
+/// The lake treats the body of the network as a fixed feature extractor
+/// φ(x) (the standard "influence on the top layer" regime): the head is
+/// multinomial logistic regression over h = φ(x), whose loss Hessian is
+/// available in closed form, so
+///   I(z_train, z_test) = -∇L(z_test)ᵀ H⁻¹ ∇L(z_train)
+/// is computed with one damped Cholesky solve per test point. A positive
+/// score means the training point is *helpful* (removing it would raise
+/// the test loss).
+struct InfluenceConfig {
+  /// Tikhonov damping added to the Hessian diagonal.
+  double damping = 1e-3;
+};
+
+/// Influence scores of every training point on one test example.
+struct InfluenceReport {
+  /// One score per training row (same order as `train`).
+  std::vector<double> scores;
+  /// Indices of training rows sorted by descending helpfulness.
+  std::vector<size_t> ranking;
+};
+
+Result<InfluenceReport> ComputeInfluence(nn::Model* model,
+                                         const nn::Dataset& train,
+                                         const Tensor& test_x,
+                                         int64_t test_label,
+                                         const InfluenceConfig& config = {});
+
+/// Trains only the final linear layer (all other params frozen); used to
+/// fit the head on features and by the leave-one-out ground truth.
+Result<nn::TrainReport> TrainHeadOnly(nn::Model* model,
+                                      const nn::Dataset& data,
+                                      const nn::TrainConfig& config);
+
+/// Leave-one-out ground truth: for each training row i, retrains the
+/// head from the current weights without row i and records the change in
+/// test loss (loss_without_i - loss_full). Positive delta = the point
+/// was helpful. O(n * retrain) — only feasible for benchmark-scale n,
+/// which is exactly its role: validating the influence estimates.
+Result<std::vector<double>> LeaveOneOutDeltas(
+    nn::Model* model, const nn::Dataset& train, const Tensor& test_x,
+    int64_t test_label, const nn::TrainConfig& retrain_config);
+
+/// Pearson correlation of two equal-length score vectors.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// |top-k(a) ∩ top-k(b)| / k for descending-score rankings.
+double TopKOverlap(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t k);
+
+}  // namespace mlake::provenance
+
+#endif  // MLAKE_PROVENANCE_INFLUENCE_H_

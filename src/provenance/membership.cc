@@ -1,0 +1,85 @@
+#include "provenance/membership.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.h"
+
+namespace mlake::provenance {
+
+double ComputeAuc(const std::vector<double>& positive_scores,
+                  const std::vector<double>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Mann-Whitney U statistic.
+  double wins = 0.0;
+  for (double p : positive_scores) {
+    for (double n : negative_scores) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(negative_scores.size()));
+}
+
+Result<MembershipReport> LossMembershipAttack(nn::Model* model,
+                                              const nn::Dataset& members,
+                                              const nn::Dataset& nonmembers) {
+  if (members.size() == 0 || nonmembers.size() == 0) {
+    return Status::InvalidArgument("LossMembershipAttack: empty inputs");
+  }
+  Tensor member_logits = model->Forward(members.x, /*training=*/false);
+  Tensor nonmember_logits = model->Forward(nonmembers.x, /*training=*/false);
+  std::vector<double> member_nll =
+      nn::PerExampleNll(member_logits, members.labels);
+  std::vector<double> nonmember_nll =
+      nn::PerExampleNll(nonmember_logits, nonmembers.labels);
+
+  // Attack score = -loss (members expected to have lower loss).
+  std::vector<double> pos(member_nll.size()), neg(nonmember_nll.size());
+  for (size_t i = 0; i < member_nll.size(); ++i) pos[i] = -member_nll[i];
+  for (size_t i = 0; i < nonmember_nll.size(); ++i) {
+    neg[i] = -nonmember_nll[i];
+  }
+
+  MembershipReport report;
+  report.auc = ComputeAuc(pos, neg);
+  report.member_loss =
+      std::accumulate(member_nll.begin(), member_nll.end(), 0.0) /
+      static_cast<double>(member_nll.size());
+  report.nonmember_loss =
+      std::accumulate(nonmember_nll.begin(), nonmember_nll.end(), 0.0) /
+      static_cast<double>(nonmember_nll.size());
+
+  // Best single-threshold *balanced* accuracy: sweep every candidate
+  // threshold, scoring (TPR + TNR) / 2 so class skew cannot inflate it.
+  std::vector<std::pair<double, int>> all;  // (score, is_member)
+  all.reserve(pos.size() + neg.size());
+  for (double s : pos) all.emplace_back(s, 1);
+  for (double s : neg) all.emplace_back(s, 0);
+  std::sort(all.begin(), all.end());
+  // Predicting "member" for score > threshold; walk thresholds between
+  // sorted points.
+  size_t members_above = pos.size();
+  size_t nonmembers_above = neg.size();
+  double best = 0.5;  // degenerate thresholds score exactly 0.5
+  for (const auto& [score, is_member] : all) {
+    if (is_member == 1) {
+      --members_above;
+    } else {
+      --nonmembers_above;
+    }
+    double tpr = static_cast<double>(members_above) /
+                 static_cast<double>(pos.size());
+    double tnr = static_cast<double>(neg.size() - nonmembers_above) /
+                 static_cast<double>(neg.size());
+    best = std::max(best, 0.5 * (tpr + tnr));
+  }
+  report.best_accuracy = best;
+  return report;
+}
+
+}  // namespace mlake::provenance

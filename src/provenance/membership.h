@@ -1,0 +1,41 @@
+#ifndef MLAKE_PROVENANCE_MEMBERSHIP_H_
+#define MLAKE_PROVENANCE_MEMBERSHIP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+
+namespace mlake::provenance {
+
+/// Result of a loss-threshold membership inference attack (Shokri et
+/// al. [135]; Shi et al. [134]): the attacker scores each example by
+/// -loss and predicts "member" for low-loss examples.
+struct MembershipReport {
+  /// AUC of the -loss score separating members from non-members.
+  /// 0.5 = no leakage; 1.0 = perfect membership disclosure.
+  double auc = 0.0;
+  /// Balanced attack accuracy (mean of member and non-member recall) at
+  /// the best single threshold; 0.5 = chance regardless of class skew.
+  double best_accuracy = 0.0;
+  /// Mean loss on members / non-members (the generalization gap that
+  /// powers the attack).
+  double member_loss = 0.0;
+  double nonmember_loss = 0.0;
+};
+
+/// Runs the attack: `members` were in the model's training set,
+/// `nonmembers` were not (same distribution).
+Result<MembershipReport> LossMembershipAttack(nn::Model* model,
+                                              const nn::Dataset& members,
+                                              const nn::Dataset& nonmembers);
+
+/// Area under the ROC curve for scores where positives should score
+/// higher; ties count half (Mann-Whitney U).
+double ComputeAuc(const std::vector<double>& positive_scores,
+                  const std::vector<double>& negative_scores);
+
+}  // namespace mlake::provenance
+
+#endif  // MLAKE_PROVENANCE_MEMBERSHIP_H_

@@ -1,0 +1,90 @@
+#include "provenance/tracin.h"
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace mlake::provenance {
+
+namespace {
+
+int FindHead(nn::Model* model) {
+  int last = -1;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") last = static_cast<int>(i);
+  }
+  return last;
+}
+
+/// Flattened head-gradient of the CE loss for one example.
+void HeadGrad(nn::Model* model, int head_idx, const Tensor& x_row,
+              int64_t label, std::vector<double>* out) {
+  Tensor hidden = model->ForwardUpTo(x_row, static_cast<size_t>(head_idx));
+  Tensor logits = model->Forward(x_row, /*training=*/false);
+  Tensor probs = RowSoftmax(logits);
+  int64_t classes = probs.dim(1);
+  int64_t h_dim = hidden.dim(1);
+  out->assign(static_cast<size_t>(classes * (h_dim + 1)), 0.0);
+  for (int64_t c = 0; c < classes; ++c) {
+    double err = probs.At(0, c) - (c == label ? 1.0 : 0.0);
+    double* row = out->data() + c * (h_dim + 1);
+    for (int64_t j = 0; j < h_dim; ++j) {
+      row[j] = err * hidden.At(0, j);
+    }
+    row[h_dim] = err;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeTracIn(
+    const std::vector<nn::Model*>& checkpoints, const nn::Dataset& train,
+    const Tensor& test_x, int64_t test_label, const TracInConfig& config) {
+  if (checkpoints.empty()) {
+    return Status::InvalidArgument("ComputeTracIn: no checkpoints");
+  }
+  if (train.size() == 0) {
+    return Status::InvalidArgument("ComputeTracIn: empty training set");
+  }
+  std::vector<double> scores(train.size(), 0.0);
+  std::vector<double> g_test, g_train;
+  for (nn::Model* ckpt : checkpoints) {
+    int head_idx = FindHead(ckpt);
+    if (head_idx < 0) {
+      return Status::FailedPrecondition("ComputeTracIn: no linear head");
+    }
+    HeadGrad(ckpt, head_idx, test_x, test_label, &g_test);
+    for (size_t i = 0; i < train.size(); ++i) {
+      Tensor row = train.x.Row(static_cast<int64_t>(i))
+                       .Reshape({1, train.x.dim(1)});
+      HeadGrad(ckpt, head_idx, row, train.labels[i], &g_train);
+      if (g_train.size() != g_test.size()) {
+        return Status::InvalidArgument(
+            "ComputeTracIn: checkpoints have inconsistent head shapes");
+      }
+      double dot = 0.0;
+      for (size_t d = 0; d < g_test.size(); ++d) dot += g_test[d] * g_train[d];
+      scores[i] += static_cast<double>(config.lr) * dot;
+    }
+  }
+  return scores;
+}
+
+Result<Tensor> InputSensitivity(nn::Model* model, const Tensor& x,
+                                int64_t target_class) {
+  if (x.rank() != 2 || x.dim(0) != 1) {
+    return Status::InvalidArgument("InputSensitivity: x must be [1, d]");
+  }
+  if (target_class < 0 || target_class >= model->spec().num_classes) {
+    return Status::InvalidArgument("InputSensitivity: bad target class");
+  }
+  model->ZeroGrad();
+  Tensor logits = model->Forward(x, /*training=*/true);
+  Tensor d_logits(logits.shape());
+  d_logits.At(0, target_class) = 1.0f;
+  Tensor dx = model->Backward(d_logits);
+  model->ZeroGrad();  // discard parameter grads from this probe
+  return dx;
+}
+
+}  // namespace mlake::provenance

@@ -1,0 +1,42 @@
+#ifndef MLAKE_PROVENANCE_TRACIN_H_
+#define MLAKE_PROVENANCE_TRACIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+
+namespace mlake::provenance {
+
+/// TracIn-style training-data attribution: the influence of a training
+/// point is approximated by the sum over saved checkpoints of the dot
+/// product of its loss gradient with the test point's loss gradient,
+/// scaled by the learning rate (Pruthi et al.; cited in the paper's
+/// attribution discussion [52, 70, 153] family of estimators).
+///
+/// Gradients are taken w.r.t. the classifier head only, matching the
+/// influence-function regime so the two estimators are comparable.
+struct TracInConfig {
+  float lr = 1e-2f;  // learning-rate weight per checkpoint
+};
+
+/// `checkpoints` are model snapshots saved during training (e.g. one
+/// clone per epoch). Returns one score per training row; positive =
+/// helpful for the test example.
+Result<std::vector<double>> ComputeTracIn(
+    const std::vector<nn::Model*>& checkpoints, const nn::Dataset& train,
+    const Tensor& test_x, int64_t test_label,
+    const TracInConfig& config = {});
+
+/// Extrinsic attribution (sensitivity analysis, paper §3): gradient of
+/// the target-class logit w.r.t. the input — "which aspects of the
+/// inputs are most important in the model's prediction". Returns a
+/// [1, input_dim] saliency tensor.
+Result<Tensor> InputSensitivity(nn::Model* model, const Tensor& x,
+                                int64_t target_class);
+
+}  // namespace mlake::provenance
+
+#endif  // MLAKE_PROVENANCE_TRACIN_H_

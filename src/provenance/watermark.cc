@@ -1,0 +1,112 @@
+#include "provenance/watermark.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "nn/layers.h"
+
+namespace mlake::provenance {
+
+namespace {
+
+/// Collects pointers to every linear *weight* coordinate in the model
+/// (biases excluded: they are few and often exactly zero).
+std::vector<float*> WeightCoordinates(nn::Model* model) {
+  std::vector<float*> out;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() != "linear") continue;
+    auto* lin = static_cast<nn::Linear*>(model->layer(i));
+    for (float& v : lin->weight().value.storage()) out.push_back(&v);
+  }
+  return out;
+}
+
+/// The keyed mark: distinct coordinate indices plus a +/-1 sign each.
+struct Mark {
+  std::vector<size_t> positions;
+  std::vector<float> signs;
+};
+
+Mark DeriveMark(const std::string& key, size_t total, size_t k) {
+  Rng rng(Fnv1a64(key) ^ 0x3A7E12B4C9D0FFEEULL);
+  Mark mark;
+  mark.positions = rng.SampleWithoutReplacement(total, k);
+  mark.signs.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    mark.signs.push_back(rng.Bernoulli(0.5) ? 1.0f : -1.0f);
+  }
+  return mark;
+}
+
+}  // namespace
+
+Status EmbedWatermark(nn::Model* model, const std::string& key,
+                      const WatermarkConfig& config) {
+  if (key.empty()) return Status::InvalidArgument("watermark key is empty");
+  if (config.num_positions == 0 || config.relative_strength <= 0.0f) {
+    return Status::InvalidArgument("watermark config invalid");
+  }
+  std::vector<float*> coords = WeightCoordinates(model);
+  if (coords.size() < config.num_positions) {
+    return Status::FailedPrecondition(
+        "model has fewer weight coordinates than watermark positions");
+  }
+  // Strength is calibrated to the model's own weight scale.
+  double mean = 0.0;
+  for (float* w : coords) mean += *w;
+  mean /= static_cast<double>(coords.size());
+  double variance = 0.0;
+  for (float* w : coords) {
+    double d = *w - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(coords.size());
+  float strength = config.relative_strength *
+                   static_cast<float>(std::sqrt(variance) + 1e-12);
+  Mark mark = DeriveMark(key, coords.size(), config.num_positions);
+  for (size_t i = 0; i < mark.positions.size(); ++i) {
+    *coords[mark.positions[i]] += strength * mark.signs[i];
+  }
+  return Status::OK();
+}
+
+Result<WatermarkDetection> DetectWatermark(nn::Model* model,
+                                           const std::string& key,
+                                           const WatermarkConfig& config) {
+  if (key.empty()) return Status::InvalidArgument("watermark key is empty");
+  std::vector<float*> coords = WeightCoordinates(model);
+  if (coords.size() < config.num_positions) {
+    return Status::FailedPrecondition(
+        "model has fewer weight coordinates than watermark positions");
+  }
+  Mark mark = DeriveMark(key, coords.size(), config.num_positions);
+
+  // Null hypothesis: weights at the keyed positions are draws from the
+  // model's overall weight distribution with zero signed mean. Estimate
+  // the coordinate variance from all weights.
+  double global_mean = 0.0;
+  for (float* w : coords) global_mean += *w;
+  global_mean /= static_cast<double>(coords.size());
+  double variance = 0.0;
+  for (float* w : coords) {
+    double d = *w - global_mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(coords.size());
+  double stddev = std::sqrt(variance) + 1e-12;
+
+  double signed_sum = 0.0;
+  for (size_t i = 0; i < mark.positions.size(); ++i) {
+    signed_sum += mark.signs[i] * (*coords[mark.positions[i]] - global_mean);
+  }
+  double k = static_cast<double>(mark.positions.size());
+  WatermarkDetection detection;
+  detection.z_score = signed_sum / (stddev * std::sqrt(k));
+  detection.strength_estimate = signed_sum / k;
+  detection.detected = detection.z_score >= config.z_threshold;
+  return detection;
+}
+
+}  // namespace mlake::provenance

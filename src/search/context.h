@@ -1,0 +1,53 @@
+#ifndef MLAKE_SEARCH_CONTEXT_H_
+#define MLAKE_SEARCH_CONTEXT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "index/vector_index.h"
+#include "metadata/model_card.h"
+
+namespace mlake::search {
+
+/// The lake services the MLQL executor needs; implemented by
+/// `core::ModelLake`. Abstracting the surface keeps the query engine
+/// testable against a fake lake and free of a dependency cycle.
+class SearchContext {
+ public:
+  virtual ~SearchContext() = default;
+
+  /// Every model id in the lake.
+  virtual std::vector<std::string> AllModelIds() const = 0;
+
+  /// The (possibly incomplete) card for a model.
+  virtual Result<metadata::ModelCard> CardFor(
+      const std::string& id) const = 0;
+
+  /// The lake embedding of a model (for similarity ranking).
+  virtual Result<std::vector<float>> EmbeddingFor(
+      const std::string& id) const = 0;
+
+  /// ANN search over model embeddings: (model id, distance), ascending.
+  virtual Result<std::vector<std::pair<std::string, float>>>
+  NearestModels(const std::vector<float>& query, size_t k) const = 0;
+
+  /// BM25 keyword scores over cards: (model id, score), descending.
+  virtual Result<std::vector<std::pair<std::string, double>>> KeywordScores(
+      const std::string& text, size_t k) const = 0;
+
+  /// Models trained on `dataset` (exact name, or shard overlap >=
+  /// min_overlap when the lake tracks shards): (model id, overlap).
+  virtual Result<std::vector<std::pair<std::string, double>>> TrainedOn(
+      const std::string& dataset, double min_overlap) const = 0;
+
+  /// Whether `id` is a (transitive) descendant of `ancestor` in the
+  /// version graph.
+  virtual bool IsDescendantOf(const std::string& id,
+                              const std::string& ancestor) const = 0;
+};
+
+}  // namespace mlake::search
+
+#endif  // MLAKE_SEARCH_CONTEXT_H_

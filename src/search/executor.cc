@@ -1,0 +1,427 @@
+#include "search/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "search/parser.h"
+
+namespace mlake::search {
+
+namespace {
+
+constexpr size_t kAllResults = 1'000'000;  // "no limit" for sub-searches
+
+/// Pre-resolves lake-backed calls (trained_on, keyword, derived_from)
+/// once per query so predicate evaluation is a pure per-card check.
+class PredicateEvaluator {
+ public:
+  PredicateEvaluator(const SearchContext& lake) : lake_(lake) {}
+
+  Status Prepare(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
+      case Expr::Kind::kNot:
+        for (const ExprPtr& child : expr.children) {
+          MLAKE_RETURN_NOT_OK(Prepare(*child));
+        }
+        return Status::OK();
+      case Expr::Kind::kCompare:
+        return Status::OK();
+      case Expr::Kind::kCall:
+        return PrepareCall(expr);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Evaluate(const Expr& expr,
+                        const metadata::ModelCard& card) const {
+    switch (expr.kind) {
+      case Expr::Kind::kAnd: {
+        MLAKE_ASSIGN_OR_RETURN(bool left, Evaluate(*expr.children[0], card));
+        if (!left) return false;
+        return Evaluate(*expr.children[1], card);
+      }
+      case Expr::Kind::kOr: {
+        MLAKE_ASSIGN_OR_RETURN(bool left, Evaluate(*expr.children[0], card));
+        if (left) return true;
+        return Evaluate(*expr.children[1], card);
+      }
+      case Expr::Kind::kNot: {
+        MLAKE_ASSIGN_OR_RETURN(bool inner, Evaluate(*expr.children[0], card));
+        return !inner;
+      }
+      case Expr::Kind::kCompare:
+        return EvaluateCompare(expr, card);
+      case Expr::Kind::kCall:
+        return EvaluateCall(expr, card);
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  static std::string CallKey(const Expr& expr) {
+    std::string key = expr.function;
+    for (const Literal& arg : expr.args) {
+      key += "|";
+      key += arg.kind == Literal::Kind::kString
+                 ? arg.string_value
+                 : StrFormat("%g", arg.number_value);
+    }
+    return key;
+  }
+
+  Status PrepareCall(const Expr& expr) {
+    const std::string& fn = expr.function;
+    if (fn == "trained_on") {
+      if (expr.args.empty() ||
+          expr.args[0].kind != Literal::Kind::kString) {
+        return Status::InvalidArgument(
+            "trained_on expects a dataset name string");
+      }
+      double min_overlap = 0.5;
+      if (expr.args.size() >= 2 &&
+          expr.args[1].kind == Literal::Kind::kNumber) {
+        min_overlap = expr.args[1].number_value;
+      }
+      auto hits = lake_.TrainedOn(expr.args[0].string_value, min_overlap);
+      MLAKE_RETURN_NOT_OK(hits.status());
+      std::set<std::string>& ids = call_sets_[CallKey(expr)];
+      for (const auto& [id, overlap] : hits.ValueUnsafe()) ids.insert(id);
+      return Status::OK();
+    }
+    if (fn == "keyword") {
+      if (expr.args.size() != 1 ||
+          expr.args[0].kind != Literal::Kind::kString) {
+        return Status::InvalidArgument("keyword expects one string");
+      }
+      auto hits = lake_.KeywordScores(expr.args[0].string_value, kAllResults);
+      MLAKE_RETURN_NOT_OK(hits.status());
+      std::set<std::string>& ids = call_sets_[CallKey(expr)];
+      for (const auto& [id, score] : hits.ValueUnsafe()) {
+        if (score > 0.0) ids.insert(id);
+      }
+      return Status::OK();
+    }
+    if (fn == "tag" || fn == "derived_from") {
+      if (expr.args.size() != 1 ||
+          expr.args[0].kind != Literal::Kind::kString) {
+        return Status::InvalidArgument(fn + " expects one string");
+      }
+      return Status::OK();  // evaluated per card
+    }
+    return Status::InvalidArgument("unknown predicate function: " + fn);
+  }
+
+  Result<bool> EvaluateCall(const Expr& expr,
+                            const metadata::ModelCard& card) const {
+    const std::string& fn = expr.function;
+    if (fn == "trained_on" || fn == "keyword") {
+      auto it = call_sets_.find(CallKey(expr));
+      if (it == call_sets_.end()) {
+        return Status::Internal("call not prepared: " + fn);
+      }
+      return it->second.count(card.model_id) > 0;
+    }
+    if (fn == "tag") {
+      for (const std::string& tag : card.tags) {
+        if (EqualsIgnoreCase(tag, expr.args[0].string_value)) return true;
+      }
+      return false;
+    }
+    if (fn == "derived_from") {
+      return lake_.IsDescendantOf(card.model_id, expr.args[0].string_value);
+    }
+    return Status::InvalidArgument("unknown predicate function: " + fn);
+  }
+
+  Result<bool> EvaluateCompare(const Expr& expr,
+                               const metadata::ModelCard& card) const {
+    // Numeric fields.
+    if (expr.field == "num_params" || expr.field == "completeness") {
+      if (expr.value.kind != Literal::Kind::kNumber) {
+        return Status::InvalidArgument("field " + expr.field +
+                                       " expects a number");
+      }
+      double lhs = expr.field == "num_params"
+                       ? static_cast<double>(card.num_params)
+                       : metadata::CompletenessScore(card);
+      double rhs = expr.value.number_value;
+      switch (expr.op) {
+        case CompareOp::kEq:
+          return lhs == rhs;
+        case CompareOp::kNe:
+          return lhs != rhs;
+        case CompareOp::kLt:
+          return lhs < rhs;
+        case CompareOp::kLe:
+          return lhs <= rhs;
+        case CompareOp::kGt:
+          return lhs > rhs;
+        case CompareOp::kGe:
+          return lhs >= rhs;
+        case CompareOp::kContains:
+          return Status::InvalidArgument("CONTAINS on numeric field");
+      }
+      return Status::Internal("unreachable");
+    }
+    // String fields.
+    const std::string* lhs = nullptr;
+    if (expr.field == "task") {
+      lhs = &card.task;
+    } else if (expr.field == "name") {
+      lhs = &card.name;
+    } else if (expr.field == "model_id" || expr.field == "id") {
+      lhs = &card.model_id;
+    } else if (expr.field == "creator") {
+      lhs = &card.creator;
+    } else if (expr.field == "license") {
+      lhs = &card.license;
+    } else if (expr.field == "architecture") {
+      lhs = &card.architecture;
+    } else if (expr.field == "description") {
+      lhs = &card.description;
+    } else {
+      return Status::InvalidArgument("unknown field: " + expr.field);
+    }
+    if (expr.value.kind != Literal::Kind::kString) {
+      return Status::InvalidArgument("field " + expr.field +
+                                     " expects a string");
+    }
+    const std::string& rhs = expr.value.string_value;
+    switch (expr.op) {
+      case CompareOp::kEq:
+        return EqualsIgnoreCase(*lhs, rhs);
+      case CompareOp::kNe:
+        return !EqualsIgnoreCase(*lhs, rhs);
+      case CompareOp::kContains:
+        return ToLower(*lhs).find(ToLower(rhs)) != std::string::npos;
+      default:
+        return Status::InvalidArgument("ordering comparison on string field " +
+                                       expr.field);
+    }
+  }
+
+  const SearchContext& lake_;
+  std::unordered_map<std::string, std::set<std::string>> call_sets_;
+};
+
+/// Computes ranking scores (higher = better) for the given candidates.
+Result<std::vector<RankedModel>> RankCandidates(
+    const SearchContext& lake, const Query& query,
+    const std::vector<std::string>& candidates, std::string* plan) {
+  std::vector<RankedModel> out;
+  auto score_all_by_card = [&](auto scorer) -> Status {
+    for (const std::string& id : candidates) {
+      MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, lake.CardFor(id));
+      auto maybe = scorer(card);
+      if (maybe.has_value()) out.push_back(RankedModel{id, *maybe});
+    }
+    return Status::OK();
+  };
+
+  if (!query.has_rank) {
+    *plan += "; rank by completeness (default)";
+    MLAKE_RETURN_NOT_OK(score_all_by_card(
+        [](const metadata::ModelCard& card) -> std::optional<double> {
+          return metadata::CompletenessScore(card);
+        }));
+  } else if (query.rank.function == "completeness") {
+    *plan += "; rank by completeness";
+    MLAKE_RETURN_NOT_OK(score_all_by_card(
+        [](const metadata::ModelCard& card) -> std::optional<double> {
+          return metadata::CompletenessScore(card);
+        }));
+  } else if (query.rank.function == "keyword") {
+    if (query.rank.args.size() != 1 ||
+        query.rank.args[0].kind != Literal::Kind::kString) {
+      return Status::InvalidArgument("keyword ranking expects one string");
+    }
+    *plan += "; rank by BM25 keyword score";
+    MLAKE_ASSIGN_OR_RETURN(
+        auto hits,
+        lake.KeywordScores(query.rank.args[0].string_value, kAllResults));
+    std::unordered_map<std::string, double> score_by_id(hits.begin(),
+                                                        hits.end());
+    for (const std::string& id : candidates) {
+      auto it = score_by_id.find(id);
+      out.push_back(RankedModel{id, it == score_by_id.end() ? 0.0
+                                                            : it->second});
+    }
+  } else if (query.rank.function == "behavior_sim" ||
+             query.rank.function == "weight_sim") {
+    if (query.rank.args.size() != 1 ||
+        query.rank.args[0].kind != Literal::Kind::kString) {
+      return Status::InvalidArgument(query.rank.function +
+                                     " expects a model id string");
+    }
+    const std::string& query_id = query.rank.args[0].string_value;
+    MLAKE_ASSIGN_OR_RETURN(std::vector<float> query_vec,
+                           lake.EmbeddingFor(query_id));
+    *plan += "; rank by " + query.rank.function +
+             " (cosine over lake embeddings)";
+    for (const std::string& id : candidates) {
+      if (id == query_id) continue;  // a model is not its own answer
+      MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, lake.EmbeddingFor(id));
+      if (vec.size() != query_vec.size()) continue;
+      double dot = 0.0;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        dot += static_cast<double>(vec[i]) * query_vec[i];
+      }
+      out.push_back(RankedModel{id, dot});
+    }
+  } else if (query.rank.function == "hybrid") {
+    // Reciprocal-rank fusion of BM25 keyword rank and embedding
+    // similarity to a query model — the "hybrid approach, that indexes
+    // both metadata and model embeddings" of the paper's §5 indexer
+    // roadmap. Args: (keyword text, query model id).
+    if (query.rank.args.size() != 2 ||
+        query.rank.args[0].kind != Literal::Kind::kString ||
+        query.rank.args[1].kind != Literal::Kind::kString) {
+      return Status::InvalidArgument(
+          "hybrid ranking expects (keyword text, model id)");
+    }
+    const std::string& text = query.rank.args[0].string_value;
+    const std::string& query_id = query.rank.args[1].string_value;
+    *plan += "; rank by hybrid RRF (BM25 + embedding similarity)";
+
+    MLAKE_ASSIGN_OR_RETURN(auto keyword_hits,
+                           lake.KeywordScores(text, kAllResults));
+    std::unordered_map<std::string, size_t> keyword_rank;
+    for (size_t i = 0; i < keyword_hits.size(); ++i) {
+      keyword_rank[keyword_hits[i].first] = i;
+    }
+
+    MLAKE_ASSIGN_OR_RETURN(std::vector<float> query_vec,
+                           lake.EmbeddingFor(query_id));
+    std::vector<std::pair<double, std::string>> by_similarity;
+    for (const std::string& id : candidates) {
+      if (id == query_id) continue;
+      MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, lake.EmbeddingFor(id));
+      if (vec.size() != query_vec.size()) continue;
+      double dot = 0.0;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        dot += static_cast<double>(vec[i]) * query_vec[i];
+      }
+      by_similarity.emplace_back(-dot, id);  // ascending = best first
+    }
+    std::sort(by_similarity.begin(), by_similarity.end());
+    std::unordered_map<std::string, size_t> embedding_rank;
+    for (size_t i = 0; i < by_similarity.size(); ++i) {
+      embedding_rank[by_similarity[i].second] = i;
+    }
+
+    constexpr double kRrfOffset = 10.0;
+    for (const std::string& id : candidates) {
+      if (id == query_id) continue;
+      double score = 0.0;
+      if (auto it = keyword_rank.find(id); it != keyword_rank.end()) {
+        score += 1.0 / (kRrfOffset + static_cast<double>(it->second));
+      }
+      if (auto it = embedding_rank.find(id); it != embedding_rank.end()) {
+        score += 1.0 / (kRrfOffset + static_cast<double>(it->second));
+      }
+      out.push_back(RankedModel{id, score});
+    }
+  } else if (query.rank.function == "metric") {
+    if (query.rank.args.empty() ||
+        query.rank.args[0].kind != Literal::Kind::kString) {
+      return Status::InvalidArgument("metric ranking expects benchmark name");
+    }
+    std::string benchmark = query.rank.args[0].string_value;
+    std::string metric = "accuracy";
+    if (query.rank.args.size() >= 2 &&
+        query.rank.args[1].kind == Literal::Kind::kString) {
+      metric = query.rank.args[1].string_value;
+    }
+    *plan += "; rank by reported metric '" + metric + "' on '" + benchmark +
+             "' (models without the metric excluded)";
+    MLAKE_RETURN_NOT_OK(score_all_by_card(
+        [&](const metadata::ModelCard& card) -> std::optional<double> {
+          for (const metadata::MetricEntry& m : card.metrics) {
+            if (m.benchmark == benchmark && m.metric == metric) {
+              return m.value;
+            }
+          }
+          return std::nullopt;
+        }));
+  } else {
+    return Status::InvalidArgument("unknown ranking function: " +
+                                   query.rank.function);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const RankedModel& a, const RankedModel& b) {
+              return a.score > b.score || (a.score == b.score && a.id < b.id);
+            });
+  if (out.size() > query.limit) out.resize(query.limit);
+  return out;
+}
+
+}  // namespace
+
+Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
+                               const metadata::ModelCard& card) {
+  PredicateEvaluator evaluator(lake);
+  MLAKE_RETURN_NOT_OK(evaluator.Prepare(expr));
+  return evaluator.Evaluate(expr, card);
+}
+
+Result<QueryResult> ExecuteQuery(const SearchContext& lake,
+                                 const Query& query) {
+  QueryResult result;
+
+  // Fast path: pure similarity ranking with no predicate delegates top-k
+  // to the ANN index (sublinear in lake size).
+  if (query.where == nullptr && query.has_rank &&
+      (query.rank.function == "behavior_sim" ||
+       query.rank.function == "weight_sim") &&
+      query.rank.args.size() == 1 &&
+      query.rank.args[0].kind == Literal::Kind::kString) {
+    const std::string& query_id = query.rank.args[0].string_value;
+    MLAKE_ASSIGN_OR_RETURN(std::vector<float> query_vec,
+                           lake.EmbeddingFor(query_id));
+    MLAKE_ASSIGN_OR_RETURN(auto neighbors,
+                           lake.NearestModels(query_vec, query.limit + 1));
+    result.plan = "ANN index top-k (no predicate)";
+    for (const auto& [id, distance] : neighbors) {
+      if (id == query_id) continue;
+      if (result.models.size() >= query.limit) break;
+      result.models.push_back(RankedModel{id, 1.0 - distance});
+    }
+    return result;
+  }
+
+  std::vector<std::string> candidates = lake.AllModelIds();
+  result.plan = StrFormat("scan %zu cards", candidates.size());
+
+  if (query.where != nullptr) {
+    PredicateEvaluator evaluator(lake);
+    MLAKE_RETURN_NOT_OK(evaluator.Prepare(*query.where));
+    std::vector<std::string> kept;
+    for (const std::string& id : candidates) {
+      MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, lake.CardFor(id));
+      MLAKE_ASSIGN_OR_RETURN(bool keep,
+                             evaluator.Evaluate(*query.where, card));
+      if (keep) kept.push_back(id);
+    }
+    result.plan += StrFormat("; filter -> %zu", kept.size());
+    candidates = std::move(kept);
+  }
+
+  MLAKE_ASSIGN_OR_RETURN(
+      result.models, RankCandidates(lake, query, candidates, &result.plan));
+  return result;
+}
+
+Result<QueryResult> ExecuteQuery(const SearchContext& lake,
+                                 std::string_view mlql) {
+  MLAKE_ASSIGN_OR_RETURN(Query query, ParseQuery(mlql));
+  return ExecuteQuery(lake, query);
+}
+
+}  // namespace mlake::search

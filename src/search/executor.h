@@ -1,0 +1,46 @@
+#ifndef MLAKE_SEARCH_EXECUTOR_H_
+#define MLAKE_SEARCH_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "search/ast.h"
+#include "search/context.h"
+
+namespace mlake::search {
+
+/// One ranked answer.
+struct RankedModel {
+  std::string id;
+  double score = 0.0;
+};
+
+/// The result of executing an MLQL query, including the plan the
+/// executor chose (the lake's EXPLAIN).
+struct QueryResult {
+  std::vector<RankedModel> models;
+  /// e.g. "scan 160 cards; filter; rank by behavior_sim via ANN index".
+  std::string plan;
+};
+
+/// Parses and executes MLQL text against a lake.
+///
+/// Planning: when the query is rank-only over behavior/weight
+/// similarity, the executor delegates to the ANN index (sublinear);
+/// keyword-only queries use the BM25 inverted index; everything else
+/// runs a card scan with per-row predicate evaluation.
+Result<QueryResult> ExecuteQuery(const SearchContext& lake,
+                                 std::string_view mlql);
+
+/// Executes an already-parsed query.
+Result<QueryResult> ExecuteQuery(const SearchContext& lake,
+                                 const Query& query);
+
+/// Evaluates a predicate against one card (exposed for tests).
+Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
+                               const metadata::ModelCard& card);
+
+}  // namespace mlake::search
+
+#endif  // MLAKE_SEARCH_EXECUTOR_H_

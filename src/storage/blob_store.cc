@@ -1,0 +1,100 @@
+#include "storage/blob_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+
+namespace mlake::storage {
+
+namespace fs = std::filesystem;
+
+Result<BlobStore> BlobStore::Open(const std::string& root) {
+  MLAKE_RETURN_NOT_OK(CreateDirs(JoinPath(root, "objects")));
+  return BlobStore(root);
+}
+
+std::string BlobStore::PathFor(const std::string& digest) const {
+  return JoinPath(JoinPath(root_, "objects"),
+                  digest.substr(0, 2) + "/" + digest);
+}
+
+Result<std::string> BlobStore::Put(std::string_view bytes) {
+  std::string digest = Sha256::HexDigest(bytes);
+  std::string path = PathFor(digest);
+  if (FileExists(path)) return digest;  // dedup
+  MLAKE_RETURN_NOT_OK(
+      CreateDirs(JoinPath(JoinPath(root_, "objects"), digest.substr(0, 2))));
+  MLAKE_RETURN_NOT_OK(WriteFileAtomic(path, bytes));
+  return digest;
+}
+
+Result<std::string> BlobStore::Get(const std::string& digest) const {
+  if (digest.size() != 64) {
+    return Status::InvalidArgument("blob digest must be 64 hex chars");
+  }
+  std::string path = PathFor(digest);
+  if (!FileExists(path)) {
+    return Status::NotFound("blob not found: " + digest);
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  if (Sha256::HexDigest(bytes) != digest) {
+    return Status::Corruption("blob content mismatch: " + digest);
+  }
+  return bytes;
+}
+
+bool BlobStore::Contains(const std::string& digest) const {
+  return digest.size() == 64 && FileExists(PathFor(digest));
+}
+
+Status BlobStore::Delete(const std::string& digest) {
+  std::string path = PathFor(digest);
+  if (!FileExists(path)) {
+    return Status::NotFound("blob not found: " + digest);
+  }
+  return RemoveFile(path);
+}
+
+Result<std::vector<std::string>> BlobStore::List() const {
+  std::vector<std::string> digests;
+  std::error_code ec;
+  fs::path objects = fs::path(root_) / "objects";
+  for (const auto& bucket : fs::directory_iterator(objects, ec)) {
+    if (!bucket.is_directory()) continue;
+    std::error_code ec2;
+    for (const auto& blob : fs::directory_iterator(bucket.path(), ec2)) {
+      if (blob.is_regular_file()) {
+        digests.push_back(blob.path().filename().string());
+      }
+    }
+  }
+  if (ec) return Status::IOError("cannot list blob store");
+  std::sort(digests.begin(), digests.end());
+  return digests;
+}
+
+Result<std::vector<std::string>> BlobStore::VerifyAll() const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> digests, List());
+  std::vector<std::string> corrupted;
+  for (const std::string& digest : digests) {
+    auto bytes = ReadFile(PathFor(digest));
+    if (!bytes.ok() || Sha256::HexDigest(bytes.ValueUnsafe()) != digest) {
+      corrupted.push_back(digest);
+    }
+  }
+  return corrupted;
+}
+
+Result<uint64_t> BlobStore::TotalBytes() const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> digests, List());
+  uint64_t total = 0;
+  for (const std::string& digest : digests) {
+    MLAKE_ASSIGN_OR_RETURN(uint64_t size, FileSize(PathFor(digest)));
+    total += size;
+  }
+  return total;
+}
+
+}  // namespace mlake::storage

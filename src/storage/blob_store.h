@@ -1,0 +1,56 @@
+#ifndef MLAKE_STORAGE_BLOB_STORE_H_
+#define MLAKE_STORAGE_BLOB_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake::storage {
+
+/// Content-addressable on-disk blob store.
+///
+/// Blobs are keyed by the SHA-256 hex digest of their bytes and laid out
+/// as `<root>/objects/<d0d1>/<digest>` (two-hex-char fan-out, the git
+/// object-store layout). Writing is idempotent: storing the same bytes
+/// twice is a no-op, which deduplicates identical model checkpoints for
+/// free. Blob files are written atomically (temp + rename).
+class BlobStore {
+ public:
+  /// Opens (creating directories as needed) a store rooted at `root`.
+  static Result<BlobStore> Open(const std::string& root);
+
+  /// Stores `bytes`, returning their digest.
+  Result<std::string> Put(std::string_view bytes);
+
+  /// Fetches a blob; verifies the digest on read and returns Corruption
+  /// if the on-disk bytes no longer match their name.
+  Result<std::string> Get(const std::string& digest) const;
+
+  bool Contains(const std::string& digest) const;
+
+  Status Delete(const std::string& digest);
+
+  /// All stored digests (sorted).
+  Result<std::vector<std::string>> List() const;
+
+  /// Re-hashes every blob; returns digests whose content mismatches.
+  Result<std::vector<std::string>> VerifyAll() const;
+
+  /// Total bytes across all blobs.
+  Result<uint64_t> TotalBytes() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit BlobStore(std::string root) : root_(std::move(root)) {}
+
+  std::string PathFor(const std::string& digest) const;
+
+  std::string root_;
+};
+
+}  // namespace mlake::storage
+
+#endif  // MLAKE_STORAGE_BLOB_STORE_H_

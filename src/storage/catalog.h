@@ -1,0 +1,59 @@
+#ifndef MLAKE_STORAGE_CATALOG_H_
+#define MLAKE_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "storage/kv_store.h"
+
+namespace mlake::storage {
+
+/// Namespaced JSON-document catalog on top of the KV store.
+///
+/// Keys are "<kind>/<id>" where kind is one of the lake's entity kinds
+/// ("model", "card", "edge", "benchmark", ...). All lake metadata that
+/// is not raw weights lives here.
+class Catalog {
+ public:
+  static Result<std::unique_ptr<Catalog>> Open(const std::string& path);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status PutDoc(const std::string& kind, const std::string& id,
+                const Json& doc);
+
+  Result<Json> GetDoc(const std::string& kind, const std::string& id) const;
+
+  bool Contains(const std::string& kind, const std::string& id) const;
+
+  Status DeleteDoc(const std::string& kind, const std::string& id);
+
+  /// All ids of a kind, sorted.
+  std::vector<std::string> ListIds(const std::string& kind) const;
+
+  size_t CountKind(const std::string& kind) const {
+    return ListIds(kind).size();
+  }
+
+  /// Compacts the underlying log.
+  Status Compact() { return kv_->Compact(); }
+
+  KvStore* kv() { return kv_.get(); }
+
+ private:
+  explicit Catalog(std::unique_ptr<KvStore> kv) : kv_(std::move(kv)) {}
+
+  static std::string KeyFor(const std::string& kind, const std::string& id) {
+    return kind + "/" + id;
+  }
+
+  std::unique_ptr<KvStore> kv_;
+};
+
+}  // namespace mlake::storage
+
+#endif  // MLAKE_STORAGE_CATALOG_H_

@@ -1,0 +1,167 @@
+#include "storage/kv_store.h"
+
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "tensor/serialize.h"
+
+namespace mlake::storage {
+
+namespace {
+constexpr uint8_t kTypePut = 1;
+constexpr uint8_t kTypeDelete = 2;
+}  // namespace
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(
+    const std::string& path, const KvCompactionPolicy& policy) {
+  std::unique_ptr<KvStore> store(new KvStore(path, policy));
+  MLAKE_RETURN_NOT_OK(store->Replay());
+  MLAKE_RETURN_NOT_OK(store->MaybeAutoCompact());
+  return store;
+}
+
+uint64_t KvStore::RecordSize(const std::string& key, std::string_view value) {
+  // crc (4) + type (1) + two length prefixes (4 each) + payloads.
+  return 13 + key.size() + value.size();
+}
+
+Status KvStore::MaybeAutoCompact() {
+  if (!policy_.automatic) return Status::OK();
+  if (log_bytes_ <= policy_.min_log_bytes) return Status::OK();
+  if (static_cast<double>(log_bytes_) <=
+      policy_.max_garbage_ratio *
+          static_cast<double>(live_bytes_ > 0 ? live_bytes_ : 1)) {
+    return Status::OK();
+  }
+  MLAKE_RETURN_NOT_OK(Compact());
+  ++compaction_count_;
+  return Status::OK();
+}
+
+std::string KvStore::EncodeRecord(uint8_t type, const std::string& key,
+                                  std::string_view value) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&body, key);
+  PutLengthPrefixed(&body, value);
+  std::string record;
+  PutU32(&record, Crc32(body));
+  record += body;
+  return record;
+}
+
+Status KvStore::Replay() {
+  index_.clear();
+  log_bytes_ = 0;
+  live_bytes_ = 0;
+  if (!FileExists(path_)) return Status::OK();
+  MLAKE_ASSIGN_OR_RETURN(std::string log, ReadFile(path_));
+  ByteReader reader(log);
+  size_t valid_end = 0;
+  while (!reader.Done()) {
+    uint32_t crc;
+    size_t record_start = reader.position();
+    if (!reader.GetU32(&crc)) break;
+    std::string_view type_byte;
+    if (!reader.GetBytes(1, &type_byte)) break;
+    std::string_view key, value;
+    if (!reader.GetLengthPrefixed(&key)) break;
+    if (!reader.GetLengthPrefixed(&value)) break;
+    // CRC covers [type..value-end].
+    std::string_view body(log.data() + record_start + 4,
+                          reader.position() - record_start - 4);
+    if (Crc32(body) != crc) break;
+    uint8_t type = static_cast<uint8_t>(type_byte[0]);
+    if (type == kTypePut) {
+      std::string key_str(key);
+      auto it = index_.find(key_str);
+      if (it != index_.end()) {
+        live_bytes_ -= RecordSize(key_str, it->second);
+      }
+      live_bytes_ += RecordSize(key_str, value);
+      index_[std::move(key_str)] = std::string(value);
+    } else if (type == kTypeDelete) {
+      std::string key_str(key);
+      auto it = index_.find(key_str);
+      if (it != index_.end()) {
+        live_bytes_ -= RecordSize(key_str, it->second);
+        index_.erase(it);
+      }
+    } else {
+      break;  // unknown record: treat as corrupt tail
+    }
+    valid_end = reader.position();
+  }
+  if (valid_end < log.size()) {
+    MLAKE_LOG_WARNING << "kv store " << path_ << ": truncating "
+                      << (log.size() - valid_end)
+                      << " corrupt tail bytes (torn write recovery)";
+    MLAKE_RETURN_NOT_OK(WriteFile(path_, log.substr(0, valid_end)));
+  }
+  log_bytes_ = valid_end;
+  return Status::OK();
+}
+
+Status KvStore::AppendRecord(uint8_t type, const std::string& key,
+                             std::string_view value) {
+  std::string record = EncodeRecord(type, key, value);
+  MLAKE_RETURN_NOT_OK(AppendFile(path_, record));
+  log_bytes_ += record.size();
+  return Status::OK();
+}
+
+Status KvStore::Put(const std::string& key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  MLAKE_RETURN_NOT_OK(AppendRecord(kTypePut, key, value));
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    live_bytes_ -= RecordSize(key, it->second);
+  }
+  live_bytes_ += RecordSize(key, value);
+  index_[key] = std::string(value);
+  return MaybeAutoCompact();
+}
+
+Result<std::string> KvStore::Get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  return index_.count(key) > 0;
+}
+
+Status KvStore::Delete(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::OK();
+  live_bytes_ -= RecordSize(key, it->second);
+  index_.erase(it);
+  MLAKE_RETURN_NOT_OK(AppendRecord(kTypeDelete, key, ""));
+  return MaybeAutoCompact();
+}
+
+std::vector<std::string> KvStore::ScanPrefix(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status KvStore::Compact() {
+  std::string compacted;
+  for (const auto& [key, value] : index_) {
+    compacted += EncodeRecord(kTypePut, key, value);
+  }
+  MLAKE_RETURN_NOT_OK(WriteFileAtomic(path_, compacted));
+  log_bytes_ = compacted.size();
+  return Status::OK();
+}
+
+}  // namespace mlake::storage

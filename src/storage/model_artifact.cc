@@ -1,0 +1,106 @@
+#include "storage/model_artifact.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "tensor/serialize.h"
+
+namespace mlake::storage {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'L', 'A', 'K', 'E', 'A', 'R', '1'};
+
+void AppendSection(std::string* out, std::string_view name,
+                   std::string_view payload) {
+  PutLengthPrefixed(out, name);
+  PutU32(out, Crc32(payload));
+  PutLengthPrefixed(out, payload);
+}
+}  // namespace
+
+std::string SerializeArtifact(const ModelArtifact& artifact) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kArtifactFormatVersion);
+  uint32_t sections = 2 + static_cast<uint32_t>(artifact.weights.size());
+  PutU32(&out, sections);
+  AppendSection(&out, "arch", artifact.spec.ToJson().Dump());
+  AppendSection(&out, "meta", artifact.meta.Dump());
+  for (const auto& [name, tensor] : artifact.weights) {
+    AppendSection(&out, "w:" + name, TensorToBytes(tensor));
+  }
+  return out;
+}
+
+Result<ModelArtifact> ParseArtifact(std::string_view bytes) {
+  ByteReader reader(bytes);
+  std::string_view magic;
+  if (!reader.GetBytes(sizeof(kMagic), &magic) ||
+      magic != std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::Corruption("artifact: bad magic");
+  }
+  uint32_t version;
+  if (!reader.GetU32(&version)) {
+    return Status::Corruption("artifact: truncated version");
+  }
+  if (version != kArtifactFormatVersion) {
+    return Status::Corruption(
+        StrFormat("artifact: unsupported format version %u", version));
+  }
+  uint32_t sections;
+  if (!reader.GetU32(&sections)) {
+    return Status::Corruption("artifact: truncated section count");
+  }
+  ModelArtifact artifact;
+  bool saw_arch = false;
+  for (uint32_t i = 0; i < sections; ++i) {
+    std::string_view name, payload;
+    uint32_t crc;
+    if (!reader.GetLengthPrefixed(&name) || !reader.GetU32(&crc) ||
+        !reader.GetLengthPrefixed(&payload)) {
+      return Status::Corruption("artifact: truncated section");
+    }
+    if (Crc32(payload) != crc) {
+      return Status::Corruption("artifact: crc mismatch in section '" +
+                                std::string(name) + "'");
+    }
+    if (name == "arch") {
+      MLAKE_ASSIGN_OR_RETURN(Json j, Json::Parse(payload));
+      MLAKE_ASSIGN_OR_RETURN(artifact.spec, nn::ArchSpec::FromJson(j));
+      saw_arch = true;
+    } else if (name == "meta") {
+      MLAKE_ASSIGN_OR_RETURN(artifact.meta, Json::Parse(payload));
+    } else if (StartsWith(name, "w:")) {
+      MLAKE_ASSIGN_OR_RETURN(Tensor t, TensorFromBytes(payload));
+      artifact.weights.emplace_back(std::string(name.substr(2)),
+                                    std::move(t));
+    } else {
+      // Unknown sections are skipped for forward compatibility.
+    }
+  }
+  if (!reader.Done()) {
+    return Status::Corruption("artifact: trailing bytes");
+  }
+  if (!saw_arch) return Status::Corruption("artifact: missing arch section");
+  return artifact;
+}
+
+ModelArtifact ArtifactFromModel(const nn::Model& model, Json meta) {
+  ModelArtifact artifact;
+  artifact.spec = model.spec();
+  artifact.meta = std::move(meta);
+  for (const auto& [name, tensor] : model.NamedParams()) {
+    artifact.weights.emplace_back(name, *tensor);
+  }
+  return artifact;
+}
+
+Result<std::unique_ptr<nn::Model>> ModelFromArtifact(
+    const ModelArtifact& artifact) {
+  Rng rng(1);
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                         nn::BuildModel(artifact.spec, &rng));
+  MLAKE_RETURN_NOT_OK(model->LoadStateDict(artifact.weights));
+  return model;
+}
+
+}  // namespace mlake::storage

@@ -1,0 +1,54 @@
+#ifndef MLAKE_STORAGE_MODEL_ARTIFACT_H_
+#define MLAKE_STORAGE_MODEL_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace mlake::storage {
+
+/// A serialized model checkpoint: architecture spec, named weight
+/// tensors, and free-form metadata. This is "the file you upload to the
+/// lake" — the intrinsic viewpoint (f*, θ) of the paper, detached from
+/// any in-memory Model.
+struct ModelArtifact {
+  nn::ArchSpec spec;
+  std::vector<std::pair<std::string, Tensor>> weights;
+  Json meta;  // free-form (creator, notes); never trusted as history
+};
+
+/// Binary artifact codec.
+///
+/// Layout:
+///   magic "MLAKEAR1" (8 bytes)
+///   u32 format_version
+///   u32 section_count
+///   per section: length-prefixed name, u32 crc32(payload),
+///                length-prefixed payload
+/// Sections: "arch" (JSON), "meta" (JSON), "w:<param-name>" (tensor
+/// codec). Every section carries its own CRC so partial corruption is
+/// pinpointed to a section on read.
+std::string SerializeArtifact(const ModelArtifact& artifact);
+
+/// Parses and CRC-verifies an artifact.
+Result<ModelArtifact> ParseArtifact(std::string_view bytes);
+
+/// Snapshots a live model into an artifact.
+ModelArtifact ArtifactFromModel(const nn::Model& model, Json meta);
+
+/// Rebuilds a live model from an artifact (spec + weights).
+Result<std::unique_ptr<nn::Model>> ModelFromArtifact(
+    const ModelArtifact& artifact);
+
+/// Current (and only) artifact format version.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+}  // namespace mlake::storage
+
+#endif  // MLAKE_STORAGE_MODEL_ARTIFACT_H_

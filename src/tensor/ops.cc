@@ -1,0 +1,268 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlake {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  MLAKE_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
+                              << " vs " << b.ShapeString();
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] += pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out.storage()) v *= s;
+  return out;
+}
+
+void Axpy(float s, const Tensor& b, Tensor* a) {
+  CheckSameShape(*a, b, "Axpy");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->NumElements(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MLAKE_CHECK(a.rank() == 2 && b.rank() == 2) << "MatMul needs matrices";
+  MLAKE_CHECK(a.dim(1) == b.dim(0)) << "MatMul inner dims " << a.ShapeString()
+                                    << " x " << b.ShapeString();
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: streams through b and out rows for cache friendliness.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  MLAKE_CHECK(a.rank() == 2 && b.rank() == 2) << "MatMulTransposedB";
+  MLAKE_CHECK(a.dim(1) == b.dim(1)) << "MatMulTransposedB inner dims";
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      po[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  MLAKE_CHECK(a.rank() == 2 && b.rank() == 2) << "MatMulTransposedA";
+  MLAKE_CHECK(a.dim(0) == b.dim(0)) << "MatMulTransposedA inner dims";
+  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& bias) {
+  MLAKE_CHECK(m.rank() == 2 && bias.rank() == 1) << "AddRowBroadcast ranks";
+  MLAKE_CHECK(m.dim(1) == bias.dim(0)) << "AddRowBroadcast width";
+  Tensor out = m;
+  int64_t rows = m.dim(0), cols = m.dim(1);
+  float* po = out.data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) po[i * cols + j] += pb[j];
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  MLAKE_CHECK(a.rank() == 2) << "Transpose needs a matrix";
+  int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor RowSoftmax(const Tensor& logits) {
+  MLAKE_CHECK(logits.rank() == 2) << "RowSoftmax needs a matrix";
+  Tensor out = logits;
+  int64_t rows = logits.dim(0), cols = logits.dim(1);
+  float* p = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = p + i * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) row[j] /= denom;
+  }
+  return out;
+}
+
+double Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.storage()) acc += v;
+  return acc;
+}
+
+double Mean(const Tensor& a) {
+  if (a.NumElements() == 0) return 0.0;
+  return Sum(a) / static_cast<double>(a.NumElements());
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  MLAKE_CHECK(a.NumElements() == b.NumElements()) << "Dot length mismatch";
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    acc += static_cast<double>(pa[i]) * pb[i];
+  }
+  return acc;
+}
+
+double L2Norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.storage()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double CosineSimilarity(const Tensor& a, const Tensor& b) {
+  MLAKE_CHECK(a.NumElements() == b.NumElements())
+      << "CosineSimilarity length mismatch";
+  double na = L2Norm(a), nb = L2Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+std::vector<int64_t> RowArgMax(const Tensor& m) {
+  MLAKE_CHECK(m.rank() == 2) << "RowArgMax needs a matrix";
+  int64_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(rows), 0);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t best = 0;
+    float best_v = m.At(i, 0);
+    for (int64_t j = 1; j < cols; ++j) {
+      if (m.At(i, j) > best_v) {
+        best_v = m.At(i, j);
+        best = j;
+      }
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor ColumnMean(const Tensor& m) {
+  MLAKE_CHECK(m.rank() == 2) << "ColumnMean needs a matrix";
+  int64_t rows = m.dim(0), cols = m.dim(1);
+  Tensor out({cols});
+  if (rows == 0) return out;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out.At(j) += m.At(i, j);
+  }
+  for (int64_t j = 0; j < cols; ++j) out.At(j) /= static_cast<float>(rows);
+  return out;
+}
+
+int NumericalRank(const Tensor& m, double rel_tol) {
+  MLAKE_CHECK(m.rank() == 2) << "NumericalRank needs a matrix";
+  int64_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<double> a(static_cast<size_t>(rows * cols));
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    a[static_cast<size_t>(i)] = m.data()[i];
+    max_abs = std::max(max_abs, std::fabs(a[static_cast<size_t>(i)]));
+  }
+  if (max_abs == 0.0) return 0;
+  double tol = rel_tol * max_abs;
+  int rank = 0;
+  int64_t row = 0;
+  for (int64_t col = 0; col < cols && row < rows; ++col) {
+    int64_t pivot = -1;
+    double best = tol;
+    for (int64_t r = row; r < rows; ++r) {
+      double v = std::fabs(a[static_cast<size_t>(r * cols + col)]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (pivot < 0) continue;
+    for (int64_t c = 0; c < cols; ++c) {
+      std::swap(a[static_cast<size_t>(row * cols + c)],
+                a[static_cast<size_t>(pivot * cols + c)]);
+    }
+    double pv = a[static_cast<size_t>(row * cols + col)];
+    for (int64_t r = row + 1; r < rows; ++r) {
+      double factor = a[static_cast<size_t>(r * cols + col)] / pv;
+      for (int64_t c = col; c < cols; ++c) {
+        a[static_cast<size_t>(r * cols + c)] -=
+            factor * a[static_cast<size_t>(row * cols + c)];
+      }
+    }
+    ++row;
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace mlake

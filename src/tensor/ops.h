@@ -1,0 +1,66 @@
+#ifndef MLAKE_TENSOR_OPS_H_
+#define MLAKE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mlake {
+
+/// Elementwise arithmetic; shapes must match exactly.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+
+/// In-place a += s * b (the axpy of all optimizers). Shapes must match.
+void Axpy(float s, const Tensor& b, Tensor* a);
+
+/// Matrix product of [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Matrix product with the second operand transposed: [m, k] x [n, k]^T.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// Matrix product with the first operand transposed: [k, m]^T x [k, n].
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Adds a [n] bias vector to each row of a [m, n] matrix.
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& bias);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Row-wise softmax of a [m, n] matrix (numerically stabilized).
+Tensor RowSoftmax(const Tensor& logits);
+
+/// Sum of all elements.
+double Sum(const Tensor& a);
+
+/// Mean of all elements.
+double Mean(const Tensor& a);
+
+/// Dot product of two same-length rank-1 tensors.
+double Dot(const Tensor& a, const Tensor& b);
+
+/// Euclidean norm over all elements.
+double L2Norm(const Tensor& a);
+
+/// Cosine similarity over flattened elements; 0 when either is all-zero.
+double CosineSimilarity(const Tensor& a, const Tensor& b);
+
+/// Index of the max element per row of a [m, n] matrix.
+std::vector<int64_t> RowArgMax(const Tensor& m);
+
+/// Per-column mean of a [m, n] matrix -> [n].
+Tensor ColumnMean(const Tensor& m);
+
+/// Numerical rank of a rank-2 tensor via Gaussian elimination with
+/// partial pivoting; pivots below `rel_tol` x the largest entry count as
+/// zero. The workhorse behind low-rank-delta detection (LoRA edges).
+int NumericalRank(const Tensor& m, double rel_tol = 1e-4);
+
+}  // namespace mlake
+
+#endif  // MLAKE_TENSOR_OPS_H_

@@ -1,0 +1,143 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+
+namespace mlake {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::GetI64(int64_t* v) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::GetF32(float* v) {
+  uint32_t bits;
+  if (!GetU32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool ByteReader::GetLengthPrefixed(std::string_view* s) {
+  size_t saved = pos_;
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (remaining() < len) {
+    pos_ = saved;
+    return false;
+  }
+  *s = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::GetBytes(size_t n, std::string_view* s) {
+  if (remaining() < n) return false;
+  *s = data_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+void EncodeTensor(const Tensor& t, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(t.rank()));
+  for (int64_t d : t.shape()) PutI64(out, d);
+  // Raw payload: floats are already little-endian on every supported
+  // target; memcpy for speed.
+  size_t bytes = static_cast<size_t>(t.NumElements()) * sizeof(float);
+  size_t old = out->size();
+  out->resize(old + bytes);
+  if (bytes > 0) std::memcpy(out->data() + old, t.data(), bytes);
+}
+
+Result<Tensor> DecodeTensor(ByteReader* reader) {
+  uint32_t rank;
+  if (!reader->GetU32(&rank)) {
+    return Status::Corruption("tensor: truncated rank");
+  }
+  if (rank > 8) return Status::Corruption("tensor: implausible rank");
+  std::vector<int64_t> shape(rank);
+  int64_t count = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    if (!reader->GetI64(&shape[i])) {
+      return Status::Corruption("tensor: truncated shape");
+    }
+    if (shape[i] < 0) return Status::Corruption("tensor: negative dim");
+    count *= shape[i];
+  }
+  std::string_view payload;
+  size_t bytes = static_cast<size_t>(count) * sizeof(float);
+  if (!reader->GetBytes(bytes, &payload)) {
+    return Status::Corruption("tensor: truncated payload");
+  }
+  std::vector<float> values(static_cast<size_t>(count));
+  if (bytes > 0) std::memcpy(values.data(), payload.data(), bytes);
+  return Tensor::FromVector(std::move(shape), std::move(values));
+}
+
+std::string TensorToBytes(const Tensor& t) {
+  std::string out;
+  EncodeTensor(t, &out);
+  return out;
+}
+
+Result<Tensor> TensorFromBytes(std::string_view bytes) {
+  ByteReader reader(bytes);
+  MLAKE_ASSIGN_OR_RETURN(Tensor t, DecodeTensor(&reader));
+  if (!reader.Done()) {
+    return Status::Corruption("tensor: trailing bytes");
+  }
+  return t;
+}
+
+}  // namespace mlake

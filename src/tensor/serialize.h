@@ -1,0 +1,56 @@
+#ifndef MLAKE_TENSOR_SERIALIZE_H_
+#define MLAKE_TENSOR_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace mlake {
+
+/// Binary little-endian primitives shared by the tensor codec, the model
+/// artifact format and the KV store log format.
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutF32(std::string* out, float v);
+void PutLengthPrefixed(std::string* out, std::string_view s);
+
+/// Cursor-based decoder. All Get* return false on underflow and leave the
+/// cursor unchanged in that case.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetF32(float* v);
+  bool GetLengthPrefixed(std::string_view* s);
+  /// Raw byte run.
+  bool GetBytes(size_t n, std::string_view* s);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Appends the tensor encoding: rank, dims, raw f32 payload.
+void EncodeTensor(const Tensor& t, std::string* out);
+
+/// Decodes one tensor at the reader cursor.
+Result<Tensor> DecodeTensor(ByteReader* reader);
+
+/// Convenience round trips.
+std::string TensorToBytes(const Tensor& t);
+Result<Tensor> TensorFromBytes(std::string_view bytes);
+
+}  // namespace mlake
+
+#endif  // MLAKE_TENSOR_SERIALIZE_H_

@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mlake {
+
+namespace {
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MLAKE_CHECK(d >= 0) << "negative dimension";
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ElementCount(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  MLAKE_CHECK(ElementCount(shape) == static_cast<int64_t>(values.size()))
+      << "FromVector: shape/element mismatch";
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int64_t fan_out, int64_t fan_in, Rng* rng) {
+  Tensor t({fan_out, fan_in});
+  double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> shape) const {
+  MLAKE_CHECK(ElementCount(shape) == NumElements())
+      << "Reshape: element count mismatch";
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::Row(int64_t i) const {
+  MLAKE_CHECK(rank() == 2) << "Row on non-matrix";
+  MLAKE_CHECK(i >= 0 && i < shape_[0]) << "Row out of range";
+  int64_t cols = shape_[1];
+  Tensor out({cols});
+  const float* src = data_.data() + i * cols;
+  std::copy(src, src + cols, out.data());
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%lld", static_cast<long long>(shape_[i]));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mlake

@@ -1,0 +1,92 @@
+#ifndef MLAKE_TENSOR_TENSOR_H_
+#define MLAKE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mlake {
+
+/// Dense row-major float32 tensor.
+///
+/// The mlake NN substrate is CPU-only and small-model oriented; a single
+/// contiguous buffer with explicit shape bookkeeping is sufficient and
+/// keeps serialization trivial. Rank is arbitrary, but most call sites
+/// use rank 1 (vectors) and rank 2 (batch x features / weight matrices).
+class Tensor {
+ public:
+  /// Constructs an empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Constructs a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Named constructors.
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+  /// I.i.d. Normal(0, stddev) entries.
+  static Tensor RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                             float stddev = 1.0f);
+  /// Xavier/Glorot-uniform init for a [fan_out, fan_in] weight matrix.
+  static Tensor XavierUniform(int64_t fan_out, int64_t fan_in, Rng* rng);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t axis) const {
+    MLAKE_DCHECK(axis < shape_.size());
+    return shape_[axis];
+  }
+  size_t rank() const { return shape_.size(); }
+  int64_t NumElements() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Element accessors (rank-checked).
+  float& At(int64_t i) {
+    MLAKE_DCHECK(rank() == 1);
+    return data_[static_cast<size_t>(i)];
+  }
+  float At(int64_t i) const {
+    MLAKE_DCHECK(rank() == 1);
+    return data_[static_cast<size_t>(i)];
+  }
+  float& At(int64_t i, int64_t j) {
+    MLAKE_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+  float At(int64_t i, int64_t j) const {
+    MLAKE_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+
+  /// Returns a copy with a new shape; element count must match.
+  Tensor Reshape(std::vector<int64_t> shape) const;
+
+  /// Returns row `i` of a rank-2 tensor as a rank-1 copy.
+  Tensor Row(int64_t i) const;
+
+  /// Mutating fill.
+  void Fill(float value);
+
+  /// Shape equality.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable "[2, 3]" shape string.
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mlake
+
+#endif  // MLAKE_TENSOR_TENSOR_H_

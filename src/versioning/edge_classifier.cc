@@ -1,0 +1,215 @@
+#include "versioning/edge_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "versioning/heritage.h"
+
+namespace mlake::versioning {
+
+Tensor EdgeFeatures::ToTensor() const {
+  return Tensor::FromVector(
+      {1, kDim},
+      {static_cast<float>(relative_norm),
+       static_cast<float>(child_zero_fraction),
+       static_cast<float>(min_rank_ratio),
+       static_cast<float>(max_rank_ratio),
+       static_cast<float>(bias_delta_ratio),
+       static_cast<float>(kurtosis_delta),
+       static_cast<float>(changed_fraction)});
+}
+
+Result<EdgeFeatures> ComputeEdgeFeatures(nn::Model* parent,
+                                         nn::Model* child) {
+  if (!(parent->spec() == child->spec())) {
+    return Status::InvalidArgument(
+        "ComputeEdgeFeatures: models must share an architecture");
+  }
+  EdgeFeatures features;
+
+  Tensor parent_flat = parent->FlattenParams();
+  Tensor child_flat = child->FlattenParams();
+  Tensor delta = Sub(child_flat, parent_flat);
+  double parent_norm = L2Norm(parent_flat) + 1e-12;
+  features.relative_norm = L2Norm(delta) / parent_norm;
+  features.kurtosis_delta =
+      WeightKurtosis(child_flat) - WeightKurtosis(parent_flat);
+
+  constexpr float kTiny = 1e-9f;
+  int64_t changed = 0;
+  for (float v : delta.storage()) {
+    if (std::fabs(v) > kTiny) ++changed;
+  }
+  features.changed_fraction =
+      static_cast<double>(changed) /
+      static_cast<double>(std::max<int64_t>(1, delta.NumElements()));
+
+  // Per-linear-layer structure.
+  double weight_delta_sq = 0.0, bias_delta_sq = 0.0;
+  double min_rank_ratio = 1.0, max_rank_ratio = 0.0;
+  int64_t child_zeros = 0, child_weights = 0;
+  bool any_linear = false;
+  for (size_t i = 0; i < parent->num_layers(); ++i) {
+    nn::Layer* pl = parent->layer(i);
+    nn::Layer* cl = child->layer(i);
+    std::vector<nn::Param*> pp = pl->Params();
+    std::vector<nn::Param*> cp = cl->Params();
+    for (size_t k = 0; k < pp.size(); ++k) {
+      Tensor d = Sub(cp[k]->value, pp[k]->value);
+      bool is_matrix = d.rank() == 2;
+      double norm_sq = 0.0;
+      for (float v : d.storage()) norm_sq += static_cast<double>(v) * v;
+      if (is_matrix) {
+        any_linear = true;
+        weight_delta_sq += norm_sq;
+        for (float v : cp[k]->value.storage()) {
+          ++child_weights;
+          if (v == 0.0f) ++child_zeros;
+        }
+        if (norm_sq > 1e-18) {
+          double denom =
+              static_cast<double>(std::min(d.dim(0), d.dim(1)));
+          double ratio = static_cast<double>(NumericalRank(d)) / denom;
+          min_rank_ratio = std::min(min_rank_ratio, ratio);
+          max_rank_ratio = std::max(max_rank_ratio, ratio);
+        }
+      } else {
+        bias_delta_sq += norm_sq;
+      }
+    }
+  }
+  if (!any_linear) {
+    return Status::FailedPrecondition(
+        "ComputeEdgeFeatures: no weight matrices to compare");
+  }
+  features.min_rank_ratio = min_rank_ratio;
+  features.max_rank_ratio = max_rank_ratio;
+  features.bias_delta_ratio =
+      std::sqrt(bias_delta_sq) / (std::sqrt(weight_delta_sq) + 1e-12);
+  features.child_zero_fraction =
+      static_cast<double>(child_zeros) /
+      static_cast<double>(std::max<int64_t>(1, child_weights));
+  return features;
+}
+
+const std::vector<EdgeType>& EdgeClassifier::Classes() {
+  static const std::vector<EdgeType>* classes = new std::vector<EdgeType>{
+      EdgeType::kFinetune, EdgeType::kLora,  EdgeType::kEdit,
+      EdgeType::kPrune,    EdgeType::kNoise, EdgeType::kDistill};
+  return *classes;
+}
+
+namespace {
+
+Result<int64_t> ClassIndex(EdgeType type) {
+  const std::vector<EdgeType>& classes = EdgeClassifier::Classes();
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i] == type) return static_cast<int64_t>(i);
+  }
+  return Status::InvalidArgument("edge type not classifiable: " +
+                                 std::string(EdgeTypeToString(type)));
+}
+
+}  // namespace
+
+Result<EdgeClassifier> EdgeClassifier::TrainClassifier(
+    const std::vector<std::pair<EdgeFeatures, EdgeType>>& examples,
+    uint64_t seed) {
+  if (examples.size() < 4) {
+    return Status::InvalidArgument(
+        "EdgeClassifier: need at least 4 examples");
+  }
+  int64_t n = static_cast<int64_t>(examples.size());
+  Tensor x({n, EdgeFeatures::kDim});
+  std::vector<int64_t> labels(examples.size());
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor row = examples[static_cast<size_t>(i)].first.ToTensor();
+    for (int64_t j = 0; j < EdgeFeatures::kDim; ++j) {
+      x.At(i, j) = row.At(0, j);
+    }
+    MLAKE_ASSIGN_OR_RETURN(
+        labels[static_cast<size_t>(i)],
+        ClassIndex(examples[static_cast<size_t>(i)].second));
+  }
+
+  // Per-feature z-scoring (stored for inference).
+  EdgeClassifier classifier;
+  classifier.feature_mean_ = ColumnMean(x);
+  classifier.feature_std_ = Tensor({EdgeFeatures::kDim});
+  for (int64_t j = 0; j < EdgeFeatures::kDim; ++j) {
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double d = x.At(i, j) - classifier.feature_mean_.At(j);
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    classifier.feature_std_.At(j) =
+        static_cast<float>(std::sqrt(var) + 1e-6);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < EdgeFeatures::kDim; ++j) {
+      x.At(i, j) = (x.At(i, j) - classifier.feature_mean_.At(j)) /
+                   classifier.feature_std_.At(j);
+    }
+  }
+
+  nn::Dataset data;
+  data.x = std::move(x);
+  data.labels = std::move(labels);
+  data.num_classes = static_cast<int64_t>(Classes().size());
+
+  Rng rng(seed);
+  MLAKE_ASSIGN_OR_RETURN(
+      classifier.model_,
+      nn::BuildModel(nn::MlpSpec(EdgeFeatures::kDim, {16},
+                                 data.num_classes, "tanh"),
+                     &rng));
+  nn::TrainConfig config;
+  config.epochs = 220;
+  config.batch_size = 16;
+  config.lr = 8e-3f;
+  config.seed = seed;
+  MLAKE_RETURN_NOT_OK(
+      nn::Train(classifier.model_.get(), data, config).status());
+  return classifier;
+}
+
+Tensor EdgeClassifier::Normalize(const EdgeFeatures& features) const {
+  Tensor row = features.ToTensor();
+  for (int64_t j = 0; j < EdgeFeatures::kDim; ++j) {
+    row.At(0, j) =
+        (row.At(0, j) - feature_mean_.At(j)) / feature_std_.At(j);
+  }
+  return row;
+}
+
+Result<std::vector<double>> EdgeClassifier::ClassProbabilities(
+    const EdgeFeatures& features) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("EdgeClassifier: not trained");
+  }
+  Tensor logits = model_->Forward(Normalize(features));
+  Tensor probs = RowSoftmax(logits);
+  std::vector<double> out;
+  out.reserve(Classes().size());
+  for (int64_t j = 0; j < probs.dim(1); ++j) {
+    out.push_back(probs.At(0, j));
+  }
+  return out;
+}
+
+Result<EdgeType> EdgeClassifier::Classify(
+    const EdgeFeatures& features) const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<double> probs,
+                         ClassProbabilities(features));
+  size_t best = 0;
+  for (size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[best]) best = i;
+  }
+  return Classes()[best];
+}
+
+}  // namespace mlake::versioning

@@ -1,0 +1,80 @@
+#ifndef MLAKE_VERSIONING_EDGE_CLASSIFIER_H_
+#define MLAKE_VERSIONING_EDGE_CLASSIFIER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/model.h"
+#include "versioning/model_graph.h"
+
+namespace mlake::versioning {
+
+/// Hand-crafted features of a parent→child weight delta that
+/// characterize *which transformation* produced the child — the
+/// weight-space modeling of the paper's §5 ("a neural network is trained
+/// to process weights of other models ... useful for making distinctions
+/// between models") applied to edge typing.
+///
+/// Signatures by construction:
+///   - LoRA: per-layer delta is low rank, biases frozen;
+///   - rank-one edit: only the head moved, delta rank 1;
+///   - pruning: child has many exact zeros, delta is sparse;
+///   - noise: dense isotropic delta, biases moved too;
+///   - fine-tune: dense structured delta;
+///   - distillation: huge relative delta (fresh init).
+struct EdgeFeatures {
+  static constexpr int64_t kDim = 7;
+
+  double relative_norm = 0.0;       // ||δ|| / ||θ_parent||
+  double child_zero_fraction = 0.0; // exact zeros among child weights
+  double min_rank_ratio = 1.0;      // min_l rank(δ_l) / min(dims(δ_l))
+  double max_rank_ratio = 1.0;
+  double bias_delta_ratio = 0.0;    // ||δ_bias|| / (||δ_weights|| + eps)
+  double kurtosis_delta = 0.0;      // kurt(child) - kurt(parent)
+  double changed_fraction = 0.0;    // coords with |δ| > tiny
+
+  /// Feature vector [1, kDim] in declaration order.
+  Tensor ToTensor() const;
+};
+
+/// Computes delta features; both models must share an architecture.
+Result<EdgeFeatures> ComputeEdgeFeatures(nn::Model* parent,
+                                         nn::Model* child);
+
+/// A meta-model over edge features: a small mlake MLP trained with the
+/// mlake trainer on (features, true transformation) pairs. The trained
+/// classifier labels recovered heritage edges with their likely
+/// transformation.
+class EdgeClassifier {
+ public:
+  /// The transformation kinds the classifier distinguishes, in label
+  /// order.
+  static const std::vector<EdgeType>& Classes();
+
+  /// Trains on labeled examples (z-scoring features internally).
+  /// Requires at least two examples of two distinct classes.
+  static Result<EdgeClassifier> TrainClassifier(
+      const std::vector<std::pair<EdgeFeatures, EdgeType>>& examples,
+      uint64_t seed = 17);
+
+  /// Most likely transformation for the features.
+  Result<EdgeType> Classify(const EdgeFeatures& features) const;
+
+  /// Per-class probabilities in Classes() order.
+  Result<std::vector<double>> ClassProbabilities(
+      const EdgeFeatures& features) const;
+
+ private:
+  EdgeClassifier() = default;
+
+  Tensor Normalize(const EdgeFeatures& features) const;
+
+  std::unique_ptr<nn::Model> model_;
+  Tensor feature_mean_;
+  Tensor feature_std_;
+};
+
+}  // namespace mlake::versioning
+
+#endif  // MLAKE_VERSIONING_EDGE_CLASSIFIER_H_

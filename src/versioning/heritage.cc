@@ -1,0 +1,280 @@
+#include "versioning/heritage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+
+namespace mlake::versioning {
+
+double WeightDistance(const Tensor& a, const Tensor& b,
+                      const std::string& metric) {
+  MLAKE_CHECK(a.NumElements() == b.NumElements())
+      << "WeightDistance: length mismatch";
+  int64_t n = a.NumElements();
+  if (n == 0) return 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (metric == "l2") {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double d = static_cast<double>(pa[i]) - pb[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  if (metric == "normalized") {
+    // Z-score each vector first; invariant to per-model affine weight
+    // rescaling.
+    auto stats = [n](const float* p) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) mean += p[i];
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        double d = p[i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      return std::pair<double, double>(mean, std::sqrt(var) + 1e-12);
+    };
+    auto [ma, sa] = stats(pa);
+    auto [mb, sb] = stats(pb);
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double d = (pa[i] - ma) / sa - (pb[i] - mb) / sb;
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  MLAKE_CHECK(false) << "unknown weight distance metric: " << metric;
+  return 0.0;
+}
+
+double WeightKurtosis(const Tensor& w) {
+  int64_t n = w.NumElements();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (float v : w.storage()) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0, fourth = 0.0;
+  for (float v : w.storage()) {
+    double d = v - mean;
+    var += d * d;
+    fourth += d * d * d * d;
+  }
+  var /= static_cast<double>(n);
+  fourth /= static_cast<double>(n);
+  if (var < 1e-20) return 0.0;
+  return fourth / (var * var);
+}
+
+namespace {
+
+struct MstEdge {
+  size_t a;
+  size_t b;
+  double distance;
+};
+
+/// Prim's MST over a dense distance matrix; returns n-1 edges.
+std::vector<MstEdge> PrimMst(const std::vector<double>& dist, size_t n) {
+  std::vector<MstEdge> edges;
+  if (n <= 1) return edges;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<size_t> best_from(n, 0);
+  in_tree[0] = true;
+  for (size_t v = 1; v < n; ++v) {
+    best[v] = dist[v];  // row 0
+    best_from[v] = 0;
+  }
+  for (size_t step = 1; step < n; ++step) {
+    size_t pick = n;
+    double pick_d = std::numeric_limits<double>::infinity();
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < pick_d) {
+        pick_d = best[v];
+        pick = v;
+      }
+    }
+    MLAKE_CHECK(pick < n) << "PrimMst: disconnected dense graph?";
+    in_tree[pick] = true;
+    edges.push_back(MstEdge{best_from[pick], pick, pick_d});
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        double d = dist[pick * n + v];
+        if (d < best[v]) {
+          best[v] = d;
+          best_from[v] = pick;
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<HeritageResult> RecoverHeritage(
+    const std::vector<WeightSummary>& models, const HeritageConfig& config) {
+  if (config.distance != "l2" && config.distance != "normalized") {
+    return Status::InvalidArgument("RecoverHeritage: unknown distance " +
+                                   config.distance);
+  }
+  if (config.root_heuristic != "kurtosis" && config.root_heuristic != "hub") {
+    return Status::InvalidArgument("RecoverHeritage: unknown root heuristic " +
+                                   config.root_heuristic);
+  }
+  HeritageResult result;
+  for (const WeightSummary& m : models) result.graph.AddModel(m.id);
+
+  // Group by architecture signature.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < models.size(); ++i) {
+    groups[models[i].arch_signature].push_back(i);
+  }
+
+  std::vector<double> all_edge_distances;
+  for (const auto& [signature, members] : groups) {
+    size_t n = members.size();
+    if (n < 2) {
+      result.num_trees += n;
+      continue;
+    }
+    // Dense pairwise distances within the group.
+    std::vector<double> dist(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = WeightDistance(models[members[i]].flat_weights,
+                                  models[members[j]].flat_weights,
+                                  config.distance);
+        dist[i * n + j] = d;
+        dist[j * n + i] = d;
+      }
+    }
+    std::vector<MstEdge> mst = PrimMst(dist, n);
+
+    // Cut improbably long edges.
+    std::vector<double> lengths;
+    for (const MstEdge& e : mst) lengths.push_back(e.distance);
+    std::vector<double> sorted = lengths;
+    std::sort(sorted.begin(), sorted.end());
+    // Lower median: with few edges (tiny clusters plus strangers) the
+    // upper median can itself be an outlier edge, which would then
+    // never be cut.
+    double median = sorted[(sorted.size() - 1) / 2];
+    for (double d : lengths) all_edge_distances.push_back(d);
+    double cutoff = config.cut_factor * (median > 1e-12 ? median : 1e-12);
+
+    std::vector<MstEdge> kept;
+    for (const MstEdge& e : mst) {
+      if (e.distance <= cutoff) kept.push_back(e);
+    }
+
+    // Connected components over kept edges.
+    std::vector<size_t> component(n);
+    for (size_t i = 0; i < n; ++i) component[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (component[x] != x) {
+        component[x] = component[component[x]];
+        x = component[x];
+      }
+      return x;
+    };
+    for (const MstEdge& e : kept) {
+      component[find(e.a)] = find(e.b);
+    }
+
+    // Adjacency within kept edges.
+    std::vector<std::vector<std::pair<size_t, double>>> adj(n);
+    for (const MstEdge& e : kept) {
+      adj[e.a].emplace_back(e.b, e.distance);
+      adj[e.b].emplace_back(e.a, e.distance);
+    }
+
+    // Per component: root at the hub and orient outward.
+    std::map<size_t, std::vector<size_t>> comps;
+    for (size_t i = 0; i < n; ++i) comps[find(i)].push_back(i);
+    result.num_trees += comps.size();
+
+    double max_d = 1e-12;
+    for (const MstEdge& e : kept) max_d = std::max(max_d, e.distance);
+
+    // Per-node kurtosis (only needed for the kurtosis root heuristic).
+    std::vector<double> kurtosis(n, 0.0);
+    if (config.root_heuristic == "kurtosis") {
+      for (size_t i = 0; i < n; ++i) {
+        kurtosis[i] = WeightKurtosis(models[members[i]].flat_weights);
+      }
+    }
+
+    for (const auto& [rep, comp_members] : comps) {
+      if (comp_members.size() == 1) continue;
+      size_t root = comp_members[0];
+      if (config.root_heuristic == "kurtosis") {
+        // Training tends to raise weight kurtosis, so the least-trained
+        // node (the base) has the minimum. Tie-break by id.
+        double best = kurtosis[root];
+        for (size_t v : comp_members) {
+          if (kurtosis[v] < best ||
+              (kurtosis[v] == best &&
+               models[members[v]].id < models[members[root]].id)) {
+            best = kurtosis[v];
+            root = v;
+          }
+        }
+      } else {
+        // Hub = max degree, tie-break by minimum total distance to the
+        // component (medoid), then by id for determinism.
+        double root_key_deg = -1.0;
+        double root_key_sum = 0.0;
+        for (size_t v : comp_members) {
+          double deg = static_cast<double>(adj[v].size());
+          double sum = 0.0;
+          for (size_t u : comp_members) sum += dist[v * n + u];
+          bool better = deg > root_key_deg ||
+                        (deg == root_key_deg && sum < root_key_sum) ||
+                        (deg == root_key_deg && sum == root_key_sum &&
+                         models[members[v]].id < models[members[root]].id);
+          if (better) {
+            root = v;
+            root_key_deg = deg;
+            root_key_sum = sum;
+          }
+        }
+      }
+      // BFS orientation away from the root.
+      std::vector<bool> seen(n, false);
+      std::vector<size_t> queue{root};
+      seen[root] = true;
+      while (!queue.empty()) {
+        size_t current = queue.back();
+        queue.pop_back();
+        for (const auto& [next, d] : adj[current]) {
+          if (seen[next]) continue;
+          seen[next] = true;
+          VersionEdge edge;
+          edge.parent = models[members[current]].id;
+          edge.child = models[members[next]].id;
+          edge.type = EdgeType::kUnknown;
+          edge.confidence = 1.0 - d / (max_d * 1.0001);
+          MLAKE_RETURN_NOT_OK(result.graph.AddEdge(std::move(edge)));
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  if (!all_edge_distances.empty()) {
+    std::sort(all_edge_distances.begin(), all_edge_distances.end());
+    result.median_edge_distance =
+        all_edge_distances[all_edge_distances.size() / 2];
+  }
+  return result;
+}
+
+}  // namespace mlake::versioning

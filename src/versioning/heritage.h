@@ -1,0 +1,71 @@
+#ifndef MLAKE_VERSIONING_HERITAGE_H_
+#define MLAKE_VERSIONING_HERITAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+#include "versioning/model_graph.h"
+
+namespace mlake::versioning {
+
+/// Weight snapshot of one model, the only input heritage recovery gets —
+/// no history, no cards (the "model tree heritage recovery" setting of
+/// Horwitz et al. [56]).
+struct WeightSummary {
+  std::string id;
+  std::string arch_signature;  // weights comparable only within a family
+  Tensor flat_weights;
+};
+
+struct HeritageConfig {
+  /// MST edges longer than `cut_factor` x median edge length are cut:
+  /// the endpoints are considered unrelated (separate trees).
+  double cut_factor = 3.0;
+  /// Distance: "l2" on raw flat weights or "normalized" (per-model
+  /// z-scored weights; robust to global rescaling).
+  std::string distance = "l2";
+  /// Root selection within a recovered tree: "kurtosis" roots at the
+  /// minimum-weight-kurtosis node (training tends to raise kurtosis, so
+  /// the least-trained node is the likely ancestor — the MoTHer signal
+  /// of Horwitz et al. [56]); "hub" roots at the max-degree/medoid node
+  /// (bases accumulate many direct children).
+  std::string root_heuristic = "kurtosis";
+};
+
+/// Recovered lineage with per-edge confidence.
+struct HeritageResult {
+  ModelGraph graph;
+  /// Pairs judged related but left undirected cut as separate roots.
+  size_t num_trees = 0;
+  /// Pairwise distance stats (diagnostics).
+  double median_edge_distance = 0.0;
+};
+
+/// Reconstructs the version forest from weights alone:
+///  1. group models by architecture signature (cross-architecture
+///     derivation is out of scope, as in [56]);
+///  2. build a minimum spanning tree over pairwise weight distance —
+///     derived models are much closer to their parent than to anything
+///     else;
+///  3. cut improbably long edges (unrelated models);
+///  4. root each tree at its hub (max degree, then minimum total
+///     distance): base models accumulate many direct children;
+///  5. orient edges away from the root.
+Result<HeritageResult> RecoverHeritage(
+    const std::vector<WeightSummary>& models,
+    const HeritageConfig& config = {});
+
+/// Pairwise weight distance used by the recovery (exposed for tests and
+/// the ablation bench).
+double WeightDistance(const Tensor& a, const Tensor& b,
+                      const std::string& metric);
+
+/// Excess-free kurtosis (fourth standardized moment) of a flat weight
+/// vector; the directional signal of the "kurtosis" root heuristic.
+double WeightKurtosis(const Tensor& w);
+
+}  // namespace mlake::versioning
+
+#endif  // MLAKE_VERSIONING_HERITAGE_H_

@@ -1,0 +1,123 @@
+#include "storage/blob_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+
+namespace mlake::storage {
+namespace {
+
+class BlobStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-blob");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(BlobStoreTest, PutGetRoundTrip) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string payload = "weights\0and\1bytes";
+  auto digest = store.Put(payload);
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(digest.ValueUnsafe(), Sha256::HexDigest(payload));
+  EXPECT_TRUE(store.Contains(digest.ValueUnsafe()));
+  EXPECT_EQ(store.Get(digest.ValueUnsafe()).ValueOrDie(), payload);
+}
+
+TEST_F(BlobStoreTest, PutIsIdempotentDedup) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  auto d1 = store.Put("same bytes");
+  auto d2 = store.Put("same bytes");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1.ValueUnsafe(), d2.ValueUnsafe());
+  EXPECT_EQ(store.List().ValueOrDie().size(), 1u);
+}
+
+TEST_F(BlobStoreTest, GetMissingIsNotFound) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string fake(64, 'a');
+  EXPECT_TRUE(store.Get(fake).status().IsNotFound());
+  EXPECT_FALSE(store.Contains(fake));
+}
+
+TEST_F(BlobStoreTest, BadDigestRejected) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  EXPECT_TRUE(store.Get("short").status().IsInvalidArgument());
+}
+
+TEST_F(BlobStoreTest, DetectsCorruptionOnRead) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("precious model weights").ValueOrDie();
+  // Flip a byte on disk.
+  std::string path = JoinPath(JoinPath(dir_, "objects"),
+                              digest.substr(0, 2) + "/" + digest);
+  std::string content = ReadFile(path).ValueOrDie();
+  content[0] ^= 0x01;
+  ASSERT_TRUE(WriteFile(path, content).ok());
+
+  EXPECT_TRUE(store.Get(digest).status().IsCorruption());
+  auto corrupted = store.VerifyAll();
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(corrupted.ValueUnsafe(), std::vector<std::string>{digest});
+}
+
+TEST_F(BlobStoreTest, VerifyAllCleanStore) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  ASSERT_TRUE(store.Put("a").ok());
+  ASSERT_TRUE(store.Put("b").ok());
+  EXPECT_TRUE(store.VerifyAll().ValueOrDie().empty());
+}
+
+TEST_F(BlobStoreTest, ListSortedAndTotalBytes) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  ASSERT_TRUE(store.Put("12345").ok());
+  ASSERT_TRUE(store.Put("abc").ok());
+  auto list = store.List().ValueOrDie();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_LT(list[0], list[1]);
+  EXPECT_EQ(store.TotalBytes().ValueOrDie(), 8u);
+}
+
+TEST_F(BlobStoreTest, DeleteRemoves) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("to delete").ValueOrDie();
+  ASSERT_TRUE(store.Delete(digest).ok());
+  EXPECT_FALSE(store.Contains(digest));
+  EXPECT_TRUE(store.Delete(digest).IsNotFound());
+}
+
+TEST_F(BlobStoreTest, PersistsAcrossReopen) {
+  std::string digest;
+  {
+    auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+    digest = store.Put("survives reopen").ValueOrDie();
+  }
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  EXPECT_EQ(store.Get(digest).ValueOrDie(), "survives reopen");
+}
+
+TEST_F(BlobStoreTest, EmptyBlobSupported) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("").ValueOrDie();
+  EXPECT_EQ(store.Get(digest).ValueOrDie(), "");
+}
+
+TEST_F(BlobStoreTest, LargeBlobRoundTrip) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string big(1 << 20, '\x42');
+  for (size_t i = 0; i < big.size(); i += 997) {
+    big[i] = static_cast<char>(i & 0xFF);
+  }
+  std::string digest = store.Put(big).ValueOrDie();
+  EXPECT_EQ(store.Get(digest).ValueOrDie(), big);
+}
+
+}  // namespace
+}  // namespace mlake::storage

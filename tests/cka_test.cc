@@ -1,0 +1,143 @@
+#include "embed/cka.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+#include "tensor/ops.h"
+
+namespace mlake::embed {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(const std::string& family, size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> TrainOn(const std::string& family, uint64_t seed,
+                                   std::vector<int64_t> hidden = {24}) {
+  Rng rng(seed);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(kDim, std::move(hidden), kClasses), &rng)
+          .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 12;
+  MLAKE_CHECK(nn::Train(model.get(), Task(family, 192, seed + 1), config)
+                  .ok());
+  return model;
+}
+
+TEST(LinearCkaTest, SelfSimilarityIsOne) {
+  Rng rng(1);
+  Tensor x = Tensor::RandomNormal({32, 8}, &rng);
+  EXPECT_NEAR(LinearCka(x, x).ValueOrDie(), 1.0, 1e-6);
+}
+
+TEST(LinearCkaTest, InvariantToOrthogonalTransformAndScale) {
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({40, 2}, &rng);
+  // 2-D rotation by 37 degrees, scaled by 5.
+  float c = std::cos(0.6458f), s = std::sin(0.6458f);
+  Tensor rot = Tensor::FromVector({2, 2}, {c, -s, s, c});
+  Tensor y = Scale(MatMul(x, rot), 5.0f);
+  EXPECT_NEAR(LinearCka(x, y).ValueOrDie(), 1.0, 1e-5);
+}
+
+TEST(LinearCkaTest, IndependentRepresentationsScoreLow) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomNormal({64, 16}, &rng);
+  Tensor y = Tensor::RandomNormal({64, 16}, &rng);
+  EXPECT_LT(LinearCka(x, y).ValueOrDie(), 0.4);
+}
+
+TEST(LinearCkaTest, WorksAcrossDifferentWidths) {
+  Rng rng(4);
+  Tensor x = Tensor::RandomNormal({32, 8}, &rng);
+  // y = first 4 columns of x (a lossy view of the same representation).
+  Tensor y({32, 4});
+  for (int64_t i = 0; i < 32; ++i) {
+    for (int64_t j = 0; j < 4; ++j) y.At(i, j) = x.At(i, j);
+  }
+  double cka = LinearCka(x, y).ValueOrDie();
+  EXPECT_GT(cka, 0.4);
+  EXPECT_LT(cka, 1.0);
+}
+
+TEST(LinearCkaTest, ValidatesInputs) {
+  Rng rng(5);
+  Tensor x = Tensor::RandomNormal({8, 4}, &rng);
+  Tensor mismatched = Tensor::RandomNormal({9, 4}, &rng);
+  EXPECT_TRUE(LinearCka(x, mismatched).status().IsInvalidArgument());
+  Tensor vec = Tensor::RandomNormal({8}, &rng);
+  EXPECT_TRUE(LinearCka(x, vec).status().IsInvalidArgument());
+  Tensor one_row = Tensor::RandomNormal({1, 4}, &rng);
+  EXPECT_TRUE(
+      LinearCka(one_row, one_row).status().IsInvalidArgument());
+  // Constant representation -> 0, not NaN.
+  Tensor constant = Tensor::Full({8, 4}, 3.0f);
+  EXPECT_DOUBLE_EQ(LinearCka(x, constant).ValueOrDie(), 0.0);
+}
+
+TEST(RepresentationSimilarityTest, ParentChildCloserThanUnrelated) {
+  auto parent = TrainOn("fam-a", 10);
+  auto child = parent->Clone();
+  nn::TrainConfig light;
+  light.epochs = 3;
+  light.lr = 1e-3f;
+  ASSERT_TRUE(
+      nn::Finetune(child.get(), Task("fam-a2", 96, 11), light).ok());
+  auto unrelated = TrainOn("fam-b", 12);
+
+  Tensor probes = nn::MakeProbeSet(kDim, 48, 77);
+  double parent_child =
+      RepresentationSimilarity(parent.get(), child.get(), probes)
+          .ValueOrDie();
+  double parent_unrelated =
+      RepresentationSimilarity(parent.get(), unrelated.get(), probes)
+          .ValueOrDie();
+  EXPECT_GT(parent_child, parent_unrelated);
+  EXPECT_GT(parent_child, 0.8);
+}
+
+TEST(RepresentationSimilarityTest, CrossArchitectureComparable) {
+  // The whole point of CKA: models with different hidden widths (whose
+  // weights are incomparable) can still be compared.
+  auto narrow = TrainOn("fam-a", 20, {16});
+  auto wide = TrainOn("fam-a", 21, {40});
+  auto other_task = TrainOn("fam-z", 22, {40});
+
+  // Probe with in-distribution inputs: on task data, same-task models
+  // carve out the same class structure; on random Gaussians the hidden
+  // representations mostly reflect input geometry, not the task.
+  Tensor probes = Task("fam-a", 64, 79).x;
+  double same_task =
+      RepresentationSimilarity(narrow.get(), wide.get(), probes)
+          .ValueOrDie();
+  double cross_task =
+      RepresentationSimilarity(narrow.get(), other_task.get(), probes)
+          .ValueOrDie();
+  EXPECT_GT(same_task, cross_task)
+      << "same-task representations should align more";
+}
+
+TEST(RepresentationSimilarityTest, ValidatesProbeDims) {
+  auto model = TrainOn("fam-a", 30);
+  Tensor bad_probes = nn::MakeProbeSet(kDim + 1, 16, 1);
+  EXPECT_TRUE(RepresentationSimilarity(model.get(), model.get(), bad_probes)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mlake::embed

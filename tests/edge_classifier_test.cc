@@ -1,0 +1,192 @@
+#include "versioning/edge_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+
+namespace mlake::versioning {
+namespace {
+
+constexpr int64_t kDim = 12;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(const std::string& domain, size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "edge-task";
+  spec.domain_id = domain;
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> TrainedBase(uint64_t seed) {
+  Rng rng(seed);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {16}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 10;
+  MLAKE_CHECK(
+      nn::Train(model.get(), Task("base", 160, seed + 1), config).ok());
+  return model;
+}
+
+/// Applies one transformation of the given type and returns the child.
+std::unique_ptr<nn::Model> MakeChild(nn::Model* parent, EdgeType type,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::unique_ptr<nn::Model> child = parent->Clone();
+  nn::TrainConfig ft;
+  ft.epochs = 5;
+  ft.seed = seed;
+  switch (type) {
+    case EdgeType::kFinetune:
+      MLAKE_CHECK(nn::Finetune(child.get(),
+                               Task("d" + std::to_string(seed % 4), 96,
+                                    seed),
+                               ft)
+                      .ok());
+      break;
+    case EdgeType::kLora:
+      MLAKE_CHECK(nn::LoraFinetune(child.get(),
+                                   Task("d" + std::to_string(seed % 4), 96,
+                                        seed),
+                                   2, 1.0f, ft)
+                      .ok());
+      break;
+    case EdgeType::kEdit: {
+      Tensor probe = Tensor::RandomNormal({1, kDim}, &rng);
+      MLAKE_CHECK(
+          nn::RankOneEdit(child.get(), probe,
+                          static_cast<int64_t>(rng.NextBelow(kClasses)),
+                          6.0f)
+              .ok());
+      break;
+    }
+    case EdgeType::kPrune:
+      MLAKE_CHECK(
+          nn::MagnitudePrune(child.get(), rng.Uniform(0.15, 0.4)).ok());
+      break;
+    case EdgeType::kNoise:
+      nn::AddWeightNoise(child.get(), 0.05, &rng);
+      break;
+    case EdgeType::kDistill: {
+      nn::Dataset data = Task("base", 192, seed);
+      auto student =
+          nn::Distill(parent, parent->spec(), data.x, 2.0f, ft, &rng);
+      MLAKE_CHECK(student.ok());
+      child = student.MoveValueUnsafe();
+      break;
+    }
+    default:
+      MLAKE_CHECK(false) << "untypable edge";
+  }
+  return child;
+}
+
+TEST(EdgeFeaturesTest, SignaturesMatchConstruction) {
+  auto parent = TrainedBase(1);
+
+  auto lora_child = MakeChild(parent.get(), EdgeType::kLora, 10);
+  EdgeFeatures lora =
+      ComputeEdgeFeatures(parent.get(), lora_child.get()).ValueOrDie();
+  EXPECT_LT(lora.min_rank_ratio, 0.3) << "LoRA delta is low rank";
+  EXPECT_LT(lora.bias_delta_ratio, 1e-6) << "LoRA biases frozen";
+
+  auto prune_child = MakeChild(parent.get(), EdgeType::kPrune, 11);
+  EdgeFeatures prune =
+      ComputeEdgeFeatures(parent.get(), prune_child.get()).ValueOrDie();
+  EXPECT_GT(prune.child_zero_fraction, 0.1) << "pruning leaves exact zeros";
+
+  auto edit_child = MakeChild(parent.get(), EdgeType::kEdit, 12);
+  EdgeFeatures edit =
+      ComputeEdgeFeatures(parent.get(), edit_child.get()).ValueOrDie();
+  EXPECT_LT(edit.changed_fraction, 0.5)
+      << "edit touches only the head weights";
+
+  auto distill_child = MakeChild(parent.get(), EdgeType::kDistill, 13);
+  EdgeFeatures distill =
+      ComputeEdgeFeatures(parent.get(), distill_child.get()).ValueOrDie();
+  auto ft_child = MakeChild(parent.get(), EdgeType::kFinetune, 14);
+  EdgeFeatures ft =
+      ComputeEdgeFeatures(parent.get(), ft_child.get()).ValueOrDie();
+  EXPECT_GT(distill.relative_norm, 3 * ft.relative_norm)
+      << "a distilled student is far from the teacher";
+}
+
+TEST(EdgeFeaturesTest, ValidatesArchitectures) {
+  auto a = TrainedBase(2);
+  Rng rng(3);
+  auto other = nn::BuildModel(nn::MlpSpec(kDim, {20}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  EXPECT_TRUE(ComputeEdgeFeatures(a.get(), other.get())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EdgeClassifierTest, TrainRejectsTinyInput) {
+  EXPECT_TRUE(
+      EdgeClassifier::TrainClassifier({}).status().IsInvalidArgument());
+}
+
+TEST(EdgeClassifierTest, ClassifiesHeldOutTransformations) {
+  // Train on children of 3 bases, evaluate on children of 2 fresh bases.
+  const std::vector<EdgeType>& kinds = EdgeClassifier::Classes();
+  std::vector<std::pair<EdgeFeatures, EdgeType>> train_examples;
+  uint64_t seed = 100;
+  for (uint64_t b = 0; b < 3; ++b) {
+    auto base = TrainedBase(20 + b);
+    for (EdgeType kind : kinds) {
+      for (int rep = 0; rep < 2; ++rep) {
+        auto child = MakeChild(base.get(), kind, ++seed);
+        train_examples.emplace_back(
+            ComputeEdgeFeatures(base.get(), child.get()).ValueOrDie(),
+            kind);
+      }
+    }
+  }
+  auto classifier = EdgeClassifier::TrainClassifier(train_examples, 7);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+
+  size_t correct = 0, total = 0;
+  std::map<EdgeType, std::pair<size_t, size_t>> per_kind;
+  for (uint64_t b = 0; b < 2; ++b) {
+    auto base = TrainedBase(50 + b);
+    for (EdgeType kind : kinds) {
+      auto child = MakeChild(base.get(), kind, 1000 + seed++);
+      EdgeFeatures features =
+          ComputeEdgeFeatures(base.get(), child.get()).ValueOrDie();
+      EdgeType predicted =
+          classifier.ValueUnsafe().Classify(features).ValueOrDie();
+      ++total;
+      ++per_kind[kind].second;
+      if (predicted == kind) {
+        ++correct;
+        ++per_kind[kind].first;
+      }
+    }
+  }
+  double accuracy =
+      static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_GE(accuracy, 0.75)
+      << "weight-space edge typing should beat chance (1/6) by far";
+  // Probabilities are a distribution.
+  auto base = TrainedBase(99);
+  auto child = MakeChild(base.get(), EdgeType::kPrune, 999);
+  auto probs = classifier.ValueUnsafe().ClassProbabilities(
+      ComputeEdgeFeatures(base.get(), child.get()).ValueOrDie());
+  ASSERT_TRUE(probs.ok());
+  double sum = 0.0;
+  for (double p : probs.ValueUnsafe()) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace mlake::versioning

@@ -1,0 +1,172 @@
+#include "embed/embedder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+
+namespace mlake::embed {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(const std::string& family, const std::string& domain,
+                 size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = domain;
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> TrainOn(const nn::Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(kDim, {20}, kClasses), &rng)
+          .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 12;
+  MLAKE_CHECK(nn::Train(model.get(), data, config).ok());
+  return model;
+}
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;  // embeddings are L2-normalized
+}
+
+class EmbedderTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Tensor probes_ = nn::MakeProbeSet(kDim, 16, 99);
+};
+
+TEST_P(EmbedderTest, DimAndNormalization) {
+  auto embedder = MakeEmbedder(GetParam(), probes_, kClasses)
+                      .MoveValueUnsafe();
+  auto model = TrainOn(Task("fam-a", "d0", 128, 1), 2);
+  auto vec = embedder->Embed(model.get());
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_EQ(static_cast<int64_t>(vec.ValueUnsafe().size()),
+            embedder->Dim());
+  double norm = 0.0;
+  for (float v : vec.ValueUnsafe()) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-4);
+}
+
+TEST_P(EmbedderTest, DeterministicForIdenticalModels) {
+  auto embedder = MakeEmbedder(GetParam(), probes_, kClasses)
+                      .MoveValueUnsafe();
+  auto model = TrainOn(Task("fam-a", "d0", 128, 3), 4);
+  auto clone = model->Clone();
+  auto v1 = embedder->Embed(model.get()).ValueOrDie();
+  auto v2 = embedder->Embed(clone.get()).ValueOrDie();
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_P(EmbedderTest, FinetunedChildCloserThanUnrelatedModel) {
+  auto embedder = MakeEmbedder(GetParam(), probes_, kClasses)
+                      .MoveValueUnsafe();
+  nn::Dataset task_a = Task("fam-a", "d0", 192, 5);
+  nn::Dataset task_a_sibling = Task("fam-a", "d1", 192, 6);
+  nn::Dataset task_b = Task("fam-b", "d0", 192, 7);
+
+  auto parent = TrainOn(task_a, 8);
+  auto child = parent->Clone();
+  nn::TrainConfig ft;
+  ft.epochs = 4;
+  ft.lr = 1e-3f;
+  ASSERT_TRUE(nn::Finetune(child.get(), task_a_sibling, ft).ok());
+  auto unrelated = TrainOn(task_b, 9);
+
+  auto vp = embedder->Embed(parent.get()).ValueOrDie();
+  auto vc = embedder->Embed(child.get()).ValueOrDie();
+  auto vu = embedder->Embed(unrelated.get()).ValueOrDie();
+  EXPECT_GT(Cosine(vp, vc), Cosine(vp, vu))
+      << "child should be closer to parent than an unrelated model";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEmbedders, EmbedderTest,
+                         ::testing::Values("behavioral", "weight_stats",
+                                           "fisher"));
+
+TEST(EmbedderFactoryTest, UnknownNameRejected) {
+  Tensor probes = nn::MakeProbeSet(kDim, 8, 1);
+  EXPECT_TRUE(
+      MakeEmbedder("magic", probes, kClasses).status().IsInvalidArgument());
+}
+
+TEST(BehavioralEmbedderTest, RejectsMismatchedModels) {
+  Tensor probes = nn::MakeProbeSet(kDim, 8, 1);
+  BehavioralEmbedder embedder(probes, kClasses);
+  Rng rng(1);
+  auto wrong_dim =
+      nn::BuildModel(nn::MlpSpec(kDim + 1, {8}, kClasses), &rng)
+          .MoveValueUnsafe();
+  EXPECT_TRUE(embedder.Embed(wrong_dim.get()).status().IsInvalidArgument());
+  auto wrong_classes =
+      nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses + 1), &rng)
+          .MoveValueUnsafe();
+  EXPECT_TRUE(
+      embedder.Embed(wrong_classes.get()).status().IsInvalidArgument());
+}
+
+TEST(BehavioralEmbedderTest, SameTaskModelsCloserThanDifferentTask) {
+  Tensor probes = nn::MakeProbeSet(kDim, 24, 2);
+  BehavioralEmbedder embedder(probes, kClasses);
+  // Two independent trainings on the same data vs a different family.
+  nn::Dataset task_a = Task("fam-a", "d0", 192, 11);
+  nn::Dataset task_b = Task("fam-b", "d0", 192, 12);
+  auto a1 = TrainOn(task_a, 13);
+  auto a2 = TrainOn(task_a, 14);  // different init/order, same task
+  auto b = TrainOn(task_b, 15);
+  auto va1 = embedder.Embed(a1.get()).ValueOrDie();
+  auto va2 = embedder.Embed(a2.get()).ValueOrDie();
+  auto vb = embedder.Embed(b.get()).ValueOrDie();
+  EXPECT_GT(Cosine(va1, va2), Cosine(va1, vb));
+}
+
+TEST(WeightStatsEmbedderTest, ArchitectureAgnosticDim) {
+  WeightStatsEmbedder embedder(8);
+  Rng rng(3);
+  auto mlp = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &rng)
+                 .MoveValueUnsafe();
+  auto attn =
+      nn::BuildModel(nn::AttnSpec(2, 8, kClasses), &rng).MoveValueUnsafe();
+  auto v1 = embedder.Embed(mlp.get()).ValueOrDie();
+  auto v2 = embedder.Embed(attn.get()).ValueOrDie();
+  EXPECT_EQ(v1.size(), v2.size());
+  EXPECT_EQ(static_cast<int64_t>(v1.size()), embedder.Dim());
+}
+
+TEST(WeightStatsEmbedderTest, SensitiveToWeightChange) {
+  WeightStatsEmbedder embedder;
+  auto model = TrainOn(Task("fam-a", "d0", 96, 21), 22);
+  auto before = embedder.Embed(model.get()).ValueOrDie();
+  for (nn::Param* p : model->Params()) {
+    for (float& v : p->value.storage()) v *= 3.0f;
+  }
+  auto after = embedder.Embed(model.get()).ValueOrDie();
+  EXPECT_NE(before, after);
+}
+
+TEST(L2NormalizeTest, HandlesZeroVector) {
+  std::vector<float> zero(4, 0.0f);
+  L2NormalizeInPlace(&zero);
+  for (float v : zero) EXPECT_EQ(v, 0.0f);
+  std::vector<float> v{3.0f, 4.0f};
+  L2NormalizeInPlace(&v);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+  EXPECT_NEAR(v[1], 0.8f, 1e-6);
+}
+
+}  // namespace
+}  // namespace mlake::embed

@@ -1,0 +1,111 @@
+#include "common/file_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mlake {
+namespace {
+
+class FileUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-fileutil");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(FileUtilTest, WriteReadRoundTrip) {
+  std::string path = JoinPath(dir_, "f.bin");
+  std::string data = "binary\0data\nwith newline";
+  data.push_back('\0');
+  ASSERT_TRUE(WriteFile(path, data).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueUnsafe(), data);
+}
+
+TEST_F(FileUtilTest, ReadMissingFileIsIOError) {
+  auto read = ReadFile(JoinPath(dir_, "nope"));
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+TEST_F(FileUtilTest, WriteFileAtomicReplaces) {
+  std::string path = JoinPath(dir_, "f.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(ReadFile(path).ValueOrDie(), "v2");
+  // No temp files left behind.
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.ValueUnsafe(), std::vector<std::string>{"f.txt"});
+}
+
+TEST_F(FileUtilTest, AppendAccumulates) {
+  std::string path = JoinPath(dir_, "log");
+  ASSERT_TRUE(AppendFile(path, "a").ok());
+  ASSERT_TRUE(AppendFile(path, "bc").ok());
+  EXPECT_EQ(ReadFile(path).ValueOrDie(), "abc");
+}
+
+TEST_F(FileUtilTest, FileExistsAndSize) {
+  std::string path = JoinPath(dir_, "sz");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteFile(path, "12345").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_EQ(FileSize(path).ValueOrDie(), 5u);
+}
+
+TEST_F(FileUtilTest, CreateDirsNested) {
+  std::string nested = JoinPath(dir_, "a/b/c");
+  ASSERT_TRUE(CreateDirs(nested).ok());
+  ASSERT_TRUE(CreateDirs(nested).ok());  // idempotent
+  ASSERT_TRUE(WriteFile(JoinPath(nested, "x"), "1").ok());
+  EXPECT_TRUE(FileExists(JoinPath(nested, "x")));
+}
+
+TEST_F(FileUtilTest, RemoveFileAndRemoveAll) {
+  std::string path = JoinPath(dir_, "victim");
+  ASSERT_TRUE(WriteFile(path, "x").ok());
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).IsIOError());  // already gone
+
+  std::string sub = JoinPath(dir_, "sub/deep");
+  ASSERT_TRUE(CreateDirs(sub).ok());
+  ASSERT_TRUE(WriteFile(JoinPath(sub, "f"), "x").ok());
+  ASSERT_TRUE(RemoveAll(JoinPath(dir_, "sub")).ok());
+  EXPECT_FALSE(FileExists(sub));
+}
+
+TEST_F(FileUtilTest, ListDirSortedRegularFilesOnly) {
+  ASSERT_TRUE(WriteFile(JoinPath(dir_, "b.txt"), "").ok());
+  ASSERT_TRUE(WriteFile(JoinPath(dir_, "a.txt"), "").ok());
+  ASSERT_TRUE(CreateDirs(JoinPath(dir_, "subdir")).ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.ValueUnsafe(),
+            (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+TEST_F(FileUtilTest, JoinPathHandlesSlashes) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+  EXPECT_EQ(JoinPath("a", ""), "a");
+}
+
+TEST(MakeTempDirTest, CreatesDistinctDirs) {
+  auto a = MakeTempDir("mlake-t");
+  auto b = MakeTempDir("mlake-t");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.ValueUnsafe(), b.ValueUnsafe());
+  EXPECT_TRUE(RemoveAll(a.ValueUnsafe()).ok());
+  EXPECT_TRUE(RemoveAll(b.ValueUnsafe()).ok());
+}
+
+}  // namespace
+}  // namespace mlake

@@ -1,0 +1,288 @@
+#include "versioning/heritage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+
+namespace mlake::versioning {
+namespace {
+
+constexpr int64_t kDim = 12;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(const std::string& family, const std::string& domain,
+                 size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = domain;
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+WeightSummary Summarize(const std::string& id, nn::Model* model) {
+  WeightSummary s;
+  s.id = id;
+  s.arch_signature = model->spec().Signature();
+  s.flat_weights = model->FlattenParams();
+  return s;
+}
+
+TEST(WeightDistanceTest, Basics) {
+  Tensor a = Tensor::FromVector({3}, {0, 0, 0});
+  Tensor b = Tensor::FromVector({3}, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(WeightDistance(a, b, "l2"), 5.0);
+  EXPECT_DOUBLE_EQ(WeightDistance(a, a, "l2"), 0.0);
+  // Normalized distance is invariant to affine rescale of one side.
+  Tensor c = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor c_scaled = Tensor::FromVector({4}, {10, 20, 30, 40});
+  EXPECT_NEAR(WeightDistance(c, c_scaled, "normalized"), 0.0, 1e-5);
+  EXPECT_GT(WeightDistance(c, c_scaled, "l2"), 0.0);
+}
+
+TEST(WeightKurtosisTest, KnownShapes) {
+  // Uniform-ish data has kurtosis ~1.8; a heavy-tailed vector more.
+  std::vector<float> uniform;
+  for (int i = 0; i < 101; ++i) uniform.push_back(-1.0f + 0.02f * i);
+  double k_uniform =
+      WeightKurtosis(Tensor::FromVector({101}, std::move(uniform)));
+  EXPECT_NEAR(k_uniform, 1.8, 0.05);
+
+  std::vector<float> spiky(101, 0.01f);
+  spiky[0] = 5.0f;
+  spiky[1] = -5.0f;
+  double k_spiky = WeightKurtosis(Tensor::FromVector({101}, std::move(spiky)));
+  EXPECT_GT(k_spiky, 10.0);
+  EXPECT_EQ(WeightKurtosis(Tensor::Zeros({5})), 0.0);  // degenerate
+}
+
+TEST(RecoverHeritageTest, ValidatesConfig) {
+  HeritageConfig config;
+  config.distance = "hamming";
+  EXPECT_TRUE(RecoverHeritage({}, config).status().IsInvalidArgument());
+  HeritageConfig config2;
+  config2.root_heuristic = "astrology";
+  EXPECT_TRUE(RecoverHeritage({}, config2).status().IsInvalidArgument());
+}
+
+TEST(RecoverHeritageTest, EmptyAndSingleton) {
+  auto empty = RecoverHeritage({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.ValueUnsafe().graph.NumModels(), 0u);
+
+  Rng rng(1);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  auto single = RecoverHeritage({Summarize("only", model.get())});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.ValueUnsafe().graph.NumModels(), 1u);
+  EXPECT_EQ(single.ValueUnsafe().graph.NumEdges(), 0u);
+  EXPECT_EQ(single.ValueUnsafe().num_trees, 1u);
+}
+
+/// Builds a population of bases with *decorrelated* children (each child
+/// fine-tuned toward its own task family, as in the evaluation regime of
+/// Horwitz et al.). Returns (summaries, truth).
+struct Population {
+  std::vector<WeightSummary> summaries;
+  ModelGraph truth;
+};
+
+Population MakePopulation(size_t num_bases, size_t children_per_base,
+                          uint64_t seed) {
+  Population pop;
+  nn::TrainConfig base_config;
+  base_config.epochs = 10;
+  nn::TrainConfig child_config;
+  child_config.epochs = 3;
+  child_config.lr = 1e-3f;
+
+  Rng rng(seed);
+  for (size_t b = 0; b < num_bases; ++b) {
+    Rng init_rng = rng.Fork();
+    auto base = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &init_rng)
+                    .MoveValueUnsafe();
+    nn::Dataset data = Task("base-family", "d", 160, seed + 10 * b);
+    base_config.seed = rng.NextU64();
+    MLAKE_CHECK(nn::Train(base.get(), data, base_config).ok());
+    std::string base_id = "base-" + std::to_string(b);
+    pop.summaries.push_back(Summarize(base_id, base.get()));
+    pop.truth.AddModel(base_id);
+
+    for (size_t c = 0; c < children_per_base; ++c) {
+      auto child = base->Clone();
+      nn::Dataset child_data = Task(
+          StrFormat("child-family-%zu-%zu", b, c), "d", 96, seed + 100 + c);
+      child_config.seed = rng.NextU64();
+      MLAKE_CHECK(nn::Finetune(child.get(), child_data, child_config).ok());
+      std::string child_id = base_id + "-child-" + std::to_string(c);
+      pop.summaries.push_back(Summarize(child_id, child.get()));
+      VersionEdge edge;
+      edge.parent = base_id;
+      edge.child = child_id;
+      edge.type = EdgeType::kFinetune;
+      MLAKE_CHECK(pop.truth.AddEdge(edge).ok());
+    }
+  }
+  return pop;
+}
+
+struct RecoveryCase {
+  const char* name;
+  const char* distance;
+  const char* root;
+};
+
+class HeritageRecoveryTest : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(HeritageRecoveryTest, RecoversDecorrelatedFinetuneForest) {
+  Population pop = MakePopulation(/*num_bases=*/3, /*children_per_base=*/3,
+                                  /*seed=*/42);
+  HeritageConfig config;
+  config.distance = GetParam().distance;
+  config.root_heuristic = GetParam().root;
+  auto result = RecoverHeritage(pop.summaries, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  GraphComparison cmp = CompareGraphs(pop.truth, result.ValueUnsafe().graph);
+  EXPECT_GE(cmp.UndirectedRecall(), 0.85)
+      << "undirected recall too low (" << cmp.correct_undirected << "/"
+      << cmp.truth_edges << ")";
+  EXPECT_GE(cmp.DirectedRecall(), 0.6);
+  EXPECT_EQ(result.ValueUnsafe().num_trees, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HeritageRecoveryTest,
+    ::testing::Values(RecoveryCase{"l2_kurtosis", "l2", "kurtosis"},
+                      RecoveryCase{"l2_hub", "l2", "hub"},
+                      RecoveryCase{"normalized_kurtosis", "normalized",
+                                   "kurtosis"}),
+    [](const ::testing::TestParamInfo<RecoveryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RecoverHeritageTest, CorrelatedSiblingsStillClusterByFamily) {
+  // The documented hard case: siblings fine-tuned on *related* domains
+  // share a delta direction, so exact parent edges are ambiguous from
+  // weights alone. The recovered forest must still keep every edge
+  // within the true family (perfect clustering) even when the tree
+  // shape inside a family is wrong.
+  nn::TrainConfig base_config;
+  base_config.epochs = 10;
+  nn::TrainConfig child_config;
+  child_config.epochs = 3;
+  child_config.lr = 1e-3f;
+  Rng rng(7);
+  std::vector<WeightSummary> summaries;
+  std::vector<std::string> family_of;  // parallel to summaries
+  for (int b = 0; b < 3; ++b) {
+    Rng init_rng = rng.Fork();
+    auto base = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &init_rng)
+                    .MoveValueUnsafe();
+    base_config.seed = rng.NextU64();
+    MLAKE_CHECK(
+        nn::Train(base.get(), Task("fam", "base", 160, 7 + b), base_config)
+            .ok());
+    std::string fam = "tree-" + std::to_string(b);
+    summaries.push_back(Summarize(fam + "-base", base.get()));
+    family_of.push_back(fam);
+    for (int c = 0; c < 3; ++c) {
+      auto child = base->Clone();
+      child_config.seed = rng.NextU64();
+      // Related sibling domains (correlated deltas).
+      MLAKE_CHECK(nn::Finetune(child.get(),
+                               Task("fam", "sib-" + std::to_string(c), 96,
+                                    100 + c),
+                               child_config)
+                      .ok());
+      summaries.push_back(
+          Summarize(fam + "-child-" + std::to_string(c), child.get()));
+      family_of.push_back(fam);
+    }
+  }
+  auto result = RecoverHeritage(summaries);
+  ASSERT_TRUE(result.ok());
+  // Every recovered edge connects two members of one family.
+  auto family = [&](const std::string& id) {
+    return id.substr(0, id.find("-base") != std::string::npos
+                            ? id.find("-base")
+                            : id.find("-child"));
+  };
+  for (const VersionEdge& e : result.ValueUnsafe().graph.Edges()) {
+    EXPECT_EQ(family(e.parent), family(e.child))
+        << e.parent << " -> " << e.child;
+  }
+  EXPECT_EQ(result.ValueUnsafe().num_trees, 3u);
+}
+
+TEST(RecoverHeritageTest, DifferentArchitecturesNeverLinked) {
+  Rng rng(7);
+  auto mlp = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &rng)
+                 .MoveValueUnsafe();
+  auto mlp_wide = nn::BuildModel(nn::MlpSpec(kDim, {20}, kClasses), &rng)
+                      .MoveValueUnsafe();
+  auto result = RecoverHeritage({Summarize("a", mlp.get()),
+                                 Summarize("b", mlp_wide.get())});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueUnsafe().graph.NumEdges(), 0u);
+  EXPECT_EQ(result.ValueUnsafe().num_trees, 2u);
+}
+
+TEST(RecoverHeritageTest, UnrelatedModelsCutIntoSeparateTrees) {
+  // Two independently trained models plus two tight children of base1:
+  // the long base-base distance should be cut, giving 2 trees.
+  Rng rng(9);
+  nn::TrainConfig config;
+  config.epochs = 10;
+
+  auto base1 = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  MLAKE_CHECK(nn::Train(base1.get(), Task("fam", "d1", 160, 1), config).ok());
+  auto base2 = nn::BuildModel(nn::MlpSpec(kDim, {10}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  MLAKE_CHECK(nn::Train(base2.get(), Task("fam", "d2", 160, 2), config).ok());
+
+  auto child1 = base1->Clone();
+  nn::TrainConfig light;
+  light.epochs = 2;
+  light.lr = 5e-4f;
+  MLAKE_CHECK(
+      nn::Finetune(child1.get(), Task("other-1", "d", 64, 3), light).ok());
+  auto child1b = base1->Clone();
+  MLAKE_CHECK(
+      nn::Finetune(child1b.get(), Task("other-2", "d", 64, 4), light).ok());
+
+  HeritageConfig hconfig;
+  hconfig.cut_factor = 2.0;
+  auto result = RecoverHeritage(
+      {Summarize("base1", base1.get()), Summarize("base2", base2.get()),
+       Summarize("child1", child1.get()),
+       Summarize("child1b", child1b.get())},
+      hconfig);
+  ASSERT_TRUE(result.ok());
+  const ModelGraph& g = result.ValueUnsafe().graph;
+  // base2 must not be attached to the base1 family.
+  EXPECT_TRUE(g.Parents("base2").empty());
+  EXPECT_TRUE(g.Children("base2").empty());
+  EXPECT_EQ(result.ValueUnsafe().num_trees, 2u);
+}
+
+TEST(RecoverHeritageTest, ConfidenceInUnitInterval) {
+  Population pop = MakePopulation(2, 2, 77);
+  auto result = RecoverHeritage(pop.summaries);
+  ASSERT_TRUE(result.ok());
+  for (const VersionEdge& e : result.ValueUnsafe().graph.Edges()) {
+    EXPECT_GE(e.confidence, 0.0);
+    EXPECT_LE(e.confidence, 1.0);
+    EXPECT_EQ(e.type, EdgeType::kUnknown);
+  }
+  EXPECT_GT(result.ValueUnsafe().median_edge_distance, 0.0);
+}
+
+}  // namespace
+}  // namespace mlake::versioning

@@ -1,0 +1,177 @@
+#include "provenance/influence.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+
+namespace mlake::provenance {
+namespace {
+
+constexpr int64_t kDim = 10;
+constexpr int64_t kClasses = 3;
+
+nn::Dataset MakeData(size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "influence-task";
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  spec.noise = 0.8;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> FitModel(const nn::Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 20;
+  config.lr = 4e-3f;
+  MLAKE_CHECK(nn::Train(model.get(), data, config).ok());
+  return model;
+}
+
+TEST(CorrelationTest, PearsonBasics) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-9);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-9);
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);  // no variance
+}
+
+TEST(CorrelationTest, SpearmanIsRankBased) {
+  // Monotone but nonlinear relation: Spearman 1, Pearson < 1.
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-9);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+  // Ties handled via average ranks.
+  EXPECT_NEAR(SpearmanCorrelation({1, 1, 2}, {1, 1, 2}), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, TopKOverlap) {
+  std::vector<double> a{9, 8, 7, 1, 0};
+  std::vector<double> b{9, 8, 0, 1, 7};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 2), 1.0);   // {0,1} vs {0,1}
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a, 5), 1.0);
+}
+
+TEST(InfluenceTest, ValidatesInputs) {
+  nn::Dataset data = MakeData(32, 1);
+  auto model = FitModel(data, 2);
+  Rng rng(3);
+  Tensor test_x = Tensor::RandomNormal({1, kDim}, &rng);
+  nn::Dataset empty;
+  EXPECT_TRUE(ComputeInfluence(model.get(), empty, test_x, 0)
+                  .status()
+                  .IsInvalidArgument());
+  Tensor batch = Tensor::RandomNormal({2, kDim}, &rng);
+  EXPECT_TRUE(ComputeInfluence(model.get(), data, batch, 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ComputeInfluence(model.get(), data, test_x, 99)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(InfluenceTest, DuplicateOfTestPointIsHelpful) {
+  nn::Dataset data = MakeData(64, 4);
+  auto model = FitModel(data, 5);
+  // Use a training point itself as the test point: it should be among
+  // the most helpful points for its own prediction.
+  Tensor test_x = data.x.Row(0).Reshape({1, kDim});
+  int64_t test_y = data.labels[0];
+  auto report = ComputeInfluence(model.get(), data, test_x, test_y);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.ValueUnsafe().scores.size(), data.size());
+  // Rank of the point itself in the helpfulness ordering.
+  size_t rank = 0;
+  for (size_t i = 0; i < report.ValueUnsafe().ranking.size(); ++i) {
+    if (report.ValueUnsafe().ranking[i] == 0) rank = i;
+  }
+  EXPECT_LT(rank, data.size() / 4) << "self should rank highly helpful";
+}
+
+TEST(InfluenceTest, MislabeledPointIsHarmful) {
+  nn::Dataset data = MakeData(64, 6);
+  // Corrupt one training label.
+  size_t victim = 7;
+  data.labels[victim] = (data.labels[victim] + 1) % kClasses;
+  auto model = FitModel(data, 7);
+
+  // Test point: a fresh sample of the victim's *true* class region.
+  nn::Dataset probe = MakeData(64, 8);
+  size_t probe_idx = 0;
+  auto report = ComputeInfluence(
+      model.get(), data,
+      probe.x.Row(static_cast<int64_t>(probe_idx)).Reshape({1, kDim}),
+      probe.labels[probe_idx]);
+  ASSERT_TRUE(report.ok());
+  // The mislabeled point should not be among the most helpful.
+  const auto& ranking = report.ValueUnsafe().ranking;
+  size_t rank = 0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i] == victim) rank = i;
+  }
+  EXPECT_GT(rank, data.size() / 10);
+}
+
+TEST(InfluenceTest, CorrelatesWithLeaveOneOutGroundTruth) {
+  // The headline validation (paper §4 Attribution): influence estimates
+  // should track actual retraining deltas.
+  nn::Dataset data = MakeData(48, 9);
+  auto model = FitModel(data, 10);
+  Rng rng(11);
+  nn::Dataset probe = MakeData(8, 12);
+  Tensor test_x = probe.x.Row(0).Reshape({1, kDim});
+  int64_t test_y = probe.labels[0];
+
+  auto influence = ComputeInfluence(model.get(), data, test_x, test_y);
+  ASSERT_TRUE(influence.ok());
+
+  // The LOO ground truth needs the head retrained to (near) convergence
+  // or retrain noise swamps the single-point effect.
+  nn::TrainConfig retrain;
+  retrain.epochs = 400;
+  retrain.batch_size = 48;  // full batch
+  retrain.lr = 1e-1f;
+  retrain.optimizer = "sgd";
+  retrain.momentum = 0.0f;
+  retrain.seed = 1;
+  auto loo = LeaveOneOutDeltas(model.get(), data, test_x, test_y, retrain);
+  ASSERT_TRUE(loo.ok()) << loo.status().ToString();
+
+  double spearman =
+      SpearmanCorrelation(influence.ValueUnsafe().scores, loo.ValueUnsafe());
+  EXPECT_GT(spearman, 0.4) << "influence should track LOO ground truth";
+}
+
+TEST(TrainHeadOnlyTest, OnlyHeadMoves) {
+  nn::Dataset data = MakeData(64, 13);
+  auto model = FitModel(data, 14);
+  // Snapshot all params.
+  Tensor before = model->FlattenParams();
+  nn::TrainConfig config;
+  config.epochs = 5;
+  ASSERT_TRUE(TrainHeadOnly(model.get(), data, config).ok());
+  Tensor after = model->FlattenParams();
+
+  // Head = last linear (weight + bias = 8*3 + 3 = 27 trailing values).
+  int64_t head_params = 8 * kClasses + kClasses;
+  int64_t body_params = before.NumElements() - head_params;
+  for (int64_t i = 0; i < body_params; ++i) {
+    ASSERT_FLOAT_EQ(after.data()[i], before.data()[i]) << "body moved at " << i;
+  }
+  bool head_moved = false;
+  for (int64_t i = body_params; i < before.NumElements(); ++i) {
+    if (after.data()[i] != before.data()[i]) head_moved = true;
+  }
+  EXPECT_TRUE(head_moved);
+
+  // Frozen flags restored.
+  for (nn::Param* p : model->Params()) EXPECT_FALSE(p->frozen);
+}
+
+}  // namespace
+}  // namespace mlake::provenance

@@ -1,0 +1,114 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace mlake::index {
+namespace {
+
+InvertedIndex MakeCorpus() {
+  InvertedIndex index;
+  index.Add("m1",
+            "legal summarization model trained on US court opinions legal "
+            "legal");
+  index.Add("m2", "medical summarization model for clinical notes");
+  index.Add("m3", "legal entity tagger for contracts");
+  index.Add("m4", "translation model for news articles");
+  return index;
+}
+
+TEST(InvertedIndexTest, FindsMatchingDocs) {
+  InvertedIndex index = MakeCorpus();
+  auto hits = index.Search("legal", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  // m1 mentions "legal" three times and should outrank m3.
+  EXPECT_EQ(hits[0].doc_id, "m1");
+  EXPECT_EQ(hits[1].doc_id, "m3");
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(InvertedIndexTest, MultiTermQueryAccumulates) {
+  InvertedIndex index = MakeCorpus();
+  auto hits = index.Search("legal summarization", 10);
+  ASSERT_GE(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc_id, "m1");  // matches both terms
+}
+
+TEST(InvertedIndexTest, RareTermsWeighMoreThanCommon) {
+  InvertedIndex index;
+  index.Add("common1", "model model alpha");
+  index.Add("common2", "model beta");
+  index.Add("common3", "model gamma");
+  index.Add("rare", "model zeta special");
+  // "special" appears in one doc; "model" in all. A doc matching the
+  // rare term outranks docs matching only the common term.
+  auto hits = index.Search("model special", 10);
+  EXPECT_EQ(hits[0].doc_id, "rare");
+}
+
+TEST(InvertedIndexTest, NoMatchesReturnsEmpty) {
+  InvertedIndex index = MakeCorpus();
+  EXPECT_TRUE(index.Search("nonexistentterm", 10).empty());
+  EXPECT_TRUE(index.Search("", 10).empty());
+  EXPECT_TRUE(index.Search("!!!", 10).empty());
+}
+
+TEST(InvertedIndexTest, KLimitsResults) {
+  InvertedIndex index = MakeCorpus();
+  EXPECT_EQ(index.Search("model", 2).size(), 2u);
+}
+
+TEST(InvertedIndexTest, QueryIsCaseInsensitive) {
+  InvertedIndex index = MakeCorpus();
+  auto hits = index.Search("LEGAL", 10);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(InvertedIndexTest, ReAddReplacesDocument) {
+  InvertedIndex index = MakeCorpus();
+  index.Add("m1", "now a translation model");
+  auto legal_hits = index.Search("legal", 10);
+  ASSERT_EQ(legal_hits.size(), 1u);
+  EXPECT_EQ(legal_hits[0].doc_id, "m3");
+  auto translation_hits = index.Search("translation", 10);
+  EXPECT_EQ(translation_hits.size(), 2u);
+  EXPECT_EQ(index.NumDocs(), 4u);
+}
+
+TEST(InvertedIndexTest, RemoveDropsDocument) {
+  InvertedIndex index = MakeCorpus();
+  index.Remove("m1");
+  auto hits = index.Search("legal", 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc_id, "m3");
+  index.Remove("m1");      // idempotent
+  index.Remove("ghost");   // no-op
+}
+
+TEST(InvertedIndexTest, EmptyIndexSearch) {
+  InvertedIndex index;
+  EXPECT_TRUE(index.Search("anything", 5).empty());
+  EXPECT_EQ(index.NumDocs(), 0u);
+}
+
+TEST(InvertedIndexTest, TieBrokenByDocId) {
+  InvertedIndex index;
+  index.Add("b", "identical text");
+  index.Add("a", "identical text");
+  auto hits = index.Search("identical", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc_id, "a");
+}
+
+TEST(InvertedIndexTest, LongDocumentPenalizedByLengthNorm) {
+  InvertedIndex index;
+  std::string filler;
+  for (int i = 0; i < 200; ++i) filler += " filler" + std::to_string(i);
+  index.Add("long", "target" + filler);
+  index.Add("short", "target focused");
+  auto hits = index.Search("target", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc_id, "short");
+}
+
+}  // namespace
+}  // namespace mlake::index

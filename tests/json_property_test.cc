@@ -1,0 +1,136 @@
+// Property tests for the JSON codec: randomly generated documents must
+// survive dump -> parse -> dump round trips (both compact and pretty),
+// and random byte mutations of valid documents must never crash the
+// parser (they may parse or fail cleanly, but must not abort).
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace mlake {
+namespace {
+
+/// Generates a random JSON value with bounded depth/size.
+Json RandomJson(Rng* rng, int depth) {
+  double dice = rng->NextDouble();
+  if (depth <= 0 || dice < 0.35) {
+    // Scalar.
+    switch (rng->NextBelow(4)) {
+      case 0:
+        return Json(nullptr);
+      case 1:
+        return Json(rng->Bernoulli(0.5));
+      case 2: {
+        // Mix integers and awkward doubles.
+        if (rng->Bernoulli(0.5)) {
+          return Json(rng->UniformInt(-1000000, 1000000));
+        }
+        return Json(rng->Uniform(-1e6, 1e6));
+      }
+      default: {
+        // Strings with escapes and control characters.
+        std::string s;
+        size_t len = rng->NextBelow(20);
+        for (size_t i = 0; i < len; ++i) {
+          static const char kAlphabet[] =
+              "abcXYZ 019\"\\\n\t\r\x01\x1f/\xc3\xa9";
+          s.push_back(kAlphabet[rng->NextBelow(sizeof(kAlphabet) - 1)]);
+        }
+        return Json(std::move(s));
+      }
+    }
+  }
+  if (dice < 0.68) {
+    Json arr = Json::MakeArray();
+    size_t n = rng->NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      arr.Append(RandomJson(rng, depth - 1));
+    }
+    return arr;
+  }
+  Json obj = Json::MakeObject();
+  size_t n = rng->NextBelow(5);
+  for (size_t i = 0; i < n; ++i) {
+    obj.Set(StrFormat("k%zu", i), RandomJson(rng, depth - 1));
+  }
+  return obj;
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripTest, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Json doc = RandomJson(&rng, 4);
+    // Compact round trip.
+    auto compact = Json::Parse(doc.Dump());
+    ASSERT_TRUE(compact.ok()) << doc.Dump();
+    ASSERT_TRUE(compact.ValueUnsafe() == doc) << doc.Dump();
+    // Pretty round trip.
+    auto pretty = Json::Parse(doc.Dump(2));
+    ASSERT_TRUE(pretty.ok());
+    ASSERT_TRUE(pretty.ValueUnsafe() == doc);
+    // Idempotence: dump(parse(dump(x))) == dump(x).
+    ASSERT_EQ(compact.ValueUnsafe().Dump(), doc.Dump());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(JsonFuzzTest, MutatedDocumentsNeverCrash) {
+  Rng rng(7);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = RandomJson(&rng, 3).Dump();
+    // Apply 1-4 random byte mutations.
+    size_t mutations = rng.NextBelow(4) + 1;
+    for (size_t m = 0; m < mutations && !text.empty(); ++m) {
+      size_t pos = rng.NextBelow(text.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.NextBelow(128)));
+      }
+    }
+    auto parsed = Json::Parse(text);
+    if (parsed.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must round trip.
+      auto again = Json::Parse(parsed.ValueUnsafe().Dump());
+      ASSERT_TRUE(again.ok());
+      ASSERT_TRUE(again.ValueUnsafe() == parsed.ValueUnsafe());
+    } else {
+      ++rejected;
+      EXPECT_TRUE(parsed.status().IsCorruption());
+    }
+  }
+  // Sanity: the fuzz actually exercised both paths.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(JsonFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    size_t len = rng.NextBelow(64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    auto parsed = Json::Parse(garbage);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsCorruption());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlake

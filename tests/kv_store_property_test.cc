@@ -1,0 +1,162 @@
+// Property/model tests for the log-structured KV store: a long random
+// operation sequence is mirrored against std::map, with reopens,
+// compactions and auto-compaction interleaved. Any divergence between
+// the store and the reference model is a bug.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/kv_store.h"
+
+namespace mlake::storage {
+namespace {
+
+class KvStorePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-kv-prop");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+    path_ = JoinPath(dir_, "kv.log");
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_P(KvStorePropertyTest, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  std::map<std::string, std::string> reference;
+
+  KvCompactionPolicy policy;
+  policy.min_log_bytes = 4 * 1024;  // let auto-compaction fire often
+  policy.max_garbage_ratio = 2.0;
+
+  auto store = KvStore::Open(path_, policy).MoveValueUnsafe();
+  const int kOps = 3000;
+  const int kKeySpace = 64;
+
+  for (int op = 0; op < kOps; ++op) {
+    std::string key = StrFormat("key-%02d",
+                                static_cast<int>(rng.NextBelow(kKeySpace)));
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Put with a random-size value.
+      std::string value(rng.NextBelow(200) + 1,
+                        static_cast<char>('a' + rng.NextBelow(26)));
+      ASSERT_TRUE(store->Put(key, value).ok());
+      reference[key] = value;
+    } else if (dice < 0.75) {
+      ASSERT_TRUE(store->Delete(key).ok());
+      reference.erase(key);
+    } else if (dice < 0.85) {
+      // Point read of a random key.
+      auto got = store->Get(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        ASSERT_EQ(got.ValueUnsafe(), it->second) << key;
+      }
+    } else if (dice < 0.93) {
+      // Reopen (crash-free restart).
+      store.reset();
+      store = KvStore::Open(path_, policy).MoveValueUnsafe();
+    } else {
+      ASSERT_TRUE(store->Compact().ok());
+    }
+
+    if (op % 500 == 0) {
+      // Full-state comparison.
+      ASSERT_EQ(store->Count(), reference.size()) << "op " << op;
+      for (const auto& [k, v] : reference) {
+        ASSERT_EQ(store->Get(k).ValueOrDie(), v) << "op " << op;
+      }
+    }
+  }
+
+  // Final deep check after one more reopen.
+  store.reset();
+  store = KvStore::Open(path_, policy).MoveValueUnsafe();
+  ASSERT_EQ(store->Count(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_EQ(store->Get(k).ValueOrDie(), v);
+  }
+  // Scans agree too.
+  std::vector<std::string> expected_keys;
+  for (const auto& [k, v] : reference) expected_keys.push_back(k);
+  ASSERT_EQ(store->ScanPrefix("key-"), expected_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(KvAutoCompactTest, FiresWhenGarbageAccumulates) {
+  auto dir = MakeTempDir("mlake-kv-auto").MoveValueUnsafe();
+  std::string path = JoinPath(dir, "kv.log");
+  KvCompactionPolicy policy;
+  policy.min_log_bytes = 2 * 1024;
+  policy.max_garbage_ratio = 3.0;
+  auto store = KvStore::Open(path, policy).MoveValueUnsafe();
+  // Overwrite one hot key with 512-byte values many times: garbage grows
+  // while live stays ~525 bytes, so compaction must trigger.
+  std::string value(512, 'x');
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store->Put("hot", value).ok());
+  }
+  EXPECT_GT(store->CompactionCount(), 0u);
+  // Invariant: the log never exceeds ratio * live by more than one record.
+  EXPECT_LE(store->LogBytes(),
+            static_cast<uint64_t>(3.0 * static_cast<double>(
+                                            store->LiveBytes())) +
+                600);
+  EXPECT_EQ(store->Get("hot").ValueOrDie(), value);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(KvAutoCompactTest, DisabledPolicyNeverCompacts) {
+  auto dir = MakeTempDir("mlake-kv-noauto").MoveValueUnsafe();
+  std::string path = JoinPath(dir, "kv.log");
+  KvCompactionPolicy policy;
+  policy.automatic = false;
+  policy.min_log_bytes = 0;
+  auto store = KvStore::Open(path, policy).MoveValueUnsafe();
+  std::string value(512, 'x');
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("hot", value).ok());
+  }
+  EXPECT_EQ(store->CompactionCount(), 0u);
+  EXPECT_GT(store->LogBytes(), 50u * 512u);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(KvAutoCompactTest, LiveBytesTracksExactly) {
+  auto dir = MakeTempDir("mlake-kv-live").MoveValueUnsafe();
+  std::string path = JoinPath(dir, "kv.log");
+  auto store = KvStore::Open(path).MoveValueUnsafe();
+  ASSERT_TRUE(store->Put("a", "12345").ok());
+  ASSERT_TRUE(store->Put("b", "67").ok());
+  uint64_t after_two = store->LiveBytes();
+  ASSERT_TRUE(store->Put("a", "1").ok());  // overwrite with smaller
+  EXPECT_LT(store->LiveBytes(), after_two);
+  ASSERT_TRUE(store->Delete("b").ok());
+  // Only "a" -> "1" remains: 13 + 1 + 1 bytes.
+  EXPECT_EQ(store->LiveBytes(), 15u);
+  // Reopen recomputes the same number.
+  store.reset();
+  store = KvStore::Open(path).MoveValueUnsafe();
+  EXPECT_EQ(store->LiveBytes(), 15u);
+  // After compaction, log == live.
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->LogBytes(), store->LiveBytes());
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+}  // namespace
+}  // namespace mlake::storage

@@ -1,0 +1,215 @@
+#include "lakegen/lakegen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/file_util.h"
+
+namespace mlake::lakegen {
+namespace {
+
+class LakeGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-lakegen");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::unique_ptr<core::ModelLake> OpenLake() {
+    core::LakeOptions options;
+    options.root = JoinPath(dir_, "lake");
+    return core::ModelLake::Open(options).MoveValueUnsafe();
+  }
+
+  LakeGenConfig SmallConfig() {
+    LakeGenConfig config;
+    config.num_families = 2;
+    config.domains_per_family = 2;
+    config.num_bases = 3;
+    config.children_per_base_min = 1;
+    config.children_per_base_max = 2;
+    config.train_samples = 128;
+    config.test_samples = 64;
+    config.base_train.epochs = 6;
+    config.finetune_train.epochs = 3;
+    return config;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LakeGenTest, PopulatesLakeConsistently) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  auto result = GenerateLake(lake.get(), config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const LakeGenResult& gen = result.ValueUnsafe();
+
+  // Sizes: 3 bases + 1..2 children each.
+  EXPECT_GE(gen.models.size(), 6u);
+  EXPECT_LE(gen.models.size(), 9u);
+  EXPECT_EQ(lake->NumModels(), gen.models.size());
+  EXPECT_EQ(gen.truth_graph.NumModels(), gen.models.size());
+  EXPECT_EQ(gen.families.size(), 2u);
+  EXPECT_EQ(gen.datasets.size(), 4u);
+  EXPECT_EQ(gen.test_sets.size(), 4u);
+  EXPECT_EQ(gen.truth_cards.size(), gen.models.size());
+
+  // Every model in the truth list exists in the lake and is loadable.
+  for (const GeneratedModel& m : gen.models) {
+    EXPECT_TRUE(lake->LoadModel(m.id).ok()) << m.id;
+    EXPECT_TRUE(lake->CardFor(m.id).ok()) << m.id;
+  }
+
+  // Edge bookkeeping: children have parents; bases do not.
+  size_t bases = 0, children = 0;
+  for (const GeneratedModel& m : gen.models) {
+    if (m.parent.empty()) {
+      ++bases;
+      EXPECT_TRUE(gen.truth_graph.Parents(m.id).empty());
+    } else {
+      ++children;
+      EXPECT_TRUE(gen.truth_graph.HasEdge(m.parent, m.id));
+      EXPECT_NE(m.edge, versioning::EdgeType::kUnknown);
+    }
+  }
+  EXPECT_EQ(bases, 3u);
+  EXPECT_EQ(children + bases, gen.models.size());
+
+  // Datasets and benchmarks registered.
+  EXPECT_EQ(lake->ListDatasets().size(), 4u);
+  EXPECT_EQ(lake->ListBenchmarks().size(), 4u);
+
+  // Lineage recorded in the lake graph by default.
+  EXPECT_EQ(lake->graph().NumEdges(), gen.truth_graph.NumEdges());
+}
+
+TEST_F(LakeGenTest, ModelsActuallyLearnTheirTasks) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  config.base_train.epochs = 12;
+  auto gen = GenerateLake(lake.get(), config).MoveValueUnsafe();
+  double total = 0.0;
+  size_t count = 0;
+  for (const GeneratedModel& m : gen.models) {
+    if (m.parent.empty()) {  // bases trained to convergence
+      total += m.test_accuracy;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_GT(total / static_cast<double>(count), 0.75)
+      << "base models should learn their tasks";
+}
+
+TEST_F(LakeGenTest, NoiseCardsReduceCompleteness) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  config.noise_cards = true;
+  config.card_noise.redact_rate = 0.8;
+  config.card_noise.drop_lineage_rate = 1.0;
+  auto gen = GenerateLake(lake.get(), config).MoveValueUnsafe();
+
+  double truth_total = 0.0, visible_total = 0.0;
+  for (const auto& [id, truth_card] : gen.truth_cards) {
+    truth_total += metadata::CompletenessScore(truth_card);
+    visible_total +=
+        metadata::CompletenessScore(lake->CardFor(id).ValueOrDie());
+  }
+  EXPECT_LT(visible_total, truth_total * 0.75);
+}
+
+TEST_F(LakeGenTest, NoNoiseKeepsTruthCards) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  config.noise_cards = false;
+  auto gen = GenerateLake(lake.get(), config).MoveValueUnsafe();
+  for (const auto& [id, truth_card] : gen.truth_cards) {
+    EXPECT_TRUE(lake->CardFor(id).ValueOrDie() == truth_card) << id;
+  }
+}
+
+TEST_F(LakeGenTest, LineageCanBeWithheldFromLake) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  config.record_lineage_in_lake = false;
+  auto gen = GenerateLake(lake.get(), config).MoveValueUnsafe();
+  EXPECT_GT(gen.truth_graph.NumEdges(), 0u);
+  EXPECT_EQ(lake->graph().NumEdges(), 0u)
+      << "heritage-recovery experiments must not see recorded lineage";
+}
+
+TEST_F(LakeGenTest, DeterministicGivenSeed) {
+  LakeGenConfig config = SmallConfig();
+  config.seed = 99;
+
+  core::LakeOptions options_a;
+  options_a.root = JoinPath(dir_, "lake-a");
+  auto lake_a = core::ModelLake::Open(options_a).MoveValueUnsafe();
+  auto gen_a = GenerateLake(lake_a.get(), config).MoveValueUnsafe();
+
+  core::LakeOptions options_b;
+  options_b.root = JoinPath(dir_, "lake-b");
+  auto lake_b = core::ModelLake::Open(options_b).MoveValueUnsafe();
+  auto gen_b = GenerateLake(lake_b.get(), config).MoveValueUnsafe();
+
+  ASSERT_EQ(gen_a.models.size(), gen_b.models.size());
+  for (size_t i = 0; i < gen_a.models.size(); ++i) {
+    EXPECT_EQ(gen_a.models[i].id, gen_b.models[i].id);
+    EXPECT_EQ(gen_a.models[i].parent, gen_b.models[i].parent);
+    EXPECT_EQ(gen_a.models[i].edge, gen_b.models[i].edge);
+    EXPECT_DOUBLE_EQ(gen_a.models[i].test_accuracy,
+                     gen_b.models[i].test_accuracy);
+  }
+  // Identical weights => identical artifacts => identical digests.
+  for (const GeneratedModel& m : gen_a.models) {
+    Json doc_a = lake_a->catalog()->GetDoc("model", m.id).ValueOrDie();
+    Json doc_b = lake_b->catalog()->GetDoc("model", m.id).ValueOrDie();
+    EXPECT_EQ(doc_a.GetString("artifact_digest"),
+              doc_b.GetString("artifact_digest"))
+        << m.id;
+  }
+}
+
+TEST_F(LakeGenTest, TransformationMixIsDiverse) {
+  auto lake = OpenLake();
+  LakeGenConfig config = SmallConfig();
+  config.num_bases = 6;
+  config.children_per_base_min = 3;
+  config.children_per_base_max = 4;
+  auto gen = GenerateLake(lake.get(), config).MoveValueUnsafe();
+  std::set<versioning::EdgeType> kinds;
+  for (const GeneratedModel& m : gen.models) {
+    if (!m.parent.empty()) kinds.insert(m.edge);
+  }
+  EXPECT_GE(kinds.size(), 3u) << "expected several transformation types";
+}
+
+TEST_F(LakeGenTest, ValidatesConfig) {
+  auto lake = OpenLake();
+  LakeGenConfig empty;
+  empty.num_bases = 0;
+  EXPECT_TRUE(GenerateLake(lake.get(), empty).status().IsInvalidArgument());
+  LakeGenConfig too_many;
+  too_many.num_families = 100;
+  EXPECT_TRUE(
+      GenerateLake(lake.get(), too_many).status().IsInvalidArgument());
+  LakeGenConfig wrong_dims = SmallConfig();
+  wrong_dims.input_dim = 64;
+  EXPECT_TRUE(
+      GenerateLake(lake.get(), wrong_dims).status().IsInvalidArgument());
+}
+
+TEST(LakeGenPoolsTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_GE(TaskFamilyPool().size(), 6u);
+  EXPECT_GE(DomainPool().size(), 4u);
+  std::set<std::string> families(TaskFamilyPool().begin(),
+                                 TaskFamilyPool().end());
+  EXPECT_EQ(families.size(), TaskFamilyPool().size());
+}
+
+}  // namespace
+}  // namespace mlake::lakegen

@@ -1,0 +1,116 @@
+#include "provenance/membership.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+
+namespace mlake::provenance {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({3, 4, 5}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeAuc({0, 1, 2}, {3, 4, 5}), 0.0);
+}
+
+TEST(AucTest, NoSeparation) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({1, 1}, {1, 1}), 0.5);  // all ties
+}
+
+TEST(AucTest, PartialSeparation) {
+  // positives {1, 3}, negatives {0, 2}: wins = (1>0) + (3>0) + (3>2) = 3
+  // of 4 comparisons.
+  EXPECT_DOUBLE_EQ(ComputeAuc({1, 3}, {0, 2}), 0.75);
+}
+
+TEST(AucTest, EmptyInputsNeutral) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {1}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({1}, {}), 0.5);
+}
+
+nn::Dataset Sample(size_t n, uint64_t seed, double noise = 2.8) {
+  nn::TaskSpec spec;
+  spec.family_id = "membership-task";
+  spec.domain_id = "d";
+  spec.dim = 12;
+  spec.num_classes = 4;
+  spec.noise = noise;  // noisy task => memorization pays
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+TEST(MembershipTest, ValidatesInputs) {
+  Rng rng(1);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(12, {16}, 4), &rng).MoveValueUnsafe();
+  nn::Dataset empty;
+  nn::Dataset data = Sample(8, 2);
+  EXPECT_TRUE(LossMembershipAttack(model.get(), empty, data)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LossMembershipAttack(model.get(), data, empty)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MembershipTest, OverfitModelLeaksMembership) {
+  // Small member set on a very noisy task: the model memorizes members
+  // (train acc ~1.0) but generalizes poorly, powering the attack.
+  nn::Dataset members = Sample(64, 3);
+  nn::Dataset nonmembers = Sample(256, 4);
+
+  Rng rng(5);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(12, {64}, 4), &rng).MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 150;  // heavy overfitting on a noisy task
+  config.lr = 4e-3f;
+  ASSERT_TRUE(nn::Train(model.get(), members, config).ok());
+
+  auto report = LossMembershipAttack(model.get(), members, nonmembers);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.ValueUnsafe().auc, 0.7)
+      << "overfit model should leak membership";
+  EXPECT_LT(report.ValueUnsafe().member_loss,
+            report.ValueUnsafe().nonmember_loss);
+  EXPECT_GE(report.ValueUnsafe().best_accuracy, 0.5);
+  EXPECT_GE(report.ValueUnsafe().auc, 0.0);
+  EXPECT_LE(report.ValueUnsafe().auc, 1.0);
+}
+
+TEST(MembershipTest, UntrainedModelDoesNotLeak) {
+  nn::Dataset members = Sample(96, 6);
+  nn::Dataset nonmembers = Sample(96, 7);
+  Rng rng(8);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(12, {64}, 4), &rng).MoveValueUnsafe();
+  auto report = LossMembershipAttack(model.get(), members, nonmembers);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.ValueUnsafe().auc, 0.5, 0.1)
+      << "untrained model has no membership signal";
+}
+
+TEST(MembershipTest, LeakageGrowsWithTrainingEpochs) {
+  // The monotone shape of E5: more overfitting => stronger attack.
+  nn::Dataset members = Sample(64, 9);
+  nn::Dataset nonmembers = Sample(256, 10);
+  Rng rng(11);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(12, {64}, 4), &rng).MoveValueUnsafe();
+
+  nn::TrainConfig config;
+  config.lr = 4e-3f;
+  config.epochs = 4;
+  std::vector<double> aucs;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(nn::Train(model.get(), members, config).ok());
+    config.epochs = 60;  // subsequent rounds train much longer
+    auto report = LossMembershipAttack(model.get(), members, nonmembers);
+    ASSERT_TRUE(report.ok());
+    aucs.push_back(report.ValueUnsafe().auc);
+  }
+  EXPECT_GT(aucs.back(), aucs.front());
+}
+
+}  // namespace
+}  // namespace mlake::provenance

@@ -1,0 +1,135 @@
+#include "index/minhash_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace mlake::index {
+namespace {
+
+std::vector<std::string> Shards(const std::string& prefix, int from, int to) {
+  std::vector<std::string> out;
+  for (int i = from; i < to; ++i) {
+    out.push_back(StrFormat("%s#%d", prefix.c_str(), i));
+  }
+  return out;
+}
+
+double TrueJaccard(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& x : sa) {
+    if (sb.count(x)) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+TEST(MinHashTest, IdenticalSetsHaveIdenticalSignatures) {
+  auto a = ComputeMinHash(Shards("d", 0, 20), 64);
+  auto b = ComputeMinHash(Shards("d", 0, 20), 64);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  auto a = ComputeMinHash(Shards("x", 0, 30), 128);
+  auto b = ComputeMinHash(Shards("y", 0, 30), 128);
+  EXPECT_LT(EstimateJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, OrderInvariant) {
+  std::vector<std::string> forward = Shards("d", 0, 10);
+  std::vector<std::string> reversed(forward.rbegin(), forward.rend());
+  EXPECT_EQ(ComputeMinHash(forward, 64), ComputeMinHash(reversed, 64));
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccardProperty) {
+  // Property sweep: vary overlap fraction, check the estimator is close.
+  Rng rng(3);
+  for (int overlap = 0; overlap <= 20; overlap += 4) {
+    std::vector<std::string> a = Shards("shared", 0, overlap);
+    std::vector<std::string> b = a;
+    for (auto& s : Shards("only-a", 0, 20 - overlap)) a.push_back(s);
+    for (auto& s : Shards("only-b", 0, 20 - overlap)) b.push_back(s);
+    double truth = TrueJaccard(a, b);
+    double estimate =
+        EstimateJaccard(ComputeMinHash(a, 256), ComputeMinHash(b, 256));
+    EXPECT_NEAR(estimate, truth, 0.12) << "overlap=" << overlap;
+  }
+}
+
+TEST(MinHashTest, DifferentSeedsGiveDifferentSignatures) {
+  auto a = ComputeMinHash(Shards("d", 0, 10), 32, /*seed=*/1);
+  auto b = ComputeMinHash(Shards("d", 0, 10), 32, /*seed=*/2);
+  EXPECT_NE(a, b);
+}
+
+TEST(MinHashLshTest, AddValidation) {
+  MinHashLsh lsh(8, 4);  // expects 32-hash signatures
+  auto sig = ComputeMinHash(Shards("d", 0, 10), 32);
+  ASSERT_TRUE(lsh.Add("d1", sig).ok());
+  EXPECT_TRUE(lsh.Add("d1", sig).IsAlreadyExists());
+  auto wrong = ComputeMinHash(Shards("d", 0, 10), 16);
+  EXPECT_TRUE(lsh.Add("d2", wrong).IsInvalidArgument());
+  EXPECT_EQ(lsh.Size(), 1u);
+}
+
+TEST(MinHashLshTest, FindsOverlappingSets) {
+  // 32 bands x 2 rows: band collision prob at Jaccard 1/3 is ~0.11, so
+  // P(candidate) = 1 - (1-0.11)^32 > 0.97.
+  MinHashLsh lsh(32, 2);
+  const size_t hashes = 64;
+  // d1 and d2 share half their shards; d3 is disjoint.
+  std::vector<std::string> d1 = Shards("core", 0, 8);
+  for (auto& s : Shards("d1", 0, 8)) d1.push_back(s);
+  std::vector<std::string> d2 = Shards("core", 0, 8);
+  for (auto& s : Shards("d2", 0, 8)) d2.push_back(s);
+  std::vector<std::string> d3 = Shards("elsewhere", 0, 16);
+
+  ASSERT_TRUE(lsh.Add("d1", ComputeMinHash(d1, hashes)).ok());
+  ASSERT_TRUE(lsh.Add("d2", ComputeMinHash(d2, hashes)).ok());
+  ASSERT_TRUE(lsh.Add("d3", ComputeMinHash(d3, hashes)).ok());
+
+  auto hits = lsh.Query(ComputeMinHash(d1, hashes), 0.2);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, "d1");  // itself, jaccard 1
+  EXPECT_EQ(hits[1].id, "d2");
+  EXPECT_NEAR(hits[1].jaccard, 1.0 / 3.0, 0.15);
+  for (const auto& hit : hits) EXPECT_NE(hit.id, "d3");
+}
+
+TEST(MinHashLshTest, ThresholdFilters) {
+  MinHashLsh lsh(32, 2);
+  std::vector<std::string> d1 = Shards("core", 0, 8);
+  for (auto& s : Shards("d1", 0, 8)) d1.push_back(s);
+  std::vector<std::string> d2 = Shards("core", 0, 8);
+  for (auto& s : Shards("d2", 0, 8)) d2.push_back(s);
+  ASSERT_TRUE(lsh.Add("d1", ComputeMinHash(d1, 64)).ok());
+  ASSERT_TRUE(lsh.Add("d2", ComputeMinHash(d2, 64)).ok());
+  // At a 0.9 threshold only the identical set survives.
+  auto hits = lsh.Query(ComputeMinHash(d1, 64), 0.9);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "d1");
+}
+
+TEST(MinHashLshTest, QueryWrongSizeReturnsEmpty) {
+  MinHashLsh lsh(8, 4);
+  EXPECT_TRUE(lsh.QueryCandidates(ComputeMinHash({"x"}, 16)).empty());
+}
+
+TEST(MinHashLshTest, CandidatesDeduplicated) {
+  MinHashLsh lsh(8, 2);
+  auto sig = ComputeMinHash(Shards("d", 0, 12), 16);
+  ASSERT_TRUE(lsh.Add("d1", sig).ok());
+  // Identical signature collides in every band but appears once.
+  auto candidates = lsh.QueryCandidates(sig);
+  EXPECT_EQ(candidates, std::vector<std::string>{"d1"});
+}
+
+}  // namespace
+}  // namespace mlake::index

@@ -1,0 +1,188 @@
+#include "storage/model_artifact.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace mlake::storage {
+namespace {
+
+std::unique_ptr<nn::Model> MakeTrainedModel(uint64_t seed) {
+  Rng rng(seed);
+  auto model =
+      nn::BuildModel(nn::MlpSpec(10, {12}, 4), &rng).MoveValueUnsafe();
+  nn::TaskSpec spec;
+  spec.family_id = "artifact-test";
+  spec.domain_id = "d";
+  spec.dim = 10;
+  spec.num_classes = 4;
+  nn::SyntheticTask task = nn::SyntheticTask::Make(spec);
+  Rng data_rng(seed + 1);
+  nn::Dataset data = task.Sample(96, &data_rng);
+  nn::TrainConfig config;
+  config.epochs = 4;
+  MLAKE_CHECK(nn::Train(model.get(), data, config).ok());
+  return model;
+}
+
+TEST(ModelArtifactTest, ModelRoundTripPreservesBehavior) {
+  auto model = MakeTrainedModel(1);
+  Json meta = Json::MakeObject();
+  meta.Set("note", "round trip");
+  ModelArtifact artifact = ArtifactFromModel(*model, meta);
+  std::string bytes = SerializeArtifact(artifact);
+
+  auto parsed = ParseArtifact(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueUnsafe().meta.GetString("note"), "round trip");
+  EXPECT_TRUE(parsed.ValueUnsafe().spec == model->spec());
+
+  auto restored = ModelFromArtifact(parsed.ValueUnsafe());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({5, 10}, &rng);
+  Tensor y1 = model->Forward(x);
+  Tensor y2 = restored.ValueUnsafe()->Forward(x);
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(ModelArtifactTest, AttentionModelRoundTrip) {
+  Rng rng(3);
+  auto model =
+      nn::BuildModel(nn::AttnSpec(2, 8, 4), &rng).MoveValueUnsafe();
+  ModelArtifact artifact = ArtifactFromModel(*model, Json::MakeObject());
+  auto restored = ModelFromArtifact(
+      ParseArtifact(SerializeArtifact(artifact)).ValueOrDie());
+  ASSERT_TRUE(restored.ok());
+  Tensor x = Tensor::RandomNormal({3, 16}, &rng);
+  Tensor y1 = model->Forward(x);
+  Tensor y2 = restored.ValueUnsafe()->Forward(x);
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(ModelArtifactTest, BadMagicRejected) {
+  auto model = MakeTrainedModel(4);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  bytes[0] = 'X';
+  auto parsed = ParseArtifact(bytes);
+  EXPECT_TRUE(parsed.status().IsCorruption());
+  EXPECT_NE(parsed.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ModelArtifactTest, UnsupportedVersionRejected) {
+  auto model = MakeTrainedModel(5);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  bytes[8] = 99;  // format version little-endian low byte
+  EXPECT_TRUE(ParseArtifact(bytes).status().IsCorruption());
+}
+
+TEST(ModelArtifactTest, SectionCorruptionPinpointed) {
+  auto model = MakeTrainedModel(6);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  // Flip a byte deep in the weight payload.
+  bytes[bytes.size() - 5] ^= 0x10;
+  auto parsed = ParseArtifact(bytes);
+  ASSERT_TRUE(parsed.status().IsCorruption());
+  EXPECT_NE(parsed.status().message().find("crc mismatch"),
+            std::string::npos);
+}
+
+TEST(ModelArtifactTest, TruncationRejected) {
+  auto model = MakeTrainedModel(7);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  for (size_t cut : {size_t{4}, size_t{12}, size_t{40}, bytes.size() - 3}) {
+    EXPECT_TRUE(
+        ParseArtifact(std::string_view(bytes).substr(0, cut)).status()
+            .IsCorruption())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ModelArtifactTest, TrailingBytesRejected) {
+  auto model = MakeTrainedModel(8);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  bytes += "extra";
+  EXPECT_TRUE(ParseArtifact(bytes).status().IsCorruption());
+}
+
+TEST(ModelArtifactTest, MissingWeightRejectedOnRestore) {
+  auto model = MakeTrainedModel(9);
+  ModelArtifact artifact = ArtifactFromModel(*model, Json::MakeObject());
+  artifact.weights.pop_back();
+  auto restored = ModelFromArtifact(artifact);
+  EXPECT_TRUE(restored.status().IsInvalidArgument());
+}
+
+TEST(ModelArtifactTest, FuzzMutatedBytesNeverCrash) {
+  // Property: random byte mutations of a valid artifact either parse
+  // (rare) or fail with Corruption — never crash or hang. The per-
+  // section CRCs should catch essentially every payload flip.
+  auto model = MakeTrainedModel(20);
+  std::string clean =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  Rng rng(21);
+  size_t rejected = 0;
+  const int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string bytes = clean;
+    size_t mutations = rng.NextBelow(4) + 1;
+    for (size_t m = 0; m < mutations && !bytes.empty(); ++m) {
+      size_t pos = rng.NextBelow(bytes.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          bytes[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          bytes.erase(pos, 1);
+          break;
+        default:
+          bytes.insert(pos, 1, static_cast<char>(rng.NextBelow(256)));
+      }
+    }
+    auto parsed = ParseArtifact(bytes);
+    if (!parsed.ok()) {
+      ++rejected;
+      EXPECT_TRUE(parsed.status().IsCorruption());
+    }
+  }
+  // CRC + structure checks should reject the overwhelming majority.
+  EXPECT_GT(rejected, kTrials * 9 / 10);
+}
+
+TEST(ModelArtifactTest, FuzzRandomGarbageNeverCrashes) {
+  Rng rng(22);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.NextBelow(256);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    auto parsed = ParseArtifact(garbage);
+    EXPECT_FALSE(parsed.ok());  // valid magic + structure is implausible
+  }
+}
+
+TEST(ModelArtifactTest, DeterministicSerialization) {
+  auto model = MakeTrainedModel(10);
+  std::string a =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  std::string b =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  EXPECT_EQ(a, b);  // content-addressing relies on this
+}
+
+}  // namespace
+}  // namespace mlake::storage

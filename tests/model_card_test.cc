@@ -1,0 +1,238 @@
+#include "metadata/model_card.h"
+
+#include <gtest/gtest.h>
+
+#include "metadata/card_noise.h"
+
+namespace mlake::metadata {
+namespace {
+
+ModelCard FullCard() {
+  ModelCard card;
+  card.model_id = "legal-sum/us-mlp-base-0";
+  card.name = "Legal summarizer";
+  card.description = "Summarizes US court opinions into plain language.";
+  card.task = "summarization";
+  card.tags = {"legal", "english"};
+  card.architecture = "mlp(32-64-8,relu)";
+  card.num_params = 2632;
+  card.training_datasets = {"legal-sum/us-courts"};
+  Json config = Json::MakeObject();
+  config.Set("epochs", 12);
+  card.training_config = config;
+  card.lineage = {"", ""};
+  card.metrics = {{"legal-sum/us-courts:test", "accuracy", 0.91}};
+  card.creator = "ada-labs";
+  card.license = "apache-2.0";
+  card.created_at = "2025-01-15";
+  card.intended_use = {"summarization of legal documents"};
+  card.risk_notes = {"not validated on non-US jurisdictions"};
+  return card;
+}
+
+TEST(ModelCardTest, JsonRoundTrip) {
+  ModelCard card = FullCard();
+  card.lineage = {"some-base", "finetune"};
+  auto back = ModelCard::FromJson(card.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.ValueUnsafe() == card);
+}
+
+TEST(ModelCardTest, RoundTripThroughText) {
+  ModelCard card = FullCard();
+  std::string text = card.ToJson().Dump(2);
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto back = ModelCard::FromJson(parsed.ValueUnsafe());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.ValueUnsafe() == card);
+}
+
+TEST(ModelCardTest, MissingModelIdRejected) {
+  Json j = Json::MakeObject();
+  j.Set("name", "anonymous");
+  EXPECT_TRUE(ModelCard::FromJson(j).status().IsCorruption());
+}
+
+TEST(ModelCardTest, TolerantToMissingOptionalFields) {
+  Json j = Json::MakeObject();
+  j.Set("model_id", "bare");
+  auto card = ModelCard::FromJson(j);
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(card.ValueUnsafe().model_id, "bare");
+  EXPECT_TRUE(card.ValueUnsafe().task.empty());
+  EXPECT_TRUE(card.ValueUnsafe().metrics.empty());
+}
+
+TEST(ModelCardTest, SearchTextContainsKeyFields) {
+  ModelCard card = FullCard();
+  std::string text = card.SearchText();
+  EXPECT_NE(text.find("legal"), std::string::npos);
+  EXPECT_NE(text.find("summarization"), std::string::npos);
+  EXPECT_NE(text.find("legal-sum/us-courts"), std::string::npos);
+}
+
+TEST(CompletenessTest, FullCardScoresHigh) {
+  // A complete *base* card (legitimately no lineage) scores ~12/13.
+  EXPECT_GT(CompletenessScore(FullCard()), 0.9);
+}
+
+TEST(CompletenessTest, EmptyCardScoresLow) {
+  ModelCard card;
+  card.model_id = "empty";
+  EXPECT_LT(CompletenessScore(card), 0.05);
+}
+
+TEST(CompletenessTest, MonotoneUnderFieldRemoval) {
+  ModelCard card = FullCard();
+  double full = CompletenessScore(card);
+  card.training_datasets.clear();
+  double without_data = CompletenessScore(card);
+  EXPECT_LT(without_data, full);
+  card.metrics.clear();
+  double without_metrics = CompletenessScore(card);
+  EXPECT_LT(without_metrics, without_data);
+}
+
+TEST(CompletenessTest, TrainingDataWeighsMoreThanLicense) {
+  ModelCard a = FullCard();
+  a.training_datasets.clear();
+  ModelCard b = FullCard();
+  b.license.clear();
+  EXPECT_LT(CompletenessScore(a), CompletenessScore(b));
+}
+
+TEST(ValidateTest, CleanCardHasNoProblems) {
+  EXPECT_TRUE(ValidateCard(FullCard()).empty());
+}
+
+TEST(ValidateTest, CatchesSelfReferentialLineage) {
+  ModelCard card = FullCard();
+  card.lineage = {card.model_id, "finetune"};
+  auto problems = ValidateCard(card);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("self-referential"), std::string::npos);
+}
+
+TEST(ValidateTest, CatchesLineageWithoutMethod) {
+  ModelCard card = FullCard();
+  card.lineage = {"parent-model", ""};
+  EXPECT_FALSE(ValidateCard(card).empty());
+}
+
+TEST(ValidateTest, CatchesBadMetrics) {
+  ModelCard card = FullCard();
+  card.metrics.push_back({"bench", "accuracy", 1.7});
+  EXPECT_FALSE(ValidateCard(card).empty());
+  card = FullCard();
+  card.metrics.push_back({"", "", 0.5});
+  EXPECT_FALSE(ValidateCard(card).empty());
+}
+
+TEST(ValidateTest, CatchesDuplicateDatasetsAndBadId) {
+  ModelCard card = FullCard();
+  card.training_datasets = {"d1", "d1"};
+  EXPECT_FALSE(ValidateCard(card).empty());
+  card = FullCard();
+  card.model_id = "has spaces!";
+  EXPECT_FALSE(ValidateCard(card).empty());
+  card = FullCard();
+  card.num_params = -5;
+  EXPECT_FALSE(ValidateCard(card).empty());
+}
+
+TEST(CardNoiseTest, ZeroRateIsIdentityExceptLineage) {
+  ModelCard truth = FullCard();
+  CardNoiseConfig config;
+  config.redact_rate = 0.0;
+  config.wrong_task_rate = 0.0;
+  config.drop_lineage_rate = 0.0;
+  Rng rng(1);
+  ModelCard noised = NoiseCard(truth, config, {"summarization"}, &rng);
+  EXPECT_TRUE(noised == truth);
+}
+
+TEST(CardNoiseTest, FullRateRedactsEverything) {
+  ModelCard truth = FullCard();
+  truth.lineage = {"base", "finetune"};
+  CardNoiseConfig config;
+  config.redact_rate = 1.0;
+  config.drop_lineage_rate = 1.0;
+  Rng rng(2);
+  ModelCard noised = NoiseCard(truth, config, {}, &rng);
+  EXPECT_TRUE(noised.description.empty());
+  EXPECT_TRUE(noised.task.empty());
+  EXPECT_TRUE(noised.tags.empty());
+  EXPECT_TRUE(noised.training_datasets.empty());
+  EXPECT_TRUE(noised.metrics.empty());
+  EXPECT_TRUE(noised.intended_use.empty());
+  EXPECT_TRUE(noised.risk_notes.empty());
+  EXPECT_TRUE(noised.lineage.empty());
+  // Identity fields survive.
+  EXPECT_EQ(noised.model_id, truth.model_id);
+  EXPECT_EQ(noised.architecture, truth.architecture);
+}
+
+TEST(CardNoiseTest, RedactionLowersCompletenessOnAverage) {
+  ModelCard truth = FullCard();
+  CardNoiseConfig config;
+  config.redact_rate = 0.6;
+  Rng rng(3);
+  double total = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    total += CompletenessScore(NoiseCard(truth, config, {}, &rng));
+  }
+  double mean = total / trials;
+  EXPECT_LT(mean, 0.65);
+  EXPECT_GT(mean, 0.15);
+}
+
+TEST(CardNoiseTest, WrongTaskSwapsToDifferentFamily) {
+  ModelCard truth = FullCard();
+  CardNoiseConfig config;
+  config.redact_rate = 0.0;
+  config.drop_lineage_rate = 0.0;
+  config.wrong_task_rate = 1.0;
+  std::vector<std::string> tasks{"summarization", "translation",
+                                 "moderation"};
+  Rng rng(4);
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    ModelCard noised = NoiseCard(truth, config, tasks, &rng);
+    if (noised.task != truth.task) {
+      ++changed;
+      EXPECT_TRUE(noised.task == "translation" ||
+                  noised.task == "moderation");
+    }
+  }
+  EXPECT_EQ(changed, 20);
+}
+
+TEST(CardNoiseTest, NameObfuscation) {
+  ModelCard truth = FullCard();
+  CardNoiseConfig config;
+  config.redact_rate = 0.0;
+  config.drop_lineage_rate = 0.0;
+  config.obfuscate_name_rate = 1.0;
+  Rng rng(5);
+  ModelCard noised = NoiseCard(truth, config, {}, &rng);
+  EXPECT_NE(noised.name, truth.name);
+  EXPECT_EQ(noised.name.find("model-"), 0u);
+  // Deterministic per model id.
+  Rng rng2(6);
+  EXPECT_EQ(NoiseCard(truth, config, {}, &rng2).name, noised.name);
+}
+
+TEST(CardNoiseTest, DeterministicGivenRng) {
+  ModelCard truth = FullCard();
+  CardNoiseConfig config;
+  config.redact_rate = 0.5;
+  Rng a(7), b(7);
+  ModelCard na = NoiseCard(truth, config, {}, &a);
+  ModelCard nb = NoiseCard(truth, config, {}, &b);
+  EXPECT_TRUE(na == nb);
+}
+
+}  // namespace
+}  // namespace mlake::metadata

@@ -1,0 +1,110 @@
+#include "nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+namespace {
+
+TaskSpec Spec(const std::string& family, const std::string& domain) {
+  TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = domain;
+  spec.dim = 16;
+  spec.num_classes = 4;
+  return spec;
+}
+
+TEST(SyntheticTaskTest, DeterministicGivenSpec) {
+  SyntheticTask a = SyntheticTask::Make(Spec("fam", "dom"));
+  SyntheticTask b = SyntheticTask::Make(Spec("fam", "dom"));
+  for (int64_t i = 0; i < a.centroids().NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(a.centroids().data()[i], b.centroids().data()[i]);
+  }
+}
+
+TEST(SyntheticTaskTest, DomainsOfOneFamilyAreRelatedButDistinct) {
+  SyntheticTask base = SyntheticTask::Make(Spec("fam", "dom1"));
+  SyntheticTask sibling = SyntheticTask::Make(Spec("fam", "dom2"));
+  SyntheticTask stranger = SyntheticTask::Make(Spec("other", "dom1"));
+
+  double sib_dist = L2Norm(Sub(base.centroids(), sibling.centroids()));
+  double stranger_dist = L2Norm(Sub(base.centroids(), stranger.centroids()));
+  EXPECT_GT(sib_dist, 0.0);           // different domains differ
+  EXPECT_LT(sib_dist, stranger_dist);  // but less than different families
+}
+
+TEST(SyntheticTaskTest, SamplesClusterAroundCentroids) {
+  TaskSpec spec = Spec("fam", "dom");
+  spec.noise = 0.2;
+  SyntheticTask task = SyntheticTask::Make(spec);
+  Rng rng(1);
+  Dataset data = task.Sample(200, &rng);
+  ASSERT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.num_classes, 4);
+  EXPECT_EQ(data.dim(), 16);
+  // Every sample is closer to its own centroid than to the average of
+  // all others (low noise regime).
+  size_t violations = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    Tensor x = data.x.Row(static_cast<int64_t>(i));
+    double own = L2Norm(Sub(x, task.centroids().Row(data.labels[i])));
+    for (int64_t c = 0; c < 4; ++c) {
+      if (c == data.labels[i]) continue;
+      double other = L2Norm(Sub(x, task.centroids().Row(c)));
+      if (other < own) ++violations;
+    }
+  }
+  EXPECT_LT(violations, 12u);  // < 2% of 600 comparisons
+}
+
+TEST(SyntheticTaskTest, LabelsRoughlyBalanced) {
+  SyntheticTask task = SyntheticTask::Make(Spec("fam", "dom"));
+  Rng rng(2);
+  Dataset data = task.Sample(4000, &rng);
+  std::vector<int> counts(4, 0);
+  for (int64_t y : data.labels) ++counts[static_cast<size_t>(y)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 120);
+  }
+}
+
+TEST(TaskSpecTest, JsonRoundTrip) {
+  TaskSpec spec = Spec("legal-sum", "us-courts");
+  spec.noise = 0.7;
+  auto back = TaskSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueUnsafe().family_id, "legal-sum");
+  EXPECT_EQ(back.ValueUnsafe().domain_id, "us-courts");
+  EXPECT_EQ(back.ValueUnsafe().dim, 16);
+  EXPECT_EQ(back.ValueUnsafe().num_classes, 4);
+  EXPECT_DOUBLE_EQ(back.ValueUnsafe().noise, 0.7);
+  EXPECT_EQ(spec.DatasetName(), "legal-sum/us-courts");
+}
+
+TEST(TaskSpecTest, MissingFamilyRejected) {
+  Json j = Json::MakeObject();
+  j.Set("domain_id", "d");
+  EXPECT_FALSE(TaskSpec::FromJson(j).ok());
+}
+
+TEST(ProbeSetTest, DeterministicAndShaped) {
+  Tensor a = MakeProbeSet(32, 24, 7);
+  Tensor b = MakeProbeSet(32, 24, 7);
+  Tensor c = MakeProbeSet(32, 24, 8);
+  EXPECT_EQ(a.dim(0), 24);
+  EXPECT_EQ(a.dim(1), 32);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+  // Different seed differs.
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    if (a.data()[i] != c.data()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace mlake::nn

@@ -1,0 +1,399 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+namespace {
+
+/// Scalar probe loss L = sum(C ⊙ layer(x)) with fixed random
+/// coefficients C, so dL/dOutput = C exactly.
+double ProbeLoss(Layer* layer, const Tensor& x, const Tensor& coeffs) {
+  Tensor y = layer->Forward(x, /*training=*/false);
+  return Dot(y, coeffs);
+}
+
+/// Verifies analytic input and parameter gradients against central
+/// finite differences.
+void CheckLayerGradients(Layer* layer, Tensor x, double eps = 1e-2,
+                         double tol = 4e-2) {
+  Rng rng(99);
+  Tensor probe_out = layer->Forward(x, /*training=*/true);
+  Tensor coeffs = Tensor::RandomNormal(probe_out.shape(), &rng);
+
+  // Analytic gradients.
+  for (Param* p : layer->Params()) p->ZeroGrad();
+  layer->Forward(x, /*training=*/true);
+  Tensor dx = layer->Backward(coeffs);
+
+  // Numeric input gradient.
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    float saved = x.data()[i];
+    x.data()[i] = saved + static_cast<float>(eps);
+    double up = ProbeLoss(layer, x, coeffs);
+    x.data()[i] = saved - static_cast<float>(eps);
+    double down = ProbeLoss(layer, x, coeffs);
+    x.data()[i] = saved;
+    double numeric = (up - down) / (2 * eps);
+    double analytic = dx.data()[i];
+    double scale = std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+    EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+        << "input grad mismatch at " << i;
+  }
+
+  // Numeric parameter gradients.
+  for (Param* p : layer->Params()) {
+    for (int64_t i = 0; i < p->value.NumElements(); ++i) {
+      float saved = p->value.data()[i];
+      p->value.data()[i] = saved + static_cast<float>(eps);
+      double up = ProbeLoss(layer, x, coeffs);
+      p->value.data()[i] = saved - static_cast<float>(eps);
+      double down = ProbeLoss(layer, x, coeffs);
+      p->value.data()[i] = saved;
+      double numeric = (up - down) / (2 * eps);
+      double analytic = p->grad.data()[i];
+      double scale =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+          << "param " << p->name << " grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(1);
+  Linear layer(5, 4, &rng);
+  Tensor x = Tensor::RandomNormal({3, 5}, &rng);
+  CheckLayerGradients(&layer, x);
+}
+
+TEST(GradCheckTest, Relu) {
+  Rng rng(2);
+  Relu layer;
+  // Keep inputs away from the kink at 0 where finite differences lie.
+  Tensor x = Tensor::RandomNormal({4, 6}, &rng);
+  for (float& v : x.storage()) {
+    if (std::fabs(v) < 0.1f) v += v >= 0 ? 0.2f : -0.2f;
+  }
+  CheckLayerGradients(&layer, x);
+}
+
+TEST(GradCheckTest, Tanh) {
+  Rng rng(3);
+  Tanh layer;
+  Tensor x = Tensor::RandomNormal({4, 6}, &rng);
+  CheckLayerGradients(&layer, x);
+}
+
+TEST(GradCheckTest, Gelu) {
+  Rng rng(4);
+  Gelu layer;
+  Tensor x = Tensor::RandomNormal({4, 6}, &rng);
+  CheckLayerGradients(&layer, x);
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Rng rng(5);
+  LayerNorm layer(6);
+  Tensor x = Tensor::RandomNormal({4, 6}, &rng, 2.0f);
+  CheckLayerGradients(&layer, x, /*eps=*/1e-2, /*tol=*/6e-2);
+}
+
+TEST(GradCheckTest, SelfAttention) {
+  Rng rng(6);
+  SelfAttention layer(/*seq_len=*/3, /*d_model=*/4, &rng);
+  Tensor x = Tensor::RandomNormal({2, 12}, &rng);
+  CheckLayerGradients(&layer, x, /*eps=*/1e-2, /*tol=*/6e-2);
+}
+
+TEST(GradCheckTest, ResidualBlock) {
+  Rng rng(21);
+  ResidualBlock layer(/*dim=*/6, &rng);
+  Tensor x = Tensor::RandomNormal({4, 6}, &rng);
+  // Keep pre-activations away from the ReLU kink for stable numerics.
+  CheckLayerGradients(&layer, x, /*eps=*/1e-2, /*tol=*/6e-2);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout layer(0.5f, 7);
+  Rng rng(22);
+  Tensor x = Tensor::RandomNormal({4, 8}, &rng);
+  Tensor y = layer.Forward(x, /*training=*/false);
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Dropout layer(0.5f, 7);
+  Tensor x = Tensor::Full({64, 64}, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  size_t zeros = 0;
+  for (float v : y.storage()) {
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6);
+    if (v == 0.0f) ++zeros;
+  }
+  double drop_fraction = static_cast<double>(zeros) /
+                         static_cast<double>(y.NumElements());
+  EXPECT_NEAR(drop_fraction, 0.5, 0.05);
+  // Expectation preserved by the 1/(1-p) rescale.
+  EXPECT_NEAR(Mean(y), 1.0, 0.1);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout layer(0.5f, 9);
+  Tensor x = Tensor::Full({8, 8}, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  Tensor grad = Tensor::Full({8, 8}, 1.0f);
+  Tensor dx = layer.Backward(grad);
+  for (int64_t i = 0; i < y.NumElements(); ++i) {
+    // Gradient flows exactly where activations survived.
+    EXPECT_FLOAT_EQ(dx.data()[i], y.data()[i]);
+  }
+}
+
+TEST(GradCheckTest, MeanPool) {
+  MeanPool layer(/*seq_len=*/3, /*d_model=*/4);
+  Rng rng(7);
+  Tensor x = Tensor::RandomNormal({2, 12}, &rng);
+  CheckLayerGradients(&layer, x);
+}
+
+/// End-to-end gradient check: full model + softmax cross-entropy.
+void CheckModelGradients(Model* model, const Tensor& x,
+                         const std::vector<int64_t>& labels) {
+  model->ZeroGrad();
+  Tensor logits = model->Forward(x, /*training=*/true);
+  LossAndGrad lg = SoftmaxCrossEntropy(logits, labels);
+  model->Backward(lg.d_logits);
+
+  const double eps = 1e-2, tol = 6e-2;
+  for (Param* p : model->Params()) {
+    // Sample a few entries per parameter to bound runtime.
+    int64_t n = p->value.NumElements();
+    for (int64_t i = 0; i < n; i += std::max<int64_t>(1, n / 7)) {
+      float saved = p->value.data()[i];
+      p->value.data()[i] = saved + static_cast<float>(eps);
+      double up =
+          SoftmaxCrossEntropy(model->Forward(x, false), labels).loss;
+      p->value.data()[i] = saved - static_cast<float>(eps);
+      double down =
+          SoftmaxCrossEntropy(model->Forward(x, false), labels).loss;
+      p->value.data()[i] = saved;
+      double numeric = (up - down) / (2 * eps);
+      double analytic = p->grad.data()[i];
+      double scale =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+          << "param " << p->name << " entry " << i;
+    }
+  }
+}
+
+TEST(GradCheckTest, FullMlpWithLayerNorm) {
+  Rng rng(8);
+  ArchSpec spec = MlpSpec(6, {8, 5}, 3, "gelu", /*layer_norm=*/true);
+  auto model = BuildModel(spec, &rng);
+  ASSERT_TRUE(model.ok());
+  Tensor x = Tensor::RandomNormal({5, 6}, &rng);
+  std::vector<int64_t> labels{0, 2, 1, 2, 0};
+  CheckModelGradients(model.ValueUnsafe().get(), x, labels);
+}
+
+TEST(GradCheckTest, FullAttentionModel) {
+  Rng rng(9);
+  ArchSpec spec = AttnSpec(/*seq_len=*/3, /*d_model=*/4, /*classes=*/3);
+  auto model = BuildModel(spec, &rng);
+  ASSERT_TRUE(model.ok());
+  Tensor x = Tensor::RandomNormal({4, 12}, &rng);
+  std::vector<int64_t> labels{0, 1, 2, 1};
+  CheckModelGradients(model.ValueUnsafe().get(), x, labels);
+}
+
+TEST(LossTest, SoftmaxCrossEntropyKnownValue) {
+  // Uniform logits over 4 classes -> loss = ln(4).
+  Tensor logits = Tensor::Zeros({2, 4});
+  LossAndGrad lg = SoftmaxCrossEntropy(logits, {1, 3});
+  EXPECT_NEAR(lg.loss, std::log(4.0), 1e-5);
+  // Gradient: (p - onehot)/batch.
+  EXPECT_NEAR(lg.d_logits.At(0, 1), (0.25 - 1.0) / 2.0, 1e-5);
+  EXPECT_NEAR(lg.d_logits.At(0, 0), 0.25 / 2.0, 1e-5);
+}
+
+TEST(LossTest, SoftCrossEntropyMatchesHardOnOneHot) {
+  Rng rng(10);
+  Tensor logits = Tensor::RandomNormal({3, 4}, &rng);
+  std::vector<int64_t> labels{2, 0, 3};
+  Tensor onehot = Tensor::Zeros({3, 4});
+  for (int i = 0; i < 3; ++i) onehot.At(i, labels[i]) = 1.0f;
+  LossAndGrad hard = SoftmaxCrossEntropy(logits, labels);
+  LossAndGrad soft = SoftCrossEntropy(logits, onehot);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-5);
+  for (int64_t i = 0; i < hard.d_logits.NumElements(); ++i) {
+    EXPECT_NEAR(hard.d_logits.data()[i], soft.d_logits.data()[i], 1e-5);
+  }
+}
+
+TEST(LossTest, AccuracyAndPerExampleNll) {
+  Tensor logits =
+      Tensor::FromVector({2, 3}, {5, 0, 0, 0, 0, 5});  // pred 0, pred 2
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {1, 2}), 0.5);
+  std::vector<double> nll = PerExampleNll(logits, {0, 0});
+  EXPECT_LT(nll[0], nll[1]);  // correct class cheap, wrong class expensive
+}
+
+TEST(ModelTest, ResMlpBuildsTrainsAndRoundTrips) {
+  Rng rng(31);
+  ArchSpec spec = ResMlpSpec(/*input_dim=*/8, /*width=*/12,
+                             /*num_blocks=*/2, /*classes=*/3);
+  auto model = BuildModel(spec, &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // stem linear + act + 2 resblocks + head = 5 layers.
+  EXPECT_EQ(model.ValueUnsafe()->num_layers(), 5u);
+  EXPECT_EQ(spec.Signature(), "resmlp(8,w=12,blocks=2,classes=3)");
+  // Flatten/unflatten round trip covers the renamed resblock params.
+  Tensor flat = model.ValueUnsafe()->FlattenParams();
+  ASSERT_TRUE(model.ValueUnsafe()->UnflattenParams(flat).ok());
+  // Json round trip.
+  auto back = ArchSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.ValueUnsafe() == spec);
+  // Mismatched block widths rejected.
+  ArchSpec bad = spec;
+  bad.hidden_dims = {12, 16};
+  EXPECT_FALSE(BuildModel(bad, &rng).ok());
+}
+
+TEST(GradCheckTest, FullResMlpModel) {
+  Rng rng(32);
+  ArchSpec spec = ResMlpSpec(6, 8, 2, 3);
+  auto model = BuildModel(spec, &rng);
+  ASSERT_TRUE(model.ok());
+  Tensor x = Tensor::RandomNormal({5, 6}, &rng);
+  std::vector<int64_t> labels{0, 2, 1, 2, 0};
+  CheckModelGradients(model.ValueUnsafe().get(), x, labels);
+}
+
+TEST(ModelTest, DropoutSpecTrainsDeterministically) {
+  Rng rng(33);
+  ArchSpec spec = MlpSpec(8, {16}, 3, "relu");
+  spec.dropout = 0.3;
+  auto a = BuildModel(spec, &rng);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(spec.Signature().find("do0.3"), std::string::npos);
+  // Bad rate rejected.
+  ArchSpec bad = spec;
+  bad.dropout = 1.0;
+  EXPECT_FALSE(BuildModel(bad, &rng).ok());
+}
+
+TEST(ModelTest, BuildValidation) {
+  Rng rng(11);
+  ArchSpec bad = MlpSpec(0, {4}, 2);
+  EXPECT_FALSE(BuildModel(bad, &rng).ok());
+  ArchSpec bad_attn = AttnSpec(3, 4, 2);
+  bad_attn.input_dim = 13;  // not seq*d
+  EXPECT_FALSE(BuildModel(bad_attn, &rng).ok());
+  ArchSpec bad_act = MlpSpec(4, {4}, 2, "swish");
+  EXPECT_FALSE(BuildModel(bad_act, &rng).ok());
+}
+
+TEST(ModelTest, ArchSpecJsonRoundTrip) {
+  ArchSpec spec = MlpSpec(32, {64, 48}, 8, "gelu", true);
+  auto back = ArchSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.ValueUnsafe() == spec);
+
+  ArchSpec attn = AttnSpec(4, 8, 8);
+  auto back2 = ArchSpec::FromJson(attn.ToJson());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_TRUE(back2.ValueUnsafe() == attn);
+}
+
+TEST(ModelTest, SignatureStrings) {
+  EXPECT_EQ(MlpSpec(32, {64}, 8).Signature(), "mlp(32-64-8,relu)");
+  EXPECT_EQ(MlpSpec(32, {64}, 8, "gelu", true).Signature(),
+            "mlp(32-64-8,gelu,ln)");
+  EXPECT_EQ(AttnSpec(4, 8, 8).Signature(), "attn(seq=4,d=8,classes=8)");
+}
+
+TEST(ModelTest, FlattenUnflattenRoundTrip) {
+  Rng rng(12);
+  auto model = BuildModel(MlpSpec(6, {5}, 3), &rng).MoveValueUnsafe();
+  Tensor flat = model->FlattenParams();
+  EXPECT_EQ(flat.NumElements(), model->NumParams());
+  EXPECT_EQ(model->NumParams(), 6 * 5 + 5 + 5 * 3 + 3);
+
+  Tensor modified = Scale(flat, 2.0f);
+  ASSERT_TRUE(model->UnflattenParams(modified).ok());
+  Tensor back = model->FlattenParams();
+  for (int64_t i = 0; i < flat.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], flat.data()[i] * 2.0f);
+  }
+  // Wrong size rejected.
+  EXPECT_FALSE(model->UnflattenParams(Tensor::Zeros({3})).ok());
+}
+
+TEST(ModelTest, CloneIsDeepAndEquivalent) {
+  Rng rng(13);
+  auto model = BuildModel(MlpSpec(6, {8}, 4), &rng).MoveValueUnsafe();
+  auto clone = model->Clone();
+  Tensor x = Tensor::RandomNormal({3, 6}, &rng);
+  Tensor y1 = model->Forward(x);
+  Tensor y2 = clone->Forward(x);
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+  // Mutating the clone leaves the original untouched.
+  clone->Params()[0]->value.Fill(0.0f);
+  Tensor y3 = model->Forward(x);
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y3.data()[i]);
+  }
+}
+
+TEST(ModelTest, StateDictRoundTrip) {
+  Rng rng(14);
+  auto a = BuildModel(MlpSpec(6, {8}, 4), &rng).MoveValueUnsafe();
+  auto b = BuildModel(MlpSpec(6, {8}, 4), &rng).MoveValueUnsafe();
+  std::vector<std::pair<std::string, Tensor>> state;
+  for (const auto& [name, tensor] : a->NamedParams()) {
+    state.emplace_back(name, *tensor);
+  }
+  ASSERT_TRUE(b->LoadStateDict(state).ok());
+  Tensor x = Tensor::RandomNormal({2, 6}, &rng);
+  Tensor ya = a->Forward(x);
+  Tensor yb = b->Forward(x);
+  for (int64_t i = 0; i < ya.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  // Missing key / wrong shape rejected.
+  state.pop_back();
+  EXPECT_FALSE(b->LoadStateDict(state).ok());
+}
+
+TEST(ModelTest, ForwardUpToMatchesManualComposition) {
+  Rng rng(15);
+  auto model = BuildModel(MlpSpec(4, {6}, 3), &rng).MoveValueUnsafe();
+  Tensor x = Tensor::RandomNormal({2, 4}, &rng);
+  // Layers: linear, relu, linear. ForwardUpTo(2) = relu(linear(x)).
+  Tensor hidden = model->ForwardUpTo(x, 2);
+  EXPECT_EQ(hidden.dim(1), 6);
+  for (float v : hidden.storage()) EXPECT_GE(v, 0.0f);  // post-relu
+  // Full forward equals head applied to hidden.
+  Tensor logits = model->Forward(x);
+  Tensor manual = model->layer(2)->Forward(hidden, false);
+  for (int64_t i = 0; i < logits.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(logits.data()[i], manual.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mlake::nn

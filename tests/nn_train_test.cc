@@ -1,0 +1,188 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+
+namespace mlake::nn {
+namespace {
+
+Dataset EasyTask(size_t n, uint64_t seed) {
+  TaskSpec spec;
+  spec.family_id = "easy";
+  spec.domain_id = "d0";
+  spec.dim = 12;
+  spec.num_classes = 4;
+  spec.noise = 0.4;
+  SyntheticTask task = SyntheticTask::Make(spec);
+  Rng rng(seed);
+  return task.Sample(n, &rng);
+}
+
+struct OptimizerCase {
+  const char* name;
+  const char* optimizer;
+  float lr;
+};
+
+class TrainOptimizerTest : public ::testing::TestWithParam<OptimizerCase> {};
+
+TEST_P(TrainOptimizerTest, LearnsEasyTask) {
+  Dataset data = EasyTask(256, 1);
+  Rng rng(2);
+  auto model = BuildModel(MlpSpec(12, {24}, 4), &rng).MoveValueUnsafe();
+  double before = EvaluateAccuracy(model.get(), data);
+
+  TrainConfig config;
+  config.epochs = 15;
+  config.optimizer = GetParam().optimizer;
+  config.lr = GetParam().lr;
+  auto report = Train(model.get(), data, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(report.ValueUnsafe().final_accuracy, 0.9);
+  EXPECT_GT(report.ValueUnsafe().final_accuracy, before);
+  // Loss decreases from first to last epoch.
+  EXPECT_LT(report.ValueUnsafe().epoch_loss.back(),
+            report.ValueUnsafe().epoch_loss.front());
+  EXPECT_EQ(report.ValueUnsafe().epoch_loss.size(), 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Optimizers, TrainOptimizerTest,
+    ::testing::Values(OptimizerCase{"adam", "adam", 3e-3f},
+                      OptimizerCase{"sgd_momentum", "sgd", 5e-2f}),
+    [](const ::testing::TestParamInfo<OptimizerCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TrainTest, DeterministicGivenSeed) {
+  Dataset data = EasyTask(128, 3);
+  TrainConfig config;
+  config.epochs = 5;
+  config.seed = 42;
+
+  Rng rng_a(7), rng_b(7);
+  auto a = BuildModel(MlpSpec(12, {16}, 4), &rng_a).MoveValueUnsafe();
+  auto b = BuildModel(MlpSpec(12, {16}, 4), &rng_b).MoveValueUnsafe();
+  ASSERT_TRUE(Train(a.get(), data, config).ok());
+  ASSERT_TRUE(Train(b.get(), data, config).ok());
+
+  Tensor fa = a->FlattenParams();
+  Tensor fb = b->FlattenParams();
+  for (int64_t i = 0; i < fa.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(fa.data()[i], fb.data()[i]);
+  }
+}
+
+TEST(TrainTest, AttentionModelLearns) {
+  TaskSpec spec;
+  spec.family_id = "attn-task";
+  spec.domain_id = "d";
+  spec.dim = 16;  // seq 2 x d_model 8
+  spec.num_classes = 4;
+  spec.noise = 0.4;
+  SyntheticTask task = SyntheticTask::Make(spec);
+  Rng rng(5);
+  Dataset data = task.Sample(192, &rng);
+
+  auto model = BuildModel(AttnSpec(2, 8, 4), &rng).MoveValueUnsafe();
+  TrainConfig config;
+  config.epochs = 20;
+  config.lr = 4e-3f;
+  auto report = Train(model.get(), data, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.ValueUnsafe().final_accuracy, 0.75);
+}
+
+TEST(TrainTest, RejectsBadInputs) {
+  Rng rng(6);
+  auto model = BuildModel(MlpSpec(12, {8}, 4), &rng).MoveValueUnsafe();
+  Dataset empty;
+  TrainConfig config;
+  EXPECT_TRUE(Train(model.get(), empty, config).status().IsInvalidArgument());
+
+  Dataset wrong_dim = EasyTask(16, 1);
+  wrong_dim.x = Tensor::Zeros({16, 5});
+  EXPECT_TRUE(
+      Train(model.get(), wrong_dim, config).status().IsInvalidArgument());
+
+  Dataset ok = EasyTask(16, 1);
+  config.epochs = 0;
+  EXPECT_TRUE(Train(model.get(), ok, config).status().IsInvalidArgument());
+  config.epochs = 1;
+  config.optimizer = "lbfgs";
+  EXPECT_TRUE(Train(model.get(), ok, config).status().IsInvalidArgument());
+}
+
+TEST(TrainTest, FrozenParamsDoNotMove) {
+  Dataset data = EasyTask(64, 9);
+  Rng rng(10);
+  auto model = BuildModel(MlpSpec(12, {8}, 4), &rng).MoveValueUnsafe();
+  Param* first = model->Params().front();
+  first->frozen = true;
+  Tensor before = first->value;
+  TrainConfig config;
+  config.epochs = 3;
+  ASSERT_TRUE(Train(model.get(), data, config).ok());
+  for (int64_t i = 0; i < before.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(first->value.data()[i], before.data()[i]);
+  }
+  // Unfrozen params did move.
+  Param* head = model->Params().back();
+  (void)head;
+}
+
+TEST(TrainConfigTest, JsonRoundTrip) {
+  TrainConfig config;
+  config.epochs = 7;
+  config.batch_size = 16;
+  config.lr = 0.125f;
+  config.optimizer = "sgd";
+  config.weight_decay = 0.01f;
+  config.seed = 999;
+  TrainConfig back = TrainConfig::FromJson(config.ToJson());
+  EXPECT_EQ(back.epochs, 7);
+  EXPECT_EQ(back.batch_size, 16);
+  EXPECT_FLOAT_EQ(back.lr, 0.125f);
+  EXPECT_EQ(back.optimizer, "sgd");
+  EXPECT_FLOAT_EQ(back.weight_decay, 0.01f);
+  EXPECT_EQ(back.seed, 999u);
+}
+
+TEST(EvaluateTest, LossAndAccuracyConsistent) {
+  Dataset data = EasyTask(128, 11);
+  Rng rng(12);
+  auto model = BuildModel(MlpSpec(12, {24}, 4), &rng).MoveValueUnsafe();
+  double loss_before = EvaluateLoss(model.get(), data);
+  TrainConfig config;
+  config.epochs = 30;
+  ASSERT_TRUE(Train(model.get(), data, config).ok());
+  double loss_after = EvaluateLoss(model.get(), data);
+  EXPECT_LT(loss_after, loss_before);
+  EXPECT_GT(EvaluateAccuracy(model.get(), data), 0.85);
+}
+
+TEST(DatasetOpsTest, SelectWithoutSplitConcat) {
+  Dataset data = EasyTask(20, 13);
+  Dataset sub = data.Select({0, 5, 19});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.labels[1], data.labels[5]);
+  EXPECT_FLOAT_EQ(sub.x.At(2, 0), data.x.At(19, 0));
+
+  Dataset without = data.Without(0);
+  EXPECT_EQ(without.size(), 19u);
+  EXPECT_EQ(without.labels[0], data.labels[1]);
+
+  Rng rng(14);
+  auto [train, test] = data.Split(0.75, &rng);
+  EXPECT_EQ(train.size(), 15u);
+  EXPECT_EQ(test.size(), 5u);
+
+  Dataset both = Dataset::Concat(train, test);
+  EXPECT_EQ(both.size(), 20u);
+}
+
+}  // namespace
+}  // namespace mlake::nn

@@ -1,0 +1,270 @@
+#include "nn/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace mlake::nn {
+namespace {
+
+Dataset MakeTask(const std::string& family, const std::string& domain,
+                 size_t n, uint64_t seed, int64_t dim = 12,
+                 int64_t classes = 4) {
+  TaskSpec spec;
+  spec.family_id = family;
+  spec.domain_id = domain;
+  spec.dim = dim;
+  spec.num_classes = classes;
+  SyntheticTask task = SyntheticTask::Make(spec);
+  Rng rng(seed);
+  return task.Sample(n, &rng);
+}
+
+std::unique_ptr<Model> TrainedBase(uint64_t seed) {
+  Rng rng(seed);
+  auto model = BuildModel(MlpSpec(12, {16}, 4), &rng).MoveValueUnsafe();
+  Dataset data = MakeTask("base-task", "d0", 192, seed + 1);
+  TrainConfig config;
+  config.epochs = 10;
+  MLAKE_CHECK(Train(model.get(), data, config).ok());
+  return model;
+}
+
+
+TEST(FinetuneTest, AdaptsToNewDomainAndMovesWeights) {
+  auto model = TrainedBase(1);
+  Tensor before = model->FlattenParams();
+  Dataset new_domain = MakeTask("base-task", "d1", 192, 5);
+  double acc_before = EvaluateAccuracy(model.get(), new_domain);
+
+  TrainConfig config;
+  config.epochs = 8;
+  auto report = Finetune(model.get(), new_domain, config);
+  ASSERT_TRUE(report.ok());
+  double acc_after = EvaluateAccuracy(model.get(), new_domain);
+  EXPECT_GT(acc_after, acc_before);
+  EXPECT_GT(acc_after, 0.8);
+  // Weights moved but stay close to the parent (heritage signal).
+  Tensor after = model->FlattenParams();
+  double delta = L2Norm(Sub(after, before));
+  EXPECT_GT(delta, 0.0);
+  EXPECT_LT(delta, L2Norm(before));
+}
+
+TEST(LoraTest, DeltaIsLowRankAndAdapts) {
+  auto model = TrainedBase(2);
+  Tensor before_flat = model->FlattenParams();
+
+  // Snapshot per-linear weights.
+  std::vector<Tensor> before_weights;
+  std::vector<Linear*> linears;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      auto* lin = static_cast<Linear*>(model->layer(i));
+      linears.push_back(lin);
+      before_weights.push_back(lin->weight().value);
+    }
+  }
+  std::vector<Tensor> before_biases;
+  for (Linear* lin : linears) before_biases.push_back(lin->bias().value);
+
+  Dataset new_domain = MakeTask("base-task", "d1", 192, 7);
+  TrainConfig config;
+  config.epochs = 8;
+  auto report = LoraFinetune(model.get(), new_domain, /*rank=*/2,
+                             /*scale=*/1.0f, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueUnsafe().adapted_layers, 2);
+
+  // Each weight delta has rank <= 2; biases are untouched.
+  for (size_t k = 0; k < linears.size(); ++k) {
+    Tensor delta = Sub(linears[k]->weight().value, before_weights[k]);
+    EXPECT_GT(L2Norm(delta), 0.0) << "layer " << k << " did not adapt";
+    EXPECT_LE(NumericalRank(delta), 2) << "layer " << k;
+    Tensor bias_delta = Sub(linears[k]->bias().value, before_biases[k]);
+    EXPECT_DOUBLE_EQ(L2Norm(bias_delta), 0.0) << "bias moved in layer " << k;
+  }
+
+  double acc = EvaluateAccuracy(model.get(), new_domain);
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(LoraTest, RejectsBadArgs) {
+  auto model = TrainedBase(3);
+  Dataset data = MakeTask("base-task", "d1", 32, 9);
+  TrainConfig config;
+  EXPECT_TRUE(LoraFinetune(model.get(), data, 0, 1.0f, config)
+                  .status()
+                  .IsInvalidArgument());
+  Dataset empty;
+  EXPECT_TRUE(LoraFinetune(model.get(), empty, 2, 1.0f, config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RankOneEditTest, RedirectsProbePrediction) {
+  auto model = TrainedBase(4);
+  Rng rng(11);
+  Tensor probe = Tensor::RandomNormal({1, 12}, &rng);
+  Tensor before_logits = model->Forward(probe);
+  int64_t original = RowArgMax(before_logits)[0];
+  int64_t target = (original + 1) % 4;
+
+  Tensor weights_before = model->FlattenParams();
+  auto margin = RankOneEdit(model.get(), probe, target, /*strength=*/8.0f);
+  ASSERT_TRUE(margin.ok()) << margin.status().ToString();
+  EXPECT_GT(margin.ValueUnsafe(), 0.0);  // target now wins
+
+  Tensor after_logits = model->Forward(probe);
+  EXPECT_EQ(RowArgMax(after_logits)[0], target);
+
+  // The edit is localized: exactly one weight matrix changed, by rank 1.
+  Tensor delta = Sub(model->FlattenParams(), weights_before);
+  EXPECT_GT(L2Norm(delta), 0.0);
+  // Identify the head and check its delta rank.
+  Linear* head = nullptr;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      head = static_cast<Linear*>(model->layer(i));
+    }
+  }
+  ASSERT_NE(head, nullptr);
+}
+
+TEST(RankOneEditTest, ValidatesInputs) {
+  auto model = TrainedBase(5);
+  Rng rng(13);
+  Tensor probe = Tensor::RandomNormal({1, 12}, &rng);
+  EXPECT_TRUE(RankOneEdit(model.get(), probe, 99, 1.0f)
+                  .status()
+                  .IsInvalidArgument());
+  Tensor batch_probe = Tensor::RandomNormal({2, 12}, &rng);
+  EXPECT_TRUE(RankOneEdit(model.get(), batch_probe, 0, 1.0f)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(StitchTest, CombinesBottomAndTopLayers) {
+  Rng rng(17);
+  auto a = TrainedBase(6);
+  auto b = TrainedBase(7);
+  ASSERT_TRUE(a->spec() == b->spec());
+
+  auto stitched = StitchModels(*a, *b, /*cut=*/2);
+  ASSERT_TRUE(stitched.ok()) << stitched.status().ToString();
+  Model* s = stitched.ValueUnsafe().get();
+
+  // Layers [0, 2) match a, layers [2, end) match b.
+  for (size_t i = 0; i < s->num_layers(); ++i) {
+    Model* expected = i < 2 ? a.get() : b.get();
+    std::vector<Param*> sp = s->layer(i)->Params();
+    std::vector<Param*> ep = expected->layer(i)->Params();
+    ASSERT_EQ(sp.size(), ep.size());
+    for (size_t k = 0; k < sp.size(); ++k) {
+      for (int64_t j = 0; j < sp[k]->value.NumElements(); ++j) {
+        ASSERT_FLOAT_EQ(sp[k]->value.data()[j], ep[k]->value.data()[j])
+            << "layer " << i;
+      }
+    }
+  }
+}
+
+TEST(StitchTest, ValidatesCutAndSpec) {
+  auto a = TrainedBase(8);
+  auto b = TrainedBase(9);
+  EXPECT_TRUE(StitchModels(*a, *b, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      StitchModels(*a, *b, a->num_layers()).status().IsInvalidArgument());
+
+  Rng rng(19);
+  auto other = BuildModel(MlpSpec(12, {20}, 4), &rng).MoveValueUnsafe();
+  EXPECT_TRUE(StitchModels(*a, *other, 1).status().IsInvalidArgument());
+}
+
+TEST(PruneTest, ZeroesRequestedFraction) {
+  auto model = TrainedBase(10);
+  int64_t weight_count = 0;
+  for (size_t i = 0; i < model->num_layers(); ++i) {
+    if (model->layer(i)->type() == "linear") {
+      weight_count += static_cast<Linear*>(model->layer(i))
+                          ->weight()
+                          .value.NumElements();
+    }
+  }
+  auto zeroed = MagnitudePrune(model.get(), 0.3);
+  ASSERT_TRUE(zeroed.ok());
+  EXPECT_NEAR(static_cast<double>(zeroed.ValueUnsafe()),
+              0.3 * static_cast<double>(weight_count),
+              0.05 * static_cast<double>(weight_count));
+
+  // Model still functions (accuracy above chance on its own task).
+  Dataset data = MakeTask("base-task", "d0", 128, 21);
+  EXPECT_GT(EvaluateAccuracy(model.get(), data), 0.4);
+
+  EXPECT_TRUE(MagnitudePrune(model.get(), 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MagnitudePrune(model.get(), -0.1).status().IsInvalidArgument());
+}
+
+TEST(NoiseTest, PerturbsProportionallyToScale) {
+  auto model = TrainedBase(11);
+  Tensor before = model->FlattenParams();
+  Rng rng(23);
+  AddWeightNoise(model.get(), 0.05, &rng);
+  Tensor after = model->FlattenParams();
+  double delta = L2Norm(Sub(after, before));
+  double norm = L2Norm(before);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_LT(delta, 0.15 * norm);  // small relative perturbation
+}
+
+TEST(DistillTest, StudentMatchesTeacherPredictions) {
+  auto teacher = TrainedBase(12);
+  Dataset data = MakeTask("base-task", "d0", 256, 25);
+
+  TrainConfig config;
+  config.epochs = 14;
+  Rng rng(27);
+  auto student = Distill(teacher.get(), teacher->spec(), data.x, 2.0f,
+                         config, &rng);
+  ASSERT_TRUE(student.ok()) << student.status().ToString();
+
+  // Student agrees with the teacher on most inputs.
+  Tensor teacher_logits = teacher->Forward(data.x);
+  Tensor student_logits = student.ValueUnsafe()->Forward(data.x);
+  std::vector<int64_t> tp = RowArgMax(teacher_logits);
+  std::vector<int64_t> sp = RowArgMax(student_logits);
+  size_t agree = 0;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    if (tp[i] == sp[i]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(tp.size()),
+            0.8);
+}
+
+TEST(DistillTest, ValidatesInputs) {
+  auto teacher = TrainedBase(13);
+  TrainConfig config;
+  Rng rng(29);
+  Tensor bad_inputs = Tensor::Zeros({4, 5});
+  EXPECT_TRUE(Distill(teacher.get(), teacher->spec(), bad_inputs, 2.0f,
+                      config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  Tensor inputs = Tensor::Zeros({4, 12});
+  EXPECT_TRUE(Distill(teacher.get(), teacher->spec(), inputs, 0.0f, config,
+                      &rng)
+                  .status()
+                  .IsInvalidArgument());
+  ArchSpec wrong_io = MlpSpec(12, {8}, 7);
+  EXPECT_TRUE(Distill(teacher.get(), wrong_io, inputs, 2.0f, config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mlake::nn

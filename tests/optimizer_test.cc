@@ -1,0 +1,146 @@
+// Exact-math unit tests for the optimizers: single steps are verified
+// against hand-computed updates, so a silent formula regression (bias
+// correction, momentum, decoupled decay) cannot hide behind "training
+// still converges".
+
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlake::nn {
+namespace {
+
+Param MakeParam(std::vector<float> values) {
+  int64_t n = static_cast<int64_t>(values.size());
+  return Param("p", Tensor::FromVector({n}, std::move(values)));
+}
+
+void SetGrad(Param* p, std::vector<float> grad) {
+  int64_t n = static_cast<int64_t>(grad.size());
+  p->grad = Tensor::FromVector({n}, std::move(grad));
+}
+
+TEST(SgdTest, PlainStepIsExact) {
+  Param p = MakeParam({1.0f, -2.0f});
+  SetGrad(&p, {0.5f, -1.0f});
+  Sgd sgd(/*lr=*/0.1f);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value.At(1), -2.0f + 0.1f * 1.0f);
+  // Gradients zeroed after the step.
+  EXPECT_FLOAT_EQ(p.grad.At(0), 0.0f);
+  EXPECT_FLOAT_EQ(p.grad.At(1), 0.0f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Param p = MakeParam({0.0f});
+  Sgd sgd(/*lr=*/1.0f, /*momentum=*/0.5f);
+  // Step 1: v = g = 1 -> p -= 1.
+  SetGrad(&p, {1.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0), -1.0f);
+  // Step 2: v = 0.5*1 + 1 = 1.5 -> p = -2.5.
+  SetGrad(&p, {1.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0), -2.5f);
+  // Step 3 with zero grad: v = 0.75 -> p = -3.25.
+  SetGrad(&p, {0.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0), -3.25f);
+}
+
+TEST(SgdTest, DecoupledWeightDecayShrinksTowardZero) {
+  Param p = MakeParam({10.0f});
+  Sgd sgd(/*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.5f);
+  SetGrad(&p, {0.0f});
+  sgd.Step({&p});
+  // update = wd * w = 5 -> p = 10 - 0.1*5 = 9.5.
+  EXPECT_FLOAT_EQ(p.value.At(0), 9.5f);
+}
+
+TEST(SgdTest, FrozenParamIsSkippedButGradZeroed) {
+  Param p = MakeParam({3.0f});
+  p.frozen = true;
+  SetGrad(&p, {7.0f});
+  Sgd sgd(0.1f);
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.At(0), 3.0f);
+  EXPECT_FLOAT_EQ(p.grad.At(0), 0.0f);
+}
+
+TEST(AdamTest, FirstStepIsSignedLearningRate) {
+  // With bias correction, step 1 of Adam moves by exactly
+  // lr * g / (|g| + eps') regardless of gradient magnitude.
+  Param big = MakeParam({0.0f});
+  Param small = MakeParam({0.0f});
+  Adam adam_big(/*lr=*/0.1f);
+  Adam adam_small(/*lr=*/0.1f);
+  SetGrad(&big, {100.0f});
+  adam_big.Step({&big});
+  SetGrad(&small, {0.001f});
+  adam_small.Step({&small});
+  EXPECT_NEAR(big.value.At(0), -0.1f, 1e-4);
+  EXPECT_NEAR(small.value.At(0), -0.1f, 1e-3);
+}
+
+TEST(AdamTest, TwoStepsMatchHandComputation) {
+  const float lr = 0.1f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  Param p = MakeParam({1.0f});
+  Adam adam(lr, b1, b2, eps);
+
+  double m = 0.0, v = 0.0, w = 1.0;
+  for (int t = 1; t <= 2; ++t) {
+    double g = (t == 1) ? 2.0 : -1.0;
+    SetGrad(&p, {static_cast<float>(g)});
+    adam.Step({&p});
+
+    m = b1 * m + (1 - b1) * g;
+    v = b2 * v + (1 - b2) * g * g;
+    double mhat = m / (1 - std::pow(b1, t));
+    double vhat = v / (1 - std::pow(b2, t));
+    w -= lr * mhat / (std::sqrt(vhat) + eps);
+    EXPECT_NEAR(p.value.At(0), w, 1e-5) << "step " << t;
+  }
+}
+
+TEST(AdamTest, DecoupledDecayIndependentOfGradientScale) {
+  // AdamW: the decay term is lr * wd * w, not filtered through the
+  // second-moment normalizer.
+  Param p = MakeParam({4.0f});
+  Adam adam(/*lr=*/0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.25f);
+  SetGrad(&p, {0.0f});
+  adam.Step({&p});
+  // With zero gradient the only movement is -lr * wd * w = -0.1.
+  EXPECT_NEAR(p.value.At(0), 4.0f - 0.1f * 0.25f * 4.0f, 1e-5);
+}
+
+TEST(AdamTest, StateResetsWhenParamSetChanges) {
+  Param a = MakeParam({0.0f});
+  Adam adam(0.1f);
+  SetGrad(&a, {1.0f});
+  adam.Step({&a});
+  float after_one = a.value.At(0);
+  // Switching to a different param list re-initializes moments; the
+  // fresh param's first step equals a step-1 update.
+  Param b = MakeParam({0.0f});
+  SetGrad(&b, {1.0f});
+  adam.Step({&b});
+  EXPECT_NEAR(b.value.At(0), after_one, 1e-6);
+}
+
+TEST(OptimizerTest, MultipleParamsUpdatedIndependently) {
+  Param a = MakeParam({1.0f});
+  Param b = MakeParam({2.0f, 3.0f});
+  SetGrad(&a, {1.0f});
+  SetGrad(&b, {0.0f, 2.0f});
+  Sgd sgd(0.5f);
+  sgd.Step({&a, &b});
+  EXPECT_FLOAT_EQ(a.value.At(0), 0.5f);
+  EXPECT_FLOAT_EQ(b.value.At(0), 2.0f);
+  EXPECT_FLOAT_EQ(b.value.At(1), 2.0f);
+}
+
+}  // namespace
+}  // namespace mlake::nn

@@ -1,0 +1,128 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mlake {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing widget");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_FALSE(st.IsIOError());
+  EXPECT_EQ(st.message(), "missing widget");
+  EXPECT_EQ(st.ToString(), "Not found: missing widget");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Corruption("bad bytes");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad bytes");
+  // Mutating the copy target via assignment.
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_TRUE(st.IsCorruption());  // original untouched
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status st = Status::IOError("disk gone");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk gone");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status st = Status::NotFound("key k1");
+  Status wrapped = st.WithContext("catalog");
+  EXPECT_TRUE(wrapped.IsNotFound());
+  EXPECT_EQ(wrapped.message(), "catalog: key k1");
+  // OK status passes through unchanged.
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(StatusTest, CodeToStringCoversAll) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainedCheck(int x) {
+  MLAKE_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(ChainedCheck(3).ok());
+  EXPECT_TRUE(ChainedCheck(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("must be positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  MLAKE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.status().ok());
+  EXPECT_EQ(ok.ValueOrDie(), 21);
+  EXPECT_EQ(ok.ValueOr(-1), 21);
+
+  Result<int> bad = ParsePositive(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(DoublePositive(5).ValueOrDie(), 10);
+  EXPECT_TRUE(DoublePositive(-5).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, StringPayload) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), "hello");
+}
+
+}  // namespace
+}  // namespace mlake

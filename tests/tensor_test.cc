@@ -1,0 +1,260 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace mlake {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.NumElements(), 6);
+  for (float v : t.storage()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+
+  Tensor empty;
+  EXPECT_EQ(empty.NumElements(), 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1);
+  EXPECT_EQ(t.At(0, 1), 2);
+  EXPECT_EQ(t.At(1, 0), 3);
+  EXPECT_EQ(t.At(1, 1), 4);
+  t.At(1, 1) = 9;
+  EXPECT_EQ(t.At(1, 1), 9);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t.At(1), 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.At(2), -1.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.At(0, 1), 2);
+  EXPECT_EQ(r.At(2, 1), 6);
+}
+
+TEST(TensorTest, RowExtraction) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = t.Row(1);
+  EXPECT_EQ(row.rank(), 1u);
+  EXPECT_EQ(row.At(0), 4);
+  EXPECT_EQ(row.At(2), 6);
+}
+
+TEST(TensorTest, RandomNormalStats) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomNormal({100, 100}, &rng, 2.0f);
+  double mean = Mean(t);
+  double sum_sq = 0.0;
+  for (float v : t.storage()) sum_sq += static_cast<double>(v) * v;
+  double var = sum_sq / t.NumElements() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(TensorTest, XavierUniformWithinLimit) {
+  Rng rng(5);
+  Tensor w = Tensor::XavierUniform(30, 20, &rng);
+  double limit = std::sqrt(6.0 / 50.0);
+  for (float v : w.storage()) {
+    EXPECT_LE(std::fabs(v), limit + 1e-6);
+  }
+}
+
+TEST(OpsTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(Add(a, b).At(1, 1), 44);
+  EXPECT_EQ(Sub(b, a).At(0, 0), 9);
+  EXPECT_EQ(Mul(a, b).At(0, 1), 40);
+  EXPECT_EQ(Scale(a, 3.0f).At(1, 0), 9);
+}
+
+TEST(OpsTest, AxpyAccumulates) {
+  Tensor a = Tensor::FromVector({3}, {1, 1, 1});
+  Tensor b = Tensor::FromVector({3}, {2, 4, 6});
+  Axpy(0.5f, b, &a);
+  EXPECT_EQ(a.At(0), 2);
+  EXPECT_EQ(a.At(2), 4);
+}
+
+TEST(OpsTest, MatMulMatchesManual) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  // [1*7+2*9+3*11, 1*8+2*10+3*12; ...]
+  EXPECT_EQ(c.At(0, 0), 58);
+  EXPECT_EQ(c.At(0, 1), 64);
+  EXPECT_EQ(c.At(1, 0), 139);
+  EXPECT_EQ(c.At(1, 1), 154);
+}
+
+TEST(OpsTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(9);
+  Tensor a = Tensor::RandomNormal({4, 6}, &rng);
+  Tensor b = Tensor::RandomNormal({5, 6}, &rng);
+  Tensor expected = MatMul(a, Transpose(b));
+  Tensor actual = MatMulTransposedB(a, b);
+  ASSERT_TRUE(expected.SameShape(actual));
+  for (int64_t i = 0; i < expected.NumElements(); ++i) {
+    EXPECT_NEAR(expected.data()[i], actual.data()[i], 1e-4);
+  }
+
+  Tensor c = Tensor::RandomNormal({6, 3}, &rng);
+  Tensor d = Tensor::RandomNormal({6, 4}, &rng);
+  Tensor expected2 = MatMul(Transpose(c), d);
+  Tensor actual2 = MatMulTransposedA(c, d);
+  ASSERT_TRUE(expected2.SameShape(actual2));
+  for (int64_t i = 0; i < expected2.NumElements(); ++i) {
+    EXPECT_NEAR(expected2.data()[i], actual2.data()[i], 1e-4);
+  }
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor m = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor out = AddRowBroadcast(m, bias);
+  EXPECT_EQ(out.At(0, 0), 11);
+  EXPECT_EQ(out.At(1, 2), 36);
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOneAndStable) {
+  Tensor logits =
+      Tensor::FromVector({2, 3}, {1000.0f, 1001.0f, 1002.0f, -5, 0, 5});
+  Tensor probs = RowSoftmax(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_GE(probs.At(i, j), 0.0f);
+      sum += probs.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Monotone in the logit.
+  EXPECT_LT(probs.At(0, 0), probs.At(0, 2));
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Sum(t), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(t), 2.5);
+  Tensor a = Tensor::FromVector({3}, {1, 2, 2});
+  EXPECT_DOUBLE_EQ(Dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(L2Norm(a), 3.0);
+}
+
+TEST(OpsTest, CosineSimilarity) {
+  Tensor a = Tensor::FromVector({2}, {1, 0});
+  Tensor b = Tensor::FromVector({2}, {0, 1});
+  Tensor c = Tensor::FromVector({2}, {2, 0});
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-6);
+  Tensor zero = Tensor::Zeros({2});
+  EXPECT_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(OpsTest, RowArgMaxAndColumnMean) {
+  Tensor m = Tensor::FromVector({2, 3}, {1, 9, 2, 8, 3, 4});
+  EXPECT_EQ(RowArgMax(m), (std::vector<int64_t>{1, 0}));
+  Tensor cm = ColumnMean(m);
+  EXPECT_FLOAT_EQ(cm.At(0), 4.5f);
+  EXPECT_FLOAT_EQ(cm.At(1), 6.0f);
+  EXPECT_FLOAT_EQ(cm.At(2), 3.0f);
+}
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFULL);
+  PutI64(&buf, -42);
+  PutF32(&buf, 3.25f);
+  PutLengthPrefixed(&buf, "hello");
+
+  ByteReader reader(buf);
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  float f32;
+  std::string_view s;
+  ASSERT_TRUE(reader.GetU32(&u32));
+  ASSERT_TRUE(reader.GetU64(&u64));
+  ASSERT_TRUE(reader.GetI64(&i64));
+  ASSERT_TRUE(reader.GetF32(&f32));
+  ASSERT_TRUE(reader.GetLengthPrefixed(&s));
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 3.25f);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(SerializeTest, ReaderUnderflowLeavesCursor) {
+  std::string buf;
+  PutU32(&buf, 7);
+  ByteReader reader(buf);
+  uint64_t u64;
+  EXPECT_FALSE(reader.GetU64(&u64));  // only 4 bytes available
+  uint32_t u32;
+  EXPECT_TRUE(reader.GetU32(&u32));
+  EXPECT_EQ(u32, 7u);
+}
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomNormal({3, 5}, &rng);
+  auto back = TensorFromBytes(TensorToBytes(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back.ValueUnsafe().SameShape(t));
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_EQ(back.ValueUnsafe().data()[i], t.data()[i]);
+  }
+}
+
+TEST(SerializeTest, EmptyAndRank1TensorRoundTrip) {
+  Tensor scalar_like = Tensor::FromVector({0}, {});
+  EXPECT_TRUE(TensorFromBytes(TensorToBytes(scalar_like)).ok());
+  Tensor vec = Tensor::FromVector({4}, {1, 2, 3, 4});
+  auto back = TensorFromBytes(TensorToBytes(vec));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueUnsafe().At(3), 4);
+}
+
+TEST(SerializeTest, TruncatedTensorIsCorruption) {
+  Tensor t = Tensor::FromVector({4}, {1, 2, 3, 4});
+  std::string bytes = TensorToBytes(t);
+  for (size_t cut : {0u, 3u, 10u}) {
+    auto back = TensorFromBytes(std::string_view(bytes).substr(0, cut));
+    EXPECT_TRUE(back.status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, TrailingBytesRejected) {
+  Tensor t = Tensor::FromVector({2}, {1, 2});
+  std::string bytes = TensorToBytes(t) + "junk";
+  EXPECT_TRUE(TensorFromBytes(bytes).status().IsCorruption());
+}
+
+TEST(SerializeTest, ImplausibleRankRejected) {
+  std::string bytes;
+  PutU32(&bytes, 100);  // rank 100
+  EXPECT_TRUE(TensorFromBytes(bytes).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace mlake

@@ -1,0 +1,164 @@
+#include "provenance/tracin.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/trainer.h"
+#include "provenance/influence.h"
+#include "tensor/ops.h"
+
+namespace mlake::provenance {
+namespace {
+
+constexpr int64_t kDim = 10;
+constexpr int64_t kClasses = 3;
+
+nn::Dataset MakeData(size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "tracin-task";
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+TEST(TracInTest, ValidatesInputs) {
+  nn::Dataset data = MakeData(16, 1);
+  Rng rng(2);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  Tensor test_x = Tensor::RandomNormal({1, kDim}, &rng);
+  EXPECT_TRUE(ComputeTracIn({}, data, test_x, 0).status().IsInvalidArgument());
+  nn::Dataset empty;
+  EXPECT_TRUE(ComputeTracIn({model.get()}, empty, test_x, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TracInTest, SameClassPointsScoreHigherOnAverage) {
+  nn::Dataset data = MakeData(96, 3);
+  Rng rng(4);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+
+  // Collect checkpoints along training (one clone per round).
+  std::vector<std::unique_ptr<nn::Model>> snapshots;
+  std::vector<nn::Model*> checkpoint_ptrs;
+  nn::TrainConfig config;
+  config.epochs = 4;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(nn::Train(model.get(), data, config).ok());
+    snapshots.push_back(model->Clone());
+    checkpoint_ptrs.push_back(snapshots.back().get());
+  }
+
+  // Test point: fresh sample with known label.
+  nn::Dataset probe = MakeData(4, 5);
+  Tensor test_x = probe.x.Row(0).Reshape({1, kDim});
+  int64_t test_y = probe.labels[0];
+
+  auto scores = ComputeTracIn(checkpoint_ptrs, data, test_x, test_y);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+
+  double same_class_sum = 0.0, other_class_sum = 0.0;
+  size_t same_n = 0, other_n = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.labels[i] == test_y) {
+      same_class_sum += scores.ValueUnsafe()[i];
+      ++same_n;
+    } else {
+      other_class_sum += scores.ValueUnsafe()[i];
+      ++other_n;
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(other_n, 0u);
+  EXPECT_GT(same_class_sum / static_cast<double>(same_n),
+            other_class_sum / static_cast<double>(other_n))
+      << "same-class training points should be more helpful";
+}
+
+TEST(TracInTest, AgreesWithInfluenceDirectionally) {
+  nn::Dataset data = MakeData(48, 6);
+  Rng rng(7);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 16;
+  ASSERT_TRUE(nn::Train(model.get(), data, config).ok());
+
+  // Average agreement over several probe points: a single probe can be
+  // dominated by near-zero-gradient training rows.
+  nn::Dataset probe = MakeData(8, 8);
+  double total_spearman = 0.0;
+  for (size_t p = 0; p < probe.size(); ++p) {
+    Tensor test_x = probe.x.Row(static_cast<int64_t>(p)).Reshape({1, kDim});
+    int64_t test_y = probe.labels[p];
+    auto influence = ComputeInfluence(model.get(), data, test_x, test_y);
+    ASSERT_TRUE(influence.ok());
+    auto tracin = ComputeTracIn({model.get()}, data, test_x, test_y);
+    ASSERT_TRUE(tracin.ok());
+    total_spearman += SpearmanCorrelation(influence.ValueUnsafe().scores,
+                                          tracin.ValueUnsafe());
+  }
+  EXPECT_GT(total_spearman / static_cast<double>(probe.size()), 0.25)
+      << "two attribution estimators should be positively correlated";
+}
+
+TEST(InputSensitivityTest, ValidatesInputs) {
+  Rng rng(9);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  Tensor batch = Tensor::RandomNormal({2, kDim}, &rng);
+  EXPECT_TRUE(
+      InputSensitivity(model.get(), batch, 0).status().IsInvalidArgument());
+  Tensor x = Tensor::RandomNormal({1, kDim}, &rng);
+  EXPECT_TRUE(
+      InputSensitivity(model.get(), x, 99).status().IsInvalidArgument());
+}
+
+TEST(InputSensitivityTest, MatchesFiniteDifferences) {
+  Rng rng(10);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::Dataset data = MakeData(64, 11);
+  nn::TrainConfig config;
+  config.epochs = 6;
+  ASSERT_TRUE(nn::Train(model.get(), data, config).ok());
+
+  Tensor x = Tensor::RandomNormal({1, kDim}, &rng);
+  const int64_t target = 1;
+  auto saliency = InputSensitivity(model.get(), x, target);
+  ASSERT_TRUE(saliency.ok());
+
+  const double eps = 1e-2;
+  for (int64_t j = 0; j < kDim; ++j) {
+    Tensor up = x, down = x;
+    up.At(0, j) += static_cast<float>(eps);
+    down.At(0, j) -= static_cast<float>(eps);
+    double numeric = (model->Forward(up).At(0, target) -
+                      model->Forward(down).At(0, target)) /
+                     (2 * eps);
+    EXPECT_NEAR(saliency.ValueUnsafe().At(0, j), numeric, 5e-2)
+        << "feature " << j;
+  }
+}
+
+TEST(InputSensitivityTest, IrrelevantFeatureHasSmallGradient) {
+  // Build a model whose first layer ignores feature 0 by zeroing its
+  // column, then check the saliency of feature 0 is exactly zero.
+  Rng rng(12);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {8}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::Param* w0 = model->Params().front();
+  for (int64_t r = 0; r < w0->value.dim(0); ++r) {
+    w0->value.At(r, 0) = 0.0f;
+  }
+  Tensor x = Tensor::RandomNormal({1, kDim}, &rng);
+  auto saliency = InputSensitivity(model.get(), x, 0);
+  ASSERT_TRUE(saliency.ok());
+  EXPECT_EQ(saliency.ValueUnsafe().At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace mlake::provenance

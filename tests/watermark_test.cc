@@ -1,0 +1,131 @@
+#include "provenance/watermark.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+#include "nn/transform.h"
+
+namespace mlake::provenance {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+nn::Dataset Task(size_t n, uint64_t seed) {
+  nn::TaskSpec spec;
+  spec.family_id = "watermark-task";
+  spec.domain_id = "d";
+  spec.dim = kDim;
+  spec.num_classes = kClasses;
+  Rng rng(seed);
+  return nn::SyntheticTask::Make(spec).Sample(n, &rng);
+}
+
+std::unique_ptr<nn::Model> TrainedModel(uint64_t seed) {
+  Rng rng(seed);
+  auto model = nn::BuildModel(nn::MlpSpec(kDim, {64}, kClasses), &rng)
+                   .MoveValueUnsafe();
+  nn::TrainConfig config;
+  config.epochs = 10;
+  MLAKE_CHECK(nn::Train(model.get(), Task(192, seed + 1), config).ok());
+  return model;
+}
+
+TEST(WatermarkTest, EmbedThenDetect) {
+  auto model = TrainedModel(1);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "acme-key-2025").ok());
+  auto detection = DetectWatermark(model.get(), "acme-key-2025");
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection.ValueUnsafe().detected);
+  EXPECT_GT(detection.ValueUnsafe().z_score, 4.0);
+  EXPECT_GT(detection.ValueUnsafe().strength_estimate, 0.0);
+}
+
+TEST(WatermarkTest, WrongKeyDoesNotDetect) {
+  auto model = TrainedModel(2);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "right-key").ok());
+  auto wrong = DetectWatermark(model.get(), "wrong-key");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(wrong.ValueUnsafe().detected);
+  EXPECT_LT(std::abs(wrong.ValueUnsafe().z_score), 3.5);
+}
+
+TEST(WatermarkTest, UnwatermarkedModelDoesNotDetect) {
+  auto model = TrainedModel(3);
+  auto detection = DetectWatermark(model.get(), "any-key");
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(detection.ValueUnsafe().detected);
+}
+
+TEST(WatermarkTest, FalsePositiveSweep) {
+  // Property: across many keys, an unwatermarked model never triggers.
+  auto model = TrainedModel(4);
+  for (int k = 0; k < 40; ++k) {
+    auto detection =
+        DetectWatermark(model.get(), "probe-key-" + std::to_string(k));
+    ASSERT_TRUE(detection.ok());
+    EXPECT_FALSE(detection.ValueUnsafe().detected) << "key " << k;
+  }
+}
+
+TEST(WatermarkTest, AccuracyUnaffected) {
+  auto model = TrainedModel(5);
+  nn::Dataset test = Task(256, 99);
+  double before = nn::EvaluateAccuracy(model.get(), test);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "acme").ok());
+  double after = nn::EvaluateAccuracy(model.get(), test);
+  EXPECT_NEAR(after, before, 0.05);
+}
+
+TEST(WatermarkTest, SurvivesLightFinetune) {
+  auto model = TrainedModel(6);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "persist-key").ok());
+  nn::TrainConfig light;
+  light.epochs = 2;
+  light.lr = 5e-4f;
+  ASSERT_TRUE(nn::Finetune(model.get(), Task(128, 7), light).ok());
+  auto detection = DetectWatermark(model.get(), "persist-key");
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection.ValueUnsafe().detected)
+      << "z=" << detection.ValueUnsafe().z_score;
+}
+
+TEST(WatermarkTest, SurvivesModeratePruning) {
+  auto model = TrainedModel(7);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "prune-key").ok());
+  ASSERT_TRUE(nn::MagnitudePrune(model.get(), 0.2).ok());
+  auto detection = DetectWatermark(model.get(), "prune-key");
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection.ValueUnsafe().detected)
+      << "z=" << detection.ValueUnsafe().z_score;
+}
+
+TEST(WatermarkTest, TwoIndependentWatermarksCoexist) {
+  auto model = TrainedModel(8);
+  ASSERT_TRUE(EmbedWatermark(model.get(), "owner-a").ok());
+  ASSERT_TRUE(EmbedWatermark(model.get(), "owner-b").ok());
+  EXPECT_TRUE(
+      DetectWatermark(model.get(), "owner-a").ValueOrDie().detected);
+  EXPECT_TRUE(
+      DetectWatermark(model.get(), "owner-b").ValueOrDie().detected);
+  EXPECT_FALSE(
+      DetectWatermark(model.get(), "owner-c").ValueOrDie().detected);
+}
+
+TEST(WatermarkTest, ValidatesInputs) {
+  auto model = TrainedModel(9);
+  EXPECT_TRUE(EmbedWatermark(model.get(), "").IsInvalidArgument());
+  WatermarkConfig bad;
+  bad.relative_strength = 0.0f;
+  EXPECT_TRUE(EmbedWatermark(model.get(), "k", bad).IsInvalidArgument());
+  WatermarkConfig huge;
+  huge.num_positions = 1u << 24;
+  EXPECT_TRUE(
+      EmbedWatermark(model.get(), "k", huge).IsFailedPrecondition());
+  EXPECT_TRUE(
+      DetectWatermark(model.get(), "k", huge).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace mlake::provenance

@@ -1,0 +1,315 @@
+// mlake — command-line front end for a model lake.
+//
+//   mlake --lake DIR COMMAND [ARGS...]
+//
+// Commands:
+//   init                         create an empty lake
+//   demo [seed]                  populate with a generated benchmark lake
+//   ls [models|datasets|benchmarks]
+//   query 'MLQL'                 run a declarative query (prints the plan)
+//   card ID                      print a model card
+//   gen-card ID [--apply]        draft a card from lake analyses
+//   audit [ID]                   audit one model, or the whole lake
+//   cite ID                      print a revision-pinned citation
+//   related ID [K]               content-based related-model search
+//   hybrid TEXT ID [K]           RRF fusion of keyword + embedding search
+//   graph                        print the recorded version graph
+//   recover-heritage [--apply]   reconstruct lineage from weights
+//   export ID FILE               write the model artifact to FILE
+//   import FILE ID [TASK]        ingest an artifact file under ID
+//   fsck                         verify every stored artifact
+//
+// Exit code 0 on success, 1 on any error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/model_lake.h"
+#include "lakegen/lakegen.h"
+#include "storage/model_artifact.h"
+
+namespace mlake {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "mlake: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mlake --lake DIR COMMAND [ARGS...]\n"
+               "commands: init demo ls query card gen-card audit cite related "
+               "hybrid graph recover-heritage export import fsck\n");
+  return 1;
+}
+
+Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root) {
+  core::LakeOptions options;
+  options.root = root;
+  return core::ModelLake::Open(std::move(options));
+}
+
+int CmdDemo(core::ModelLake* lake, const std::vector<std::string>& args) {
+  lakegen::LakeGenConfig config;
+  config.num_families = 4;
+  config.domains_per_family = 2;
+  config.num_bases = 8;
+  config.children_per_base_min = 2;
+  config.children_per_base_max = 3;
+  config.card_noise.redact_rate = 0.5;
+  if (!args.empty()) config.seed = std::strtoull(args[0].c_str(), nullptr, 10);
+  auto gen = lakegen::GenerateLake(lake, config);
+  if (!gen.ok()) return Fail(gen.status());
+  std::printf("generated %zu models across %zu families (%zu lineage "
+              "edges recorded)\n",
+              gen.ValueUnsafe().models.size(),
+              gen.ValueUnsafe().families.size(),
+              gen.ValueUnsafe().truth_graph.NumEdges());
+  return 0;
+}
+
+int CmdLs(core::ModelLake* lake, const std::vector<std::string>& args) {
+  std::string what = args.empty() ? "models" : args[0];
+  if (what == "models") {
+    for (const std::string& id : lake->ListModels()) {
+      auto card = lake->CardFor(id);
+      std::printf("%-56s %s\n", id.c_str(),
+                  card.ok() ? card.ValueUnsafe().task.c_str() : "?");
+    }
+    return 0;
+  }
+  if (what == "datasets") {
+    for (const std::string& name : lake->ListDatasets()) {
+      auto shards = lake->DatasetShards(name);
+      std::printf("%-40s %zu shards\n", name.c_str(),
+                  shards.ok() ? shards.ValueUnsafe().size() : 0);
+    }
+    return 0;
+  }
+  if (what == "benchmarks") {
+    for (const std::string& name : lake->ListBenchmarks()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdQuery(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto result = lake->Query(args[0]);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("plan: %s\n", result.ValueUnsafe().plan.c_str());
+  for (const auto& m : result.ValueUnsafe().models) {
+    std::printf("%-56s %.4f\n", m.id.c_str(), m.score);
+  }
+  return 0;
+}
+
+int CmdCard(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto card = lake->CardFor(args[0]);
+  if (!card.ok()) return Fail(card.status());
+  std::printf("%s\n", card.ValueUnsafe().ToJson().Dump(2).c_str());
+  std::printf("// completeness: %.2f\n",
+              metadata::CompletenessScore(card.ValueUnsafe()));
+  return 0;
+}
+
+int CmdGenCard(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto draft = lake->GenerateCard(args[0]);
+  if (!draft.ok()) return Fail(draft.status());
+  std::printf("%s\n", draft.ValueUnsafe().ToJson().Dump(2).c_str());
+  bool apply = args.size() > 1 && args[1] == "--apply";
+  if (apply) {
+    Status st = lake->UpdateCard(draft.ValueUnsafe());
+    if (!st.ok()) return Fail(st);
+    std::printf("// applied\n");
+  }
+  return 0;
+}
+
+int CmdAudit(core::ModelLake* lake, const std::vector<std::string>& args) {
+  std::vector<std::string> targets =
+      args.empty() ? lake->ListModels() : std::vector<std::string>{args[0]};
+  size_t passes = 0;
+  for (const std::string& id : targets) {
+    auto report = lake->AuditModel(id);
+    if (!report.ok()) return Fail(report.status());
+    bool pass = report.ValueUnsafe().GetBool("passes");
+    if (pass) ++passes;
+    if (args.empty()) {
+      std::printf("%-56s %s\n", id.c_str(), pass ? "PASS" : "FAIL");
+    } else {
+      std::printf("%s\n", report.ValueUnsafe().Dump(2).c_str());
+    }
+  }
+  if (args.empty()) {
+    std::printf("%zu/%zu pass\n", passes, targets.size());
+  }
+  return 0;
+}
+
+int CmdCite(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto citation = lake->Cite(args[0]);
+  if (!citation.ok()) return Fail(citation.status());
+  std::printf("%s\n", citation.ValueUnsafe().GetString("text").c_str());
+  return 0;
+}
+
+int CmdRelated(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  size_t k = args.size() > 1 ? std::strtoul(args[1].c_str(), nullptr, 10) : 5;
+  auto related = lake->RelatedModels(args[0], k);
+  if (!related.ok()) return Fail(related.status());
+  for (const auto& m : related.ValueUnsafe()) {
+    std::printf("%-56s %.4f\n", m.id.c_str(), m.score);
+  }
+  return 0;
+}
+
+int CmdHybrid(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  size_t k = args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 10) : 5;
+  auto hits = lake->HybridSearch(args[0], args[1], k);
+  if (!hits.ok()) return Fail(hits.status());
+  for (const auto& m : hits.ValueUnsafe()) {
+    std::printf("%-56s %.4f\n", m.id.c_str(), m.score);
+  }
+  return 0;
+}
+
+int CmdGraph(core::ModelLake* lake) {
+  const versioning::ModelGraph& graph = lake->graph();
+  std::printf("revision %llu, %zu models, %zu edges\n",
+              static_cast<unsigned long long>(graph.revision()),
+              graph.NumModels(), graph.NumEdges());
+  for (const auto& e : graph.Edges()) {
+    std::printf("%-52s -[%s]-> %s\n", e.parent.c_str(),
+                std::string(versioning::EdgeTypeToString(e.type)).c_str(),
+                e.child.c_str());
+  }
+  return 0;
+}
+
+int CmdRecoverHeritage(core::ModelLake* lake,
+                       const std::vector<std::string>& args) {
+  auto recovered = lake->RecoverHeritage();
+  if (!recovered.ok()) return Fail(recovered.status());
+  for (const auto& e : recovered.ValueUnsafe().graph.Edges()) {
+    std::printf("%-52s -> %-52s %.2f\n", e.parent.c_str(), e.child.c_str(),
+                e.confidence);
+  }
+  std::printf("%zu edges in %zu trees\n",
+              recovered.ValueUnsafe().graph.NumEdges(),
+              recovered.ValueUnsafe().num_trees);
+  if (!args.empty() && args[0] == "--apply") {
+    size_t applied = 0;
+    for (const auto& e : recovered.ValueUnsafe().graph.Edges()) {
+      if (!lake->graph().HasEdge(e.parent, e.child)) {
+        Status st = lake->RecordEdge(e);
+        if (!st.ok()) return Fail(st);
+        ++applied;
+      }
+    }
+    std::printf("recorded %zu new edges\n", applied);
+  }
+  return 0;
+}
+
+int CmdExport(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto model = lake->LoadModel(args[0]);
+  if (!model.ok()) return Fail(model.status());
+  Json meta = Json::MakeObject();
+  meta.Set("model_id", args[0]);
+  storage::ModelArtifact artifact =
+      storage::ArtifactFromModel(*model.ValueUnsafe(), std::move(meta));
+  Status st = WriteFile(args[1], storage::SerializeArtifact(artifact));
+  if (!st.ok()) return Fail(st);
+  std::printf("exported %s to %s\n", args[0].c_str(), args[1].c_str());
+  return 0;
+}
+
+int CmdImport(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto bytes = ReadFile(args[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto artifact = storage::ParseArtifact(bytes.ValueUnsafe());
+  if (!artifact.ok()) return Fail(artifact.status());
+  auto model = storage::ModelFromArtifact(artifact.ValueUnsafe());
+  if (!model.ok()) return Fail(model.status());
+  metadata::ModelCard card;
+  card.model_id = args[1];
+  card.name = args[1];
+  if (args.size() > 2) card.task = args[2];
+  auto id = lake->IngestModel(*model.ValueUnsafe(), card);
+  if (!id.ok()) return Fail(id.status());
+  std::printf("ingested %s\n", id.ValueUnsafe().c_str());
+  return 0;
+}
+
+int CmdFsck(core::ModelLake* lake) {
+  auto corrupted = lake->FsckArtifacts();
+  if (!corrupted.ok()) return Fail(corrupted.status());
+  if (corrupted.ValueUnsafe().empty()) {
+    std::printf("all %zu artifacts intact\n", lake->NumModels());
+    return 0;
+  }
+  for (const std::string& id : corrupted.ValueUnsafe()) {
+    std::printf("CORRUPTED %s\n", id.c_str());
+  }
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  std::string lake_dir;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lake") == 0 && i + 1 < argc) {
+      lake_dir = argv[++i];
+    } else {
+      rest.emplace_back(argv[i]);
+    }
+  }
+  if (lake_dir.empty() || rest.empty()) return Usage();
+  std::string command = rest.front();
+  std::vector<std::string> args(rest.begin() + 1, rest.end());
+
+  auto lake = OpenLake(lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  core::ModelLake* lk = lake.ValueUnsafe().get();
+
+  if (command == "init") {
+    std::printf("lake ready at %s (%zu models)\n", lake_dir.c_str(),
+                lk->NumModels());
+    return 0;
+  }
+  if (command == "demo") return CmdDemo(lk, args);
+  if (command == "ls") return CmdLs(lk, args);
+  if (command == "query") return CmdQuery(lk, args);
+  if (command == "card") return CmdCard(lk, args);
+  if (command == "gen-card") return CmdGenCard(lk, args);
+  if (command == "audit") return CmdAudit(lk, args);
+  if (command == "cite") return CmdCite(lk, args);
+  if (command == "related") return CmdRelated(lk, args);
+  if (command == "hybrid") return CmdHybrid(lk, args);
+  if (command == "graph") return CmdGraph(lk);
+  if (command == "recover-heritage") return CmdRecoverHeritage(lk, args);
+  if (command == "export") return CmdExport(lk, args);
+  if (command == "import") return CmdImport(lk, args);
+  if (command == "fsck") return CmdFsck(lk);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mlake
+
+int main(int argc, char** argv) { return mlake::Run(argc, argv); }
