@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_attribution.cc" "bench/CMakeFiles/exp_attribution.dir/exp_attribution.cc.o" "gcc" "bench/CMakeFiles/exp_attribution.dir/exp_attribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lakegen/CMakeFiles/mlake_lakegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/mlake_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/versioning/CMakeFiles/mlake_versioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/mlake_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mlake_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mlake_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/mlake_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mlake_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlake_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

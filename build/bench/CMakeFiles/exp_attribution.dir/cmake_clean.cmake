@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_attribution.dir/exp_attribution.cc.o"
+  "CMakeFiles/exp_attribution.dir/exp_attribution.cc.o.d"
+  "exp_attribution"
+  "exp_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_benchmarking.dir/exp_benchmarking.cc.o"
+  "CMakeFiles/exp_benchmarking.dir/exp_benchmarking.cc.o.d"
+  "exp_benchmarking"
+  "exp_benchmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

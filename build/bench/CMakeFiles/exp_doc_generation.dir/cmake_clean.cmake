@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_doc_generation.dir/exp_doc_generation.cc.o"
+  "CMakeFiles/exp_doc_generation.dir/exp_doc_generation.cc.o.d"
+  "exp_doc_generation"
+  "exp_doc_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_doc_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_indexer.dir/exp_indexer.cc.o"
+  "CMakeFiles/exp_indexer.dir/exp_indexer.cc.o.d"
+  "exp_indexer"
+  "exp_indexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

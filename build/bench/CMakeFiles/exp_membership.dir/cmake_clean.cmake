@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_membership.dir/exp_membership.cc.o"
+  "CMakeFiles/exp_membership.dir/exp_membership.cc.o.d"
+  "exp_membership"
+  "exp_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pipeline.dir/exp_pipeline.cc.o"
+  "CMakeFiles/exp_pipeline.dir/exp_pipeline.cc.o.d"
+  "exp_pipeline"
+  "exp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

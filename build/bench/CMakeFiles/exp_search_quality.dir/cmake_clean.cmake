@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_search_quality.dir/exp_search_quality.cc.o"
+  "CMakeFiles/exp_search_quality.dir/exp_search_quality.cc.o.d"
+  "exp_search_quality"
+  "exp_search_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_search_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

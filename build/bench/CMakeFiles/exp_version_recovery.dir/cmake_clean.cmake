@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_version_recovery.dir/exp_version_recovery.cc.o"
+  "CMakeFiles/exp_version_recovery.dir/exp_version_recovery.cc.o.d"
+  "exp_version_recovery"
+  "exp_version_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_version_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_watermark.dir/exp_watermark.cc.o"
+  "CMakeFiles/exp_watermark.dir/exp_watermark.cc.o.d"
+  "exp_watermark"
+  "exp_watermark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_watermark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lake.dir/micro_lake.cc.o"
+  "CMakeFiles/micro_lake.dir/micro_lake.cc.o.d"
+  "micro_lake"
+  "micro_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

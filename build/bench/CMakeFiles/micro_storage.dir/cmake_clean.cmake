@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_storage.dir/micro_storage.cc.o"
+  "CMakeFiles/micro_storage.dir/micro_storage.cc.o.d"
+  "micro_storage"
+  "micro_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

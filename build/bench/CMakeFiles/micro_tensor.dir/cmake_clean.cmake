@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tensor.dir/micro_tensor.cc.o"
+  "CMakeFiles/micro_tensor.dir/micro_tensor.cc.o.d"
+  "micro_tensor"
+  "micro_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

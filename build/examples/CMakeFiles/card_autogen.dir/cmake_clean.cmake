@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/card_autogen.dir/card_autogen.cc.o"
+  "CMakeFiles/card_autogen.dir/card_autogen.cc.o.d"
+  "card_autogen"
+  "card_autogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/card_autogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

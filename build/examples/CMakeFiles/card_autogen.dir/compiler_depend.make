@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for card_autogen.
+# This may be replaced when dependencies are built.

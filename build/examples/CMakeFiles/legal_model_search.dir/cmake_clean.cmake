@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legal_model_search.dir/legal_model_search.cc.o"
+  "CMakeFiles/legal_model_search.dir/legal_model_search.cc.o.d"
+  "legal_model_search"
+  "legal_model_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legal_model_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

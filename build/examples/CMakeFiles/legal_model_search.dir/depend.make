@@ -1,0 +1,2 @@
+# Empty dependencies file for legal_model_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_audit.dir/lineage_audit.cc.o"
+  "CMakeFiles/lineage_audit.dir/lineage_audit.cc.o.d"
+  "lineage_audit"
+  "lineage_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

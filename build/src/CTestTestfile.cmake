@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("nn")
+subdirs("storage")
+subdirs("metadata")
+subdirs("index")
+subdirs("embed")
+subdirs("provenance")
+subdirs("versioning")
+subdirs("search")
+subdirs("lakegen")
+subdirs("core")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_common.dir/file_util.cc.o"
+  "CMakeFiles/mlake_common.dir/file_util.cc.o.d"
+  "CMakeFiles/mlake_common.dir/hash.cc.o"
+  "CMakeFiles/mlake_common.dir/hash.cc.o.d"
+  "CMakeFiles/mlake_common.dir/json.cc.o"
+  "CMakeFiles/mlake_common.dir/json.cc.o.d"
+  "CMakeFiles/mlake_common.dir/logging.cc.o"
+  "CMakeFiles/mlake_common.dir/logging.cc.o.d"
+  "CMakeFiles/mlake_common.dir/random.cc.o"
+  "CMakeFiles/mlake_common.dir/random.cc.o.d"
+  "CMakeFiles/mlake_common.dir/status.cc.o"
+  "CMakeFiles/mlake_common.dir/status.cc.o.d"
+  "CMakeFiles/mlake_common.dir/string_util.cc.o"
+  "CMakeFiles/mlake_common.dir/string_util.cc.o.d"
+  "libmlake_common.a"
+  "libmlake_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

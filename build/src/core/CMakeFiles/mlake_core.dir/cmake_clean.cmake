@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_core.dir/model_lake.cc.o"
+  "CMakeFiles/mlake_core.dir/model_lake.cc.o.d"
+  "libmlake_core.a"
+  "libmlake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/cka.cc" "src/embed/CMakeFiles/mlake_embed.dir/cka.cc.o" "gcc" "src/embed/CMakeFiles/mlake_embed.dir/cka.cc.o.d"
+  "/root/repo/src/embed/embedder.cc" "src/embed/CMakeFiles/mlake_embed.dir/embedder.cc.o" "gcc" "src/embed/CMakeFiles/mlake_embed.dir/embedder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlake_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_embed.dir/cka.cc.o"
+  "CMakeFiles/mlake_embed.dir/cka.cc.o.d"
+  "CMakeFiles/mlake_embed.dir/embedder.cc.o"
+  "CMakeFiles/mlake_embed.dir/embedder.cc.o.d"
+  "libmlake_embed.a"
+  "libmlake_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/brute_force_index.cc" "src/index/CMakeFiles/mlake_index.dir/brute_force_index.cc.o" "gcc" "src/index/CMakeFiles/mlake_index.dir/brute_force_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "src/index/CMakeFiles/mlake_index.dir/hnsw_index.cc.o" "gcc" "src/index/CMakeFiles/mlake_index.dir/hnsw_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/mlake_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/mlake_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/minhash_lsh.cc" "src/index/CMakeFiles/mlake_index.dir/minhash_lsh.cc.o" "gcc" "src/index/CMakeFiles/mlake_index.dir/minhash_lsh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_index.dir/brute_force_index.cc.o"
+  "CMakeFiles/mlake_index.dir/brute_force_index.cc.o.d"
+  "CMakeFiles/mlake_index.dir/hnsw_index.cc.o"
+  "CMakeFiles/mlake_index.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/mlake_index.dir/inverted_index.cc.o"
+  "CMakeFiles/mlake_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/mlake_index.dir/minhash_lsh.cc.o"
+  "CMakeFiles/mlake_index.dir/minhash_lsh.cc.o.d"
+  "libmlake_index.a"
+  "libmlake_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_lakegen.dir/lakegen.cc.o"
+  "CMakeFiles/mlake_lakegen.dir/lakegen.cc.o.d"
+  "libmlake_lakegen.a"
+  "libmlake_lakegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_lakegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/card_noise.cc" "src/metadata/CMakeFiles/mlake_metadata.dir/card_noise.cc.o" "gcc" "src/metadata/CMakeFiles/mlake_metadata.dir/card_noise.cc.o.d"
+  "/root/repo/src/metadata/model_card.cc" "src/metadata/CMakeFiles/mlake_metadata.dir/model_card.cc.o" "gcc" "src/metadata/CMakeFiles/mlake_metadata.dir/model_card.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_metadata.dir/card_noise.cc.o"
+  "CMakeFiles/mlake_metadata.dir/card_noise.cc.o.d"
+  "CMakeFiles/mlake_metadata.dir/model_card.cc.o"
+  "CMakeFiles/mlake_metadata.dir/model_card.cc.o.d"
+  "libmlake_metadata.a"
+  "libmlake_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

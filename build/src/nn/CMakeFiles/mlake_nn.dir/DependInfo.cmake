@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cc" "src/nn/CMakeFiles/mlake_nn.dir/dataset.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/dataset.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/mlake_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/mlake_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/mlake_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/mlake_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/mlake_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/trainer.cc.o.d"
+  "/root/repo/src/nn/transform.cc" "src/nn/CMakeFiles/mlake_nn.dir/transform.cc.o" "gcc" "src/nn/CMakeFiles/mlake_nn.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_nn.dir/dataset.cc.o"
+  "CMakeFiles/mlake_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/layers.cc.o"
+  "CMakeFiles/mlake_nn.dir/layers.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/loss.cc.o"
+  "CMakeFiles/mlake_nn.dir/loss.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/model.cc.o"
+  "CMakeFiles/mlake_nn.dir/model.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/optimizer.cc.o"
+  "CMakeFiles/mlake_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/trainer.cc.o"
+  "CMakeFiles/mlake_nn.dir/trainer.cc.o.d"
+  "CMakeFiles/mlake_nn.dir/transform.cc.o"
+  "CMakeFiles/mlake_nn.dir/transform.cc.o.d"
+  "libmlake_nn.a"
+  "libmlake_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/influence.cc" "src/provenance/CMakeFiles/mlake_provenance.dir/influence.cc.o" "gcc" "src/provenance/CMakeFiles/mlake_provenance.dir/influence.cc.o.d"
+  "/root/repo/src/provenance/membership.cc" "src/provenance/CMakeFiles/mlake_provenance.dir/membership.cc.o" "gcc" "src/provenance/CMakeFiles/mlake_provenance.dir/membership.cc.o.d"
+  "/root/repo/src/provenance/tracin.cc" "src/provenance/CMakeFiles/mlake_provenance.dir/tracin.cc.o" "gcc" "src/provenance/CMakeFiles/mlake_provenance.dir/tracin.cc.o.d"
+  "/root/repo/src/provenance/watermark.cc" "src/provenance/CMakeFiles/mlake_provenance.dir/watermark.cc.o" "gcc" "src/provenance/CMakeFiles/mlake_provenance.dir/watermark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlake_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_provenance.dir/influence.cc.o"
+  "CMakeFiles/mlake_provenance.dir/influence.cc.o.d"
+  "CMakeFiles/mlake_provenance.dir/membership.cc.o"
+  "CMakeFiles/mlake_provenance.dir/membership.cc.o.d"
+  "CMakeFiles/mlake_provenance.dir/tracin.cc.o"
+  "CMakeFiles/mlake_provenance.dir/tracin.cc.o.d"
+  "CMakeFiles/mlake_provenance.dir/watermark.cc.o"
+  "CMakeFiles/mlake_provenance.dir/watermark.cc.o.d"
+  "libmlake_provenance.a"
+  "libmlake_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

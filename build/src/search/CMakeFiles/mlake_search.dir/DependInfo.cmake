@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/ast.cc" "src/search/CMakeFiles/mlake_search.dir/ast.cc.o" "gcc" "src/search/CMakeFiles/mlake_search.dir/ast.cc.o.d"
+  "/root/repo/src/search/executor.cc" "src/search/CMakeFiles/mlake_search.dir/executor.cc.o" "gcc" "src/search/CMakeFiles/mlake_search.dir/executor.cc.o.d"
+  "/root/repo/src/search/parser.cc" "src/search/CMakeFiles/mlake_search.dir/parser.cc.o" "gcc" "src/search/CMakeFiles/mlake_search.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/mlake_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mlake_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

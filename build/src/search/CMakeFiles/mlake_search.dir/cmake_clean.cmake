@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_search.dir/ast.cc.o"
+  "CMakeFiles/mlake_search.dir/ast.cc.o.d"
+  "CMakeFiles/mlake_search.dir/executor.cc.o"
+  "CMakeFiles/mlake_search.dir/executor.cc.o.d"
+  "CMakeFiles/mlake_search.dir/parser.cc.o"
+  "CMakeFiles/mlake_search.dir/parser.cc.o.d"
+  "libmlake_search.a"
+  "libmlake_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

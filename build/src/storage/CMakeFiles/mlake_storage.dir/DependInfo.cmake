@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob_store.cc" "src/storage/CMakeFiles/mlake_storage.dir/blob_store.cc.o" "gcc" "src/storage/CMakeFiles/mlake_storage.dir/blob_store.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/mlake_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/mlake_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/storage/CMakeFiles/mlake_storage.dir/kv_store.cc.o" "gcc" "src/storage/CMakeFiles/mlake_storage.dir/kv_store.cc.o.d"
+  "/root/repo/src/storage/model_artifact.cc" "src/storage/CMakeFiles/mlake_storage.dir/model_artifact.cc.o" "gcc" "src/storage/CMakeFiles/mlake_storage.dir/model_artifact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlake_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

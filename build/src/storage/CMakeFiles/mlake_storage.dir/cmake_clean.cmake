@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_storage.dir/blob_store.cc.o"
+  "CMakeFiles/mlake_storage.dir/blob_store.cc.o.d"
+  "CMakeFiles/mlake_storage.dir/catalog.cc.o"
+  "CMakeFiles/mlake_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/mlake_storage.dir/kv_store.cc.o"
+  "CMakeFiles/mlake_storage.dir/kv_store.cc.o.d"
+  "CMakeFiles/mlake_storage.dir/model_artifact.cc.o"
+  "CMakeFiles/mlake_storage.dir/model_artifact.cc.o.d"
+  "libmlake_storage.a"
+  "libmlake_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

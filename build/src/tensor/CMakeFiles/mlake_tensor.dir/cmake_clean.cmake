@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_tensor.dir/ops.cc.o"
+  "CMakeFiles/mlake_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/mlake_tensor.dir/serialize.cc.o"
+  "CMakeFiles/mlake_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/mlake_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mlake_tensor.dir/tensor.cc.o.d"
+  "libmlake_tensor.a"
+  "libmlake_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlake_tensor.a"
+)

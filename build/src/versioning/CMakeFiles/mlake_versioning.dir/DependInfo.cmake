@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/versioning/edge_classifier.cc" "src/versioning/CMakeFiles/mlake_versioning.dir/edge_classifier.cc.o" "gcc" "src/versioning/CMakeFiles/mlake_versioning.dir/edge_classifier.cc.o.d"
+  "/root/repo/src/versioning/heritage.cc" "src/versioning/CMakeFiles/mlake_versioning.dir/heritage.cc.o" "gcc" "src/versioning/CMakeFiles/mlake_versioning.dir/heritage.cc.o.d"
+  "/root/repo/src/versioning/model_graph.cc" "src/versioning/CMakeFiles/mlake_versioning.dir/model_graph.cc.o" "gcc" "src/versioning/CMakeFiles/mlake_versioning.dir/model_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlake_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlake_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake_versioning.dir/edge_classifier.cc.o"
+  "CMakeFiles/mlake_versioning.dir/edge_classifier.cc.o.d"
+  "CMakeFiles/mlake_versioning.dir/heritage.cc.o"
+  "CMakeFiles/mlake_versioning.dir/heritage.cc.o.d"
+  "CMakeFiles/mlake_versioning.dir/model_graph.cc.o"
+  "CMakeFiles/mlake_versioning.dir/model_graph.cc.o.d"
+  "libmlake_versioning.a"
+  "libmlake_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_store_test.dir/blob_store_test.cc.o"
+  "CMakeFiles/blob_store_test.dir/blob_store_test.cc.o.d"
+  "blob_store_test"
+  "blob_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

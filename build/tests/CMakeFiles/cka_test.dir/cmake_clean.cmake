@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cka_test.dir/cka_test.cc.o"
+  "CMakeFiles/cka_test.dir/cka_test.cc.o.d"
+  "cka_test"
+  "cka_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_classifier_test.dir/edge_classifier_test.cc.o"
+  "CMakeFiles/edge_classifier_test.dir/edge_classifier_test.cc.o.d"
+  "edge_classifier_test"
+  "edge_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_test.dir/embed_test.cc.o"
+  "CMakeFiles/embed_test.dir/embed_test.cc.o.d"
+  "embed_test"
+  "embed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_util_test.dir/file_util_test.cc.o"
+  "CMakeFiles/file_util_test.dir/file_util_test.cc.o.d"
+  "file_util_test"
+  "file_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

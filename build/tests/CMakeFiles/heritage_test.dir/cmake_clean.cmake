@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heritage_test.dir/heritage_test.cc.o"
+  "CMakeFiles/heritage_test.dir/heritage_test.cc.o.d"
+  "heritage_test"
+  "heritage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heritage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

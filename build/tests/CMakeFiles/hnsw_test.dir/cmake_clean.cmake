@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnsw_test.dir/hnsw_test.cc.o"
+  "CMakeFiles/hnsw_test.dir/hnsw_test.cc.o.d"
+  "hnsw_test"
+  "hnsw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnsw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

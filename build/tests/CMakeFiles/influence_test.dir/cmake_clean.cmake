@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_test.dir/influence_test.cc.o"
+  "CMakeFiles/influence_test.dir/influence_test.cc.o.d"
+  "influence_test"
+  "influence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

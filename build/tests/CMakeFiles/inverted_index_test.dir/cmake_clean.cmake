@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverted_index_test.dir/inverted_index_test.cc.o"
+  "CMakeFiles/inverted_index_test.dir/inverted_index_test.cc.o.d"
+  "inverted_index_test"
+  "inverted_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverted_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

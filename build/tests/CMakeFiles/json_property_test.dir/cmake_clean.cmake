@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_property_test.dir/json_property_test.cc.o"
+  "CMakeFiles/json_property_test.dir/json_property_test.cc.o.d"
+  "json_property_test"
+  "json_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

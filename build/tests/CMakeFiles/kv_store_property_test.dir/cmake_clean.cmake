@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_property_test.dir/kv_store_property_test.cc.o"
+  "CMakeFiles/kv_store_property_test.dir/kv_store_property_test.cc.o.d"
+  "kv_store_property_test"
+  "kv_store_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

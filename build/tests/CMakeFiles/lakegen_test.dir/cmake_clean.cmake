@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakegen_test.dir/lakegen_test.cc.o"
+  "CMakeFiles/lakegen_test.dir/lakegen_test.cc.o.d"
+  "lakegen_test"
+  "lakegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_test.dir/membership_test.cc.o"
+  "CMakeFiles/membership_test.dir/membership_test.cc.o.d"
+  "membership_test"
+  "membership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minhash_test.dir/minhash_test.cc.o"
+  "CMakeFiles/minhash_test.dir/minhash_test.cc.o.d"
+  "minhash_test"
+  "minhash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_artifact_test.dir/model_artifact_test.cc.o"
+  "CMakeFiles/model_artifact_test.dir/model_artifact_test.cc.o.d"
+  "model_artifact_test"
+  "model_artifact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_artifact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_card_test.dir/model_card_test.cc.o"
+  "CMakeFiles/model_card_test.dir/model_card_test.cc.o.d"
+  "model_card_test"
+  "model_card_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_card_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

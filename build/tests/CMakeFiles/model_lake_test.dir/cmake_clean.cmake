@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_lake_test.dir/model_lake_test.cc.o"
+  "CMakeFiles/model_lake_test.dir/model_lake_test.cc.o.d"
+  "model_lake_test"
+  "model_lake_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_lake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_dataset_test.dir/nn_dataset_test.cc.o"
+  "CMakeFiles/nn_dataset_test.dir/nn_dataset_test.cc.o.d"
+  "nn_dataset_test"
+  "nn_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_train_test.dir/nn_train_test.cc.o"
+  "CMakeFiles/nn_train_test.dir/nn_train_test.cc.o.d"
+  "nn_train_test"
+  "nn_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_transform_test.dir/nn_transform_test.cc.o"
+  "CMakeFiles/nn_transform_test.dir/nn_transform_test.cc.o.d"
+  "nn_transform_test"
+  "nn_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

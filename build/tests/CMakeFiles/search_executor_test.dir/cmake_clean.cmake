@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_executor_test.dir/search_executor_test.cc.o"
+  "CMakeFiles/search_executor_test.dir/search_executor_test.cc.o.d"
+  "search_executor_test"
+  "search_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

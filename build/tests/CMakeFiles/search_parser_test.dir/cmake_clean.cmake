@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_parser_test.dir/search_parser_test.cc.o"
+  "CMakeFiles/search_parser_test.dir/search_parser_test.cc.o.d"
+  "search_parser_test"
+  "search_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracin_test.dir/tracin_test.cc.o"
+  "CMakeFiles/tracin_test.dir/tracin_test.cc.o.d"
+  "tracin_test"
+  "tracin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

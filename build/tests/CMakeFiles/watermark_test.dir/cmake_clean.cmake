@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_test.dir/watermark_test.cc.o"
+  "CMakeFiles/watermark_test.dir/watermark_test.cc.o.d"
+  "watermark_test"
+  "watermark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlake.dir/mlake.cc.o"
+  "CMakeFiles/mlake.dir/mlake.cc.o.d"
+  "mlake"
+  "mlake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
