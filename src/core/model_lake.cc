@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "common/file_util.h"
 #include "common/string_util.h"
@@ -69,23 +70,60 @@ Status ModelLake::Initialize() {
 }
 
 Status ModelLake::RebuildIndices() {
-  for (const std::string& id : catalog_->ListIds("card")) {
-    MLAKE_ASSIGN_OR_RETURN(Json card_doc, catalog_->GetDoc("card", id));
-    MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card,
-                           metadata::ModelCard::FromJson(card_doc));
-    bm25_.Add(id, card.SearchText());
+  const ExecutionContext& exec = options_.exec;
+
+  // Cards -> BM25. Catalog reads are const and safe concurrently; the
+  // JSON parse is the cost, so parse in parallel and feed the (single
+  // threaded) inverted index in catalog order.
+  {
+    std::vector<std::string> ids = catalog_->ListIds("card");
+    std::vector<std::string> texts(ids.size());
+    MLAKE_RETURN_NOT_OK(
+        ParallelFor(exec, 0, ids.size(), [&](size_t i) -> Status {
+          MLAKE_ASSIGN_OR_RETURN(Json card_doc,
+                                 catalog_->GetDoc("card", ids[i]));
+          MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card,
+                                 metadata::ModelCard::FromJson(card_doc));
+          texts[i] = card.SearchText();
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < ids.size(); ++i) bm25_.Add(ids[i], texts[i]);
   }
-  for (const std::string& id : catalog_->ListIds("embedding")) {
-    MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("embedding", id));
-    MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, FloatsFromJson(doc));
-    int64_t internal = static_cast<int64_t>(ann_ids_.size());
-    ann_ids_.push_back(id);
-    MLAKE_RETURN_NOT_OK(ann_->Add(internal, vec));
+
+  // Embeddings -> one bulk ANN build (parallel neighbor search inside).
+  {
+    std::vector<std::string> ids = catalog_->ListIds("embedding");
+    std::vector<std::vector<float>> vecs(ids.size());
+    MLAKE_RETURN_NOT_OK(
+        ParallelFor(exec, 0, ids.size(), [&](size_t i) -> Status {
+          MLAKE_ASSIGN_OR_RETURN(Json doc,
+                                 catalog_->GetDoc("embedding", ids[i]));
+          MLAKE_ASSIGN_OR_RETURN(vecs[i], FloatsFromJson(doc));
+          return Status::OK();
+        }));
+    std::vector<int64_t> internal_ids(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      internal_ids[i] = static_cast<int64_t>(ann_ids_.size());
+      ann_ids_.push_back(ids[i]);
+    }
+    MLAKE_RETURN_NOT_OK(ann_->Build(internal_ids, vecs, exec));
   }
-  for (const std::string& name : catalog_->ListIds("dataset")) {
-    MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
-                           DatasetShards(name));
-    MLAKE_RETURN_NOT_OK(dataset_lsh_->Add(name, DatasetSignature(shards)));
+
+  // Datasets -> MinHash/LSH (signature hashing parallel, inserts
+  // sequential).
+  {
+    std::vector<std::string> names = catalog_->ListIds("dataset");
+    std::vector<index::MinHashSignature> sigs(names.size());
+    MLAKE_RETURN_NOT_OK(
+        ParallelFor(exec, 0, names.size(), [&](size_t i) -> Status {
+          MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
+                                 DatasetShardsUnlocked(names[i]));
+          sigs[i] = DatasetSignature(shards);
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < names.size(); ++i) {
+      MLAKE_RETURN_NOT_OK(dataset_lsh_->Add(names[i], sigs[i]));
+    }
   }
   return Status::OK();
 }
@@ -101,21 +139,28 @@ Status ModelLake::PersistGraph() {
 }
 
 Status ModelLake::IndexModel(const std::string& id,
-                             const metadata::ModelCard& card,
-                             const std::vector<float>& embedding) {
+                             const metadata::ModelCard& card) {
   bm25_.Add(id, card.SearchText());
-  int64_t internal = static_cast<int64_t>(ann_ids_.size());
-  ann_ids_.push_back(id);
-  return ann_->Add(internal, embedding);
+  return Status::OK();
 }
 
-Result<std::string> ModelLake::IngestModel(const nn::Model& model,
-                                           const metadata::ModelCard& card) {
+Status ModelLake::ValidateIngest(
+    const IngestRequest& request,
+    const std::vector<std::string>& batch_ids) const {
+  const metadata::ModelCard& card = request.card;
+  if (request.model == nullptr) {
+    return Status::InvalidArgument("IngestRequest.model is required");
+  }
   if (card.model_id.empty()) {
     return Status::InvalidArgument("card.model_id is required");
   }
   if (catalog_->Contains("model", card.model_id)) {
     return Status::AlreadyExists("model already in lake: " + card.model_id);
+  }
+  if (std::find(batch_ids.begin(), batch_ids.end(), card.model_id) !=
+      batch_ids.end()) {
+    return Status::AlreadyExists("duplicate model id in ingest batch: " +
+                                 card.model_id);
   }
   std::vector<std::string> problems = metadata::ValidateCard(card);
   if (!problems.empty()) {
@@ -127,44 +172,101 @@ Result<std::string> ModelLake::IngestModel(const nn::Model& model,
       }
     }
   }
-  if (model.spec().input_dim != options_.input_dim ||
-      model.spec().num_classes != options_.num_classes) {
+  if (request.model->spec().input_dim != options_.input_dim ||
+      request.model->spec().num_classes != options_.num_classes) {
     return Status::InvalidArgument(
         "model io dims do not match this lake's shared input/output space");
   }
+  return Status::OK();
+}
 
-  // 1. Artifact -> blob store (content addressed; dedups identical θ).
-  Json meta = Json::MakeObject();
-  meta.Set("model_id", card.model_id);
-  storage::ModelArtifact artifact = storage::ArtifactFromModel(model, meta);
-  std::string bytes = storage::SerializeArtifact(artifact);
-  MLAKE_ASSIGN_OR_RETURN(std::string digest, blobs_->Put(bytes));
+Result<std::string> ModelLake::IngestModel(const nn::Model& model,
+                                           const metadata::ModelCard& card) {
+  std::vector<IngestRequest> batch(1);
+  batch[0].model = &model;
+  batch[0].card = card;
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> ids, IngestModels(batch));
+  return ids.front();
+}
 
-  // 2. Embedding.
-  MLAKE_ASSIGN_OR_RETURN(
-      std::vector<float> embedding,
-      embedder_->Embed(const_cast<nn::Model*>(&model)));
+Result<std::vector<std::string>> ModelLake::IngestModels(
+    const std::vector<IngestRequest>& batch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return IngestModelsLocked(batch);
+}
 
-  // 3. Catalog docs.
-  Json model_doc = Json::MakeObject();
-  model_doc.Set("artifact_digest", digest);
-  model_doc.Set("arch", model.spec().ToJson());
-  model_doc.Set("num_params", model.spec().input_dim == 0
-                                  ? Json(0)
-                                  : Json(model.NumParams()));
-  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("model", card.model_id, model_doc));
-  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("card", card.model_id, card.ToJson()));
-  MLAKE_RETURN_NOT_OK(catalog_->PutDoc("embedding", card.model_id,
-                                       FloatsToJson(embedding)));
+Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
+    const std::vector<IngestRequest>& batch) {
+  // Phase 0: validate everything before writing anything — a rejected
+  // batch leaves the lake untouched.
+  std::vector<std::string> ids;
+  ids.reserve(batch.size());
+  for (const IngestRequest& request : batch) {
+    MLAKE_RETURN_NOT_OK(ValidateIngest(request, ids));
+    ids.push_back(request.card.model_id);
+  }
 
-  // 4. Indices + graph node.
-  MLAKE_RETURN_NOT_OK(IndexModel(card.model_id, card, embedding));
-  graph_.AddModel(card.model_id);
+  // Phase 1 (parallel, pure): serialize artifacts and compute
+  // embeddings. Each task owns slot i; results land in batch order.
+  std::vector<std::string> artifact_bytes(batch.size());
+  MLAKE_RETURN_NOT_OK(
+      ParallelFor(options_.exec, 0, batch.size(), [&](size_t i) {
+        Json meta = Json::MakeObject();
+        meta.Set("model_id", batch[i].card.model_id);
+        storage::ModelArtifact artifact =
+            storage::ArtifactFromModel(*batch[i].model, meta);
+        artifact_bytes[i] = storage::SerializeArtifact(artifact);
+      }));
+
+  std::vector<nn::Model*> models(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Embed runs a forward pass (mutates per-model scratch); the batch
+    // API takes const models, matching IngestModel's historic contract.
+    models[i] = const_cast<nn::Model*>(batch[i].model);
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::vector<float>> embeddings,
+                         embedder_->EmbedAll(models, options_.exec));
+
+  // Phase 2 (sequential, batch order): blobs, catalog docs, BM25,
+  // graph nodes.
+  std::vector<int64_t> internal_ids(batch.size());
+  std::vector<std::string> digests(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    MLAKE_ASSIGN_OR_RETURN(digests[i], blobs_->Put(artifact_bytes[i]));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const metadata::ModelCard& card = batch[i].card;
+    Json model_doc = Json::MakeObject();
+    model_doc.Set("artifact_digest", digests[i]);
+    model_doc.Set("arch", batch[i].model->spec().ToJson());
+    model_doc.Set("num_params", batch[i].model->spec().input_dim == 0
+                                    ? Json(0)
+                                    : Json(batch[i].model->NumParams()));
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("model", card.model_id, model_doc));
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("card", card.model_id,
+                                         card.ToJson()));
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("embedding", card.model_id,
+                                         FloatsToJson(embeddings[i])));
+    MLAKE_RETURN_NOT_OK(IndexModel(card.model_id, card));
+    internal_ids[i] = static_cast<int64_t>(ann_ids_.size());
+    ann_ids_.push_back(card.model_id);
+    graph_.AddModel(card.model_id);
+  }
+
+  // Phase 3: one bulk ANN extension (parallel inside, deterministic at
+  // any thread count), then persist the graph once for the batch.
+  MLAKE_RETURN_NOT_OK(ann_->Build(internal_ids, embeddings, options_.exec));
   MLAKE_RETURN_NOT_OK(PersistGraph());
-  return card.model_id;
+  return ids;
 }
 
 Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
+    const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return LoadModelUnlocked(id);
+}
+
+Result<std::unique_ptr<nn::Model>> ModelLake::LoadModelUnlocked(
     const std::string& id) const {
   MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
   std::string digest = model_doc.GetString("artifact_digest");
@@ -176,6 +278,7 @@ Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
 }
 
 Status ModelLake::UpdateCard(const metadata::ModelCard& card) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!catalog_->Contains("model", card.model_id)) {
     return Status::NotFound("model not in lake: " + card.model_id);
   }
@@ -184,23 +287,38 @@ Status ModelLake::UpdateCard(const metadata::ModelCard& card) {
   return Status::OK();
 }
 
-std::vector<std::string> ModelLake::ListModels() const {
+std::vector<std::string> ModelLake::ListModelsUnlocked() const {
   return catalog_->ListIds("model");
 }
 
+std::vector<std::string> ModelLake::ListModels() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ListModelsUnlocked();
+}
+
+size_t ModelLake::NumModels() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ListModelsUnlocked().size();
+}
+
 Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids = ListModelsUnlocked();
+  std::vector<uint8_t> bad(ids.size(), 0);
+  MLAKE_RETURN_NOT_OK(
+      ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
+        MLAKE_ASSIGN_OR_RETURN(Json model_doc,
+                               catalog_->GetDoc("model", ids[i]));
+        std::string digest = model_doc.GetString("artifact_digest");
+        auto bytes = blobs_->Get(digest);
+        if (!bytes.ok() || !storage::ParseArtifact(bytes.ValueUnsafe()).ok()) {
+          bad[i] = 1;
+        }
+        return Status::OK();
+      }));
   std::vector<std::string> corrupted;
-  for (const std::string& id : ListModels()) {
-    MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
-    std::string digest = model_doc.GetString("artifact_digest");
-    auto bytes = blobs_->Get(digest);
-    if (!bytes.ok()) {
-      corrupted.push_back(id);
-      continue;
-    }
-    if (!storage::ParseArtifact(bytes.ValueUnsafe()).ok()) {
-      corrupted.push_back(id);
-    }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (bad[i]) corrupted.push_back(ids[i]);
   }
   return corrupted;
 }
@@ -209,6 +327,7 @@ Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
 
 Status ModelLake::RegisterDataset(const std::string& name,
                                   const std::vector<std::string>& shards) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (name.empty() || shards.empty()) {
     return Status::InvalidArgument("dataset needs a name and shards");
   }
@@ -223,7 +342,7 @@ Status ModelLake::RegisterDataset(const std::string& name,
   return dataset_lsh_->Add(name, DatasetSignature(shards));
 }
 
-Result<std::vector<std::string>> ModelLake::DatasetShards(
+Result<std::vector<std::string>> ModelLake::DatasetShardsUnlocked(
     const std::string& name) const {
   MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("dataset", name));
   std::vector<std::string> shards;
@@ -236,41 +355,58 @@ Result<std::vector<std::string>> ModelLake::DatasetShards(
   return shards;
 }
 
+Result<std::vector<std::string>> ModelLake::DatasetShards(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return DatasetShardsUnlocked(name);
+}
+
 std::vector<std::string> ModelLake::ListDatasets() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return catalog_->ListIds("dataset");
 }
 
 // --------------------------------------------------------------- lineage
 
 Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MLAKE_RETURN_NOT_OK(graph_.AddEdge(edge));
   return PersistGraph();
 }
 
 Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
     const versioning::HeritageConfig& config) const {
-  std::vector<versioning::WeightSummary> summaries;
-  for (const std::string& id : ListModels()) {
-    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model, LoadModel(id));
-    versioning::WeightSummary summary;
-    summary.id = id;
-    summary.arch_signature = model->spec().Signature();
-    summary.flat_weights = model->FlattenParams();
-    summaries.push_back(std::move(summary));
-  }
-  return versioning::RecoverHeritage(summaries, config);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids = ListModelsUnlocked();
+  std::vector<versioning::WeightSummary> summaries(ids.size());
+  // Artifact load + flatten per model is pure and slot-owned: safe and
+  // deterministic to parallelize.
+  MLAKE_RETURN_NOT_OK(
+      ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
+        MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                               LoadModelUnlocked(ids[i]));
+        summaries[i].id = ids[i];
+        summaries[i].arch_signature = model->spec().Signature();
+        summaries[i].flat_weights = model->FlattenParams();
+        return Status::OK();
+      }));
+  versioning::HeritageConfig effective = config;
+  if (effective.exec.pool == nullptr) effective.exec = options_.exec;
+  return versioning::RecoverHeritage(summaries, effective);
 }
 
 // ---------------------------------------------------------------- search
 
 Result<search::QueryResult> ModelLake::Query(std::string_view mlql) const {
-  return search::ExecuteQuery(*this, mlql);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  UnlockedView view(this);
+  return search::ExecuteQuery(view, mlql);
 }
 
-Result<std::vector<search::RankedModel>> ModelLake::RelatedModels(
+Result<std::vector<search::RankedModel>> ModelLake::RelatedModelsUnlocked(
     const std::string& id, size_t k) const {
-  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query, EmbeddingFor(id));
-  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModels(query, k + 1));
+  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query, EmbeddingForUnlocked(id));
+  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModelsUnlocked(query, k + 1));
   std::vector<search::RankedModel> out;
   for (const auto& [other, distance] : neighbors) {
     if (other == id) continue;
@@ -280,10 +416,17 @@ Result<std::vector<search::RankedModel>> ModelLake::RelatedModels(
   return out;
 }
 
+Result<std::vector<search::RankedModel>> ModelLake::RelatedModels(
+    const std::string& id, size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RelatedModelsUnlocked(id, k);
+}
+
 Result<std::vector<search::RankedModel>> ModelLake::HybridSearch(
     const std::string& text, const std::string& query_model_id,
     size_t k) const {
-  // Escape single quotes for MLQL string literals.
+  // Escape single quotes for MLQL string literals. Query() takes the
+  // shared lock itself.
   auto escape = [](const std::string& s) {
     std::string out;
     for (char c : s) {
@@ -304,19 +447,32 @@ std::vector<std::string> ModelLake::AllModelIds() const {
   return ListModels();
 }
 
-Result<metadata::ModelCard> ModelLake::CardFor(const std::string& id) const {
+Result<metadata::ModelCard> ModelLake::CardForUnlocked(
+    const std::string& id) const {
   MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("card", id));
   return metadata::ModelCard::FromJson(doc);
 }
 
-Result<std::vector<float>> ModelLake::EmbeddingFor(
+Result<metadata::ModelCard> ModelLake::CardFor(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CardForUnlocked(id);
+}
+
+Result<std::vector<float>> ModelLake::EmbeddingForUnlocked(
     const std::string& id) const {
   MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("embedding", id));
   return FloatsFromJson(doc);
 }
 
-Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
-    const std::vector<float>& query, size_t k) const {
+Result<std::vector<float>> ModelLake::EmbeddingFor(
+    const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return EmbeddingForUnlocked(id);
+}
+
+Result<std::vector<std::pair<std::string, float>>>
+ModelLake::NearestModelsUnlocked(const std::vector<float>& query,
+                                 size_t k) const {
   MLAKE_ASSIGN_OR_RETURN(std::vector<index::Neighbor> hits,
                          ann_->Search(query, k));
   std::vector<std::pair<std::string, float>> out;
@@ -327,8 +483,14 @@ Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
   return out;
 }
 
-Result<std::vector<std::pair<std::string, double>>> ModelLake::KeywordScores(
-    const std::string& text, size_t k) const {
+Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
+    const std::vector<float>& query, size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return NearestModelsUnlocked(query, k);
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::KeywordScoresUnlocked(const std::string& text, size_t k) const {
   std::vector<std::pair<std::string, double>> out;
   for (const index::TextHit& hit : bm25_.Search(text, k)) {
     out.emplace_back(hit.doc_id, hit.score);
@@ -336,14 +498,21 @@ Result<std::vector<std::pair<std::string, double>>> ModelLake::KeywordScores(
   return out;
 }
 
-Result<std::vector<std::pair<std::string, double>>> ModelLake::TrainedOn(
-    const std::string& dataset, double min_overlap) const {
+Result<std::vector<std::pair<std::string, double>>> ModelLake::KeywordScores(
+    const std::string& text, size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return KeywordScoresUnlocked(text, k);
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::TrainedOnUnlocked(const std::string& dataset,
+                             double min_overlap) const {
   // Resolve the query dataset to the set of datasets overlapping it.
   std::map<std::string, double> related_datasets;
   related_datasets[dataset] = 1.0;
   if (catalog_->Contains("dataset", dataset)) {
     MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
-                           DatasetShards(dataset));
+                           DatasetShardsUnlocked(dataset));
     for (const auto& hit :
          dataset_lsh_->Query(DatasetSignature(shards), min_overlap)) {
       auto it = related_datasets.find(hit.id);
@@ -354,8 +523,8 @@ Result<std::vector<std::pair<std::string, double>>> ModelLake::TrainedOn(
   }
   // Models whose cards claim training on any related dataset.
   std::vector<std::pair<std::string, double>> out;
-  for (const std::string& id : ListModels()) {
-    auto card = CardFor(id);
+  for (const std::string& id : ListModelsUnlocked()) {
+    auto card = CardForUnlocked(id);
     if (!card.ok()) continue;
     double best = 0.0;
     for (const std::string& trained : card.ValueUnsafe().training_datasets) {
@@ -372,18 +541,64 @@ Result<std::vector<std::pair<std::string, double>>> ModelLake::TrainedOn(
   return out;
 }
 
-bool ModelLake::IsDescendantOf(const std::string& id,
-                               const std::string& ancestor) const {
+Result<std::vector<std::pair<std::string, double>>> ModelLake::TrainedOn(
+    const std::string& dataset, double min_overlap) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TrainedOnUnlocked(dataset, min_overlap);
+}
+
+bool ModelLake::IsDescendantOfUnlocked(const std::string& id,
+                                       const std::string& ancestor) const {
   if (!graph_.HasModel(ancestor)) return false;
   std::vector<std::string> descendants = graph_.Descendants(ancestor);
   return std::find(descendants.begin(), descendants.end(), id) !=
          descendants.end();
 }
 
+bool ModelLake::IsDescendantOf(const std::string& id,
+                               const std::string& ancestor) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return IsDescendantOfUnlocked(id, ancestor);
+}
+
+// ------------------------------------------------------- unlocked view
+
+std::vector<std::string> ModelLake::UnlockedView::AllModelIds() const {
+  return lake_->ListModelsUnlocked();
+}
+Result<metadata::ModelCard> ModelLake::UnlockedView::CardFor(
+    const std::string& id) const {
+  return lake_->CardForUnlocked(id);
+}
+Result<std::vector<float>> ModelLake::UnlockedView::EmbeddingFor(
+    const std::string& id) const {
+  return lake_->EmbeddingForUnlocked(id);
+}
+Result<std::vector<std::pair<std::string, float>>>
+ModelLake::UnlockedView::NearestModels(const std::vector<float>& query,
+                                       size_t k) const {
+  return lake_->NearestModelsUnlocked(query, k);
+}
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::UnlockedView::KeywordScores(const std::string& text,
+                                       size_t k) const {
+  return lake_->KeywordScoresUnlocked(text, k);
+}
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::UnlockedView::TrainedOn(const std::string& dataset,
+                                   double min_overlap) const {
+  return lake_->TrainedOnUnlocked(dataset, min_overlap);
+}
+bool ModelLake::UnlockedView::IsDescendantOf(
+    const std::string& id, const std::string& ancestor) const {
+  return lake_->IsDescendantOfUnlocked(id, ancestor);
+}
+
 // ----------------------------------------------------------- benchmarking
 
 Status ModelLake::RegisterBenchmark(const std::string& name,
                                     nn::Dataset data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (name.empty()) return Status::InvalidArgument("benchmark needs a name");
   if (data.size() == 0) return Status::InvalidArgument("empty benchmark");
   if (benchmarks_.count(name) > 0) {
@@ -394,26 +609,35 @@ Status ModelLake::RegisterBenchmark(const std::string& name,
 }
 
 std::vector<std::string> ModelLake::ListBenchmarks() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, data] : benchmarks_) names.push_back(name);
   return names;
 }
 
-Result<double> ModelLake::EvaluateModel(const std::string& id,
-                                        const std::string& benchmark) const {
+Result<double> ModelLake::EvaluateModelUnlocked(
+    const std::string& id, const std::string& benchmark) const {
   auto it = benchmarks_.find(benchmark);
   if (it == benchmarks_.end()) {
     return Status::NotFound("benchmark not registered: " + benchmark);
   }
-  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model, LoadModel(id));
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                         LoadModelUnlocked(id));
   return nn::EvaluateAccuracy(model.get(), it->second);
+}
+
+Result<double> ModelLake::EvaluateModel(const std::string& id,
+                                        const std::string& benchmark) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return EvaluateModelUnlocked(id, benchmark);
 }
 
 // ----------------------------------------------------------- applications
 
 Result<metadata::ModelCard> ModelLake::GenerateCard(
     const std::string& id) const {
-  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardFor(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardForUnlocked(id));
   MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
 
   // Intrinsics: always recoverable from the artifact.
@@ -441,12 +665,12 @@ Result<metadata::ModelCard> ModelLake::GenerateCard(
   // Inferred fields are flagged so reviewers can tell drafted values
   // from creator-provided ones.
   if (card.task.empty() || card.training_datasets.empty()) {
-    auto related = RelatedModels(id, 5);
+    auto related = RelatedModelsUnlocked(id, 5);
     if (related.ok()) {
       std::map<std::string, int> task_votes;
       std::map<std::string, int> dataset_votes;
       for (const search::RankedModel& r : related.ValueUnsafe()) {
-        auto other = CardFor(r.id);
+        auto other = CardForUnlocked(r.id);
         if (!other.ok()) continue;
         if (!other.ValueUnsafe().task.empty()) {
           ++task_votes[other.ValueUnsafe().task];
@@ -493,7 +717,7 @@ Result<metadata::ModelCard> ModelLake::GenerateCard(
       if (m.benchmark == name && m.metric == "accuracy") already = true;
     }
     if (already) continue;
-    auto acc = EvaluateModel(id, name);
+    auto acc = EvaluateModelUnlocked(id, name);
     if (acc.ok()) {
       card.metrics.push_back(
           metadata::MetricEntry{name, "accuracy", acc.ValueUnsafe()});
@@ -530,7 +754,8 @@ Result<metadata::ModelCard> ModelLake::GenerateCard(
 }
 
 Result<Json> ModelLake::AuditModel(const std::string& id) const {
-  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardFor(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, CardForUnlocked(id));
   Json report = Json::MakeObject();
   report.Set("model_id", id);
   report.Set("card_completeness", metadata::CompletenessScore(card));
@@ -572,6 +797,7 @@ Result<Json> ModelLake::AuditModel(const std::string& id) const {
 }
 
 Result<Json> ModelLake::Cite(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (!catalog_->Contains("model", id)) {
     return Status::NotFound("model not in lake: " + id);
   }
@@ -593,7 +819,7 @@ Result<Json> ModelLake::Cite(const std::string& id) const {
   for (const std::string& p : path) path_json.Append(Json(p));
   citation.Set("lineage_path", std::move(path_json));
 
-  auto card = CardFor(id);
+  auto card = CardForUnlocked(id);
   std::string creator =
       card.ok() ? card.ValueUnsafe().creator : std::string();
   citation.Set(

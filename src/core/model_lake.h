@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "embed/embedder.h"
 #include "index/hnsw_index.h"
 #include "index/inverted_index.h"
@@ -51,6 +53,20 @@ struct LakeOptions {
   /// keeps recall high down to Jaccard ~0.3 (sibling-domain overlap).
   size_t minhash_bands = 32;
   size_t minhash_rows = 2;
+
+  /// Execution context for every parallel path inside the lake:
+  /// batch-ingest embedding, index rebuild on Open, heritage recovery,
+  /// fsck. Default is serial; pass ExecutionContext::WithThreads(n) to
+  /// parallelize. All parallel paths are deterministic-by-construction
+  /// (statically partitioned, reduced in index order), so lake
+  /// contents and query results are identical at any thread count.
+  ExecutionContext exec;
+};
+
+/// One (model, card) pair of a batch ingest.
+struct IngestRequest {
+  const nn::Model* model = nullptr;
+  metadata::ModelCard card;
 };
 
 /// The model lake (paper Figure 2): content-addressed model storage, a
@@ -58,10 +74,24 @@ struct LakeOptions {
 /// search over cards, dataset-overlap search, a version graph, and the
 /// application layer (MLQL queries, related-model search, documentation
 /// generation, auditing, citation, benchmarking).
+///
+/// Thread-safety contract (the lake's first explicit one): a
+/// `std::shared_mutex` guards all in-memory and on-disk state.
+///   - Read APIs (`Query`, `RelatedModels`, `ListModels`, `NumModels`,
+///     `LoadModel`, `CardFor`, `RecoverHeritage`, audits, ...) take the
+///     lock shared: any number of threads may call them concurrently.
+///   - Mutating APIs (`IngestModel`, `IngestModels`, `UpdateCard`,
+///     `RecordEdge`, `RegisterDataset`, `RegisterBenchmark`) take it
+///     exclusive: they serialize against each other and against all
+///     readers, so a reader never observes a half-ingested batch
+///     (no torn index/catalog states).
+///   - Exceptions: `graph()`, `catalog()` and `probes()` hand out
+///     direct references and are only safe while no ingest runs
+///     concurrently; they exist for tools and tests.
 class ModelLake : public search::SearchContext {
  public:
   /// Opens (or creates) a lake at options.root, rebuilding in-memory
-  /// indices from the catalog.
+  /// indices from the catalog (parallelized over options.exec).
   static Result<std::unique_ptr<ModelLake>> Open(LakeOptions options);
 
   ModelLake(const ModelLake&) = delete;
@@ -75,16 +105,32 @@ class ModelLake : public search::SearchContext {
   Result<std::string> IngestModel(const nn::Model& model,
                                   const metadata::ModelCard& card);
 
+  /// Batch ingest: validates the whole batch up front (duplicate ids —
+  /// in the lake or within the batch — reject the batch atomically
+  /// before anything is written), then pipelines it: artifact
+  /// serialization and embedding run in parallel on `options().exec`,
+  /// catalog writes and index updates apply sequentially in batch
+  /// order, and the ANN index is extended with one bulk `Build`.
+  /// Holds the exclusive lock for the duration; readers block but
+  /// never observe a partial batch. Returns the ingested ids in batch
+  /// order.
+  Result<std::vector<std::string>> IngestModels(
+      const std::vector<IngestRequest>& batch);
+
   /// Reconstructs the live model from its stored artifact.
   Result<std::unique_ptr<nn::Model>> LoadModel(const std::string& id) const;
 
   Status UpdateCard(const metadata::ModelCard& card);
 
+  /// ListModels and NumModels share one catalog scan path under the
+  /// shared lock, so they agree with each other (and with the indices)
+  /// even while another thread's ingest batch is pending.
   std::vector<std::string> ListModels() const;
-  size_t NumModels() const { return catalog_->CountKind("model"); }
+  size_t NumModels() const;
 
-  /// Verifies every stored artifact against its digest; returns the ids
-  /// of corrupted models (empty = healthy).
+  /// Verifies every stored artifact against its digest (parallel over
+  /// options.exec); returns the ids of corrupted models (empty =
+  /// healthy).
   Result<std::vector<std::string>> FsckArtifacts() const;
 
   // ---------------------------------------------------------- datasets
@@ -101,15 +147,19 @@ class ModelLake : public search::SearchContext {
   /// Records a ground-truth derivation edge and persists the graph.
   Status RecordEdge(const versioning::VersionEdge& edge);
 
+  /// Direct reference — see the thread-safety contract above.
   const versioning::ModelGraph& graph() const { return graph_; }
 
   /// Reconstructs lineage from stored weights alone (no history).
+  /// Model loading and the O(n²) distance matrix run on options.exec
+  /// unless config.exec carries its own pool.
   Result<versioning::HeritageResult> RecoverHeritage(
       const versioning::HeritageConfig& config = {}) const;
 
   // ------------------------------------------------------------ search
 
-  /// Executes an MLQL query.
+  /// Executes an MLQL query. The shared lock is held once for the
+  /// whole plan, so the result is a consistent snapshot.
   Result<search::QueryResult> Query(std::string_view mlql) const;
 
   /// Model-as-query related-model search via the ANN index.
@@ -123,7 +173,11 @@ class ModelLake : public search::SearchContext {
       const std::string& text, const std::string& query_model_id,
       size_t k) const;
 
-  // SearchContext implementation (used by the MLQL executor).
+  // SearchContext implementation (used by the MLQL executor). Each
+  // call takes the shared lock itself; `Query` instead holds the lock
+  // once and executes against an internal unlocked view (shared_mutex
+  // is not reentrant, so nesting would deadlock against a waiting
+  // writer).
   std::vector<std::string> AllModelIds() const override;
   Result<metadata::ModelCard> CardFor(const std::string& id) const override;
   Result<std::vector<float>> EmbeddingFor(
@@ -173,21 +227,72 @@ class ModelLake : public search::SearchContext {
   storage::Catalog* catalog() { return catalog_.get(); }
 
  private:
+  /// SearchContext view without locking — what `Query` (and other
+  /// composite reads that already hold the shared lock) executes
+  /// against.
+  class UnlockedView : public search::SearchContext {
+   public:
+    explicit UnlockedView(const ModelLake* lake) : lake_(lake) {}
+    std::vector<std::string> AllModelIds() const override;
+    Result<metadata::ModelCard> CardFor(const std::string& id) const override;
+    Result<std::vector<float>> EmbeddingFor(
+        const std::string& id) const override;
+    Result<std::vector<std::pair<std::string, float>>> NearestModels(
+        const std::vector<float>& query, size_t k) const override;
+    Result<std::vector<std::pair<std::string, double>>> KeywordScores(
+        const std::string& text, size_t k) const override;
+    Result<std::vector<std::pair<std::string, double>>> TrainedOn(
+        const std::string& dataset, double min_overlap) const override;
+    bool IsDescendantOf(const std::string& id,
+                        const std::string& ancestor) const override;
+
+   private:
+    const ModelLake* lake_;
+  };
+
   explicit ModelLake(LakeOptions options) : options_(std::move(options)) {}
 
   Status Initialize();
   Status RebuildIndices();
   Status PersistGraph();
-  Status IndexModel(const std::string& id, const metadata::ModelCard& card,
-                    const std::vector<float>& embedding);
   index::MinHashSignature DatasetSignature(
       const std::vector<std::string>& shards) const;
+
+  // Unlocked implementations; callers hold the appropriate lock.
+  Status ValidateIngest(const IngestRequest& request,
+                        const std::vector<std::string>& batch_ids) const;
+  Status IndexModel(const std::string& id, const metadata::ModelCard& card);
+  Result<std::vector<std::string>> IngestModelsLocked(
+      const std::vector<IngestRequest>& batch);
+  std::vector<std::string> ListModelsUnlocked() const;
+  Result<std::unique_ptr<nn::Model>> LoadModelUnlocked(
+      const std::string& id) const;
+  Result<metadata::ModelCard> CardForUnlocked(const std::string& id) const;
+  Result<std::vector<float>> EmbeddingForUnlocked(
+      const std::string& id) const;
+  Result<std::vector<std::pair<std::string, float>>> NearestModelsUnlocked(
+      const std::vector<float>& query, size_t k) const;
+  Result<std::vector<std::pair<std::string, double>>> KeywordScoresUnlocked(
+      const std::string& text, size_t k) const;
+  Result<std::vector<std::pair<std::string, double>>> TrainedOnUnlocked(
+      const std::string& dataset, double min_overlap) const;
+  bool IsDescendantOfUnlocked(const std::string& id,
+                              const std::string& ancestor) const;
+  Result<std::vector<std::string>> DatasetShardsUnlocked(
+      const std::string& name) const;
+  Result<std::vector<search::RankedModel>> RelatedModelsUnlocked(
+      const std::string& id, size_t k) const;
+  Result<double> EvaluateModelUnlocked(const std::string& id,
+                                       const std::string& benchmark) const;
 
   LakeOptions options_;
   std::unique_ptr<storage::BlobStore> blobs_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<embed::ModelEmbedder> embedder_;
   Tensor probes_;
+
+  /// Readers/writer lock over all lake state (see class comment).
+  mutable std::shared_mutex mu_;
 
   std::unique_ptr<index::HnswIndex> ann_;
   std::vector<std::string> ann_ids_;  // ANN internal id -> model id

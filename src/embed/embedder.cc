@@ -7,6 +7,17 @@
 
 namespace mlake::embed {
 
+Result<std::vector<std::vector<float>>> ModelEmbedder::EmbedAll(
+    const std::vector<nn::Model*>& models, const ExecutionContext& exec) const {
+  std::vector<std::vector<float>> out(models.size());
+  MLAKE_RETURN_NOT_OK(
+      ParallelFor(exec, 0, models.size(), [&](size_t i) -> Status {
+        MLAKE_ASSIGN_OR_RETURN(out[i], Embed(models[i]));
+        return Status::OK();
+      }));
+  return out;
+}
+
 void L2NormalizeInPlace(std::vector<float>* v) {
   double norm_sq = 0.0;
   for (float x : *v) norm_sq += static_cast<double>(x) * x;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "nn/model.h"
 
 namespace mlake::embed {
@@ -25,6 +26,17 @@ class ModelEmbedder {
 
   /// Embedding vector; always `Dim()` long and L2-normalized.
   virtual Result<std::vector<float>> Embed(nn::Model* model) const = 0;
+
+  /// Batched embedding: one vector per model, in input order, computed
+  /// with `ParallelFor` over `exec` (each model is embedded on one
+  /// task, so results are identical at any thread count). The models
+  /// must be distinct objects — `Embed` runs a forward pass, which
+  /// mutates per-model scratch state. This is the path ingest batches
+  /// and index rebuilds use; embedding is the dominant per-model cost
+  /// after training itself.
+  Result<std::vector<std::vector<float>>> EmbedAll(
+      const std::vector<nn::Model*>& models,
+      const ExecutionContext& exec) const;
 
   virtual int64_t Dim() const = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -64,20 +65,10 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
   return current;
 }
 
-std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
-                                                         uint32_t entry,
-                                                         int ef,
-                                                         int level) const {
-  // Epoch-stamped visited set: O(1) reset between searches.
-  if (visited_stamp_.size() != external_ids_.size()) {
-    visited_stamp_.assign(external_ids_.size(), 0);
-    visit_epoch_ = 0;
-  }
-  ++visit_epoch_;
-  if (visit_epoch_ == 0) {  // wrapped
-    std::fill(visited_stamp_.begin(), visited_stamp_.end(), 0);
-    visit_epoch_ = 1;
-  }
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
+    const float* query, uint32_t entry, int ef, int level,
+    VisitedScratch* visited) const {
+  visited->NextEpoch(external_ids_.size());
 
   std::priority_queue<std::pair<float, uint32_t>,
                       std::vector<std::pair<float, uint32_t>>, Closer>
@@ -89,7 +80,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
   float d0 = DistanceTo(query, entry);
   frontier.emplace(d0, entry);
   best.emplace(d0, entry);
-  visited_stamp_[entry] = visit_epoch_;
+  visited->Visit(entry);
 
   while (!frontier.empty()) {
     auto [dist, node] = frontier.top();
@@ -98,8 +89,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
     }
     frontier.pop();
     for (uint32_t neighbor : links_[node][static_cast<size_t>(level)]) {
-      if (visited_stamp_[neighbor] == visit_epoch_) continue;
-      visited_stamp_[neighbor] = visit_epoch_;
+      if (!visited->Visit(neighbor)) continue;
       float d = DistanceTo(query, neighbor);
       if (best.size() < static_cast<size_t>(ef) || d < best.top().first) {
         frontier.emplace(d, neighbor);
@@ -133,6 +123,65 @@ void HnswIndex::ShrinkNeighbors(uint32_t node, int level, int max_degree) {
   for (int i = 0; i < max_degree; ++i) neighbors.push_back(scored[i].second);
 }
 
+uint32_t HnswIndex::AppendNode(int64_t id, const std::vector<float>& vec) {
+  uint32_t node = static_cast<uint32_t>(external_ids_.size());
+  external_ids_.push_back(id);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  int level = RandomLevel();
+  levels_.push_back(level);
+  links_.emplace_back(static_cast<size_t>(level) + 1);
+  return node;
+}
+
+HnswIndex::PlannedLinks HnswIndex::FindCandidates(
+    uint32_t node, VisitedScratch* visited) const {
+  PlannedLinks plan;
+  int level = levels_[node];
+  plan.candidates.resize(static_cast<size_t>(level) + 1);
+  const float* query = data_.data() + static_cast<int64_t>(node) * dim_;
+
+  uint32_t current = entry_point_;
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    current = GreedyClosest(query, current, l);
+  }
+  int top = std::min(level, max_level_);
+  for (int l = top; l >= 0; --l) {
+    std::vector<Candidate> candidates =
+        SearchLayer(query, current, config_.ef_construction, l, visited);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.distance < b.distance ||
+                       (a.distance == b.distance && a.node < b.node);
+              });
+    if (!candidates.empty()) current = candidates.front().node;
+    plan.candidates[static_cast<size_t>(l)] = std::move(candidates);
+  }
+  return plan;
+}
+
+void HnswIndex::ApplyLinks(uint32_t node, const PlannedLinks& plan) {
+  int level = levels_[node];
+  int top = std::min(level, max_level_);
+  for (int l = top; l >= 0; --l) {
+    const std::vector<Candidate>& candidates =
+        plan.candidates[static_cast<size_t>(l)];
+    int max_degree = (l == 0) ? 2 * config_.m : config_.m;
+    size_t take =
+        std::min(candidates.size(), static_cast<size_t>(config_.m));
+    for (size_t i = 0; i < take; ++i) {
+      uint32_t neighbor = candidates[i].node;
+      links_[node][static_cast<size_t>(l)].push_back(neighbor);
+      links_[neighbor][static_cast<size_t>(l)].push_back(node);
+      ShrinkNeighbors(neighbor, l, max_degree);
+    }
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
 Status HnswIndex::Add(int64_t id, const std::vector<float>& vec) {
   if (static_cast<int64_t>(vec.size()) != dim_) {
     return Status::InvalidArgument("HnswIndex: vector dim mismatch");
@@ -144,50 +193,68 @@ Status HnswIndex::Add(int64_t id, const std::vector<float>& vec) {
     }
   }
 
-  uint32_t node = static_cast<uint32_t>(external_ids_.size());
-  external_ids_.push_back(id);
-  data_.insert(data_.end(), vec.begin(), vec.end());
-  int level = RandomLevel();
-  levels_.push_back(level);
-  links_.emplace_back(static_cast<size_t>(level) + 1);
-
-  const float* query = vec.data();
-
+  uint32_t node = AppendNode(id, vec);
   if (node == 0) {
-    max_level_ = level;
+    max_level_ = levels_[0];
     entry_point_ = 0;
     return Status::OK();
   }
+  VisitedScratch visited;
+  ApplyLinks(node, FindCandidates(node, &visited));
+  return Status::OK();
+}
 
-  uint32_t current = entry_point_;
-  // Greedy descent through layers above the new node's level.
-  for (int l = max_level_; l > level; --l) {
-    current = GreedyClosest(query, current, l);
+Status HnswIndex::Build(const std::vector<int64_t>& ids,
+                        const std::vector<std::vector<float>>& vecs,
+                        const ExecutionContext& exec) {
+  if (ids.size() != vecs.size()) {
+    return Status::InvalidArgument("HnswIndex::Build: ids/vecs size mismatch");
   }
-
-  int top = std::min(level, max_level_);
-  for (int l = top; l >= 0; --l) {
-    std::vector<Candidate> candidates =
-        SearchLayer(query, current, config_.ef_construction, l);
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.distance < b.distance;
-              });
-    int max_degree = (l == 0) ? 2 * config_.m : config_.m;
-    size_t take = std::min(candidates.size(),
-                           static_cast<size_t>(config_.m));
-    for (size_t i = 0; i < take; ++i) {
-      uint32_t neighbor = candidates[i].node;
-      links_[node][static_cast<size_t>(l)].push_back(neighbor);
-      links_[neighbor][static_cast<size_t>(l)].push_back(node);
-      ShrinkNeighbors(neighbor, l, max_degree);
+  std::unordered_set<int64_t> seen(external_ids_.begin(),
+                                   external_ids_.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (static_cast<int64_t>(vecs[i].size()) != dim_) {
+      return Status::InvalidArgument("HnswIndex::Build: vector dim mismatch");
     }
-    if (!candidates.empty()) current = candidates.front().node;
+    if (!seen.insert(ids[i]).second) {
+      return Status::AlreadyExists(
+          StrFormat("id %lld already indexed",
+                    static_cast<long long>(ids[i])));
+    }
   }
 
-  if (level > max_level_) {
-    max_level_ = level;
-    entry_point_ = node;
+  // Append storage and draw levels up front, in input order — the same
+  // rng consumption as sequential Adds.
+  uint32_t first = static_cast<uint32_t>(external_ids_.size());
+  for (size_t i = 0; i < ids.size(); ++i) AppendNode(ids[i], vecs[i]);
+  uint32_t total = static_cast<uint32_t>(external_ids_.size());
+
+  uint32_t next = first;
+  if (next == 0 && next < total) {
+    // Seed the graph: the first element has nothing to link against.
+    max_level_ = levels_[0];
+    entry_point_ = 0;
+    ++next;
+  }
+
+  // Size-doubling waves: wave w inserts min(remaining, linked-so-far)
+  // nodes (at least 1). Candidates are searched against the graph as
+  // of the wave start, so the search phase is read-only and
+  // embarrassingly parallel; links are then applied in index order.
+  // The schedule depends only on node counts — not on `exec` — which
+  // is what makes Build output thread-count-invariant.
+  while (next < total) {
+    uint32_t wave = std::max(1u, next);  // = nodes already linked
+    wave = std::min(wave, total - next);
+    std::vector<PlannedLinks> plans(wave);
+    MLAKE_RETURN_NOT_OK(ParallelFor(exec, 0, wave, [&](size_t i) {
+      VisitedScratch visited;
+      plans[i] = FindCandidates(next + static_cast<uint32_t>(i), &visited);
+    }));
+    for (uint32_t i = 0; i < wave; ++i) {
+      ApplyLinks(next + i, plans[i]);
+    }
+    next += wave;
   }
   return Status::OK();
 }
@@ -205,11 +272,13 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
     current = GreedyClosest(query.data(), current, l);
   }
   int ef = std::max(config_.ef_search, static_cast<int>(k));
+  VisitedScratch visited;
   std::vector<Candidate> candidates =
-      SearchLayer(query.data(), current, ef, 0);
+      SearchLayer(query.data(), current, ef, 0, &visited);
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
-              return a.distance < b.distance;
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.node < b.node);
             });
   size_t take = std::min(k, candidates.size());
   out.reserve(take);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "index/vector_index.h"
 
 namespace mlake::index {
@@ -30,17 +31,42 @@ struct HnswConfig {
 /// best-first beam (width ef) on layer 0. Construction links each new
 /// element to its M nearest candidates per layer, pruning neighbor
 /// lists back to the degree bound.
+///
+/// Thread-safety contract:
+///   - `Search` is const and carries no hidden mutable state (the
+///     visited set is per-call scratch); any number of threads may
+///     search concurrently.
+///   - `Add`/`Build` mutate the graph and require exclusive access —
+///     no concurrent `Search` or other mutation. The lake enforces
+///     this with its reader/writer lock.
 class HnswIndex : public VectorIndex {
  public:
   explicit HnswIndex(int64_t dim, HnswConfig config = {});
 
   Status Add(int64_t id, const std::vector<float>& vec) override;
+
+  /// Bulk construction on `exec`'s pool. The batch is appended in
+  /// input order and the result is *identical at any thread count*
+  /// (including serial): nodes are processed in fixed, size-doubling
+  /// waves; within a wave every node's neighbor candidates are
+  /// searched in parallel against the graph as of the wave start
+  /// (read-only), then links are applied sequentially in index order.
+  /// Level draws consume the same rng stream as an equivalent
+  /// sequence of `Add` calls. The wave schedule depends only on
+  /// element counts, never on scheduling, so `Build` is
+  /// deterministic-by-construction; its graph may differ (slightly,
+  /// and deterministically) from the one a pure `Add` loop builds.
+  Status Build(const std::vector<int64_t>& ids,
+               const std::vector<std::vector<float>>& vecs,
+               const ExecutionContext& exec);
+
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
                                        size_t k) const override;
   size_t Size() const override { return external_ids_.size(); }
   int64_t dim() const override { return dim_; }
 
-  /// Adjusts the search beam width (recall/latency knob).
+  /// Adjusts the search beam width (recall/latency knob). Not
+  /// thread-safe against concurrent Search.
   void set_ef_search(int ef) { config_.ef_search = ef; }
   const HnswConfig& config() const { return config_; }
 
@@ -53,6 +79,38 @@ class HnswIndex : public VectorIndex {
     uint32_t node;
   };
 
+  /// Per-search visited set (epoch-stamped for O(1) reuse across the
+  /// layer descents of one query). Owned by the caller's stack frame,
+  /// which is what makes concurrent `Search` safe.
+  struct VisitedScratch {
+    std::vector<uint32_t> stamp;
+    uint32_t epoch = 0;
+
+    /// Starts a fresh visit epoch over `n` nodes.
+    void NextEpoch(size_t n) {
+      if (stamp.size() != n) {
+        stamp.assign(n, 0);
+        epoch = 0;
+      }
+      if (++epoch == 0) {  // wrapped
+        std::fill(stamp.begin(), stamp.end(), 0);
+        epoch = 1;
+      }
+    }
+    bool Visit(uint32_t node) {
+      if (stamp[node] == epoch) return false;
+      stamp[node] = epoch;
+      return true;
+    }
+  };
+
+  /// Per-layer neighbor candidates for one node, found against a fixed
+  /// graph snapshot; the unit of Build's parallel phase.
+  struct PlannedLinks {
+    /// candidates[l] = sorted candidates on layer l (l <= node level).
+    std::vector<std::vector<Candidate>> candidates;
+  };
+
   float DistanceTo(const float* query, uint32_t node) const;
 
   /// Greedy single-entry descent on one layer.
@@ -62,7 +120,20 @@ class HnswIndex : public VectorIndex {
   /// Best-first beam search on one layer, returning up to `ef`
   /// candidates (unsorted).
   std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
-                                     int ef, int level) const;
+                                     int ef, int level,
+                                     VisitedScratch* visited) const;
+
+  /// Appends vector storage + level for one element (no links yet).
+  uint32_t AppendNode(int64_t id, const std::vector<float>& vec);
+
+  /// Searches neighbor candidates for `node` against the currently
+  /// linked graph (read-only; safe to run concurrently for distinct
+  /// nodes as long as no links mutate).
+  PlannedLinks FindCandidates(uint32_t node, VisitedScratch* visited) const;
+
+  /// Wires `node` into the graph from planned candidates and updates
+  /// the entry point. Mutates links; callers serialize.
+  void ApplyLinks(uint32_t node, const PlannedLinks& plan);
 
   /// Prunes a neighbor candidate set to the closest `max_degree`.
   void ShrinkNeighbors(uint32_t node, int level, int max_degree);
@@ -81,9 +152,6 @@ class HnswIndex : public VectorIndex {
   std::vector<std::vector<std::vector<uint32_t>>> links_;
   int max_level_ = -1;
   uint32_t entry_point_ = 0;
-
-  mutable std::vector<uint32_t> visited_stamp_;
-  mutable uint32_t visit_epoch_ = 0;
 };
 
 }  // namespace mlake::index

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "nn/transform.h"
 
 namespace mlake::lakegen {
@@ -108,6 +109,62 @@ metadata::ModelCard MakeTruthCard(const std::string& id,
   return card;
 }
 
+struct TaskEntry {
+  std::string family;
+  std::string domain;
+  std::string dataset;
+  nn::SyntheticTask task;
+  nn::Dataset train;
+};
+
+/// Everything one derived model needs, decided before any training runs.
+/// `parent_chain_pos` indexes the owning base's local chain (0 = the
+/// base itself), so a subtree never reaches outside its own task.
+struct ChildPlan {
+  size_t parent_chain_pos = 0;
+  size_t task_index = 0;
+  uint64_t train_seed = 0;
+  size_t kind = 0;  // index into the transformation mix
+  versioning::EdgeType edge = versioning::EdgeType::kFinetune;
+  std::string id;
+  Json edge_params;
+  // Per-kind planned randomness.
+  int64_t lora_rank = 2;
+  Rng probe_rng{0};
+  int64_t edit_target = 0;
+  double prune_fraction = 0.0;
+  Rng weight_noise_rng{0};
+  Rng student_rng{0};
+  // Card randomness.
+  Rng card_rng{0};
+  Rng noise_rng{0};
+};
+
+/// One base subtree = one parallel task.
+struct BasePlan {
+  size_t task_index = 0;
+  nn::ArchSpec arch;
+  Rng init_rng{0};
+  uint64_t train_seed = 0;
+  std::string id;
+  Rng card_rng{0};
+  Rng noise_rng{0};
+  std::vector<ChildPlan> children;
+};
+
+/// A trained model plus everything the ingest/bookkeeping phase needs.
+struct BuiltModel {
+  std::string id;
+  size_t task_index = 0;
+  std::string parent;  // empty for bases
+  versioning::EdgeType edge = versioning::EdgeType::kUnknown;
+  Json edge_params;
+  double accuracy = 0.0;
+  metadata::ModelCard truth_card;
+  metadata::ModelCard visible_card;
+  std::unique_ptr<nn::Model> model;
+};
+
 }  // namespace
 
 Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
@@ -128,14 +185,7 @@ Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
   Rng rng(config.seed);
   LakeGenResult result;
 
-  // ----- tasks & datasets -----
-  struct TaskEntry {
-    std::string family;
-    std::string domain;
-    std::string dataset;
-    nn::SyntheticTask task;
-    nn::Dataset train;
-  };
+  // ----- tasks & datasets (sequential: rng-ordered data sampling) -----
   std::vector<TaskEntry> tasks;
   for (size_t f = 0; f < config.num_families; ++f) {
     const std::string& family = TaskFamilyPool()[f];
@@ -171,195 +221,264 @@ Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
   std::vector<nn::ArchSpec> arch_pool =
       ArchPool(config.input_dim, config.num_classes);
 
-  // All (model, task index) generated so far, for stitching partners and
-  // grandchild selection.
-  struct Generated {
-    std::string id;
-    size_t task_index;
-    std::unique_ptr<nn::Model> model;
-  };
-  std::vector<Generated> population;
-
-  auto ingest = [&](const std::string& id, nn::Model* model,
-                    const TaskEntry& task, const std::string& parent,
-                    versioning::EdgeType edge,
-                    const nn::TrainConfig& train_config,
-                    const Json& edge_params) -> Status {
-    double acc = 0.0;
-    auto it = result.test_sets.find(task.dataset);
-    if (it != result.test_sets.end()) {
-      acc = nn::EvaluateAccuracy(model, it->second);
-    }
-    Rng card_rng = rng.Fork();
-    metadata::ModelCard truth =
-        MakeTruthCard(id, task.family, task.domain, *model, train_config,
-                      acc, parent, edge, &card_rng);
-    result.truth_cards[id] = truth;
-    metadata::ModelCard visible = truth;
-    if (config.noise_cards) {
-      Rng noise_rng = rng.Fork();
-      visible = metadata::NoiseCard(truth, config.card_noise,
-                                    result.families, &noise_rng);
-    }
-    MLAKE_RETURN_NOT_OK(lake->IngestModel(*model, visible).status());
-
-    result.truth_graph.AddModel(id);
-    GeneratedModel gen;
-    gen.id = id;
-    gen.task_family = task.family;
-    gen.dataset = task.dataset;
-    gen.parent = parent;
-    gen.edge = edge;
-    gen.test_accuracy = acc;
-    result.models.push_back(gen);
-    if (!parent.empty()) {
-      versioning::VersionEdge truth_edge;
-      truth_edge.parent = parent;
-      truth_edge.child = id;
-      truth_edge.type = edge;
-      truth_edge.params = edge_params;
-      MLAKE_RETURN_NOT_OK(result.truth_graph.AddEdge(truth_edge));
-      if (config.record_lineage_in_lake) {
-        MLAKE_RETURN_NOT_OK(lake->RecordEdge(truth_edge));
-      }
-    }
-    return Status::OK();
-  };
-
-  // ----- base models -----
+  // ----- planning (sequential: the ONLY place the seed rng is drawn
+  // from, so the plan — ids, architectures, transformation mix, forked
+  // task rngs — is a pure function of config.seed, independent of how
+  // many threads later execute it) -----
+  std::vector<BasePlan> plans(config.num_bases);
   for (size_t b = 0; b < config.num_bases; ++b) {
-    size_t task_index = b % tasks.size();
-    const TaskEntry& task = tasks[task_index];
-    const nn::ArchSpec& arch =
+    BasePlan& plan = plans[b];
+    plan.task_index = b % tasks.size();
+    const TaskEntry& task = tasks[plan.task_index];
+    plan.arch =
         arch_pool[static_cast<size_t>(rng.NextBelow(arch_pool.size()))];
-    Rng init_rng = rng.Fork();
-    MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
-                           nn::BuildModel(arch, &init_rng));
-    nn::TrainConfig train_config = config.base_train;
-    train_config.seed = rng.NextU64();
-    MLAKE_RETURN_NOT_OK(
-        nn::Train(model.get(), task.train, train_config).status());
-    std::string id = StrFormat("%s/%s-%s-base-%zu",
-                               task.family.c_str(), task.domain.c_str(),
-                               model->spec().family.c_str(), b);
-    MLAKE_RETURN_NOT_OK(ingest(id, model.get(), task, "",
-                               versioning::EdgeType::kUnknown, train_config,
-                               Json::MakeObject()));
-    population.push_back(Generated{id, task_index, std::move(model)});
+    plan.init_rng = rng.Fork();
+    plan.train_seed = rng.NextU64();
+    plan.id = StrFormat("%s/%s-%s-base-%zu", task.family.c_str(),
+                        task.domain.c_str(), plan.arch.family.c_str(), b);
+    plan.card_rng = rng.Fork();
+    if (config.noise_cards) plan.noise_rng = rng.Fork();
   }
-  size_t num_bases = population.size();
-
-  // ----- derived models -----
-  for (size_t b = 0; b < num_bases; ++b) {
+  for (size_t b = 0; b < config.num_bases; ++b) {
+    BasePlan& plan = plans[b];
     size_t num_children = static_cast<size_t>(
         rng.UniformInt(static_cast<int64_t>(config.children_per_base_min),
                        static_cast<int64_t>(config.children_per_base_max)));
-    std::vector<size_t> lineage_pool{b};  // candidate parents in population
+    // Chain positions: 0 is the base; child c lands at position c + 1.
+    std::vector<std::string> chain_ids{plan.id};
+    std::vector<size_t> chain_tasks{plan.task_index};
     for (size_t c = 0; c < num_children; ++c) {
-      size_t parent_pos = lineage_pool[0];
-      if (lineage_pool.size() > 1 && rng.Bernoulli(config.grandchild_rate)) {
-        parent_pos = lineage_pool[static_cast<size_t>(
-            rng.NextBelow(lineage_pool.size() - 1) + 1)];
+      ChildPlan child;
+      child.parent_chain_pos = 0;
+      if (chain_ids.size() > 1 && rng.Bernoulli(config.grandchild_rate)) {
+        child.parent_chain_pos = static_cast<size_t>(
+            rng.NextBelow(chain_ids.size() - 1) + 1);
       }
-      Generated& parent = population[parent_pos];
-      std::unique_ptr<nn::Model> child = parent.model->Clone();
+      size_t parent_task_index = chain_tasks[child.parent_chain_pos];
+      const TaskEntry& parent_task = tasks[parent_task_index];
 
       // Pick the child's training task: usually a sibling domain of the
       // same family (the classic "domain adaptation" fine-tune).
-      size_t task_index = parent.task_index;
-      const TaskEntry& parent_task = tasks[parent.task_index];
+      child.task_index = parent_task_index;
       std::vector<size_t> siblings;
       for (size_t t = 0; t < tasks.size(); ++t) {
-        if (tasks[t].family == parent_task.family && t != parent.task_index) {
+        if (tasks[t].family == parent_task.family &&
+            t != parent_task_index) {
           siblings.push_back(t);
         }
       }
       if (!siblings.empty() && rng.Bernoulli(0.6)) {
-        task_index = siblings[static_cast<size_t>(
+        child.task_index = siblings[static_cast<size_t>(
             rng.NextBelow(siblings.size()))];
       }
-      const TaskEntry& task = tasks[task_index];
 
-      nn::TrainConfig ft = config.finetune_train;
-      ft.seed = rng.NextU64();
-      Json params = Json::MakeObject();
-      params.Set("dataset", task.dataset);
+      child.train_seed = rng.NextU64();
+      child.edge_params = Json::MakeObject();
+      child.edge_params.Set("dataset", tasks[child.task_index].dataset);
 
       // Transformation mix.
-      static const char* kKinds[] = {"finetune", "lora", "edit",
-                                     "prune",    "noise", "distill"};
-      size_t kind = rng.Categorical({0.34, 0.22, 0.12, 0.12, 0.10, 0.10});
-      versioning::EdgeType edge = versioning::EdgeType::kFinetune;
+      child.kind = rng.Categorical({0.34, 0.22, 0.12, 0.12, 0.10, 0.10});
       std::string suffix;
-      switch (kind) {
-        case 0: {  // full fine-tune
-          MLAKE_RETURN_NOT_OK(
-              nn::Finetune(child.get(), task.train, ft).status());
-          edge = versioning::EdgeType::kFinetune;
+      switch (child.kind) {
+        case 0:  // full fine-tune
+          child.edge = versioning::EdgeType::kFinetune;
           suffix = "ft";
           break;
-        }
-        case 1: {  // LoRA
-          int64_t rank = rng.Bernoulli(0.5) ? 2 : 4;
-          params.Set("rank", rank);
-          MLAKE_RETURN_NOT_OK(
-              nn::LoraFinetune(child.get(), task.train, rank, 1.0f, ft)
-                  .status());
-          edge = versioning::EdgeType::kLora;
+        case 1:  // LoRA
+          child.lora_rank = rng.Bernoulli(0.5) ? 2 : 4;
+          child.edge_params.Set("rank", child.lora_rank);
+          child.edge = versioning::EdgeType::kLora;
           suffix = "lora";
           break;
-        }
-        case 2: {  // model edit
-          Rng probe_rng = rng.Fork();
-          Tensor probe = Tensor::RandomNormal({1, config.input_dim},
-                                              &probe_rng, 1.2f);
-          int64_t target = static_cast<int64_t>(
+        case 2:  // model edit
+          child.probe_rng = rng.Fork();
+          child.edit_target = static_cast<int64_t>(
               rng.NextBelow(static_cast<uint64_t>(config.num_classes)));
-          params.Set("target_class", target);
-          MLAKE_RETURN_NOT_OK(
-              nn::RankOneEdit(child.get(), probe, target, 6.0f).status());
-          edge = versioning::EdgeType::kEdit;
+          child.edge_params.Set("target_class", child.edit_target);
+          child.edge = versioning::EdgeType::kEdit;
           suffix = "edit";
           break;
-        }
-        case 3: {  // pruning
-          double fraction = rng.Uniform(0.15, 0.4);
-          params.Set("fraction", fraction);
-          MLAKE_RETURN_NOT_OK(
-              nn::MagnitudePrune(child.get(), fraction).status());
-          edge = versioning::EdgeType::kPrune;
+        case 3:  // pruning
+          child.prune_fraction = rng.Uniform(0.15, 0.4);
+          child.edge_params.Set("fraction", child.prune_fraction);
+          child.edge = versioning::EdgeType::kPrune;
           suffix = "prune";
           break;
-        }
-        case 4: {  // weight noise ("someone else's continued training")
-          Rng noise_rng = rng.Fork();
-          nn::AddWeightNoise(child.get(), 0.05, &noise_rng);
-          edge = versioning::EdgeType::kNoise;
+        case 4:  // weight noise ("someone else's continued training")
+          child.weight_noise_rng = rng.Fork();
+          child.edge = versioning::EdgeType::kNoise;
           suffix = "noise";
           break;
-        }
-        case 5: {  // distillation into a fresh same-spec student
-          Rng student_rng = rng.Fork();
-          auto student = nn::Distill(parent.model.get(),
-                                     parent.model->spec(), task.train.x,
-                                     2.0f, ft, &student_rng);
-          MLAKE_RETURN_NOT_OK(student.status());
-          child = student.MoveValueUnsafe();
-          edge = versioning::EdgeType::kDistill;
+        case 5:  // distillation into a fresh same-spec student
+          child.student_rng = rng.Fork();
+          child.edge = versioning::EdgeType::kDistill;
           suffix = "distill";
           break;
-        }
         default:
           break;
       }
-      (void)kKinds;
+      child.id = StrFormat("%s-%s%zu",
+                           chain_ids[child.parent_chain_pos].c_str(),
+                           suffix.c_str(), c);
+      child.card_rng = rng.Fork();
+      if (config.noise_cards) child.noise_rng = rng.Fork();
 
-      std::string id = StrFormat("%s-%s%zu", parent.id.c_str(),
-                                 suffix.c_str(), c);
-      MLAKE_RETURN_NOT_OK(ingest(id, child.get(), task, parent.id, edge,
-                                 ft, params));
-      population.push_back(Generated{id, task_index, std::move(child)});
-      lineage_pool.push_back(population.size() - 1);
+      chain_ids.push_back(child.id);
+      chain_tasks.push_back(child.task_index);
+      plan.children.push_back(std::move(child));
+    }
+  }
+
+  // ----- execution (parallel: one task per base subtree; tasks touch
+  // only their own plan, their own output slot, and read-only shared
+  // task data) -----
+  auto evaluate = [&result](nn::Model* model,
+                            const std::string& dataset) -> double {
+    auto it = result.test_sets.find(dataset);
+    if (it == result.test_sets.end()) return 0.0;
+    return nn::EvaluateAccuracy(model, it->second);
+  };
+  auto make_cards = [&config, &result, &tasks](
+                        BuiltModel* out, const nn::TrainConfig& tc,
+                        Rng card_rng, Rng noise_rng) {
+    const TaskEntry& task = tasks[out->task_index];
+    out->truth_card =
+        MakeTruthCard(out->id, task.family, task.domain, *out->model, tc,
+                      out->accuracy, out->parent, out->edge, &card_rng);
+    out->visible_card = out->truth_card;
+    if (config.noise_cards) {
+      out->visible_card = metadata::NoiseCard(
+          out->truth_card, config.card_noise, result.families, &noise_rng);
+    }
+  };
+
+  std::vector<std::vector<BuiltModel>> built(plans.size());
+  MLAKE_RETURN_NOT_OK(ParallelFor(
+      lake->options().exec, 0, plans.size(), [&](size_t b) -> Status {
+        const BasePlan& plan = plans[b];
+        std::vector<BuiltModel>& chain = built[b];
+
+        // Base.
+        BuiltModel base;
+        base.id = plan.id;
+        base.task_index = plan.task_index;
+        base.edge_params = Json::MakeObject();
+        Rng init_rng = plan.init_rng;
+        MLAKE_ASSIGN_OR_RETURN(base.model,
+                               nn::BuildModel(plan.arch, &init_rng));
+        nn::TrainConfig tc = config.base_train;
+        tc.seed = plan.train_seed;
+        MLAKE_RETURN_NOT_OK(
+            nn::Train(base.model.get(), tasks[plan.task_index].train, tc)
+                .status());
+        base.accuracy =
+            evaluate(base.model.get(), tasks[plan.task_index].dataset);
+        make_cards(&base, tc, plan.card_rng, plan.noise_rng);
+        chain.push_back(std::move(base));
+
+        // Children, in chain order (each may derive from an earlier
+        // chain entry).
+        for (const ChildPlan& cp : plan.children) {
+          BuiltModel out;
+          out.id = cp.id;
+          out.task_index = cp.task_index;
+          out.parent = chain[cp.parent_chain_pos].id;
+          out.edge = cp.edge;
+          out.edge_params = cp.edge_params;
+          nn::Model* parent_model = chain[cp.parent_chain_pos].model.get();
+          out.model = parent_model->Clone();
+
+          const TaskEntry& task = tasks[cp.task_index];
+          nn::TrainConfig ft = config.finetune_train;
+          ft.seed = cp.train_seed;
+          switch (cp.kind) {
+            case 0: {
+              MLAKE_RETURN_NOT_OK(
+                  nn::Finetune(out.model.get(), task.train, ft).status());
+              break;
+            }
+            case 1: {
+              MLAKE_RETURN_NOT_OK(nn::LoraFinetune(out.model.get(),
+                                                   task.train, cp.lora_rank,
+                                                   1.0f, ft)
+                                      .status());
+              break;
+            }
+            case 2: {
+              Rng probe_rng = cp.probe_rng;
+              Tensor probe = Tensor::RandomNormal({1, config.input_dim},
+                                                  &probe_rng, 1.2f);
+              MLAKE_RETURN_NOT_OK(nn::RankOneEdit(out.model.get(), probe,
+                                                  cp.edit_target, 6.0f)
+                                      .status());
+              break;
+            }
+            case 3: {
+              MLAKE_RETURN_NOT_OK(
+                  nn::MagnitudePrune(out.model.get(), cp.prune_fraction)
+                      .status());
+              break;
+            }
+            case 4: {
+              Rng noise_rng = cp.weight_noise_rng;
+              nn::AddWeightNoise(out.model.get(), 0.05, &noise_rng);
+              break;
+            }
+            case 5: {
+              Rng student_rng = cp.student_rng;
+              auto student =
+                  nn::Distill(parent_model, parent_model->spec(),
+                              task.train.x, 2.0f, ft, &student_rng);
+              MLAKE_RETURN_NOT_OK(student.status());
+              out.model = student.MoveValueUnsafe();
+              break;
+            }
+            default:
+              break;
+          }
+          out.accuracy = evaluate(out.model.get(), task.dataset);
+          make_cards(&out, ft, cp.card_rng, cp.noise_rng);
+          chain.push_back(std::move(out));
+        }
+        return Status::OK();
+      }));
+
+  // ----- ingest & bookkeeping (sequential, plan order: one batched
+  // ingest, then ground-truth recording) -----
+  std::vector<core::IngestRequest> batch;
+  for (const std::vector<BuiltModel>& chain : built) {
+    for (const BuiltModel& m : chain) {
+      core::IngestRequest request;
+      request.model = m.model.get();
+      request.card = m.visible_card;
+      batch.push_back(std::move(request));
+    }
+  }
+  MLAKE_RETURN_NOT_OK(lake->IngestModels(batch).status());
+
+  for (const std::vector<BuiltModel>& chain : built) {
+    for (const BuiltModel& m : chain) {
+      result.truth_cards[m.id] = m.truth_card;
+      result.truth_graph.AddModel(m.id);
+      GeneratedModel gen;
+      gen.id = m.id;
+      gen.task_family = tasks[m.task_index].family;
+      gen.dataset = tasks[m.task_index].dataset;
+      gen.parent = m.parent;
+      gen.edge = m.edge;
+      gen.test_accuracy = m.accuracy;
+      result.models.push_back(gen);
+      if (!m.parent.empty()) {
+        versioning::VersionEdge truth_edge;
+        truth_edge.parent = m.parent;
+        truth_edge.child = m.id;
+        truth_edge.type = m.edge;
+        truth_edge.params = m.edge_params;
+        MLAKE_RETURN_NOT_OK(result.truth_graph.AddEdge(truth_edge));
+        if (config.record_lineage_in_lake) {
+          MLAKE_RETURN_NOT_OK(lake->RecordEdge(truth_edge));
+        }
+      }
     }
   }
 

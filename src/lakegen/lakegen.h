@@ -93,7 +93,11 @@ struct LakeGenResult {
 };
 
 /// Populates `lake` with a synthetic model population. Deterministic
-/// given config.seed.
+/// given config.seed at ANY thread count: every random draw happens in
+/// a sequential planning pass (forked rngs are captured per task), then
+/// base subtrees — train the base, derive its child chain — execute in
+/// parallel on lake->options().exec, and the finished population is
+/// ingested as one ordered batch.
 Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
                                    const LakeGenConfig& config);
 

@@ -145,9 +145,12 @@ Result<HeritageResult> RecoverHeritage(
       result.num_trees += n;
       continue;
     }
-    // Dense pairwise distances within the group.
+    // Dense pairwise distances within the group, upper triangle
+    // parallelized by row: the task for row i owns every cell (i, j)
+    // and its mirror (j, i) for j > i, so writes are disjoint and the
+    // matrix is bitwise identical at any thread count.
     std::vector<double> dist(n * n, 0.0);
-    for (size_t i = 0; i < n; ++i) {
+    MLAKE_RETURN_NOT_OK(ParallelFor(config.exec, 0, n, [&](size_t i) {
       for (size_t j = i + 1; j < n; ++j) {
         double d = WeightDistance(models[members[i]].flat_weights,
                                   models[members[j]].flat_weights,
@@ -155,7 +158,7 @@ Result<HeritageResult> RecoverHeritage(
         dist[i * n + j] = d;
         dist[j * n + i] = d;
       }
-    }
+    }));
     std::vector<MstEdge> mst = PrimMst(dist, n);
 
     // Cut improbably long edges.
@@ -207,9 +210,9 @@ Result<HeritageResult> RecoverHeritage(
     // Per-node kurtosis (only needed for the kurtosis root heuristic).
     std::vector<double> kurtosis(n, 0.0);
     if (config.root_heuristic == "kurtosis") {
-      for (size_t i = 0; i < n; ++i) {
+      MLAKE_RETURN_NOT_OK(ParallelFor(config.exec, 0, n, [&](size_t i) {
         kurtosis[i] = WeightKurtosis(models[members[i]].flat_weights);
-      }
+      }));
     }
 
     for (const auto& [rep, comp_members] : comps) {

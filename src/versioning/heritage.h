@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 #include "versioning/model_graph.h"
 
@@ -32,6 +33,11 @@ struct HeritageConfig {
   /// of Horwitz et al. [56]); "hub" roots at the max-degree/medoid node
   /// (bases accumulate many direct children).
   std::string root_heuristic = "kurtosis";
+  /// Execution context for the O(n²) pairwise distance matrix and the
+  /// per-node kurtosis pass (the two hot loops of recovery); each
+  /// (i, j) pair is computed on the task owning row min(i, j), so the
+  /// matrix is identical at any thread count. Default: serial.
+  ExecutionContext exec;
 };
 
 /// Recovered lineage with per-edge confidence.

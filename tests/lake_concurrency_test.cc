@@ -1,0 +1,231 @@
+// Stress test of the ModelLake thread-safety contract: concurrent
+// readers (Query, RelatedModels, ListModels/NumModels, CardFor,
+// LoadModel) against batch ingests on other threads. The shared_mutex
+// contract promises readers never observe a half-ingested batch: every
+// id a reader can see has a card, an embedding, and a loadable
+// artifact, and post-ingest the catalog and every index agree.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "core/model_lake.h"
+#include "nn/trainer.h"
+
+namespace mlake::core {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+class LakeConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-concurrency");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+    LakeOptions options;
+    options.root = JoinPath(dir_, "lake");
+    options.input_dim = kDim;
+    options.num_classes = kClasses;
+    options.probe_count = 8;
+    // The lake's own pool: ingest batches parallelize inside while the
+    // exclusive lock is held, concurrently with reader threads outside.
+    options.exec = ExecutionContext::WithThreads(2);
+    lake_ = ModelLake::Open(options).MoveValueUnsafe();
+  }
+  void TearDown() override {
+    lake_.reset();
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  std::unique_ptr<nn::Model> TrainedModel(uint64_t seed) {
+    nn::TaskSpec spec;
+    spec.family_id = "task";
+    spec.domain_id = "domain";
+    spec.dim = kDim;
+    spec.num_classes = kClasses;
+    Rng data_rng(seed);
+    nn::Dataset data =
+        nn::SyntheticTask::Make(spec).Sample(64, &data_rng);
+    Rng init_rng(seed + 1);
+    auto model =
+        nn::BuildModel(nn::MlpSpec(kDim, {12}, kClasses), &init_rng)
+            .MoveValueUnsafe();
+    nn::TrainConfig config;
+    config.epochs = 2;
+    MLAKE_CHECK(nn::Train(model.get(), data, config).ok());
+    return model;
+  }
+
+  metadata::ModelCard Card(const std::string& id) {
+    metadata::ModelCard card;
+    card.model_id = id;
+    card.name = id;
+    card.task = "task";
+    card.training_datasets = {"task/domain"};
+    card.creator = "stress-suite";
+    return card;
+  }
+
+  std::string dir_;
+  std::unique_ptr<ModelLake> lake_;
+};
+
+TEST_F(LakeConcurrencyTest, ReadersDuringBatchIngest) {
+  // Seed population so readers have something to chew on from t=0.
+  std::vector<std::unique_ptr<nn::Model>> seed_models;
+  std::vector<IngestRequest> seed_batch;
+  for (int i = 0; i < 4; ++i) {
+    seed_models.push_back(TrainedModel(100 + i));
+    IngestRequest request;
+    request.model = seed_models.back().get();
+    request.card = Card("seed-" + std::to_string(i));
+    seed_batch.push_back(std::move(request));
+  }
+  ASSERT_TRUE(lake_->IngestModels(seed_batch).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0};
+  std::atomic<int> failures{0};
+
+  auto reader = [&]() {
+    size_t last_count = 0;
+    while (!stop.load()) {
+      // Pause between iterations: glibc's shared_mutex prefers readers,
+      // so readers that re-acquire back-to-back can starve the ingest
+      // writer outright on small machines (a property of the lock, not
+      // a lake bug — real readers are not 100%-duty-cycle loops).
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      // Counts only grow (ingest never removes); a shrink would be a
+      // torn read.
+      size_t count = lake_->NumModels();
+      if (count < last_count) failures.fetch_add(1);
+      last_count = count;
+
+      std::vector<std::string> ids = lake_->ListModels();
+      if (ids.size() < count) failures.fetch_add(1);
+
+      // Every visible id must be fully ingested: card + embedding +
+      // loadable artifact + searchable.
+      for (const std::string& id : ids) {
+        if (!lake_->CardFor(id).ok() || !lake_->EmbeddingFor(id).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+      if (!ids.empty()) {
+        if (!lake_->LoadModel(ids.front()).ok()) failures.fetch_add(1);
+        auto related = lake_->RelatedModels(ids.back(), 3);
+        if (!related.ok()) failures.fetch_add(1);
+      }
+      auto result = lake_->Query("FIND MODELS WHERE task = 'task' LIMIT 50");
+      if (!result.ok()) {
+        failures.fetch_add(1);
+      } else {
+        for (const auto& m : result.ValueUnsafe().models) {
+          if (!lake_->CardFor(m.id).ok()) failures.fetch_add(1);
+        }
+      }
+      reads.fetch_add(1);
+    }
+  };
+
+  const int kReaderThreads = 4;
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaderThreads; ++i) readers.emplace_back(reader);
+
+  // Writer: three more batches while the readers hammer away.
+  const int kBatches = 6;
+  const int kPerBatch = 3;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::unique_ptr<nn::Model>> models;
+    std::vector<IngestRequest> batch;
+    for (int i = 0; i < kPerBatch; ++i) {
+      models.push_back(TrainedModel(1000 + b * kPerBatch + i));
+      IngestRequest request;
+      request.model = models.back().get();
+      request.card =
+          Card("batch" + std::to_string(b) + "-" + std::to_string(i));
+      batch.push_back(std::move(request));
+    }
+    auto ids = lake_->IngestModels(batch);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    ASSERT_EQ(ids.ValueUnsafe().size(), static_cast<size_t>(kPerBatch));
+  }
+
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+
+  // Post-ingest agreement: catalog, ANN index, BM25 and the graph all
+  // know exactly the same population.
+  const size_t expected = 4 + kBatches * kPerBatch;
+  EXPECT_EQ(lake_->NumModels(), expected);
+  std::vector<std::string> ids = lake_->ListModels();
+  EXPECT_EQ(ids.size(), expected);
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(lake_->CardFor(id).ok()) << id;
+    EXPECT_TRUE(lake_->EmbeddingFor(id).ok()) << id;
+    EXPECT_TRUE(lake_->LoadModel(id).ok()) << id;
+    auto related = lake_->RelatedModels(id, 5);
+    ASSERT_TRUE(related.ok()) << id;
+    EXPECT_GT(related.ValueUnsafe().size(), 0u) << id;
+  }
+  auto all = lake_->Query("FIND MODELS LIMIT 100");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.ValueUnsafe().models.size(), expected);
+}
+
+TEST_F(LakeConcurrencyTest, DuplicateInBatchRejectsAtomically) {
+  auto model_a = TrainedModel(1);
+  auto model_b = TrainedModel(2);
+  std::vector<IngestRequest> batch(2);
+  batch[0].model = model_a.get();
+  batch[0].card = Card("dup");
+  batch[1].model = model_b.get();
+  batch[1].card = Card("dup");
+  auto result = lake_->IngestModels(batch);
+  EXPECT_TRUE(result.status().IsAlreadyExists());
+  // Nothing from the rejected batch leaked into the lake.
+  EXPECT_EQ(lake_->NumModels(), 0u);
+  EXPECT_FALSE(lake_->CardFor("dup").ok());
+}
+
+TEST_F(LakeConcurrencyTest, ConcurrentSearchIsSafe) {
+  // Documented HnswIndex contract: const Search from many threads.
+  std::vector<std::unique_ptr<nn::Model>> models;
+  std::vector<IngestRequest> batch;
+  for (int i = 0; i < 6; ++i) {
+    models.push_back(TrainedModel(200 + i));
+    IngestRequest request;
+    request.model = models.back().get();
+    request.card = Card("m" + std::to_string(i));
+    batch.push_back(std::move(request));
+  }
+  ASSERT_TRUE(lake_->IngestModels(batch).ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 50; ++i) {
+        auto related =
+            lake_->RelatedModels("m" + std::to_string(t % 6), 4);
+        if (!related.ok() || related.ValueUnsafe().empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace mlake::core

@@ -1,0 +1,191 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mlake {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Add([&count]() {
+      count.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(TaskGroupTest, InlineModeWithoutPool) {
+  std::vector<int> order;
+  TaskGroup group(nullptr);
+  group.Add([&order]() {
+    order.push_back(1);
+    return Status::OK();
+  });
+  group.Add([&order]() {
+    order.push_back(2);
+    return Status::OK();
+  });
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TaskGroupTest, ReportsFirstErrorInSubmissionOrder) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.Add([i]() -> Status {
+      if (i == 7) return Status::InvalidArgument("seven");
+      if (i == 21) return Status::Internal("twenty-one");
+      return Status::OK();
+    });
+  }
+  Status status = group.Wait();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("seven"), std::string::npos);
+}
+
+TEST(TaskGroupTest, ExceptionsBecomeInternalStatus) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Add([]() -> Status { throw std::runtime_error("boom"); });
+  Status status = group.Wait();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos);
+}
+
+TEST(TaskGroupTest, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Add([]() { return Status::OK(); });
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(ParallelForTest, EmptyRange) {
+  ExecutionContext ctx = ExecutionContext::WithThreads(4);
+  int calls = 0;
+  EXPECT_TRUE(ParallelFor(ctx, 0, 0, [&calls](size_t) { ++calls; }).ok());
+  EXPECT_TRUE(ParallelFor(ctx, 5, 5, [&calls](size_t) { ++calls; }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanWorkers) {
+  ExecutionContext ctx = ExecutionContext::WithThreads(8);
+  std::vector<int> hits(3, 0);
+  EXPECT_TRUE(ParallelFor(ctx, 0, 3, [&hits](size_t i) { ++hits[i]; }).ok());
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    ExecutionContext ctx = ExecutionContext::WithThreads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    EXPECT_TRUE(ParallelFor(ctx, 0, hits.size(), [&hits](size_t i) {
+                  hits[i].fetch_add(1);
+                }).ok());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ExecutionContext ctx = ExecutionContext::WithThreads(3);
+  std::vector<int> touched(10, 0);
+  EXPECT_TRUE(
+      ParallelFor(ctx, 4, 10, [&touched](size_t i) { touched[i] = 1; }).ok());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], i >= 4 ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, SerialContextRunsInOrder) {
+  ExecutionContext ctx;  // no pool
+  std::vector<size_t> order;
+  EXPECT_TRUE(
+      ParallelFor(ctx, 0, 6, [&order](size_t i) { order.push_back(i); })
+          .ok());
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelForTest, StatusBodyFirstErrorByIndex) {
+  for (int threads : {1, 4}) {
+    ExecutionContext ctx = ExecutionContext::WithThreads(threads);
+    Status status = ParallelFor(ctx, 0, 100, [](size_t i) -> Status {
+      if (i >= 40) return Status::NotFound("i=" + std::to_string(i));
+      return Status::OK();
+    });
+    EXPECT_TRUE(status.IsNotFound());
+    // Deterministic: always the lowest failing index, not whichever
+    // shard lost the race.
+    EXPECT_NE(status.ToString().find("i=40"), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ParallelForTest, ExceptionInBodyBecomesStatus) {
+  ExecutionContext ctx = ExecutionContext::WithThreads(4);
+  Status status = ParallelFor(ctx, 0, 16, [](size_t i) -> Status {
+    if (i == 3) throw std::runtime_error("body threw");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  // A saturated pool where outer tasks wait on inner ones: the waiters
+  // must steal work instead of blocking, or this test hangs.
+  ExecutionContext ctx = ExecutionContext::WithThreads(2);
+  std::vector<std::atomic<int>> counts(8);
+  EXPECT_TRUE(ParallelFor(ctx, 0, 8, [&](size_t i) -> Status {
+                return ParallelFor(ctx, 0, 8, [&counts, i](size_t) {
+                  counts[i].fetch_add(1);
+                });
+              }).ok());
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 8);
+}
+
+TEST(ParallelForTest, IdenticalReductionAtAnyThreadCount) {
+  // The contract the whole lake relies on: slot-owned writes reduce to
+  // the same result at any thread count.
+  auto run = [](const ExecutionContext& ctx) {
+    std::vector<uint64_t> out(512);
+    EXPECT_TRUE(ParallelFor(ctx, 0, out.size(), [&out](size_t i) {
+                  Rng rng(static_cast<uint64_t>(i));
+                  out[i] = rng.NextU64();
+                }).ok());
+    return out;
+  };
+  std::vector<uint64_t> serial = run(ExecutionContext::Serial());
+  std::vector<uint64_t> one = run(ExecutionContext::WithThreads(1));
+  std::vector<uint64_t> eight = run(ExecutionContext::WithThreads(8));
+  EXPECT_EQ(serial, one);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(ExecutionContextTest, Parallelism) {
+  EXPECT_EQ(ExecutionContext::Serial().parallelism(), 1);
+  EXPECT_EQ(ExecutionContext::WithThreads(3).parallelism(), 3);
+  ExecutionContext copy = ExecutionContext::WithThreads(2);
+  ExecutionContext shared = copy;
+  EXPECT_EQ(copy.pool.get(), shared.pool.get());
+}
+
+}  // namespace
+}  // namespace mlake

@@ -1,6 +1,10 @@
 // mlake — command-line front end for a model lake.
 //
-//   mlake --lake DIR COMMAND [ARGS...]
+//   mlake --lake DIR [--threads N] COMMAND [ARGS...]
+//
+// --threads N sizes the lake's shared thread pool (0 or 1 = serial,
+// the default; N>1 parallelizes ingest, index rebuild, fsck and
+// heritage recovery — results are identical at any thread count).
 //
 // Commands:
 //   init                         create an empty lake
@@ -42,15 +46,17 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mlake --lake DIR COMMAND [ARGS...]\n"
+               "usage: mlake --lake DIR [--threads N] COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
                "hybrid graph recover-heritage export import fsck\n");
   return 1;
 }
 
-Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root) {
+Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root,
+                                                  int threads) {
   core::LakeOptions options;
   options.root = root;
+  if (threads > 1) options.exec = ExecutionContext::WithThreads(threads);
   return core::ModelLake::Open(std::move(options));
 }
 
@@ -271,10 +277,13 @@ int CmdFsck(core::ModelLake* lake) {
 
 int Run(int argc, char** argv) {
   std::string lake_dir;
+  int threads = 0;
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lake") == 0 && i + 1 < argc) {
       lake_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       rest.emplace_back(argv[i]);
     }
@@ -283,7 +292,7 @@ int Run(int argc, char** argv) {
   std::string command = rest.front();
   std::vector<std::string> args(rest.begin() + 1, rest.end());
 
-  auto lake = OpenLake(lake_dir);
+  auto lake = OpenLake(lake_dir, threads);
   if (!lake.ok()) return Fail(lake.status());
   core::ModelLake* lk = lake.ValueUnsafe().get();
 
