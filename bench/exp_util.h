@@ -5,12 +5,17 @@
 // directories, table printing, and abort-on-error unwrapping (an
 // experiment binary has no caller to propagate Status to).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/json.h"
 #include "common/status.h"
 
 namespace mlake::bench {
@@ -61,6 +66,88 @@ inline void Banner(const char* exp_id, const char* title) {
   std::printf("%s  %s\n", exp_id, title);
   Rule();
 }
+
+/// Shared machine-readable benchmark report: median-of-N timing with
+/// warmup, one JSON schema for every exp_*/micro_* binary that wants a
+/// tracked artifact (BENCH_<suite>.json) instead of ad-hoc prints.
+///
+/// Schema:
+///   {
+///     "suite":   "<name>",
+///     "meta":    { free-form key/values: backend, dims, host notes },
+///     "entries": [ {"name", "ns_per_op", "reps", "inner",
+///                   optional "gb_per_s"} ... ],
+///     "derived": { "<key>": number }   // e.g. speedups across entries
+///   }
+class JsonBench {
+ public:
+  explicit JsonBench(std::string suite)
+      : suite_(std::move(suite)),
+        meta_(Json::MakeObject()),
+        entries_(Json::MakeArray()),
+        derived_(Json::MakeObject()) {}
+
+  /// Times `fn` (`inner` calls per rep; `reps` reps after `warmup`
+  /// untimed reps) and records the median. Returns median ns per op.
+  /// `bytes_per_op` > 0 additionally reports effective bandwidth.
+  double TimeNs(const std::string& name, int reps, int warmup, int inner,
+                const std::function<void()>& fn, double bytes_per_op = 0.0) {
+    using Clock = std::chrono::steady_clock;
+    for (int r = 0; r < warmup; ++r) fn();
+    std::vector<double> ns_per_op(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      for (int i = 0; i < inner; ++i) fn();
+      double ns = std::chrono::duration<double, std::nano>(Clock::now() -
+                                                           start)
+                      .count();
+      ns_per_op[static_cast<size_t>(r)] = ns / inner;
+    }
+    std::sort(ns_per_op.begin(), ns_per_op.end());
+    double median = ns_per_op[ns_per_op.size() / 2];
+    Json entry = Json::MakeObject();
+    entry.Set("name", name);
+    entry.Set("ns_per_op", median);
+    entry.Set("reps", reps);
+    entry.Set("inner", inner);
+    if (bytes_per_op > 0.0) {
+      entry.Set("gb_per_s", bytes_per_op / median);  // bytes/ns == GB/s
+    }
+    entries_.Append(std::move(entry));
+    std::printf("  %-40s %12.1f ns/op\n", name.c_str(), median);
+    return median;
+  }
+
+  /// Free-form metadata (backend name, problem sizes, flags).
+  void Meta(const std::string& key, Json value) {
+    meta_.Set(key, std::move(value));
+  }
+
+  /// Derived scalars computed across entries (speedups, recalls).
+  void Derived(const std::string& key, double value) {
+    derived_.Set(key, value);
+  }
+
+  Json report() const {
+    Json out = Json::MakeObject();
+    out.Set("suite", suite_);
+    out.Set("meta", meta_);
+    out.Set("entries", entries_);
+    out.Set("derived", derived_);
+    return out;
+  }
+
+  /// Writes BENCH_<suite>.json-style output to `path` (pretty-printed).
+  Status WriteFile(const std::string& path) const {
+    return mlake::WriteFile(path, report().Dump(2) + "\n");
+  }
+
+ private:
+  std::string suite_;
+  Json meta_;
+  Json entries_;
+  Json derived_;
+};
 
 }  // namespace mlake::bench
 

@@ -1,0 +1,227 @@
+// micro_kernels: the kernel layer's tracked perf baseline.
+//
+// Times every dispatched kernel against the scalar reference (Dot,
+// L2Sq, CosineDistance, Axpy, Gemm across dims), then A/Bs the
+// end-to-end hot paths that sit on them (HNSW Build/Search, brute-force
+// Search, EmbedAll) by forcing each backend in turn. Emits
+// BENCH_kernels.json in the shared JsonBench schema — the first entry
+// in the repo's perf trajectory; later PRs diff against it.
+//
+// Usage: micro_kernels [--quick] [--out PATH]
+//   --quick  CI-sized problem set (seconds, not minutes)
+//   --out    JSON path (default: BENCH_kernels.json in the cwd)
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/exp_util.h"
+#include "common/kernels.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "embed/embedder.h"
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+
+namespace mlake::bench {
+namespace {
+
+// Sink defeating dead-code elimination of pure kernel calls.
+volatile float g_sink = 0.0f;
+
+std::vector<float> RandomVector(int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(dim));
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+std::vector<std::vector<float>> RandomVectors(size_t n, int64_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n);
+  for (auto& v : out) {
+    v.resize(static_cast<size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+/// Times one vector kernel across both backends at one dim, recording a
+/// derived speedup when a SIMD backend exists.
+void BenchVectorKernels(JsonBench* bench, int64_t dim, int reps) {
+  auto a = RandomVector(dim, 1);
+  auto b = RandomVector(dim, 2);
+  auto y = RandomVector(dim, 3);
+  // Scale inner iterations so one rep is ~100k elements of work.
+  int inner = static_cast<int>(std::max<int64_t>(1, (1 << 17) / dim));
+  double bytes2 = 2.0 * static_cast<double>(dim) * sizeof(float);
+
+  const kernels::Backend* backends[2] = {&kernels::Scalar(), kernels::Simd()};
+  double cosine_ns[2] = {0, 0};
+  for (int bi = 0; bi < 2; ++bi) {
+    const kernels::Backend* backend = backends[bi];
+    if (backend == nullptr) continue;
+    std::string tag =
+        std::string("/") + backend->name + "/d" + std::to_string(dim);
+    bench->TimeNs(
+        "dot" + tag, reps, 2, inner,
+        [&, backend] { g_sink = backend->dot(a.data(), b.data(), dim); },
+        bytes2);
+    bench->TimeNs(
+        "l2sq" + tag, reps, 2, inner,
+        [&, backend] { g_sink = backend->l2sq(a.data(), b.data(), dim); },
+        bytes2);
+    cosine_ns[bi] = bench->TimeNs(
+        "cosine_distance" + tag, reps, 2, inner,
+        [&, backend] {
+          g_sink = backend->cosine_distance(a.data(), b.data(), dim);
+        },
+        bytes2);
+    bench->TimeNs(
+        "axpy" + tag, reps, 2, inner,
+        [&, backend] { backend->axpy(0.5f, a.data(), y.data(), dim); },
+        3.0 * static_cast<double>(dim) * sizeof(float));
+  }
+  if (backends[1] != nullptr && cosine_ns[1] > 0.0) {
+    bench->Derived("speedup_cosine_d" + std::to_string(dim),
+                   cosine_ns[0] / cosine_ns[1]);
+  }
+}
+
+void BenchGemm(JsonBench* bench, int64_t n, int reps) {
+  auto a = RandomVector(n * n, 4);
+  auto b = RandomVector(n * n, 5);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  const kernels::Backend* backends[2] = {&kernels::Scalar(), kernels::Simd()};
+  double gemm_ns[2] = {0, 0};
+  for (int bi = 0; bi < 2; ++bi) {
+    const kernels::Backend* backend = backends[bi];
+    if (backend == nullptr) continue;
+    std::string tag =
+        std::string("/") + backend->name + "/n" + std::to_string(n);
+    gemm_ns[bi] = bench->TimeNs("gemm" + tag, reps, 1, 1, [&, backend] {
+      backend->gemm(n, n, n, a.data(), b.data(), c.data());
+      g_sink = c[0];
+    });
+  }
+  if (backends[1] != nullptr && gemm_ns[1] > 0.0) {
+    bench->Derived("speedup_gemm_n" + std::to_string(n),
+                   gemm_ns[0] / gemm_ns[1]);
+  }
+}
+
+/// End-to-end hot paths, A/B-ed by forcing each backend through the
+/// global dispatch table (what production code paths actually call).
+void BenchEndToEnd(JsonBench* bench, bool quick) {
+  const int64_t dim = 64;
+  const size_t n = quick ? 2000 : 10000;
+  auto vectors = RandomVectors(n, dim, 7);
+  std::vector<int64_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int64_t>(i);
+  auto queries = RandomVectors(64, dim, 8);
+  ExecutionContext serial = ExecutionContext::Serial();
+
+  const char* names[2] = {"scalar", "avx2"};
+  double search_ns[2] = {0, 0};
+  for (int bi = 0; bi < 2; ++bi) {
+    if (!kernels::ForceBackend(names[bi])) continue;
+    std::string tag = std::string("/") + names[bi];
+
+    index::HnswIndex hnsw(dim);
+    bench->TimeNs("hnsw_build_n" + std::to_string(n) + tag, 1, 0, 1, [&] {
+      Check(hnsw.Build(ids, vectors, serial), "hnsw.Build");
+    });
+    size_t q = 0;
+    search_ns[bi] = bench->TimeNs("hnsw_search_k10" + tag, quick ? 3 : 9, 1,
+                                  static_cast<int>(queries.size()), [&] {
+                                    g_sink = static_cast<float>(
+                                        Unwrap(hnsw.Search(
+                                                   queries[q++ %
+                                                           queries.size()],
+                                                   10),
+                                               "hnsw.Search")
+                                            .size());
+                                  });
+
+    index::BruteForceIndex brute(dim, index::Metric::kCosine);
+    for (size_t i = 0; i < n; ++i) {
+      Check(brute.Add(ids[i], vectors[i]), "brute.Add");
+    }
+    bench->TimeNs("brute_search_k10" + tag, quick ? 3 : 9, 1, 8, [&] {
+      g_sink = static_cast<float>(
+          Unwrap(brute.Search(queries[q++ % queries.size()], 10),
+                 "brute.Search")
+              .size());
+    });
+
+    // EmbedAll forward passes (behavioral embedder over fresh models).
+    const int64_t probe_dim = 16, classes = 4;
+    size_t num_models = quick ? 4 : 16;
+    Rng rng(9);
+    std::vector<std::unique_ptr<nn::Model>> models;
+    std::vector<nn::Model*> raw;
+    for (size_t i = 0; i < num_models; ++i) {
+      models.push_back(
+          Unwrap(nn::BuildModel(nn::MlpSpec(probe_dim, {32}, classes), &rng),
+                 "BuildModel"));
+      raw.push_back(models.back().get());
+    }
+    embed::BehavioralEmbedder embedder(nn::MakeProbeSet(probe_dim, 64, 10),
+                                       classes);
+    bench->TimeNs("embed_all_m" + std::to_string(num_models) + tag,
+                  quick ? 3 : 9, 1, 1, [&] {
+                    g_sink = static_cast<float>(
+                        Unwrap(embedder.EmbedAll(raw, serial), "EmbedAll")
+                            .size());
+                  });
+  }
+  kernels::ForceBackend("auto");
+  if (search_ns[1] > 0.0) {
+    bench->Derived("speedup_hnsw_search", search_ns[0] / search_ns[1]);
+  }
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: micro_kernels [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  Banner("micro_kernels", "SIMD kernel layer vs scalar reference");
+  JsonBench bench("kernels");
+  bench.Meta("dispatched_backend", kernels::Active().name);
+  bench.Meta("simd_available", kernels::Simd() != nullptr);
+  bench.Meta("quick", quick);
+
+  int reps = quick ? 5 : 11;
+  std::vector<int64_t> dims = quick ? std::vector<int64_t>{256}
+                                    : std::vector<int64_t>{64, 256, 1024};
+  for (int64_t dim : dims) BenchVectorKernels(&bench, dim, reps);
+  std::vector<int64_t> gemm_sizes = quick ? std::vector<int64_t>{256}
+                                          : std::vector<int64_t>{64, 256};
+  for (int64_t gn : gemm_sizes) BenchGemm(&bench, gn, quick ? 3 : 7);
+  BenchEndToEnd(&bench, quick);
+
+  Check(bench.WriteFile(out), "WriteFile");
+  std::printf("\nwrote %s\n", out.c_str());
+  std::string derived = bench.report().Find("derived")->Dump(2);
+  std::printf("derived: %s\n", derived.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlake::bench
+
+int main(int argc, char** argv) { return mlake::bench::Main(argc, argv); }

@@ -1,0 +1,66 @@
+#include "common/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mlake::kernels {
+
+namespace {
+
+const Backend* ResolveAuto() {
+  if (const Backend* simd = internal::Avx2BackendIfSupported()) return simd;
+  return internal::ScalarBackend();
+}
+
+const Backend* ResolveFromEnv() {
+  const char* request = std::getenv("MLAKE_KERNELS");
+  if (request == nullptr || std::strcmp(request, "auto") == 0) {
+    return ResolveAuto();
+  }
+  if (std::strcmp(request, "scalar") == 0) return internal::ScalarBackend();
+  if (std::strcmp(request, "avx2") == 0) {
+    if (const Backend* simd = internal::Avx2BackendIfSupported()) return simd;
+    std::fprintf(stderr,
+                 "mlake: MLAKE_KERNELS=avx2 but this host/build cannot run "
+                 "AVX2 kernels; falling back to scalar\n");
+    return internal::ScalarBackend();
+  }
+  std::fprintf(stderr,
+               "mlake: unknown MLAKE_KERNELS=%s (want scalar|avx2|auto); "
+               "using auto\n",
+               request);
+  return ResolveAuto();
+}
+
+std::atomic<const Backend*>& ActiveSlot() {
+  static std::atomic<const Backend*> slot{ResolveFromEnv()};
+  return slot;
+}
+
+}  // namespace
+
+const Backend& Active() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+const Backend& Scalar() { return *internal::ScalarBackend(); }
+
+const Backend* Simd() { return internal::Avx2BackendIfSupported(); }
+
+bool ForceBackend(const char* name) {
+  const Backend* next = nullptr;
+  if (std::strcmp(name, "scalar") == 0) {
+    next = internal::ScalarBackend();
+  } else if (std::strcmp(name, "avx2") == 0) {
+    next = internal::Avx2BackendIfSupported();
+  } else if (std::strcmp(name, "auto") == 0) {
+    next = ResolveAuto();
+  }
+  if (next == nullptr) return false;
+  ActiveSlot().store(next, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace mlake::kernels

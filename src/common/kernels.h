@@ -1,0 +1,111 @@
+#ifndef MLAKE_COMMON_KERNELS_H_
+#define MLAKE_COMMON_KERNELS_H_
+
+#include <cstdint>
+
+namespace mlake::kernels {
+
+/// Runtime-dispatched single-core vector/matrix kernels — the compute
+/// floor under every similarity hot path (index distance, tensor ops,
+/// CKA Gram matrices). The best backend the CPU supports is selected
+/// once at first use (cpuid); every entry point also has a portable
+/// scalar reference that doubles as the conformance oracle.
+///
+/// Dispatch policy:
+///   - `Active()` resolves lazily: AVX2+FMA when the host supports both
+///     (and the binary was built with the AVX2 translation unit),
+///     otherwise scalar.
+///   - `MLAKE_KERNELS=scalar|avx2|auto` overrides selection at startup
+///     (A/B testing and bug triage). An unavailable request falls back
+///     to scalar with a warning on stderr.
+///   - `ForceBackend()` switches at runtime (benches and tests only;
+///     not thread-safe against in-flight kernel calls).
+///
+/// All pointers are to contiguous float32 arrays; no alignment is
+/// required (kernels handle unaligned heads/tails). Backends may
+/// reassociate floating-point sums, so scalar and AVX2 results can
+/// differ in the last ulps — never across runs of the same backend,
+/// which is what the lake's determinism contract needs.
+
+/// Function table for one backend.
+struct Backend {
+  const char* name;
+
+  /// sum_i a[i]*b[i]
+  float (*dot)(const float* a, const float* b, int64_t n);
+  /// sum_i (a[i]-b[i])^2
+  float (*l2sq)(const float* a, const float* b, int64_t n);
+  /// 1 - dot(a,b)/(|a||b|); 1.0f when either norm is zero.
+  float (*cosine_distance)(const float* a, const float* b, int64_t n);
+  /// y[i] += s * x[i]
+  void (*axpy)(float s, const float* x, float* y, int64_t n);
+  /// x[i] *= s
+  void (*scale_inplace)(float* x, float s, int64_t n);
+  /// a[i] += b[i]
+  void (*add_inplace)(float* a, const float* b, int64_t n);
+  /// a[i] -= b[i]
+  void (*sub_inplace)(float* a, const float* b, int64_t n);
+  /// a[i] *= b[i]
+  void (*mul_inplace)(float* a, const float* b, int64_t n);
+  /// C[m,n] = A[m,k] * B[k,n], row-major contiguous; C is overwritten.
+  void (*gemm)(int64_t m, int64_t n, int64_t k, const float* a,
+               const float* b, float* c);
+};
+
+/// The dispatched backend (cpuid + MLAKE_KERNELS, resolved on first use).
+const Backend& Active();
+
+/// Scalar reference backend (always available).
+const Backend& Scalar();
+
+/// Best SIMD backend compiled into this binary, or nullptr when the
+/// host cannot run it.
+const Backend* Simd();
+
+/// Forces dispatch to `name` ("scalar", "avx2", "auto"). Returns false
+/// (leaving dispatch unchanged) when the backend is unavailable. For
+/// benches and tests; not thread-safe against concurrent kernel calls.
+bool ForceBackend(const char* name);
+
+/// --- Convenience wrappers over Active() ---
+
+inline float Dot(const float* a, const float* b, int64_t n) {
+  return Active().dot(a, b, n);
+}
+inline float L2Sq(const float* a, const float* b, int64_t n) {
+  return Active().l2sq(a, b, n);
+}
+inline float CosineDistance(const float* a, const float* b, int64_t n) {
+  return Active().cosine_distance(a, b, n);
+}
+inline void Axpy(float s, const float* x, float* y, int64_t n) {
+  Active().axpy(s, x, y, n);
+}
+inline void ScaleInPlace(float* x, float s, int64_t n) {
+  Active().scale_inplace(x, s, n);
+}
+inline void AddInPlace(float* a, const float* b, int64_t n) {
+  Active().add_inplace(a, b, n);
+}
+inline void SubInPlace(float* a, const float* b, int64_t n) {
+  Active().sub_inplace(a, b, n);
+}
+inline void MulInPlace(float* a, const float* b, int64_t n) {
+  Active().mul_inplace(a, b, n);
+}
+inline void Gemm(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  Active().gemm(m, n, k, a, b, c);
+}
+
+namespace internal {
+/// Defined in kernels_scalar.cc / kernels_avx2.cc.
+const Backend* ScalarBackend();
+/// Returns nullptr when the TU was compiled without AVX2 support or the
+/// host lacks AVX2/FMA.
+const Backend* Avx2BackendIfSupported();
+}  // namespace internal
+
+}  // namespace mlake::kernels
+
+#endif  // MLAKE_COMMON_KERNELS_H_

@@ -1,0 +1,267 @@
+// AVX2+FMA backend. This translation unit is the only one compiled
+// with -mavx2 -mfma (see src/common/CMakeLists.txt); the #if below
+// turns it into a stub when the toolchain cannot target AVX2, and the
+// runtime cpuid check keeps it unselected on hosts that cannot run it.
+// No alignment is assumed anywhere (loadu/storeu + scalar tails).
+
+#include "common/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace mlake::kernels {
+namespace {
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+float DotAvx2(const float* a, const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                       _mm256_add_ps(acc2, acc3));
+  float acc = Hsum(acc0);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float L2SqAvx2(const float* a, const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float CosineDistanceAvx2(const float* a, const float* b, int64_t n) {
+  // Single pass: dot + both squared norms share the loads.
+  __m256 accd = _mm256_setzero_ps();
+  __m256 acca = _mm256_setzero_ps();
+  __m256 accb = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 va = _mm256_loadu_ps(a + i);
+    __m256 vb = _mm256_loadu_ps(b + i);
+    accd = _mm256_fmadd_ps(va, vb, accd);
+    acca = _mm256_fmadd_ps(va, va, acca);
+    accb = _mm256_fmadd_ps(vb, vb, accb);
+  }
+  float dot = Hsum(accd);
+  float na = Hsum(acca);
+  float nb = Hsum(accb);
+  for (; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0f || nb == 0.0f) return 1.0f;
+  return 1.0f - dot / std::sqrt(na * nb);
+}
+
+void AxpyAvx2(float s, const float* x, float* y, int64_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(vs, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void ScaleInPlaceAvx2(float* x, float s, int64_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void AddInPlaceAvx2(float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+void SubInPlaceAvx2(float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] -= b[i];
+}
+
+void MulInPlaceAvx2(float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+/// 4-rows x 16-columns register-blocked panel: 8 FMA accumulators live
+/// across the whole k loop, B rows are loaded once per 4 output rows.
+inline void GemmMicro4x16(int64_t k, int64_t n, const float* a0,
+                          const float* a1, const float* a2, const float* a3,
+                          const float* b, float* c0, float* c1, float* c2,
+                          float* c3) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    __m256 b0 = _mm256_loadu_ps(b + kk * n);
+    __m256 b1 = _mm256_loadu_ps(b + kk * n + 8);
+    __m256 av = _mm256_set1_ps(a0[kk]);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_set1_ps(a1[kk]);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_set1_ps(a2[kk]);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_set1_ps(a3[kk]);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  _mm256_storeu_ps(c0, acc00);
+  _mm256_storeu_ps(c0 + 8, acc01);
+  _mm256_storeu_ps(c1, acc10);
+  _mm256_storeu_ps(c1 + 8, acc11);
+  _mm256_storeu_ps(c2, acc20);
+  _mm256_storeu_ps(c2 + 8, acc21);
+  _mm256_storeu_ps(c3, acc30);
+  _mm256_storeu_ps(c3 + 8, acc31);
+}
+
+inline void GemmMicro1x16(int64_t k, int64_t n, const float* a0,
+                          const float* b, float* c0) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    __m256 av = _mm256_set1_ps(a0[kk]);
+    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + kk * n), acc0);
+    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + kk * n + 8), acc1);
+  }
+  _mm256_storeu_ps(c0, acc0);
+  _mm256_storeu_ps(c0 + 8, acc1);
+}
+
+inline void GemmMicro1x8(int64_t k, int64_t n, const float* a0,
+                         const float* b, float* c0) {
+  __m256 acc = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(a0[kk]),
+                          _mm256_loadu_ps(b + kk * n), acc);
+  }
+  _mm256_storeu_ps(c0, acc);
+}
+
+void GemmAvx2(int64_t m, int64_t n, int64_t k, const float* a,
+              const float* b, float* c) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      GemmMicro4x16(k, n, a + i * k, a + (i + 1) * k, a + (i + 2) * k,
+                    a + (i + 3) * k, b + j, c + i * n + j,
+                    c + (i + 1) * n + j, c + (i + 2) * n + j,
+                    c + (i + 3) * n + j);
+    }
+    for (; i < m; ++i) {
+      GemmMicro1x16(k, n, a + i * k, b + j, c + i * n + j);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    for (int64_t i = 0; i < m; ++i) {
+      GemmMicro1x8(k, n, a + i * k, b + j, c + i * n + j);
+    }
+  }
+  if (j < n) {
+    // Scalar column tail (< 8 columns).
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t jj = j; jj < n; ++jj) crow[jj] = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        const float* brow = b + kk * n;
+        for (int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+      }
+    }
+  }
+}
+
+const Backend kAvx2Backend = {
+    "avx2",        DotAvx2,          L2SqAvx2,       CosineDistanceAvx2,
+    AxpyAvx2,      ScaleInPlaceAvx2, AddInPlaceAvx2, SubInPlaceAvx2,
+    MulInPlaceAvx2, GemmAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+const Backend* Avx2BackendIfSupported() {
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &kAvx2Backend;
+  }
+  return nullptr;
+}
+}  // namespace internal
+
+}  // namespace mlake::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace mlake::kernels::internal {
+const Backend* Avx2BackendIfSupported() { return nullptr; }
+}  // namespace mlake::kernels::internal
+
+#endif

@@ -1,0 +1,86 @@
+// Portable scalar backend — the conformance oracle every SIMD backend
+// is tested against, and the fallback on hosts without AVX2. Compiled
+// with the project's baseline flags only (no -m options) so it runs
+// anywhere the binary does.
+
+#include <cmath>
+
+#include "common/kernels.h"
+
+namespace mlake::kernels {
+namespace {
+
+float DotScalar(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float L2SqScalar(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float CosineDistanceScalar(const float* a, const float* b, int64_t n) {
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0f || nb == 0.0f) return 1.0f;
+  return 1.0f - dot / std::sqrt(na * nb);
+}
+
+void AxpyScalar(float s, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+void ScaleInPlaceScalar(float* x, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void AddInPlaceScalar(float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void SubInPlaceScalar(float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) a[i] -= b[i];
+}
+
+void MulInPlaceScalar(float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) a[i] *= b[i];
+}
+
+void GemmScalar(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c) {
+  for (int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  // ikj order: streams rows of B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+const Backend kScalarBackend = {
+    "scalar",        DotScalar,         L2SqScalar,       CosineDistanceScalar,
+    AxpyScalar,      ScaleInPlaceScalar, AddInPlaceScalar, SubInPlaceScalar,
+    MulInPlaceScalar, GemmScalar,
+};
+
+}  // namespace
+
+namespace internal {
+const Backend* ScalarBackend() { return &kScalarBackend; }
+}  // namespace internal
+
+}  // namespace mlake::kernels

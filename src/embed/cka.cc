@@ -1,27 +1,41 @@
 #include "embed/cka.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/kernels.h"
 #include "tensor/ops.h"
 
 namespace mlake::embed {
 
 namespace {
 
-/// Centers columns in place.
+/// Centers columns in place. Column sums are accumulated row-by-row
+/// (contiguous loads, double accumulators) and the mean is subtracted
+/// with one kernel row-broadcast per row.
 void CenterColumns(Tensor* m) {
   int64_t rows = m->dim(0), cols = m->dim(1);
+  std::vector<double> sums(static_cast<size_t>(cols), 0.0);
+  const float* p = m->data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = p + i * cols;
+    for (int64_t j = 0; j < cols; ++j) sums[static_cast<size_t>(j)] += row[j];
+  }
+  std::vector<float> means(static_cast<size_t>(cols));
   for (int64_t j = 0; j < cols; ++j) {
-    double mean = 0.0;
-    for (int64_t i = 0; i < rows; ++i) mean += m->At(i, j);
-    mean /= static_cast<double>(rows);
-    for (int64_t i = 0; i < rows; ++i) {
-      m->At(i, j) -= static_cast<float>(mean);
-    }
+    means[static_cast<size_t>(j)] =
+        static_cast<float>(sums[static_cast<size_t>(j)] /
+                           static_cast<double>(rows));
+  }
+  float* pm = m->data();
+  for (int64_t i = 0; i < rows; ++i) {
+    kernels::SubInPlace(pm + i * cols, means.data(), cols);
   }
 }
 
 /// Squared Frobenius norm of A^T B for column-centered A [n,p], B [n,q].
+/// The Gram matrix itself comes out of the blocked Gemm kernel (via
+/// MatMulTransposedA); only the final reduction stays in double.
 double CrossFrobeniusSq(const Tensor& a, const Tensor& b) {
   Tensor cross = MatMulTransposedA(a, b);  // [p, q]
   double acc = 0.0;

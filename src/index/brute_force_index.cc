@@ -4,33 +4,11 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/kernels.h"
 #include "common/string_util.h"
+#include "index/metric.h"
 
 namespace mlake::index {
-
-float Distance(Metric metric, const float* a, const float* b, int64_t dim) {
-  switch (metric) {
-    case Metric::kL2: {
-      float acc = 0.0f;
-      for (int64_t i = 0; i < dim; ++i) {
-        float d = a[i] - b[i];
-        acc += d * d;
-      }
-      return acc;
-    }
-    case Metric::kCosine: {
-      double dot = 0.0, na = 0.0, nb = 0.0;
-      for (int64_t i = 0; i < dim; ++i) {
-        dot += static_cast<double>(a[i]) * b[i];
-        na += static_cast<double>(a[i]) * a[i];
-        nb += static_cast<double>(b[i]) * b[i];
-      }
-      if (na == 0.0 || nb == 0.0) return 1.0f;
-      return static_cast<float>(1.0 - dot / (std::sqrt(na) * std::sqrt(nb)));
-    }
-  }
-  return 0.0f;
-}
 
 double RecallAtK(const std::vector<Neighbor>& exact,
                  const std::vector<Neighbor>& approx, size_t k) {
@@ -59,6 +37,9 @@ Status BruteForceIndex::Add(int64_t id, const std::vector<float>& vec) {
   }
   ids_.push_back(id);
   data_.insert(data_.end(), vec.begin(), vec.end());
+  // Row norm cached once here so cosine queries touch each row exactly
+  // once (a dot product), instead of recomputing both norms per pair.
+  norms_.push_back(std::sqrt(kernels::Dot(vec.data(), vec.data(), dim_)));
   return Status::OK();
 }
 
@@ -69,10 +50,26 @@ Result<std::vector<Neighbor>> BruteForceIndex::Search(
   }
   std::vector<Neighbor> all;
   all.reserve(ids_.size());
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    float d = Distance(metric_, query.data(),
-                       data_.data() + static_cast<int64_t>(i) * dim_, dim_);
-    all.push_back(Neighbor{ids_[i], d});
+  const float* q = query.data();
+  if (metric_ == Metric::kCosine) {
+    float qnorm = std::sqrt(kernels::Dot(q, q, dim_));
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      float denom = qnorm * norms_[i];
+      float d = denom == 0.0f
+                    ? 1.0f
+                    : 1.0f - kernels::Dot(q,
+                                          data_.data() +
+                                              static_cast<int64_t>(i) * dim_,
+                                          dim_) /
+                                 denom;
+      all.push_back(Neighbor{ids_[i], d});
+    }
+  } else {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      float d = Distance(metric_, q,
+                         data_.data() + static_cast<int64_t>(i) * dim_, dim_);
+      all.push_back(Neighbor{ids_[i], d});
+    }
   }
   size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),

@@ -24,7 +24,8 @@ class BruteForceIndex : public VectorIndex {
   int64_t dim_;
   Metric metric_;
   std::vector<int64_t> ids_;
-  std::vector<float> data_;  // flattened row-major
+  std::vector<float> data_;   // flattened row-major
+  std::vector<float> norms_;  // per-row L2 norm, cached at Add (cosine)
 };
 
 }  // namespace mlake::index

@@ -5,7 +5,9 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/kernels.h"
 #include "common/string_util.h"
+#include "index/metric.h"
 
 namespace mlake::index {
 
@@ -36,8 +38,33 @@ HnswIndex::HnswIndex(int64_t dim, HnswConfig config)
       level_lambda_(1.0 / std::log(std::max(2, config.m))) {}
 
 float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
-  return Distance(config_.metric, query,
-                  data_.data() + static_cast<int64_t>(node) * dim_, dim_);
+  const float* v = data_.data() + static_cast<int64_t>(node) * dim_;
+  if (config_.metric == Metric::kCosine) {
+    // Stored vectors (and the query, normalized at Search entry) are
+    // unit-length, so cosine distance collapses to 1 - dot.
+    return 1.0f - kernels::Dot(query, v, dim_);
+  }
+  return kernels::L2Sq(query, v, dim_);
+}
+
+void HnswIndex::DistanceToBatch(const float* query, const uint32_t* nodes,
+                                size_t count, float* out) const {
+  // Prefetch every candidate vector before touching the first one; the
+  // adjacency list is a random walk through data_, so the loads are the
+  // latency bottleneck, not the arithmetic.
+  for (size_t i = 0; i < count; ++i) {
+    const float* v = data_.data() + static_cast<int64_t>(nodes[i]) * dim_;
+    __builtin_prefetch(v);
+    __builtin_prefetch(v + 16);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = DistanceTo(query, nodes[i]);
+  }
+}
+
+void HnswIndex::NormalizeRow(float* row) const {
+  float norm = std::sqrt(kernels::Dot(row, row, dim_));
+  if (norm > 0.0f) kernels::ScaleInPlace(row, 1.0f / norm, dim_);
 }
 
 int HnswIndex::RandomLevel() {
@@ -50,14 +77,18 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
                                   int level) const {
   uint32_t current = entry;
   float best = DistanceTo(query, current);
+  std::vector<float> dists;
   bool improved = true;
   while (improved) {
     improved = false;
-    for (uint32_t neighbor : links_[current][static_cast<size_t>(level)]) {
-      float d = DistanceTo(query, neighbor);
-      if (d < best) {
-        best = d;
-        current = neighbor;
+    const std::vector<uint32_t>& neighbors =
+        links_[current][static_cast<size_t>(level)];
+    dists.resize(neighbors.size());
+    DistanceToBatch(query, neighbors.data(), neighbors.size(), dists.data());
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (dists[i] < best) {
+        best = dists[i];
+        current = neighbors[i];
         improved = true;
       }
     }
@@ -82,18 +113,28 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
   best.emplace(d0, entry);
   visited->Visit(entry);
 
+  // Scratch for the batched adjacency-list expansion, reused across
+  // frontier pops (bounded by the layer's max degree).
+  std::vector<uint32_t> fresh;
+  std::vector<float> dists;
+
   while (!frontier.empty()) {
     auto [dist, node] = frontier.top();
     if (dist > best.top().first && best.size() >= static_cast<size_t>(ef)) {
       break;
     }
     frontier.pop();
+    fresh.clear();
     for (uint32_t neighbor : links_[node][static_cast<size_t>(level)]) {
-      if (!visited->Visit(neighbor)) continue;
-      float d = DistanceTo(query, neighbor);
+      if (visited->Visit(neighbor)) fresh.push_back(neighbor);
+    }
+    dists.resize(fresh.size());
+    DistanceToBatch(query, fresh.data(), fresh.size(), dists.data());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      float d = dists[i];
       if (best.size() < static_cast<size_t>(ef) || d < best.top().first) {
-        frontier.emplace(d, neighbor);
-        best.emplace(d, neighbor);
+        frontier.emplace(d, fresh[i]);
+        best.emplace(d, fresh[i]);
         if (best.size() > static_cast<size_t>(ef)) best.pop();
       }
     }
@@ -127,6 +168,12 @@ uint32_t HnswIndex::AppendNode(int64_t id, const std::vector<float>& vec) {
   uint32_t node = static_cast<uint32_t>(external_ids_.size());
   external_ids_.push_back(id);
   data_.insert(data_.end(), vec.begin(), vec.end());
+  if (config_.metric == Metric::kCosine) {
+    // Normalize-at-Add: unit-length storage turns every cosine distance
+    // during construction and search into a bare dot product. A zero
+    // vector stays zero (distance 1.0 to everything, as before).
+    NormalizeRow(data_.data() + static_cast<int64_t>(node) * dim_);
+  }
   int level = RandomLevel();
   levels_.push_back(level);
   links_.emplace_back(static_cast<size_t>(level) + 1);
@@ -267,14 +314,23 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
   std::vector<Neighbor> out;
   if (external_ids_.empty()) return out;
 
+  const float* q = query.data();
+  std::vector<float> normalized;
+  if (config_.metric == Metric::kCosine) {
+    // Stored vectors are unit-length (normalize-at-Add), so the query
+    // must be too for 1 - dot to equal the cosine distance.
+    normalized = query;
+    NormalizeRow(normalized.data());
+    q = normalized.data();
+  }
+
   uint32_t current = entry_point_;
   for (int l = max_level_; l > 0; --l) {
-    current = GreedyClosest(query.data(), current, l);
+    current = GreedyClosest(q, current, l);
   }
   int ef = std::max(config_.ef_search, static_cast<int>(k));
   VisitedScratch visited;
-  std::vector<Candidate> candidates =
-      SearchLayer(query.data(), current, ef, 0, &visited);
+  std::vector<Candidate> candidates = SearchLayer(q, current, ef, 0, &visited);
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.distance < b.distance ||

@@ -113,6 +113,15 @@ class HnswIndex : public VectorIndex {
 
   float DistanceTo(const float* query, uint32_t node) const;
 
+  /// Distances from `query` to `count` nodes, with the candidate
+  /// vectors software-prefetched before the math starts — the batched
+  /// form every adjacency-list expansion uses.
+  void DistanceToBatch(const float* query, const uint32_t* nodes,
+                       size_t count, float* out) const;
+
+  /// L2-normalizes one stored row in place (no-op on zero vectors).
+  void NormalizeRow(float* row) const;
+
   /// Greedy single-entry descent on one layer.
   uint32_t GreedyClosest(const float* query, uint32_t entry,
                          int level) const;
@@ -146,7 +155,10 @@ class HnswIndex : public VectorIndex {
   double level_lambda_;
 
   std::vector<int64_t> external_ids_;
-  std::vector<float> data_;                // flattened vectors
+  // Flattened vectors. Under Metric::kCosine rows are stored
+  // L2-normalized (normalize-at-Add), so distance is a pure dot
+  // product; queries are normalized once at Search entry.
+  std::vector<float> data_;
   std::vector<int> levels_;                // per node
   // links_[node][level] = neighbor node ids.
   std::vector<std::vector<std::vector<uint32_t>>> links_;

@@ -1,0 +1,28 @@
+#ifndef MLAKE_INDEX_METRIC_H_
+#define MLAKE_INDEX_METRIC_H_
+
+#include <cstdint>
+
+#include "common/kernels.h"
+#include "index/vector_index.h"
+
+namespace mlake::index {
+
+/// The one shared metric implementation, backed by the dispatched
+/// kernel layer. Both vector indices (brute-force and HNSW) used to
+/// carry their own copy of this switch, which could silently drift;
+/// this header is now the single source of truth.
+inline float Distance(Metric metric, const float* a, const float* b,
+                      int64_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return kernels::L2Sq(a, b, dim);
+    case Metric::kCosine:
+      return kernels::CosineDistance(a, b, dim);
+  }
+  return 0.0f;
+}
+
+}  // namespace mlake::index
+
+#endif  // MLAKE_INDEX_METRIC_H_

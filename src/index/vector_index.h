@@ -43,8 +43,8 @@ class VectorIndex {
   virtual int64_t dim() const = 0;
 };
 
-/// Computes the metric distance between two equal-length vectors.
-float Distance(Metric metric, const float* a, const float* b, int64_t dim);
+// Distance(Metric, ...) lives in index/metric.h (inline, backed by the
+// kernels layer) so the two index implementations share one definition.
 
 /// Recall@k of `approx` against ground-truth `exact` (fraction of exact
 /// ids present in approx, both truncated to k).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels.h"
+
 namespace mlake {
 
 namespace {
@@ -15,41 +17,33 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   Tensor out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] += pb[i];
+  kernels::AddInPlace(out.data(), b.data(), out.NumElements());
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
   Tensor out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] -= pb[i];
+  kernels::SubInPlace(out.data(), b.data(), out.NumElements());
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   Tensor out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < out.NumElements(); ++i) po[i] *= pb[i];
+  kernels::MulInPlace(out.data(), b.data(), out.NumElements());
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = a;
-  for (float& v : out.storage()) v *= s;
+  kernels::ScaleInPlace(out.data(), s, out.NumElements());
   return out;
 }
 
 void Axpy(float s, const Tensor& b, Tensor* a) {
   CheckSameShape(*a, b, "Axpy");
-  float* pa = a->data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < a->NumElements(); ++i) pa[i] += s * pb[i];
+  kernels::Axpy(s, b.data(), a->data(), a->NumElements());
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -58,19 +52,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                     << " x " << b.ShapeString();
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // ikj loop order: streams through b and out rows for cache friendliness.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), b.data(), out.data());
   return out;
 }
 
@@ -82,13 +64,12 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
+  // Both operands are traversed along contiguous rows, so each output
+  // element is exactly one kernel dot product.
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = pa + i * k;
     for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      po[i * n + j] = acc;
+      po[i * n + j] = kernels::Dot(arow, pb + j * k, k);
     }
   }
   return out;
@@ -98,20 +79,17 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   MLAKE_CHECK(a.rank() == 2 && b.rank() == 2) << "MatMulTransposedA";
   MLAKE_CHECK(a.dim(0) == b.dim(0)) << "MatMulTransposedA inner dims";
   int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
+  // Materializing A^T costs O(km) against the O(kmn) multiply and lets
+  // the blocked Gemm kernel run on contiguous rows.
+  std::vector<float> at(static_cast<size_t>(k * m));
   const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
   for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
     for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      at[static_cast<size_t>(i * k + kk)] = pa[kk * m + i];
     }
   }
+  Tensor out({m, n});
+  kernels::Gemm(m, n, k, at.data(), b.data(), out.data());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "index/brute_force_index.h"
 
@@ -178,6 +180,47 @@ TEST(HnswTest, ExactMatchIsTopHit) {
     EXPECT_EQ(hits[0].id, static_cast<int64_t>(i));
     EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5);
   }
+}
+
+TEST(HnswTest, NormalizeAtAddPreservesCosineResults) {
+  // HNSW stores cosine vectors pre-normalized (distance = 1 - dot); the
+  // brute-force index computes the classic two-norm form per pair. If
+  // normalize-at-Add changed semantics, recall against brute force
+  // would collapse and distances would disagree. Vectors get wildly
+  // varying magnitudes to make any norm-handling bug visible.
+  const size_t n = 1500;
+  const int64_t dim = 24;
+  auto vectors = RandomVectors(n, dim, 21);
+  Rng rng(22);
+  for (auto& v : vectors) {
+    float scale = std::exp(static_cast<float>(rng.Normal()) * 2.0f);
+    for (float& x : v) x *= scale;
+  }
+
+  HnswConfig config;
+  config.metric = Metric::kCosine;
+  config.m = 12;
+  config.ef_construction = 80;
+  config.ef_search = 128;
+  HnswIndex hnsw(dim, config);
+  BruteForceIndex exact(dim, Metric::kCosine);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(hnsw.Add(static_cast<int64_t>(i), vectors[i]).ok());
+    ASSERT_TRUE(exact.Add(static_cast<int64_t>(i), vectors[i]).ok());
+  }
+
+  auto queries = RandomVectors(40, dim, 23);
+  double total_recall = 0.0;
+  for (const auto& q : queries) {
+    auto approx = hnsw.Search(q, 10).ValueOrDie();
+    auto truth = exact.Search(q, 10).ValueOrDie();
+    total_recall += RecallAtK(truth, approx, 10);
+    // The reported distances must still be true (un-normalized-input)
+    // cosine distances.
+    ASSERT_FALSE(approx.empty());
+    EXPECT_NEAR(approx[0].distance, truth[0].distance, 1e-4);
+  }
+  EXPECT_GE(total_recall / static_cast<double>(queries.size()), 0.95);
 }
 
 TEST(HnswTest, DeterministicGivenSeed) {

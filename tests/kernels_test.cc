@@ -1,0 +1,215 @@
+#include "common/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mlake::kernels {
+namespace {
+
+constexpr int64_t kMaxDim = 67;  // covers odd sizes and remainder loops
+
+/// Fills `n` floats at `p` with N(0,1) draws.
+void FillNormal(float* p, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(rng.Normal());
+}
+
+/// A buffer whose payload starts 4 bytes past vector alignment, so no
+/// kernel can get away with assuming 32-byte-aligned loads.
+struct Unaligned {
+  explicit Unaligned(int64_t n) : storage(static_cast<size_t>(n) + 1) {}
+  float* data() { return storage.data() + 1; }
+  std::vector<float> storage;
+};
+
+double RefDot(const float* a, const float* b, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+class BackendConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Backend* backend() const {
+    if (std::string(GetParam()) == "scalar") return &Scalar();
+    return Simd();  // may be null on non-AVX2 hosts
+  }
+};
+
+TEST_P(BackendConformance, DotL2SqCosineAcrossDims) {
+  const Backend* b = backend();
+  if (b == nullptr) GTEST_SKIP() << "SIMD backend unavailable on this host";
+  for (int64_t dim = 1; dim <= kMaxDim; ++dim) {
+    Unaligned ua(dim), ub(dim);
+    FillNormal(ua.data(), dim, static_cast<uint64_t>(dim));
+    FillNormal(ub.data(), dim, static_cast<uint64_t>(dim) + 1000);
+
+    double dot = RefDot(ua.data(), ub.data(), dim);
+    double na = RefDot(ua.data(), ua.data(), dim);
+    double nb = RefDot(ub.data(), ub.data(), dim);
+    double l2 = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      double d = static_cast<double>(ua.data()[i]) - ub.data()[i];
+      l2 += d * d;
+    }
+    double cosine = 1.0 - dot / std::sqrt(na * nb);
+
+    EXPECT_NEAR(b->dot(ua.data(), ub.data(), dim), dot, 1e-3)
+        << "dot dim=" << dim;
+    EXPECT_NEAR(b->l2sq(ua.data(), ub.data(), dim), l2, 1e-3)
+        << "l2sq dim=" << dim;
+    EXPECT_NEAR(b->cosine_distance(ua.data(), ub.data(), dim), cosine, 1e-4)
+        << "cosine dim=" << dim;
+  }
+}
+
+TEST_P(BackendConformance, ElementwiseAcrossDims) {
+  const Backend* b = backend();
+  if (b == nullptr) GTEST_SKIP() << "SIMD backend unavailable on this host";
+  for (int64_t dim = 1; dim <= kMaxDim; ++dim) {
+    Unaligned x(dim), base(dim);
+    FillNormal(x.data(), dim, static_cast<uint64_t>(dim) + 2000);
+    FillNormal(base.data(), dim, static_cast<uint64_t>(dim) + 3000);
+
+    // axpy
+    std::vector<float> got(base.data(), base.data() + dim);
+    b->axpy(0.75f, x.data(), got.data(), dim);
+    for (int64_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(got[static_cast<size_t>(i)],
+                  base.data()[i] + 0.75f * x.data()[i], 1e-5)
+          << "axpy dim=" << dim << " i=" << i;
+    }
+
+    // scale / add / sub / mul are the same primitive ops in any order,
+    // so backends must agree exactly with the scalar result.
+    auto check_exact = [&](const char* op,
+                           void (*kernel)(float*, const float*, int64_t),
+                           void (*ref)(float*, const float*, int64_t)) {
+      std::vector<float> lhs(base.data(), base.data() + dim);
+      std::vector<float> want(base.data(), base.data() + dim);
+      kernel(lhs.data(), x.data(), dim);
+      ref(want.data(), x.data(), dim);
+      for (int64_t i = 0; i < dim; ++i) {
+        EXPECT_EQ(lhs[static_cast<size_t>(i)], want[static_cast<size_t>(i)])
+            << op << " dim=" << dim << " i=" << i;
+      }
+    };
+    check_exact("add", b->add_inplace, Scalar().add_inplace);
+    check_exact("sub", b->sub_inplace, Scalar().sub_inplace);
+    check_exact("mul", b->mul_inplace, Scalar().mul_inplace);
+
+    std::vector<float> scaled(base.data(), base.data() + dim);
+    b->scale_inplace(scaled.data(), -1.5f, dim);
+    for (int64_t i = 0; i < dim; ++i) {
+      EXPECT_EQ(scaled[static_cast<size_t>(i)], base.data()[i] * -1.5f)
+          << "scale dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BackendConformance, GemmAgainstDoubleReference) {
+  const Backend* b = backend();
+  if (b == nullptr) GTEST_SKIP() << "SIMD backend unavailable on this host";
+  struct Shape {
+    int64_t m, n, k;
+  };
+  // Shapes straddle every micro-kernel boundary: 4-row blocks, 16- and
+  // 8-wide column panels, and the scalar column tail.
+  const Shape shapes[] = {{1, 1, 1},  {3, 5, 7},    {4, 16, 8},
+                          {5, 17, 9}, {8, 24, 16},  {13, 33, 67},
+                          {32, 32, 32}, {2, 7, 64}, {67, 19, 3}};
+  for (const Shape& s : shapes) {
+    Unaligned a(s.m * s.k), bb(s.k * s.n);
+    FillNormal(a.data(), s.m * s.k, 11);
+    FillNormal(bb.data(), s.k * s.n, 12);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n),
+                         std::numeric_limits<float>::quiet_NaN());
+    b->gemm(s.m, s.n, s.k, a.data(), bb.data(), c.data());
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        double want = 0.0;
+        for (int64_t kk = 0; kk < s.k; ++kk) {
+          want += static_cast<double>(a.data()[i * s.k + kk]) *
+                  bb.data()[kk * s.n + j];
+        }
+        EXPECT_NEAR(c[static_cast<size_t>(i * s.n + j)], want, 1e-3)
+            << "gemm " << s.m << "x" << s.n << "x" << s.k << " at (" << i
+            << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_P(BackendConformance, NanAndInfPropagate) {
+  const Backend* b = backend();
+  if (b == nullptr) GTEST_SKIP() << "SIMD backend unavailable on this host";
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (int64_t dim : {1, 7, 8, 9, 33}) {
+    for (int64_t pos : {int64_t{0}, dim - 1}) {
+      std::vector<float> a(static_cast<size_t>(dim), 1.0f);
+      std::vector<float> v(static_cast<size_t>(dim), 2.0f);
+      a[static_cast<size_t>(pos)] = nan;
+      EXPECT_TRUE(std::isnan(b->dot(a.data(), v.data(), dim)))
+          << "dot nan dim=" << dim << " pos=" << pos;
+      EXPECT_TRUE(std::isnan(b->l2sq(a.data(), v.data(), dim)))
+          << "l2sq nan dim=" << dim << " pos=" << pos;
+      EXPECT_TRUE(std::isnan(b->cosine_distance(a.data(), v.data(), dim)))
+          << "cosine nan dim=" << dim << " pos=" << pos;
+
+      a[static_cast<size_t>(pos)] = inf;
+      EXPECT_EQ(b->dot(a.data(), v.data(), dim), inf)
+          << "dot inf dim=" << dim << " pos=" << pos;
+      EXPECT_EQ(b->l2sq(a.data(), v.data(), dim), inf)
+          << "l2sq inf dim=" << dim << " pos=" << pos;
+    }
+  }
+}
+
+TEST_P(BackendConformance, CosineZeroVectorIsMaxDistance) {
+  const Backend* b = backend();
+  if (b == nullptr) GTEST_SKIP() << "SIMD backend unavailable on this host";
+  for (int64_t dim : {1, 8, 13}) {
+    std::vector<float> zero(static_cast<size_t>(dim), 0.0f);
+    std::vector<float> v(static_cast<size_t>(dim), 3.0f);
+    EXPECT_EQ(b->cosine_distance(zero.data(), v.data(), dim), 1.0f);
+    EXPECT_EQ(b->cosine_distance(v.data(), zero.data(), dim), 1.0f);
+    EXPECT_EQ(b->cosine_distance(zero.data(), zero.data(), dim), 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
+                         ::testing::Values("scalar", "simd"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(KernelDispatchTest, ForceBackendRoundTrip) {
+  ASSERT_TRUE(ForceBackend("scalar"));
+  EXPECT_STREQ(Active().name, "scalar");
+  EXPECT_FALSE(ForceBackend("not-a-backend"));
+  EXPECT_STREQ(Active().name, "scalar");  // unchanged on failure
+  if (Simd() != nullptr) {
+    ASSERT_TRUE(ForceBackend("avx2"));
+    EXPECT_STREQ(Active().name, "avx2");
+  } else {
+    EXPECT_FALSE(ForceBackend("avx2"));
+  }
+  // "auto" re-resolves to the best backend the host can run.
+  ASSERT_TRUE(ForceBackend("auto"));
+  if (Simd() != nullptr) {
+    EXPECT_STREQ(Active().name, Simd()->name);
+  } else {
+    EXPECT_STREQ(Active().name, "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace mlake::kernels
