@@ -1,17 +1,25 @@
-// Microbenchmarks: lake-level operations (ingest path pieces, card
-// (de)serialization, MLQL parse, embedding computation).
+// micro_lake: lake-level operation baseline — card (de)serialization,
+// completeness scoring, MLQL parsing, model embedding. Emits
+// BENCH_lake.json in the shared JsonBench schema (see exp_util.h).
+//
+// Usage: micro_lake [--quick] [--out PATH]
+//   --quick  CI-sized rep counts
+//   --out    JSON path (default: BENCH_lake.json in the cwd)
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <string>
 
-#include "common/file_util.h"
+#include "bench/exp_util.h"
 #include "embed/embedder.h"
 #include "metadata/model_card.h"
 #include "nn/dataset.h"
 #include "nn/model.h"
 #include "search/parser.h"
 
-namespace mlake {
+namespace mlake::bench {
 namespace {
+
+volatile size_t g_sink = 0;
 
 metadata::ModelCard SampleCard() {
   metadata::ModelCard card;
@@ -36,68 +44,69 @@ metadata::ModelCard SampleCard() {
   return card;
 }
 
-void BM_CardToJson(benchmark::State& state) {
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_lake.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: micro_lake [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  Banner("micro_lake", "card codec, MLQL parse, model embedding");
+  JsonBench bench("lake");
+  bench.Meta("quick", quick);
+  int reps = quick ? 3 : 9;
+
   metadata::ModelCard card = SampleCard();
-  for (auto _ : state) {
-    std::string text = card.ToJson().Dump();
-    benchmark::DoNotOptimize(text.data());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CardToJson);
+  std::string card_text = card.ToJson().Dump();
+  bench.TimeNs("card_to_json", reps, 1, 256,
+               [&] { g_sink = card.ToJson().Dump().size(); });
+  bench.TimeNs("card_from_json", reps, 1, 256, [&] {
+    auto parsed = Unwrap(Json::Parse(card_text), "Json::Parse");
+    g_sink = Unwrap(metadata::ModelCard::FromJson(parsed), "FromJson")
+                 .tags.size();
+  });
+  double completeness = 0.0;
+  bench.TimeNs("completeness_score", reps, 1, 1024, [&] {
+    completeness = metadata::CompletenessScore(card);
+  });
+  g_sink = completeness > 0.0;
 
-void BM_CardFromJson(benchmark::State& state) {
-  std::string text = SampleCard().ToJson().Dump();
-  for (auto _ : state) {
-    auto parsed = Json::Parse(text);
-    auto card = metadata::ModelCard::FromJson(parsed.ValueOrDie());
-    benchmark::DoNotOptimize(card.ok());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CardFromJson);
-
-void BM_CompletenessScore(benchmark::State& state) {
-  metadata::ModelCard card = SampleCard();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(metadata::CompletenessScore(card));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CompletenessScore);
-
-void BM_MlqlParse(benchmark::State& state) {
   const char* query =
       "FIND MODELS WHERE (task = 'summarization' OR tag('legal')) AND "
       "trained_on('summarization/legal', 0.4) AND num_params >= 1000 "
       "RANK BY behavior_sim('acme/base') LIMIT 10";
-  for (auto _ : state) {
-    auto parsed = search::ParseQuery(query);
-    benchmark::DoNotOptimize(parsed.ok());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MlqlParse);
+  bench.TimeNs("mlql_parse", reps, 1, 512, [&] {
+    g_sink = Unwrap(search::ParseQuery(query), "ParseQuery").limit;
+  });
 
-void BM_EmbedModel(benchmark::State& state) {
-  static const char* kNames[] = {"behavioral", "weight_stats", "fisher"};
-  const char* name = kNames[state.range(0)];
+  // Embedding of a fresh model under each embedder family.
   Tensor probes = nn::MakeProbeSet(32, 24, 7);
-  auto embedder =
-      embed::MakeEmbedder(name, probes, 8).MoveValueUnsafe();
   Rng rng(1);
   auto model =
-      nn::BuildModel(nn::MlpSpec(32, {64}, 8), &rng).MoveValueUnsafe();
-  for (auto _ : state) {
-    auto vec = embedder->Embed(model.get());
-    benchmark::DoNotOptimize(vec.ok());
+      Unwrap(nn::BuildModel(nn::MlpSpec(32, {64}, 8), &rng), "BuildModel");
+  for (const char* name : {"behavioral", "weight_stats", "fisher"}) {
+    auto embedder = Unwrap(embed::MakeEmbedder(name, probes, 8),
+                           "MakeEmbedder");
+    bench.TimeNs(std::string("embed_model/") + name, reps, 1,
+                 quick ? 8 : 32, [&] {
+                   g_sink = Unwrap(embedder->Embed(model.get()), "Embed")
+                                .size();
+                 });
   }
-  state.SetLabel(name);
-  state.SetItemsProcessed(state.iterations());
+
+  Check(bench.WriteFile(out), "WriteFile");
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
 }
-BENCHMARK(BM_EmbedModel)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
-}  // namespace mlake
+}  // namespace mlake::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return mlake::bench::Main(argc, argv); }

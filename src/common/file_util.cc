@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/string_util.h"
 
@@ -38,17 +44,58 @@ Status WriteFile(const std::string& path, std::string_view data) {
   return Status::OK();
 }
 
+bool FsyncEnabled() { return std::getenv("MLAKE_NO_FSYNC") == nullptr; }
+
+#if defined(__unix__) || defined(__APPLE__)
+namespace {
+Status SyncFd(const std::string& path, int flags, const char* what) {
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError(std::string("cannot open for ") + what + ": " +
+                           path);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(std::string(what) + " failed: " + path);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status SyncFile(const std::string& path) {
+  return SyncFd(path, O_RDONLY, "fsync");
+}
+
+Status SyncDir(const std::string& path) {
+  return SyncFd(path.empty() ? "." : path, O_RDONLY | O_DIRECTORY,
+                "dir fsync");
+}
+#else
+Status SyncFile(const std::string&) { return Status::OK(); }
+Status SyncDir(const std::string&) { return Status::OK(); }
+#endif
+
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
   static std::atomic<uint64_t> counter{0};
   std::string tmp = path + StrFormat(".tmp.%llu",
                                      static_cast<unsigned long long>(
                                          counter.fetch_add(1)));
   MLAKE_RETURN_NOT_OK(WriteFile(tmp, data));
+  // Sync the bytes before publishing the name: rename is atomic for
+  // readers but not durable, and journaled filesystems may commit the
+  // rename before the data, leaving a valid name over empty content
+  // after a crash.
+  if (FsyncEnabled()) MLAKE_RETURN_NOT_OK(SyncFile(tmp));
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return Status::IOError("rename failed: " + path);
+  }
+  if (FsyncEnabled()) {
+    std::string dir = fs::path(path).parent_path().string();
+    MLAKE_RETURN_NOT_OK(SyncDir(dir));
   }
   return Status::OK();
 }

@@ -15,8 +15,22 @@ Result<std::string> ReadFile(const std::string& path);
 /// Writes `data` to `path`, replacing any previous contents.
 Status WriteFile(const std::string& path, std::string_view data);
 
-/// Writes via a temp file + rename so readers never observe a torn file.
+/// Writes via a temp file + rename so readers never observe a torn
+/// file. Durable by default: the temp file is fsynced before the rename
+/// and the parent directory after it, so a crash straddling the rename
+/// cannot leave a renamed-but-empty file. Setting the MLAKE_NO_FSYNC
+/// environment variable skips both syncs (test/bench speed knob).
 Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Flushes a file's data and metadata to stable storage (fsync).
+Status SyncFile(const std::string& path);
+
+/// Flushes a directory entry table to stable storage, making renames
+/// and creations inside it durable.
+Status SyncDir(const std::string& path);
+
+/// False when the MLAKE_NO_FSYNC escape hatch is set.
+bool FsyncEnabled();
 
 /// Appends `data` to `path`, creating it if needed.
 Status AppendFile(const std::string& path, std::string_view data);

@@ -1,0 +1,73 @@
+#include "common/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MLAKE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MLAKE_HAVE_MMAP 0
+#endif
+
+namespace mlake {
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      valid_(std::exchange(other.valid_, false)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    valid_ = std::exchange(other.valid_, false);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() { Reset(); }
+
+void MmapFile::Reset() {
+#if MLAKE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  valid_ = false;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+#if MLAKE_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for mmap: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat for mmap: " + path);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* data = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("mmap failed: " + path);
+    }
+    file.data_ = data;
+  }
+  ::close(fd);
+  file.valid_ = true;
+  return file;
+#else
+  return Status::Unimplemented("mmap not available on this platform: " +
+                               path);
+#endif
+}
+
+}  // namespace mlake

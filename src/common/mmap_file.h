@@ -1,0 +1,53 @@
+#ifndef MLAKE_COMMON_MMAP_FILE_H_
+#define MLAKE_COMMON_MMAP_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake {
+
+/// Read-only memory-mapped file.
+///
+/// The mapping is private and page-cache backed: bytes are faulted in
+/// on demand and can be reclaimed by the kernel at any time, so holding
+/// a view over a multi-megabyte checkpoint costs O(1) heap. The file
+/// descriptor is closed immediately after mapping (the mapping keeps
+/// the inode alive), and the destructor unmaps.
+///
+/// On platforms without mmap (or when the filesystem refuses it) `Open`
+/// returns an error; callers are expected to fall back to a copying
+/// read — see `BlobStore::GetView`.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to a valid empty view.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  /// True once `Open` succeeded (including the empty-file case).
+  bool valid() const { return valid_; }
+
+  std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_MMAP_FILE_H_

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/file_util.h"
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
@@ -44,18 +45,34 @@ Result<std::unique_ptr<ModelLake>> ModelLake::Open(LakeOptions options) {
 
 Status ModelLake::Initialize() {
   MLAKE_RETURN_NOT_OK(CreateDirs(options_.root));
+  storage::BlobStoreOptions blob_options;
+  blob_options.verify = options_.blob_verify;
+  blob_options.use_mmap = options_.blob_mmap;
   MLAKE_ASSIGN_OR_RETURN(storage::BlobStore blobs,
                          storage::BlobStore::Open(
-                             JoinPath(options_.root, "blobs")));
+                             JoinPath(options_.root, "blobs"), blob_options));
   blobs_ = std::make_unique<storage::BlobStore>(std::move(blobs));
   MLAKE_ASSIGN_OR_RETURN(catalog_, storage::Catalog::Open(JoinPath(
                                        options_.root, "catalog.log")));
+
+  artifact_cache_ = std::make_unique<
+      storage::ShardedLruCache<std::string, storage::ModelArtifact>>(
+      options_.artifact_cache_bytes, options_.cache_shards);
+  embedding_cache_ = std::make_unique<
+      storage::ShardedLruCache<std::string, std::vector<float>>>(
+      options_.embedding_cache_bytes, options_.cache_shards);
 
   probes_ = nn::MakeProbeSet(options_.input_dim, options_.probe_count,
                              options_.probe_seed);
   MLAKE_ASSIGN_OR_RETURN(
       embedder_,
       embed::MakeEmbedder(options_.embedder, probes_, options_.num_classes));
+  embedder_key_ = Sha256::HexDigest(StrFormat(
+      "%s|%lld|%zu|%llu|%lld|%lld", options_.embedder.c_str(),
+      static_cast<long long>(embedder_->Dim()), options_.probe_count,
+      static_cast<unsigned long long>(options_.probe_seed),
+      static_cast<long long>(options_.input_dim),
+      static_cast<long long>(options_.num_classes)));
 
   ann_ = std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
   dataset_lsh_ = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
@@ -71,6 +88,23 @@ Status ModelLake::Initialize() {
 
 Status ModelLake::RebuildIndices() {
   const ExecutionContext& exec = options_.exec;
+
+  // Model docs -> digest map (the load path's id -> digest hop without
+  // a catalog JSON parse per load).
+  {
+    std::vector<std::string> ids = catalog_->ListIds("model");
+    std::vector<std::string> digests(ids.size());
+    MLAKE_RETURN_NOT_OK(
+        ParallelFor(exec, 0, ids.size(), [&](size_t i) -> Status {
+          MLAKE_ASSIGN_OR_RETURN(Json model_doc,
+                                 catalog_->GetDoc("model", ids[i]));
+          digests[i] = model_doc.GetString("artifact_digest");
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      digest_by_id_[ids[i]] = digests[i];
+    }
+  }
 
   // Cards -> BM25. Catalog reads are const and safe concurrently; the
   // JSON parse is the cost, so parse in parallel and feed the (single
@@ -248,6 +282,7 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
     MLAKE_RETURN_NOT_OK(catalog_->PutDoc("embedding", card.model_id,
                                          FloatsToJson(embeddings[i])));
     MLAKE_RETURN_NOT_OK(IndexModel(card.model_id, card));
+    digest_by_id_[card.model_id] = digests[i];
     internal_ids[i] = static_cast<int64_t>(ann_ids_.size());
     ann_ids_.push_back(card.model_id);
     graph_.AddModel(card.model_id);
@@ -266,15 +301,46 @@ Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
   return LoadModelUnlocked(id);
 }
 
-Result<std::unique_ptr<nn::Model>> ModelLake::LoadModelUnlocked(
+Result<std::shared_ptr<const storage::ModelArtifact>> ModelLake::LoadArtifact(
     const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
+  return LoadArtifactUnlocked(digest);
+}
+
+Result<std::string> ModelLake::DigestForUnlocked(const std::string& id) const {
+  if (auto it = digest_by_id_.find(id); it != digest_by_id_.end()) {
+    return it->second;
+  }
+  // Fallback for ids the map has not seen (defensive; the map tracks
+  // every ingest and Open rebuild).
   MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
   std::string digest = model_doc.GetString("artifact_digest");
   if (digest.empty()) return Status::Corruption("model doc missing digest");
-  MLAKE_ASSIGN_OR_RETURN(std::string bytes, blobs_->Get(digest));
+  return digest;
+}
+
+Result<std::shared_ptr<const storage::ModelArtifact>>
+ModelLake::LoadArtifactUnlocked(const std::string& digest) const {
+  if (digest.empty()) return Status::Corruption("model doc missing digest");
+  if (auto cached = artifact_cache_->Get(digest)) return cached;
+  // Miss path: borrow the blob bytes (mmap view, digest verified per
+  // policy) and decode in place — no whole-file copy.
+  MLAKE_ASSIGN_OR_RETURN(storage::BlobView view, blobs_->GetView(digest));
   MLAKE_ASSIGN_OR_RETURN(storage::ModelArtifact artifact,
-                         storage::ParseArtifact(bytes));
-  return storage::ModelFromArtifact(artifact);
+                         storage::ParseArtifact(view.bytes()));
+  auto shared =
+      std::make_shared<const storage::ModelArtifact>(std::move(artifact));
+  artifact_cache_->Put(digest, shared, storage::ArtifactMemoryBytes(*shared));
+  return shared;
+}
+
+Result<std::unique_ptr<nn::Model>> ModelLake::LoadModelUnlocked(
+    const std::string& id) const {
+  MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
+  MLAKE_ASSIGN_OR_RETURN(std::shared_ptr<const storage::ModelArtifact> artifact,
+                         LoadArtifactUnlocked(digest));
+  return storage::ModelFromArtifact(*artifact);
 }
 
 Status ModelLake::UpdateCard(const metadata::ModelCard& card) {
@@ -307,11 +373,17 @@ Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
   std::vector<uint8_t> bad(ids.size(), 0);
   MLAKE_RETURN_NOT_OK(
       ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
-        MLAKE_ASSIGN_OR_RETURN(Json model_doc,
-                               catalog_->GetDoc("model", ids[i]));
-        std::string digest = model_doc.GetString("artifact_digest");
-        auto bytes = blobs_->Get(digest);
-        if (!bytes.ok() || !storage::ParseArtifact(bytes.ValueUnsafe()).ok()) {
+        auto digest = DigestForUnlocked(ids[i]);
+        if (!digest.ok()) {
+          bad[i] = 1;
+          return Status::OK();
+        }
+        // Forced digest re-hash over an mmap view plus a decode-free
+        // CRC walk: fsck never materializes a checkpoint on the heap.
+        auto view = blobs_->GetView(digest.ValueUnsafe(),
+                                    storage::VerifyMode::kAlways);
+        if (!view.ok() ||
+            !storage::VerifyArtifact(view.ValueUnsafe().bytes()).ok()) {
           bad[i] = 1;
         }
         return Status::OK();
@@ -380,14 +452,32 @@ Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
   std::vector<std::string> ids = ListModelsUnlocked();
   std::vector<versioning::WeightSummary> summaries(ids.size());
   // Artifact load + flatten per model is pure and slot-owned: safe and
-  // deterministic to parallelize.
+  // deterministic to parallelize. Works on the decoded artifact (via
+  // the artifact cache) instead of rebuilding a live model: the
+  // artifact stores weights in NamedParams order, so concatenating its
+  // tensors is exactly Model::FlattenParams without the weight-init +
+  // LoadStateDict round trip.
   MLAKE_RETURN_NOT_OK(
       ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
-        MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
-                               LoadModelUnlocked(ids[i]));
+        MLAKE_ASSIGN_OR_RETURN(std::string digest,
+                               DigestForUnlocked(ids[i]));
+        MLAKE_ASSIGN_OR_RETURN(
+            std::shared_ptr<const storage::ModelArtifact> artifact,
+            LoadArtifactUnlocked(digest));
         summaries[i].id = ids[i];
-        summaries[i].arch_signature = model->spec().Signature();
-        summaries[i].flat_weights = model->FlattenParams();
+        summaries[i].arch_signature = artifact->spec.Signature();
+        int64_t total = 0;
+        for (const auto& [name, tensor] : artifact->weights) {
+          total += tensor.NumElements();
+        }
+        Tensor flat({total});
+        int64_t offset = 0;
+        for (const auto& [name, tensor] : artifact->weights) {
+          std::copy(tensor.data(), tensor.data() + tensor.NumElements(),
+                    flat.data() + offset);
+          offset += tensor.NumElements();
+        }
+        summaries[i].flat_weights = std::move(flat);
         return Status::OK();
       }));
   versioning::HeritageConfig effective = config;
@@ -460,8 +550,26 @@ Result<metadata::ModelCard> ModelLake::CardFor(const std::string& id) const {
 
 Result<std::vector<float>> ModelLake::EmbeddingForUnlocked(
     const std::string& id) const {
+  // Cache key: content digest + embedder config. Keyed by digest (not
+  // id) so identical checkpoints share one entry, and so the key is
+  // immutable — a digest always means the same bytes. Only values
+  // parsed from the catalog are cached (never freshly computed ones),
+  // so a cached read is bit-identical to an uncached one.
+  std::string key;
+  if (embedding_cache_->enabled()) {
+    if (auto digest = DigestForUnlocked(id); digest.ok()) {
+      key = digest.ValueUnsafe() + "|" + embedder_key_;
+      if (auto cached = embedding_cache_->Get(key)) return *cached;
+    }
+  }
   MLAKE_ASSIGN_OR_RETURN(Json doc, catalog_->GetDoc("embedding", id));
-  return FloatsFromJson(doc);
+  MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, FloatsFromJson(doc));
+  if (!key.empty()) {
+    embedding_cache_->Put(key,
+                          std::make_shared<const std::vector<float>>(vec),
+                          vec.size() * sizeof(float) + key.size());
+  }
+  return vec;
 }
 
 Result<std::vector<float>> ModelLake::EmbeddingFor(
@@ -779,10 +887,11 @@ Result<Json> ModelLake::AuditModel(const std::string& id) const {
   }
   report.Set("lineage_claim_consistent", consistent);
 
-  // Artifact integrity.
-  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
-  std::string digest = model_doc.GetString("artifact_digest");
-  bool intact = blobs_->Get(digest).ok();
+  // Artifact integrity: forced digest check over a view — the audit
+  // never materializes the checkpoint.
+  MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
+  bool intact =
+      blobs_->GetView(digest, storage::VerifyMode::kAlways).ok();
   report.Set("artifact_intact", intact);
 
   // Benchmark coverage.
@@ -794,6 +903,21 @@ Result<Json> ModelLake::AuditModel(const std::string& id) const {
   report.Set("passes",
              intact && consistent && !card.training_datasets.empty());
   return report;
+}
+
+ModelLake::LakeCacheStats ModelLake::CacheStats() const {
+  LakeCacheStats stats;
+  stats.artifacts = artifact_cache_->Stats();
+  stats.embeddings = embedding_cache_->Stats();
+  return stats;
+}
+
+Json ModelLake::CacheStatsJson() const {
+  LakeCacheStats stats = CacheStats();
+  Json out = Json::MakeObject();
+  out.Set("artifact_cache", storage::CacheStatsToJson(stats.artifacts));
+  out.Set("embedding_cache", storage::CacheStatsToJson(stats.embeddings));
+  return out;
 }
 
 Result<Json> ModelLake::Cite(const std::string& id) const {

@@ -20,6 +20,7 @@
 #include "search/context.h"
 #include "search/executor.h"
 #include "storage/blob_store.h"
+#include "storage/cache.h"
 #include "storage/catalog.h"
 #include "storage/model_artifact.h"
 #include "versioning/heritage.h"
@@ -61,6 +62,30 @@ struct LakeOptions {
   /// (statically partitioned, reduced in index order), so lake
   /// contents and query results are identical at any thread count.
   ExecutionContext exec;
+
+  // ----------------------------------------------------- storage layer
+  // (PR 3: zero-copy reads + caching. Caches sit on the read path only,
+  // so lake contents are byte-identical with caches on or off.)
+
+  /// Blob digest verification policy (see storage::VerifyMode).
+  /// Default verifies each checkpoint's SHA-256 once per process
+  /// instead of on every read.
+  storage::VerifyMode blob_verify = storage::VerifyMode::kOnFirstRead;
+
+  /// Serve checkpoint reads through mmap views (zero-copy); falls back
+  /// to copying reads automatically where mmap is unavailable.
+  bool blob_mmap = true;
+
+  /// Byte budget of the decoded-artifact cache (keyed by content
+  /// digest). 0 disables it.
+  size_t artifact_cache_bytes = size_t{256} << 20;
+
+  /// Byte budget of the embedding cache (keyed by digest + embedder
+  /// config). 0 disables it.
+  size_t embedding_cache_bytes = size_t{32} << 20;
+
+  /// Shards per cache (per-shard mutexes bound reader contention).
+  size_t cache_shards = 8;
 };
 
 /// One (model, card) pair of a batch ingest.
@@ -117,8 +142,16 @@ class ModelLake : public search::SearchContext {
   Result<std::vector<std::string>> IngestModels(
       const std::vector<IngestRequest>& batch);
 
-  /// Reconstructs the live model from its stored artifact.
+  /// Reconstructs the live model from its stored artifact (served from
+  /// the decoded-artifact cache when resident).
   Result<std::unique_ptr<nn::Model>> LoadModel(const std::string& id) const;
+
+  /// The decoded artifact itself — the cheap path for read-heavy lake
+  /// tasks (weight comparison, CKA, heritage) that never need a live
+  /// model. Shared with the artifact cache: the pointer stays valid
+  /// after eviction.
+  Result<std::shared_ptr<const storage::ModelArtifact>> LoadArtifact(
+      const std::string& id) const;
 
   Status UpdateCard(const metadata::ModelCard& card);
 
@@ -222,6 +255,17 @@ class ModelLake : public search::SearchContext {
 
   // ------------------------------------------------------------- misc
 
+  /// Counters of the lake's two storage caches.
+  struct LakeCacheStats {
+    storage::CacheStats artifacts;
+    storage::CacheStats embeddings;
+  };
+  LakeCacheStats CacheStats() const;
+
+  /// CacheStats as JSON ({"artifact_cache": {...}, "embedding_cache":
+  /// {...}}); what `mlake stats` and the benches print.
+  Json CacheStatsJson() const;
+
   const Tensor& probes() const { return probes_; }
   const LakeOptions& options() const { return options_; }
   storage::Catalog* catalog() { return catalog_.get(); }
@@ -267,6 +311,12 @@ class ModelLake : public search::SearchContext {
   std::vector<std::string> ListModelsUnlocked() const;
   Result<std::unique_ptr<nn::Model>> LoadModelUnlocked(
       const std::string& id) const;
+  /// id -> artifact digest via the in-memory map (catalog fallback).
+  Result<std::string> DigestForUnlocked(const std::string& id) const;
+  /// Digest -> decoded artifact through the artifact cache; the cache
+  /// miss path is GetView (zero-copy) + ParseArtifact.
+  Result<std::shared_ptr<const storage::ModelArtifact>> LoadArtifactUnlocked(
+      const std::string& digest) const;
   Result<metadata::ModelCard> CardForUnlocked(const std::string& id) const;
   Result<std::vector<float>> EmbeddingForUnlocked(
       const std::string& id) const;
@@ -290,6 +340,27 @@ class ModelLake : public search::SearchContext {
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<embed::ModelEmbedder> embedder_;
   Tensor probes_;
+
+  /// Read-path caches. Internally synchronized (per-shard mutexes), so
+  /// shared-lock readers may populate them concurrently; mutable for
+  /// exactly that reason. Keys are content digests, which makes stale
+  /// entries impossible: the same digest always decodes to the same
+  /// artifact, and deleting/re-ingesting a model id changes the digest
+  /// the catalog points at, never the digest's meaning.
+  mutable std::unique_ptr<
+      storage::ShardedLruCache<std::string, storage::ModelArtifact>>
+      artifact_cache_;
+  mutable std::unique_ptr<
+      storage::ShardedLruCache<std::string, std::vector<float>>>
+      embedding_cache_;
+  /// Hash of (embedder name, dim, probe config): the second half of the
+  /// embedding-cache key, so lakes sharing a process never mix
+  /// embeddings from different embedder configurations.
+  std::string embedder_key_;
+  /// model id -> artifact digest, maintained under the writer lock at
+  /// ingest and rebuilt on Open; saves a catalog JSON parse on every
+  /// load.
+  std::map<std::string, std::string> digest_by_id_;
 
   /// Readers/writer lock over all lake state (see class comment).
   mutable std::shared_mutex mu_;

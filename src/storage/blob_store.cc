@@ -10,9 +10,10 @@ namespace mlake::storage {
 
 namespace fs = std::filesystem;
 
-Result<BlobStore> BlobStore::Open(const std::string& root) {
+Result<BlobStore> BlobStore::Open(const std::string& root,
+                                  const BlobStoreOptions& options) {
   MLAKE_RETURN_NOT_OK(CreateDirs(JoinPath(root, "objects")));
-  return BlobStore(root);
+  return BlobStore(root, options);
 }
 
 std::string BlobStore::PathFor(const std::string& digest) const {
@@ -30,7 +31,43 @@ Result<std::string> BlobStore::Put(std::string_view bytes) {
   return digest;
 }
 
-Result<std::string> BlobStore::Get(const std::string& digest) const {
+bool BlobStore::NeedsVerify(const std::string& digest,
+                            VerifyMode mode) const {
+  switch (mode) {
+    case VerifyMode::kAlways:
+      return true;
+    case VerifyMode::kNever:
+      return false;
+    case VerifyMode::kOnFirstRead: {
+      std::lock_guard<std::mutex> lock(verified_->mu);
+      return verified_->digests.count(digest) == 0;
+    }
+  }
+  return true;
+}
+
+Status BlobStore::VerifyView(const BlobView& view,
+                             const std::string& digest) const {
+  // Hash outside the lock: concurrent first reads of distinct blobs
+  // must not serialize on a whole-file SHA-256.
+  bool match = Sha256::HexDigest(view.bytes()) == digest;
+  std::lock_guard<std::mutex> lock(verified_->mu);
+  if (!match) {
+    // Drop any stale verification (a blob can rot after its first
+    // read; a later kAlways audit must not leave it whitelisted).
+    verified_->digests.erase(digest);
+    return Status::Corruption("blob content mismatch: " + digest);
+  }
+  verified_->digests.insert(digest);
+  return Status::OK();
+}
+
+Result<BlobView> BlobStore::GetView(const std::string& digest) const {
+  return GetView(digest, options_.verify);
+}
+
+Result<BlobView> BlobStore::GetView(const std::string& digest,
+                                    VerifyMode mode) const {
   if (digest.size() != 64) {
     return Status::InvalidArgument("blob digest must be 64 hex chars");
   }
@@ -38,11 +75,28 @@ Result<std::string> BlobStore::Get(const std::string& digest) const {
   if (!FileExists(path)) {
     return Status::NotFound("blob not found: " + digest);
   }
-  MLAKE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
-  if (Sha256::HexDigest(bytes) != digest) {
-    return Status::Corruption("blob content mismatch: " + digest);
+  BlobView view;
+  if (options_.use_mmap) {
+    auto mapped = MmapFile::Open(path);
+    if (mapped.ok()) {
+      view = BlobView(mapped.MoveValueUnsafe());
+    }
   }
-  return bytes;
+  if (!view.mmapped()) {
+    // Copying fallback: mmap disabled, unavailable on this platform, or
+    // refused by the filesystem.
+    MLAKE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+    view = BlobView(std::move(bytes));
+  }
+  if (NeedsVerify(digest, mode)) {
+    MLAKE_RETURN_NOT_OK(VerifyView(view, digest));
+  }
+  return view;
+}
+
+Result<std::string> BlobStore::Get(const std::string& digest) const {
+  MLAKE_ASSIGN_OR_RETURN(BlobView view, GetView(digest));
+  return std::string(view.bytes());
 }
 
 bool BlobStore::Contains(const std::string& digest) const {
@@ -53,6 +107,10 @@ Status BlobStore::Delete(const std::string& digest) {
   std::string path = PathFor(digest);
   if (!FileExists(path)) {
     return Status::NotFound("blob not found: " + digest);
+  }
+  {
+    std::lock_guard<std::mutex> lock(verified_->mu);
+    verified_->digests.erase(digest);
   }
   return RemoveFile(path);
 }
@@ -79,10 +137,10 @@ Result<std::vector<std::string>> BlobStore::VerifyAll() const {
   MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> digests, List());
   std::vector<std::string> corrupted;
   for (const std::string& digest : digests) {
-    auto bytes = ReadFile(PathFor(digest));
-    if (!bytes.ok() || Sha256::HexDigest(bytes.ValueUnsafe()) != digest) {
-      corrupted.push_back(digest);
-    }
+    // Force a re-hash regardless of the store policy or verified set:
+    // VerifyAll is the integrity audit, not a cached read.
+    auto view = GetView(digest, VerifyMode::kAlways);
+    if (!view.ok()) corrupted.push_back(digest);
   }
   return corrupted;
 }
@@ -95,6 +153,11 @@ Result<uint64_t> BlobStore::TotalBytes() const {
     total += size;
   }
   return total;
+}
+
+size_t BlobStore::NumVerified() const {
+  std::lock_guard<std::mutex> lock(verified_->mu);
+  return verified_->digests.size();
 }
 
 }  // namespace mlake::storage

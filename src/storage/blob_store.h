@@ -1,13 +1,66 @@
 #ifndef MLAKE_STORAGE_BLOB_STORE_H_
 #define MLAKE_STORAGE_BLOB_STORE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "common/result.h"
 #include "common/status.h"
 
 namespace mlake::storage {
+
+/// When a read re-hashes blob content against its digest name.
+///
+///   kAlways      every Get/GetView re-hashes (paranoid, pre-PR-3
+///                behavior: pays one SHA-256 of the whole blob per read)
+///   kOnFirstRead the first read of a digest verifies and records it in
+///                an in-memory verified set; later reads skip the hash.
+///                Detects at-rest corruption once per process lifetime,
+///                which is what a read-heavy lake actually needs.
+///   kNever       trust the filesystem (benchmarks, sealed read-only
+///                lakes behind fsck).
+enum class VerifyMode { kAlways, kOnFirstRead, kNever };
+
+struct BlobStoreOptions {
+  VerifyMode verify = VerifyMode::kOnFirstRead;
+  /// Serve reads through mmap views. When false (or when mmap fails at
+  /// runtime), reads fall back to the copying path.
+  bool use_mmap = true;
+};
+
+/// A borrowed, zero-copy view of one blob's bytes.
+///
+/// Backed by a memory-mapped file when possible (O(1) heap regardless
+/// of blob size; pages are faulted in on demand) and by an owned string
+/// on the fallback path. The view owns its backing mapping/buffer: it
+/// stays valid for the lifetime of the BlobView object, independent of
+/// the BlobStore. Deleting the underlying blob file while a view is
+/// live is safe on POSIX (the mapping pins the inode).
+class BlobView {
+ public:
+  BlobView() = default;
+
+  std::string_view bytes() const {
+    return file_.valid() ? file_.bytes() : std::string_view(owned_);
+  }
+  size_t size() const { return bytes().size(); }
+
+  /// True when this view is mmap-backed (false = copying fallback).
+  bool mmapped() const { return file_.valid(); }
+
+ private:
+  friend class BlobStore;
+  explicit BlobView(MmapFile file) : file_(std::move(file)) {}
+  explicit BlobView(std::string bytes) : owned_(std::move(bytes)) {}
+
+  MmapFile file_;
+  std::string owned_;
+};
 
 /// Content-addressable on-disk blob store.
 ///
@@ -15,17 +68,33 @@ namespace mlake::storage {
 /// as `<root>/objects/<d0d1>/<digest>` (two-hex-char fan-out, the git
 /// object-store layout). Writing is idempotent: storing the same bytes
 /// twice is a no-op, which deduplicates identical model checkpoints for
-/// free. Blob files are written atomically (temp + rename).
+/// free. Blob files are written atomically and durably (temp + fsync +
+/// rename + dir fsync; see WriteFileAtomic).
+///
+/// Reads: `GetView` is the zero-copy path (mmap + verify policy);
+/// `Get` remains the copying convenience. Both verify the digest
+/// according to `BlobStoreOptions::verify`. The verified set is
+/// internally synchronized, so all read methods are safe to call
+/// concurrently (matching the lake's shared-lock reader contract).
 class BlobStore {
  public:
   /// Opens (creating directories as needed) a store rooted at `root`.
-  static Result<BlobStore> Open(const std::string& root);
+  static Result<BlobStore> Open(const std::string& root,
+                                const BlobStoreOptions& options = {});
 
   /// Stores `bytes`, returning their digest.
   Result<std::string> Put(std::string_view bytes);
 
-  /// Fetches a blob; verifies the digest on read and returns Corruption
-  /// if the on-disk bytes no longer match their name.
+  /// Zero-copy fetch: a borrowed view over the blob, verified per the
+  /// store's VerifyMode. Returns Corruption if verification runs and
+  /// the on-disk bytes no longer match their name.
+  Result<BlobView> GetView(const std::string& digest) const;
+
+  /// As above but with an explicit verification mode for this one read
+  /// (fsck forces kAlways regardless of the store policy).
+  Result<BlobView> GetView(const std::string& digest, VerifyMode mode) const;
+
+  /// Copying fetch; same verification semantics as GetView.
   Result<std::string> Get(const std::string& digest) const;
 
   bool Contains(const std::string& digest) const;
@@ -35,20 +104,40 @@ class BlobStore {
   /// All stored digests (sorted).
   Result<std::vector<std::string>> List() const;
 
-  /// Re-hashes every blob; returns digests whose content mismatches.
+  /// Re-hashes every blob through mmap views (O(1) resident memory per
+  /// blob); returns digests whose content mismatches.
   Result<std::vector<std::string>> VerifyAll() const;
 
   /// Total bytes across all blobs.
   Result<uint64_t> TotalBytes() const;
 
   const std::string& root() const { return root_; }
+  const BlobStoreOptions& options() const { return options_; }
+
+  /// Digests verified so far under kOnFirstRead (test/stats hook).
+  size_t NumVerified() const;
 
  private:
-  explicit BlobStore(std::string root) : root_(std::move(root)) {}
+  /// Verified-digest set, synchronized internally so const reads can
+  /// record verifications concurrently. Held by pointer to keep
+  /// BlobStore movable.
+  struct VerifiedSet {
+    mutable std::mutex mu;
+    std::unordered_set<std::string> digests;
+  };
+
+  BlobStore(std::string root, const BlobStoreOptions& options)
+      : root_(std::move(root)),
+        options_(options),
+        verified_(std::make_unique<VerifiedSet>()) {}
 
   std::string PathFor(const std::string& digest) const;
+  bool NeedsVerify(const std::string& digest, VerifyMode mode) const;
+  Status VerifyView(const BlobView& view, const std::string& digest) const;
 
   std::string root_;
+  BlobStoreOptions options_;
+  std::unique_ptr<VerifiedSet> verified_;
 };
 
 }  // namespace mlake::storage

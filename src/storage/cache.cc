@@ -1,0 +1,33 @@
+#include "storage/cache.h"
+
+namespace mlake::storage {
+
+CacheStats& CacheStats::operator+=(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  bytes += other.bytes;
+  entries += other.entries;
+  capacity += other.capacity;
+  return *this;
+}
+
+double CacheStats::HitRate() const {
+  uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+Json CacheStatsToJson(const CacheStats& stats) {
+  Json out = Json::MakeObject();
+  out.Set("hits", static_cast<int64_t>(stats.hits));
+  out.Set("misses", static_cast<int64_t>(stats.misses));
+  out.Set("evictions", static_cast<int64_t>(stats.evictions));
+  out.Set("bytes", static_cast<int64_t>(stats.bytes));
+  out.Set("entries", static_cast<int64_t>(stats.entries));
+  out.Set("capacity", static_cast<int64_t>(stats.capacity));
+  out.Set("hit_rate", stats.HitRate());
+  return out;
+}
+
+}  // namespace mlake::storage

@@ -1,0 +1,186 @@
+#ifndef MLAKE_STORAGE_CACHE_H_
+#define MLAKE_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace mlake::storage {
+
+/// Aggregated counters of one cache (or one shard of it).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;     // resident value bytes
+  uint64_t entries = 0;   // resident entries
+  uint64_t capacity = 0;  // byte budget (0 = cache disabled)
+
+  CacheStats& operator+=(const CacheStats& other);
+  double HitRate() const;
+};
+
+/// JSON rendering used by `mlake stats` and the benches.
+Json CacheStatsToJson(const CacheStats& stats);
+
+/// Thread-safe byte-budget LRU cache, sharded to keep lock hold times
+/// short under the lake's concurrent-reader workload.
+///
+/// - Keys hash to one of `num_shards` shards; each shard has its own
+///   mutex, LRU list and map, and an equal slice of the byte budget.
+/// - Values are held as `shared_ptr<const V>`: a reader keeps its value
+///   alive after eviction, so Get never returns a dangling pointer and
+///   eviction never blocks on readers.
+/// - A byte budget of 0 disables the cache entirely (Get always misses,
+///   Put is a no-op) — the "caches off" configuration is the same code
+///   path minus insertions, which keeps on/off behavior trivially
+///   identical.
+/// - A single value larger than its shard's budget is not admitted
+///   (inserting it would evict the whole shard for one entry).
+///
+/// The cache is deliberately value-agnostic: the lake instantiates it
+/// for decoded artifacts (keyed by content digest) and embeddings
+/// (keyed by digest + embedder-config hash).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(size_t byte_budget, size_t num_shards = 8)
+      : byte_budget_(byte_budget),
+        shards_(num_shards == 0 ? 1 : num_shards) {
+    shard_budget_ = byte_budget_ / shards_.size();
+    for (auto& shard : shards_) shard = std::make_unique<Shard>();
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  bool enabled() const { return byte_budget_ > 0; }
+  size_t byte_budget() const { return byte_budget_; }
+
+  /// Returns the cached value (promoting it to most-recent) or nullptr.
+  std::shared_ptr<const V> Get(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!enabled()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, charging `bytes` against the shard
+  /// budget and evicting least-recently-used entries to fit.
+  void Put(const K& key, std::shared_ptr<const V> value, size_t bytes) {
+    if (!enabled() || value == nullptr) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+    }
+    if (bytes > shard_budget_) return;  // would evict the entire shard
+    while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+      EvictOldest(&shard);
+    }
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.map.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+  }
+
+  /// Removes one key; true if it was resident. Invalidation hook for
+  /// deletes/re-ingests.
+  bool Erase(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (stats counters are kept).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->map.clear();
+      shard->bytes = 0;
+    }
+  }
+
+  CacheStats Stats() const {
+    CacheStats total;
+    total.capacity = byte_budget_;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total.hits += shard->hits;
+      total.misses += shard->misses;
+      total.evictions += shard->evictions;
+      total.bytes += shard->bytes;
+      total.entries += shard->lru.size();
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+    size_t bytes;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const K& key) const {
+    // Fibonacci-mix the hash so std::hash identity hashing (common for
+    // integers) still spreads across shards.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h *= 0x9e3779b97f4a7c15ull;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  void EvictOldest(Shard* shard) {
+    Entry& oldest = shard->lru.back();
+    shard->bytes -= oldest.bytes;
+    shard->map.erase(oldest.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+  }
+
+  size_t byte_budget_;
+  size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mlake::storage
+
+#endif  // MLAKE_STORAGE_CACHE_H_

@@ -84,6 +84,56 @@ Result<ModelArtifact> ParseArtifact(std::string_view bytes) {
   return artifact;
 }
 
+Status VerifyArtifact(std::string_view bytes) {
+  ByteReader reader(bytes);
+  std::string_view magic;
+  if (!reader.GetBytes(sizeof(kMagic), &magic) ||
+      magic != std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::Corruption("artifact: bad magic");
+  }
+  uint32_t version;
+  if (!reader.GetU32(&version)) {
+    return Status::Corruption("artifact: truncated version");
+  }
+  if (version != kArtifactFormatVersion) {
+    return Status::Corruption(
+        StrFormat("artifact: unsupported format version %u", version));
+  }
+  uint32_t sections;
+  if (!reader.GetU32(&sections)) {
+    return Status::Corruption("artifact: truncated section count");
+  }
+  bool saw_arch = false;
+  for (uint32_t i = 0; i < sections; ++i) {
+    std::string_view name, payload;
+    uint32_t crc;
+    if (!reader.GetLengthPrefixed(&name) || !reader.GetU32(&crc) ||
+        !reader.GetLengthPrefixed(&payload)) {
+      return Status::Corruption("artifact: truncated section");
+    }
+    if (Crc32(payload) != crc) {
+      return Status::Corruption("artifact: crc mismatch in section '" +
+                                std::string(name) + "'");
+    }
+    if (name == "arch") saw_arch = true;
+  }
+  if (!reader.Done()) {
+    return Status::Corruption("artifact: trailing bytes");
+  }
+  if (!saw_arch) return Status::Corruption("artifact: missing arch section");
+  return Status::OK();
+}
+
+size_t ArtifactMemoryBytes(const ModelArtifact& artifact) {
+  size_t bytes = sizeof(ModelArtifact);
+  for (const auto& [name, tensor] : artifact.weights) {
+    bytes += name.size() + sizeof(Tensor) +
+             static_cast<size_t>(tensor.NumElements()) * sizeof(float);
+  }
+  bytes += artifact.meta.Dump().size();
+  return bytes;
+}
+
 ModelArtifact ArtifactFromModel(const nn::Model& model, Json meta) {
   ModelArtifact artifact;
   artifact.spec = model.spec();

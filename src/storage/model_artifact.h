@@ -36,8 +36,21 @@ struct ModelArtifact {
 /// pinpointed to a section on read.
 std::string SerializeArtifact(const ModelArtifact& artifact);
 
-/// Parses and CRC-verifies an artifact.
+/// Parses and CRC-verifies an artifact. Takes a borrowed view — pair
+/// with `BlobStore::GetView` to decode straight out of the page cache
+/// with no whole-file copy (tensor payloads are copied into their
+/// Tensors; everything else is read in place).
 Result<ModelArtifact> ParseArtifact(std::string_view bytes);
+
+/// Structural + CRC check without decoding: walks the section table and
+/// verifies every checksum but never materializes JSON or tensors.
+/// Over an mmap view this makes artifact fsck O(1) resident memory.
+Status VerifyArtifact(std::string_view bytes);
+
+/// Approximate heap footprint of a decoded artifact (tensor payloads +
+/// names + metadata); the byte weight used by the lake's artifact
+/// cache.
+size_t ArtifactMemoryBytes(const ModelArtifact& artifact);
 
 /// Snapshots a live model into an artifact.
 ModelArtifact ArtifactFromModel(const nn::Model& model, Json meta);

@@ -119,5 +119,84 @@ TEST_F(BlobStoreTest, LargeBlobRoundTrip) {
   EXPECT_EQ(store.Get(digest).ValueOrDie(), big);
 }
 
+TEST_F(BlobStoreTest, GetViewServesMmapZeroCopy) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string payload = "mmap me";
+  std::string digest = store.Put(payload).ValueOrDie();
+  auto view = store.GetView(digest);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.ValueUnsafe().bytes(), payload);
+  EXPECT_EQ(view.ValueUnsafe().size(), payload.size());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(view.ValueUnsafe().mmapped());
+#endif
+}
+
+TEST_F(BlobStoreTest, GetViewCopyFallbackWhenMmapDisabled) {
+  BlobStoreOptions options;
+  options.use_mmap = false;
+  auto store = BlobStore::Open(dir_, options).MoveValueUnsafe();
+  std::string digest = store.Put("copied bytes").ValueOrDie();
+  auto view = store.GetView(digest);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view.ValueUnsafe().mmapped());
+  EXPECT_EQ(view.ValueUnsafe().bytes(), "copied bytes");
+}
+
+TEST_F(BlobStoreTest, VerifyOnFirstReadHashesOnce) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();  // default policy
+  std::string digest = store.Put("verify once").ValueOrDie();
+  EXPECT_EQ(store.NumVerified(), 0u);  // Put never pre-verifies
+  ASSERT_TRUE(store.GetView(digest).ok());
+  EXPECT_EQ(store.NumVerified(), 1u);
+  // Corrupt after the first verified read: the per-process whitelist
+  // deliberately trades this detection for hash-free warm reads.
+  std::string path = JoinPath(JoinPath(dir_, "objects"),
+                              digest.substr(0, 2) + "/" + digest);
+  ASSERT_TRUE(WriteFile(path, "rotten bytes").ok());
+  EXPECT_TRUE(store.GetView(digest).ok());
+  // A kAlways read still catches it — and revokes the verification.
+  EXPECT_TRUE(
+      store.GetView(digest, VerifyMode::kAlways).status().IsCorruption());
+  EXPECT_EQ(store.NumVerified(), 0u);
+  EXPECT_TRUE(store.GetView(digest).status().IsCorruption());
+}
+
+TEST_F(BlobStoreTest, VerifyNeverSkipsHashingButDetectsMissing) {
+  BlobStoreOptions options;
+  options.verify = VerifyMode::kNever;
+  auto store = BlobStore::Open(dir_, options).MoveValueUnsafe();
+  std::string digest = store.Put("unchecked").ValueOrDie();
+  std::string path = JoinPath(JoinPath(dir_, "objects"),
+                              digest.substr(0, 2) + "/" + digest);
+  ASSERT_TRUE(WriteFile(path, "corrupted!").ok());
+  EXPECT_TRUE(store.GetView(digest).ok());  // kNever: serves rotten bytes
+  EXPECT_EQ(store.NumVerified(), 0u);
+  std::string missing(64, 'f');
+  EXPECT_TRUE(store.GetView(missing).status().IsNotFound());
+}
+
+TEST_F(BlobStoreTest, VerifyAlwaysDetectsRotAfterGoodReads) {
+  BlobStoreOptions options;
+  options.verify = VerifyMode::kAlways;
+  auto store = BlobStore::Open(dir_, options).MoveValueUnsafe();
+  std::string digest = store.Put("audited").ValueOrDie();
+  ASSERT_TRUE(store.GetView(digest).ok());
+  ASSERT_TRUE(store.GetView(digest).ok());
+  std::string path = JoinPath(JoinPath(dir_, "objects"),
+                              digest.substr(0, 2) + "/" + digest);
+  ASSERT_TRUE(WriteFile(path, "bit rot").ok());
+  EXPECT_TRUE(store.GetView(digest).status().IsCorruption());
+}
+
+TEST_F(BlobStoreTest, EmptyBlobView) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("").ValueOrDie();
+  auto view = store.GetView(digest);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.ValueUnsafe().size(), 0u);
+  EXPECT_EQ(view.ValueUnsafe().bytes(), "");
+}
+
 }  // namespace
 }  // namespace mlake::storage

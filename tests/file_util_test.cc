@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace mlake {
 namespace {
 
@@ -41,6 +43,30 @@ TEST_F(FileUtilTest, WriteFileAtomicReplaces) {
   auto names = ListDir(dir_);
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names.ValueUnsafe(), std::vector<std::string>{"f.txt"});
+}
+
+TEST_F(FileUtilTest, WriteFileAtomicDurableAndWithFsyncDisabled) {
+  // Round trip with fsync enabled (the default) and with the
+  // MLAKE_NO_FSYNC escape hatch; contents must be identical either way.
+  std::string path = JoinPath(dir_, "durable.txt");
+  unsetenv("MLAKE_NO_FSYNC");
+  EXPECT_TRUE(FsyncEnabled());
+  ASSERT_TRUE(WriteFileAtomic(path, "synced").ok());
+  EXPECT_EQ(ReadFile(path).ValueOrDie(), "synced");
+
+  setenv("MLAKE_NO_FSYNC", "1", 1);
+  EXPECT_FALSE(FsyncEnabled());
+  ASSERT_TRUE(WriteFileAtomic(path, "unsynced").ok());
+  EXPECT_EQ(ReadFile(path).ValueOrDie(), "unsynced");
+  unsetenv("MLAKE_NO_FSYNC");
+}
+
+TEST_F(FileUtilTest, SyncFileAndSyncDir) {
+  std::string path = JoinPath(dir_, "s.bin");
+  ASSERT_TRUE(WriteFile(path, "x").ok());
+  EXPECT_TRUE(SyncFile(path).ok());
+  EXPECT_TRUE(SyncDir(dir_).ok());
+  EXPECT_FALSE(SyncFile(JoinPath(dir_, "missing")).ok());
 }
 
 TEST_F(FileUtilTest, AppendAccumulates) {

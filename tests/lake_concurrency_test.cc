@@ -197,6 +197,48 @@ TEST_F(LakeConcurrencyTest, DuplicateInBatchRejectsAtomically) {
   EXPECT_FALSE(lake_->CardFor("dup").ok());
 }
 
+TEST_F(LakeConcurrencyTest, ConcurrentCachedLoadsAreSafeAndCoherent) {
+  // The storage caches are populated by const readers under the shared
+  // lock (mutable members, per-shard mutexes). Many threads loading the
+  // same few models concurrently must race on cache fills/hits without
+  // tearing, and every load must decode to the right model.
+  std::vector<std::unique_ptr<nn::Model>> models;
+  std::vector<IngestRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(TrainedModel(300 + i));
+    IngestRequest request;
+    request.model = models.back().get();
+    request.card = Card("c" + std::to_string(i));
+    batch.push_back(std::move(request));
+  }
+  ASSERT_TRUE(lake_->IngestModels(batch).ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 40; ++i) {
+        std::string id = "c" + std::to_string((t + i) % 4);
+        auto artifact = lake_->LoadArtifact(id);
+        if (!artifact.ok() ||
+            artifact.ValueUnsafe()->meta.GetString("model_id") != id) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (i % 4 == 0 && !lake_->LoadModel(id).ok()) failures.fetch_add(1);
+        if (i % 4 == 2 && !lake_->EmbeddingFor(id).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = lake_->CacheStats();
+  EXPECT_GT(stats.artifacts.hits, 0u);
+  EXPECT_EQ(stats.artifacts.entries, 4u);
+}
+
 TEST_F(LakeConcurrencyTest, ConcurrentSearchIsSafe) {
   // Documented HnswIndex contract: const Search from many threads.
   std::vector<std::unique_ptr<nn::Model>> models;

@@ -26,10 +26,18 @@ struct LakeSnapshot {
 };
 
 LakeSnapshot BuildLake(const std::string& root, const ExecutionContext& exec,
-                       uint64_t seed) {
+                       uint64_t seed, bool caches = true) {
   core::LakeOptions options;
   options.root = root;
   options.exec = exec;
+  if (!caches) {
+    // The pre-caching storage configuration: copying reads, hash on
+    // every read, no caches.
+    options.blob_mmap = false;
+    options.blob_verify = storage::VerifyMode::kAlways;
+    options.artifact_cache_bytes = 0;
+    options.embedding_cache_bytes = 0;
+  }
   auto lake = core::ModelLake::Open(options).MoveValueUnsafe();
 
   lakegen::LakeGenConfig config;
@@ -99,6 +107,62 @@ TEST(LakeDeterminismTest, IdenticalAtOneAndEightThreads) {
   EXPECT_EQ(serial.recovered_heritage_json, pooled.recovered_heritage_json);
   EXPECT_EQ(serial.related, pooled.related);
   EXPECT_EQ(serial.query_hits, pooled.query_hits);
+
+  ASSERT_TRUE(RemoveAll(root).ok());
+}
+
+TEST(LakeDeterminismTest, CachesOnAndOffAreByteIdentical) {
+  // PR 3 contract: the storage caches and the zero-copy read path sit
+  // below the lake's semantics — a lake built and read with caches on
+  // is indistinguishable from one built and read with the legacy
+  // configuration (copying reads, verify-always, no caches).
+  auto dir = MakeTempDir("mlake-determinism-cache");
+  ASSERT_TRUE(dir.ok());
+  const std::string root = dir.ValueUnsafe();
+
+  LakeSnapshot cached = BuildLake(JoinPath(root, "cached"),
+                                  ExecutionContext::Serial(), 42,
+                                  /*caches=*/true);
+  LakeSnapshot uncached = BuildLake(JoinPath(root, "uncached"),
+                                    ExecutionContext::Serial(), 42,
+                                    /*caches=*/false);
+
+  EXPECT_EQ(cached.model_ids, uncached.model_ids);
+  EXPECT_EQ(cached.artifact_digests, uncached.artifact_digests);
+  EXPECT_EQ(cached.embeddings, uncached.embeddings);
+  EXPECT_EQ(cached.lake_graph_json, uncached.lake_graph_json);
+  EXPECT_EQ(cached.recovered_heritage_json, uncached.recovered_heritage_json);
+  EXPECT_EQ(cached.related, uncached.related);
+  EXPECT_EQ(cached.query_hits, uncached.query_hits);
+
+  // Same lake, read back warm (cache hit) and legacy-cold: every
+  // artifact and embedding must round-trip bit-identically.
+  core::LakeOptions warm_options;
+  warm_options.root = JoinPath(root, "cached");
+  auto warm = core::ModelLake::Open(warm_options).MoveValueUnsafe();
+  core::LakeOptions cold_options;
+  cold_options.root = JoinPath(root, "cached");
+  cold_options.blob_mmap = false;
+  cold_options.blob_verify = storage::VerifyMode::kAlways;
+  cold_options.artifact_cache_bytes = 0;
+  cold_options.embedding_cache_bytes = 0;
+  auto cold = core::ModelLake::Open(cold_options).MoveValueUnsafe();
+  for (const std::string& id : warm->ListModels()) {
+    // First warm read populates the caches, second is served by them.
+    ASSERT_TRUE(warm->LoadArtifact(id).ok());
+    auto warm_artifact = warm->LoadArtifact(id);
+    auto cold_artifact = cold->LoadArtifact(id);
+    ASSERT_TRUE(warm_artifact.ok());
+    ASSERT_TRUE(cold_artifact.ok());
+    EXPECT_EQ(storage::SerializeArtifact(*warm_artifact.ValueUnsafe()),
+              storage::SerializeArtifact(*cold_artifact.ValueUnsafe()));
+    ASSERT_TRUE(warm->EmbeddingFor(id).ok());
+    EXPECT_EQ(warm->EmbeddingFor(id).ValueOrDie(),
+              cold->EmbeddingFor(id).ValueOrDie());
+  }
+  auto stats = warm->CacheStats();
+  EXPECT_GT(stats.artifacts.hits, 0u);
+  EXPECT_GT(stats.embeddings.hits, 0u);
 
   ASSERT_TRUE(RemoveAll(root).ok());
 }

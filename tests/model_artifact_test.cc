@@ -175,6 +175,49 @@ TEST(ModelArtifactTest, FuzzRandomGarbageNeverCrashes) {
   }
 }
 
+TEST(ModelArtifactTest, VerifyArtifactAcceptsCleanBytes) {
+  auto model = MakeTrainedModel(11);
+  std::string bytes =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+  EXPECT_TRUE(VerifyArtifact(bytes).ok());
+}
+
+TEST(ModelArtifactTest, VerifyArtifactMatchesParseOnCorruption) {
+  // Decode-free verification must reject exactly what ParseArtifact
+  // rejects: flipped payload bytes, bad magic, truncation, trailers.
+  auto model = MakeTrainedModel(12);
+  std::string clean =
+      SerializeArtifact(ArtifactFromModel(*model, Json::MakeObject()));
+
+  std::string flipped = clean;
+  flipped[flipped.size() - 5] ^= 0x10;
+  EXPECT_TRUE(VerifyArtifact(flipped).IsCorruption());
+
+  std::string bad_magic = clean;
+  bad_magic[0] = 'X';
+  EXPECT_TRUE(VerifyArtifact(bad_magic).IsCorruption());
+
+  for (size_t cut : {size_t{4}, size_t{12}, size_t{40}, clean.size() - 3}) {
+    EXPECT_TRUE(VerifyArtifact(std::string_view(clean).substr(0, cut))
+                    .IsCorruption())
+        << "cut=" << cut;
+  }
+
+  EXPECT_TRUE(VerifyArtifact(clean + "extra").IsCorruption());
+}
+
+TEST(ModelArtifactTest, ArtifactMemoryBytesCoversTensors) {
+  auto model = MakeTrainedModel(13);
+  ModelArtifact artifact = ArtifactFromModel(*model, Json::MakeObject());
+  size_t payload = 0;
+  for (const auto& [name, tensor] : artifact.weights) {
+    payload += static_cast<size_t>(tensor.NumElements()) * sizeof(float);
+  }
+  // The cache charge must at least cover the dominant cost (tensor
+  // payloads) — undercharging would let the cache blow its budget.
+  EXPECT_GE(ArtifactMemoryBytes(artifact), payload);
+}
+
 TEST(ModelArtifactTest, DeterministicSerialization) {
   auto model = MakeTrainedModel(10);
   std::string a =

@@ -1,0 +1,177 @@
+#include "storage/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mlake::storage {
+namespace {
+
+using StringCache = ShardedLruCache<std::string, std::string>;
+
+std::shared_ptr<const std::string> Val(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ShardedLruCacheTest, GetMissThenHit) {
+  StringCache cache(1024, 1);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Put("k", Val("v"), 8);
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v");
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 8u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Single shard so the whole budget is one LRU chain.
+  StringCache cache(30, 1);
+  cache.Put("a", Val("A"), 10);
+  cache.Put("b", Val("B"), 10);
+  cache.Put("c", Val("C"), 10);
+  // Touch "a" so "b" becomes the oldest, then overflow by one entry.
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Put("d", Val("D"), 10);
+  EXPECT_EQ(cache.Get("b"), nullptr);   // evicted
+  EXPECT_NE(cache.Get("a"), nullptr);   // survived (recently used)
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("d"), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetAccounting) {
+  StringCache cache(100, 1);
+  cache.Put("a", Val("A"), 40);
+  cache.Put("b", Val("B"), 40);
+  EXPECT_EQ(cache.Stats().bytes, 80u);
+  // Replacing a key releases its old charge before adding the new one.
+  cache.Put("a", Val("A2"), 10);
+  EXPECT_EQ(cache.Stats().bytes, 50u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  // Filling past the budget evicts down to fit.
+  cache.Put("c", Val("C"), 60);
+  EXPECT_LE(cache.Stats().bytes, 100u);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryRejected) {
+  StringCache cache(100, 1);
+  cache.Put("small", Val("s"), 10);
+  cache.Put("huge", Val("h"), 101);  // larger than the shard budget
+  EXPECT_EQ(cache.Get("huge"), nullptr);
+  // The resident entry was not sacrificed for the rejected one.
+  EXPECT_NE(cache.Get("small"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, ValueOutlivesEviction) {
+  StringCache cache(20, 1);
+  cache.Put("a", Val("still alive"), 20);
+  auto held = cache.Get("a");
+  ASSERT_NE(held, nullptr);
+  cache.Put("b", Val("B"), 20);  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*held, "still alive");  // reader's pointer stays valid
+}
+
+TEST(ShardedLruCacheTest, EraseAndClear) {
+  StringCache cache(1024, 2);
+  cache.Put("a", Val("A"), 10);
+  cache.Put("b", Val("B"), 10);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+  uint64_t hits_before = cache.Stats().hits;
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+  EXPECT_EQ(cache.Stats().hits, hits_before);  // counters survive Clear
+}
+
+TEST(ShardedLruCacheTest, ZeroBudgetDisablesCache) {
+  StringCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", Val("A"), 1);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, ZeroShardsClampedToOne) {
+  StringCache cache(64, 0);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  cache.Put("a", Val("A"), 8);
+  EXPECT_NE(cache.Get("a"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, HitRate) {
+  CacheStats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+TEST(ShardedLruCacheTest, StatsJsonShape) {
+  StringCache cache(256, 2);
+  cache.Put("a", Val("A"), 16);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  Json json = CacheStatsToJson(cache.Stats());
+  EXPECT_EQ(json.GetInt64("hits"), 1);
+  EXPECT_EQ(json.GetInt64("misses"), 1);
+  EXPECT_EQ(json.GetInt64("bytes"), 16);
+  EXPECT_EQ(json.GetInt64("capacity"), 256);
+  EXPECT_DOUBLE_EQ(json.GetDouble("hit_rate"), 0.5);
+}
+
+// Sharded concurrent mixed workload; run under TSan in CI. Every thread
+// hammers an overlapping key range so Get promotions, Put evictions and
+// Erase races all actually interleave.
+TEST(ShardedLruCacheTest, ConcurrentGetPutAcrossShards) {
+  ShardedLruCache<int, int> cache(4096, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeys = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key = (t * 7 + i) % kKeys;
+        switch (i % 4) {
+          case 0:
+            cache.Put(key, std::make_shared<const int>(key * 2), 32);
+            break;
+          case 3:
+            cache.Erase(key);
+            break;
+          default: {
+            auto value = cache.Get(key);
+            if (value != nullptr) {
+              // A hit must observe the fully constructed value.
+              ASSERT_EQ(*value, key * 2);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread / 2);
+  EXPECT_LE(stats.bytes, 4096u);
+}
+
+}  // namespace
+}  // namespace mlake::storage

@@ -1,10 +1,13 @@
 // mlake — command-line front end for a model lake.
 //
-//   mlake --lake DIR [--threads N] COMMAND [ARGS...]
+//   mlake --lake DIR [--threads N] [--cache-mb N] COMMAND [ARGS...]
 //
 // --threads N sizes the lake's shared thread pool (0 or 1 = serial,
 // the default; N>1 parallelizes ingest, index rebuild, fsck and
 // heritage recovery — results are identical at any thread count).
+// --cache-mb N budgets the storage caches: N MB for decoded artifacts
+// plus N/8 MB for embeddings (0 disables both; default 256). Caches
+// sit on the read path only, so results are identical at any budget.
 //
 // Commands:
 //   init                         create an empty lake
@@ -22,6 +25,7 @@
 //   export ID FILE               write the model artifact to FILE
 //   import FILE ID [TASK]        ingest an artifact file under ID
 //   fsck                         verify every stored artifact
+//   stats                        lake size + storage cache counters
 //
 // Exit code 0 on success, 1 on any error.
 
@@ -46,17 +50,23 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mlake --lake DIR [--threads N] COMMAND [ARGS...]\n"
+               "usage: mlake --lake DIR [--threads N] [--cache-mb N] "
+               "COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
-               "hybrid graph recover-heritage export import fsck\n");
+               "hybrid graph recover-heritage export import fsck stats\n");
   return 1;
 }
 
 Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root,
-                                                  int threads) {
+                                                  int threads,
+                                                  int cache_mb) {
   core::LakeOptions options;
   options.root = root;
   if (threads > 1) options.exec = ExecutionContext::WithThreads(threads);
+  if (cache_mb >= 0) {
+    options.artifact_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+    options.embedding_cache_bytes = (static_cast<size_t>(cache_mb) << 20) / 8;
+  }
   return core::ModelLake::Open(std::move(options));
 }
 
@@ -262,6 +272,18 @@ int CmdImport(core::ModelLake* lake, const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdStats(core::ModelLake* lake) {
+  // Warm nothing: report whatever this process has accumulated so far
+  // (a bare `mlake stats` shows the cold-start configuration/budgets).
+  Json out = Json::MakeObject();
+  out.Set("models", static_cast<int64_t>(lake->NumModels()));
+  out.Set("datasets", static_cast<int64_t>(lake->ListDatasets().size()));
+  out.Set("benchmarks", static_cast<int64_t>(lake->ListBenchmarks().size()));
+  out.Set("caches", lake->CacheStatsJson());
+  std::printf("%s\n", out.Dump(2).c_str());
+  return 0;
+}
+
 int CmdFsck(core::ModelLake* lake) {
   auto corrupted = lake->FsckArtifacts();
   if (!corrupted.ok()) return Fail(corrupted.status());
@@ -278,12 +300,15 @@ int CmdFsck(core::ModelLake* lake) {
 int Run(int argc, char** argv) {
   std::string lake_dir;
   int threads = 0;
+  int cache_mb = -1;  // -1 = keep LakeOptions defaults.
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lake") == 0 && i + 1 < argc) {
       lake_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       rest.emplace_back(argv[i]);
     }
@@ -292,7 +317,7 @@ int Run(int argc, char** argv) {
   std::string command = rest.front();
   std::vector<std::string> args(rest.begin() + 1, rest.end());
 
-  auto lake = OpenLake(lake_dir, threads);
+  auto lake = OpenLake(lake_dir, threads, cache_mb);
   if (!lake.ok()) return Fail(lake.status());
   core::ModelLake* lk = lake.ValueUnsafe().get();
 
@@ -315,6 +340,7 @@ int Run(int argc, char** argv) {
   if (command == "export") return CmdExport(lk, args);
   if (command == "import") return CmdImport(lk, args);
   if (command == "fsck") return CmdFsck(lk);
+  if (command == "stats") return CmdStats(lk);
   return Usage();
 }
 
