@@ -1,0 +1,189 @@
+#include "common/fault_fs.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mlake {
+
+namespace {
+Status DeadError(const std::string& op) {
+  return Status::IOError("fs crashed (simulated): " + op + " refused");
+}
+}  // namespace
+
+void FaultInjectingFs::CrashNow() {
+  // No unwinding, no atexit, no stream flush: the closest a test can
+  // get to SIGKILL from inside the process.
+  std::_Exit(kCrashExitCode);
+}
+
+Status FaultInjectingFs::InjectedError(const std::string& op,
+                                       const std::string& path) {
+  ++injected_errors_;
+  return Status(plan_.error_code,
+                StrFormat("injected fault: %s %s", op.c_str(), path.c_str()));
+}
+
+Status FaultInjectingFs::BeforeMutatingOp(const std::string& op,
+                                          const std::string& path,
+                                          std::string_view payload,
+                                          bool is_write, bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return DeadError(op);
+  uint64_t idx = ++mutating_ops_;
+
+  if (plan_.crash_at_op != 0 && idx == plan_.crash_at_op) {
+    if (plan_.crash_style == CrashStyle::kTornOp && is_write &&
+        payload.size() > 1) {
+      // Persist a strict, seeded prefix before dying: a torn tail.
+      size_t prefix = static_cast<size_t>(rng_.NextBelow(payload.size()));
+      if (prefix > 0) {
+        std::string_view partial = payload.substr(0, prefix);
+        if (append) {
+          base_->AppendFile(path, partial);
+        } else {
+          base_->WriteFile(path, partial);
+        }
+      }
+    }
+    if (plan_.crash_exits_process) CrashNow();
+    dead_ = true;
+    return Status::IOError(
+        StrFormat("injected crash at op %llu: %s %s",
+                  static_cast<unsigned long long>(idx), op.c_str(),
+                  path.c_str()));
+  }
+
+  if (std::find(plan_.fail_ops.begin(), plan_.fail_ops.end(), idx) !=
+      plan_.fail_ops.end()) {
+    return InjectedError(op, path);
+  }
+  if (is_write && plan_.short_write_rate > 0.0 &&
+      rng_.NextDouble() < plan_.short_write_rate && payload.size() > 1) {
+    size_t prefix = static_cast<size_t>(rng_.NextBelow(payload.size()));
+    if (prefix > 0) {
+      std::string_view partial = payload.substr(0, prefix);
+      if (append) {
+        base_->AppendFile(path, partial);
+      } else {
+        base_->WriteFile(path, partial);
+      }
+    }
+    return InjectedError(op + " (short write)", path);
+  }
+  if (plan_.error_rate > 0.0 && rng_.NextDouble() < plan_.error_rate) {
+    return InjectedError(op, path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFs::BeforeReadOp(const std::string& op,
+                                      const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return DeadError(op);
+  if (plan_.error_rate > 0.0 && rng_.NextDouble() < plan_.error_rate) {
+    return InjectedError(op, path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  MLAKE_RETURN_NOT_OK(BeforeReadOp("read", path));
+  return base_->ReadFile(path);
+}
+
+bool FaultInjectingFs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingFs::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::ListSubdirs(
+    const std::string& dir) {
+  return base_->ListSubdirs(dir);
+}
+
+Result<MmapFile> FaultInjectingFs::Mmap(const std::string& path) {
+  if (plan_.fail_mmap) {
+    return Status::Unavailable("injected fault: mmap refused " + path);
+  }
+  MLAKE_RETURN_NOT_OK(BeforeReadOp("mmap", path));
+  return base_->Mmap(path);
+}
+
+Status FaultInjectingFs::WriteFile(const std::string& path,
+                                   std::string_view data) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("write", path, data,
+                                       /*is_write=*/true, /*append=*/false));
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingFs::AppendFile(const std::string& path,
+                                    std::string_view data) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("append", path, data,
+                                       /*is_write=*/true, /*append=*/true));
+  return base_->AppendFile(path, data);
+}
+
+Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("truncate", path, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("rename", from, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFs::RemoveFile(const std::string& path) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("unlink", path, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFs::CreateDirs(const std::string& path) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("mkdir", path, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectingFs::SyncFile(const std::string& path) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("fsync", path, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->SyncFile(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& path) {
+  MLAKE_RETURN_NOT_OK(BeforeMutatingOp("fsync-dir", path, {},
+                                       /*is_write=*/false, /*append=*/false));
+  return base_->SyncDir(path);
+}
+
+uint64_t FaultInjectingFs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutating_ops_;
+}
+
+uint64_t FaultInjectingFs::injected_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_errors_;
+}
+
+bool FaultInjectingFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+}  // namespace mlake

@@ -1,0 +1,120 @@
+#ifndef MLAKE_COMMON_FAULT_FS_H_
+#define MLAKE_COMMON_FAULT_FS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/random.h"
+
+namespace mlake {
+
+/// How a crash point fires (see FaultPlan::crash_at_op).
+enum class CrashStyle {
+  /// The op at the crash point is not applied at all: the crash lands
+  /// between two filesystem operations.
+  kBeforeOp,
+  /// A WriteFile/AppendFile at the crash point persists a seeded strict
+  /// prefix of its payload first — a torn tail, the worst case for an
+  /// append-only log. Non-write ops degrade to kBeforeOp.
+  kTornOp,
+};
+
+/// Exit code a crash-exiting FaultInjectingFs dies with; parents that
+/// fork a crashing child assert on it.
+inline constexpr int kCrashExitCode = 86;
+
+/// One deterministic fault schedule, keyed entirely by `seed` and the
+/// op sequence (op indices are 1-based and count only mutating ops:
+/// write/append/truncate/rename/unlink/mkdir/fsync). With a serial
+/// execution context the op sequence — and therefore the schedule — is
+/// reproducible run to run.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Probability any data op (read or mutating) fails with `error_code`.
+  double error_rate = 0.0;
+  /// Probability a WriteFile/AppendFile persists only a seeded prefix
+  /// of its payload and then fails (short write: EIO/ENOSPC mid-write).
+  double short_write_rate = 0.0;
+  /// Code injected errors carry. kUnavailable models transient EIO (the
+  /// retry layer's food); kResourceExhausted models ENOSPC.
+  StatusCode error_code = StatusCode::kUnavailable;
+  /// Exact mutating-op indices that fail once with `error_code`, on top
+  /// of `error_rate`. Each index is hit at most once by construction,
+  /// so a retried op (next index) succeeds — deterministic retry tests.
+  std::vector<uint64_t> fail_ops;
+
+  /// Mutating-op index at which the process "crashes"; 0 = never.
+  uint64_t crash_at_op = 0;
+  CrashStyle crash_style = CrashStyle::kBeforeOp;
+  /// true: `_exit(kCrashExitCode)` at the crash point — pair with
+  /// fork() for a real kill (crash_matrix_test). false: the op fails
+  /// with IOError and every later op refuses, simulating the dead
+  /// process in-process.
+  bool crash_exits_process = false;
+
+  /// Refuse Mmap so every blob read funnels through ReadFile and stays
+  /// under injection.
+  bool fail_mmap = true;
+};
+
+/// Fs decorator that injects the FaultPlan. Existence/size/list checks
+/// pass through untouched (faults model data-path I/O, not stat); after
+/// an in-process crash every data op — reads and writes — fails.
+/// Thread-safe; the schedule is only deterministic when the op order is
+/// (serial ExecutionContext).
+class FaultInjectingFs final : public Fs {
+ public:
+  FaultInjectingFs(Fs* base, FaultPlan plan)
+      : base_(base), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListSubdirs(
+      const std::string& dir) override;
+  Result<MmapFile> Mmap(const std::string& path) override;
+
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+  /// Mutating ops seen so far (the crash/fail_ops index space).
+  uint64_t mutating_ops() const;
+  /// Errors injected so far (rate- and schedule-based, short writes
+  /// included; crash refusals excluded).
+  uint64_t injected_errors() const;
+  /// True once an in-process crash point fired.
+  bool crashed() const;
+
+ private:
+  /// Returns the injected error for this mutating op, or OK. Fires the
+  /// crash point (may _exit). For write ops, `payload`/`torn_target`
+  /// enable torn-tail prefixes (append=true appends the prefix).
+  Status BeforeMutatingOp(const std::string& op, const std::string& path,
+                          std::string_view payload, bool is_write,
+                          bool append);
+  Status BeforeReadOp(const std::string& op, const std::string& path);
+  Status InjectedError(const std::string& op, const std::string& path);
+  void CrashNow();
+
+  Fs* base_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t mutating_ops_ = 0;
+  uint64_t injected_errors_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_FAULT_FS_H_

@@ -13,6 +13,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/fs.h"
 #include "common/string_util.h"
 
 namespace mlake {
@@ -77,27 +78,9 @@ Status SyncDir(const std::string&) { return Status::OK(); }
 #endif
 
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  static std::atomic<uint64_t> counter{0};
-  std::string tmp = path + StrFormat(".tmp.%llu",
-                                     static_cast<unsigned long long>(
-                                         counter.fetch_add(1)));
-  MLAKE_RETURN_NOT_OK(WriteFile(tmp, data));
-  // Sync the bytes before publishing the name: rename is atomic for
-  // readers but not durable, and journaled filesystems may commit the
-  // rename before the data, leaving a valid name over empty content
-  // after a crash.
-  if (FsyncEnabled()) MLAKE_RETURN_NOT_OK(SyncFile(tmp));
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::IOError("rename failed: " + path);
-  }
-  if (FsyncEnabled()) {
-    std::string dir = fs::path(path).parent_path().string();
-    MLAKE_RETURN_NOT_OK(SyncDir(dir));
-  }
-  return Status::OK();
+  // Refactored onto the Fs seam so fault injection covers every step
+  // (temp write, fsync, rename, dir fsync) — see fs.h.
+  return WriteFileAtomic(RealFs(), path, data);
 }
 
 Status AppendFile(const std::string& path, std::string_view data) {

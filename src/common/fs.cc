@@ -1,0 +1,131 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace mlake {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+/// Passthrough to the free functions in file_util.h.
+class RealFsImpl final : public Fs {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    return mlake::ReadFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return mlake::FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return mlake::FileSize(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return mlake::ListDir(dir);
+  }
+  Result<std::vector<std::string>> ListSubdirs(
+      const std::string& dir) override {
+    std::error_code ec;
+    stdfs::directory_iterator it(dir, ec);
+    if (ec) return Status::IOError("cannot list: " + dir);
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      std::error_code ec2;
+      if (entry.is_directory(ec2)) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+  Result<MmapFile> Mmap(const std::string& path) override {
+    return MmapFile::Open(path);
+  }
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    return mlake::WriteFile(path, data);
+  }
+  Status AppendFile(const std::string& path, std::string_view data) override {
+    return mlake::AppendFile(path, data);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    stdfs::resize_file(path, size, ec);
+    if (ec) return Status::IOError("cannot truncate: " + path);
+    return Status::OK();
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    stdfs::rename(from, to, ec);
+    if (ec) return Status::IOError("rename failed: " + from + " -> " + to);
+    return Status::OK();
+  }
+  Status RemoveFile(const std::string& path) override {
+    return mlake::RemoveFile(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    return mlake::CreateDirs(path);
+  }
+  Status SyncFile(const std::string& path) override {
+    return mlake::SyncFile(path);
+  }
+  Status SyncDir(const std::string& path) override {
+    return mlake::SyncDir(path);
+  }
+};
+
+}  // namespace
+
+Fs* RealFs() {
+  static RealFsImpl* real = new RealFsImpl();
+  return real;
+}
+
+Status WriteFileAtomic(Fs* fs, const std::string& path,
+                       std::string_view data) {
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + StrFormat(".tmp.%llu",
+                                     static_cast<unsigned long long>(
+                                         counter.fetch_add(1)));
+  // Any failure after the temp file may exist must remove it: a crash
+  // can still strand one (cleaned by recovery on Open), but plain error
+  // paths must not.
+  Status st = fs->WriteFile(tmp, data);
+  // Sync the bytes before publishing the name: rename is atomic for
+  // readers but not durable, and journaled filesystems may commit the
+  // rename before the data, leaving a valid name over empty content
+  // after a crash.
+  if (st.ok() && FsyncEnabled()) st = fs->SyncFile(tmp);
+  if (st.ok()) st = fs->Rename(tmp, path);
+  if (!st.ok()) {
+    if (fs->FileExists(tmp)) fs->RemoveFile(tmp);
+    return st;
+  }
+  if (FsyncEnabled()) {
+    std::string dir = stdfs::path(path).parent_path().string();
+    MLAKE_RETURN_NOT_OK(fs->SyncDir(dir));
+  }
+  return Status::OK();
+}
+
+bool IsTmpFileName(std::string_view name) {
+  return name.find(".tmp.") != std::string_view::npos;
+}
+
+Status RemoveStrayTmpFiles(Fs* fs, const std::string& dir, size_t* removed) {
+  if (!fs->FileExists(dir)) return Status::OK();
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  for (const std::string& name : names) {
+    if (!IsTmpFileName(name)) continue;
+    MLAKE_RETURN_NOT_OK(fs->RemoveFile(JoinPath(dir, name)));
+    if (removed != nullptr) ++*removed;
+  }
+  return Status::OK();
+}
+
+}  // namespace mlake

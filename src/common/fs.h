@@ -1,0 +1,83 @@
+#ifndef MLAKE_COMMON_FS_H_
+#define MLAKE_COMMON_FS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake {
+
+/// The filesystem seam under the storage layer.
+///
+/// Every durable side effect of `BlobStore`, `KvStore`, `Catalog`, the
+/// intent journal and `WriteFileAtomic` goes through one of these
+/// virtual calls, so a decorator (see fault_fs.h) can deterministically
+/// inject I/O errors, short writes, torn tails and crash points — the
+/// same seam RocksDB/LevelDB use (`Env`/`FileSystem`) to make crash
+/// recovery testable without real power cuts.
+///
+/// Semantics match the free functions in file_util.h; `RealFs()` is the
+/// passthrough implementation built on them. Implementations must be
+/// safe to call from multiple threads (the lake reads concurrently
+/// under its shared lock).
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // ------------------------------------------------------------- reads
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  /// Names (not paths) of regular files directly inside `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  /// Names of immediate subdirectories of `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListSubdirs(
+      const std::string& dir) = 0;
+  /// Zero-copy read hook. Implementations that cannot (or, for fault
+  /// injection, will not) serve mmap return an error; callers fall back
+  /// to `ReadFile` so injected read faults stay observable.
+  virtual Result<MmapFile> Mmap(const std::string& path) = 0;
+
+  // ----------------------------------------------------------- writes
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+  virtual Status AppendFile(const std::string& path,
+                            std::string_view data) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  // -------------------------------------------------------- durability
+  virtual Status SyncFile(const std::string& path) = 0;
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+/// The process-wide passthrough Fs (delegates to file_util.h). Never
+/// null; not owned by callers.
+Fs* RealFs();
+
+/// `WriteFileAtomic` composed from Fs primitives: temp write + fsync +
+/// rename + dir fsync (see file_util.h for the durability rationale).
+/// Any failure removes the temp file best-effort, so error paths leave
+/// no `*.tmp.*` strays behind.
+Status WriteFileAtomic(Fs* fs, const std::string& path,
+                       std::string_view data);
+
+/// True for names WriteFileAtomic's temp files use ("<name>.tmp.<n>");
+/// what recovery scans look for.
+bool IsTmpFileName(std::string_view name);
+
+/// Removes stray `*.tmp.*` files directly inside `dir` (non-recursive);
+/// adds the number removed to `*removed` when non-null. Missing dir is
+/// OK (nothing to clean).
+Status RemoveStrayTmpFiles(Fs* fs, const std::string& dir,
+                           size_t* removed = nullptr);
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_FS_H_

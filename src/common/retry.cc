@@ -1,0 +1,41 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mlake {
+
+int BackoffMs(const RetryPolicy& policy, int retry) {
+  // initial * 2^(retry-1), saturating at the cap (and against overflow
+  // for absurd retry counts).
+  long long backoff = policy.initial_backoff_ms;
+  for (int i = 1; i < retry && backoff < policy.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  return static_cast<int>(
+      std::min<long long>(backoff, policy.max_backoff_ms));
+}
+
+void RetrySleep(const RetryPolicy& policy, int ms) {
+  if (policy.sleeper) {
+    policy.sleeper(ms);
+    return;
+  }
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& op, int* attempts_out) {
+  Status st = op();
+  int attempts = 1;
+  while (!st.ok() && st.IsTransient() && attempts < policy.max_attempts) {
+    RetrySleep(policy, BackoffMs(policy, attempts));
+    st = op();
+    ++attempts;
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return st;
+}
+
+}  // namespace mlake

@@ -1,0 +1,66 @@
+#ifndef MLAKE_COMMON_RETRY_H_
+#define MLAKE_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake {
+
+/// Bounded exponential backoff for transient I/O (Status::IsTransient).
+///
+/// Non-transient errors — corruption, not-found, ENOSPC — return
+/// immediately: retrying cannot fix wrong bytes or a full disk, and
+/// hammering them only hides the real failure. Defaults are tuned for
+/// a local disk hiccup: 3 attempts, 1ms first backoff, doubling, capped.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int initial_backoff_ms = 1;
+  int max_backoff_ms = 100;
+  /// Test hook: when set, called instead of sleeping. Receives the
+  /// backoff that would have been slept, in order.
+  std::function<void(int ms)> sleeper;
+
+  /// A policy that never retries (max_attempts = 1); the knob for
+  /// callers that want the seam without the loop.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Backoff before retry number `retry` (1-based), in ms.
+int BackoffMs(const RetryPolicy& policy, int retry);
+
+/// Sleeps (or calls the test sleeper) for the given backoff.
+void RetrySleep(const RetryPolicy& policy, int ms);
+
+/// Runs `op` until it returns OK, a non-transient error, or the policy
+/// is exhausted; returns the last status. `attempts_out` (optional)
+/// receives the number of attempts made.
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& op,
+                      int* attempts_out = nullptr);
+
+/// Result<T>-returning flavor; same policy semantics.
+template <typename T>
+Result<T> RetryTransient(const RetryPolicy& policy,
+                         const std::function<Result<T>()>& op,
+                         int* attempts_out = nullptr) {
+  Result<T> result = op();
+  int attempts = 1;
+  while (!result.ok() && result.status().IsTransient() &&
+         attempts < policy.max_attempts) {
+    RetrySleep(policy, BackoffMs(policy, attempts));
+    result = op();
+    ++attempts;
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return result;
+}
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_RETRY_H_

@@ -24,6 +24,13 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// Transient failure of an underlying service or device (flaky disk,
+  /// injected EIO, network hiccup): retrying the same operation may
+  /// succeed. The only code `IsTransient()` accepts.
+  kUnavailable = 10,
+  /// A resource budget was exhausted (ENOSPC, quota). Not transient:
+  /// retrying without freeing space will fail again.
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -76,6 +83,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -97,6 +110,22 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Error-category taxonomy for the robustness layer (see retry.h):
+  ///
+  ///   transient  -> safe and worthwhile to retry the same operation
+  ///                 (kUnavailable only; the storage seam reports flaky
+  ///                 I/O as Unavailable and hard failures as IOError)
+  ///   corruption -> the bytes are wrong; retrying cannot help, the
+  ///                 object should be quarantined and repaired
+  ///
+  /// All other categories (not-found, invalid-argument, ...) are
+  /// program-logic outcomes: neither retried nor quarantined.
+  bool IsTransient() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Category>: <message>".
   std::string ToString() const;

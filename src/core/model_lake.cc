@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <set>
 
 #include "common/file_util.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
@@ -44,16 +46,24 @@ Result<std::unique_ptr<ModelLake>> ModelLake::Open(LakeOptions options) {
 }
 
 Status ModelLake::Initialize() {
-  MLAKE_RETURN_NOT_OK(CreateDirs(options_.root));
+  fs_ = options_.fs != nullptr ? options_.fs : RealFs();
+  MLAKE_RETURN_NOT_OK(fs_->CreateDirs(options_.root));
   storage::BlobStoreOptions blob_options;
   blob_options.verify = options_.blob_verify;
   blob_options.use_mmap = options_.blob_mmap;
+  blob_options.fs = fs_;
+  blob_options.retry = options_.retry;
   MLAKE_ASSIGN_OR_RETURN(storage::BlobStore blobs,
                          storage::BlobStore::Open(
                              JoinPath(options_.root, "blobs"), blob_options));
   blobs_ = std::make_unique<storage::BlobStore>(std::move(blobs));
-  MLAKE_ASSIGN_OR_RETURN(catalog_, storage::Catalog::Open(JoinPath(
-                                       options_.root, "catalog.log")));
+  MLAKE_ASSIGN_OR_RETURN(
+      catalog_,
+      storage::Catalog::Open(JoinPath(options_.root, "catalog.log"), fs_));
+  MLAKE_ASSIGN_OR_RETURN(
+      storage::IntentJournal journal,
+      storage::IntentJournal::Open(JoinPath(options_.root, "journal"), fs_));
+  journal_ = std::make_unique<storage::IntentJournal>(std::move(journal));
 
   artifact_cache_ = std::make_unique<
       storage::ShardedLruCache<std::string, storage::ModelArtifact>>(
@@ -83,7 +93,105 @@ Status ModelLake::Initialize() {
     MLAKE_ASSIGN_OR_RETURN(graph_, versioning::ModelGraph::FromJson(
                                        graph_doc));
   }
+
+  // Crash recovery must run before the indices are built: it edits the
+  // catalog (intent rollback), and the indices must reflect the
+  // recovered state, not the crashed one.
+  MLAKE_RETURN_NOT_OK(Recover());
+
+  for (const std::string& id : catalog_->ListIds("degraded")) {
+    degraded_.insert(id);
+  }
   return RebuildIndices();
+}
+
+Status ModelLake::Recover() {
+  recovery_ = RecoveryReport();
+
+  // 1. Roll back mutations that began but never committed. Oldest
+  // first; each rollback is idempotent, so a crash mid-recovery just
+  // replays on the next open.
+  MLAKE_ASSIGN_OR_RETURN(std::vector<storage::Intent> pending,
+                         journal_->Pending());
+  for (const storage::Intent& intent : pending) {
+    MLAKE_LOG_WARNING << "lake " << options_.root
+                      << ": rolling back incomplete " << intent.op
+                      << " intent #" << intent.seq << " (" << intent.ids.size()
+                      << " model(s))";
+    MLAKE_RETURN_NOT_OK(RollbackIntent(intent));
+    MLAKE_RETURN_NOT_OK(journal_->Commit(intent.seq));
+    ++recovery_.rolled_back_intents;
+    recovery_.rolled_back_ids.insert(recovery_.rolled_back_ids.end(),
+                                     intent.ids.begin(), intent.ids.end());
+  }
+
+  // 2. Sweep stray temp files (atomic writes that crashed between
+  // temp-write and rename): lake root (catalog.log tmp), journal dir,
+  // blob buckets.
+  MLAKE_RETURN_NOT_OK(RemoveStrayTmpFiles(fs_, options_.root,
+                                          &recovery_.tmp_files_removed));
+  MLAKE_RETURN_NOT_OK(journal_->RemoveStrayTmp(&recovery_.tmp_files_removed));
+  MLAKE_RETURN_NOT_OK(blobs_->RemoveStrayTmp(&recovery_.tmp_files_removed));
+
+  // 3. Orphan blobs: content written by a crashed mutation whose intent
+  // already rolled back (or pre-journal debris). Unreferenced by any
+  // model doc -> unreachable -> safe to delete.
+  MLAKE_ASSIGN_OR_RETURN(recovery_.orphan_blobs_removed,
+                         GcOrphanBlobsUnlocked());
+  return Status::OK();
+}
+
+Status ModelLake::RollbackIntent(const storage::Intent& intent) {
+  for (const std::string& id : intent.ids) {
+    for (const char* kind : {"model", "card", "embedding", "degraded"}) {
+      if (catalog_->Contains(kind, id)) {
+        MLAKE_RETURN_NOT_OK(catalog_->DeleteDoc(kind, id));
+      }
+    }
+    graph_.RemoveModel(id);
+    degraded_.erase(id);
+  }
+  // Blobs are content-addressed and deduplicated: only delete an intent
+  // digest when no surviving model still references it.
+  std::set<std::string> referenced;
+  for (const std::string& id : catalog_->ListIds("model")) {
+    auto digest = DigestForUnlocked(id);
+    if (digest.ok()) referenced.insert(digest.MoveValueUnsafe());
+  }
+  for (const std::string& digest : intent.digests) {
+    if (referenced.count(digest) > 0) continue;
+    if (blobs_->Contains(digest)) {
+      MLAKE_RETURN_NOT_OK(blobs_->Delete(digest));
+    }
+  }
+  MLAKE_RETURN_NOT_OK(PersistGraph());
+  // Make the rollback durable before the intent is committed away.
+  return catalog_->Sync();
+}
+
+Result<size_t> ModelLake::GcOrphanBlobsUnlocked() {
+  std::set<std::string> referenced;
+  for (const std::string& id : catalog_->ListIds("model")) {
+    auto digest = DigestForUnlocked(id);
+    if (digest.ok()) referenced.insert(digest.MoveValueUnsafe());
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> digests, blobs_->List());
+  size_t removed = 0;
+  for (const std::string& digest : digests) {
+    if (referenced.count(digest) > 0) continue;
+    MLAKE_RETURN_NOT_OK(blobs_->Delete(digest));
+    ++removed;
+  }
+  return removed;
+}
+
+void ModelLake::ResetIndices() {
+  digest_by_id_.clear();
+  bm25_ = index::InvertedIndex();
+  ann_ = std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
+  ann_ids_.clear();
+  dataset_lsh_ = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
+                                                     options_.minhash_rows);
 }
 
 Status ModelLake::RebuildIndices() {
@@ -240,9 +348,11 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
     ids.push_back(request.card.model_id);
   }
 
-  // Phase 1 (parallel, pure): serialize artifacts and compute
-  // embeddings. Each task owns slot i; results land in batch order.
+  // Phase 1 (parallel, pure): serialize artifacts, hash them for the
+  // intent, and compute embeddings. Each task owns slot i; results land
+  // in batch order. Nothing durable has changed yet.
   std::vector<std::string> artifact_bytes(batch.size());
+  std::vector<std::string> digests(batch.size());
   MLAKE_RETURN_NOT_OK(
       ParallelFor(options_.exec, 0, batch.size(), [&](size_t i) {
         Json meta = Json::MakeObject();
@@ -250,6 +360,7 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
         storage::ModelArtifact artifact =
             storage::ArtifactFromModel(*batch[i].model, meta);
         artifact_bytes[i] = storage::SerializeArtifact(artifact);
+        digests[i] = Sha256::HexDigest(artifact_bytes[i]);
       }));
 
   std::vector<nn::Model*> models(batch.size());
@@ -261,13 +372,70 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
   MLAKE_ASSIGN_OR_RETURN(std::vector<std::vector<float>> embeddings,
                          embedder_->EmbedAll(models, options_.exec));
 
-  // Phase 2 (sequential, batch order): blobs, catalog docs, BM25,
-  // graph nodes.
-  std::vector<int64_t> internal_ids(batch.size());
-  std::vector<std::string> digests(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    MLAKE_ASSIGN_OR_RETURN(digests[i], blobs_->Put(artifact_bytes[i]));
+  // Phase 2: durably journal the intent before touching any durable
+  // state. From here the batch is all-or-nothing: a crash leaves the
+  // intent behind and the next Open() rolls the batch back.
+  storage::Intent intent;
+  intent.op = "ingest";
+  intent.ids = ids;
+  intent.digests = digests;
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
+
+  // Phase 3: apply the mutation (blobs, catalog, indices, graph).
+  Status applied = ApplyIngest(batch, digests, artifact_bytes, embeddings);
+  if (applied.ok()) {
+    // Batch durability point, then commit the intent away. A crash
+    // between Sync and Commit replays a rollback of a fully-applied
+    // batch on the next open — which is correct (the caller never saw
+    // the ingest succeed) and consistent.
+    applied = catalog_->Sync();
+    if (applied.ok()) applied = journal_->Commit(intent.seq);
   }
+  if (!applied.ok()) {
+    // Best-effort immediate rollback. In-memory indices may be torn
+    // (HNSW has no remove), so rebuild them from the rolled-back
+    // catalog — readers blocked on mu_ then observe no trace of the
+    // batch. If the disk rollback itself fails (filesystem still
+    // erroring), the intent stays pending and the next Open() finishes
+    // the job.
+    Status rolled_back = RollbackIntent(intent);
+    if (rolled_back.ok()) {
+      rolled_back = journal_->Commit(intent.seq);
+    }
+    if (!rolled_back.ok()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": ingest rollback incomplete ("
+                        << rolled_back.ToString()
+                        << "); will be replayed on next open";
+    }
+    ResetIndices();
+    Status rebuilt = RebuildIndices();
+    if (!rebuilt.ok()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": index rebuild after aborted ingest failed ("
+                        << rebuilt.ToString() << "); reopen the lake";
+    }
+    return applied;
+  }
+  return ids;
+}
+
+Status ModelLake::ApplyIngest(
+    const std::vector<IngestRequest>& batch,
+    const std::vector<std::string>& digests,
+    const std::vector<std::string>& artifact_bytes,
+    const std::vector<std::vector<float>>& embeddings) {
+  // Blobs first (content-addressed, idempotent), then catalog docs,
+  // BM25, graph nodes — all in batch order.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    MLAKE_ASSIGN_OR_RETURN(std::string digest,
+                           blobs_->Put(artifact_bytes[i]));
+    if (digest != digests[i]) {
+      return Status::Internal("artifact digest mismatch for " +
+                              batch[i].card.model_id);
+    }
+  }
+  std::vector<int64_t> internal_ids(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const metadata::ModelCard& card = batch[i].card;
     Json model_doc = Json::MakeObject();
@@ -288,11 +456,10 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
     graph_.AddModel(card.model_id);
   }
 
-  // Phase 3: one bulk ANN extension (parallel inside, deterministic at
-  // any thread count), then persist the graph once for the batch.
+  // One bulk ANN extension (parallel inside, deterministic at any
+  // thread count), then persist the graph once for the batch.
   MLAKE_RETURN_NOT_OK(ann_->Build(internal_ids, embeddings, options_.exec));
-  MLAKE_RETURN_NOT_OK(PersistGraph());
-  return ids;
+  return PersistGraph();
 }
 
 Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
@@ -304,6 +471,10 @@ Result<std::unique_ptr<nn::Model>> ModelLake::LoadModel(
 Result<std::shared_ptr<const storage::ModelArtifact>> ModelLake::LoadArtifact(
     const std::string& id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  if (degraded_.count(id) > 0) {
+    return Status::FailedPrecondition(
+        "model is degraded (artifact quarantined): " + id);
+  }
   MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
   return LoadArtifactUnlocked(digest);
 }
@@ -337,6 +508,10 @@ ModelLake::LoadArtifactUnlocked(const std::string& digest) const {
 
 Result<std::unique_ptr<nn::Model>> ModelLake::LoadModelUnlocked(
     const std::string& id) const {
+  if (degraded_.count(id) > 0) {
+    return Status::FailedPrecondition(
+        "model is degraded (artifact quarantined): " + id);
+  }
   MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
   MLAKE_ASSIGN_OR_RETURN(std::shared_ptr<const storage::ModelArtifact> artifact,
                          LoadArtifactUnlocked(digest));
@@ -357,6 +532,17 @@ std::vector<std::string> ModelLake::ListModelsUnlocked() const {
   return catalog_->ListIds("model");
 }
 
+std::vector<std::string> ModelLake::SearchableModelIdsUnlocked() const {
+  std::vector<std::string> ids = ListModelsUnlocked();
+  if (degraded_.empty()) return ids;
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [this](const std::string& id) {
+                             return degraded_.count(id) > 0;
+                           }),
+            ids.end());
+  return ids;
+}
+
 std::vector<std::string> ModelLake::ListModels() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ListModelsUnlocked();
@@ -369,7 +555,9 @@ size_t ModelLake::NumModels() const {
 
 Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<std::string> ids = ListModelsUnlocked();
+  // Quarantined models are known-bad and no longer served; fsck checks
+  // the serving set.
+  std::vector<std::string> ids = SearchableModelIdsUnlocked();
   std::vector<uint8_t> bad(ids.size(), 0);
   MLAKE_RETURN_NOT_OK(
       ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
@@ -393,6 +581,103 @@ Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
     if (bad[i]) corrupted.push_back(ids[i]);
   }
   return corrupted;
+}
+
+Status ModelLake::QuarantineModelLocked(const std::string& id,
+                                        const std::string& reason) {
+  MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
+  Status moved = blobs_->Quarantine(digest);
+  // NotFound = the blob is already gone (deleted or quarantined by an
+  // earlier pass); the models still need their degraded mark.
+  if (!moved.ok() && !moved.IsNotFound()) return moved;
+  // Content addressing deduplicates identical checkpoints, so one bad
+  // blob can back several ids — degrade all of them.
+  for (const auto& [other_id, other_digest] : digest_by_id_) {
+    if (other_digest != digest) continue;
+    Json doc = Json::MakeObject();
+    doc.Set("digest", digest);
+    doc.Set("reason", reason);
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("degraded", other_id, doc));
+    degraded_.insert(other_id);
+  }
+  return catalog_->Sync();
+}
+
+Status ModelLake::QuarantineModel(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!catalog_->Contains("model", id)) {
+    return Status::NotFound("model not in lake: " + id);
+  }
+  return QuarantineModelLocked(id, "manual quarantine");
+}
+
+std::vector<std::string> ModelLake::DegradedModels() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return {degraded_.begin(), degraded_.end()};
+}
+
+bool ModelLake::IsDegraded(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return degraded_.count(id) > 0;
+}
+
+Json FsckReport::ToJson() const {
+  Json j = Json::MakeObject();
+  Json bad = Json::MakeArray();
+  for (const std::string& id : corrupted) bad.Append(Json(id));
+  j.Set("corrupted_models", std::move(bad));
+  Json q = Json::MakeArray();
+  for (const std::string& d : quarantined) q.Append(Json(d));
+  j.Set("quarantined_blobs", std::move(q));
+  j.Set("orphan_blobs_removed", orphan_blobs_removed);
+  j.Set("tmp_files_removed", tmp_files_removed);
+  return j;
+}
+
+Result<FsckReport> ModelLake::FsckRepair() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  FsckReport report;
+
+  // 1. Verify the serving set (parallel digest re-hash + CRC walk, the
+  // same check as FsckArtifacts).
+  std::vector<std::string> ids = SearchableModelIdsUnlocked();
+  std::vector<uint8_t> bad(ids.size(), 0);
+  MLAKE_RETURN_NOT_OK(
+      ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
+        auto digest = DigestForUnlocked(ids[i]);
+        if (!digest.ok()) {
+          bad[i] = 1;
+          return Status::OK();
+        }
+        auto view = blobs_->GetView(digest.ValueUnsafe(),
+                                    storage::VerifyMode::kAlways);
+        if (!view.ok() ||
+            !storage::VerifyArtifact(view.ValueUnsafe().bytes()).ok()) {
+          bad[i] = 1;
+        }
+        return Status::OK();
+      }));
+
+  // 2. Quarantine the corrupt ones (sequential: catalog writes).
+  std::set<std::string> quarantined_digests;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!bad[i]) continue;
+    report.corrupted.push_back(ids[i]);
+    auto digest = DigestForUnlocked(ids[i]);
+    MLAKE_RETURN_NOT_OK(
+        QuarantineModelLocked(ids[i], "fsck: artifact verification failed"));
+    if (digest.ok()) quarantined_digests.insert(digest.MoveValueUnsafe());
+  }
+  report.quarantined.assign(quarantined_digests.begin(),
+                            quarantined_digests.end());
+
+  // 3. Housekeeping: stray temp files + orphan blobs.
+  MLAKE_RETURN_NOT_OK(
+      RemoveStrayTmpFiles(fs_, options_.root, &report.tmp_files_removed));
+  MLAKE_RETURN_NOT_OK(journal_->RemoveStrayTmp(&report.tmp_files_removed));
+  MLAKE_RETURN_NOT_OK(blobs_->RemoveStrayTmp(&report.tmp_files_removed));
+  MLAKE_ASSIGN_OR_RETURN(report.orphan_blobs_removed, GcOrphanBlobsUnlocked());
+  return report;
 }
 
 // -------------------------------------------------------------- datasets
@@ -449,7 +734,13 @@ Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
 Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
     const versioning::HeritageConfig& config) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<std::string> ids = ListModelsUnlocked();
+  // Degraded models have no readable weights; heritage runs over the
+  // healthy remainder rather than failing the whole analysis.
+  std::vector<std::string> ids = SearchableModelIdsUnlocked();
+  if (!degraded_.empty()) {
+    MLAKE_LOG_WARNING << "heritage recovery skipping " << degraded_.size()
+                      << " degraded model(s)";
+  }
   std::vector<versioning::WeightSummary> summaries(ids.size());
   // Artifact load + flatten per model is pure and slot-owned: safe and
   // deterministic to parallelize. Works on the decoded artifact (via
@@ -534,7 +825,10 @@ Result<std::vector<search::RankedModel>> ModelLake::HybridSearch(
 }
 
 std::vector<std::string> ModelLake::AllModelIds() const {
-  return ListModels();
+  // Search surface, not admin surface: degraded models are filtered so
+  // queries never rank a model whose artifact is quarantined.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchableModelIdsUnlocked();
 }
 
 Result<metadata::ModelCard> ModelLake::CardForUnlocked(
@@ -581,12 +875,17 @@ Result<std::vector<float>> ModelLake::EmbeddingFor(
 Result<std::vector<std::pair<std::string, float>>>
 ModelLake::NearestModelsUnlocked(const std::vector<float>& query,
                                  size_t k) const {
+  // Degraded models stay in the ANN graph (HNSW has no remove) but are
+  // filtered out of results; over-fetch so k healthy hits survive.
   MLAKE_ASSIGN_OR_RETURN(std::vector<index::Neighbor> hits,
-                         ann_->Search(query, k));
+                         ann_->Search(query, k + degraded_.size()));
   std::vector<std::pair<std::string, float>> out;
-  out.reserve(hits.size());
+  out.reserve(std::min(hits.size(), k));
   for (const index::Neighbor& n : hits) {
-    out.emplace_back(ann_ids_[static_cast<size_t>(n.id)], n.distance);
+    if (out.size() >= k) break;
+    const std::string& id = ann_ids_[static_cast<size_t>(n.id)];
+    if (degraded_.count(id) > 0) continue;
+    out.emplace_back(id, n.distance);
   }
   return out;
 }
@@ -600,7 +899,10 @@ Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
 Result<std::vector<std::pair<std::string, double>>>
 ModelLake::KeywordScoresUnlocked(const std::string& text, size_t k) const {
   std::vector<std::pair<std::string, double>> out;
-  for (const index::TextHit& hit : bm25_.Search(text, k)) {
+  for (const index::TextHit& hit :
+       bm25_.Search(text, k + degraded_.size())) {
+    if (out.size() >= k) break;
+    if (degraded_.count(hit.doc_id) > 0) continue;
     out.emplace_back(hit.doc_id, hit.score);
   }
   return out;
@@ -631,7 +933,7 @@ ModelLake::TrainedOnUnlocked(const std::string& dataset,
   }
   // Models whose cards claim training on any related dataset.
   std::vector<std::pair<std::string, double>> out;
-  for (const std::string& id : ListModelsUnlocked()) {
+  for (const std::string& id : SearchableModelIdsUnlocked()) {
     auto card = CardForUnlocked(id);
     if (!card.ok()) continue;
     double best = 0.0;
@@ -672,7 +974,7 @@ bool ModelLake::IsDescendantOf(const std::string& id,
 // ------------------------------------------------------- unlocked view
 
 std::vector<std::string> ModelLake::UnlockedView::AllModelIds() const {
-  return lake_->ListModelsUnlocked();
+  return lake_->SearchableModelIdsUnlocked();
 }
 Result<metadata::ModelCard> ModelLake::UnlockedView::CardFor(
     const std::string& id) const {
@@ -888,11 +1190,15 @@ Result<Json> ModelLake::AuditModel(const std::string& id) const {
   report.Set("lineage_claim_consistent", consistent);
 
   // Artifact integrity: forced digest check over a view — the audit
-  // never materializes the checkpoint.
+  // never materializes the checkpoint. A quarantined model reports
+  // intact=false with the quarantined flag set; the audit itself never
+  // errors on degradation.
   MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
-  bool intact =
-      blobs_->GetView(digest, storage::VerifyMode::kAlways).ok();
+  bool quarantined = degraded_.count(id) > 0;
+  bool intact = !quarantined &&
+                blobs_->GetView(digest, storage::VerifyMode::kAlways).ok();
   report.Set("artifact_intact", intact);
+  report.Set("quarantined", quarantined);
 
   // Benchmark coverage.
   report.Set("benchmarks_reported", card.metrics.size());

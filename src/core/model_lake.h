@@ -3,12 +3,15 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/json.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "embed/embedder.h"
 #include "index/hnsw_index.h"
@@ -22,6 +25,7 @@
 #include "storage/blob_store.h"
 #include "storage/cache.h"
 #include "storage/catalog.h"
+#include "storage/intent_journal.h"
 #include "storage/model_artifact.h"
 #include "versioning/heritage.h"
 #include "versioning/model_graph.h"
@@ -86,6 +90,44 @@ struct LakeOptions {
 
   /// Shards per cache (per-shard mutexes bound reader contention).
   size_t cache_shards = 8;
+
+  // ------------------------------------------------- robustness layer
+  // (PR 4: crash-consistent mutations + graceful degradation.)
+
+  /// Filesystem seam (common/fs.h) threaded through every durable lake
+  /// component — blobs, catalog, intent journal. nullptr = the real
+  /// filesystem; tests pass a FaultInjectingFs to rehearse crashes.
+  Fs* fs = nullptr;
+
+  /// Transient-I/O retry policy for blob reads/writes
+  /// (Status::IsTransient errors only). RetryPolicy::None() disables.
+  RetryPolicy retry;
+};
+
+/// What Open() had to clean up from an earlier crash (all zeros on a
+/// clean open).
+struct RecoveryReport {
+  /// Incomplete ingest intents rolled back (journal replay).
+  size_t rolled_back_intents = 0;
+  /// Model ids removed by those rollbacks.
+  std::vector<std::string> rolled_back_ids;
+  /// Blobs deleted because no model doc references them.
+  size_t orphan_blobs_removed = 0;
+  /// Stray `*.tmp.*` files removed (lake root, journal, blob buckets).
+  size_t tmp_files_removed = 0;
+};
+
+/// Outcome of a repairing fsck pass (FsckRepair / `mlake fsck --repair`).
+struct FsckReport {
+  /// Model ids whose artifact failed verification this pass.
+  std::vector<std::string> corrupted;
+  /// Blob digests moved to quarantine (deduplicated: one digest may
+  /// back several corrupted ids).
+  std::vector<std::string> quarantined;
+  size_t orphan_blobs_removed = 0;
+  size_t tmp_files_removed = 0;
+
+  Json ToJson() const;
 };
 
 /// One (model, card) pair of a batch ingest.
@@ -163,8 +205,31 @@ class ModelLake : public search::SearchContext {
 
   /// Verifies every stored artifact against its digest (parallel over
   /// options.exec); returns the ids of corrupted models (empty =
-  /// healthy).
+  /// healthy). Models already quarantined are skipped — they are known
+  /// bad and no longer served.
   Result<std::vector<std::string>> FsckArtifacts() const;
+
+  /// Repair mode (`mlake fsck --repair`): verifies every artifact,
+  /// quarantines corrupt blobs (marking their models degraded so the
+  /// rest of the lake stays searchable), garbage-collects orphan blobs
+  /// and removes stray temp files. Exclusive lock; safe to run on a
+  /// live lake.
+  Result<FsckReport> FsckRepair();
+
+  /// Moves `id`'s blob to quarantine and marks every model sharing that
+  /// content digest degraded. Degraded models stop being served by
+  /// LoadModel/search/heritage but keep their catalog entries for
+  /// forensics; re-ingesting repaired bytes under a new id restores the
+  /// content.
+  Status QuarantineModel(const std::string& id);
+
+  /// Ids currently degraded (quarantined artifact), sorted.
+  std::vector<std::string> DegradedModels() const;
+
+  bool IsDegraded(const std::string& id) const;
+
+  /// What the last Open() recovered (rolled-back intents, GC'd blobs).
+  const RecoveryReport& recovery() const { return recovery_; }
 
   // ---------------------------------------------------------- datasets
 
@@ -298,6 +363,23 @@ class ModelLake : public search::SearchContext {
 
   Status Initialize();
   Status RebuildIndices();
+  /// Clears every derived in-memory index (BM25, ANN, digest map, LSH)
+  /// ahead of a RebuildIndices — the recovery path after an aborted
+  /// ingest, where indices may be torn (HNSW has no remove).
+  void ResetIndices();
+  /// Open()-time crash recovery: rolls back pending intents, removes
+  /// stray temp files, garbage-collects orphan blobs. Fills recovery_.
+  Status Recover();
+  /// Undoes everything a (possibly partial) mutation described by
+  /// `intent` may have applied on disk: catalog docs, graph nodes, and
+  /// blobs no surviving model references. Idempotent — a crash during
+  /// rollback just replays it on the next open.
+  Status RollbackIntent(const storage::Intent& intent);
+  /// Deletes blobs no model doc references; returns how many.
+  Result<size_t> GcOrphanBlobsUnlocked();
+  /// Quarantine under the exclusive lock (FsckRepair's per-id step).
+  Status QuarantineModelLocked(const std::string& id,
+                               const std::string& reason);
   Status PersistGraph();
   index::MinHashSignature DatasetSignature(
       const std::vector<std::string>& shards) const;
@@ -308,7 +390,17 @@ class ModelLake : public search::SearchContext {
   Status IndexModel(const std::string& id, const metadata::ModelCard& card);
   Result<std::vector<std::string>> IngestModelsLocked(
       const std::vector<IngestRequest>& batch);
+  /// The mutation phase of an ingest (blobs, catalog docs, indices,
+  /// graph). Runs under a journaled intent; any failure triggers
+  /// rollback in IngestModelsLocked.
+  Status ApplyIngest(const std::vector<IngestRequest>& batch,
+                     const std::vector<std::string>& digests,
+                     const std::vector<std::string>& artifact_bytes,
+                     const std::vector<std::vector<float>>& embeddings);
   std::vector<std::string> ListModelsUnlocked() const;
+  /// ListModelsUnlocked minus degraded ids — what search/query paths
+  /// iterate so a quarantined model never surfaces in results.
+  std::vector<std::string> SearchableModelIdsUnlocked() const;
   Result<std::unique_ptr<nn::Model>> LoadModelUnlocked(
       const std::string& id) const;
   /// id -> artifact digest via the in-memory map (catalog fallback).
@@ -336,8 +428,14 @@ class ModelLake : public search::SearchContext {
                                        const std::string& benchmark) const;
 
   LakeOptions options_;
+  Fs* fs_ = nullptr;  ///< resolved from options_.fs; never null after Open
   std::unique_ptr<storage::BlobStore> blobs_;
   std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<storage::IntentJournal> journal_;
+  /// Ids whose artifact is quarantined. Maintained under the writer
+  /// lock; loaded from catalog kind "degraded" on Open.
+  std::set<std::string> degraded_;
+  RecoveryReport recovery_;
   std::unique_ptr<embed::ModelEmbedder> embedder_;
   Tensor probes_;
 

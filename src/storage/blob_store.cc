@@ -1,19 +1,28 @@
 #include "storage/blob_store.h"
 
 #include <algorithm>
-#include <filesystem>
+#include <cctype>
 
 #include "common/file_util.h"
 #include "common/hash.h"
 
 namespace mlake::storage {
 
-namespace fs = std::filesystem;
+namespace {
+bool IsHexDigest(const std::string& name) {
+  if (name.size() != 64) return false;
+  for (char c : name) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
 
 Result<BlobStore> BlobStore::Open(const std::string& root,
                                   const BlobStoreOptions& options) {
-  MLAKE_RETURN_NOT_OK(CreateDirs(JoinPath(root, "objects")));
-  return BlobStore(root, options);
+  BlobStore store(root, options);
+  MLAKE_RETURN_NOT_OK(store.fs_->CreateDirs(JoinPath(root, "objects")));
+  return store;
 }
 
 std::string BlobStore::PathFor(const std::string& digest) const {
@@ -21,13 +30,23 @@ std::string BlobStore::PathFor(const std::string& digest) const {
                   digest.substr(0, 2) + "/" + digest);
 }
 
+std::string BlobStore::QuarantinePathFor(const std::string& digest) const {
+  return JoinPath(JoinPath(root_, "quarantine"), digest);
+}
+
 Result<std::string> BlobStore::Put(std::string_view bytes) {
   std::string digest = Sha256::HexDigest(bytes);
   std::string path = PathFor(digest);
-  if (FileExists(path)) return digest;  // dedup
-  MLAKE_RETURN_NOT_OK(
-      CreateDirs(JoinPath(JoinPath(root_, "objects"), digest.substr(0, 2))));
-  MLAKE_RETURN_NOT_OK(WriteFileAtomic(path, bytes));
+  if (fs_->FileExists(path)) return digest;  // dedup
+  // The whole write sequence is idempotent (mkdir -p semantics; fresh
+  // temp name per attempt), so a transient failure anywhere in it is
+  // safe to retry.
+  std::string bucket =
+      JoinPath(JoinPath(root_, "objects"), digest.substr(0, 2));
+  MLAKE_RETURN_NOT_OK(RetryTransient(options_.retry, [&]() -> Status {
+    MLAKE_RETURN_NOT_OK(fs_->CreateDirs(bucket));
+    return WriteFileAtomic(fs_, path, bytes);
+  }));
   return digest;
 }
 
@@ -62,6 +81,19 @@ Status BlobStore::VerifyView(const BlobView& view,
   return Status::OK();
 }
 
+Result<BlobView> BlobStore::OpenView(const std::string& path) const {
+  if (options_.use_mmap) {
+    auto mapped = fs_->Mmap(path);
+    if (mapped.ok()) {
+      return BlobView(mapped.MoveValueUnsafe());
+    }
+  }
+  // Copying fallback: mmap disabled, unavailable on this platform, or
+  // refused by the filesystem (fault injection routes reads here).
+  MLAKE_ASSIGN_OR_RETURN(std::string bytes, fs_->ReadFile(path));
+  return BlobView(std::move(bytes));
+}
+
 Result<BlobView> BlobStore::GetView(const std::string& digest) const {
   return GetView(digest, options_.verify);
 }
@@ -72,22 +104,16 @@ Result<BlobView> BlobStore::GetView(const std::string& digest,
     return Status::InvalidArgument("blob digest must be 64 hex chars");
   }
   std::string path = PathFor(digest);
-  if (!FileExists(path)) {
+  if (!fs_->FileExists(path)) {
     return Status::NotFound("blob not found: " + digest);
   }
-  BlobView view;
-  if (options_.use_mmap) {
-    auto mapped = MmapFile::Open(path);
-    if (mapped.ok()) {
-      view = BlobView(mapped.MoveValueUnsafe());
-    }
-  }
-  if (!view.mmapped()) {
-    // Copying fallback: mmap disabled, unavailable on this platform, or
-    // refused by the filesystem.
-    MLAKE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
-    view = BlobView(std::move(bytes));
-  }
+  // Transient read faults (Unavailable) retry with backoff; corruption
+  // below never does — rereading wrong bytes cannot make them right.
+  MLAKE_ASSIGN_OR_RETURN(
+      BlobView view,
+      RetryTransient<BlobView>(options_.retry, [&]() -> Result<BlobView> {
+        return OpenView(path);
+      }));
   if (NeedsVerify(digest, mode)) {
     MLAKE_RETURN_NOT_OK(VerifyView(view, digest));
   }
@@ -100,35 +126,72 @@ Result<std::string> BlobStore::Get(const std::string& digest) const {
 }
 
 bool BlobStore::Contains(const std::string& digest) const {
-  return digest.size() == 64 && FileExists(PathFor(digest));
+  return digest.size() == 64 && fs_->FileExists(PathFor(digest));
 }
 
 Status BlobStore::Delete(const std::string& digest) {
   std::string path = PathFor(digest);
-  if (!FileExists(path)) {
+  if (!fs_->FileExists(path)) {
     return Status::NotFound("blob not found: " + digest);
   }
   {
     std::lock_guard<std::mutex> lock(verified_->mu);
     verified_->digests.erase(digest);
   }
-  return RemoveFile(path);
+  return fs_->RemoveFile(path);
+}
+
+Status BlobStore::Quarantine(const std::string& digest) {
+  std::string path = PathFor(digest);
+  std::string qpath = QuarantinePathFor(digest);
+  if (!fs_->FileExists(path)) {
+    if (fs_->FileExists(qpath)) return Status::OK();  // already moved
+    return Status::NotFound("blob not found: " + digest);
+  }
+  MLAKE_RETURN_NOT_OK(fs_->CreateDirs(JoinPath(root_, "quarantine")));
+  MLAKE_RETURN_NOT_OK(fs_->Rename(path, qpath));
+  if (FsyncEnabled()) {
+    // Make the disappearance from objects/ durable: a crash must not
+    // resurrect a blob the catalog already marked degraded.
+    MLAKE_RETURN_NOT_OK(fs_->SyncDir(
+        JoinPath(JoinPath(root_, "objects"), digest.substr(0, 2))));
+    MLAKE_RETURN_NOT_OK(fs_->SyncDir(JoinPath(root_, "quarantine")));
+  }
+  std::lock_guard<std::mutex> lock(verified_->mu);
+  verified_->digests.erase(digest);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> BlobStore::ListQuarantined() const {
+  std::string dir = JoinPath(root_, "quarantine");
+  if (!fs_->FileExists(dir)) return std::vector<std::string>{};
+  return fs_->ListDir(dir);
+}
+
+Status BlobStore::RemoveStrayTmp(size_t* removed) {
+  std::string objects = JoinPath(root_, "objects");
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> buckets,
+                         fs_->ListSubdirs(objects));
+  for (const std::string& bucket : buckets) {
+    MLAKE_RETURN_NOT_OK(
+        RemoveStrayTmpFiles(fs_, JoinPath(objects, bucket), removed));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> BlobStore::List() const {
+  std::string objects = JoinPath(root_, "objects");
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> buckets,
+                         fs_->ListSubdirs(objects));
   std::vector<std::string> digests;
-  std::error_code ec;
-  fs::path objects = fs::path(root_) / "objects";
-  for (const auto& bucket : fs::directory_iterator(objects, ec)) {
-    if (!bucket.is_directory()) continue;
-    std::error_code ec2;
-    for (const auto& blob : fs::directory_iterator(bucket.path(), ec2)) {
-      if (blob.is_regular_file()) {
-        digests.push_back(blob.path().filename().string());
-      }
+  for (const std::string& bucket : buckets) {
+    MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           fs_->ListDir(JoinPath(objects, bucket)));
+    for (const std::string& name : names) {
+      // Skip non-blob residue (stray temp files awaiting cleanup).
+      if (IsHexDigest(name)) digests.push_back(name);
     }
   }
-  if (ec) return Status::IOError("cannot list blob store");
   std::sort(digests.begin(), digests.end());
   return digests;
 }
@@ -149,7 +212,7 @@ Result<uint64_t> BlobStore::TotalBytes() const {
   MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> digests, List());
   uint64_t total = 0;
   for (const std::string& digest : digests) {
-    MLAKE_ASSIGN_OR_RETURN(uint64_t size, FileSize(PathFor(digest)));
+    MLAKE_ASSIGN_OR_RETURN(uint64_t size, fs_->FileSize(PathFor(digest)));
     total += size;
   }
   return total;

@@ -8,8 +8,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/mmap_file.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace mlake::storage {
@@ -31,6 +33,13 @@ struct BlobStoreOptions {
   /// Serve reads through mmap views. When false (or when mmap fails at
   /// runtime), reads fall back to the copying path.
   bool use_mmap = true;
+  /// Filesystem seam (common/fs.h); nullptr = real filesystem. Every
+  /// durable op and every copying read goes through it.
+  Fs* fs = nullptr;
+  /// Transient-I/O retry for Put and the read path (Status::IsTransient
+  /// errors only; corruption and hard I/O errors never retry). Default:
+  /// 3 attempts with 1ms/2ms backoff. RetryPolicy::None() disables.
+  RetryPolicy retry;
 };
 
 /// A borrowed, zero-copy view of one blob's bytes.
@@ -101,6 +110,21 @@ class BlobStore {
 
   Status Delete(const std::string& digest);
 
+  /// Moves a blob out of `objects/` into `<root>/quarantine/<digest>`
+  /// instead of deleting it: the bytes stay available for offline
+  /// forensics/repair, but reads stop serving them. Idempotent when the
+  /// blob is already quarantined; NotFound when it never existed.
+  Status Quarantine(const std::string& digest);
+
+  /// Digests currently sitting in quarantine (sorted; empty when the
+  /// quarantine directory does not exist).
+  Result<std::vector<std::string>> ListQuarantined() const;
+
+  /// Removes stray `*.tmp.*` files inside the object buckets (leftovers
+  /// of writes that crashed between temp-write and rename). Adds the
+  /// count removed to `*removed` when non-null.
+  Status RemoveStrayTmp(size_t* removed = nullptr);
+
   /// All stored digests (sorted).
   Result<std::vector<std::string>> List() const;
 
@@ -129,14 +153,19 @@ class BlobStore {
   BlobStore(std::string root, const BlobStoreOptions& options)
       : root_(std::move(root)),
         options_(options),
+        fs_(options.fs != nullptr ? options.fs : RealFs()),
         verified_(std::make_unique<VerifiedSet>()) {}
 
   std::string PathFor(const std::string& digest) const;
+  std::string QuarantinePathFor(const std::string& digest) const;
   bool NeedsVerify(const std::string& digest, VerifyMode mode) const;
   Status VerifyView(const BlobView& view, const std::string& digest) const;
+  /// One read attempt (mmap or copying fallback), no verification.
+  Result<BlobView> OpenView(const std::string& path) const;
 
   std::string root_;
   BlobStoreOptions options_;
+  Fs* fs_;  // never null
   std::unique_ptr<VerifiedSet> verified_;
 };
 

@@ -2,8 +2,10 @@
 
 namespace mlake::storage {
 
-Result<std::unique_ptr<Catalog>> Catalog::Open(const std::string& path) {
-  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> kv, KvStore::Open(path));
+Result<std::unique_ptr<Catalog>> Catalog::Open(const std::string& path,
+                                               Fs* fs) {
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> kv,
+                         KvStore::Open(path, {}, fs));
   return std::unique_ptr<Catalog>(new Catalog(std::move(kv)));
 }
 

@@ -18,7 +18,9 @@ namespace mlake::storage {
 /// is not raw weights lives here.
 class Catalog {
  public:
-  static Result<std::unique_ptr<Catalog>> Open(const std::string& path);
+  /// `fs` is the storage seam (nullptr = real filesystem).
+  static Result<std::unique_ptr<Catalog>> Open(const std::string& path,
+                                               Fs* fs = nullptr);
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -41,6 +43,9 @@ class Catalog {
 
   /// Compacts the underlying log.
   Status Compact() { return kv_->Compact(); }
+
+  /// Durability point: fsyncs the underlying log (see KvStore::Sync).
+  Status Sync() { return kv_->Sync(); }
 
   KvStore* kv() { return kv_.get(); }
 

@@ -1,0 +1,133 @@
+#include "storage/intent_journal.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+
+namespace mlake::storage {
+
+namespace {
+constexpr std::string_view kIntentSuffix = ".intent";
+
+/// Parses "<seq>.intent" -> seq; 0 when the name is not an intent file.
+uint64_t SeqFromName(const std::string& name) {
+  if (name.size() <= kIntentSuffix.size()) return 0;
+  if (name.compare(name.size() - kIntentSuffix.size(), kIntentSuffix.size(),
+                   kIntentSuffix) != 0) {
+    return 0;
+  }
+  std::string stem = name.substr(0, name.size() - kIntentSuffix.size());
+  if (stem.empty()) return 0;
+  uint64_t seq = 0;
+  for (char c : stem) {
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+}  // namespace
+
+Json Intent::ToJson() const {
+  Json ids_json = Json::MakeArray();
+  for (const std::string& id : ids) ids_json.Append(Json(id));
+  Json digests_json = Json::MakeArray();
+  for (const std::string& d : digests) digests_json.Append(Json(d));
+  Json j = Json::MakeObject();
+  j.Set("seq", Json(seq));
+  j.Set("op", Json(op));
+  j.Set("ids", std::move(ids_json));
+  j.Set("digests", std::move(digests_json));
+  return j;
+}
+
+Result<Intent> Intent::FromJson(const Json& j) {
+  if (!j.is_object()) return Status::Corruption("intent: not an object");
+  Intent intent;
+  intent.seq = static_cast<uint64_t>(j.GetInt64("seq", 0));
+  intent.op = j.GetString("op");
+  if (intent.op.empty()) return Status::Corruption("intent: missing op");
+  const Json* ids = j.Find("ids");
+  if (ids != nullptr && ids->is_array()) {
+    for (const Json& id : ids->AsArray()) {
+      if (!id.is_string()) return Status::Corruption("intent: non-string id");
+      intent.ids.push_back(id.AsString());
+    }
+  }
+  const Json* digests = j.Find("digests");
+  if (digests != nullptr && digests->is_array()) {
+    for (const Json& d : digests->AsArray()) {
+      if (!d.is_string()) {
+        return Status::Corruption("intent: non-string digest");
+      }
+      intent.digests.push_back(d.AsString());
+    }
+  }
+  return intent;
+}
+
+Result<IntentJournal> IntentJournal::Open(const std::string& dir, Fs* fs) {
+  if (fs == nullptr) fs = RealFs();
+  IntentJournal journal(dir, fs);
+  MLAKE_RETURN_NOT_OK(fs->CreateDirs(dir));
+  // Resume the sequence above every file present — including ones whose
+  // content is unreadable, so a corrupt pending intent cannot cause a
+  // seq collision.
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  for (const std::string& name : names) {
+    uint64_t seq = SeqFromName(name);
+    if (seq >= journal.next_seq_) journal.next_seq_ = seq + 1;
+  }
+  return journal;
+}
+
+std::string IntentJournal::PathFor(uint64_t seq) const {
+  return JoinPath(dir_, std::to_string(seq) + std::string(kIntentSuffix));
+}
+
+Result<uint64_t> IntentJournal::Begin(const Intent& intent) {
+  uint64_t seq = next_seq_++;
+  Intent stamped = intent;
+  stamped.seq = seq;
+  // WriteFileAtomic fsyncs the file and the journal dir, so the intent
+  // is on disk before the caller mutates anything it describes.
+  MLAKE_RETURN_NOT_OK(
+      WriteFileAtomic(fs_, PathFor(seq), stamped.ToJson().Dump()));
+  return seq;
+}
+
+Status IntentJournal::Commit(uint64_t seq) {
+  std::string path = PathFor(seq);
+  if (!fs_->FileExists(path)) return Status::OK();
+  MLAKE_RETURN_NOT_OK(fs_->RemoveFile(path));
+  // The removal is the commit record; it must survive a crash or the
+  // next open would roll back a fully-applied mutation.
+  if (FsyncEnabled()) {
+    MLAKE_RETURN_NOT_OK(fs_->SyncDir(dir_));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Intent>> IntentJournal::Pending() const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->ListDir(dir_));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = SeqFromName(name);
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  std::vector<Intent> pending;
+  for (uint64_t seq : seqs) {
+    MLAKE_ASSIGN_OR_RETURN(std::string raw, fs_->ReadFile(PathFor(seq)));
+    MLAKE_ASSIGN_OR_RETURN(Json j, Json::Parse(raw));
+    MLAKE_ASSIGN_OR_RETURN(Intent intent, Intent::FromJson(j));
+    intent.seq = seq;  // the file name is authoritative
+    pending.push_back(std::move(intent));
+  }
+  return pending;
+}
+
+Status IntentJournal::RemoveStrayTmp(size_t* removed) {
+  return RemoveStrayTmpFiles(fs_, dir_, removed);
+}
+
+}  // namespace mlake::storage

@@ -1,0 +1,82 @@
+#ifndef MLAKE_STORAGE_INTENT_JOURNAL_H_
+#define MLAKE_STORAGE_INTENT_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlake::storage {
+
+/// One pending multi-step lake mutation, written durably *before* the
+/// mutation starts touching blobs and catalog entries.
+struct Intent {
+  uint64_t seq = 0;              ///< Journal sequence number (file name).
+  std::string op;                ///< Mutation kind, e.g. "ingest".
+  std::vector<std::string> ids;  ///< Model ids the mutation will create.
+  /// Content digests the mutation will write (artifact + any sidecar
+  /// blobs), so recovery can garbage-collect exactly what the crashed
+  /// mutation may have left behind.
+  std::vector<std::string> digests;
+
+  Json ToJson() const;
+  static Result<Intent> FromJson(const Json& j);
+};
+
+/// Write-ahead intent journal under `<dir>` (one JSON file per pending
+/// intent, named `<seq>.intent`).
+///
+/// Protocol for an all-or-nothing mutation:
+///   1. `Begin(intent)` — durably records what is about to change
+///      (atomic write + dir fsync) and returns the sequence number.
+///   2. apply the mutation (blob puts, catalog docs, index persists).
+///   3. make the mutation durable (catalog sync), then `Commit(seq)` —
+///      removes the intent file and fsyncs the journal directory.
+///
+/// A crash anywhere in 2–3 leaves the intent file behind; `Pending()`
+/// on reopen surfaces it so the caller can roll the mutation back
+/// (delete the listed catalog docs and unreferenced blobs). A crash
+/// *during* rollback re-surfaces the same intent on the next open —
+/// rollback must therefore be idempotent.
+class IntentJournal {
+ public:
+  /// Opens (creating) the journal directory. `fs` = nullptr uses the
+  /// real filesystem.
+  static Result<IntentJournal> Open(const std::string& dir, Fs* fs = nullptr);
+
+  /// Durably records `intent` (seq is assigned, returned, and written
+  /// into the file). Assigned seqs are strictly increasing across the
+  /// journal's lifetime, including across reopens.
+  Result<uint64_t> Begin(const Intent& intent);
+
+  /// Removes intent `seq` (the mutation is fully applied and durable).
+  /// OK when the file is already gone — Commit after a replayed
+  /// rollback is a no-op.
+  Status Commit(uint64_t seq);
+
+  /// All pending intents, oldest first.
+  Result<std::vector<Intent>> Pending() const;
+
+  /// Removes stray temp files left by crashed Begin() writes. Adds the
+  /// count removed to `*removed` when non-null.
+  Status RemoveStrayTmp(size_t* removed = nullptr);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  IntentJournal(std::string dir, Fs* fs) : dir_(std::move(dir)), fs_(fs) {}
+
+  std::string PathFor(uint64_t seq) const;
+
+  std::string dir_;
+  Fs* fs_;  // never null
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace mlake::storage
+
+#endif  // MLAKE_STORAGE_INTENT_JOURNAL_H_

@@ -15,8 +15,9 @@ constexpr uint8_t kTypeDelete = 2;
 }  // namespace
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(
-    const std::string& path, const KvCompactionPolicy& policy) {
-  std::unique_ptr<KvStore> store(new KvStore(path, policy));
+    const std::string& path, const KvCompactionPolicy& policy, Fs* fs) {
+  if (fs == nullptr) fs = RealFs();
+  std::unique_ptr<KvStore> store(new KvStore(path, policy, fs));
   MLAKE_RETURN_NOT_OK(store->Replay());
   MLAKE_RETURN_NOT_OK(store->MaybeAutoCompact());
   return store;
@@ -56,8 +57,8 @@ Status KvStore::Replay() {
   index_.clear();
   log_bytes_ = 0;
   live_bytes_ = 0;
-  if (!FileExists(path_)) return Status::OK();
-  MLAKE_ASSIGN_OR_RETURN(std::string log, ReadFile(path_));
+  if (!fs_->FileExists(path_)) return Status::OK();
+  MLAKE_ASSIGN_OR_RETURN(std::string log, fs_->ReadFile(path_));
   ByteReader reader(log);
   size_t valid_end = 0;
   while (!reader.Done()) {
@@ -98,7 +99,15 @@ Status KvStore::Replay() {
     MLAKE_LOG_WARNING << "kv store " << path_ << ": truncating "
                       << (log.size() - valid_end)
                       << " corrupt tail bytes (torn write recovery)";
-    MLAKE_RETURN_NOT_OK(WriteFile(path_, log.substr(0, valid_end)));
+    MLAKE_RETURN_NOT_OK(fs_->Truncate(path_, valid_end));
+    // The repair must itself be durable: without the file+dir sync a
+    // second crash could resurrect the torn tail (or lose the inode
+    // size change) and re-poison the next replay.
+    if (FsyncEnabled()) {
+      MLAKE_RETURN_NOT_OK(fs_->SyncFile(path_));
+      MLAKE_RETURN_NOT_OK(
+          fs_->SyncDir(std::filesystem::path(path_).parent_path().string()));
+    }
   }
   log_bytes_ = valid_end;
   return Status::OK();
@@ -107,7 +116,24 @@ Status KvStore::Replay() {
 Status KvStore::AppendRecord(uint8_t type, const std::string& key,
                              std::string_view value) {
   std::string record = EncodeRecord(type, key, value);
-  MLAKE_RETURN_NOT_OK(AppendFile(path_, record));
+  Status st = fs_->AppendFile(path_, record);
+  if (!st.ok()) {
+    // The append may have landed partially (short write). Cut the log
+    // back to the last known-good length so later appends do not write
+    // behind a torn record — CRC replay would stop at the tear and
+    // silently drop everything after it.
+    if (fs_->FileExists(path_)) {
+      Status trunc = fs_->Truncate(path_, log_bytes_);
+      if (!trunc.ok()) {
+        MLAKE_LOG_WARNING << "kv store " << path_
+                          << ": cannot truncate after failed append ("
+                          << trunc.ToString()
+                          << "); store is read-consistent but the log "
+                             "tail is dirty until next reopen";
+      }
+    }
+    return st;
+  }
   log_bytes_ += record.size();
   return Status::OK();
 }
@@ -139,9 +165,12 @@ bool KvStore::Contains(const std::string& key) const {
 Status KvStore::Delete(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) return Status::OK();
+  // Tombstone lands in the log before the index forgets the key (same
+  // order as Put): a failed append is then a clean no-op, instead of an
+  // in-memory delete that a reopen silently resurrects.
+  MLAKE_RETURN_NOT_OK(AppendRecord(kTypeDelete, key, ""));
   live_bytes_ -= RecordSize(key, it->second);
   index_.erase(it);
-  MLAKE_RETURN_NOT_OK(AppendRecord(kTypeDelete, key, ""));
   return MaybeAutoCompact();
 }
 
@@ -159,9 +188,15 @@ Status KvStore::Compact() {
   for (const auto& [key, value] : index_) {
     compacted += EncodeRecord(kTypePut, key, value);
   }
-  MLAKE_RETURN_NOT_OK(WriteFileAtomic(path_, compacted));
+  MLAKE_RETURN_NOT_OK(WriteFileAtomic(fs_, path_, compacted));
   log_bytes_ = compacted.size();
   return Status::OK();
+}
+
+Status KvStore::Sync() {
+  if (!FsyncEnabled()) return Status::OK();
+  if (!fs_->FileExists(path_)) return Status::OK();
+  return fs_->SyncFile(path_);
 }
 
 }  // namespace mlake::storage

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -22,8 +23,11 @@ namespace mlake::storage {
 /// `Open` replays the log to rebuild the index; a torn or corrupt tail
 /// record (e.g. a crash mid-append) is detected via CRC and the log is
 /// truncated at the last valid record, so a crashed writer never poisons
-/// the store. `Compact()` rewrites only live records through an atomic
-/// rename.
+/// the store. The truncation itself is fsynced (file + directory), so
+/// the repaired state survives a second crash. A failed append is
+/// truncated back to the last known-good length, so one I/O error does
+/// not strand a torn record in front of later appends. `Compact()`
+/// rewrites only live records through an atomic rename.
 /// Automatic compaction policy for a KvStore: the log is rewritten when
 /// it holds more than `max_garbage_ratio` times the live data and
 /// exceeds `min_log_bytes` (so small stores never churn).
@@ -36,8 +40,11 @@ struct KvCompactionPolicy {
 
 class KvStore {
  public:
+  /// `fs` is the filesystem seam every durable op goes through; nullptr
+  /// means the real filesystem (see common/fs.h).
   static Result<std::unique_ptr<KvStore>> Open(
-      const std::string& path, const KvCompactionPolicy& policy = {});
+      const std::string& path, const KvCompactionPolicy& policy = {},
+      Fs* fs = nullptr);
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -69,11 +76,17 @@ class KvStore {
   /// (temp + rename).
   Status Compact();
 
+  /// Flushes the log to stable storage (no-op under MLAKE_NO_FSYNC or
+  /// when the log does not exist yet). Appends are not individually
+  /// fsynced; callers that need a durability point (the lake's intent
+  /// commit) call this once per batch.
+  Status Sync();
+
   const std::string& path() const { return path_; }
 
  private:
-  KvStore(std::string path, const KvCompactionPolicy& policy)
-      : path_(std::move(path)), policy_(policy) {}
+  KvStore(std::string path, const KvCompactionPolicy& policy, Fs* fs)
+      : path_(std::move(path)), policy_(policy), fs_(fs) {}
 
   Status Replay();
   Status AppendRecord(uint8_t type, const std::string& key,
@@ -85,6 +98,7 @@ class KvStore {
 
   std::string path_;
   KvCompactionPolicy policy_;
+  Fs* fs_;  // never null; the storage seam (common/fs.h)
   std::map<std::string, std::string> index_;
   uint64_t log_bytes_ = 0;
   uint64_t live_bytes_ = 0;

@@ -44,6 +44,27 @@ void ModelGraph::AddModel(const std::string& id) {
   if (nodes_.insert(id).second) ++revision_;
 }
 
+bool ModelGraph::RemoveModel(const std::string& id) {
+  if (nodes_.erase(id) == 0) return false;
+  std::vector<VersionEdge> kept;
+  kept.reserve(edges_.size());
+  for (VersionEdge& edge : edges_) {
+    if (edge.parent != id && edge.child != id) {
+      kept.push_back(std::move(edge));
+    }
+  }
+  edges_ = std::move(kept);
+  // Edge indices shifted; rebuild both adjacency maps from scratch.
+  out_edges_.clear();
+  in_edges_.clear();
+  for (size_t idx = 0; idx < edges_.size(); ++idx) {
+    out_edges_[edges_[idx].parent].push_back(idx);
+    in_edges_[edges_[idx].child].push_back(idx);
+  }
+  ++revision_;
+  return true;
+}
+
 bool ModelGraph::HasEdge(const std::string& parent,
                          const std::string& child) const {
   auto it = out_edges_.find(parent);

@@ -47,6 +47,11 @@ class ModelGraph {
   /// Registers a node; idempotent.
   void AddModel(const std::string& id);
 
+  /// Removes a node and every edge touching it (ingest rollback path).
+  /// Returns false (without bumping the revision) when the node is
+  /// absent, so rollback of a half-applied ingest is idempotent.
+  bool RemoveModel(const std::string& id);
+
   /// Adds an edge (auto-registers endpoints). Fails on self-loops,
   /// duplicate (parent, child) pairs, or edges that would create a cycle.
   Status AddEdge(VersionEdge edge);

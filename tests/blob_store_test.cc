@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/fault_fs.h"
 #include "common/file_util.h"
 #include "common/hash.h"
 
@@ -196,6 +199,176 @@ TEST_F(BlobStoreTest, EmptyBlobView) {
   ASSERT_TRUE(view.ok());
   EXPECT_EQ(view.ValueUnsafe().size(), 0u);
   EXPECT_EQ(view.ValueUnsafe().bytes(), "");
+}
+
+// ------------------------------------------------------------ quarantine
+
+TEST_F(BlobStoreTest, QuarantineMovesBlobOutOfServing) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("suspicious bytes").ValueOrDie();
+  ASSERT_TRUE(store.Quarantine(digest).ok());
+  EXPECT_FALSE(store.Contains(digest));
+  EXPECT_TRUE(store.GetView(digest).status().IsNotFound());
+  EXPECT_TRUE(store.List().ValueOrDie().empty());
+  // The bytes are preserved for forensics, not deleted.
+  EXPECT_EQ(store.ListQuarantined().ValueOrDie(),
+            std::vector<std::string>{digest});
+  EXPECT_EQ(ReadFile(JoinPath(JoinPath(dir_, "quarantine"), digest))
+                .ValueOrDie(),
+            "suspicious bytes");
+}
+
+TEST_F(BlobStoreTest, QuarantineIsIdempotentButMissingIsNotFound) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("x").ValueOrDie();
+  ASSERT_TRUE(store.Quarantine(digest).ok());
+  EXPECT_TRUE(store.Quarantine(digest).ok());  // already quarantined
+  EXPECT_TRUE(store.Quarantine(std::string(64, 'e')).IsNotFound());
+}
+
+TEST_F(BlobStoreTest, ListQuarantinedEmptyWithoutDirectory) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  EXPECT_TRUE(store.ListQuarantined().ValueOrDie().empty());
+}
+
+TEST_F(BlobStoreTest, RemoveStrayTmpSweepsBuckets) {
+  auto store = BlobStore::Open(dir_).MoveValueUnsafe();
+  std::string digest = store.Put("real blob").ValueOrDie();
+  std::string bucket = JoinPath(JoinPath(dir_, "objects"), digest.substr(0, 2));
+  ASSERT_TRUE(WriteFile(JoinPath(bucket, "x.tmp.9"), "crashed write").ok());
+  // Strays are invisible to List()...
+  EXPECT_EQ(store.List().ValueOrDie(), std::vector<std::string>{digest});
+  // ...and swept by RemoveStrayTmp.
+  size_t removed = 0;
+  ASSERT_TRUE(store.RemoveStrayTmp(&removed).ok());
+  EXPECT_EQ(removed, 1u);
+  EXPECT_FALSE(FileExists(JoinPath(bucket, "x.tmp.9")));
+  EXPECT_TRUE(store.Contains(digest));
+}
+
+// -------------------------------------------------------- fault injection
+
+RetryPolicy FastRetry(int attempts) {
+  RetryPolicy retry;
+  retry.max_attempts = attempts;
+  retry.sleeper = [](int) {};  // no real sleeping in tests
+  return retry;
+}
+
+BlobStoreOptions FaultyOptions(Fs* fs, RetryPolicy retry) {
+  BlobStoreOptions options;
+  options.fs = fs;  // fail_mmap funnels reads through ReadFile
+  options.retry = retry;
+  return options;
+}
+
+TEST_F(BlobStoreTest, PutFailsCleanlyUnderInjectedError) {
+  FaultPlan plan;
+  plan.fail_ops = {3};  // 1 = Open mkdir, 2 = bucket mkdir, 3 = temp write
+  FaultInjectingFs fs(RealFs(), plan);
+  auto store =
+      BlobStore::Open(dir_, FaultyOptions(&fs, RetryPolicy::None()))
+          .MoveValueUnsafe();
+  auto digest = store.Put("doomed payload");
+  EXPECT_TRUE(digest.status().IsUnavailable()) << digest.status().ToString();
+  // Failed Put leaves nothing behind: no blob, no stray temp file.
+  EXPECT_TRUE(store.List().ValueOrDie().empty());
+  size_t removed = 0;
+  ASSERT_TRUE(store.RemoveStrayTmp(&removed).ok());
+  EXPECT_EQ(removed, 0u);
+}
+
+TEST_F(BlobStoreTest, PutRetriesTransientAndSucceeds) {
+  FaultPlan plan;
+  plan.fail_ops = {3};  // first write attempt fails once; retry succeeds
+  FaultInjectingFs fs(RealFs(), plan);
+  auto store = BlobStore::Open(dir_, FaultyOptions(&fs, FastRetry(3)))
+                   .MoveValueUnsafe();
+  std::string payload = "retried payload";
+  auto digest = store.Put(payload);
+  ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+  EXPECT_EQ(store.Get(digest.ValueUnsafe()).ValueOrDie(), payload);
+  EXPECT_EQ(fs.injected_errors(), 1u);
+}
+
+TEST_F(BlobStoreTest, PutDoesNotRetryResourceExhausted) {
+  FaultPlan plan;
+  plan.fail_ops = {3};
+  plan.error_code = StatusCode::kResourceExhausted;  // ENOSPC
+  FaultInjectingFs fs(RealFs(), plan);
+  auto store = BlobStore::Open(dir_, FaultyOptions(&fs, FastRetry(5)))
+                   .MoveValueUnsafe();
+  auto digest = store.Put("no space");
+  EXPECT_TRUE(digest.status().IsResourceExhausted());
+  EXPECT_EQ(fs.injected_errors(), 1u);  // exactly one attempt, no retry
+}
+
+TEST_F(BlobStoreTest, GetRetriesTransientReadFault) {
+  std::string digest;
+  {
+    auto clean = BlobStore::Open(dir_).MoveValueUnsafe();
+    digest = clean.Put("flaky read target").ValueOrDie();
+  }
+  // Reads are not index-scheduled (fail_ops covers mutating ops only),
+  // so drive the flake via a seeded error rate. 6 attempts at p=0.3
+  // exhaust retries with p=0.3^6 per read; the schedule is deterministic
+  // under the seed, so the outcome is fixed, not flaky.
+  FaultPlan flaky;
+  flaky.seed = 99;
+  flaky.error_rate = 0.3;
+  FaultInjectingFs fs(RealFs(), flaky);
+  auto store = BlobStore::Open(dir_, FaultyOptions(&fs, FastRetry(6)))
+                   .MoveValueUnsafe();
+  for (int i = 0; i < 10; ++i) {
+    auto got = store.Get(digest);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.ValueUnsafe(), "flaky read target");
+  }
+  EXPECT_GT(fs.injected_errors(), 0u);  // the retries earned their keep
+}
+
+TEST_F(BlobStoreTest, SeededShortWriteScheduleNeverCorruptsStore) {
+  // Randomized satellite schedule: short writes + transient errors at
+  // seeded rates. Whatever Put reports, the store must stay readable
+  // and stray-free after a cleanup pass — short writes land in temp
+  // files, never in a live blob.
+  for (uint64_t seed : {1u, 7u, 1234u}) {
+    auto scratch = MakeTempDir("mlake-blob-fault");
+    ASSERT_TRUE(scratch.ok());
+    std::vector<std::string> committed;
+    {
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.short_write_rate = 0.3;
+      plan.error_rate = 0.1;
+      FaultInjectingFs fs(RealFs(), plan);
+      auto store =
+          BlobStore::Open(scratch.ValueUnsafe(),
+                          FaultyOptions(&fs, FastRetry(4)));
+      if (store.ok()) {
+        for (int i = 0; i < 24; ++i) {
+          std::string payload = "payload-" + std::to_string(seed) + "-" +
+                                std::to_string(i) + std::string(100, 'p');
+          auto digest = store.ValueUnsafe().Put(payload);
+          if (digest.ok()) committed.push_back(digest.MoveValueUnsafe());
+        }
+      }
+    }
+    // Verify through a clean store over the same directory: every Put
+    // that reported success must be present and intact; failed Puts
+    // leave at most removable temp debris or an intact blob (a fault
+    // injected after the rename publishes the content but still errors
+    // the call — content-addressing makes that benign).
+    auto store = BlobStore::Open(scratch.ValueUnsafe()).MoveValueUnsafe();
+    ASSERT_TRUE(store.RemoveStrayTmp().ok());
+    auto corrupted = store.VerifyAll();
+    ASSERT_TRUE(corrupted.ok());
+    EXPECT_TRUE(corrupted.ValueUnsafe().empty()) << "seed " << seed;
+    for (const std::string& digest : committed) {
+      EXPECT_TRUE(store.Contains(digest)) << "seed " << seed;
+    }
+    ASSERT_TRUE(RemoveAll(scratch.ValueUnsafe()).ok());
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "common/fs.h"
+
 namespace mlake {
 namespace {
 
@@ -43,6 +45,20 @@ TEST_F(FileUtilTest, WriteFileAtomicReplaces) {
   auto names = ListDir(dir_);
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names.ValueUnsafe(), std::vector<std::string>{"f.txt"});
+}
+
+// Regression: a failed atomic write (here: rename onto an existing
+// directory, which fails with EISDIR on a real filesystem) must remove
+// its temp file instead of leaking it next to the target.
+TEST_F(FileUtilTest, WriteFileAtomicFailureLeavesNoTmpFile) {
+  std::string target = JoinPath(dir_, "clash");
+  ASSERT_TRUE(CreateDirs(JoinPath(target, "sub")).ok());
+  EXPECT_FALSE(WriteFileAtomic(target, "doomed").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : names.ValueUnsafe()) {
+    EXPECT_FALSE(IsTmpFileName(name)) << name;
+  }
 }
 
 TEST_F(FileUtilTest, WriteFileAtomicDurableAndWithFsyncDisabled) {

@@ -1,0 +1,231 @@
+#include "common/fs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fault_fs.h"
+#include "common/file_util.h"
+
+namespace mlake {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-fs");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::vector<std::string> TmpFilesIn(const std::string& dir) {
+    std::vector<std::string> strays;
+    auto names = RealFs()->ListDir(dir);
+    if (!names.ok()) return strays;
+    for (const std::string& name : names.ValueUnsafe()) {
+      if (IsTmpFileName(name)) strays.push_back(name);
+    }
+    return strays;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FsTest, RealFsRoundTrip) {
+  Fs* fs = RealFs();
+  std::string path = JoinPath(dir_, "file.txt");
+  EXPECT_FALSE(fs->FileExists(path));
+  ASSERT_TRUE(fs->WriteFile(path, "hello").ok());
+  EXPECT_TRUE(fs->FileExists(path));
+  EXPECT_EQ(fs->ReadFile(path).ValueOrDie(), "hello");
+  EXPECT_EQ(fs->FileSize(path).ValueOrDie(), 5u);
+  ASSERT_TRUE(fs->AppendFile(path, " world").ok());
+  EXPECT_EQ(fs->ReadFile(path).ValueOrDie(), "hello world");
+  ASSERT_TRUE(fs->Truncate(path, 5).ok());
+  EXPECT_EQ(fs->ReadFile(path).ValueOrDie(), "hello");
+  std::string moved = JoinPath(dir_, "moved.txt");
+  ASSERT_TRUE(fs->Rename(path, moved).ok());
+  EXPECT_FALSE(fs->FileExists(path));
+  EXPECT_EQ(fs->ReadFile(moved).ValueOrDie(), "hello");
+  ASSERT_TRUE(fs->RemoveFile(moved).ok());
+  EXPECT_FALSE(fs->FileExists(moved));
+}
+
+TEST_F(FsTest, RealFsListDirAndSubdirs) {
+  Fs* fs = RealFs();
+  ASSERT_TRUE(fs->CreateDirs(JoinPath(dir_, "sub/inner")).ok());
+  ASSERT_TRUE(fs->WriteFile(JoinPath(dir_, "b.txt"), "b").ok());
+  ASSERT_TRUE(fs->WriteFile(JoinPath(dir_, "a.txt"), "a").ok());
+  auto files = fs->ListDir(dir_).ValueOrDie();
+  EXPECT_EQ(files, (std::vector<std::string>{"a.txt", "b.txt"}));
+  auto dirs = fs->ListSubdirs(dir_).ValueOrDie();
+  EXPECT_EQ(dirs, std::vector<std::string>{"sub"});
+}
+
+TEST_F(FsTest, WriteFileAtomicReplacesAndLeavesNoStrays) {
+  Fs* fs = RealFs();
+  std::string path = JoinPath(dir_, "target");
+  ASSERT_TRUE(WriteFileAtomic(fs, path, "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(fs, path, "v2").ok());
+  EXPECT_EQ(fs->ReadFile(path).ValueOrDie(), "v2");
+  EXPECT_TRUE(TmpFilesIn(dir_).empty());
+}
+
+// Satellite regression: a failed atomic write must not leave its temp
+// file behind.
+TEST_F(FsTest, WriteFileAtomicCleansTmpOnWriteFailure) {
+  FaultPlan plan;
+  plan.fail_ops = {1};  // the temp-file WriteFile
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "target");
+  EXPECT_FALSE(WriteFileAtomic(&fs, path, "doomed").ok());
+  EXPECT_FALSE(RealFs()->FileExists(path));
+  EXPECT_TRUE(TmpFilesIn(dir_).empty());
+}
+
+TEST_F(FsTest, WriteFileAtomicCleansTmpOnRenameFailure) {
+  // Op sequence: 1=WriteFile(tmp), 2=SyncFile(tmp), 3=Rename. Failing
+  // the rename leaves a fully-written temp file — it must be removed.
+  FaultPlan plan;
+  plan.fail_ops = {3};
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "target");
+  EXPECT_FALSE(WriteFileAtomic(&fs, path, "doomed").ok());
+  EXPECT_FALSE(RealFs()->FileExists(path));
+  EXPECT_TRUE(TmpFilesIn(dir_).empty());
+}
+
+TEST_F(FsTest, IsTmpFileName) {
+  EXPECT_TRUE(IsTmpFileName("catalog.log.tmp.42"));
+  EXPECT_TRUE(IsTmpFileName("x.tmp.0"));
+  EXPECT_FALSE(IsTmpFileName("catalog.log"));
+  EXPECT_FALSE(IsTmpFileName("tmp"));
+  EXPECT_FALSE(IsTmpFileName("notatmp.txt"));
+}
+
+TEST_F(FsTest, RemoveStrayTmpFiles) {
+  Fs* fs = RealFs();
+  ASSERT_TRUE(fs->WriteFile(JoinPath(dir_, "keep.txt"), "k").ok());
+  ASSERT_TRUE(fs->WriteFile(JoinPath(dir_, "a.tmp.1"), "stray").ok());
+  ASSERT_TRUE(fs->WriteFile(JoinPath(dir_, "b.tmp.2"), "stray").ok());
+  size_t removed = 0;
+  ASSERT_TRUE(RemoveStrayTmpFiles(fs, dir_, &removed).ok());
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(fs->ListDir(dir_).ValueOrDie(),
+            std::vector<std::string>{"keep.txt"});
+  // Missing directory is fine (nothing to clean).
+  EXPECT_TRUE(RemoveStrayTmpFiles(fs, JoinPath(dir_, "nope"), &removed).ok());
+  EXPECT_EQ(removed, 2u);
+}
+
+TEST_F(FsTest, FaultFsFailOpsFireOnceEach) {
+  FaultPlan plan;
+  plan.fail_ops = {2};
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "f");
+  EXPECT_TRUE(fs.WriteFile(path, "1").ok());       // op 1
+  Status st = fs.WriteFile(path, "2");             // op 2: injected
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(fs.WriteFile(path, "3").ok());       // op 3
+  EXPECT_EQ(fs.mutating_ops(), 3u);
+  EXPECT_EQ(fs.injected_errors(), 1u);
+  EXPECT_EQ(RealFs()->ReadFile(path).ValueOrDie(), "3");
+}
+
+TEST_F(FsTest, FaultFsErrorCodeConfigurable) {
+  FaultPlan plan;
+  plan.fail_ops = {1};
+  plan.error_code = StatusCode::kResourceExhausted;
+  FaultInjectingFs fs(RealFs(), plan);
+  Status st = fs.WriteFile(JoinPath(dir_, "f"), "x");
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+TEST_F(FsTest, FaultFsDeterministicUnderSeed) {
+  auto run = [&](uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.error_rate = 0.5;
+    FaultInjectingFs fs(RealFs(), plan);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern.push_back(
+          fs.WriteFile(JoinPath(dir_, "f"), "x").ok() ? '1' : '0');
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // astronomically unlikely to collide
+}
+
+TEST_F(FsTest, FaultFsShortWritePersistsStrictPrefix) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.short_write_rate = 1.0;
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "torn");
+  std::string payload = "0123456789";
+  Status st = fs.WriteFile(path, payload);
+  EXPECT_FALSE(st.ok());
+  // A strict prefix (possibly empty) landed on disk.
+  std::string on_disk;
+  if (RealFs()->FileExists(path)) {
+    on_disk = RealFs()->ReadFile(path).ValueOrDie();
+  }
+  EXPECT_LT(on_disk.size(), payload.size());
+  EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+}
+
+TEST_F(FsTest, FaultFsInProcessCrashKillsAllLaterOps) {
+  FaultPlan plan;
+  plan.crash_at_op = 2;
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "f");
+  ASSERT_TRUE(fs.WriteFile(path, "pre-crash").ok());  // op 1
+  EXPECT_FALSE(fs.WriteFile(path, "at-crash").ok());  // op 2: crash point
+  EXPECT_TRUE(fs.crashed());
+  // Dead filesystem: both data reads and writes refuse from now on.
+  EXPECT_FALSE(fs.WriteFile(path, "post").ok());
+  EXPECT_FALSE(fs.ReadFile(path).ok());
+  // The pre-crash write survives; the crash-point write never applied.
+  EXPECT_EQ(RealFs()->ReadFile(path).ValueOrDie(), "pre-crash");
+}
+
+TEST_F(FsTest, FaultFsTornCrashLeavesPrefixOfAppend) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.crash_at_op = 2;
+  plan.crash_style = CrashStyle::kTornOp;
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "log");
+  ASSERT_TRUE(fs.AppendFile(path, "base|").ok());          // op 1
+  EXPECT_FALSE(fs.AppendFile(path, "torn-record").ok());   // op 2: torn crash
+  std::string on_disk = RealFs()->ReadFile(path).ValueOrDie();
+  // The base survives; at most a strict prefix of the torn append landed.
+  EXPECT_EQ(on_disk.substr(0, 5), "base|");
+  EXPECT_LT(on_disk.size(), std::string("base|torn-record").size());
+}
+
+TEST_F(FsTest, FaultFsMmapRefusalRoutesReadsThroughReadFile) {
+  FaultPlan plan;  // fail_mmap defaults to true
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "m");
+  ASSERT_TRUE(fs.WriteFile(path, "bytes").ok());
+  EXPECT_FALSE(fs.Mmap(path).ok());
+  EXPECT_EQ(fs.ReadFile(path).ValueOrDie(), "bytes");
+}
+
+TEST_F(FsTest, FaultFsStatOpsPassThroughUntouched) {
+  FaultPlan plan;
+  plan.error_rate = 1.0;  // every data op fails...
+  FaultInjectingFs fs(RealFs(), plan);
+  std::string path = JoinPath(dir_, "stat");
+  ASSERT_TRUE(RealFs()->WriteFile(path, "x").ok());
+  // ...but existence/size/list checks are exempt.
+  EXPECT_TRUE(fs.FileExists(path));
+  EXPECT_EQ(fs.FileSize(path).ValueOrDie(), 1u);
+  EXPECT_EQ(fs.ListDir(dir_).ValueOrDie(), std::vector<std::string>{"stat"});
+  EXPECT_FALSE(fs.ReadFile(path).ok());
+}
+
+}  // namespace
+}  // namespace mlake

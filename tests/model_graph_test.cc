@@ -74,6 +74,27 @@ TEST(ModelGraphTest, RootsAndDepth) {
   EXPECT_TRUE(g.Depth("nobody").status().IsNotFound());
 }
 
+// RemoveModel is the rollback primitive of crash recovery: it must drop
+// the node, every incident edge, and keep adjacency queries coherent.
+TEST(ModelGraphTest, RemoveModelDropsNodeAndIncidentEdges) {
+  ModelGraph g = Chain();
+  uint64_t rev = g.revision();
+  EXPECT_TRUE(g.RemoveModel("mid"));
+  EXPECT_GT(g.revision(), rev);
+  EXPECT_FALSE(g.HasModel("mid"));
+  EXPECT_EQ(g.NumModels(), 3u);
+  EXPECT_EQ(g.NumEdges(), 1u);  // only base->side survives
+  EXPECT_FALSE(g.HasEdge("base", "mid"));
+  EXPECT_FALSE(g.HasEdge("mid", "leaf"));
+  EXPECT_TRUE(g.HasEdge("base", "side"));
+  EXPECT_TRUE(g.Parents("leaf").empty());
+  EXPECT_EQ(g.Children("base"), std::vector<std::string>{"side"});
+  // Removing an unknown id is a no-op and does not bump the revision.
+  rev = g.revision();
+  EXPECT_FALSE(g.RemoveModel("stranger"));
+  EXPECT_EQ(g.revision(), rev);
+}
+
 TEST(ModelGraphTest, TopoSortRespectsEdges) {
   ModelGraph g = Chain();
   std::vector<std::string> order = g.TopoSort();

@@ -1,0 +1,120 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace mlake {
+namespace {
+
+RetryPolicy NoSleepPolicy(int max_attempts, std::vector<int>* slept = nullptr) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.sleeper = [slept](int ms) {
+    if (slept != nullptr) slept->push_back(ms);
+  };
+  return policy;
+}
+
+TEST(RetryTest, BackoffDoublesAndSaturates) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  // `retry` is 1-based (the attempt that just failed): the first sleep
+  // is initial_backoff_ms, doubling from there.
+  EXPECT_EQ(BackoffMs(policy, 1), 1);
+  EXPECT_EQ(BackoffMs(policy, 2), 2);
+  EXPECT_EQ(BackoffMs(policy, 3), 4);
+  EXPECT_EQ(BackoffMs(policy, 4), 8);
+  EXPECT_EQ(BackoffMs(policy, 5), 8);   // capped
+  EXPECT_EQ(BackoffMs(policy, 62), 8);  // no overflow at large retries
+}
+
+TEST(RetryTest, SucceedsFirstTryNoSleep) {
+  std::vector<int> slept;
+  int attempts = 0;
+  Status st = RetryTransient(
+      NoSleepPolicy(3, &slept), [] { return Status::OK(); }, &attempts);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  std::vector<int> slept;
+  int calls = 0;
+  int attempts = 0;
+  Status st = RetryTransient(
+      NoSleepPolicy(5, &slept),
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      &attempts);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(slept.size(), 2u);  // one backoff per failed attempt
+}
+
+TEST(RetryTest, ExhaustsAttemptsOnPersistentTransient) {
+  int calls = 0;
+  Status st = RetryTransient(NoSleepPolicy(3), [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonTransientNeverRetries) {
+  for (Status terminal :
+       {Status::IOError("disk gone"), Status::Corruption("bad bytes"),
+        Status::ResourceExhausted("disk full"),
+        Status::NotFound("missing")}) {
+    int calls = 0;
+    Status st = RetryTransient(NoSleepPolicy(5), [&] {
+      ++calls;
+      return terminal;
+    });
+    EXPECT_EQ(st.code(), terminal.code());
+    EXPECT_EQ(calls, 1) << terminal.ToString();
+  }
+}
+
+TEST(RetryTest, NonePolicyIsSingleAttempt) {
+  int calls = 0;
+  Status st = RetryTransient(RetryPolicy::None(), [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ResultFlavorReturnsValueAfterRetries) {
+  int calls = 0;
+  int attempts = 0;
+  Result<std::string> r = RetryTransient<std::string>(
+      NoSleepPolicy(4),
+      [&]() -> Result<std::string> {
+        ++calls;
+        if (calls < 2) return Status::Unavailable("flaky read");
+        return std::string("payload");
+      },
+      &attempts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueUnsafe(), "payload");
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(RetryTest, ResultFlavorPropagatesTerminalError) {
+  int calls = 0;
+  Result<int> r = RetryTransient<int>(NoSleepPolicy(4), [&]() -> Result<int> {
+    ++calls;
+    return Status::Corruption("wrong bytes");
+  });
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mlake

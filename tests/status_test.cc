@@ -33,6 +33,27 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, TransientTaxonomy) {
+  // Only Unavailable is transient: retry loops key off this exact set.
+  EXPECT_TRUE(Status::Unavailable("flaky read").IsTransient());
+  EXPECT_FALSE(Status::IOError("hard failure").IsTransient());
+  EXPECT_FALSE(Status::ResourceExhausted("disk full").IsTransient());
+  EXPECT_FALSE(Status::Corruption("bad crc").IsTransient());
+  EXPECT_FALSE(Status::NotFound("absent").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+}
+
+TEST(StatusTest, NewCodesToString) {
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "Resource exhausted: x");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "Resource exhausted");
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -24,7 +24,11 @@
 //   recover-heritage [--apply]   reconstruct lineage from weights
 //   export ID FILE               write the model artifact to FILE
 //   import FILE ID [TASK]        ingest an artifact file under ID
-//   fsck                         verify every stored artifact
+//   fsck [--repair]              verify every stored artifact; with
+//                                --repair, quarantine corrupt blobs
+//                                (models marked degraded, rest of the
+//                                lake stays searchable), GC orphan
+//                                blobs and remove stray temp files
 //   stats                        lake size + storage cache counters
 //
 // Exit code 0 on success, 1 on any error.
@@ -53,7 +57,8 @@ int Usage() {
                "usage: mlake --lake DIR [--threads N] [--cache-mb N] "
                "COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
-               "hybrid graph recover-heritage export import fsck stats\n");
+               "hybrid graph recover-heritage export import fsck [--repair] "
+               "stats\n");
   return 1;
 }
 
@@ -284,7 +289,21 @@ int CmdStats(core::ModelLake* lake) {
   return 0;
 }
 
-int CmdFsck(core::ModelLake* lake) {
+int CmdFsck(core::ModelLake* lake, const std::vector<std::string>& args) {
+  bool repair = !args.empty() && args[0] == "--repair";
+  if (!args.empty() && !repair) return Usage();
+  if (repair) {
+    auto report = lake->FsckRepair();
+    if (!report.ok()) return Fail(report.status());
+    const core::FsckReport& r = report.ValueUnsafe();
+    for (const std::string& id : r.corrupted) {
+      std::printf("QUARANTINED %s\n", id.c_str());
+    }
+    std::printf("%s\n", r.ToJson().Dump(2).c_str());
+    // Repair succeeded: the lake is consistent again (corrupt content
+    // fenced off), so exit 0 even when corruption was found.
+    return 0;
+  }
   auto corrupted = lake->FsckArtifacts();
   if (!corrupted.ok()) return Fail(corrupted.status());
   if (corrupted.ValueUnsafe().empty()) {
@@ -339,7 +358,7 @@ int Run(int argc, char** argv) {
   if (command == "recover-heritage") return CmdRecoverHeritage(lk, args);
   if (command == "export") return CmdExport(lk, args);
   if (command == "import") return CmdImport(lk, args);
-  if (command == "fsck") return CmdFsck(lk);
+  if (command == "fsck") return CmdFsck(lk, args);
   if (command == "stats") return CmdStats(lk);
   return Usage();
 }
