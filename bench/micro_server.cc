@@ -1,0 +1,298 @@
+// micro_server: mlaked's tracked serving-layer baseline.
+//
+// Starts an in-process LakeServer over a small lake and drives it
+// closed-loop from 1 / 4 / 16 concurrent HTTP clients on loopback,
+// in two modes:
+//
+//   saturated    zero think time — every client re-issues the next
+//                request the moment the previous answer lands. On an
+//                N-core host this saturates the host at small client
+//                counts; on the 1-core CI runner QPS is flat across
+//                client counts by construction (the CPU is the
+//                bottleneck, not the protocol).
+//   interactive  each client waits a fixed think time between
+//                requests (the classic closed-loop interactive law:
+//                QPS ~= clients / (think + response time) until the
+//                server saturates). This is the mode whose 16-vs-1
+//                scaling the roadmap tracks, because it measures what
+//                the serving layer adds — admission, parsing, locking
+//                — rather than how many cores the host happens to have.
+//
+// Emits BENCH_server.json (shared JsonBench schema). Entries carry
+// qps / p50_us / p99_us per (endpoint, mode, clients); meta records
+// cores and think_ms so the scaling numbers can be read honestly;
+// derived carries search_qps_scaling_16v1 (interactive) and its
+// saturated counterpart.
+//
+// Usage: micro_server [--quick] [--out PATH]
+//   --quick  CI-sized run (shorter measurement windows)
+//   --out    JSON path (default: BENCH_server.json in the cwd)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/exp_util.h"
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/model_lake.h"
+#include "metadata/model_card.h"
+#include "nn/trainer.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/metrics.h"
+#include "server/server.h"
+
+namespace mlake::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+
+std::unique_ptr<core::ModelLake> BuildLake(const std::string& root,
+                                           size_t num_models) {
+  core::LakeOptions options;
+  options.root = root;
+  options.input_dim = kDim;
+  options.num_classes = kClasses;
+  options.probe_count = 12;
+  auto lake = Unwrap(core::ModelLake::Open(options), "ModelLake::Open");
+  const char* families[] = {"sum", "mean", "max"};
+  const char* domains[] = {"legal", "news", "bio"};
+  for (size_t i = 0; i < num_models; ++i) {
+    nn::TaskSpec spec;
+    spec.family_id = families[i % 3];
+    spec.domain_id = domains[(i / 3) % 3];
+    spec.dim = kDim;
+    spec.num_classes = kClasses;
+    Rng rng(1000 + i);
+    nn::Dataset data = nn::SyntheticTask::Make(spec).Sample(64, &rng);
+    auto model = Unwrap(nn::BuildModel(nn::MlpSpec(kDim, {16}, kClasses), &rng),
+                        "BuildModel");
+    nn::TrainConfig config;
+    config.epochs = 3;
+    Unwrap(nn::Train(model.get(), data, config), "Train");
+    metadata::ModelCard card;
+    card.model_id = StrFormat("bench-m%zu", i);
+    card.name = card.model_id;
+    card.task = spec.family_id;
+    card.training_datasets = {std::string(spec.family_id) + "/" +
+                              spec.domain_id};
+    card.creator = "micro_server";
+    Unwrap(lake->IngestModel(*model, card), "IngestModel");
+  }
+  return lake;
+}
+
+struct LoadResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;    // transport failures or 5xx
+  uint64_t rejected = 0;  // 429 admission answers
+  double seconds = 0.0;
+  server::LatencyHistogram latency;  // successful requests only
+
+  double Qps() const { return seconds > 0 ? double(requests) / seconds : 0; }
+};
+
+/// Closed-loop load: `clients` threads issue `body`-POSTs (or GETs when
+/// `body` is empty) back to back for `window`, sleeping `think` between
+/// completions. Latency is per round trip, recorded client-side.
+LoadResult RunLoad(int port, int clients, Clock::duration window,
+                   Clock::duration think, const std::string& path,
+                   const std::string& body) {
+  std::vector<LoadResult> per_client(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  std::atomic<bool> go{false};
+
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::HttpClient client("127.0.0.1", port);
+      LoadResult& mine = per_client[static_cast<size_t>(c)];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      auto start = Clock::now();
+      auto deadline = start + window;
+      while (Clock::now() < deadline) {
+        auto sent = Clock::now();
+        auto response = body.empty() ? client.Get(path)
+                                     : client.Post(path, body);
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - sent)
+                      .count();
+        ++mine.requests;
+        if (!response.ok() || response.ValueUnsafe().status >= 500) {
+          ++mine.errors;
+        } else if (response.ValueUnsafe().status == 429) {
+          ++mine.rejected;
+        } else {
+          mine.latency.Record(static_cast<uint64_t>(us < 0 ? 0 : us));
+        }
+        if (think.count() > 0) std::this_thread::sleep_for(think);
+      }
+      mine.seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  LoadResult merged;
+  for (const LoadResult& r : per_client) {
+    merged.requests += r.requests;
+    merged.errors += r.errors;
+    merged.rejected += r.rejected;
+    merged.seconds = std::max(merged.seconds, r.seconds);
+    merged.latency.Merge(r.latency);
+  }
+  return merged;
+}
+
+Json EntryJson(const std::string& name, int clients, const LoadResult& r) {
+  Json entry = Json::MakeObject();
+  entry.Set("name", name);
+  entry.Set("clients", clients);
+  entry.Set("qps", r.Qps());
+  entry.Set("p50_us", r.latency.PercentileUs(50));
+  entry.Set("p99_us", r.latency.PercentileUs(99));
+  entry.Set("mean_us", r.latency.MeanUs());
+  entry.Set("requests", r.requests);
+  entry.Set("errors", r.errors);
+  entry.Set("rejected", r.rejected);
+  entry.Set("seconds", r.seconds);
+  // ns_per_op keeps the entry greppable alongside the other suites.
+  entry.Set("ns_per_op", r.latency.MeanUs() * 1000.0);
+  std::printf("  %-32s %4d clients %10.0f qps  p50 %7.0f us  p99 %7.0f us\n",
+              name.c_str(), clients, r.Qps(), r.latency.PercentileUs(50),
+              r.latency.PercentileUs(99));
+  return entry;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: micro_server [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  Banner("micro_server", "mlaked closed-loop load baseline");
+
+  TempDir dir("mlake-micro-server");
+  const size_t num_models = quick ? 6 : 9;
+  std::printf("building lake (%zu models)...\n", num_models);
+  auto lake = BuildLake(dir.path(), num_models);
+
+  server::ServerOptions options;
+  options.threads = 18;  // >= the largest client count (thread-per-conn)
+  options.max_inflight = 64;
+  server::LakeServer server(lake.get(), options);
+  Check(server.Start(), "LakeServer::Start");
+
+  const auto window =
+      quick ? std::chrono::milliseconds(900) : std::chrono::milliseconds(2500);
+  const auto think = std::chrono::milliseconds(4);
+  const int levels[] = {1, 4, 16};
+
+  const std::string search_body =
+      R"({"type": "keyword", "query": "sum legal", "k": 10})";
+  const std::string ann_body =
+      R"({"type": "ann", "id": "bench-m0", "k": 5})";
+
+  Json entries = Json::MakeArray();
+  double search_qps_interactive[3] = {};
+  double search_qps_saturated[3] = {};
+
+  std::printf("\nsaturated (zero think time):\n");
+  for (int level = 0; level < 3; ++level) {
+    LoadResult r = RunLoad(server.port(), levels[level], window,
+                           Clock::duration::zero(), "/v1/search", search_body);
+    search_qps_saturated[level] = r.Qps();
+    entries.Append(EntryJson(
+        StrFormat("search_keyword_saturated_c%d", levels[level]),
+        levels[level], r));
+  }
+  {
+    LoadResult r = RunLoad(server.port(), 16, window, Clock::duration::zero(),
+                           "/v1/search", ann_body);
+    entries.Append(EntryJson("search_ann_saturated_c16", 16, r));
+  }
+  {
+    LoadResult r = RunLoad(server.port(), 16, window, Clock::duration::zero(),
+                           "/v1/models/bench-m0", "");
+    entries.Append(EntryJson("model_get_saturated_c16", 16, r));
+  }
+
+  std::printf("\ninteractive (4 ms think time):\n");
+  for (int level = 0; level < 3; ++level) {
+    LoadResult r = RunLoad(server.port(), levels[level], window, think,
+                           "/v1/search", search_body);
+    search_qps_interactive[level] = r.Qps();
+    entries.Append(EntryJson(
+        StrFormat("search_keyword_interactive_c%d", levels[level]),
+        levels[level], r));
+  }
+
+  Json report = Json::MakeObject();
+  report.Set("suite", "server");
+
+  Json meta = Json::MakeObject();
+  meta.Set("cores",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  meta.Set("server_threads", options.threads);
+  meta.Set("max_inflight", options.max_inflight);
+  meta.Set("think_ms", 4);
+  meta.Set("window_ms", static_cast<int64_t>(
+                            std::chrono::duration_cast<std::chrono::milliseconds>(
+                                window)
+                                .count()));
+  meta.Set("models", num_models);
+  meta.Set("quick", quick);
+  meta.Set("scaling_note",
+           "search_qps_scaling_16v1 is measured in the interactive mode "
+           "(fixed 4 ms think time); the saturated mode is CPU-bound and "
+           "cannot scale past the host's core count.");
+  report.Set("meta", std::move(meta));
+  report.Set("entries", std::move(entries));
+
+  Json derived = Json::MakeObject();
+  derived.Set("search_qps_scaling_16v1",
+              search_qps_interactive[0] > 0
+                  ? search_qps_interactive[2] / search_qps_interactive[0]
+                  : 0.0);
+  derived.Set("search_qps_scaling_4v1",
+              search_qps_interactive[0] > 0
+                  ? search_qps_interactive[1] / search_qps_interactive[0]
+                  : 0.0);
+  derived.Set("search_qps_scaling_16v1_saturated",
+              search_qps_saturated[0] > 0
+                  ? search_qps_saturated[2] / search_qps_saturated[0]
+                  : 0.0);
+  report.Set("derived", std::move(derived));
+
+  Check(server.Stop(), "LakeServer::Stop");
+
+  Check(mlake::WriteFile(out, report.Dump(2) + "\n"), "WriteFile");
+  std::printf("\nwrote %s\n", out.c_str());
+  std::printf("search_qps_scaling_16v1 (interactive): %.2fx\n",
+              report.Find("derived")
+                  ->GetDouble("search_qps_scaling_16v1"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlake::bench
+
+int main(int argc, char** argv) { return mlake::bench::Main(argc, argv); }

@@ -31,6 +31,10 @@ enum class StatusCode : int {
   /// A resource budget was exhausted (ENOSPC, quota). Not transient:
   /// retrying without freeing space will fail again.
   kResourceExhausted = 11,
+  /// The caller's deadline expired before the operation completed. The
+  /// work may or may not have run to completion server-side; read-only
+  /// operations are safe to retry with a fresh deadline.
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -89,6 +93,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -113,6 +120,9 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// Error-category taxonomy for the robustness layer (see retry.h):

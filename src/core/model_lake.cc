@@ -621,6 +621,17 @@ bool ModelLake::IsDegraded(const std::string& id) const {
   return degraded_.count(id) > 0;
 }
 
+Json RecoveryReport::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("rolled_back_intents", rolled_back_intents);
+  Json ids = Json::MakeArray();
+  for (const std::string& id : rolled_back_ids) ids.Append(Json(id));
+  j.Set("rolled_back_ids", std::move(ids));
+  j.Set("orphan_blobs_removed", orphan_blobs_removed);
+  j.Set("tmp_files_removed", tmp_files_removed);
+  return j;
+}
+
 Json FsckReport::ToJson() const {
   Json j = Json::MakeObject();
   Json bad = Json::MakeArray();
@@ -729,6 +740,37 @@ Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   MLAKE_RETURN_NOT_OK(graph_.AddEdge(edge));
   return PersistGraph();
+}
+
+Result<Json> ModelLake::Lineage(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!catalog_->Contains("model", id)) {
+    return Status::NotFound("model not in lake: " + id);
+  }
+  auto string_array = [](const std::vector<std::string>& ids) {
+    Json a = Json::MakeArray();
+    for (const std::string& s : ids) a.Append(Json(s));
+    return a;
+  };
+  Json out = Json::MakeObject();
+  out.Set("id", id);
+  out.Set("parents", string_array(graph_.Parents(id)));
+  out.Set("children", string_array(graph_.Children(id)));
+  out.Set("ancestors", string_array(graph_.Ancestors(id)));
+  out.Set("descendants", string_array(graph_.Descendants(id)));
+  Json edges = Json::MakeArray();
+  for (const versioning::VersionEdge& e : graph_.Edges()) {
+    if (e.parent != id && e.child != id) continue;
+    Json ej = Json::MakeObject();
+    ej.Set("parent", e.parent);
+    ej.Set("child", e.child);
+    ej.Set("type", std::string(versioning::EdgeTypeToString(e.type)));
+    ej.Set("confidence", e.confidence);
+    edges.Append(std::move(ej));
+  }
+  out.Set("edges", std::move(edges));
+  out.Set("graph_revision", graph_.revision());
+  return out;
 }
 
 Result<versioning::HeritageResult> ModelLake::RecoverHeritage(

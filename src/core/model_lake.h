@@ -115,6 +115,10 @@ struct RecoveryReport {
   size_t orphan_blobs_removed = 0;
   /// Stray `*.tmp.*` files removed (lake root, journal, blob buckets).
   size_t tmp_files_removed = 0;
+
+  /// What `/statsz` exposes so operators can see recovery state without
+  /// shelling into the box.
+  Json ToJson() const;
 };
 
 /// Outcome of a repairing fsck pass (FsckRepair / `mlake fsck --repair`).
@@ -248,6 +252,14 @@ class ModelLake : public search::SearchContext {
   /// Direct reference — see the thread-safety contract above.
   const versioning::ModelGraph& graph() const { return graph_; }
 
+  /// Lineage of one model as JSON — parents, children, transitive
+  /// ancestors/descendants, the recorded edges touching `id`, and the
+  /// graph revision — computed in one shared-lock critical section so
+  /// concurrent callers (the HTTP lineage endpoint) get a consistent
+  /// snapshot without ever touching `graph()` unlocked. NotFound when
+  /// `id` is not in the lake.
+  Result<Json> Lineage(const std::string& id) const;
+
   /// Reconstructs lineage from stored weights alone (no history).
   /// Model loading and the O(n²) distance matrix run on options.exec
   /// unless config.exec carries its own pool.
@@ -334,6 +346,7 @@ class ModelLake : public search::SearchContext {
   const Tensor& probes() const { return probes_; }
   const LakeOptions& options() const { return options_; }
   storage::Catalog* catalog() { return catalog_.get(); }
+  const storage::Catalog* catalog() const { return catalog_.get(); }
 
  private:
   /// SearchContext view without locking — what `Query` (and other

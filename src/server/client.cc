@@ -1,0 +1,159 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace mlake::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reused_ = false;
+}
+
+Status HttpClient::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reused_ = false;
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::Get(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return RoundTrip("GET", path, "", headers);
+}
+
+Result<HttpResponse> HttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return RoundTrip("POST", path, body, headers);
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  auto start = Clock::now();
+  std::string wire = SerializeHttpRequest(method, path, body, headers);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) MLAKE_RETURN_NOT_OK(Connect());
+    // Only a reused connection may have been closed under us; a request
+    // that dies on a fresh connection is a real error, and retrying a
+    // half-delivered request on anything but a virgin connection could
+    // double-apply a mutation.
+    bool may_retry = reused_ && attempt == 0;
+
+    bool sent = WriteAll(fd_, wire);
+    std::string buf;
+    HttpResponse response;
+    bool got_bytes = false;
+    bool dead = !sent;
+    while (!dead) {
+      auto parsed = ParseHttpResponse(buf, 256u << 20, &response);
+      if (!parsed.ok()) return parsed.status();
+      if (parsed.ValueUnsafe() > 0) {
+        reused_ = true;
+        if (EqualsIgnoreCase(response.Header("connection"), "close")) {
+          Close();
+        }
+        return response;
+      }
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Clock::now() - start)
+                         .count();
+      if (elapsed >= timeout_ms_) {
+        Close();
+        return Status::DeadlineExceeded("no response within " +
+                                        std::to_string(timeout_ms_) + " ms");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready =
+          ::poll(&pfd, 1, static_cast<int>(timeout_ms_ - elapsed));
+      if (ready < 0 && errno != EINTR) {
+        dead = true;
+        break;
+      }
+      if (ready <= 0) continue;
+      char chunk[16384];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        dead = true;
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        dead = true;
+        break;
+      }
+      got_bytes = true;
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    Close();
+    if (got_bytes) {
+      return Status::Unavailable("connection closed mid-response");
+    }
+    if (!may_retry) {
+      return Status::Unavailable("connection closed before response");
+    }
+    // Stale keep-alive connection: reconnect and resend once.
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace mlake::server

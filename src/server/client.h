@@ -1,0 +1,60 @@
+#ifndef MLAKE_SERVER_CLIENT_H_
+#define MLAKE_SERVER_CLIENT_H_
+
+// Minimal blocking HTTP/1.1 client over POSIX sockets — what the server
+// tests and bench/micro_server drive the lake server with. One client
+// owns one keep-alive connection; it reconnects transparently when the
+// server rotates the connection (max_requests_per_connection) or an
+// idle timeout closed it.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/http.h"
+
+namespace mlake::server {
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Blocking GET/POST. A request on a reused connection that dies
+  /// before any response byte arrives is retried once on a fresh
+  /// connection (the keep-alive race: the server may close between our
+  /// send and its read).
+  Result<HttpResponse> Get(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+  Result<HttpResponse> Post(
+      const std::string& path, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Per-round-trip timeout (connect + response), default 30 s.
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+  void Close();
+
+ private:
+  Status Connect();
+  Result<HttpResponse> RoundTrip(
+      const std::string& method, const std::string& path,
+      const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers);
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  bool reused_ = false;  // current connection already served a request
+  int timeout_ms_ = 30000;
+};
+
+}  // namespace mlake::server
+
+#endif  // MLAKE_SERVER_CLIENT_H_

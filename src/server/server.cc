@@ -1,0 +1,661 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/model_artifact.h"
+#include "versioning/model_graph.h"
+
+namespace mlake::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - since)
+                .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+/// Writes the whole buffer, retrying on EINTR/partial writes.
+/// MSG_NOSIGNAL: a peer that closed mid-response yields EPIPE, not a
+/// process-killing SIGPIPE.
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// True once the connection cannot produce a response anymore: the peer
+/// closed, or ForceCloseConnections() shut the socket down at the drain
+/// deadline. A pipelined next request (recv > 0) is not death.
+bool SocketDead(int fd) {
+  char probe;
+  ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  return n == 0;
+}
+
+Json RankedModelsJson(const std::vector<search::RankedModel>& models) {
+  Json arr = Json::MakeArray();
+  for (const auto& m : models) {
+    Json j = Json::MakeObject();
+    j.Set("id", m.id);
+    j.Set("score", m.score);
+    arr.Append(std::move(j));
+  }
+  return arr;
+}
+
+template <typename Score>
+Json ScoredPairsJson(const std::vector<std::pair<std::string, Score>>& hits) {
+  Json arr = Json::MakeArray();
+  for (const auto& [id, score] : hits) {
+    Json j = Json::MakeObject();
+    j.Set("id", id);
+    j.Set("score", static_cast<double>(score));
+    arr.Append(std::move(j));
+  }
+  return arr;
+}
+
+/// Body parse failures are the client's fault: remap the codec's
+/// Corruption to InvalidArgument so they surface as 400, not 500.
+Status BodyError(const Status& status, const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": " + status.message());
+}
+
+}  // namespace
+
+LakeServer::LakeServer(core::ModelLake* lake, ServerOptions options)
+    : lake_(lake), options_(std::move(options)) {
+  if (options_.threads <= 0) options_.threads = 8;
+  if (options_.max_inflight <= 0) options_.max_inflight = 1;
+  if (options_.max_queue < 0) options_.max_queue = 0;
+}
+
+LakeServer::~LakeServer() { (void)Stop(); }
+
+Status LakeServer::Start() {
+  if (started_.load()) return Status::FailedPrecondition("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  draining_.store(false);
+  start_time_ = Clock::now();
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true);
+  return Status::OK();
+}
+
+Status LakeServer::Stop() {
+  if (!started_.load()) return Status::OK();
+  draining_.store(true);
+
+  // Wake the accept thread out of accept() (shutdown, then close after
+  // the join — closing a blocking-accept fd does not reliably wake it).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Drain: workers notice draining_ within one poll tick (idle
+  // connections close; busy ones finish their in-flight request, send
+  // Connection: close, and exit).
+  auto deadline = Clock::now() +
+                  std::chrono::milliseconds(options_.drain_deadline_ms);
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    drain_cv_.wait_until(lock, deadline, [this] {
+      return active_conns_.load() == 0 && queued_conns_.load() == 0;
+    });
+  }
+  if (active_conns_.load() != 0) {
+    // Drain deadline expired: sever the remaining connections. Their
+    // handlers observe the dead socket and unwind.
+    ForceCloseConnections();
+  }
+  // Joins workers; still-queued connection tasks run first, see
+  // draining_ and answer 503 immediately.
+  pool_.reset();
+  started_.store(false);
+  return Status::OK();
+}
+
+void LakeServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or fatal accept error
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    SetNoDelay(fd);
+
+    // Queue-depth admission: connections beyond what the pool will pick
+    // up soon are turned away right here with the overload answer.
+    if (queued_conns_.load(std::memory_order_relaxed) >= options_.max_queue) {
+      rejected_queue_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response = ErrorResponse(
+          Status::ResourceExhausted("server overloaded: connection queue full"));
+      WriteAll(fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+      ::close(fd);
+      metrics_.Record("(admission)", response.status, 0);
+      continue;
+    }
+
+    queued_conns_.fetch_add(1, std::memory_order_relaxed);
+    RegisterConnection(fd);
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void LakeServer::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  open_conns_.insert(fd);
+}
+
+void LakeServer::UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  open_conns_.erase(fd);
+}
+
+void LakeServer::ForceCloseConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
+}
+
+LakeServer::ReadOutcome LakeServer::ReadRequest(int fd, std::string* buf,
+                                                HttpRequest* request,
+                                                Status* parse_error) {
+  auto entered = Clock::now();
+  for (;;) {
+    if (!buf->empty()) {
+      auto parsed = ParseHttpRequest(*buf, options_.max_body_bytes, request);
+      if (!parsed.ok()) {
+        *parse_error = parsed.status();
+        return ReadOutcome::kMalformed;
+      }
+      size_t consumed = parsed.ValueUnsafe();
+      if (consumed > 0) {
+        buf->erase(0, consumed);
+        return ReadOutcome::kRequest;
+      }
+    }
+
+    pollfd pfd{fd, POLLIN, 0};
+    if (draining_.load() && buf->empty()) {
+      // Grace probe: bytes may already sit in the kernel buffer — a
+      // request we committed to by accepting it. Only close when the
+      // connection is genuinely quiet.
+      int ready = ::poll(&pfd, 1, 0);
+      if (ready <= 0) return ReadOutcome::kDrainingIdle;
+    } else {
+      int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0 && errno != EINTR) return ReadOutcome::kClosed;
+      if (ready == 0) {
+        if (ElapsedMs(entered) >=
+            static_cast<int64_t>(options_.keep_alive_timeout_ms)) {
+          return ReadOutcome::kIdleTimeout;
+        }
+        continue;
+      }
+    }
+
+    char chunk[16384];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadOutcome::kClosed;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ReadOutcome::kClosed;
+    }
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LakeServer::HandleConnection(int fd) {
+  queued_conns_.fetch_sub(1, std::memory_order_relaxed);
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string buf;
+  int served = 0;
+  if (draining_.load()) {
+    // Accepted before the drain began but never picked up: refuse
+    // cleanly instead of silently dropping the connection.
+    HttpResponse response =
+        ErrorResponse(Status::Unavailable("server shutting down"));
+    WriteAll(fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+  } else {
+    for (;;) {
+      HttpRequest request;
+      Status parse_error;
+      ReadOutcome outcome = ReadRequest(fd, &buf, &request, &parse_error);
+      if (outcome == ReadOutcome::kMalformed) {
+        HttpResponse response = ErrorResponse(parse_error);
+        WriteAll(fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+        metrics_.Record("(malformed)", response.status, 0);
+        break;
+      }
+      if (outcome != ReadOutcome::kRequest) break;
+
+      auto arrival = Clock::now();
+      ++served;
+      std::string endpoint;
+      HttpResponse response = Dispatch(request, arrival, &endpoint, fd);
+      bool keep_alive = request.KeepAlive() && !draining_.load() &&
+                        (options_.max_requests_per_connection <= 0 ||
+                         served < options_.max_requests_per_connection);
+      bool wrote =
+          WriteAll(fd, SerializeHttpResponse(response, keep_alive));
+      metrics_.Record(endpoint, response.status, ElapsedUs(arrival));
+      if (!wrote || !keep_alive) break;
+    }
+  }
+
+  UnregisterConnection(fd);
+  ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+HttpResponse LakeServer::Dispatch(const HttpRequest& request,
+                                  Clock::time_point arrival,
+                                  std::string* endpoint_label, int fd) {
+  // ---- route ----------------------------------------------------------
+  const std::string& path = request.path;
+  std::string id;
+  enum class Route {
+    kHealthz, kStatsz, kModelList, kModelGet, kLineage, kSearch, kIngest,
+    kDebugSleep, kUnmatched
+  } route = Route::kUnmatched;
+  if (request.method == "GET" && path == "/healthz") {
+    route = Route::kHealthz;
+    *endpoint_label = "GET /healthz";
+  } else if (request.method == "GET" && path == "/statsz") {
+    route = Route::kStatsz;
+    *endpoint_label = "GET /statsz";
+  } else if (request.method == "GET" && path == "/v1/models") {
+    route = Route::kModelList;
+    *endpoint_label = "GET /v1/models";
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/")) {
+    route = Route::kModelGet;
+    *endpoint_label = "GET /v1/models/{id}";
+    id = path.substr(std::strlen("/v1/models/"));
+  } else if (request.method == "GET" && StartsWith(path, "/v1/lineage/")) {
+    route = Route::kLineage;
+    *endpoint_label = "GET /v1/lineage/{id}";
+    id = path.substr(std::strlen("/v1/lineage/"));
+  } else if (request.method == "POST" && path == "/v1/search") {
+    route = Route::kSearch;
+    *endpoint_label = "POST /v1/search";
+  } else if (request.method == "POST" && path == "/v1/ingest") {
+    route = Route::kIngest;
+    *endpoint_label = "POST /v1/ingest";
+  } else if (options_.enable_debug_endpoints && request.method == "GET" &&
+             path == "/debug/sleep") {
+    route = Route::kDebugSleep;
+    *endpoint_label = "GET /debug/sleep";
+  } else {
+    *endpoint_label = "(unmatched)";
+    return ErrorResponse(
+        Status::NotFound(request.method + " " + path + " has no handler"));
+  }
+
+  // ---- health is exempt from admission and deadlines ------------------
+  if (route == Route::kHealthz) return HandleHealthz();
+
+  // ---- admission ------------------------------------------------------
+  int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (inflight > options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_inflight_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::ResourceExhausted(
+        "server overloaded: " + std::to_string(inflight - 1) +
+        " requests in flight"));
+  }
+  struct InflightRelease {
+    std::atomic<int>* counter;
+    ~InflightRelease() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  } release{&inflight_};
+
+  // ---- deadline -------------------------------------------------------
+  int64_t deadline_ms = options_.default_deadline_ms;
+  std::string_view header = request.Header("x-mlake-deadline-ms");
+  if (!header.empty()) {
+    char* end = nullptr;
+    long v = std::strtol(std::string(header).c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0) {
+      return ErrorResponse(
+          Status::InvalidArgument("malformed X-Mlake-Deadline-Ms header"));
+    }
+    deadline_ms = v;
+  }
+  bool has_deadline = deadline_ms > 0;
+  auto deadline = arrival + std::chrono::milliseconds(deadline_ms);
+  if (has_deadline && Clock::now() >= deadline) {
+    return ErrorResponse(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(deadline_ms) +
+        " ms expired before execution"));
+  }
+
+  // ---- handler --------------------------------------------------------
+  HttpResponse response;
+  switch (route) {
+    case Route::kStatsz: response = HandleStatsz(); break;
+    case Route::kModelList: response = HandleModelList(); break;
+    case Route::kModelGet: response = HandleModelGet(id); break;
+    case Route::kLineage: response = HandleLineage(id); break;
+    case Route::kSearch: response = HandleSearch(request); break;
+    case Route::kIngest: response = HandleIngest(request); break;
+    case Route::kDebugSleep:
+      response = HandleDebugSleep(request, deadline, has_deadline, fd);
+      break;
+    case Route::kHealthz:
+    case Route::kUnmatched:
+      response = ErrorResponse(Status::Internal("unreachable route"));
+      break;
+  }
+
+  // The handler itself may have spent the deadline; a late answer is a
+  // missed deadline, not a success.
+  if (has_deadline && response.status < 400 && Clock::now() >= deadline) {
+    return ErrorResponse(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(deadline_ms) +
+        " ms expired during execution"));
+  }
+  return response;
+}
+
+HttpResponse LakeServer::HandleHealthz() const {
+  Json body = Json::MakeObject();
+  bool draining = draining_.load();
+  body.Set("status", draining ? "draining" : "ok");
+  return JsonResponse(std::move(body), draining ? 503 : 200);
+}
+
+HttpResponse LakeServer::HandleStatsz() const { return JsonResponse(StatszJson()); }
+
+Json LakeServer::StatszJson() const {
+  Json out = Json::MakeObject();
+  out.Set("models", lake_->NumModels());
+
+  // Quarantine visibility (PR 4): degraded ids and the last recovery.
+  std::vector<std::string> degraded = lake_->DegradedModels();
+  Json degraded_json = Json::MakeArray();
+  for (const std::string& d : degraded) degraded_json.Append(Json(d));
+  out.Set("degraded_models", degraded.size());
+  out.Set("degraded_model_ids", std::move(degraded_json));
+  out.Set("recovery", lake_->recovery().ToJson());
+
+  out.Set("caches", lake_->CacheStatsJson());
+
+  Json server = Json::MakeObject();
+  server.Set("uptime_ms", ElapsedMs(start_time_));
+  server.Set("threads", options_.threads);
+  server.Set("draining", draining_.load());
+  server.Set("connections_accepted", connections_accepted_.load());
+  server.Set("inflight", inflight_.load());
+  server.Set("max_inflight", options_.max_inflight);
+  server.Set("queued_connections", queued_conns_.load());
+  server.Set("max_queue", options_.max_queue);
+  server.Set("rejected_inflight", rejected_inflight_.load());
+  server.Set("rejected_queue", rejected_queue_.load());
+  out.Set("server", std::move(server));
+
+  out.Set("endpoints", metrics_.ToJson());
+  return out;
+}
+
+HttpResponse LakeServer::HandleModelList() const {
+  std::vector<std::string> ids = lake_->ListModels();
+  Json arr = Json::MakeArray();
+  for (const std::string& model_id : ids) {
+    Json entry = Json::MakeObject();
+    entry.Set("id", model_id);
+    auto card = lake_->CardFor(model_id);
+    entry.Set("task", card.ok() ? card.ValueUnsafe().task : "");
+    entry.Set("degraded", lake_->IsDegraded(model_id));
+    arr.Append(std::move(entry));
+  }
+  Json body = Json::MakeObject();
+  body.Set("count", ids.size());
+  body.Set("models", std::move(arr));
+  return JsonResponse(std::move(body));
+}
+
+HttpResponse LakeServer::HandleModelGet(const std::string& id) const {
+  auto card = lake_->CardFor(id);
+  if (!card.ok()) return ErrorResponse(card.status());
+  Json body = Json::MakeObject();
+  body.Set("id", id);
+  body.Set("card", card.ValueUnsafe().ToJson());
+  body.Set("degraded", lake_->IsDegraded(id));
+  auto lineage = lake_->Lineage(id);
+  body.Set("lineage", lineage.ok() ? lineage.MoveValueUnsafe() : Json());
+  return JsonResponse(std::move(body));
+}
+
+HttpResponse LakeServer::HandleLineage(const std::string& id) const {
+  auto lineage = lake_->Lineage(id);
+  if (!lineage.ok()) return ErrorResponse(lineage.status());
+  return JsonResponse(lineage.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleSearch(const HttpRequest& request) const {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
+  }
+  const Json& body = parsed.ValueUnsafe();
+  if (!body.is_object()) {
+    return ErrorResponse(Status::InvalidArgument("body must be an object"));
+  }
+  std::string type = body.GetString("type", "mlql");
+  size_t k = static_cast<size_t>(body.GetInt64("k", 5));
+  if (k == 0 || k > 10000) {
+    return ErrorResponse(Status::InvalidArgument("k must be in [1, 10000]"));
+  }
+
+  Json out = Json::MakeObject();
+  out.Set("type", type);
+  if (type == "mlql") {
+    std::string query = body.GetString("query");
+    if (query.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("mlql search requires \"query\""));
+    }
+    auto result = lake_->Query(query);
+    if (!result.ok()) return ErrorResponse(result.status());
+    out.Set("plan", result.ValueUnsafe().plan);
+    out.Set("models", RankedModelsJson(result.ValueUnsafe().models));
+  } else if (type == "ann") {
+    std::string query_id = body.GetString("id");
+    if (query_id.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("ann search requires \"id\""));
+    }
+    auto result = lake_->RelatedModels(query_id, k);
+    if (!result.ok()) return ErrorResponse(result.status());
+    out.Set("models", RankedModelsJson(result.ValueUnsafe()));
+  } else if (type == "keyword") {
+    std::string query = body.GetString("query");
+    if (query.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("keyword search requires \"query\""));
+    }
+    auto result = lake_->KeywordScores(query, k);
+    if (!result.ok()) return ErrorResponse(result.status());
+    out.Set("models", ScoredPairsJson(result.ValueUnsafe()));
+  } else if (type == "hybrid") {
+    std::string query = body.GetString("query");
+    std::string query_id = body.GetString("id");
+    if (query.empty() || query_id.empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "hybrid search requires \"query\" and \"id\""));
+    }
+    auto result = lake_->HybridSearch(query, query_id, k);
+    if (!result.ok()) return ErrorResponse(result.status());
+    out.Set("models", RankedModelsJson(result.ValueUnsafe()));
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "unknown search type \"" + type +
+        "\" (want mlql | ann | keyword | hybrid)"));
+  }
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleIngest(const HttpRequest& request) const {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
+  }
+  const Json& body = parsed.ValueUnsafe();
+  if (!body.is_object()) {
+    return ErrorResponse(Status::InvalidArgument("body must be an object"));
+  }
+  const Json* card_json = body.Find("card");
+  if (card_json == nullptr) {
+    return ErrorResponse(Status::InvalidArgument("ingest requires \"card\""));
+  }
+  auto card = metadata::ModelCard::FromJson(*card_json);
+  if (!card.ok()) {
+    return ErrorResponse(BodyError(card.status(), "malformed card"));
+  }
+  std::string artifact_b64 = body.GetString("artifact_b64");
+  if (artifact_b64.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("ingest requires \"artifact_b64\""));
+  }
+  auto bytes = Base64Decode(artifact_b64);
+  if (!bytes.ok()) {
+    return ErrorResponse(BodyError(bytes.status(), "malformed artifact_b64"));
+  }
+  auto artifact = storage::ParseArtifact(bytes.ValueUnsafe());
+  if (!artifact.ok()) {
+    return ErrorResponse(BodyError(artifact.status(), "malformed artifact"));
+  }
+  auto model = storage::ModelFromArtifact(artifact.ValueUnsafe());
+  if (!model.ok()) {
+    return ErrorResponse(BodyError(model.status(), "artifact has no model"));
+  }
+  auto ingested = lake_->IngestModel(*model.ValueUnsafe(), card.ValueUnsafe());
+  if (!ingested.ok()) return ErrorResponse(ingested.status());
+
+  Json out = Json::MakeObject();
+  out.Set("id", ingested.ValueUnsafe());
+
+  // Optional one-edge lineage claim: {"parent": ..., "edge_type": ...}.
+  // The model is already durably ingested at this point, so an edge
+  // failure is reported in-band instead of failing the request.
+  std::string parent = body.GetString("parent");
+  if (!parent.empty()) {
+    auto type =
+        versioning::EdgeTypeFromString(body.GetString("edge_type", "finetune"));
+    Status edge_status =
+        type.ok()
+            ? lake_->RecordEdge({parent, ingested.ValueUnsafe(),
+                                 type.ValueUnsafe(), Json(), 1.0})
+            : type.status();
+    out.Set("edge_recorded", edge_status.ok());
+    if (!edge_status.ok()) out.Set("edge_error", edge_status.ToString());
+  }
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleDebugSleep(const HttpRequest& request,
+                                          Clock::time_point deadline,
+                                          bool has_deadline, int fd) const {
+  long ms = std::strtol(request.QueryParam("ms", "100").c_str(), nullptr, 10);
+  if (ms < 0) ms = 0;
+  if (ms > 10000) ms = 10000;
+  auto wake = Clock::now() + std::chrono::milliseconds(ms);
+  // Sliced sleep so an expired deadline — or a severed connection (the
+  // drain deadline's force-close) — is noticed promptly mid-nap.
+  while (Clock::now() < wake) {
+    if (has_deadline && Clock::now() >= deadline) {
+      return ErrorResponse(
+          Status::DeadlineExceeded("deadline expired while sleeping"));
+    }
+    if (SocketDead(fd)) {
+      return ErrorResponse(Status::Unavailable("connection severed"));
+    }
+    auto next = std::min(wake, Clock::now() + std::chrono::milliseconds(5));
+    std::this_thread::sleep_until(next);
+  }
+  Json body = Json::MakeObject();
+  body.Set("slept_ms", static_cast<int64_t>(ms));
+  return JsonResponse(std::move(body));
+}
+
+}  // namespace mlake::server

@@ -1,0 +1,167 @@
+#ifndef MLAKE_SERVER_SERVER_H_
+#define MLAKE_SERVER_SERVER_H_
+
+// mlaked — the lake's serving layer: a thread-pool HTTP/1.1 server
+// (portable POSIX sockets, no external dependencies) exposing a
+// ModelLake as a JSON API.
+//
+//   GET  /healthz            liveness (503 while draining)
+//   GET  /statsz             request metrics, admission counters, cache
+//                            stats, recovery report, degraded models
+//   GET  /v1/models          model listing (id, task, degraded)
+//   GET  /v1/models/{id}     card + lineage
+//   GET  /v1/lineage/{id}    version-graph neighborhood of one model
+//   POST /v1/search          {"type": "mlql"|"ann"|"keyword"|"hybrid", ...}
+//   POST /v1/ingest          {"card": {...}, "artifact_b64": "..."}
+//
+// Threading model: one blocking accept thread plus a worker pool
+// (common/thread_pool) running thread-per-connection keep-alive loops.
+// The lake's shared_mutex contract does the rest: search/read handlers
+// run concurrently under the shared lock, ingest serializes under the
+// exclusive lock.
+//
+// Admission control bounds both queue depth (connections accepted but
+// not yet picked up by a worker) and in-flight requests (currently
+// executing handlers); overload is answered with 429 + Retry-After,
+// the HTTP face of Status::ResourceExhausted. Per-request deadlines
+// (X-Mlake-Deadline-Ms header, or ServerOptions.default_deadline_ms)
+// are enforced server-side before and after the lake call and map to
+// 504 / Status::DeadlineExceeded.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/model_lake.h"
+#include "server/http.h"
+#include "server/metrics.h"
+
+namespace mlake::server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (see LakeServer::port()).
+  int port = 0;
+  /// Worker pool size — the maximum number of concurrently served
+  /// connections (thread-per-connection).
+  int threads = 8;
+  /// Maximum concurrently executing requests; the excess is rejected
+  /// with 429 + Retry-After (ResourceExhausted).
+  int max_inflight = 64;
+  /// Maximum connections accepted but not yet picked up by a worker;
+  /// beyond it the accept thread answers 429 directly and closes.
+  int max_queue = 128;
+  /// A keep-alive connection is closed after this many requests so a
+  /// saturated pool rotates to queued connections (fairness; clients
+  /// reconnect transparently). 0 = unlimited.
+  int max_requests_per_connection = 1000;
+  /// Idle keep-alive connections are closed after this long, freeing
+  /// their worker.
+  int keep_alive_timeout_ms = 30000;
+  /// Deadline applied when a request carries no X-Mlake-Deadline-Ms
+  /// header. 0 = none.
+  int default_deadline_ms = 0;
+  /// How long Stop() waits for in-flight requests to finish before
+  /// force-closing their connections.
+  int drain_deadline_ms = 5000;
+  size_t max_body_bytes = 64u << 20;
+  /// Enables GET /debug/sleep?ms=N (deterministic slow handler used by
+  /// the shutdown/admission/deadline tests and nothing else).
+  bool enable_debug_endpoints = false;
+};
+
+/// A running lake server. The lake must outlive the server; the server
+/// only ever calls the lake's public (self-locking) API.
+class LakeServer {
+ public:
+  LakeServer(core::ModelLake* lake, ServerOptions options);
+  ~LakeServer();
+
+  LakeServer(const LakeServer&) = delete;
+  LakeServer& operator=(const LakeServer&) = delete;
+
+  /// Binds, listens and starts the accept thread + worker pool.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, lets in-flight requests finish
+  /// (bounded by drain_deadline_ms, then force-closes), joins all
+  /// threads. Idempotent; also run by the destructor.
+  Status Stop();
+
+  /// The bound port (the actual one when options.port was 0). Valid
+  /// after Start().
+  int port() const { return port_; }
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  const ServerOptions& options() const { return options_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The /statsz document (also printed by `mlake serve` on shutdown).
+  Json StatszJson() const;
+
+ private:
+  /// How one connection's read loop ended.
+  enum class ReadOutcome { kRequest, kClosed, kIdleTimeout, kDrainingIdle,
+                           kMalformed };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  ReadOutcome ReadRequest(int fd, std::string* buf, HttpRequest* request,
+                          Status* parse_error);
+  HttpResponse Dispatch(const HttpRequest& request,
+                        std::chrono::steady_clock::time_point arrival,
+                        std::string* endpoint_label, int fd);
+
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleStatsz() const;
+  HttpResponse HandleModelList() const;
+  HttpResponse HandleModelGet(const std::string& id) const;
+  HttpResponse HandleLineage(const std::string& id) const;
+  HttpResponse HandleSearch(const HttpRequest& request) const;
+  HttpResponse HandleIngest(const HttpRequest& request) const;
+  HttpResponse HandleDebugSleep(
+      const HttpRequest& request,
+      std::chrono::steady_clock::time_point deadline, bool has_deadline,
+      int fd) const;
+
+  void RegisterConnection(int fd);
+  void UnregisterConnection(int fd);
+  void ForceCloseConnections();
+
+  core::ModelLake* lake_;
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> queued_conns_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<int> active_conns_{0};
+  std::atomic<uint64_t> rejected_queue_{0};
+  std::atomic<uint64_t> rejected_inflight_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  /// Open connection fds, for force-close at the drain deadline.
+  std::mutex conns_mu_;
+  std::set<int> open_conns_;
+  std::condition_variable drain_cv_;
+
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace mlake::server
+
+#endif  // MLAKE_SERVER_SERVER_H_

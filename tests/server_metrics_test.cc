@@ -1,0 +1,127 @@
+#include "server/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mlake::server {
+namespace {
+
+TEST(LatencyHistogramTest, RecordsAndSummarizes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(50), 0.0);  // empty
+  for (uint64_t us : {100u, 200u, 300u, 400u, 1000u}) h.Record(us);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum_us, 2000u);
+  EXPECT_EQ(h.max_us, 1000u);
+  EXPECT_DOUBLE_EQ(h.MeanUs(), 400.0);
+  // Percentiles are bucket-interpolated: only sanity-bound them.
+  EXPECT_GT(h.PercentileUs(50), 0.0);
+  EXPECT_LE(h.PercentileUs(50), h.PercentileUs(99));
+  EXPECT_LE(h.PercentileUs(99), double(h.max_us));
+  EXPECT_LE(h.PercentileUs(100), double(h.max_us));
+}
+
+TEST(LatencyHistogramTest, OverflowBucket) {
+  LatencyHistogram h;
+  h.Record(5'000'000);  // 5s: beyond the last bound
+  EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1u);
+  EXPECT_EQ(h.max_us, 5'000'000u);
+  // Even the overflow bucket's percentile is capped at observed max.
+  EXPECT_LE(h.PercentileUs(99), 5'000'000.0);
+}
+
+TEST(LatencyHistogramTest, MergeAddsEverything) {
+  LatencyHistogram a, b;
+  a.Record(100);
+  a.Record(900);
+  b.Record(70'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum_us, 71'000u);
+  EXPECT_EQ(a.max_us, 70'000u);
+}
+
+TEST(LatencyHistogramTest, ToJsonFields) {
+  LatencyHistogram h;
+  h.Record(250);
+  Json j = h.ToJson();
+  EXPECT_EQ(j.GetInt64("count"), 1);
+  EXPECT_EQ(j.GetInt64("max_us"), 250);
+  EXPECT_TRUE(j.Contains("p50_us"));
+  EXPECT_TRUE(j.Contains("p99_us"));
+  EXPECT_TRUE(j.Contains("mean_us"));
+}
+
+TEST(EndpointStatsTest, StatusClassBuckets) {
+  MetricsRegistry registry(2);
+  registry.Record("POST /v1/search", 200, 100);
+  registry.Record("POST /v1/search", 200, 200);
+  registry.Record("POST /v1/search", 404, 50);
+  registry.Record("POST /v1/search", 429, 10);
+  registry.Record("POST /v1/search", 500, 80);
+  registry.Record("POST /v1/search", 504, 2000);
+
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const EndpointStats& s = snap["POST /v1/search"];
+  EXPECT_EQ(s.requests, 6u);
+  EXPECT_EQ(s.responses_2xx, 2u);
+  EXPECT_EQ(s.responses_4xx, 2u);
+  EXPECT_EQ(s.responses_5xx, 2u);
+  EXPECT_EQ(s.rejected, 1u);            // the 429
+  EXPECT_EQ(s.deadline_exceeded, 1u);   // the 504
+  EXPECT_EQ(s.latency.count, 6u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingMergesExactly) {
+  // Hammer the registry from more threads than stripes; the merged
+  // snapshot must account for every single observation.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  MetricsRegistry registry(4);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const char* endpoint =
+          (t % 2 == 0) ? "GET /v1/models" : "POST /v1/search";
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.Record(endpoint, (i % 10 == 0) ? 429 : 200,
+                        uint64_t(50 + i % 500));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto snap = registry.Snapshot();
+  uint64_t total_requests = 0;
+  uint64_t total_latency_count = 0;
+  for (const auto& [name, stats] : snap) {
+    total_requests += stats.requests;
+    total_latency_count += stats.latency.count;
+  }
+  EXPECT_EQ(total_requests, uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(total_latency_count, uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(snap["GET /v1/models"].requests, uint64_t(kThreads / 2) * kPerThread);
+  EXPECT_EQ(snap["POST /v1/search"].requests,
+            uint64_t(kThreads / 2) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasTotalRollup) {
+  MetricsRegistry registry;
+  registry.Record("GET /healthz", 200, 10);
+  registry.Record("POST /v1/ingest", 409, 900);
+  Json j = registry.ToJson();
+  const Json* total = j.Find("_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->GetInt64("requests"), 2);
+  ASSERT_NE(j.Find("GET /healthz"), nullptr);
+  EXPECT_EQ(j.Find("GET /healthz")->GetInt64("responses_2xx"), 1);
+  EXPECT_EQ(j.Find("POST /v1/ingest")->GetInt64("responses_4xx"), 1);
+}
+
+}  // namespace
+}  // namespace mlake::server

@@ -35,6 +35,19 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, DeadlineExceededCode) {
+  // Added for mlaked's server-side deadline enforcement: a distinct
+  // canonical code (-> HTTP 504), neither transient nor a client error.
+  Status st = Status::DeadlineExceeded("5 ms budget spent");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(st.ToString(), "Deadline exceeded: 5 ms budget spent");
+  EXPECT_FALSE(st.IsTransient());
+  EXPECT_FALSE(st.IsUnavailable());
+  EXPECT_FALSE(st.IsResourceExhausted());
 }
 
 TEST(StatusTest, TransientTaxonomy) {
@@ -54,6 +67,8 @@ TEST(StatusTest, NewCodesToString) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "Resource exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "Deadline exceeded");
 }
 
 TEST(StatusTest, CopyPreservesState) {

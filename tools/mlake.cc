@@ -30,9 +30,14 @@
 //                                lake stays searchable), GC orphan
 //                                blobs and remove stray temp files
 //   stats                        lake size + storage cache counters
+//   serve [--port P] [--http-threads N] [--max-inflight M]
+//         [--deadline-ms D]      run mlaked, the JSON-over-HTTP lake
+//                                server, until SIGINT/SIGTERM (graceful
+//                                drain; prints /statsz on shutdown)
 //
 // Exit code 0 on success, 1 on any error.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,6 +47,7 @@
 #include "common/string_util.h"
 #include "core/model_lake.h"
 #include "lakegen/lakegen.h"
+#include "server/server.h"
 #include "storage/model_artifact.h"
 
 namespace mlake {
@@ -58,7 +64,7 @@ int Usage() {
                "COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
                "hybrid graph recover-heritage export import fsck [--repair] "
-               "stats\n");
+               "stats serve\n");
   return 1;
 }
 
@@ -316,6 +322,50 @@ int CmdFsck(core::ModelLake* lake, const std::vector<std::string>& args) {
   return 1;
 }
 
+int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
+  server::ServerOptions options;
+  options.port = 8080;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto int_arg = [&](const char* flag, int* out) {
+      if (args[i] != flag || i + 1 >= args.size()) return false;
+      *out = static_cast<int>(std::strtol(args[++i].c_str(), nullptr, 10));
+      return true;
+    };
+    if (int_arg("--port", &options.port)) continue;
+    if (int_arg("--http-threads", &options.threads)) continue;
+    if (int_arg("--max-inflight", &options.max_inflight)) continue;
+    if (int_arg("--deadline-ms", &options.default_deadline_ms)) continue;
+    if (int_arg("--drain-deadline-ms", &options.drain_deadline_ms)) continue;
+    return Usage();
+  }
+
+  // Block the shutdown signals before Start so every server thread
+  // inherits the mask; the main thread then owns delivery via sigwait.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::LakeServer server(lake, options);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("mlaked listening on %s:%d (%zu models, %d worker threads)\n",
+              server.options().bind_address.c_str(), server.port(),
+              lake->NumModels(), server.options().threads);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("caught %s, draining (deadline %d ms)...\n",
+              sig == SIGINT ? "SIGINT" : "SIGTERM",
+              server.options().drain_deadline_ms);
+  std::fflush(stdout);
+  st = server.Stop();
+  std::printf("%s\n", server.StatszJson().Dump(2).c_str());
+  return st.ok() ? 0 : Fail(st);
+}
+
 int Run(int argc, char** argv) {
   std::string lake_dir;
   int threads = 0;
@@ -360,6 +410,7 @@ int Run(int argc, char** argv) {
   if (command == "import") return CmdImport(lk, args);
   if (command == "fsck") return CmdFsck(lk, args);
   if (command == "stats") return CmdStats(lk);
+  if (command == "serve") return CmdServe(lk, args);
   return Usage();
 }
 
