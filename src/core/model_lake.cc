@@ -1,14 +1,17 @@
 #include "core/model_lake.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <set>
+#include <unordered_map>
 
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "index/snapshot.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
 #include "tensor/ops.h"
@@ -32,6 +35,35 @@ Result<std::vector<float>> FloatsFromJson(const Json& j) {
     out.push_back(static_cast<float>(x.AsDouble()));
   }
   return out;
+}
+
+/// Snapshot file name of one index at one generation.
+std::string SnapName(const char* prefix, uint64_t generation) {
+  return StrFormat("%s.%llu.snap", prefix,
+                   static_cast<unsigned long long>(generation));
+}
+
+const char kIndexManifestName[] = "MANIFEST.json";
+
+/// Offset arrays in the ids snapshot must be non-decreasing from 0 to
+/// `limit`.
+bool OffsetsWellFormed(const uint64_t* off, size_t count, uint64_t limit) {
+  if (count == 0 || off[0] != 0 || off[count - 1] != limit) return false;
+  for (size_t i = 1; i < count; ++i) {
+    if (off[i] < off[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Flattens `items` into a CSR string table (offsets + bytes).
+void BuildStringTable(const std::vector<std::string>& items,
+                      std::vector<uint64_t>* offsets, std::string* bytes) {
+  offsets->assign(items.size() + 1, 0);
+  bytes->clear();
+  for (size_t i = 0; i < items.size(); ++i) {
+    *bytes += items[i];
+    (*offsets)[i + 1] = bytes->size();
+  }
 }
 
 }  // namespace
@@ -102,7 +134,16 @@ Status ModelLake::Initialize() {
   for (const std::string& id : catalog_->ListIds("degraded")) {
     degraded_.insert(id);
   }
-  return RebuildIndices();
+  return LoadOrRebuildIndices();
+}
+
+ModelLake::~ModelLake() {
+  {
+    std::lock_guard<std::mutex> g(compact_mu_);
+    compact_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
 }
 
 Status ModelLake::Recover() {
@@ -130,6 +171,8 @@ Status ModelLake::Recover() {
   // blob buckets.
   MLAKE_RETURN_NOT_OK(RemoveStrayTmpFiles(fs_, options_.root,
                                           &recovery_.tmp_files_removed));
+  MLAKE_RETURN_NOT_OK(RemoveStrayTmpFiles(fs_, IndexDir(),
+                                          &recovery_.tmp_files_removed));
   MLAKE_RETURN_NOT_OK(journal_->RemoveStrayTmp(&recovery_.tmp_files_removed));
   MLAKE_RETURN_NOT_OK(blobs_->RemoveStrayTmp(&recovery_.tmp_files_removed));
 
@@ -142,6 +185,14 @@ Status ModelLake::Recover() {
 }
 
 Status ModelLake::RollbackIntent(const storage::Intent& intent) {
+  if (intent.op == "compact") {
+    // A compaction intent names no models; the mutation is the set of
+    // snapshot files plus the atomic manifest swap. Deleting every
+    // index file the *current* manifest does not name lands on exactly
+    // one generation — the old one if the crash hit before the rename,
+    // the new one after — and is idempotent.
+    return GcIndexFilesUnlocked();
+  }
   for (const std::string& id : intent.ids) {
     for (const char* kind : {"model", "card", "embedding", "degraded"}) {
       if (catalog_->Contains(kind, id)) {
@@ -185,17 +236,20 @@ Result<size_t> ModelLake::GcOrphanBlobsUnlocked() {
   return removed;
 }
 
-void ModelLake::ResetIndices() {
-  digest_by_id_.clear();
-  bm25_ = index::InvertedIndex();
-  ann_ = std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
-  ann_ids_.clear();
-  dataset_lsh_ = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
-                                                     options_.minhash_rows);
+std::string ModelLake::IndexDir() const {
+  return JoinPath(options_.root, "index");
 }
 
-Status ModelLake::RebuildIndices() {
+std::string ModelLake::IndexManifestPath() const {
+  return JoinPath(IndexDir(), kIndexManifestName);
+}
+
+Status ModelLake::BuildIndexSetFromCatalog(IndexSet* out) const {
   const ExecutionContext& exec = options_.exec;
+  out->ann =
+      std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
+  out->lsh = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
+                                                 options_.minhash_rows);
 
   // Model docs -> digest map (the load path's id -> digest hop without
   // a catalog JSON parse per load).
@@ -210,7 +264,7 @@ Status ModelLake::RebuildIndices() {
           return Status::OK();
         }));
     for (size_t i = 0; i < ids.size(); ++i) {
-      digest_by_id_[ids[i]] = digests[i];
+      out->digest_by_id[ids[i]] = digests[i];
     }
   }
 
@@ -229,7 +283,7 @@ Status ModelLake::RebuildIndices() {
           texts[i] = card.SearchText();
           return Status::OK();
         }));
-    for (size_t i = 0; i < ids.size(); ++i) bm25_.Add(ids[i], texts[i]);
+    for (size_t i = 0; i < ids.size(); ++i) out->bm25.Add(ids[i], texts[i]);
   }
 
   // Embeddings -> one bulk ANN build (parallel neighbor search inside).
@@ -245,10 +299,10 @@ Status ModelLake::RebuildIndices() {
         }));
     std::vector<int64_t> internal_ids(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
-      internal_ids[i] = static_cast<int64_t>(ann_ids_.size());
-      ann_ids_.push_back(ids[i]);
+      internal_ids[i] = static_cast<int64_t>(out->ann_ids.size());
+      out->ann_ids.push_back(ids[i]);
     }
-    MLAKE_RETURN_NOT_OK(ann_->Build(internal_ids, vecs, exec));
+    MLAKE_RETURN_NOT_OK(out->ann->Build(internal_ids, vecs, exec));
   }
 
   // Datasets -> MinHash/LSH (signature hashing parallel, inserts
@@ -264,10 +318,416 @@ Status ModelLake::RebuildIndices() {
           return Status::OK();
         }));
     for (size_t i = 0; i < names.size(); ++i) {
-      MLAKE_RETURN_NOT_OK(dataset_lsh_->Add(names[i], sigs[i]));
+      MLAKE_RETURN_NOT_OK(out->lsh->Add(names[i], sigs[i]));
+      out->dataset_names.push_back(names[i]);
     }
   }
   return Status::OK();
+}
+
+void ModelLake::InstallIndexSet(IndexSet set) {
+  ann_ = std::move(set.ann);
+  ann_ids_ = std::move(set.ann_ids);
+  bm25_ = std::move(set.bm25);
+  dataset_lsh_ = std::move(set.lsh);
+  digest_by_id_ = std::move(set.digest_by_id);
+}
+
+Status ModelLake::RebuildIndices() {
+  IndexSet fresh;
+  MLAKE_RETURN_NOT_OK(BuildIndexSetFromCatalog(&fresh));
+  InstallIndexSet(std::move(fresh));
+  index_generation_ = 0;
+  return Status::OK();
+}
+
+Status ModelLake::LoadOrRebuildIndices() {
+  if (options_.load_index_snapshots) {
+    Status loaded = LoadIndexSnapshots();
+    if (loaded.ok()) return Status::OK();
+    if (!loaded.IsNotFound()) {
+      // Snapshots are a cache of the catalog; anything wrong with them
+      // (corruption, truncation, config mismatch) degrades to a full
+      // rebuild rather than failing the open.
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": index snapshots unusable ("
+                        << loaded.ToString() << "); rebuilding from catalog";
+    }
+  }
+  return RebuildIndices();
+}
+
+Status ModelLake::WriteIdsSnapshot(const IndexSet& set,
+                                   const std::string& path,
+                                   uint64_t generation) const {
+  // Sidecar for the three index snapshots: the internal-id -> model-id
+  // table (HNSW rows), the parallel digest table, and the dataset names
+  // behind the LSH entries. All CSR string tables.
+  std::vector<std::string> digests(set.ann_ids.size());
+  for (size_t i = 0; i < set.ann_ids.size(); ++i) {
+    auto it = set.digest_by_id.find(set.ann_ids[i]);
+    if (it != set.digest_by_id.end()) digests[i] = it->second;
+  }
+  std::vector<uint64_t> id_off, dig_off, ds_off;
+  std::string id_bytes, dig_bytes, ds_bytes;
+  BuildStringTable(set.ann_ids, &id_off, &id_bytes);
+  BuildStringTable(digests, &dig_off, &dig_bytes);
+  BuildStringTable(set.dataset_names, &ds_off, &ds_bytes);
+
+  std::vector<uint64_t> meta = {set.ann_ids.size(), set.dataset_names.size()};
+  index::SnapshotWriter writer(index::SnapshotKind::kLakeIds, generation);
+  writer.AddArray("meta", meta);
+  writer.AddArray("id_off", id_off);
+  writer.AddSection("id_bytes", id_bytes.data(), id_bytes.size());
+  writer.AddArray("dig_off", dig_off);
+  writer.AddSection("dig_bytes", dig_bytes.data(), dig_bytes.size());
+  writer.AddArray("ds_off", ds_off);
+  writer.AddSection("ds_bytes", ds_bytes.data(), ds_bytes.size());
+  return writer.WriteTo(fs_, path);
+}
+
+Status ModelLake::LoadIndexSetFromFiles(const std::string& ann_path,
+                                        const std::string& bm25_path,
+                                        const std::string& lsh_path,
+                                        const std::string& ids_path,
+                                        IndexSet* out) const {
+  out->ann =
+      std::make_unique<index::HnswIndex>(embedder_->Dim(), options_.hnsw);
+  out->lsh = std::make_unique<index::MinHashLsh>(options_.minhash_bands,
+                                                 options_.minhash_rows);
+  MLAKE_RETURN_NOT_OK(out->ann->LoadSnapshot(fs_, ann_path));
+  MLAKE_RETURN_NOT_OK(out->bm25.LoadSnapshot(fs_, bm25_path));
+  MLAKE_RETURN_NOT_OK(out->lsh->LoadSnapshot(fs_, lsh_path));
+
+  MLAKE_ASSIGN_OR_RETURN(index::SnapshotReader snap,
+                         index::SnapshotReader::Open(
+                             fs_, ids_path, index::SnapshotKind::kLakeIds));
+  MLAKE_ASSIGN_OR_RETURN(auto meta, snap.Array<uint64_t>("meta"));
+  if (meta.second != 2) {
+    return Status::Corruption("ids snapshot meta malformed: " + ids_path);
+  }
+  const size_t n_models = static_cast<size_t>(meta.first[0]);
+  const size_t n_datasets = static_cast<size_t>(meta.first[1]);
+  MLAKE_ASSIGN_OR_RETURN(auto id_off, snap.Array<uint64_t>("id_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto id_bytes, snap.Section("id_bytes"));
+  MLAKE_ASSIGN_OR_RETURN(auto dig_off, snap.Array<uint64_t>("dig_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto dig_bytes, snap.Section("dig_bytes"));
+  MLAKE_ASSIGN_OR_RETURN(auto ds_off, snap.Array<uint64_t>("ds_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto ds_bytes, snap.Section("ds_bytes"));
+  if (id_off.second != n_models + 1 || dig_off.second != n_models + 1 ||
+      ds_off.second != n_datasets + 1 ||
+      !OffsetsWellFormed(id_off.first, id_off.second, id_bytes.size()) ||
+      !OffsetsWellFormed(dig_off.first, dig_off.second, dig_bytes.size()) ||
+      !OffsetsWellFormed(ds_off.first, ds_off.second, ds_bytes.size())) {
+    return Status::Corruption("ids snapshot tables malformed: " + ids_path);
+  }
+  out->ann_ids.reserve(n_models);
+  for (size_t i = 0; i < n_models; ++i) {
+    out->ann_ids.emplace_back(
+        id_bytes.substr(static_cast<size_t>(id_off.first[i]),
+                        static_cast<size_t>(id_off.first[i + 1] -
+                                            id_off.first[i])));
+    out->digest_by_id[out->ann_ids.back()] = std::string(
+        dig_bytes.substr(static_cast<size_t>(dig_off.first[i]),
+                         static_cast<size_t>(dig_off.first[i + 1] -
+                                             dig_off.first[i])));
+  }
+  out->dataset_names.reserve(n_datasets);
+  for (size_t i = 0; i < n_datasets; ++i) {
+    out->dataset_names.emplace_back(
+        ds_bytes.substr(static_cast<size_t>(ds_off.first[i]),
+                        static_cast<size_t>(ds_off.first[i + 1] -
+                                            ds_off.first[i])));
+  }
+  // The four files must come from one compaction pass; a torn mix of
+  // generations would desynchronize internal ids from model ids.
+  if (out->ann->BaseSize() != n_models || out->bm25.BaseSize() != n_models) {
+    return Status::Corruption("index snapshot generations mismatched");
+  }
+  return Status::OK();
+}
+
+Status ModelLake::LoadIndexSnapshots() {
+  if (!fs_->FileExists(IndexManifestPath())) {
+    return Status::NotFound("no index manifest");
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                         fs_->ReadFile(IndexManifestPath()));
+  MLAKE_ASSIGN_OR_RETURN(Json manifest, Json::Parse(manifest_bytes));
+  const uint64_t gen =
+      static_cast<uint64_t>(manifest.GetInt64("generation", 0));
+  const std::string ann_name = manifest.GetString("ann");
+  const std::string bm25_name = manifest.GetString("bm25");
+  const std::string lsh_name = manifest.GetString("lsh");
+  const std::string ids_name = manifest.GetString("ids");
+  if (gen == 0 || ann_name.empty() || bm25_name.empty() || lsh_name.empty() ||
+      ids_name.empty()) {
+    return Status::Corruption("index manifest malformed");
+  }
+  IndexSet set;
+  MLAKE_RETURN_NOT_OK(LoadIndexSetFromFiles(
+      JoinPath(IndexDir(), ann_name), JoinPath(IndexDir(), bm25_name),
+      JoinPath(IndexDir(), lsh_name), JoinPath(IndexDir(), ids_name), &set));
+
+  // The snapshot is a point-in-time cache; the catalog is truth. Models
+  // and datasets are immutable per id once written (card edits
+  // invalidate the manifest before touching the catalog), so a
+  // membership diff fully reconciles the two.
+  {
+    std::vector<std::string> cat_ids = catalog_->ListIds("model");
+    std::set<std::string> cat(cat_ids.begin(), cat_ids.end());
+    std::unordered_map<std::string, size_t> snap_pos;
+    snap_pos.reserve(set.ann_ids.size());
+    for (size_t i = 0; i < set.ann_ids.size(); ++i) {
+      snap_pos[set.ann_ids[i]] = i;
+    }
+    for (const auto& [id, pos] : snap_pos) {
+      if (cat.count(id) > 0) continue;
+      Status removed = set.ann->Remove(static_cast<int64_t>(pos));
+      if (!removed.ok() && !removed.IsNotFound()) return removed;
+      set.bm25.Remove(id);
+      set.digest_by_id.erase(id);
+    }
+    std::vector<std::string> added;
+    for (const std::string& id : cat_ids) {
+      if (snap_pos.count(id) == 0) added.push_back(id);
+    }
+    if (!added.empty()) {
+      std::vector<std::string> digests(added.size());
+      std::vector<std::string> texts(added.size());
+      std::vector<std::vector<float>> vecs(added.size());
+      MLAKE_RETURN_NOT_OK(ParallelFor(
+          options_.exec, 0, added.size(), [&](size_t i) -> Status {
+            MLAKE_ASSIGN_OR_RETURN(Json model_doc,
+                                   catalog_->GetDoc("model", added[i]));
+            digests[i] = model_doc.GetString("artifact_digest");
+            MLAKE_ASSIGN_OR_RETURN(Json card_doc,
+                                   catalog_->GetDoc("card", added[i]));
+            MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card,
+                                   metadata::ModelCard::FromJson(card_doc));
+            texts[i] = card.SearchText();
+            MLAKE_ASSIGN_OR_RETURN(Json emb_doc,
+                                   catalog_->GetDoc("embedding", added[i]));
+            MLAKE_ASSIGN_OR_RETURN(vecs[i], FloatsFromJson(emb_doc));
+            return Status::OK();
+          }));
+      std::vector<int64_t> internal_ids(added.size());
+      for (size_t i = 0; i < added.size(); ++i) {
+        set.bm25.Add(added[i], texts[i]);
+        set.digest_by_id[added[i]] = digests[i];
+        internal_ids[i] = static_cast<int64_t>(set.ann_ids.size());
+        set.ann_ids.push_back(added[i]);
+      }
+      MLAKE_RETURN_NOT_OK(set.ann->Build(internal_ids, vecs, options_.exec));
+    }
+  }
+  {
+    std::vector<std::string> cat_names = catalog_->ListIds("dataset");
+    std::set<std::string> cat(cat_names.begin(), cat_names.end());
+    std::set<std::string> snap(set.dataset_names.begin(),
+                               set.dataset_names.end());
+    for (const std::string& name : set.dataset_names) {
+      if (cat.count(name) == 0) set.lsh->Remove(name);
+    }
+    for (const std::string& name : cat_names) {
+      if (snap.count(name) > 0) continue;
+      MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
+                             DatasetShardsUnlocked(name));
+      MLAKE_RETURN_NOT_OK(set.lsh->Add(name, DatasetSignature(shards)));
+    }
+  }
+  InstallIndexSet(std::move(set));
+  index_generation_ = gen;
+  return Status::OK();
+}
+
+Status ModelLake::GcIndexFilesUnlocked() {
+  std::set<std::string> keep = {kIndexManifestName};
+  if (fs_->FileExists(IndexManifestPath())) {
+    auto bytes = fs_->ReadFile(IndexManifestPath());
+    if (bytes.ok()) {
+      auto manifest = Json::Parse(bytes.ValueUnsafe());
+      if (manifest.ok()) {
+        for (const char* key : {"ann", "bm25", "lsh", "ids"}) {
+          std::string name = manifest.ValueUnsafe().GetString(key);
+          if (!name.empty()) keep.insert(name);
+        }
+      }
+    }
+  }
+  auto files = fs_->ListDir(IndexDir());
+  if (!files.ok()) return Status::OK();  // no index dir yet
+  for (const std::string& name : files.ValueUnsafe()) {
+    if (keep.count(name) > 0) continue;
+    MLAKE_RETURN_NOT_OK(fs_->RemoveFile(JoinPath(IndexDir(), name)));
+  }
+  return Status::OK();
+}
+
+Status ModelLake::InvalidateIndexSnapshotsUnlocked() {
+  if (!fs_->FileExists(IndexManifestPath())) return Status::OK();
+  MLAKE_RETURN_NOT_OK(fs_->RemoveFile(IndexManifestPath()));
+  return fs_->SyncDir(IndexDir());
+}
+
+Status ModelLake::CompactIndices() {
+  // One pass at a time; the pass itself holds the lake lock only for
+  // short critical sections, so reads and ingests proceed while the
+  // bulk build and the file writes run.
+  std::lock_guard<std::mutex> run(compact_run_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Phase 1 (shared lock): rebuild a fresh single-segment set from the
+  // catalog. Deterministic given the catalog, so the result is
+  // bit-identical to what a cold Open() would build.
+  uint64_t epoch;
+  IndexSet fresh;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    epoch = mutation_epoch_;
+    MLAKE_RETURN_NOT_OK(BuildIndexSetFromCatalog(&fresh));
+  }
+  MLAKE_RETURN_NOT_OK(fs_->CreateDirs(IndexDir()));
+
+  // Phase 2: journal the intent, then write the four snapshot files
+  // (each via WriteFileAtomic) without the lake lock. A crash anywhere
+  // in here leaves the intent pending; recovery deletes whatever files
+  // the manifest does not name.
+  storage::Intent intent;
+  intent.op = "compact";
+  uint64_t gen;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    gen = index_generation_ + 1;
+    MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
+  }
+  const std::string ann_name = SnapName("ann", gen);
+  const std::string bm25_name = SnapName("bm25", gen);
+  const std::string lsh_name = SnapName("lsh", gen);
+  const std::string ids_name = SnapName("ids", gen);
+  Status wrote =
+      fresh.ann->SaveSnapshot(fs_, JoinPath(IndexDir(), ann_name), gen);
+  if (wrote.ok()) {
+    wrote = fresh.bm25.SaveSnapshot(fs_, JoinPath(IndexDir(), bm25_name), gen);
+  }
+  if (wrote.ok()) {
+    wrote = fresh.lsh->SaveSnapshot(fs_, JoinPath(IndexDir(), lsh_name), gen);
+  }
+  if (wrote.ok()) {
+    wrote = WriteIdsSnapshot(fresh, JoinPath(IndexDir(), ids_name), gen);
+  }
+
+  // Phase 3 (exclusive lock): publish. If the lake mutated since phase
+  // 1 the fresh set is stale — abort the swap, GC the orphaned files,
+  // and let the next scheduled pass pick up the newer state.
+  Status outcome;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    outcome = wrote;
+    if (outcome.ok() && epoch != mutation_epoch_) {
+      outcome = Status::Unavailable(
+          "lake mutated during compaction; pass aborted");
+    }
+    if (outcome.ok()) {
+      Json manifest = Json::MakeObject();
+      manifest.Set("generation", static_cast<int64_t>(gen));
+      manifest.Set("ann", ann_name);
+      manifest.Set("bm25", bm25_name);
+      manifest.Set("lsh", lsh_name);
+      manifest.Set("ids", ids_name);
+      outcome = WriteFileAtomic(fs_, IndexManifestPath(), manifest.Dump(2));
+    }
+    if (outcome.ok()) {
+      // Serve the base segment from the files just written (mmap) so a
+      // long-lived lake sheds the heap copy; if the reload fails for
+      // any reason the in-memory fresh set has identical contents.
+      IndexSet loaded;
+      Status reloaded = LoadIndexSetFromFiles(
+          JoinPath(IndexDir(), ann_name), JoinPath(IndexDir(), bm25_name),
+          JoinPath(IndexDir(), lsh_name), JoinPath(IndexDir(), ids_name),
+          &loaded);
+      InstallIndexSet(reloaded.ok() ? std::move(loaded) : std::move(fresh));
+      index_generation_ = gen;
+    }
+    // GC covers both exits: superseded old-generation files after a
+    // swap, orphaned new-generation files after an abort or a failed
+    // write. Runs before the intent commits so a crash re-runs it.
+    Status gc = GcIndexFilesUnlocked();
+    if (!gc.ok()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": index gc after compaction failed ("
+                        << gc.ToString() << ")";
+    }
+    Status committed = journal_->Commit(intent.seq);
+    if (outcome.ok()) outcome = committed;
+  }
+  last_compact_ms_ =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return outcome;
+}
+
+void ModelLake::MaybeScheduleCompactionLocked() {
+  if (!options_.background_compaction) return;
+  const size_t delta = ann_->DeltaSize();
+  const size_t growth = static_cast<size_t>(
+      static_cast<double>(ann_->BaseSize()) * options_.compact_growth);
+  if (delta < std::max(options_.compact_min_delta, growth)) return;
+  std::lock_guard<std::mutex> g(compact_mu_);
+  if (compact_stop_) return;
+  // Lazy thread start: small lakes (tests, tools) never cross the
+  // threshold and never pay for — or fork across — a live thread.
+  if (!compactor_.joinable()) {
+    compactor_ = std::thread([this] { CompactorLoop(); });
+  }
+  compact_requested_ = true;
+  compact_cv_.notify_one();
+}
+
+void ModelLake::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  while (true) {
+    compact_cv_.wait(lock,
+                     [this] { return compact_stop_ || compact_requested_; });
+    if (compact_stop_) return;
+    compact_requested_ = false;
+    lock.unlock();
+    Status compacted = CompactIndices();
+    if (!compacted.ok() && !compacted.IsUnavailable()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": background compaction failed ("
+                        << compacted.ToString() << ")";
+    }
+    lock.lock();
+  }
+}
+
+Json ModelLake::IndexStatsJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto seg = [](size_t base, size_t delta, size_t tombstones, size_t live,
+                uint64_t generation) {
+    Json j = Json::MakeObject();
+    j.Set("base", static_cast<int64_t>(base));
+    j.Set("delta", static_cast<int64_t>(delta));
+    j.Set("tombstones", static_cast<int64_t>(tombstones));
+    j.Set("live", static_cast<int64_t>(live));
+    j.Set("snapshot_generation", static_cast<int64_t>(generation));
+    return j;
+  };
+  Json out = Json::MakeObject();
+  out.Set("generation", static_cast<int64_t>(index_generation_));
+  out.Set("last_compaction_ms", last_compact_ms_);
+  out.Set("ann", seg(ann_->BaseSize(), ann_->DeltaSize(), ann_->Tombstones(),
+                     ann_->Size(), ann_->snapshot_generation()));
+  out.Set("bm25",
+          seg(bm25_.BaseSize(), bm25_.DeltaSize(), bm25_.Tombstones(),
+              bm25_.NumDocs(), bm25_.snapshot_generation()));
+  out.Set("lsh",
+          seg(dataset_lsh_->BaseSize(), dataset_lsh_->DeltaSize(),
+              dataset_lsh_->Tombstones(), dataset_lsh_->Size(),
+              dataset_lsh_->snapshot_generation()));
+  return out;
 }
 
 index::MinHashSignature ModelLake::DatasetSignature(
@@ -382,6 +842,8 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
   MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
 
   // Phase 3: apply the mutation (blobs, catalog, indices, graph).
+  const size_t pre_ann_ids = ann_ids_.size();
+  const size_t pre_ann_delta = ann_->DeltaSize();
   Status applied = ApplyIngest(batch, digests, artifact_bytes, embeddings);
   if (applied.ok()) {
     // Batch durability point, then commit the intent away. A crash
@@ -392,12 +854,10 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
     if (applied.ok()) applied = journal_->Commit(intent.seq);
   }
   if (!applied.ok()) {
-    // Best-effort immediate rollback. In-memory indices may be torn
-    // (HNSW has no remove), so rebuild them from the rolled-back
-    // catalog — readers blocked on mu_ then observe no trace of the
-    // batch. If the disk rollback itself fails (filesystem still
-    // erroring), the intent stays pending and the next Open() finishes
-    // the job.
+    // Best-effort immediate rollback. The indexes support incremental
+    // removal, so undoing the batch is O(batch), not O(lake). If the
+    // disk rollback itself fails (filesystem still erroring), the
+    // intent stays pending and the next Open() finishes the job.
     Status rolled_back = RollbackIntent(intent);
     if (rolled_back.ok()) {
       rolled_back = journal_->Commit(intent.seq);
@@ -408,17 +868,128 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
                         << rolled_back.ToString()
                         << "); will be replayed on next open";
     }
-    ResetIndices();
-    Status rebuilt = RebuildIndices();
-    if (!rebuilt.ok()) {
-      MLAKE_LOG_WARNING << "lake " << options_.root
-                        << ": index rebuild after aborted ingest failed ("
-                        << rebuilt.ToString() << "); reopen the lake";
-    }
+    RollbackBatchIndexesLocked(ids, pre_ann_ids, pre_ann_delta);
+    ++mutation_epoch_;
     return applied;
   }
+  ++mutation_epoch_;
+  MaybeScheduleCompactionLocked();
   return ids;
 }
+
+void ModelLake::RollbackBatchIndexesLocked(const std::vector<std::string>& ids,
+                                           size_t pre_ann_ids,
+                                           size_t pre_ann_delta) {
+  for (const std::string& id : ids) {
+    bm25_.Remove(id);
+    digest_by_id_.erase(id);
+  }
+  // The batch's vectors were appended to the ANN delta tail; peel them
+  // off. A partially applied batch may have appended fewer than
+  // ids.size() rows, so measure rather than assume.
+  const size_t appended = ann_->DeltaSize() - pre_ann_delta;
+  if (appended > 0) {
+    Status truncated = ann_->TruncateTail(appended);
+    if (!truncated.ok()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": ANN tail truncate after aborted ingest failed ("
+                        << truncated.ToString() << "); rebuilding";
+      Status rebuilt = RebuildIndices();
+      if (!rebuilt.ok()) {
+        MLAKE_LOG_WARNING << "lake " << options_.root
+                          << ": index rebuild after aborted ingest failed ("
+                          << rebuilt.ToString() << "); reopen the lake";
+      }
+      return;  // rebuild already resized ann_ids_
+    }
+  }
+  ann_ids_.resize(pre_ann_ids);
+}
+
+Result<std::vector<std::string>> ModelLake::IngestCards(
+    const std::vector<CardIngest>& batch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(batch.size());
+  for (const CardIngest& item : batch) {
+    const std::string& id = item.card.model_id;
+    if (id.empty()) {
+      return Status::InvalidArgument("card.model_id is required");
+    }
+    if (catalog_->Contains("model", id)) {
+      return Status::AlreadyExists("model already in lake: " + id);
+    }
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+      return Status::AlreadyExists("duplicate model id in ingest batch: " +
+                                   id);
+    }
+    if (static_cast<int64_t>(item.embedding.size()) != embedder_->Dim()) {
+      return Status::InvalidArgument(StrFormat(
+          "embedding for %s has dim %zu, lake expects %lld", id.c_str(),
+          item.embedding.size(), static_cast<long long>(embedder_->Dim())));
+    }
+    ids.push_back(id);
+  }
+  if (ids.empty()) return ids;
+
+  storage::Intent intent;
+  intent.op = "ingest";
+  intent.ids = ids;
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
+
+  const size_t pre_ann_ids = ann_ids_.size();
+  const size_t pre_ann_delta = ann_->DeltaSize();
+  Status applied = ApplyCards(batch);
+  if (applied.ok()) {
+    applied = catalog_->Sync();
+    if (applied.ok()) applied = journal_->Commit(intent.seq);
+  }
+  if (!applied.ok()) {
+    Status rolled_back = RollbackIntent(intent);
+    if (rolled_back.ok()) {
+      rolled_back = journal_->Commit(intent.seq);
+    }
+    if (!rolled_back.ok()) {
+      MLAKE_LOG_WARNING << "lake " << options_.root
+                        << ": card-ingest rollback incomplete ("
+                        << rolled_back.ToString()
+                        << "); will be replayed on next open";
+    }
+    RollbackBatchIndexesLocked(ids, pre_ann_ids, pre_ann_delta);
+    ++mutation_epoch_;
+    return applied;
+  }
+  ++mutation_epoch_;
+  MaybeScheduleCompactionLocked();
+  return ids;
+}
+
+Status ModelLake::ApplyCards(const std::vector<CardIngest>& batch) {
+  std::vector<int64_t> internal_ids(batch.size());
+  std::vector<std::vector<float>> embeddings(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const metadata::ModelCard& card = batch[i].card;
+    Json model_doc = Json::MakeObject();
+    model_doc.Set("artifact_digest", std::string());
+    model_doc.Set("metadata_only", true);
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("model", card.model_id, model_doc));
+    MLAKE_RETURN_NOT_OK(
+        catalog_->PutDoc("card", card.model_id, card.ToJson()));
+    MLAKE_RETURN_NOT_OK(catalog_->PutDoc("embedding", card.model_id,
+                                         FloatsToJson(batch[i].embedding)));
+    bm25_.Add(card.model_id, card.SearchText());
+    digest_by_id_[card.model_id] = std::string();
+    internal_ids[i] = static_cast<int64_t>(ann_ids_.size());
+    ann_ids_.push_back(card.model_id);
+    embeddings[i] = batch[i].embedding;
+  }
+  // No graph node and no PersistGraph: metadata-only models carry no
+  // recorded lineage, and the graph JSON stays proportional to the
+  // artifact-backed population.
+  return ann_->Build(internal_ids, embeddings, options_.exec);
+}
+
+int64_t ModelLake::EmbeddingDim() const { return embedder_->Dim(); }
 
 Status ModelLake::ApplyIngest(
     const std::vector<IngestRequest>& batch,
@@ -480,14 +1051,21 @@ Result<std::shared_ptr<const storage::ModelArtifact>> ModelLake::LoadArtifact(
 }
 
 Result<std::string> ModelLake::DigestForUnlocked(const std::string& id) const {
+  std::string digest;
   if (auto it = digest_by_id_.find(id); it != digest_by_id_.end()) {
-    return it->second;
+    digest = it->second;
+  } else {
+    // Fallback for ids the map has not seen (defensive; the map tracks
+    // every ingest and Open rebuild).
+    MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+    digest = model_doc.GetString("artifact_digest");
   }
-  // Fallback for ids the map has not seen (defensive; the map tracks
-  // every ingest and Open rebuild).
-  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
-  std::string digest = model_doc.GetString("artifact_digest");
-  if (digest.empty()) return Status::Corruption("model doc missing digest");
+  if (digest.empty()) {
+    // Metadata-only models (IngestCards) are cataloged and searchable
+    // but have no checkpoint behind them.
+    return Status::FailedPrecondition(
+        "model has no stored artifact (metadata-only): " + id);
+  }
   return digest;
 }
 
@@ -523,8 +1101,14 @@ Status ModelLake::UpdateCard(const metadata::ModelCard& card) {
   if (!catalog_->Contains("model", card.model_id)) {
     return Status::NotFound("model not in lake: " + card.model_id);
   }
+  // A card edit changes index content without changing membership, so
+  // it is invisible to the snapshot-vs-catalog diff on the next open.
+  // Durably drop the manifest first: crash after this point and the
+  // next open rebuilds from the catalog (which has the new card).
+  MLAKE_RETURN_NOT_OK(InvalidateIndexSnapshotsUnlocked());
   MLAKE_RETURN_NOT_OK(catalog_->PutDoc("card", card.model_id, card.ToJson()));
   bm25_.Add(card.model_id, card.SearchText());  // replaces
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -563,7 +1147,8 @@ Result<std::vector<std::string>> ModelLake::FsckArtifacts() const {
       ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
         auto digest = DigestForUnlocked(ids[i]);
         if (!digest.ok()) {
-          bad[i] = 1;
+          // Metadata-only models have no artifact to verify.
+          if (!digest.status().IsFailedPrecondition()) bad[i] = 1;
           return Status::OK();
         }
         // Forced digest re-hash over an mmap view plus a decode-free
@@ -657,7 +1242,8 @@ Result<FsckReport> ModelLake::FsckRepair() {
       ParallelFor(options_.exec, 0, ids.size(), [&](size_t i) -> Status {
         auto digest = DigestForUnlocked(ids[i]);
         if (!digest.ok()) {
-          bad[i] = 1;
+          // Metadata-only models have no artifact to verify.
+          if (!digest.status().IsFailedPrecondition()) bad[i] = 1;
           return Status::OK();
         }
         auto view = blobs_->GetView(digest.ValueUnsafe(),
@@ -707,6 +1293,7 @@ Status ModelLake::RegisterDataset(const std::string& name,
   for (const std::string& s : shards) arr.Append(Json(s));
   doc.Set("shards", std::move(arr));
   MLAKE_RETURN_NOT_OK(catalog_->PutDoc("dataset", name, doc));
+  ++mutation_epoch_;
   return dataset_lsh_->Add(name, DatasetSignature(shards));
 }
 
@@ -783,6 +1370,13 @@ Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
     MLAKE_LOG_WARNING << "heritage recovery skipping " << degraded_.size()
                       << " degraded model(s)";
   }
+  // Metadata-only models (IngestCards) have no weights to compare;
+  // heritage runs over the artifact-backed population.
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [this](const std::string& id) {
+                             return !DigestForUnlocked(id).ok();
+                           }),
+            ids.end());
   std::vector<versioning::WeightSummary> summaries(ids.size());
   // Artifact load + flatten per model is pure and slot-owned: safe and
   // deterministic to parallelize. Works on the decoded artifact (via
@@ -1233,23 +1827,31 @@ Result<Json> ModelLake::AuditModel(const std::string& id) const {
 
   // Artifact integrity: forced digest check over a view — the audit
   // never materializes the checkpoint. A quarantined model reports
-  // intact=false with the quarantined flag set; the audit itself never
-  // errors on degradation.
-  MLAKE_ASSIGN_OR_RETURN(std::string digest, DigestForUnlocked(id));
+  // intact=false with the quarantined flag set; a metadata-only model
+  // reports has_artifact=false; the audit itself never errors on
+  // degradation.
+  auto digest = DigestForUnlocked(id);
+  if (!digest.ok() && !digest.status().IsFailedPrecondition()) {
+    return digest.status();
+  }
+  bool has_artifact = digest.ok();
   bool quarantined = degraded_.count(id) > 0;
-  bool intact = !quarantined &&
-                blobs_->GetView(digest, storage::VerifyMode::kAlways).ok();
+  bool intact =
+      has_artifact && !quarantined &&
+      blobs_->GetView(digest.ValueUnsafe(), storage::VerifyMode::kAlways)
+          .ok();
+  report.Set("has_artifact", has_artifact);
   report.Set("artifact_intact", intact);
   report.Set("quarantined", quarantined);
 
   // Benchmark coverage.
   report.Set("benchmarks_reported", card.metrics.size());
 
-  // Overall: a model "passes" audit when its artifact is intact, its
-  // lineage claim (if any) is consistent, and it documents training
-  // data.
-  report.Set("passes",
-             intact && consistent && !card.training_datasets.empty());
+  // Overall: a model "passes" audit when its artifact (if it has one)
+  // is intact, its lineage claim (if any) is consistent, and it
+  // documents training data.
+  report.Set("passes", (!has_artifact || intact) && consistent &&
+                           !card.training_datasets.empty());
   return report;
 }
 

@@ -1,11 +1,14 @@
 #ifndef MLAKE_CORE_MODEL_LAKE_H_
 #define MLAKE_CORE_MODEL_LAKE_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fs.h"
@@ -102,6 +105,28 @@ struct LakeOptions {
   /// Transient-I/O retry policy for blob reads/writes
   /// (Status::IsTransient errors only). RetryPolicy::None() disables.
   RetryPolicy retry;
+
+  // ---------------------------------------------- index lifecycle
+  // (PR 6: incremental disk-backed indexes + background compaction.)
+
+  /// Serve the search indexes from the mmap-backed snapshot generation
+  /// in <root>/index when a valid manifest exists (load = mmap + header
+  /// validation, no per-model catalog parse), reconciling models and
+  /// datasets added or removed since the snapshot incrementally.
+  /// Snapshots are a pure cache: any mismatch or validation failure
+  /// falls back to a full catalog rebuild, so results can never be
+  /// wrong, only slower to reach.
+  bool load_index_snapshots = true;
+
+  /// Background compaction: once the ANN delta segment holds at least
+  /// max(compact_min_delta, base_size * compact_growth) elements after
+  /// an ingest, a background pass folds the delta into a new snapshot
+  /// generation (CompactIndices). The geometric growth term keeps the
+  /// amortized per-ingest index cost O(1). The default min keeps small
+  /// (test-sized) lakes from ever compacting implicitly.
+  bool background_compaction = true;
+  size_t compact_min_delta = 4096;
+  double compact_growth = 0.5;
 };
 
 /// What Open() had to clean up from an earlier crash (all zeros on a
@@ -140,6 +165,15 @@ struct IngestRequest {
   metadata::ModelCard card;
 };
 
+/// One metadata-only (card, embedding) pair for IngestCards — the
+/// streaming lake-generation path, which populates the catalog and
+/// every index without materializing a checkpoint artifact.
+struct CardIngest {
+  metadata::ModelCard card;
+  /// Must be EmbeddingDim() floats.
+  std::vector<float> embedding;
+};
+
 /// The model lake (paper Figure 2): content-addressed model storage, a
 /// JSON metadata catalog, model embeddings with an ANN index, keyword
 /// search over cards, dataset-overlap search, a version graph, and the
@@ -168,6 +202,9 @@ class ModelLake : public search::SearchContext {
   ModelLake(const ModelLake&) = delete;
   ModelLake& operator=(const ModelLake&) = delete;
 
+  /// Stops the background compactor (waiting for an in-flight pass).
+  ~ModelLake() override;
+
   // ------------------------------------------------------------ ingest
 
   /// Stores the model artifact (content-addressed), the card, the
@@ -187,6 +224,21 @@ class ModelLake : public search::SearchContext {
   /// order.
   Result<std::vector<std::string>> IngestModels(
       const std::vector<IngestRequest>& batch);
+
+  /// Metadata-only batch ingest: stores cards and embeddings (no
+  /// artifact — LoadModel/LoadArtifact on such ids fail with
+  /// FailedPrecondition) and updates every index incrementally.
+  /// Journaled and all-or-nothing like IngestModels, but O(batch)
+  /// memory and time regardless of lake size: no artifact
+  /// serialization, no forward passes, no index rebuild. This is the
+  /// streaming lake-generation path. Returns the ingested ids in batch
+  /// order.
+  Result<std::vector<std::string>> IngestCards(
+      const std::vector<CardIngest>& batch);
+
+  /// Embedding dimensionality of this lake's embedder — what
+  /// CardIngest.embedding must supply.
+  int64_t EmbeddingDim() const;
 
   /// Reconstructs the live model from its stored artifact (served from
   /// the decoded-artifact cache when resident).
@@ -343,6 +395,22 @@ class ModelLake : public search::SearchContext {
   /// {...}}); what `mlake stats` and the benches print.
   Json CacheStatsJson() const;
 
+  /// Rebuilds the indexes from the catalog, writes them as a new
+  /// mmap-backed snapshot generation under <root>/index (journaled: a
+  /// crash at any point recovers to either the old or the new
+  /// generation), and swaps the lake onto the snapshot-backed result.
+  /// Because the fold is a deterministic rebuild in catalog order, the
+  /// compacted index answers queries identically to a from-scratch
+  /// rebuild. Safe on a live lake; returns Unavailable (and changes
+  /// nothing) when a mutation lands mid-pass — the caller or the next
+  /// background trigger retries.
+  Status CompactIndices();
+
+  /// Per-index base/delta/tombstone counts, the loaded snapshot
+  /// generation and the last compaction duration — the index surface of
+  /// `/statsz` and `mlake stats`.
+  Json IndexStatsJson() const;
+
   const Tensor& probes() const { return probes_; }
   const LakeOptions& options() const { return options_; }
   storage::Catalog* catalog() { return catalog_.get(); }
@@ -374,12 +442,59 @@ class ModelLake : public search::SearchContext {
 
   explicit ModelLake(LakeOptions options) : options_(std::move(options)) {}
 
+  /// The lake's derived index state as one unit: built fresh from the
+  /// catalog (rebuild, compaction) or loaded from a snapshot
+  /// generation, then installed under the exclusive lock in one swap so
+  /// readers never observe a half-replaced index set.
+  struct IndexSet {
+    std::unique_ptr<index::HnswIndex> ann;
+    std::vector<std::string> ann_ids;
+    index::InvertedIndex bm25;
+    std::unique_ptr<index::MinHashLsh> lsh;
+    std::map<std::string, std::string> digest_by_id;
+    /// Dataset names the LSH holds (for the ids snapshot + reconcile).
+    std::vector<std::string> dataset_names;
+  };
+
   Status Initialize();
   Status RebuildIndices();
-  /// Clears every derived in-memory index (BM25, ANN, digest map, LSH)
-  /// ahead of a RebuildIndices — the recovery path after an aborted
-  /// ingest, where indices may be torn (HNSW has no remove).
-  void ResetIndices();
+  /// Builds a fresh IndexSet from the catalog (parallel over
+  /// options.exec, deterministic in catalog order).
+  Status BuildIndexSetFromCatalog(IndexSet* out) const;
+  void InstallIndexSet(IndexSet set);
+  /// Open()-time index bring-up: snapshot load + reconcile when enabled
+  /// and present, full catalog rebuild otherwise.
+  Status LoadOrRebuildIndices();
+  /// Loads the snapshot generation named by <root>/index/MANIFEST.json,
+  /// reconciles it against the catalog (models/datasets ingested or
+  /// rolled back since the snapshot), and installs it. NotFound when no
+  /// manifest exists.
+  Status LoadIndexSnapshots();
+  /// Loads the four snapshot files of one generation into `out`
+  /// (mmap-backed base segments, empty deltas).
+  Status LoadIndexSetFromFiles(const std::string& ann_path,
+                               const std::string& bm25_path,
+                               const std::string& lsh_path,
+                               const std::string& ids_path,
+                               IndexSet* out) const;
+  /// Writes the id table / digest table / dataset-name table companion
+  /// snapshot (SnapshotKind::kLakeIds).
+  Status WriteIdsSnapshot(const IndexSet& set, const std::string& path,
+                          uint64_t generation) const;
+  /// Deletes index-dir files not referenced by the current manifest —
+  /// crashed-compaction debris and superseded generations. Idempotent;
+  /// also the rollback action of a "compact" intent.
+  Status GcIndexFilesUnlocked();
+  /// Removes MANIFEST.json (durably) so the next open rebuilds from the
+  /// catalog — required before any mutation the snapshot/catalog diff
+  /// cannot represent (card text updates).
+  Status InvalidateIndexSnapshotsUnlocked();
+  /// Wakes (lazily starting) the background compactor when the delta
+  /// has outgrown the compaction threshold. Caller holds mu_ exclusive.
+  void MaybeScheduleCompactionLocked();
+  void CompactorLoop();
+  std::string IndexDir() const;
+  std::string IndexManifestPath() const;
   /// Open()-time crash recovery: rolls back pending intents, removes
   /// stray temp files, garbage-collects orphan blobs. Fills recovery_.
   Status Recover();
@@ -403,6 +518,14 @@ class ModelLake : public search::SearchContext {
   Status IndexModel(const std::string& id, const metadata::ModelCard& card);
   Result<std::vector<std::string>> IngestModelsLocked(
       const std::vector<IngestRequest>& batch);
+  /// The mutation phase of IngestCards (catalog docs + incremental
+  /// index updates; no blobs, no graph).
+  Status ApplyCards(const std::vector<CardIngest>& batch);
+  /// Incremental index rollback of a failed ingest batch: removes the
+  /// batch's BM25 docs and digest entries and truncates the ANN delta
+  /// tail — O(batch), not O(lake). Caller holds mu_ exclusive.
+  void RollbackBatchIndexesLocked(const std::vector<std::string>& ids,
+                                  size_t pre_ann_ids, size_t pre_ann_delta);
   /// The mutation phase of an ingest (blobs, catalog docs, indices,
   /// graph). Runs under a journaled intent; any failure triggers
   /// rollback in IngestModelsLocked.
@@ -483,6 +606,25 @@ class ModelLake : public search::SearchContext {
 
   versioning::ModelGraph graph_;
   std::map<std::string, nn::Dataset> benchmarks_;
+
+  /// Generation of the snapshot the current base segments came from
+  /// (0 = built from the catalog, no snapshot loaded).
+  uint64_t index_generation_ = 0;
+  /// Bumped under the exclusive lock by every index-affecting mutation;
+  /// a compaction pass aborts its swap when the epoch moved under it.
+  uint64_t mutation_epoch_ = 0;
+  double last_compact_ms_ = 0.0;
+
+  /// Background compactor, started lazily on the first trigger so
+  /// small lakes never spawn a thread.
+  std::thread compactor_;
+  std::mutex compact_mu_;  // guards the request/stop flags below
+  std::condition_variable compact_cv_;
+  bool compact_requested_ = false;
+  bool compact_stop_ = false;
+  /// Serializes compaction passes (explicit calls vs the background
+  /// thread).
+  std::mutex compact_run_mu_;
 };
 
 }  // namespace mlake::core

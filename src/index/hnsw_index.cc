@@ -29,6 +29,16 @@ struct Farther {
   }
 };
 
+/// Offset arrays in a snapshot must be non-decreasing and end exactly
+/// at `limit` for the CSR accessors to be in-bounds by construction.
+bool OffsetsWellFormed(const uint64_t* off, size_t count, uint64_t limit) {
+  if (count == 0 || off[0] != 0 || off[count - 1] != limit) return false;
+  for (size_t i = 1; i < count; ++i) {
+    if (off[i] < off[i - 1]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 HnswIndex::HnswIndex(int64_t dim, HnswConfig config)
@@ -37,8 +47,30 @@ HnswIndex::HnswIndex(int64_t dim, HnswConfig config)
       rng_(config.seed),
       level_lambda_(1.0 / std::log(std::max(2, config.m))) {}
 
-float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
-  const float* v = data_.data() + static_cast<int64_t>(node) * dim_;
+void HnswIndex::SegRef::neighbors(uint32_t node, int level,
+                                  const uint32_t** out, size_t* len) const {
+  if (!base) {
+    const std::vector<uint32_t>& list =
+        idx->links_[node][static_cast<size_t>(level)];
+    *out = list.data();
+    *len = list.size();
+    return;
+  }
+  if (level > idx->base_levels_[node]) {
+    *out = nullptr;
+    *len = 0;
+    return;
+  }
+  uint64_t slot = idx->base_slot_off_[node] + static_cast<uint64_t>(level);
+  uint64_t begin = idx->base_link_off_[slot];
+  uint64_t end = idx->base_link_off_[slot + 1];
+  *out = idx->base_links_ + begin;
+  *len = static_cast<size_t>(end - begin);
+}
+
+float HnswIndex::DistanceTo(const SegRef& seg, const float* query,
+                            uint32_t node) const {
+  const float* v = seg.row(node);
   if (config_.metric == Metric::kCosine) {
     // Stored vectors (and the query, normalized at Search entry) are
     // unit-length, so cosine distance collapses to 1 - dot.
@@ -47,18 +79,19 @@ float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
   return kernels::L2Sq(query, v, dim_);
 }
 
-void HnswIndex::DistanceToBatch(const float* query, const uint32_t* nodes,
-                                size_t count, float* out) const {
+void HnswIndex::DistanceToBatch(const SegRef& seg, const float* query,
+                                const uint32_t* nodes, size_t count,
+                                float* out) const {
   // Prefetch every candidate vector before touching the first one; the
-  // adjacency list is a random walk through data_, so the loads are the
-  // latency bottleneck, not the arithmetic.
+  // adjacency list is a random walk through the vector rows, so the
+  // loads are the latency bottleneck, not the arithmetic.
   for (size_t i = 0; i < count; ++i) {
-    const float* v = data_.data() + static_cast<int64_t>(nodes[i]) * dim_;
+    const float* v = seg.row(nodes[i]);
     __builtin_prefetch(v);
     __builtin_prefetch(v + 16);
   }
   for (size_t i = 0; i < count; ++i) {
-    out[i] = DistanceTo(query, nodes[i]);
+    out[i] = DistanceTo(seg, query, nodes[i]);
   }
 }
 
@@ -73,22 +106,29 @@ int HnswIndex::RandomLevel() {
   return static_cast<int>(-std::log(u) * level_lambda_);
 }
 
-uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
-                                  int level) const {
+uint32_t HnswIndex::GreedyClosest(const SegRef& seg, const float* query,
+                                  uint32_t entry, int level) const {
   uint32_t current = entry;
-  float best = DistanceTo(query, current);
+  uint32_t n = static_cast<uint32_t>(seg.n());
+  float best = DistanceTo(seg, query, current);
+  std::vector<uint32_t> fresh;
   std::vector<float> dists;
   bool improved = true;
   while (improved) {
     improved = false;
-    const std::vector<uint32_t>& neighbors =
-        links_[current][static_cast<size_t>(level)];
-    dists.resize(neighbors.size());
-    DistanceToBatch(query, neighbors.data(), neighbors.size(), dists.data());
-    for (size_t i = 0; i < neighbors.size(); ++i) {
+    const uint32_t* neighbors = nullptr;
+    size_t count = 0;
+    seg.neighbors(current, level, &neighbors, &count);
+    fresh.clear();
+    for (size_t i = 0; i < count; ++i) {
+      if (neighbors[i] < n) fresh.push_back(neighbors[i]);
+    }
+    dists.resize(fresh.size());
+    DistanceToBatch(seg, query, fresh.data(), fresh.size(), dists.data());
+    for (size_t i = 0; i < fresh.size(); ++i) {
       if (dists[i] < best) {
         best = dists[i];
-        current = neighbors[i];
+        current = fresh[i];
         improved = true;
       }
     }
@@ -97,9 +137,10 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
 }
 
 std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
-    const float* query, uint32_t entry, int ef, int level,
+    const SegRef& seg, const float* query, uint32_t entry, int ef, int level,
     VisitedScratch* visited) const {
-  visited->NextEpoch(external_ids_.size());
+  uint32_t n = static_cast<uint32_t>(seg.n());
+  visited->NextEpoch(n);
 
   std::priority_queue<std::pair<float, uint32_t>,
                       std::vector<std::pair<float, uint32_t>>, Closer>
@@ -108,7 +149,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
                       std::vector<std::pair<float, uint32_t>>, Farther>
       best;
 
-  float d0 = DistanceTo(query, entry);
+  float d0 = DistanceTo(seg, query, entry);
   frontier.emplace(d0, entry);
   best.emplace(d0, entry);
   visited->Visit(entry);
@@ -125,11 +166,16 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
     }
     frontier.pop();
     fresh.clear();
-    for (uint32_t neighbor : links_[node][static_cast<size_t>(level)]) {
+    const uint32_t* neighbors = nullptr;
+    size_t count = 0;
+    seg.neighbors(node, level, &neighbors, &count);
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t neighbor = neighbors[i];
+      if (neighbor >= n) continue;  // corrupt link: skip, never UB
       if (visited->Visit(neighbor)) fresh.push_back(neighbor);
     }
     dists.resize(fresh.size());
-    DistanceToBatch(query, fresh.data(), fresh.size(), dists.data());
+    DistanceToBatch(seg, query, fresh.data(), fresh.size(), dists.data());
     for (size_t i = 0; i < fresh.size(); ++i) {
       float d = dists[i];
       if (best.size() < static_cast<size_t>(ef) || d < best.top().first) {
@@ -152,11 +198,12 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
 void HnswIndex::ShrinkNeighbors(uint32_t node, int level, int max_degree) {
   std::vector<uint32_t>& neighbors = links_[node][static_cast<size_t>(level)];
   if (neighbors.size() <= static_cast<size_t>(max_degree)) return;
-  const float* base = data_.data() + static_cast<int64_t>(node) * dim_;
+  SegRef seg{this, false};
+  const float* base = seg.row(node);
   std::vector<std::pair<float, uint32_t>> scored;
   scored.reserve(neighbors.size());
   for (uint32_t n : neighbors) {
-    scored.emplace_back(DistanceTo(base, n), n);
+    scored.emplace_back(DistanceTo(seg, base, n), n);
   }
   std::partial_sort(scored.begin(), scored.begin() + max_degree,
                     scored.end());
@@ -177,25 +224,28 @@ uint32_t HnswIndex::AppendNode(int64_t id, const std::vector<float>& vec) {
   int level = RandomLevel();
   levels_.push_back(level);
   links_.emplace_back(static_cast<size_t>(level) + 1);
+  dead_.push_back(0);
+  if (id_map_valid_) id_map_[id] = base_n_ + node;
   return node;
 }
 
 HnswIndex::PlannedLinks HnswIndex::FindCandidates(
     uint32_t node, VisitedScratch* visited) const {
   PlannedLinks plan;
+  SegRef seg{this, false};
   int level = levels_[node];
   plan.candidates.resize(static_cast<size_t>(level) + 1);
-  const float* query = data_.data() + static_cast<int64_t>(node) * dim_;
+  const float* query = seg.row(node);
 
   uint32_t current = entry_point_;
   // Greedy descent through layers above the new node's level.
   for (int l = max_level_; l > level; --l) {
-    current = GreedyClosest(query, current, l);
+    current = GreedyClosest(seg, query, current, l);
   }
   int top = std::min(level, max_level_);
   for (int l = top; l >= 0; --l) {
     std::vector<Candidate> candidates =
-        SearchLayer(query, current, config_.ef_construction, l, visited);
+        SearchLayer(seg, query, current, config_.ef_construction, l, visited);
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
                 return a.distance < b.distance ||
@@ -229,15 +279,37 @@ void HnswIndex::ApplyLinks(uint32_t node, const PlannedLinks& plan) {
   }
 }
 
+void HnswIndex::EnsureIdMap() const {
+  if (id_map_valid_) return;
+  id_map_.clear();
+  id_map_.reserve(base_n_ + external_ids_.size());
+  for (size_t i = 0; i < base_n_; ++i) {
+    id_map_[base_ids_[i]] = i;
+  }
+  // Delta entries override base ones: a re-added id resolves to its
+  // live delta node, the tombstoned base copy stays shadowed.
+  for (size_t j = 0; j < external_ids_.size(); ++j) {
+    id_map_[external_ids_[j]] = base_n_ + j;
+  }
+  id_map_valid_ = true;
+}
+
 Status HnswIndex::Add(int64_t id, const std::vector<float>& vec) {
   if (static_cast<int64_t>(vec.size()) != dim_) {
     return Status::InvalidArgument("HnswIndex: vector dim mismatch");
   }
-  for (int64_t existing : external_ids_) {
-    if (existing == id) {
+  EnsureIdMap();
+  auto it = id_map_.find(id);
+  if (it != id_map_.end()) {
+    uint64_t h = it->second;
+    bool live = h < base_n_
+                    ? (base_dead_.empty() || !base_dead_[h])
+                    : !dead_[h - base_n_];
+    if (live) {
       return Status::AlreadyExists(
           StrFormat("id %lld already indexed", static_cast<long long>(id)));
     }
+    // Tombstoned: re-add as a fresh delta node shadowing the old one.
   }
 
   uint32_t node = AppendNode(id, vec);
@@ -251,19 +323,96 @@ Status HnswIndex::Add(int64_t id, const std::vector<float>& vec) {
   return Status::OK();
 }
 
+Status HnswIndex::Remove(int64_t id) {
+  EnsureIdMap();
+  auto it = id_map_.find(id);
+  if (it == id_map_.end()) {
+    return Status::NotFound(
+        StrFormat("id %lld not indexed", static_cast<long long>(id)));
+  }
+  uint64_t h = it->second;
+  if (h < base_n_) {
+    if (base_dead_.empty()) base_dead_.assign(base_n_, 0);
+    if (!base_dead_[h]) {
+      base_dead_[h] = 1;
+      ++base_dead_count_;
+    }
+  } else {
+    size_t j = static_cast<size_t>(h - base_n_);
+    if (!dead_[j]) {
+      dead_[j] = 1;
+      ++delta_dead_count_;
+    }
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::TruncateTail(size_t count) {
+  if (count == 0) return Status::OK();
+  if (count > external_ids_.size()) {
+    return Status::InvalidArgument("HnswIndex: TruncateTail beyond delta");
+  }
+  size_t new_n = external_ids_.size() - count;
+  // Handles shift semantics are subtle under shadowing, so rebuild the
+  // map lazily instead of patching it.
+  id_map_valid_ = false;
+  id_map_.clear();
+  for (size_t j = new_n; j < dead_.size(); ++j) {
+    if (dead_[j]) --delta_dead_count_;
+  }
+  external_ids_.resize(new_n);
+  levels_.resize(new_n);
+  links_.resize(new_n);
+  dead_.resize(new_n);
+  data_.resize(new_n * static_cast<size_t>(dim_));
+  uint32_t cutoff = static_cast<uint32_t>(new_n);
+  for (auto& per_node : links_) {
+    for (auto& level_links : per_node) {
+      level_links.erase(std::remove_if(level_links.begin(), level_links.end(),
+                                       [cutoff](uint32_t v) {
+                                         return v >= cutoff;
+                                       }),
+                        level_links.end());
+    }
+  }
+  // Recompute the delta entry point: the first surviving node at the
+  // highest level, which is exactly what incremental insertion would
+  // have left in place.
+  max_level_ = -1;
+  entry_point_ = 0;
+  for (uint32_t i = 0; i < cutoff; ++i) {
+    if (levels_[i] > max_level_) {
+      max_level_ = levels_[i];
+      entry_point_ = i;
+    }
+  }
+  return Status::OK();
+}
+
 Status HnswIndex::Build(const std::vector<int64_t>& ids,
                         const std::vector<std::vector<float>>& vecs,
                         const ExecutionContext& exec) {
   if (ids.size() != vecs.size()) {
     return Status::InvalidArgument("HnswIndex::Build: ids/vecs size mismatch");
   }
-  std::unordered_set<int64_t> seen(external_ids_.begin(),
-                                   external_ids_.end());
+  EnsureIdMap();
+  std::unordered_set<int64_t> batch_seen;
+  batch_seen.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     if (static_cast<int64_t>(vecs[i].size()) != dim_) {
       return Status::InvalidArgument("HnswIndex::Build: vector dim mismatch");
     }
-    if (!seen.insert(ids[i]).second) {
+    bool duplicate = !batch_seen.insert(ids[i]).second;
+    if (!duplicate) {
+      auto it = id_map_.find(ids[i]);
+      if (it != id_map_.end()) {
+        uint64_t h = it->second;
+        duplicate = h < base_n_
+                        ? (base_dead_.empty() || !base_dead_[h])
+                        : !dead_[h - base_n_];
+      }
+    }
+    if (duplicate) {
       return Status::AlreadyExists(
           StrFormat("id %lld already indexed",
                     static_cast<long long>(ids[i])));
@@ -306,13 +455,40 @@ Status HnswIndex::Build(const std::vector<int64_t>& ids,
   return Status::OK();
 }
 
+void HnswIndex::CollectFrom(const SegRef& seg, const float* query, size_t k,
+                            std::vector<Neighbor>* out) const {
+  size_t n = seg.n();
+  size_t dead_count = seg.base ? base_dead_count_ : delta_dead_count_;
+  if (n == 0 || dead_count >= n) return;
+
+  uint32_t current = seg.entry();
+  for (int l = seg.top_level(); l > 0; --l) {
+    current = GreedyClosest(seg, query, current, l);
+  }
+  // Over-fetch by the tombstone count so k live hits survive the
+  // filter below.
+  size_t ef = std::max(static_cast<size_t>(std::max(config_.ef_search, 1)),
+                       k) +
+              dead_count;
+  VisitedScratch visited;
+  std::vector<Candidate> candidates =
+      SearchLayer(seg, query, current, static_cast<int>(ef), 0, &visited);
+  const std::vector<uint8_t>& dead = seg.base ? base_dead_ : dead_;
+  for (const Candidate& c : candidates) {
+    if (!dead.empty() && dead[c.node]) continue;
+    int64_t id = seg.base ? base_ids_[c.node]
+                          : external_ids_[c.node];
+    out->push_back(Neighbor{id, c.distance});
+  }
+}
+
 Result<std::vector<Neighbor>> HnswIndex::Search(
     const std::vector<float>& query, size_t k) const {
   if (static_cast<int64_t>(query.size()) != dim_) {
     return Status::InvalidArgument("HnswIndex: query dim mismatch");
   }
   std::vector<Neighbor> out;
-  if (external_ids_.empty()) return out;
+  if (Size() == 0) return out;
 
   const float* q = query.data();
   std::vector<float> normalized;
@@ -324,25 +500,158 @@ Result<std::vector<Neighbor>> HnswIndex::Search(
     q = normalized.data();
   }
 
-  uint32_t current = entry_point_;
-  for (int l = max_level_; l > 0; --l) {
-    current = GreedyClosest(q, current, l);
-  }
-  int ef = std::max(config_.ef_search, static_cast<int>(k));
-  VisitedScratch visited;
-  std::vector<Candidate> candidates = SearchLayer(q, current, ef, 0, &visited);
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.distance < b.distance ||
-                     (a.distance == b.distance && a.node < b.node);
-            });
-  size_t take = std::min(k, candidates.size());
-  out.reserve(take);
-  for (size_t i = 0; i < take; ++i) {
-    out.push_back(
-        Neighbor{external_ids_[candidates[i].node], candidates[i].distance});
-  }
+  CollectFrom(SegRef{this, true}, q, k, &out);
+  CollectFrom(SegRef{this, false}, q, k, &out);
+  std::sort(out.begin(), out.end());  // (distance, id)
+  if (out.size() > k) out.resize(k);
   return out;
+}
+
+Status HnswIndex::SaveSnapshot(Fs* fs, const std::string& path,
+                               uint64_t generation) const {
+  if (base_n_ > 0 && !external_ids_.empty()) {
+    return Status::FailedPrecondition(
+        "HnswIndex: cannot snapshot a two-segment index; compact first");
+  }
+  const bool from_base = base_n_ > 0;
+  SegRef seg{this, from_base};
+  size_t raw_n = seg.n();
+  const std::vector<uint8_t>& seg_dead = from_base ? base_dead_ : dead_;
+
+  // Gather live nodes in node order, renumbering via `remap` so the
+  // written graph carries no tombstones.
+  std::vector<uint32_t> remap(raw_n, UINT32_MAX);
+  std::vector<int64_t> ids;
+  std::vector<float> data;
+  std::vector<int32_t> levels;
+  for (uint32_t node = 0; node < raw_n; ++node) {
+    if (!seg_dead.empty() && seg_dead[node]) continue;
+    remap[node] = static_cast<uint32_t>(ids.size());
+    ids.push_back(from_base ? base_ids_[node] : external_ids_[node]);
+    const float* row = seg.row(node);
+    data.insert(data.end(), row, row + dim_);
+    levels.push_back(from_base ? base_levels_[node]
+                               : static_cast<int32_t>(levels_[node]));
+  }
+  size_t n = ids.size();
+
+  std::vector<uint64_t> slot_off(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    slot_off[i + 1] = slot_off[i] + static_cast<uint64_t>(levels[i]) + 1;
+  }
+  std::vector<uint64_t> link_off;
+  link_off.reserve(slot_off[n] + 1);
+  link_off.push_back(0);
+  std::vector<uint32_t> flat;
+  for (uint32_t node = 0; node < raw_n; ++node) {
+    if (remap[node] == UINT32_MAX) continue;
+    int level = from_base ? base_levels_[node] : levels_[node];
+    for (int l = 0; l <= level; ++l) {
+      const uint32_t* neighbors = nullptr;
+      size_t count = 0;
+      seg.neighbors(node, l, &neighbors, &count);
+      for (size_t i = 0; i < count; ++i) {
+        if (neighbors[i] < raw_n && remap[neighbors[i]] != UINT32_MAX) {
+          flat.push_back(remap[neighbors[i]]);
+        }
+      }
+      link_off.push_back(flat.size());
+    }
+  }
+
+  // Entry point: first live node at the highest level — what
+  // incremental insertion over the live set would have produced.
+  int32_t max_level = -1;
+  uint32_t entry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (levels[i] > max_level) {
+      max_level = levels[i];
+      entry = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<uint64_t> meta = {
+      static_cast<uint64_t>(dim_),
+      static_cast<uint64_t>(config_.metric),
+      static_cast<uint64_t>(config_.m),
+      static_cast<uint64_t>(n),
+      static_cast<uint64_t>(entry),
+      static_cast<uint64_t>(max_level + 1),
+      slot_off[n],
+      static_cast<uint64_t>(flat.size()),
+  };
+  SnapshotWriter writer(SnapshotKind::kHnsw, generation);
+  writer.AddArray("meta", meta);
+  writer.AddArray("ids", ids);
+  writer.AddArray("data", data);
+  writer.AddArray("levels", levels);
+  writer.AddArray("slot_off", slot_off);
+  writer.AddArray("link_off", link_off);
+  writer.AddArray("links", flat);
+  return writer.WriteTo(fs, path);
+}
+
+Status HnswIndex::LoadSnapshot(Fs* fs, const std::string& path) {
+  if (base_n_ > 0 || !external_ids_.empty()) {
+    return Status::FailedPrecondition(
+        "HnswIndex: LoadSnapshot requires an empty index");
+  }
+  MLAKE_ASSIGN_OR_RETURN(
+      SnapshotReader snap,
+      SnapshotReader::Open(fs, path, SnapshotKind::kHnsw));
+  MLAKE_ASSIGN_OR_RETURN(auto meta, snap.Array<uint64_t>("meta"));
+  if (meta.second != 8) {
+    return Status::Corruption("hnsw snapshot meta malformed: " + path);
+  }
+  const uint64_t* m = meta.first;
+  if (m[0] != static_cast<uint64_t>(dim_) ||
+      m[1] != static_cast<uint64_t>(config_.metric) ||
+      m[2] != static_cast<uint64_t>(config_.m)) {
+    return Status::FailedPrecondition(
+        "hnsw snapshot config mismatch (dim/metric/M): " + path);
+  }
+  uint64_t n = m[3];
+  uint64_t entry = m[4];
+  uint64_t max_level_plus1 = m[5];
+  uint64_t slots = m[6];
+  uint64_t total_links = m[7];
+
+  MLAKE_ASSIGN_OR_RETURN(auto ids, snap.Array<int64_t>("ids"));
+  MLAKE_ASSIGN_OR_RETURN(auto data, snap.Array<float>("data"));
+  MLAKE_ASSIGN_OR_RETURN(auto levels, snap.Array<int32_t>("levels"));
+  MLAKE_ASSIGN_OR_RETURN(auto slot_off, snap.Array<uint64_t>("slot_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto link_off, snap.Array<uint64_t>("link_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto links, snap.Array<uint32_t>("links"));
+  if (ids.second != n || data.second != n * static_cast<uint64_t>(dim_) ||
+      levels.second != n || slot_off.second != n + 1 ||
+      link_off.second != slots + 1 || links.second != total_links ||
+      (n > 0 && (entry >= n || max_level_plus1 == 0))) {
+    return Status::Corruption("hnsw snapshot sections malformed: " + path);
+  }
+  // Offset arrays are fully validated up front (O(n), touches only the
+  // small offset sections); link targets are bounds-checked lazily at
+  // search time so the big arrays stay untouched until queried.
+  if (!OffsetsWellFormed(slot_off.first, n + 1, slots) ||
+      !OffsetsWellFormed(link_off.first, slots + 1, total_links)) {
+    return Status::Corruption("hnsw snapshot offsets malformed: " + path);
+  }
+
+  base_snap_ = std::move(snap);
+  base_generation_ = base_snap_.generation();
+  base_n_ = static_cast<size_t>(n);
+  base_ids_ = ids.first;
+  base_data_ = data.first;
+  base_levels_ = levels.first;
+  base_slot_off_ = slot_off.first;
+  base_link_off_ = link_off.first;
+  base_links_ = links.first;
+  base_entry_ = static_cast<uint32_t>(entry);
+  base_max_level_ = static_cast<int>(max_level_plus1) - 1;
+  base_dead_.clear();
+  base_dead_count_ = 0;
+  id_map_valid_ = false;
+  id_map_.clear();
+  return Status::OK();
 }
 
 }  // namespace mlake::index

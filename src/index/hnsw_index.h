@@ -2,10 +2,14 @@
 #define MLAKE_INDEX_HNSW_INDEX_H_
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "index/snapshot.h"
 #include "index/vector_index.h"
 
 namespace mlake::index {
@@ -32,18 +36,34 @@ struct HnswConfig {
 /// element to its M nearest candidates per layer, pruning neighbor
 /// lists back to the degree bound.
 ///
+/// Two-segment layout for out-of-core operation: a frozen *base*
+/// segment served zero-copy from an mmap-backed snapshot (flat CSR
+/// adjacency, never mutated) plus an in-memory *delta* segment holding
+/// every element added since the snapshot. Search runs the beam over
+/// both segments and merges by distance; `Remove` tombstones in either
+/// segment. Folding the delta back into a new base is the owner's job
+/// (the lake rebuilds + `SaveSnapshot`s at compaction).
+///
 /// Thread-safety contract:
 ///   - `Search` is const and carries no hidden mutable state (the
 ///     visited set is per-call scratch); any number of threads may
 ///     search concurrently.
-///   - `Add`/`Build` mutate the graph and require exclusive access —
-///     no concurrent `Search` or other mutation. The lake enforces
-///     this with its reader/writer lock.
+///   - `Add`/`Build`/`Remove`/snapshot ops mutate the index and
+///     require exclusive access — no concurrent `Search` or other
+///     mutation. The lake enforces this with its reader/writer lock.
 class HnswIndex : public VectorIndex {
  public:
   explicit HnswIndex(int64_t dim, HnswConfig config = {});
 
+  /// Appends to the delta segment. O(log n) graph search, O(1) in the
+  /// lake size otherwise (ids are checked against a hash map, not a
+  /// scan).
   Status Add(int64_t id, const std::vector<float>& vec) override;
+
+  /// Tombstones an element in either segment (search skips it and
+  /// over-fetches to compensate). NotFound if the id was never added;
+  /// OK (no-op) if it is already removed.
+  Status Remove(int64_t id);
 
   /// Bulk construction on `exec`'s pool. The batch is appended in
   /// input order and the result is *identical at any thread count*
@@ -62,7 +82,42 @@ class HnswIndex : public VectorIndex {
 
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
                                        size_t k) const override;
-  size_t Size() const override { return external_ids_.size(); }
+
+  /// Drops the `count` most recently added delta elements entirely
+  /// (storage, links and backlinks) — the O(batch) rollback a failed
+  /// ingest uses. Links other delta nodes gained *to* the dropped tail
+  /// are erased; links they lost to pruning while the tail was linked
+  /// in are not restored, so the graph is valid but not necessarily
+  /// bit-identical to the pre-append graph. The rng stream is not
+  /// rewound.
+  Status TruncateTail(size_t count);
+
+  /// Writes the index as a generation-`generation` snapshot via
+  /// WriteFileAtomic. Only a single-segment index can be saved (all
+  /// delta, or all base): with both populated the caller must compact
+  /// first. Tombstoned elements are dropped and surviving nodes
+  /// renumbered, so a loaded snapshot never carries tombstones.
+  Status SaveSnapshot(Fs* fs, const std::string& path,
+                      uint64_t generation) const;
+
+  /// Points the base segment at a snapshot: mmap + header validation,
+  /// no graph deserialization (search reads the mapped arrays
+  /// directly). The index must be empty; dim/metric/M must match the
+  /// file. Subsequent Adds go to the (initially empty) delta segment.
+  Status LoadSnapshot(Fs* fs, const std::string& path);
+
+  /// Live elements (both segments, minus tombstones).
+  size_t Size() const override {
+    return base_n_ - base_dead_count_ + external_ids_.size() -
+           delta_dead_count_;
+  }
+  /// Raw element counts per segment and tombstones (stats surface).
+  size_t BaseSize() const { return base_n_; }
+  size_t DeltaSize() const { return external_ids_.size(); }
+  size_t Tombstones() const { return base_dead_count_ + delta_dead_count_; }
+  /// Generation of the loaded base snapshot (0 = none loaded).
+  uint64_t snapshot_generation() const { return base_generation_; }
+
   int64_t dim() const override { return dim_; }
 
   /// Adjusts the search beam width (recall/latency knob). Not
@@ -70,13 +125,36 @@ class HnswIndex : public VectorIndex {
   void set_ef_search(int ef) { config_.ef_search = ef; }
   const HnswConfig& config() const { return config_; }
 
-  /// Max layer currently in use (diagnostics).
+  /// Max layer currently in use by the delta segment (diagnostics).
   int max_level() const { return max_level_; }
 
  private:
   struct Candidate {
     float distance;
     uint32_t node;
+  };
+
+  /// One segment as seen by the search routines: vector rows plus CSR
+  /// or vector-of-vector adjacency behind a common accessor.
+  struct SegRef {
+    const HnswIndex* idx;
+    bool base;
+
+    size_t n() const {
+      return base ? idx->base_n_ : idx->external_ids_.size();
+    }
+    const float* row(uint32_t node) const {
+      const float* d = base ? idx->base_data_ : idx->data_.data();
+      return d + static_cast<int64_t>(node) * idx->dim_;
+    }
+    void neighbors(uint32_t node, int level, const uint32_t** out,
+                   size_t* len) const;
+    uint32_t entry() const {
+      return base ? idx->base_entry_ : idx->entry_point_;
+    }
+    int top_level() const {
+      return base ? idx->base_max_level_ : idx->max_level_;
+    }
   };
 
   /// Per-search visited set (epoch-stamped for O(1) reuse across the
@@ -111,33 +189,39 @@ class HnswIndex : public VectorIndex {
     std::vector<std::vector<Candidate>> candidates;
   };
 
-  float DistanceTo(const float* query, uint32_t node) const;
+  float DistanceTo(const SegRef& seg, const float* query,
+                   uint32_t node) const;
 
   /// Distances from `query` to `count` nodes, with the candidate
   /// vectors software-prefetched before the math starts — the batched
   /// form every adjacency-list expansion uses.
-  void DistanceToBatch(const float* query, const uint32_t* nodes,
-                       size_t count, float* out) const;
+  void DistanceToBatch(const SegRef& seg, const float* query,
+                       const uint32_t* nodes, size_t count,
+                       float* out) const;
 
   /// L2-normalizes one stored row in place (no-op on zero vectors).
   void NormalizeRow(float* row) const;
 
   /// Greedy single-entry descent on one layer.
-  uint32_t GreedyClosest(const float* query, uint32_t entry,
-                         int level) const;
+  uint32_t GreedyClosest(const SegRef& seg, const float* query,
+                         uint32_t entry, int level) const;
 
   /// Best-first beam search on one layer, returning up to `ef`
   /// candidates (unsorted).
-  std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
-                                     int ef, int level,
+  std::vector<Candidate> SearchLayer(const SegRef& seg, const float* query,
+                                     uint32_t entry, int ef, int level,
                                      VisitedScratch* visited) const;
+
+  /// Beam-searches one segment and appends its live hits to `out`.
+  void CollectFrom(const SegRef& seg, const float* query, size_t k,
+                   std::vector<Neighbor>* out) const;
 
   /// Appends vector storage + level for one element (no links yet).
   uint32_t AppendNode(int64_t id, const std::vector<float>& vec);
 
   /// Searches neighbor candidates for `node` against the currently
-  /// linked graph (read-only; safe to run concurrently for distinct
-  /// nodes as long as no links mutate).
+  /// linked delta graph (read-only; safe to run concurrently for
+  /// distinct nodes as long as no links mutate).
   PlannedLinks FindCandidates(uint32_t node, VisitedScratch* visited) const;
 
   /// Wires `node` into the graph from planned candidates and updates
@@ -149,21 +233,47 @@ class HnswIndex : public VectorIndex {
 
   int RandomLevel();
 
+  /// Builds the id -> handle map on first use (handles: base node i,
+  /// or base_n_ + delta node j). Pure snapshot loads never pay for it;
+  /// the first mutation does, once.
+  void EnsureIdMap() const;
+
   int64_t dim_;
   HnswConfig config_;
   Rng rng_;
   double level_lambda_;
 
+  // ---- delta segment (in-memory, mutable) ----
   std::vector<int64_t> external_ids_;
   // Flattened vectors. Under Metric::kCosine rows are stored
   // L2-normalized (normalize-at-Add), so distance is a pure dot
   // product; queries are normalized once at Search entry.
   std::vector<float> data_;
   std::vector<int> levels_;                // per node
-  // links_[node][level] = neighbor node ids.
+  // links_[node][level] = neighbor node ids (delta-local).
   std::vector<std::vector<std::vector<uint32_t>>> links_;
+  std::vector<uint8_t> dead_;              // delta tombstones
+  size_t delta_dead_count_ = 0;
   int max_level_ = -1;
   uint32_t entry_point_ = 0;
+
+  // ---- base segment (frozen, mmap-backed) ----
+  SnapshotReader base_snap_;
+  size_t base_n_ = 0;
+  uint64_t base_generation_ = 0;
+  const int64_t* base_ids_ = nullptr;
+  const float* base_data_ = nullptr;
+  const int32_t* base_levels_ = nullptr;
+  const uint64_t* base_slot_off_ = nullptr;  // n+1 prefix sums of levels+1
+  const uint64_t* base_link_off_ = nullptr;  // slots+1 adjacency extents
+  const uint32_t* base_links_ = nullptr;     // flat neighbor lists
+  uint32_t base_entry_ = 0;
+  int base_max_level_ = -1;
+  std::vector<uint8_t> base_dead_;           // base tombstones (runtime)
+  size_t base_dead_count_ = 0;
+
+  mutable std::unordered_map<int64_t, uint64_t> id_map_;
+  mutable bool id_map_valid_ = false;
 };
 
 }  // namespace mlake::index

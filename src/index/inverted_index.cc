@@ -2,15 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/string_util.h"
 
 namespace mlake::index {
 
+namespace {
+
+/// Binary search of `needle` in a CSR string table; -1 when absent.
+int64_t TableIndex(const uint64_t* off, const char* bytes, size_t count,
+                   std::string_view needle) {
+  int64_t lo = 0, hi = static_cast<int64_t>(count) - 1;
+  while (lo <= hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    std::string_view entry(bytes + off[mid],
+                           static_cast<size_t>(off[mid + 1] - off[mid]));
+    int cmp = entry.compare(needle);
+    if (cmp == 0) return mid;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+/// Offset arrays must be non-decreasing and end at `limit`.
+bool OffsetsWellFormed(const uint64_t* off, size_t count, uint64_t limit) {
+  if (count == 0 || off[0] != 0 || off[count - 1] != limit) return false;
+  for (size_t i = 1; i < count; ++i) {
+    if (off[i] < off[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int64_t InvertedIndex::BaseDocIndex(std::string_view doc_id) const {
+  if (base_docs_ == 0) return -1;
+  return TableIndex(bdoc_off_, bdoc_bytes_, base_docs_, doc_id);
+}
+
+int64_t InvertedIndex::BaseTermIndex(std::string_view term) const {
+  if (base_terms_ == 0) return -1;
+  return TableIndex(bterm_off_, bterm_bytes_, base_terms_, term);
+}
+
+std::string_view InvertedIndex::BaseDocId(size_t i) const {
+  return std::string_view(bdoc_bytes_ + bdoc_off_[i],
+                          static_cast<size_t>(bdoc_off_[i + 1] -
+                                              bdoc_off_[i]));
+}
+
 void InvertedIndex::Add(const std::string& doc_id, std::string_view text) {
   auto it = doc_index_.find(doc_id);
   if (it != doc_index_.end()) {
     Remove(doc_id);
+  } else {
+    // A live base copy is shadowed: tombstone it so only the new delta
+    // copy scores.
+    int64_t bi = BaseDocIndex(doc_id);
+    if (bi >= 0 && !BaseDocDead(static_cast<size_t>(bi))) {
+      Remove(doc_id);
+    }
   }
   std::vector<std::string> tokens = TokenizeWords(text);
 
@@ -37,56 +93,251 @@ void InvertedIndex::Add(const std::string& doc_id, std::string_view text) {
 
 void InvertedIndex::Remove(const std::string& doc_id) {
   auto it = doc_index_.find(doc_id);
-  if (it == doc_index_.end()) return;
-  uint32_t doc = it->second;
-  if (doc_lengths_[doc] == 0) return;  // already removed
-  total_tokens_ -= doc_lengths_[doc];
-  doc_lengths_[doc] = 0;
-  --live_docs_;
-  // Postings are purged lazily at search time (cheap for lake-sized
-  // corpora); a compaction pass would drop them eagerly.
-  for (auto& [term, list] : postings_) {
-    list.erase(std::remove_if(list.begin(), list.end(),
-                              [doc](const Posting& p) { return p.doc == doc; }),
-               list.end());
+  if (it != doc_index_.end()) {
+    uint32_t doc = it->second;
+    if (doc_lengths_[doc] == 0) return;  // already removed
+    total_tokens_ -= doc_lengths_[doc];
+    doc_lengths_[doc] = 0;
+    --live_docs_;
+    // Delta postings are purged eagerly, so a posting list's length is
+    // that term's live delta document frequency.
+    for (auto& [term, list] : postings_) {
+      list.erase(
+          std::remove_if(list.begin(), list.end(),
+                         [doc](const Posting& p) { return p.doc == doc; }),
+          list.end());
+    }
+    return;
   }
+  int64_t bi = BaseDocIndex(doc_id);
+  if (bi < 0) return;
+  size_t i = static_cast<size_t>(bi);
+  if (BaseDocDead(i)) return;
+  if (base_dead_.empty()) base_dead_.assign(base_docs_, 0);
+  base_dead_[i] = 1;
+  ++base_dead_count_;
+  base_tokens_ -= bdoc_len_[i];
+  --base_live_;
 }
 
 std::vector<TextHit> InvertedIndex::Search(std::string_view query,
                                            size_t k) const {
   std::vector<std::string> terms = TokenizeWords(query);
-  if (terms.empty() || live_docs_ == 0) return {};
-  double avg_len = static_cast<double>(total_tokens_) /
-                   static_cast<double>(live_docs_);
+  size_t n_live = live_docs_ + base_live_;
+  if (terms.empty() || n_live == 0) return {};
+  double avg_len = static_cast<double>(total_tokens_ + base_tokens_) /
+                   static_cast<double>(n_live);
   if (avg_len <= 0.0) avg_len = 1.0;
-  double n_docs = static_cast<double>(live_docs_);
+  double n_docs = static_cast<double>(n_live);
 
-  std::unordered_map<uint32_t, double> scores;
+  // Scores keyed by a merged doc handle: base doc i -> i, delta doc
+  // d -> base_docs_ + d. Per-document contributions accumulate in
+  // query-term order — the same summation order a rebuilt index uses,
+  // which is what makes merged scores bit-identical.
+  std::unordered_map<uint64_t, double> scores;
+  std::vector<std::pair<uint32_t, uint32_t>> base_live_posts;
   for (const std::string& term : terms) {
+    base_live_posts.clear();
+    if (base_terms_ > 0) {
+      int64_t t = BaseTermIndex(term);
+      if (t >= 0) {
+        uint64_t begin = bpost_off_[t];
+        uint64_t end = bpost_off_[t + 1];
+        for (uint64_t p = begin; p < end; ++p) {
+          uint32_t doc = bpost_[2 * p];
+          uint32_t tf = bpost_[2 * p + 1];
+          if (doc >= base_docs_) continue;  // corrupt posting: skip
+          if (BaseDocDead(doc)) continue;
+          base_live_posts.emplace_back(doc, tf);
+        }
+      }
+    }
     auto it = postings_.find(term);
-    if (it == postings_.end() || it->second.empty()) continue;
-    double df = static_cast<double>(it->second.size());
+    size_t delta_df = (it != postings_.end()) ? it->second.size() : 0;
+    double df = static_cast<double>(base_live_posts.size() + delta_df);
+    if (df <= 0.0) continue;
     double idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
-    for (const Posting& p : it->second) {
-      if (doc_lengths_[p.doc] == 0) continue;  // removed
-      double tf = static_cast<double>(p.term_frequency);
+    for (const auto& [doc, tf_raw] : base_live_posts) {
+      double tf = static_cast<double>(tf_raw);
       double len_norm =
-          1.0 - b_ + b_ * static_cast<double>(doc_lengths_[p.doc]) / avg_len;
-      double contribution = idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
-      scores[p.doc] += contribution;
+          1.0 - b_ + b_ * static_cast<double>(bdoc_len_[doc]) / avg_len;
+      scores[doc] += idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+    }
+    if (it != postings_.end()) {
+      for (const Posting& p : it->second) {
+        if (doc_lengths_[p.doc] == 0) continue;  // removed
+        double tf = static_cast<double>(p.term_frequency);
+        double len_norm = 1.0 - b_ + b_ *
+                                         static_cast<double>(
+                                             doc_lengths_[p.doc]) /
+                                         avg_len;
+        scores[base_docs_ + p.doc] +=
+            idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+      }
     }
   }
 
   std::vector<TextHit> hits;
   hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
-    hits.push_back(TextHit{doc_ids_[doc], score});
+  for (const auto& [handle, score] : scores) {
+    std::string id = handle < base_docs_
+                         ? std::string(BaseDocId(handle))
+                         : doc_ids_[handle - base_docs_];
+    hits.push_back(TextHit{std::move(id), score});
   }
   std::sort(hits.begin(), hits.end(), [](const TextHit& a, const TextHit& b) {
     return a.score > b.score || (a.score == b.score && a.doc_id < b.doc_id);
   });
   if (hits.size() > k) hits.resize(k);
   return hits;
+}
+
+Status InvertedIndex::SaveSnapshot(Fs* fs, const std::string& path,
+                                   uint64_t generation) const {
+  if (base_docs_ > 0 && !doc_ids_.empty()) {
+    return Status::FailedPrecondition(
+        "InvertedIndex: cannot snapshot a two-segment index; compact first");
+  }
+
+  // Gather live documents sorted by id, renumbering via `remap`.
+  std::vector<std::pair<std::string, uint32_t>> live;  // (id, old index)
+  if (base_docs_ > 0) {
+    for (size_t i = 0; i < base_docs_; ++i) {
+      if (BaseDocDead(i)) continue;
+      live.emplace_back(std::string(BaseDocId(i)), static_cast<uint32_t>(i));
+    }
+    // Base table is already sorted; the filter preserves order.
+  } else {
+    for (size_t i = 0; i < doc_ids_.size(); ++i) {
+      if (doc_lengths_[i] == 0) continue;
+      live.emplace_back(doc_ids_[i], static_cast<uint32_t>(i));
+    }
+    std::sort(live.begin(), live.end());
+  }
+  size_t n = live.size();
+  std::vector<uint32_t> remap(base_docs_ > 0 ? base_docs_ : doc_ids_.size(),
+                              UINT32_MAX);
+  std::vector<uint64_t> doc_off(n + 1, 0);
+  std::string doc_bytes;
+  std::vector<uint32_t> doc_len(n, 0);
+  uint64_t tokens = 0;
+  for (size_t i = 0; i < n; ++i) {
+    remap[live[i].second] = static_cast<uint32_t>(i);
+    doc_bytes += live[i].first;
+    doc_off[i + 1] = doc_bytes.size();
+    doc_len[i] = base_docs_ > 0 ? bdoc_len_[live[i].second]
+                                : doc_lengths_[live[i].second];
+    tokens += doc_len[i];
+  }
+
+  // Terms sorted; postings per term sorted by new doc index.
+  std::map<std::string, std::vector<std::pair<uint32_t, uint32_t>>> terms;
+  if (base_docs_ > 0) {
+    for (size_t t = 0; t < base_terms_; ++t) {
+      std::string term(bterm_bytes_ + bterm_off_[t],
+                       static_cast<size_t>(bterm_off_[t + 1] -
+                                           bterm_off_[t]));
+      std::vector<std::pair<uint32_t, uint32_t>> list;
+      for (uint64_t p = bpost_off_[t]; p < bpost_off_[t + 1]; ++p) {
+        uint32_t doc = bpost_[2 * p];
+        if (doc >= base_docs_ || remap[doc] == UINT32_MAX) continue;
+        list.emplace_back(remap[doc], bpost_[2 * p + 1]);
+      }
+      if (!list.empty()) terms[std::move(term)] = std::move(list);
+    }
+  } else {
+    for (const auto& [term, list] : postings_) {
+      std::vector<std::pair<uint32_t, uint32_t>> out;
+      for (const Posting& p : list) {
+        if (remap[p.doc] == UINT32_MAX) continue;
+        out.emplace_back(remap[p.doc], p.term_frequency);
+      }
+      if (!out.empty()) terms[term] = std::move(out);
+    }
+  }
+
+  std::vector<uint64_t> term_off(terms.size() + 1, 0);
+  std::string term_bytes;
+  std::vector<uint64_t> post_off(terms.size() + 1, 0);
+  std::vector<uint32_t> post;
+  size_t t = 0;
+  for (auto& [term, list] : terms) {
+    term_bytes += term;
+    term_off[t + 1] = term_bytes.size();
+    std::sort(list.begin(), list.end());
+    for (const auto& [doc, tf] : list) {
+      post.push_back(doc);
+      post.push_back(tf);
+    }
+    post_off[t + 1] = post.size() / 2;
+    ++t;
+  }
+
+  std::vector<uint64_t> meta = {n, terms.size(), post.size() / 2, tokens};
+  SnapshotWriter writer(SnapshotKind::kInverted, generation);
+  writer.AddArray("meta", meta);
+  writer.AddArray("doc_off", doc_off);
+  writer.AddSection("doc_bytes", doc_bytes.data(), doc_bytes.size());
+  writer.AddArray("doc_len", doc_len);
+  writer.AddArray("term_off", term_off);
+  writer.AddSection("term_bytes", term_bytes.data(), term_bytes.size());
+  writer.AddArray("post_off", post_off);
+  writer.AddArray("post", post);
+  return writer.WriteTo(fs, path);
+}
+
+Status InvertedIndex::LoadSnapshot(Fs* fs, const std::string& path) {
+  if (base_docs_ > 0 || !doc_ids_.empty()) {
+    return Status::FailedPrecondition(
+        "InvertedIndex: LoadSnapshot requires an empty index");
+  }
+  MLAKE_ASSIGN_OR_RETURN(
+      SnapshotReader snap,
+      SnapshotReader::Open(fs, path, SnapshotKind::kInverted));
+  MLAKE_ASSIGN_OR_RETURN(auto meta, snap.Array<uint64_t>("meta"));
+  if (meta.second != 4) {
+    return Status::Corruption("inverted snapshot meta malformed: " + path);
+  }
+  uint64_t n = meta.first[0];
+  uint64_t n_terms = meta.first[1];
+  uint64_t n_posts = meta.first[2];
+  uint64_t tokens = meta.first[3];
+
+  MLAKE_ASSIGN_OR_RETURN(auto doc_off, snap.Array<uint64_t>("doc_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto doc_bytes, snap.Section("doc_bytes"));
+  MLAKE_ASSIGN_OR_RETURN(auto doc_len, snap.Array<uint32_t>("doc_len"));
+  MLAKE_ASSIGN_OR_RETURN(auto term_off, snap.Array<uint64_t>("term_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto term_bytes, snap.Section("term_bytes"));
+  MLAKE_ASSIGN_OR_RETURN(auto post_off, snap.Array<uint64_t>("post_off"));
+  MLAKE_ASSIGN_OR_RETURN(auto post, snap.Array<uint32_t>("post"));
+  if (doc_off.second != n + 1 || doc_len.second != n ||
+      term_off.second != n_terms + 1 || post_off.second != n_terms + 1 ||
+      post.second != 2 * n_posts) {
+    return Status::Corruption("inverted snapshot sections malformed: " +
+                              path);
+  }
+  if (!OffsetsWellFormed(doc_off.first, n + 1, doc_bytes.size()) ||
+      !OffsetsWellFormed(term_off.first, n_terms + 1, term_bytes.size()) ||
+      !OffsetsWellFormed(post_off.first, n_terms + 1, n_posts)) {
+    return Status::Corruption("inverted snapshot offsets malformed: " + path);
+  }
+
+  base_snap_ = std::move(snap);
+  base_generation_ = base_snap_.generation();
+  base_docs_ = static_cast<size_t>(n);
+  base_terms_ = static_cast<size_t>(n_terms);
+  bdoc_off_ = doc_off.first;
+  bdoc_bytes_ = doc_bytes.data();
+  bdoc_len_ = doc_len.first;
+  bterm_off_ = term_off.first;
+  bterm_bytes_ = term_bytes.data();
+  bpost_off_ = post_off.first;
+  bpost_ = post.first;
+  base_dead_.clear();
+  base_dead_count_ = 0;
+  base_tokens_ = tokens;
+  base_live_ = base_docs_;
+  return Status::OK();
 }
 
 }  // namespace mlake::index

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/result.h"
+#include "index/snapshot.h"
 
 namespace mlake::index {
 
@@ -26,13 +29,25 @@ double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
 /// (LSH Ensemble [165]) repurposed for *training-data overlap search*:
 /// "find models trained on (a version of) this dataset" when sets of
 /// training shard ids are available but exact names are not.
+///
+/// Two-segment layout like the other lake indexes: a frozen base
+/// segment served zero-copy from an mmap-backed snapshot (sorted band
+/// buckets, binary-searched) plus an in-memory delta for recent adds;
+/// `Remove` tombstones in either segment.
 class MinHashLsh {
  public:
   /// `bands` x `rows` must equal the signature length. More bands =>
   /// higher recall at lower precision.
   MinHashLsh(size_t bands, size_t rows);
 
+  MinHashLsh(MinHashLsh&&) = default;
+  MinHashLsh& operator=(MinHashLsh&&) = default;
+
   Status Add(const std::string& id, const MinHashSignature& signature);
+
+  /// Tombstones an entry in either segment (no-op if absent or already
+  /// removed).
+  void Remove(const std::string& id);
 
   /// Candidate ids sharing at least one band bucket with the query.
   std::vector<std::string> QueryCandidates(
@@ -46,15 +61,55 @@ class MinHashLsh {
   std::vector<OverlapHit> Query(const MinHashSignature& signature,
                                 double threshold) const;
 
-  size_t Size() const { return signatures_.size(); }
+  /// Live entries across both segments.
+  size_t Size() const {
+    return signatures_.size() + base_n_ - base_dead_count_;
+  }
+  /// Raw per-segment counts (stats surface).
+  size_t BaseSize() const { return base_n_; }
+  size_t DeltaSize() const { return signatures_.size(); }
+  size_t Tombstones() const { return base_dead_count_; }
+  uint64_t snapshot_generation() const { return base_generation_; }
+
+  /// Writes a generation-`generation` snapshot via WriteFileAtomic.
+  /// Only a single-segment index can be saved (all delta or all base);
+  /// tombstoned entries are dropped.
+  Status SaveSnapshot(Fs* fs, const std::string& path,
+                      uint64_t generation) const;
+
+  /// Points the base segment at a snapshot: mmap + header validation,
+  /// no deserialization. The index must be empty; banding must match.
+  Status LoadSnapshot(Fs* fs, const std::string& path);
 
  private:
+  /// Index of `id` in the base segment's sorted id table, or -1.
+  int64_t BaseIndex(std::string_view id) const;
+  std::string_view BaseId(size_t i) const;
+  bool BaseDead(size_t i) const {
+    return !base_dead_.empty() && base_dead_[i] != 0;
+  }
+  uint64_t BandBucket(const MinHashSignature& signature, size_t band) const;
+
   size_t bands_;
   size_t rows_;
+
+  // ---- delta segment (in-memory, mutable) ----
   std::unordered_map<std::string, MinHashSignature> signatures_;
   // Per band: bucket-hash -> ids.
   std::vector<std::unordered_map<uint64_t, std::vector<std::string>>>
       buckets_;
+
+  // ---- base segment (frozen, mmap-backed) ----
+  SnapshotReader base_snap_;
+  uint64_t base_generation_ = 0;
+  size_t base_n_ = 0;
+  const uint64_t* bid_off_ = nullptr;   // base_n_+1 into bid_bytes_
+  const char* bid_bytes_ = nullptr;     // sorted ids
+  const uint64_t* bsigs_ = nullptr;     // base_n_ * bands * rows
+  const uint64_t* bband_key_ = nullptr; // bands*n bucket hashes, sorted/band
+  const uint32_t* bband_idx_ = nullptr; // parallel entry indices
+  std::vector<uint8_t> base_dead_;      // base tombstones (runtime)
+  size_t base_dead_count_ = 0;
 };
 
 }  // namespace mlake::index

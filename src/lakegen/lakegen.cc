@@ -1,6 +1,7 @@
 #include "lakegen/lakegen.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -482,6 +483,115 @@ Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
     }
   }
 
+  return result;
+}
+
+Result<StreamGenResult> GenerateStreamingLake(core::ModelLake* lake,
+                                              const StreamGenConfig& config) {
+  if (config.num_models == 0 || config.batch_size == 0 ||
+      config.num_families == 0 || config.domains_per_family == 0) {
+    return Status::InvalidArgument("GenerateStreamingLake: empty config");
+  }
+  if (config.num_families > TaskFamilyPool().size() ||
+      config.domains_per_family > DomainPool().size()) {
+    return Status::InvalidArgument("GenerateStreamingLake: pools too small");
+  }
+  const int64_t dim = lake->EmbeddingDim();
+  Rng rng(config.seed);
+  StreamGenResult result;
+
+  // Families, datasets, and one deterministic unit centroid per family
+  // (the embedding space's cluster structure — nearest-neighbor search
+  // over the generated lake recovers the family grouping).
+  std::vector<std::vector<float>> centroids(config.num_families);
+  for (size_t f = 0; f < config.num_families; ++f) {
+    const std::string& family = TaskFamilyPool()[f];
+    result.families.push_back(family);
+    Rng centroid_rng = rng.Fork();
+    std::vector<float>& c = centroids[f];
+    c.resize(static_cast<size_t>(dim));
+    double norm_sq = 0.0;
+    for (float& x : c) {
+      x = static_cast<float>(centroid_rng.Normal());
+      norm_sq += static_cast<double>(x) * x;
+    }
+    const float inv = norm_sq > 0.0
+                          ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                          : 0.0f;
+    for (float& x : c) x *= inv;
+    for (size_t d = 0; d < config.domains_per_family; ++d) {
+      const std::string& domain = DomainPool()[d];
+      result.datasets.push_back(family + "/" + domain);
+      if (config.register_datasets) {
+        MLAKE_RETURN_NOT_OK(lake->RegisterDataset(
+            family + "/" + domain, DatasetShardSet(family, domain)));
+      }
+    }
+  }
+
+  // Chunked plan-then-execute. The master rng is consumed sequentially
+  // in global model order (chunking never moves a draw), each model
+  // carries its own forked rng, and the parallel phase writes only its
+  // own batch slot — so the lake is byte-identical at any thread count.
+  struct ModelPlan {
+    size_t family = 0;
+    size_t domain = 0;
+    Rng rng{0};
+  };
+  size_t next = 0;
+  while (next < config.num_models) {
+    const size_t n = std::min(config.batch_size, config.num_models - next);
+    std::vector<ModelPlan> plans(n);
+    for (size_t i = 0; i < n; ++i) {
+      plans[i].family =
+          static_cast<size_t>(rng.NextBelow(config.num_families));
+      plans[i].domain =
+          static_cast<size_t>(rng.NextBelow(config.domains_per_family));
+      plans[i].rng = rng.Fork();
+    }
+    std::vector<core::CardIngest> batch(n);
+    MLAKE_RETURN_NOT_OK(ParallelFor(
+        lake->options().exec, 0, n, [&](size_t i) -> Status {
+          ModelPlan plan = plans[i];
+          const std::string& family = TaskFamilyPool()[plan.family];
+          const std::string& domain = DomainPool()[plan.domain];
+          const std::string dataset = family + "/" + domain;
+
+          metadata::ModelCard card;
+          card.model_id = StrFormat("syn/%s-%s-%07zu", family.c_str(),
+                                    domain.c_str(), next + i);
+          card.name = card.model_id;
+          card.task = family;
+          card.tags = {domain};
+          card.description =
+              StrFormat("Synthetic %s model for %s text (streaming lakegen).",
+                        family.c_str(), domain.c_str());
+          card.training_datasets = {dataset};
+          card.creator = CreatorPool()[static_cast<size_t>(
+              plan.rng.NextBelow(CreatorPool().size()))];
+          card.license = LicensePool()[static_cast<size_t>(
+              plan.rng.NextBelow(LicensePool().size()))];
+
+          std::vector<float> vec(centroids[plan.family]);
+          double norm_sq = 0.0;
+          for (float& x : vec) {
+            x += static_cast<float>(config.embedding_noise *
+                                    plan.rng.Normal());
+            norm_sq += static_cast<double>(x) * x;
+          }
+          const float inv = norm_sq > 0.0
+                                ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                                : 0.0f;
+          for (float& x : vec) x *= inv;
+
+          batch[i].card = std::move(card);
+          batch[i].embedding = std::move(vec);
+          return Status::OK();
+        }));
+    MLAKE_RETURN_NOT_OK(lake->IngestCards(batch).status());
+    next += n;
+  }
+  result.num_models = config.num_models;
   return result;
 }
 

@@ -101,6 +101,48 @@ struct LakeGenResult {
 Result<LakeGenResult> GenerateLake(core::ModelLake* lake,
                                    const LakeGenConfig& config);
 
+/// Configuration of the *streaming* generator — the million-model scale
+/// path. Where GenerateLake trains real checkpoints (O(minutes) per
+/// thousand models), the streaming generator emits metadata-only models
+/// (card + embedding, no artifact) in fixed-size chunks through
+/// ModelLake::IngestCards, so peak memory is O(batch_size) and total
+/// work is O(num_models) regardless of lake size.
+struct StreamGenConfig {
+  size_t num_models = 10000;
+  /// Models per IngestCards batch (bounds peak memory).
+  size_t batch_size = 1024;
+
+  /// Task structure, drawn from the same pools as GenerateLake.
+  size_t num_families = 8;
+  size_t domains_per_family = 2;
+
+  /// Embeddings are unit vectors clustered around one deterministic
+  /// centroid per family; this scales the isotropic noise around it.
+  double embedding_noise = 0.25;
+
+  /// Register each (family, domain) dataset for overlap search.
+  bool register_datasets = true;
+
+  uint64_t seed = 11;
+};
+
+/// Counts and names of what the streaming generator produced.
+struct StreamGenResult {
+  size_t num_models = 0;
+  std::vector<std::string> families;
+  std::vector<std::string> datasets;  // "family/domain"
+};
+
+/// Streams `config.num_models` synthetic metadata-only models into
+/// `lake`. Deterministic given config.seed at ANY thread count, by the
+/// same plan-then-execute discipline as GenerateLake: each chunk's
+/// randomness (family/domain assignment, per-model forked rngs) is
+/// drawn sequentially in global model order, then cards and embeddings
+/// are computed in parallel on lake->options().exec, then the chunk is
+/// ingested as one ordered IngestCards batch.
+Result<StreamGenResult> GenerateStreamingLake(core::ModelLake* lake,
+                                              const StreamGenConfig& config);
+
 /// The fixed pools the generator draws from (exposed for tests).
 const std::vector<std::string>& TaskFamilyPool();
 const std::vector<std::string>& DomainPool();

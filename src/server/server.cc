@@ -459,6 +459,7 @@ Json LakeServer::StatszJson() const {
   out.Set("recovery", lake_->recovery().ToJson());
 
   out.Set("caches", lake_->CacheStatsJson());
+  out.Set("index", lake_->IndexStatsJson());
 
   Json server = Json::MakeObject();
   server.Set("uptime_ms", ElapsedMs(start_time_));

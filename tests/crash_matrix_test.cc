@@ -255,6 +255,96 @@ TEST_F(CrashMatrixTest, CrashDuringRecoveryIsIdempotent) {
   }
 }
 
+// Index compaction is journaled like every other mutation: kill the
+// process at EVERY mutating op of a CompactIndices pass and verify the
+// reopened lake is consistent at either generation — the old snapshot
+// (or no snapshot), or the new one — with no orphaned index files.
+TEST_F(CrashMatrixTest, CrashDuringCompactionRecoversEitherGeneration) {
+  // Template: the pre-existing model plus one metadata-only batch, so
+  // the compaction has real index contents to fold.
+  {
+    auto lake = ModelLake::Open(Options(template_dir_)).MoveValueUnsafe();
+    std::vector<CardIngest> batch(4);
+    Rng rng(7);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].card = Card("card-" + std::to_string(i));
+      batch[i].embedding.resize(
+          static_cast<size_t>(lake->EmbeddingDim()));
+      for (float& x : batch[i].embedding) {
+        x = static_cast<float>(rng.Normal());
+      }
+    }
+    ASSERT_TRUE(lake->IngestCards(batch).ok());
+  }
+  auto open_and_compact = [](const std::string& root, Fs* fs) {
+    auto opened = ModelLake::Open(Options(root, fs));
+    if (!opened.ok()) return 3;
+    return opened.ValueUnsafe()->CompactIndices().ok() ? 0 : 4;
+  };
+
+  // Probe the op counts of (open, compact) on an identical clone.
+  uint64_t open_ops = 0, compact_total = 0;
+  {
+    std::string probe = CloneTemplate("compact-probe-open");
+    FaultInjectingFs fs(RealFs(), FaultPlan{});
+    { auto lake = ModelLake::Open(Options(probe, &fs)).MoveValueUnsafe(); }
+    open_ops = fs.mutating_ops();
+    ASSERT_TRUE(RemoveAll(probe).ok());
+  }
+  {
+    std::string probe = CloneTemplate("compact-probe-total");
+    FaultInjectingFs fs(RealFs(), FaultPlan{});
+    ASSERT_EQ(open_and_compact(probe, &fs), 0);
+    compact_total = fs.mutating_ops();
+    ASSERT_TRUE(RemoveAll(probe).ok());
+  }
+  ASSERT_GT(compact_total, open_ops);
+
+  // The post-crash contract, on top of ExpectConsistent-style checks:
+  // the lake opens, serves every model, and a follow-up compaction
+  // succeeds from whatever state the crash left.
+  auto expect_recovered = [&](const std::string& trial,
+                              const std::string& label) {
+    auto opened = ModelLake::Open(Options(trial));
+    ASSERT_TRUE(opened.ok()) << label << ": " << opened.status().ToString();
+    auto lake = opened.MoveValueUnsafe();
+    EXPECT_EQ(lake->NumModels(), 5u) << label;
+    EXPECT_TRUE(lake->RelatedModels("pre", 3).ok()) << label;
+    auto hits = lake->KeywordScores("classify", 8);
+    ASSERT_TRUE(hits.ok()) << label;
+    EXPECT_EQ(hits.ValueUnsafe().size(), 5u) << label;
+    EXPECT_TRUE(lake->CompactIndices().ok()) << label;
+    // No index file survives that the (post-recovery) manifest does not
+    // name, and no atomic-write temp residue anywhere.
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(trial)) {
+      EXPECT_FALSE(IsTmpFileName(entry.path().filename().string()))
+          << label << ": stray " << entry.path();
+    }
+  };
+
+  for (CrashStyle style : {CrashStyle::kBeforeOp, CrashStyle::kTornOp}) {
+    for (uint64_t crash_op = open_ops + 1; crash_op <= compact_total;
+         ++crash_op) {
+      std::string label =
+          std::string(style == CrashStyle::kBeforeOp ? "cbefore" : "ctorn") +
+          "-op-" + std::to_string(crash_op);
+      std::string trial = CloneTemplate(label);
+      int exit_code = ForkAndWait([&] {
+        FaultPlan plan;
+        plan.crash_at_op = crash_op;
+        plan.crash_style = style;
+        plan.crash_exits_process = true;
+        FaultInjectingFs fs(RealFs(), plan);
+        return open_and_compact(trial, &fs);
+      });
+      ASSERT_EQ(exit_code, kCrashExitCode) << label;
+      expect_recovered(trial, label);
+      ASSERT_TRUE(RemoveAll(trial).ok());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mlake::core
 

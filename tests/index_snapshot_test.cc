@@ -1,0 +1,289 @@
+// Snapshot container + per-index save/load tests: the on-disk format
+// must round-trip exactly, reject every corruption class with a clean
+// error (never UB), and the two-segment indexes must refuse to save
+// mixed segments.
+
+#include "index/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/fs.h"
+#include "common/random.h"
+#include "index/hnsw_index.h"
+#include "index/inverted_index.h"
+#include "index/minhash_lsh.h"
+
+namespace mlake::index {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mlake-snapshot");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.ValueUnsafe();
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string Path(const std::string& name) { return JoinPath(dir_, name); }
+
+  /// Writes a two-section snapshot and returns its path.
+  std::string WriteSample(uint64_t generation = 7) {
+    SnapshotWriter writer(SnapshotKind::kHnsw, generation);
+    std::vector<uint32_t> nums = {1, 2, 3, 42};
+    writer.AddArray("nums", nums);
+    writer.AddSection("text", "hello", 5);
+    std::string path = Path("sample.snap");
+    MLAKE_CHECK(writer.WriteTo(RealFs(), path).ok());
+    return path;
+  }
+
+  /// Rewrites `path` with `mutate` applied to its raw bytes.
+  void Corrupt(const std::string& path,
+               const std::function<void(std::string*)>& mutate) {
+    auto bytes = RealFs()->ReadFile(path);
+    ASSERT_TRUE(bytes.ok());
+    std::string data = bytes.MoveValueUnsafe();
+    mutate(&data);
+    ASSERT_TRUE(RealFs()->WriteFile(path, data).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SnapshotTest, ContainerRoundTrip) {
+  std::string path = WriteSample(9);
+  auto reader = SnapshotReader::Open(RealFs(), path, SnapshotKind::kHnsw);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const SnapshotReader& snap = reader.ValueUnsafe();
+  EXPECT_EQ(snap.generation(), 9u);
+  EXPECT_TRUE(snap.HasSection("nums"));
+  EXPECT_TRUE(snap.HasSection("text"));
+  EXPECT_FALSE(snap.HasSection("absent"));
+
+  auto nums = snap.Array<uint32_t>("nums");
+  ASSERT_TRUE(nums.ok());
+  ASSERT_EQ(nums.ValueUnsafe().second, 4u);
+  EXPECT_EQ(nums.ValueUnsafe().first[3], 42u);
+
+  auto text = snap.Section("text");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.ValueUnsafe(), "hello");
+
+  // Typed view with the wrong element size fails cleanly.
+  EXPECT_TRUE(snap.Array<uint64_t>("text").status().IsCorruption());
+}
+
+TEST_F(SnapshotTest, RejectsBadMagic) {
+  std::string path = WriteSample();
+  Corrupt(path, [](std::string* d) { (*d)[0] = 'X'; });
+  auto reader = SnapshotReader::Open(RealFs(), path, SnapshotKind::kHnsw);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(SnapshotTest, RejectsWrongKind) {
+  std::string path = WriteSample();
+  auto reader = SnapshotReader::Open(RealFs(), path, SnapshotKind::kInverted);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(SnapshotTest, RejectsTruncation) {
+  std::string path = WriteSample();
+  // Every strict prefix must be rejected cleanly — header cuts, TOC
+  // cuts, and payload cuts alike.
+  auto bytes = RealFs()->ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string full = bytes.MoveValueUnsafe();
+  for (size_t keep : {size_t{0}, size_t{7}, size_t{31}, size_t{47},
+                      full.size() / 2, full.size() - 1}) {
+    ASSERT_LT(keep, full.size());
+    ASSERT_TRUE(RealFs()->WriteFile(path, full.substr(0, keep)).ok());
+    auto reader = SnapshotReader::Open(RealFs(), path, SnapshotKind::kHnsw);
+    EXPECT_FALSE(reader.ok()) << "prefix of " << keep << " bytes accepted";
+  }
+}
+
+TEST_F(SnapshotTest, RejectsTocCorruption) {
+  std::string path = WriteSample();
+  // Flip one byte inside the TOC block (starts at offset 48).
+  Corrupt(path, [](std::string* d) { (*d)[52] ^= 0xff; });
+  auto reader = SnapshotReader::Open(RealFs(), path, SnapshotKind::kHnsw);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(SnapshotTest, MissingFileIsNotFoundNotCorruption) {
+  auto reader =
+      SnapshotReader::Open(RealFs(), Path("absent.snap"), SnapshotKind::kHnsw);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.status().IsCorruption());
+}
+
+std::vector<std::vector<float>> RandomVectors(size_t n, int64_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> vecs(n);
+  for (auto& v : vecs) {
+    v.resize(static_cast<size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return vecs;
+}
+
+TEST_F(SnapshotTest, HnswSaveLoadPreservesSearch) {
+  const int64_t dim = 16;
+  const size_t n = 300;
+  auto vecs = RandomVectors(n, dim, 1);
+  std::vector<int64_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int64_t>(i);
+
+  HnswIndex built(dim);
+  ASSERT_TRUE(built.Build(ids, vecs, {}).ok());
+  std::string path = Path("hnsw.snap");
+  ASSERT_TRUE(built.SaveSnapshot(RealFs(), path, 3).ok());
+
+  HnswIndex loaded(dim);
+  ASSERT_TRUE(loaded.LoadSnapshot(RealFs(), path).ok());
+  EXPECT_EQ(loaded.Size(), n);
+  EXPECT_EQ(loaded.BaseSize(), n);
+  EXPECT_EQ(loaded.DeltaSize(), 0u);
+  EXPECT_EQ(loaded.snapshot_generation(), 3u);
+
+  // The snapshot stores the same graph (CSR form), so search over it is
+  // exactly the in-memory index's search.
+  auto queries = RandomVectors(20, dim, 2);
+  for (const auto& q : queries) {
+    auto a = built.Search(q, 10).MoveValueUnsafe();
+    auto b = loaded.Search(q, 10).MoveValueUnsafe();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, HnswDeltaOverBaseAndRemove) {
+  const int64_t dim = 8;
+  auto vecs = RandomVectors(64, dim, 3);
+  std::vector<int64_t> ids(64);
+  for (size_t i = 0; i < 64; ++i) ids[i] = static_cast<int64_t>(i);
+
+  HnswIndex built(dim);
+  ASSERT_TRUE(built.Build(ids, vecs, {}).ok());
+  std::string path = Path("hnsw2.snap");
+  ASSERT_TRUE(built.SaveSnapshot(RealFs(), path, 1).ok());
+
+  HnswIndex loaded(dim);
+  ASSERT_TRUE(loaded.LoadSnapshot(RealFs(), path).ok());
+
+  // Delta adds over the mmap base are searchable...
+  auto extra = RandomVectors(8, dim, 4);
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(loaded.Add(100 + static_cast<int64_t>(i), extra[i]).ok());
+  }
+  EXPECT_EQ(loaded.Size(), 72u);
+  auto hits = loaded.Search(extra[0], 1).MoveValueUnsafe();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 100);
+
+  // ...base tombstones hide base elements...
+  ASSERT_TRUE(loaded.Remove(5).ok());
+  EXPECT_EQ(loaded.Size(), 71u);
+  auto wide = loaded.Search(vecs[5], 72).MoveValueUnsafe();
+  for (const auto& h : wide) EXPECT_NE(h.id, 5);
+
+  // ...and a two-segment index refuses to snapshot (compact first).
+  EXPECT_TRUE(loaded.SaveSnapshot(RealFs(), Path("both.snap"), 2)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(SnapshotTest, InvertedIndexSaveLoadScoresBitIdentical) {
+  InvertedIndex built;
+  built.Add("a", "transformer summarization model for legal text");
+  built.Add("b", "sentiment classifier for social media");
+  built.Add("c", "legal retrieval with bm25 text features");
+  std::string path = Path("bm25.snap");
+  ASSERT_TRUE(built.SaveSnapshot(RealFs(), path, 5).ok());
+
+  InvertedIndex loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(RealFs(), path).ok());
+  EXPECT_EQ(loaded.NumDocs(), 3u);
+  EXPECT_EQ(loaded.snapshot_generation(), 5u);
+
+  for (const char* q : {"legal text", "sentiment", "transformer bm25"}) {
+    auto a = built.Search(q, 10);
+    auto b = loaded.Search(q, 10);
+    ASSERT_EQ(a.size(), b.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc_id, b[i].doc_id) << q;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << q;
+    }
+  }
+
+  // Mixed-segment scoring equals a from-scratch rebuild over the same
+  // live set (documented contract: merged scores are bit-identical).
+  loaded.Add("d", "multilingual legal summarization");
+  loaded.Remove("b");
+  InvertedIndex rebuilt;
+  rebuilt.Add("a", "transformer summarization model for legal text");
+  rebuilt.Add("c", "legal retrieval with bm25 text features");
+  rebuilt.Add("d", "multilingual legal summarization");
+  for (const char* q : {"legal summarization", "bm25", "social media"}) {
+    auto a = loaded.Search(q, 10);
+    auto b = rebuilt.Search(q, 10);
+    ASSERT_EQ(a.size(), b.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc_id, b[i].doc_id) << q;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << q;
+    }
+  }
+
+  EXPECT_TRUE(loaded.SaveSnapshot(RealFs(), Path("both_bm25.snap"), 6)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(SnapshotTest, MinHashLshSaveLoadQueriesEqual) {
+  const size_t bands = 8, rows = 4;
+  auto sig = [&](std::vector<std::string> items) {
+    return ComputeMinHash(items, bands * rows);
+  };
+  MinHashLsh built(bands, rows);
+  ASSERT_TRUE(built.Add("d1", sig({"s1", "s2", "s3", "s4"})).ok());
+  ASSERT_TRUE(built.Add("d2", sig({"s3", "s4", "s5", "s6"})).ok());
+  ASSERT_TRUE(built.Add("d3", sig({"x1", "x2", "x3", "x4"})).ok());
+  std::string path = Path("lsh.snap");
+  ASSERT_TRUE(built.SaveSnapshot(RealFs(), path, 2).ok());
+
+  MinHashLsh loaded(bands, rows);
+  ASSERT_TRUE(loaded.LoadSnapshot(RealFs(), path).ok());
+  EXPECT_EQ(loaded.Size(), 3u);
+  EXPECT_EQ(loaded.snapshot_generation(), 2u);
+
+  auto query = sig({"s1", "s2", "s3", "s5"});
+  auto a = built.Query(query, 0.1);
+  auto b = loaded.Query(query, 0.1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].jaccard, b[i].jaccard);
+  }
+
+  // Delta add + base remove still query correctly.
+  ASSERT_TRUE(loaded.Add("d4", sig({"s1", "s2", "s3", "s4"})).ok());
+  loaded.Remove("d1");
+  auto after = loaded.Query(sig({"s1", "s2", "s3", "s4"}), 0.5);
+  ASSERT_FALSE(after.empty());
+  for (const auto& hit : after) EXPECT_NE(hit.id, "d1");
+
+  EXPECT_TRUE(loaded.SaveSnapshot(RealFs(), Path("both_lsh.snap"), 3)
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace mlake::index

@@ -203,6 +203,56 @@ TEST_F(LakeGenTest, ValidatesConfig) {
       GenerateLake(lake.get(), wrong_dims).status().IsInvalidArgument());
 }
 
+TEST_F(LakeGenTest, StreamingLakeIsDeterministicAcrossThreadCounts) {
+  // The plan-then-execute discipline must make the streamed population
+  // identical at any thread count: same ids, same cards, same
+  // embeddings, same dataset registrations.
+  auto snapshot = [&](int threads, const std::string& name) {
+    core::LakeOptions options;
+    options.root = JoinPath(dir_, name);
+    options.background_compaction = false;
+    if (threads > 1) options.exec = ExecutionContext::WithThreads(threads);
+    auto lake = core::ModelLake::Open(options).MoveValueUnsafe();
+    StreamGenConfig config;
+    config.num_models = 300;
+    config.batch_size = 64;
+    config.num_families = 3;
+    auto gen = GenerateStreamingLake(lake.get(), config);
+    EXPECT_TRUE(gen.ok()) << gen.status().ToString();
+    EXPECT_EQ(gen.ValueUnsafe().num_models, 300u);
+    std::string fp;
+    for (const std::string& id : lake->ListModels()) {
+      auto card = lake->CardFor(id).MoveValueUnsafe();
+      fp += id + "|" + card.task + "|" + card.creator + "|";
+      for (const std::string& d : card.training_datasets) fp += d + ",";
+      auto hits = lake->KeywordScores(card.task, 5).MoveValueUnsafe();
+      for (const auto& [hid, score] : hits) {
+        fp += hid + "@" + std::to_string(score) + ";";
+      }
+      fp += "\n";
+    }
+    for (const std::string& d : lake->ListDatasets()) fp += d + "\n";
+    return fp;
+  };
+  std::string serial = snapshot(1, "serial");
+  std::string parallel = snapshot(4, "parallel");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(LakeGenTest, StreamingValidatesConfig) {
+  auto lake = OpenLake();
+  StreamGenConfig zero;
+  zero.num_models = 0;
+  EXPECT_TRUE(
+      GenerateStreamingLake(lake.get(), zero).status().IsInvalidArgument());
+  StreamGenConfig too_many;
+  too_many.num_families = 100;
+  EXPECT_TRUE(GenerateStreamingLake(lake.get(), too_many)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(LakeGenPoolsTest, PoolsAreNonEmptyAndDistinct) {
   EXPECT_GE(TaskFamilyPool().size(), 6u);
   EXPECT_GE(DomainPool().size(), 4u);

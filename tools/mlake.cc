@@ -29,7 +29,10 @@
 //                                (models marked degraded, rest of the
 //                                lake stays searchable), GC orphan
 //                                blobs and remove stray temp files
-//   stats                        lake size + storage cache counters
+//   stats                        lake size + storage cache + index
+//                                segment counters
+//   compact                      fold the in-memory index deltas into a
+//                                new on-disk snapshot generation
 //   serve [--port P] [--http-threads N] [--max-inflight M]
 //         [--deadline-ms D]      run mlaked, the JSON-over-HTTP lake
 //                                server, until SIGINT/SIGTERM (graceful
@@ -37,6 +40,7 @@
 //
 // Exit code 0 on success, 1 on any error.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -64,7 +68,7 @@ int Usage() {
                "COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
                "hybrid graph recover-heritage export import fsck [--repair] "
-               "stats serve\n");
+               "stats compact serve\n");
   return 1;
 }
 
@@ -291,7 +295,20 @@ int CmdStats(core::ModelLake* lake) {
   out.Set("datasets", static_cast<int64_t>(lake->ListDatasets().size()));
   out.Set("benchmarks", static_cast<int64_t>(lake->ListBenchmarks().size()));
   out.Set("caches", lake->CacheStatsJson());
+  out.Set("index", lake->IndexStatsJson());
   std::printf("%s\n", out.Dump(2).c_str());
+  return 0;
+}
+
+int CmdCompact(core::ModelLake* lake) {
+  auto t0 = std::chrono::steady_clock::now();
+  Status st = lake->CompactIndices();
+  if (!st.ok()) return Fail(st);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  std::printf("compacted %zu models in %.1f ms\n%s\n", lake->NumModels(), ms,
+              lake->IndexStatsJson().Dump(2).c_str());
   return 0;
 }
 
@@ -410,6 +427,7 @@ int Run(int argc, char** argv) {
   if (command == "import") return CmdImport(lk, args);
   if (command == "fsck") return CmdFsck(lk, args);
   if (command == "stats") return CmdStats(lk);
+  if (command == "compact") return CmdCompact(lk);
   if (command == "serve") return CmdServe(lk, args);
   return Usage();
 }
