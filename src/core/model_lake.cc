@@ -13,12 +13,17 @@
 #include "common/string_util.h"
 #include "index/snapshot.h"
 #include "nn/loss.h"
+#include "search/parser.h"
 #include "nn/trainer.h"
 #include "tensor/ops.h"
 
 namespace mlake::core {
 
 namespace {
+
+/// Entry cap of the parse-once MLQL plan cache (a parsed AST is tiny;
+/// the cap only bounds pathological many-distinct-query workloads).
+constexpr size_t kPlanCacheCap = 512;
 
 Json FloatsToJson(const std::vector<float>& v) {
   Json arr = Json::MakeArray();
@@ -1416,14 +1421,101 @@ Result<versioning::HeritageResult> ModelLake::RecoverHeritage(
 
 Result<search::QueryResult> ModelLake::Query(std::string_view mlql) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(std::shared_ptr<const search::Query> plan,
+                         CachedPlanUnlocked(mlql));
   UnlockedView view(this);
-  return search::ExecuteQuery(view, mlql);
+  MLAKE_ASSIGN_OR_RETURN(search::QueryResult result,
+                         search::ExecuteQuery(view, *plan));
+  {
+    std::lock_guard<std::mutex> plan_lock(plan_mu_);
+    last_plan_ = result.plan;
+  }
+  return result;
 }
 
-Result<std::vector<search::RankedModel>> ModelLake::RelatedModelsUnlocked(
-    const std::string& id, size_t k) const {
-  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query, EmbeddingForUnlocked(id));
-  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModelsUnlocked(query, k + 1));
+Result<std::shared_ptr<const search::Query>> ModelLake::CachedPlanUnlocked(
+    std::string_view mlql) const {
+  std::string key(mlql);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    if (plan_epoch_ != mutation_epoch_ ||
+        plan_generation_ != index_generation_) {
+      plan_cache_.clear();
+      plan_epoch_ = mutation_epoch_;
+      plan_generation_ = index_generation_;
+    }
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++plan_hits_;
+      return it->second;
+    }
+    ++plan_misses_;
+  }
+  // Parse outside plan_mu_ so a slow parse never blocks cache hits on
+  // other readers.
+  MLAKE_ASSIGN_OR_RETURN(search::Query parsed, search::ParseQuery(mlql));
+  auto plan = std::make_shared<const search::Query>(std::move(parsed));
+  std::string normalized = search::ToString(*plan);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  if (plan_cache_.size() + 2 > kPlanCacheCap) plan_cache_.clear();
+  // Alias the canonical rendering to the same parse so formatting
+  // variants of one query (spacing, keyword case) share a cache entry.
+  plan_cache_.emplace(std::move(key), plan);
+  plan_cache_.emplace(std::move(normalized), plan);
+  return plan;
+}
+
+ModelLake::PlanCacheCounters ModelLake::PlanCacheStats() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return PlanCacheCounters{plan_hits_, plan_misses_, plan_cache_.size()};
+}
+
+Json ModelLake::PlannerStatsJson() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  Json cache = Json::MakeObject();
+  cache.Set("hits", static_cast<int64_t>(plan_hits_));
+  cache.Set("misses", static_cast<int64_t>(plan_misses_));
+  cache.Set("entries", static_cast<int64_t>(plan_cache_.size()));
+  Json out = Json::MakeObject();
+  out.Set("plan_cache", cache);
+  out.Set("last_plan", last_plan_);
+  return out;
+}
+
+search::SearchContext::CatalogStats ModelLake::StatsUnlocked() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (stats_valid_ && stats_epoch_ == mutation_epoch_) return stats_cache_;
+  search::SearchContext::CatalogStats stats;
+  stats.valid = true;
+  std::vector<std::string> ids = SearchableModelIdsUnlocked();
+  stats.num_models = ids.size();
+  stats.ann_live = ann_->Size();
+  stats.bm25_live = bm25_.NumDocs();
+  for (const std::string& id : ids) {
+    auto card = CardForUnlocked(id);
+    if (!card.ok()) continue;
+    const metadata::ModelCard& c = card.ValueUnsafe();
+    if (!c.task.empty()) ++stats.field_counts["task"][c.task];
+    if (!c.creator.empty()) ++stats.field_counts["creator"][c.creator];
+    if (!c.license.empty()) ++stats.field_counts["license"][c.license];
+    if (!c.architecture.empty()) {
+      ++stats.field_counts["architecture"][c.architecture];
+    }
+  }
+  stats_cache_ = std::move(stats);
+  stats_epoch_ = mutation_epoch_;
+  stats_valid_ = true;
+  return stats_cache_;
+}
+
+search::SearchContext::CatalogStats ModelLake::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return StatsUnlocked();
+}
+
+std::vector<search::RankedModel> ModelLake::RelatedFromNeighbors(
+    const std::string& id,
+    const std::vector<std::pair<std::string, float>>& neighbors, size_t k) {
   std::vector<search::RankedModel> out;
   for (const auto& [other, distance] : neighbors) {
     if (other == id) continue;
@@ -1433,10 +1525,67 @@ Result<std::vector<search::RankedModel>> ModelLake::RelatedModelsUnlocked(
   return out;
 }
 
+Result<std::vector<search::RankedModel>> ModelLake::RelatedModelsUnlocked(
+    const std::string& id, size_t k) const {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query, EmbeddingForUnlocked(id));
+  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModelsUnlocked(query, k + 1));
+  return RelatedFromNeighbors(id, neighbors, k);
+}
+
 Result<std::vector<search::RankedModel>> ModelLake::RelatedModels(
     const std::string& id, size_t k) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return RelatedModelsUnlocked(id, k);
+}
+
+std::vector<Result<std::vector<search::RankedModel>>>
+ModelLake::RelatedModelsBatch(const std::vector<std::string>& ids,
+                              size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<Result<std::vector<search::RankedModel>>> results;
+  results.reserve(ids.size());
+  // Resolve embeddings first; an unknown id fails only its own slot.
+  // Successful slots get a placeholder overwritten after the probe.
+  std::vector<std::vector<float>> queries;
+  std::vector<size_t> probe_slot;  // queries index -> results index
+  for (const std::string& id : ids) {
+    auto embedding = EmbeddingForUnlocked(id);
+    if (embedding.ok()) {
+      probe_slot.push_back(results.size());
+      queries.push_back(std::move(embedding.ValueUnsafe()));
+      results.emplace_back(std::vector<search::RankedModel>{});
+    } else {
+      results.emplace_back(embedding.status());
+    }
+  }
+  if (queries.empty()) return results;
+  // Same effective ef as the solo path: RelatedModelsUnlocked asks
+  // NearestModelsUnlocked for k+1, which over-fetches by degraded_.
+  auto batch = ann_->SearchBatch(queries, k + 1 + degraded_.size());
+  for (size_t q = 0; q < probe_slot.size(); ++q) {
+    if (!batch.ok()) {
+      results[probe_slot[q]] = batch.status();
+    } else {
+      results[probe_slot[q]] = RelatedFromNeighbors(
+          ids[probe_slot[q]],
+          MapNeighborsUnlocked(batch.ValueUnsafe()[q], k + 1), k);
+    }
+  }
+  return results;
+}
+
+std::vector<Result<std::vector<std::pair<std::string, double>>>>
+ModelLake::KeywordScoresBatch(const std::vector<std::string>& texts,
+                              size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::vector<index::TextHit>> batch =
+      bm25_.SearchBatch(texts, k + degraded_.size());
+  std::vector<Result<std::vector<std::pair<std::string, double>>>> results;
+  results.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    results.emplace_back(MapTextHitsUnlocked(batch[i], k));
+  }
+  return results;
 }
 
 Result<std::vector<search::RankedModel>> ModelLake::HybridSearch(
@@ -1508,13 +1657,8 @@ Result<std::vector<float>> ModelLake::EmbeddingFor(
   return EmbeddingForUnlocked(id);
 }
 
-Result<std::vector<std::pair<std::string, float>>>
-ModelLake::NearestModelsUnlocked(const std::vector<float>& query,
-                                 size_t k) const {
-  // Degraded models stay in the ANN graph (HNSW has no remove) but are
-  // filtered out of results; over-fetch so k healthy hits survive.
-  MLAKE_ASSIGN_OR_RETURN(std::vector<index::Neighbor> hits,
-                         ann_->Search(query, k + degraded_.size()));
+std::vector<std::pair<std::string, float>> ModelLake::MapNeighborsUnlocked(
+    const std::vector<index::Neighbor>& hits, size_t k) const {
   std::vector<std::pair<std::string, float>> out;
   out.reserve(std::min(hits.size(), k));
   for (const index::Neighbor& n : hits) {
@@ -1526,22 +1670,36 @@ ModelLake::NearestModelsUnlocked(const std::vector<float>& query,
   return out;
 }
 
+Result<std::vector<std::pair<std::string, float>>>
+ModelLake::NearestModelsUnlocked(const std::vector<float>& query,
+                                 size_t k) const {
+  // Degraded models stay in the ANN graph (HNSW has no remove) but are
+  // filtered out of results; over-fetch so k healthy hits survive.
+  MLAKE_ASSIGN_OR_RETURN(std::vector<index::Neighbor> hits,
+                         ann_->Search(query, k + degraded_.size()));
+  return MapNeighborsUnlocked(hits, k);
+}
+
 Result<std::vector<std::pair<std::string, float>>> ModelLake::NearestModels(
     const std::vector<float>& query, size_t k) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return NearestModelsUnlocked(query, k);
 }
 
-Result<std::vector<std::pair<std::string, double>>>
-ModelLake::KeywordScoresUnlocked(const std::string& text, size_t k) const {
+std::vector<std::pair<std::string, double>> ModelLake::MapTextHitsUnlocked(
+    const std::vector<index::TextHit>& hits, size_t k) const {
   std::vector<std::pair<std::string, double>> out;
-  for (const index::TextHit& hit :
-       bm25_.Search(text, k + degraded_.size())) {
+  for (const index::TextHit& hit : hits) {
     if (out.size() >= k) break;
     if (degraded_.count(hit.doc_id) > 0) continue;
     out.emplace_back(hit.doc_id, hit.score);
   }
   return out;
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::KeywordScoresUnlocked(const std::string& text, size_t k) const {
+  return MapTextHitsUnlocked(bm25_.Search(text, k + degraded_.size()), k);
 }
 
 Result<std::vector<std::pair<std::string, double>>> ModelLake::KeywordScores(
@@ -1611,6 +1769,9 @@ bool ModelLake::IsDescendantOf(const std::string& id,
 
 std::vector<std::string> ModelLake::UnlockedView::AllModelIds() const {
   return lake_->SearchableModelIdsUnlocked();
+}
+search::SearchContext::CatalogStats ModelLake::UnlockedView::Stats() const {
+  return lake_->StatsUnlocked();
 }
 Result<metadata::ModelCard> ModelLake::UnlockedView::CardFor(
     const std::string& id) const {

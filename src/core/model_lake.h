@@ -9,6 +9,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/fs.h"
@@ -328,6 +329,21 @@ class ModelLake : public search::SearchContext {
   Result<std::vector<search::RankedModel>> RelatedModels(
       const std::string& id, size_t k) const;
 
+  /// Batched related-model search: one shared-lock acquisition and one
+  /// HnswIndex::SearchBatch probe for the whole batch. results[i] is
+  /// bit-identical to RelatedModels(ids[i], k); failures are per-slot
+  /// (an unknown id fails its own entry, never the batch). This is the
+  /// probe the server's SearchBatcher coalesces /v1/search requests
+  /// into, and the probe API a distributed router would reuse.
+  std::vector<Result<std::vector<search::RankedModel>>> RelatedModelsBatch(
+      const std::vector<std::string>& ids, size_t k) const;
+
+  /// Batched keyword search: results[i] is bit-identical to
+  /// KeywordScores(texts[i], k), computed under one shared lock with
+  /// one InvertedIndex::SearchBatch probe.
+  std::vector<Result<std::vector<std::pair<std::string, double>>>>
+  KeywordScoresBatch(const std::vector<std::string>& texts, size_t k) const;
+
   /// Hybrid search (§5 roadmap): reciprocal-rank fusion of BM25 keyword
   /// relevance and embedding similarity to `query_model_id`. Robust to
   /// card rot on one side and embedding blind spots on the other.
@@ -341,6 +357,10 @@ class ModelLake : public search::SearchContext {
   // is not reentrant, so nesting would deadlock against a waiting
   // writer).
   std::vector<std::string> AllModelIds() const override;
+  /// Catalog statistics for the MLQL cost-based planner: model count,
+  /// index live sizes, and per-field value histograms. Rebuilt lazily —
+  /// one O(n) card scan per mutation epoch, then served from cache.
+  search::SearchContext::CatalogStats Stats() const override;
   Result<metadata::ModelCard> CardFor(const std::string& id) const override;
   Result<std::vector<float>> EmbeddingFor(
       const std::string& id) const override;
@@ -411,6 +431,18 @@ class ModelLake : public search::SearchContext {
   /// `/statsz` and `mlake stats`.
   Json IndexStatsJson() const;
 
+  /// Counters of the parse-once MLQL plan cache behind Query().
+  struct PlanCacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+  PlanCacheCounters PlanCacheStats() const;
+
+  /// Planner surface of `/statsz`: plan-cache counters and the plan the
+  /// executor chose for the most recent MLQL query.
+  Json PlannerStatsJson() const;
+
   const Tensor& probes() const { return probes_; }
   const LakeOptions& options() const { return options_; }
   storage::Catalog* catalog() { return catalog_.get(); }
@@ -424,6 +456,7 @@ class ModelLake : public search::SearchContext {
    public:
     explicit UnlockedView(const ModelLake* lake) : lake_(lake) {}
     std::vector<std::string> AllModelIds() const override;
+    search::SearchContext::CatalogStats Stats() const override;
     Result<metadata::ModelCard> CardFor(const std::string& id) const override;
     Result<std::vector<float>> EmbeddingFor(
         const std::string& id) const override;
@@ -550,8 +583,24 @@ class ModelLake : public search::SearchContext {
       const std::string& id) const;
   Result<std::vector<std::pair<std::string, float>>> NearestModelsUnlocked(
       const std::vector<float>& query, size_t k) const;
+  /// Maps raw ANN hits through ann_ids_, drops degraded ids, caps at k
+  /// — the shared tail of NearestModelsUnlocked and the batch probe.
+  std::vector<std::pair<std::string, float>> MapNeighborsUnlocked(
+      const std::vector<index::Neighbor>& hits, size_t k) const;
+  /// Drops degraded ids from BM25 hits and caps at k — the shared tail
+  /// of KeywordScoresUnlocked and the batch probe.
+  std::vector<std::pair<std::string, double>> MapTextHitsUnlocked(
+      const std::vector<index::TextHit>& hits, size_t k) const;
   Result<std::vector<std::pair<std::string, double>>> KeywordScoresUnlocked(
       const std::string& text, size_t k) const;
+  /// Lazily (re)computes the planner's catalog statistics for the
+  /// current mutation epoch. Caller holds mu_ (shared suffices:
+  /// stats_mu_ serializes the rebuild).
+  search::SearchContext::CatalogStats StatsUnlocked() const;
+  /// Parse-once plan-cache lookup for Query(). Caller holds mu_
+  /// (shared suffices: plan_mu_ guards the map).
+  Result<std::shared_ptr<const search::Query>> CachedPlanUnlocked(
+      std::string_view mlql) const;
   Result<std::vector<std::pair<std::string, double>>> TrainedOnUnlocked(
       const std::string& dataset, double min_overlap) const;
   bool IsDescendantOfUnlocked(const std::string& id,
@@ -560,6 +609,12 @@ class ModelLake : public search::SearchContext {
       const std::string& name) const;
   Result<std::vector<search::RankedModel>> RelatedModelsUnlocked(
       const std::string& id, size_t k) const;
+  /// Turns a model's mapped neighbors into RankedModels, skipping the
+  /// model itself — the shared tail of RelatedModelsUnlocked and the
+  /// batch probe (score = 1 - cosine distance).
+  static std::vector<search::RankedModel> RelatedFromNeighbors(
+      const std::string& id,
+      const std::vector<std::pair<std::string, float>>& neighbors, size_t k);
   Result<double> EvaluateModelUnlocked(const std::string& id,
                                        const std::string& benchmark) const;
 
@@ -625,6 +680,35 @@ class ModelLake : public search::SearchContext {
   /// Serializes compaction passes (explicit calls vs the background
   /// thread).
   std::mutex compact_run_mu_;
+
+  // ---- cost-based planner state (PR 7) ----
+
+  /// Catalog statistics served to the MLQL planner, rebuilt lazily
+  /// when the mutation epoch moves: one O(n) card scan per epoch, not
+  /// per query. stats_mu_ serializes the rebuild; callers hold mu_
+  /// shared, so the epoch they validate against cannot move under them.
+  mutable std::mutex stats_mu_;
+  mutable search::SearchContext::CatalogStats stats_cache_;
+  mutable uint64_t stats_epoch_ = 0;
+  mutable bool stats_valid_ = false;
+
+  /// Parse-once MLQL plan cache: query text -> parsed AST, with the
+  /// normalized AST rendering aliased to the same entry so formatting
+  /// variants of one query share a plan. Entries are pure parses and
+  /// can never be semantically stale; the cache is still cleared when
+  /// the mutation epoch or snapshot generation moves (conservative
+  /// hygiene, and it bounds growth alongside the entry cap).
+  mutable std::mutex plan_mu_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const search::Query>>
+      plan_cache_;
+  mutable uint64_t plan_epoch_ = 0;
+  mutable uint64_t plan_generation_ = 0;
+  mutable uint64_t plan_hits_ = 0;
+  mutable uint64_t plan_misses_ = 0;
+  /// The plan the executor chose for the most recent Query() (under
+  /// plan_mu_; surfaced by PlannerStatsJson for /statsz).
+  mutable std::string last_plan_;
 };
 
 }  // namespace mlake::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <string_view>
 #include <unordered_set>
 
 #include "common/kernels.h"
@@ -456,6 +457,7 @@ Status HnswIndex::Build(const std::vector<int64_t>& ids,
 }
 
 void HnswIndex::CollectFrom(const SegRef& seg, const float* query, size_t k,
+                            VisitedScratch* visited,
                             std::vector<Neighbor>* out) const {
   size_t n = seg.n();
   size_t dead_count = seg.base ? base_dead_count_ : delta_dead_count_;
@@ -470,9 +472,8 @@ void HnswIndex::CollectFrom(const SegRef& seg, const float* query, size_t k,
   size_t ef = std::max(static_cast<size_t>(std::max(config_.ef_search, 1)),
                        k) +
               dead_count;
-  VisitedScratch visited;
   std::vector<Candidate> candidates =
-      SearchLayer(seg, query, current, static_cast<int>(ef), 0, &visited);
+      SearchLayer(seg, query, current, static_cast<int>(ef), 0, visited);
   const std::vector<uint8_t>& dead = seg.base ? base_dead_ : dead_;
   for (const Candidate& c : candidates) {
     if (!dead.empty() && dead[c.node]) continue;
@@ -482,29 +483,113 @@ void HnswIndex::CollectFrom(const SegRef& seg, const float* query, size_t k,
   }
 }
 
+void HnswIndex::CollectDense(const SegRef& seg, const float* queries,
+                             size_t m,
+                             std::vector<std::vector<Neighbor>>* outs) const {
+  size_t n = seg.n();
+  // Pack the segment's rows column-major once — a dim x n B operand
+  // shared by every query in the batch.
+  std::vector<float> packed(static_cast<size_t>(dim_) * n);
+  for (uint32_t node = 0; node < n; ++node) {
+    const float* row = seg.row(node);
+    for (int64_t d = 0; d < dim_; ++d) {
+      packed[static_cast<size_t>(d) * n + node] = row[d];
+    }
+  }
+  std::vector<float> dots(m * n);
+  kernels::Gemm(m, n, static_cast<size_t>(dim_), queries, packed.data(),
+                dots.data());
+  const std::vector<uint8_t>& dead = seg.base ? base_dead_ : dead_;
+  for (size_t i = 0; i < m; ++i) {
+    const float* dot_row = dots.data() + i * n;
+    std::vector<Neighbor>& out = (*outs)[i];
+    out.reserve(out.size() + n);
+    for (uint32_t node = 0; node < n; ++node) {
+      if (!dead.empty() && dead[node]) continue;
+      int64_t id = seg.base ? base_ids_[node] : external_ids_[node];
+      out.push_back(Neighbor{id, 1.0f - dot_row[node]});
+    }
+  }
+}
+
 Result<std::vector<Neighbor>> HnswIndex::Search(
     const std::vector<float>& query, size_t k) const {
-  if (static_cast<int64_t>(query.size()) != dim_) {
-    return Status::InvalidArgument("HnswIndex: query dim mismatch");
-  }
-  std::vector<Neighbor> out;
-  if (Size() == 0) return out;
+  MLAKE_ASSIGN_OR_RETURN(std::vector<std::vector<Neighbor>> batch,
+                         SearchBatch({query}, k));
+  return std::move(batch[0]);
+}
 
-  const float* q = query.data();
-  std::vector<float> normalized;
-  if (config_.metric == Metric::kCosine) {
-    // Stored vectors are unit-length (normalize-at-Add), so the query
-    // must be too for 1 - dot to equal the cosine distance.
-    normalized = query;
-    NormalizeRow(normalized.data());
-    q = normalized.data();
+Result<std::vector<std::vector<Neighbor>>> HnswIndex::SearchBatch(
+    const std::vector<std::vector<float>>& queries, size_t k) const {
+  for (const std::vector<float>& query : queries) {
+    if (static_cast<int64_t>(query.size()) != dim_) {
+      return Status::InvalidArgument("HnswIndex: query dim mismatch");
+    }
+  }
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  if (queries.empty() || Size() == 0) return results;
+
+  // Prepare every query once into one contiguous block (normalized
+  // under cosine so 1 - dot is the cosine distance), then collapse
+  // duplicates: identical prepared vectors share one probe.
+  size_t m = queries.size();
+  size_t row_bytes = sizeof(float) * static_cast<size_t>(dim_);
+  std::vector<float> prepared(m * static_cast<size_t>(dim_));
+  for (size_t i = 0; i < m; ++i) {
+    float* row = prepared.data() + i * static_cast<size_t>(dim_);
+    std::copy(queries[i].begin(), queries[i].end(), row);
+    if (config_.metric == Metric::kCosine) NormalizeRow(row);
+  }
+  std::vector<uint32_t> slot_of(m);  // query index -> probe slot
+  std::vector<uint32_t> first_of;    // probe slot -> first query index
+  {
+    std::unordered_map<std::string_view, uint32_t> seen;
+    seen.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      std::string_view bytes(
+          reinterpret_cast<const char*>(prepared.data() +
+                                        i * static_cast<size_t>(dim_)),
+          row_bytes);
+      auto [it, inserted] =
+          seen.emplace(bytes, static_cast<uint32_t>(first_of.size()));
+      if (inserted) first_of.push_back(static_cast<uint32_t>(i));
+      slot_of[i] = it->second;
+    }
+  }
+  size_t u = first_of.size();
+  std::vector<float> probes(u * static_cast<size_t>(dim_));
+  for (size_t s = 0; s < u; ++s) {
+    const float* src =
+        prepared.data() + first_of[s] * static_cast<size_t>(dim_);
+    std::copy(src, src + dim_, probes.data() + s * static_cast<size_t>(dim_));
   }
 
-  CollectFrom(SegRef{this, true}, q, k, &out);
-  CollectFrom(SegRef{this, false}, q, k, &out);
-  std::sort(out.begin(), out.end());  // (distance, id)
-  if (out.size() > k) out.resize(k);
-  return out;
+  // Segment-major probe: each segment is visited once for the whole
+  // batch — the dense path amortizes its row packing across queries,
+  // the beam path at least reuses the visited-set allocation.
+  std::vector<std::vector<Neighbor>> merged(u);
+  VisitedScratch visited;
+  const bool segments[] = {true, false};
+  for (bool is_base : segments) {
+    SegRef seg{this, is_base};
+    size_t n = seg.n();
+    size_t dead_count = is_base ? base_dead_count_ : delta_dead_count_;
+    if (n == 0 || dead_count >= n) continue;
+    if (config_.metric == Metric::kCosine && n <= kDenseSegmentMax) {
+      CollectDense(seg, probes.data(), u, &merged);
+    } else {
+      for (size_t s = 0; s < u; ++s) {
+        CollectFrom(seg, probes.data() + s * static_cast<size_t>(dim_), k,
+                    &visited, &merged[s]);
+      }
+    }
+  }
+  for (size_t s = 0; s < u; ++s) {
+    std::sort(merged[s].begin(), merged[s].end());  // (distance, id)
+    if (merged[s].size() > k) merged[s].resize(k);
+  }
+  for (size_t i = 0; i < m; ++i) results[i] = merged[slot_of[i]];
+  return results;
 }
 
 Status HnswIndex::SaveSnapshot(Fs* fs, const std::string& path,

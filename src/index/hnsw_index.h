@@ -83,6 +83,19 @@ class HnswIndex : public VectorIndex {
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
                                        size_t k) const override;
 
+  /// Batched search: results[i] is bit-identical to `Search(queries[i],
+  /// k)` — which in fact delegates here with a batch of one. Shared
+  /// work across the batch: queries are normalized into one contiguous
+  /// block, duplicate queries are probed once, the visited-set scratch
+  /// is reused across queries segment-major, and small cosine segments
+  /// (<= kDenseSegmentMax rows) are scored as one query x candidate
+  /// `kernels::Gemm` block instead of per-query graph walks. A Gemm
+  /// output row is produced by the same per-lane FMA sequence no matter
+  /// how many queries share the block, so batch composition never
+  /// changes a result's bits. Same thread-safety contract as `Search`.
+  Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const std::vector<std::vector<float>>& queries, size_t k) const;
+
   /// Drops the `count` most recently added delta elements entirely
   /// (storage, links and backlinks) — the O(batch) rollback a failed
   /// ingest uses. Links other delta nodes gained *to* the dropped tail
@@ -212,9 +225,21 @@ class HnswIndex : public VectorIndex {
                                      uint32_t entry, int ef, int level,
                                      VisitedScratch* visited) const;
 
+  /// Largest segment (raw rows, tombstones included) the batch path
+  /// scores densely with Gemm instead of walking the graph.
+  static constexpr size_t kDenseSegmentMax = 128;
+
   /// Beam-searches one segment and appends its live hits to `out`.
+  /// `visited` is caller-owned scratch, reusable across queries.
   void CollectFrom(const SegRef& seg, const float* query, size_t k,
-                   std::vector<Neighbor>* out) const;
+                   VisitedScratch* visited, std::vector<Neighbor>* out) const;
+
+  /// Brute-force scores `m` prepared (normalized, contiguous) queries
+  /// against every row of a small segment with one Gemm block, then
+  /// appends each query's live hits to (*outs)[i]. Cosine only: rows
+  /// and queries are unit-length, so distance = 1 - dot.
+  void CollectDense(const SegRef& seg, const float* queries, size_t m,
+                    std::vector<std::vector<Neighbor>>* outs) const;
 
   /// Appends vector storage + level for one element (no links yet).
   uint32_t AppendNode(int64_t id, const std::vector<float>& vec);

@@ -122,74 +122,114 @@ void InvertedIndex::Remove(const std::string& doc_id) {
 
 std::vector<TextHit> InvertedIndex::Search(std::string_view query,
                                            size_t k) const {
-  std::vector<std::string> terms = TokenizeWords(query);
+  std::vector<std::vector<TextHit>> batch =
+      SearchBatch({std::string(query)}, k);
+  return std::move(batch[0]);
+}
+
+std::vector<std::vector<TextHit>> InvertedIndex::SearchBatch(
+    const std::vector<std::string>& queries, size_t k) const {
+  std::vector<std::vector<TextHit>> results(queries.size());
   size_t n_live = live_docs_ + base_live_;
-  if (terms.empty() || n_live == 0) return {};
+  if (queries.empty() || n_live == 0) return results;
   double avg_len = static_cast<double>(total_tokens_ + base_tokens_) /
                    static_cast<double>(n_live);
   if (avg_len <= 0.0) avg_len = 1.0;
   double n_docs = static_cast<double>(n_live);
 
-  // Scores keyed by a merged doc handle: base doc i -> i, delta doc
-  // d -> base_docs_ + d. Per-document contributions accumulate in
-  // query-term order — the same summation order a rebuilt index uses,
-  // which is what makes merged scores bit-identical.
-  std::unordered_map<uint64_t, double> scores;
-  std::vector<std::pair<uint32_t, uint32_t>> base_live_posts;
-  for (const std::string& term : terms) {
-    base_live_posts.clear();
-    if (base_terms_ > 0) {
-      int64_t t = BaseTermIndex(term);
-      if (t >= 0) {
-        uint64_t begin = bpost_off_[t];
-        uint64_t end = bpost_off_[t + 1];
-        for (uint64_t p = begin; p < end; ++p) {
-          uint32_t doc = bpost_[2 * p];
-          uint32_t tf = bpost_[2 * p + 1];
-          if (doc >= base_docs_) continue;  // corrupt posting: skip
-          if (BaseDocDead(doc)) continue;
-          base_live_posts.emplace_back(doc, tf);
+  // Per-batch term cache: the base-table binary search, live-posting
+  // gather, document frequency and idf of each distinct term are
+  // computed once and shared by every query that mentions it.
+  struct TermScore {
+    bool live = false;  // false: matches no live document, skip
+    double idf = 0.0;
+    std::vector<std::pair<uint32_t, uint32_t>> base_posts;  // (doc, tf)
+    const std::vector<Posting>* delta = nullptr;
+  };
+  std::unordered_map<std::string, TermScore> cache;
+  // Identical query strings share one scored result.
+  std::unordered_map<std::string_view, size_t> dedup;
+  dedup.reserve(queries.size());
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto [first, inserted] = dedup.emplace(queries[qi], qi);
+    if (!inserted) {
+      results[qi] = results[first->second];
+      continue;
+    }
+    std::vector<std::string> terms = TokenizeWords(queries[qi]);
+    if (terms.empty()) continue;
+
+    // Scores keyed by a merged doc handle: base doc i -> i, delta doc
+    // d -> base_docs_ + d. Per-document contributions accumulate in
+    // query-term order — the same summation order a rebuilt index (and
+    // a solo search) uses, which is what makes scores bit-identical.
+    std::unordered_map<uint64_t, double> scores;
+    for (const std::string& term : terms) {
+      auto [cit, fresh] = cache.try_emplace(term);
+      TermScore& ts = cit->second;
+      if (fresh) {
+        if (base_terms_ > 0) {
+          int64_t t = BaseTermIndex(term);
+          if (t >= 0) {
+            uint64_t begin = bpost_off_[t];
+            uint64_t end = bpost_off_[t + 1];
+            for (uint64_t p = begin; p < end; ++p) {
+              uint32_t doc = bpost_[2 * p];
+              uint32_t tf = bpost_[2 * p + 1];
+              if (doc >= base_docs_) continue;  // corrupt posting: skip
+              if (BaseDocDead(doc)) continue;
+              ts.base_posts.emplace_back(doc, tf);
+            }
+          }
+        }
+        auto it = postings_.find(term);
+        if (it != postings_.end()) ts.delta = &it->second;
+        size_t delta_df = ts.delta ? ts.delta->size() : 0;
+        double df = static_cast<double>(ts.base_posts.size() + delta_df);
+        if (df > 0.0) {
+          ts.live = true;
+          ts.idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+        }
+      }
+      if (!ts.live) continue;
+      double idf = ts.idf;
+      for (const auto& [doc, tf_raw] : ts.base_posts) {
+        double tf = static_cast<double>(tf_raw);
+        double len_norm =
+            1.0 - b_ + b_ * static_cast<double>(bdoc_len_[doc]) / avg_len;
+        scores[doc] += idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+      }
+      if (ts.delta != nullptr) {
+        for (const Posting& p : *ts.delta) {
+          if (doc_lengths_[p.doc] == 0) continue;  // removed
+          double tf = static_cast<double>(p.term_frequency);
+          double len_norm = 1.0 - b_ + b_ *
+                                           static_cast<double>(
+                                               doc_lengths_[p.doc]) /
+                                           avg_len;
+          scores[base_docs_ + p.doc] +=
+              idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
         }
       }
     }
-    auto it = postings_.find(term);
-    size_t delta_df = (it != postings_.end()) ? it->second.size() : 0;
-    double df = static_cast<double>(base_live_posts.size() + delta_df);
-    if (df <= 0.0) continue;
-    double idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
-    for (const auto& [doc, tf_raw] : base_live_posts) {
-      double tf = static_cast<double>(tf_raw);
-      double len_norm =
-          1.0 - b_ + b_ * static_cast<double>(bdoc_len_[doc]) / avg_len;
-      scores[doc] += idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
-    }
-    if (it != postings_.end()) {
-      for (const Posting& p : it->second) {
-        if (doc_lengths_[p.doc] == 0) continue;  // removed
-        double tf = static_cast<double>(p.term_frequency);
-        double len_norm = 1.0 - b_ + b_ *
-                                         static_cast<double>(
-                                             doc_lengths_[p.doc]) /
-                                         avg_len;
-        scores[base_docs_ + p.doc] +=
-            idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
-      }
-    }
-  }
 
-  std::vector<TextHit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [handle, score] : scores) {
-    std::string id = handle < base_docs_
-                         ? std::string(BaseDocId(handle))
-                         : doc_ids_[handle - base_docs_];
-    hits.push_back(TextHit{std::move(id), score});
+    std::vector<TextHit>& hits = results[qi];
+    hits.reserve(scores.size());
+    for (const auto& [handle, score] : scores) {
+      std::string id = handle < base_docs_
+                           ? std::string(BaseDocId(handle))
+                           : doc_ids_[handle - base_docs_];
+      hits.push_back(TextHit{std::move(id), score});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const TextHit& a, const TextHit& b) {
+                return a.score > b.score ||
+                       (a.score == b.score && a.doc_id < b.doc_id);
+              });
+    if (hits.size() > k) hits.resize(k);
   }
-  std::sort(hits.begin(), hits.end(), [](const TextHit& a, const TextHit& b) {
-    return a.score > b.score || (a.score == b.score && a.doc_id < b.doc_id);
-  });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
+  return results;
 }
 
 Status InvertedIndex::SaveSnapshot(Fs* fs, const std::string& path,

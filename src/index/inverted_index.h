@@ -51,6 +51,16 @@ class InvertedIndex {
   /// are not returned.
   std::vector<TextHit> Search(std::string_view query, size_t k) const;
 
+  /// Batched BM25: results[i] is bit-identical to `Search(queries[i],
+  /// k)` — which in fact delegates here with a batch of one. Work
+  /// shared across the batch: each distinct term's base-table binary
+  /// search, live-posting gather, document frequency and idf are
+  /// computed once; identical query strings are scored once.
+  /// Per-document accumulation stays in query-term order, which is
+  /// what keeps each result bit-identical to a solo search.
+  std::vector<std::vector<TextHit>> SearchBatch(
+      const std::vector<std::string>& queries, size_t k) const;
+
   /// Live documents across both segments.
   size_t NumDocs() const { return live_docs_ + base_live_; }
   /// Distinct terms (delta terms plus base terms; a term present in

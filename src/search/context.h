@@ -1,6 +1,8 @@
 #ifndef MLAKE_SEARCH_CONTEXT_H_
 #define MLAKE_SEARCH_CONTEXT_H_
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,7 +18,27 @@ namespace mlake::search {
 /// testable against a fake lake and free of a dependency cycle.
 class SearchContext {
  public:
+  /// Catalog statistics backing the executor's cost-based planner.
+  /// `valid == false` means the context maintains no statistics; the
+  /// executor then keeps the classic predicate-first plan.
+  struct CatalogStats {
+    bool valid = false;
+    /// Searchable (non-degraded) models.
+    size_t num_models = 0;
+    /// Live element counts of the search indexes.
+    size_t ann_live = 0;
+    size_t bm25_live = 0;
+    /// Value histogram per low-cardinality card field ("task",
+    /// "creator", "license", "architecture"): raw value -> model count.
+    /// Selectivity of an equality predicate is matching count / total.
+    std::map<std::string, std::map<std::string, size_t>> field_counts;
+  };
+
   virtual ~SearchContext() = default;
+
+  /// Statistics for cost-based planning. The default reports none
+  /// (`valid == false`), which disables ANN-first planning.
+  virtual CatalogStats Stats() const { return {}; }
 
   /// Every model id in the lake.
   virtual std::vector<std::string> AllModelIds() const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -362,6 +363,53 @@ Result<std::vector<RankedModel>> RankCandidates(
   return out;
 }
 
+/// ANN→filter execution: probe the ANN index for a similarity-ordered
+/// over-fetch, keep the neighbors that pass the predicate, and escalate
+/// the fetch once (x4) if too few survive. Returns nullopt when even
+/// the escalated fetch cannot fill the limit while more of the index
+/// remains — the caller then falls back to the exact scan plan.
+Result<std::optional<QueryResult>> TryAnnFirst(const SearchContext& lake,
+                                               const Query& query,
+                                               double selectivity,
+                                               size_t fetch,
+                                               size_t ann_live) {
+  const std::string& query_id = query.rank.args[0].string_value;
+  MLAKE_ASSIGN_OR_RETURN(std::vector<float> query_vec,
+                         lake.EmbeddingFor(query_id));
+  PredicateEvaluator evaluator(lake);
+  MLAKE_RETURN_NOT_OK(evaluator.Prepare(*query.where));
+  size_t cap = ann_live + 1;  // +1: the query model matches itself
+  bool escalated = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    size_t ask = std::min(fetch, cap);
+    MLAKE_ASSIGN_OR_RETURN(auto neighbors, lake.NearestModels(query_vec, ask));
+    QueryResult result;
+    for (const auto& [id, distance] : neighbors) {
+      if (id == query_id) continue;  // a model is not its own answer
+      MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, lake.CardFor(id));
+      MLAKE_ASSIGN_OR_RETURN(bool keep,
+                             evaluator.Evaluate(*query.where, card));
+      if (!keep) continue;
+      result.models.push_back(RankedModel{id, 1.0 - distance});
+      if (result.models.size() >= query.limit) break;
+    }
+    // Accept when the limit is filled or the index is exhausted;
+    // otherwise escalate once, then hand back to the scan plan.
+    if (result.models.size() >= query.limit || ask >= cap ||
+        neighbors.size() < ask) {
+      result.plan = StrFormat(
+          "ann-first (est. selectivity %.3f): ANN over-fetch %zu%s; "
+          "filter -> %zu; rank by %s",
+          selectivity, ask, escalated ? " (escalated)" : "",
+          result.models.size(), query.rank.function.c_str());
+      return std::optional<QueryResult>(std::move(result));
+    }
+    fetch = std::min(cap, fetch * 4);
+    escalated = true;
+  }
+  return std::optional<QueryResult>();
+}
+
 }  // namespace
 
 Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
@@ -371,17 +419,63 @@ Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
   return evaluator.Evaluate(expr, card);
 }
 
+double EstimateSelectivity(const Expr& expr,
+                           const SearchContext::CatalogStats& stats) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+      return EstimateSelectivity(*expr.children[0], stats) *
+             EstimateSelectivity(*expr.children[1], stats);
+    case Expr::Kind::kOr:
+      return std::min(1.0, EstimateSelectivity(*expr.children[0], stats) +
+                               EstimateSelectivity(*expr.children[1], stats));
+    case Expr::Kind::kNot:
+      return std::max(0.0,
+                      1.0 - EstimateSelectivity(*expr.children[0], stats));
+    case Expr::Kind::kCompare: {
+      if (stats.num_models == 0) return 1.0 / 3.0;
+      auto fit = stats.field_counts.find(expr.field);
+      if (fit != stats.field_counts.end() &&
+          expr.value.kind == Literal::Kind::kString &&
+          (expr.op == CompareOp::kEq || expr.op == CompareOp::kNe)) {
+        // Match the histogram the way the evaluator matches cards:
+        // case-insensitively.
+        size_t matching = 0;
+        for (const auto& [value, count] : fit->second) {
+          if (EqualsIgnoreCase(value, expr.value.string_value)) {
+            matching += count;
+          }
+        }
+        double frac = static_cast<double>(matching) /
+                      static_cast<double>(stats.num_models);
+        return expr.op == CompareOp::kEq ? frac : 1.0 - frac;
+      }
+      if (expr.op == CompareOp::kContains) return 0.3;
+      return 1.0 / 3.0;  // range / un-histogrammed field prior
+    }
+    case Expr::Kind::kCall: {
+      const std::string& fn = expr.function;
+      if (fn == "keyword" || fn == "tag") return 0.2;
+      if (fn == "trained_on") return 0.1;
+      if (fn == "derived_from") return 0.05;
+      return 0.5;
+    }
+  }
+  return 1.0;
+}
+
 Result<QueryResult> ExecuteQuery(const SearchContext& lake,
                                  const Query& query) {
   QueryResult result;
 
+  bool sim_rank = query.has_rank &&
+                  (query.rank.function == "behavior_sim" ||
+                   query.rank.function == "weight_sim") &&
+                  query.rank.args.size() == 1 &&
+                  query.rank.args[0].kind == Literal::Kind::kString;
+
   // Fast path: pure similarity ranking with no predicate delegates top-k
   // to the ANN index (sublinear in lake size).
-  if (query.where == nullptr && query.has_rank &&
-      (query.rank.function == "behavior_sim" ||
-       query.rank.function == "weight_sim") &&
-      query.rank.args.size() == 1 &&
-      query.rank.args[0].kind == Literal::Kind::kString) {
+  if (query.where == nullptr && sim_rank) {
     const std::string& query_id = query.rank.args[0].string_value;
     MLAKE_ASSIGN_OR_RETURN(std::vector<float> query_vec,
                            lake.EmbeddingFor(query_id));
@@ -396,8 +490,47 @@ Result<QueryResult> ExecuteQuery(const SearchContext& lake,
     return result;
   }
 
+  // Cost-based choice for predicate + similarity rank: with catalog
+  // statistics available, a low-selectivity predicate (most models
+  // pass) is cheaper as ANN→filter — the over-fetch is a small multiple
+  // of the limit — while a high-selectivity one stays predicate-first
+  // so the ANN never wades through mostly-filtered neighbors.
+  std::string plan_prefix;
+  if (query.where != nullptr && sim_rank) {
+    SearchContext::CatalogStats stats = lake.Stats();
+    if (stats.valid && stats.num_models > 0 && stats.ann_live > 0) {
+      double sel = EstimateSelectivity(*query.where, stats);
+      // Expected over-fetch to surface `limit` survivors: limit/sel.
+      // ANN-first only pays off while that stays a small fraction of
+      // the lake; otherwise the ANN walk visits most of it anyway and
+      // the scan is both exact and no slower.
+      double raw_fetch = sel > 0.0
+                             ? static_cast<double>(query.limit) / sel
+                             : std::numeric_limits<double>::infinity();
+      size_t fetch =
+          std::max(static_cast<size_t>(std::min(
+                       raw_fetch + 1.0,
+                       static_cast<double>(stats.num_models))),
+                   query.limit + 1);
+      if (sel > 0.0 &&
+          raw_fetch * 4.0 <= static_cast<double>(stats.num_models)) {
+        MLAKE_ASSIGN_OR_RETURN(
+            std::optional<QueryResult> ann_result,
+            TryAnnFirst(lake, query, sel, fetch, stats.ann_live));
+        if (ann_result.has_value()) return *std::move(ann_result);
+        plan_prefix = StrFormat(
+            "predicate-first (ann-first abandoned, est. selectivity %.3f): ",
+            sel);
+      } else {
+        plan_prefix =
+            StrFormat("predicate-first (est. selectivity %.3f): ", sel);
+      }
+    }
+  }
+
   std::vector<std::string> candidates = lake.AllModelIds();
-  result.plan = StrFormat("scan %zu cards", candidates.size());
+  result.plan =
+      plan_prefix + StrFormat("scan %zu cards", candidates.size());
 
   if (query.where != nullptr) {
     PredicateEvaluator evaluator(lake);

@@ -41,6 +41,14 @@ Result<QueryResult> ExecuteQuery(const SearchContext& lake,
 Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
                                const metadata::ModelCard& card);
 
+/// Estimated fraction of the lake's models a predicate keeps — the
+/// cost-based planner's selectivity model (exposed for tests).
+/// Equality on a histogrammed card field is grounded in the catalog
+/// statistics; calls and non-equality comparisons use fixed priors;
+/// AND multiplies, OR adds (capped), NOT complements.
+double EstimateSelectivity(const Expr& expr,
+                           const SearchContext::CatalogStats& stats);
+
 }  // namespace mlake::search
 
 #endif  // MLAKE_SEARCH_EXECUTOR_H_

@@ -101,6 +101,24 @@ LakeServer::LakeServer(core::ModelLake* lake, ServerOptions options)
   if (options_.threads <= 0) options_.threads = 8;
   if (options_.max_inflight <= 0) options_.max_inflight = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
+  // CI hook: force batching on with a chosen window so the TSan job
+  // exercises the coalescing path deterministically.
+  if (const char* forced = std::getenv("MLAKE_TEST_BATCH_WINDOW_US")) {
+    char* end = nullptr;
+    long v = std::strtol(forced, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      options_.enable_batching = true;
+      options_.batch_window_us = v;
+    }
+  }
+  if (options_.batch_window_us < 0) options_.batch_window_us = 0;
+  if (options_.max_batch <= 0) options_.max_batch = 1;
+  if (options_.enable_batching) {
+    BatcherOptions bopts;
+    bopts.batch_window_us = options_.batch_window_us;
+    bopts.max_batch = static_cast<size_t>(options_.max_batch);
+    batcher_ = std::make_unique<SearchBatcher>(lake_, bopts);
+  }
 }
 
 LakeServer::~LakeServer() { (void)Stop(); }
@@ -416,7 +434,9 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
     case Route::kModelList: response = HandleModelList(); break;
     case Route::kModelGet: response = HandleModelGet(id); break;
     case Route::kLineage: response = HandleLineage(id); break;
-    case Route::kSearch: response = HandleSearch(request); break;
+    case Route::kSearch:
+      response = HandleSearch(request, endpoint_label);
+      break;
     case Route::kIngest: response = HandleIngest(request); break;
     case Route::kDebugSleep:
       response = HandleDebugSleep(request, deadline, has_deadline, fd);
@@ -460,6 +480,15 @@ Json LakeServer::StatszJson() const {
 
   out.Set("caches", lake_->CacheStatsJson());
   out.Set("index", lake_->IndexStatsJson());
+  out.Set("planner", lake_->PlannerStatsJson());
+
+  if (batcher_ != nullptr) {
+    out.Set("batching", batcher_->StatsJson());
+  } else {
+    Json batching = Json::MakeObject();
+    batching.Set("enabled", false);
+    out.Set("batching", std::move(batching));
+  }
 
   Json server = Json::MakeObject();
   server.Set("uptime_ms", ElapsedMs(start_time_));
@@ -513,7 +542,8 @@ HttpResponse LakeServer::HandleLineage(const std::string& id) const {
   return JsonResponse(lineage.MoveValueUnsafe());
 }
 
-HttpResponse LakeServer::HandleSearch(const HttpRequest& request) const {
+HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
+                                      std::string* endpoint_label) const {
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) {
     return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
@@ -523,6 +553,13 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request) const {
     return ErrorResponse(Status::InvalidArgument("body must be an object"));
   }
   std::string type = body.GetString("type", "mlql");
+  if (endpoint_label != nullptr &&
+      (type == "mlql" || type == "ann" || type == "keyword" ||
+       type == "hybrid")) {
+    // Per-kind latency split in /statsz ("POST /v1/search:ann", ...);
+    // unknown types stay under the bare route to bound cardinality.
+    endpoint_label->append(":").append(type);
+  }
   size_t k = static_cast<size_t>(body.GetInt64("k", 5));
   if (k == 0 || k > 10000) {
     return ErrorResponse(Status::InvalidArgument("k must be in [1, 10000]"));
@@ -546,7 +583,8 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request) const {
       return ErrorResponse(
           Status::InvalidArgument("ann search requires \"id\""));
     }
-    auto result = lake_->RelatedModels(query_id, k);
+    auto result = batcher_ != nullptr ? batcher_->RelatedModels(query_id, k)
+                                      : lake_->RelatedModels(query_id, k);
     if (!result.ok()) return ErrorResponse(result.status());
     out.Set("models", RankedModelsJson(result.ValueUnsafe()));
   } else if (type == "keyword") {
@@ -555,7 +593,8 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request) const {
       return ErrorResponse(
           Status::InvalidArgument("keyword search requires \"query\""));
     }
-    auto result = lake_->KeywordScores(query, k);
+    auto result = batcher_ != nullptr ? batcher_->KeywordScores(query, k)
+                                      : lake_->KeywordScores(query, k);
     if (!result.ok()) return ErrorResponse(result.status());
     out.Set("models", ScoredPairsJson(result.ValueUnsafe()));
   } else if (type == "hybrid") {

@@ -40,6 +40,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/model_lake.h"
+#include "server/batcher.h"
 #include "server/http.h"
 #include "server/metrics.h"
 
@@ -75,6 +76,14 @@ struct ServerOptions {
   /// Enables GET /debug/sleep?ms=N (deterministic slow handler used by
   /// the shutdown/admission/deadline tests and nothing else).
   bool enable_debug_endpoints = false;
+  /// Coalesces compatible concurrent ann/keyword /v1/search probes
+  /// into one batched index probe (see server/batcher.h). Results are
+  /// bit-identical to solo execution; only scheduling changes. The env
+  /// var MLAKE_TEST_BATCH_WINDOW_US (set by the TSan CI job) overrides
+  /// the window and forces batching on.
+  bool enable_batching = true;
+  int64_t batch_window_us = 250;
+  int max_batch = 16;
 };
 
 /// A running lake server. The lake must outlive the server; the server
@@ -125,7 +134,10 @@ class LakeServer {
   HttpResponse HandleModelList() const;
   HttpResponse HandleModelGet(const std::string& id) const;
   HttpResponse HandleLineage(const std::string& id) const;
-  HttpResponse HandleSearch(const HttpRequest& request) const;
+  /// Appends ":<kind>" to *endpoint_label for known search kinds so
+  /// /statsz reports a per-kind latency split under "endpoints".
+  HttpResponse HandleSearch(const HttpRequest& request,
+                            std::string* endpoint_label) const;
   HttpResponse HandleIngest(const HttpRequest& request) const;
   HttpResponse HandleDebugSleep(
       const HttpRequest& request,
@@ -139,6 +151,8 @@ class LakeServer {
   core::ModelLake* lake_;
   ServerOptions options_;
   MetricsRegistry metrics_;
+  /// Search coalescing (null when options_.enable_batching is false).
+  std::unique_ptr<SearchBatcher> batcher_;
 
   int listen_fd_ = -1;
   int port_ = 0;

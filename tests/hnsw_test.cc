@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "common/file_util.h"
+#include "common/fs.h"
 #include "common/random.h"
 #include "index/brute_force_index.h"
 
@@ -221,6 +224,96 @@ TEST(HnswTest, NormalizeAtAddPreservesCosineResults) {
     EXPECT_NEAR(approx[0].distance, truth[0].distance, 1e-4);
   }
   EXPECT_GE(total_recall / static_cast<double>(queries.size()), 0.95);
+}
+
+// SearchBatch must return, for every slot, exactly the bits a solo
+// Search would have produced — the server's batching layer relies on
+// this to keep coalescing invisible to clients. Exercised on both
+// sides of the dense-GEMM segment threshold (128) so the brute-force
+// block path and the graph-walk path are both covered.
+void ExpectBatchMatchesSolo(const HnswIndex& index,
+                            const std::vector<std::vector<float>>& queries,
+                            size_t k) {
+  auto batch = index.SearchBatch(queries, k).ValueOrDie();
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = index.Search(queries[i], k).ValueOrDie();
+    ASSERT_EQ(batch[i].size(), solo.size()) << "slot " << i;
+    for (size_t j = 0; j < solo.size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, solo[j].id) << "slot " << i;
+      // Bit-identical, not approximately equal: memcmp the floats.
+      EXPECT_EQ(std::memcmp(&batch[i][j].distance, &solo[j].distance,
+                            sizeof(float)),
+                0)
+          << "slot " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(HnswBatchTest, BitIdenticalToSoloDensePath) {
+  const int64_t dim = 16;
+  auto vectors = RandomVectors(100, dim, 31);  // <= 128: dense GEMM path
+  HnswIndex index(dim);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), vectors[i]).ok());
+  }
+  auto queries = RandomVectors(9, dim, 32);
+  queries.push_back(queries[2]);  // duplicate probes dedup correctly
+  queries.push_back(queries[2]);
+  ExpectBatchMatchesSolo(index, queries, 7);
+}
+
+TEST(HnswBatchTest, BitIdenticalToSoloGraphPath) {
+  const int64_t dim = 16;
+  auto vectors = RandomVectors(500, dim, 41);  // > 128: graph walk
+  HnswIndex index(dim);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), vectors[i]).ok());
+  }
+  ExpectBatchMatchesSolo(index, RandomVectors(11, dim, 42), 10);
+}
+
+TEST(HnswBatchTest, BitIdenticalAcrossBaseDeltaAndTombstones) {
+  const int64_t dim = 12;
+  auto vectors = RandomVectors(400, dim, 51);
+  std::vector<int64_t> ids(300);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+
+  HnswIndex built(dim);
+  ASSERT_TRUE(
+      built
+          .Build(ids, std::vector<std::vector<float>>(
+                          vectors.begin(), vectors.begin() + 300), {})
+          .ok());
+  auto dir = MakeTempDir("mlake-hnsw-batch");
+  ASSERT_TRUE(dir.ok());
+  std::string path = JoinPath(dir.ValueUnsafe(), "hnsw.snap");
+  ASSERT_TRUE(built.SaveSnapshot(RealFs(), path, 1).ok());
+
+  HnswIndex index(dim);
+  ASSERT_TRUE(index.LoadSnapshot(RealFs(), path).ok());
+  for (size_t i = 300; i < 400; ++i) {  // delta segment on top of base
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), vectors[i]).ok());
+  }
+  for (int64_t id : {7, 130, 299, 310, 399}) {  // tombstones in both
+    ASSERT_TRUE(index.Remove(id).ok());
+  }
+  ExpectBatchMatchesSolo(index, RandomVectors(8, dim, 52), 12);
+  ASSERT_TRUE(RemoveAll(dir.ValueUnsafe()).ok());
+}
+
+TEST(HnswBatchTest, ValidatesInputAndHandlesEmpty) {
+  HnswIndex index(4);
+  EXPECT_TRUE(index.SearchBatch({}, 3).ValueOrDie().empty());
+  ASSERT_TRUE(index.Add(1, {1, 0, 0, 0}).ok());
+  // A bad dim in any slot fails the whole batch (callers validated
+  // per-request earlier; a mismatch here is a programming error).
+  EXPECT_TRUE(index.SearchBatch({{1, 0, 0, 0}, {1, 0}}, 3)
+                  .status()
+                  .IsInvalidArgument());
+  auto one = index.SearchBatch({{1, 0, 0, 0}}, 3).ValueOrDie();
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 1u);
 }
 
 TEST(HnswTest, DeterministicGivenSeed) {

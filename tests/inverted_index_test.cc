@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace mlake::index {
 namespace {
 
@@ -97,6 +99,30 @@ TEST(InvertedIndexTest, TieBrokenByDocId) {
   auto hits = index.Search("identical", 10);
   ASSERT_EQ(hits.size(), 2u);
   EXPECT_EQ(hits[0].doc_id, "a");
+}
+
+TEST(InvertedIndexTest, SearchBatchBitIdenticalToSolo) {
+  InvertedIndex index = MakeCorpus();
+  // Duplicates, non-matching and empty queries in one batch; every
+  // slot must carry exactly the solo result (same docs, same bits —
+  // the server's batching layer depends on it).
+  std::vector<std::string> queries = {
+      "legal",       "legal summarization", "model",
+      "legal",       "nonexistentterm",     "",
+      "clinical notes"};
+  auto batch = index.SearchBatch(queries, 3);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = index.Search(queries[i], 3);
+    ASSERT_EQ(batch[i].size(), solo.size()) << "slot " << i;
+    for (size_t j = 0; j < solo.size(); ++j) {
+      EXPECT_EQ(batch[i][j].doc_id, solo[j].doc_id) << "slot " << i;
+      EXPECT_EQ(std::memcmp(&batch[i][j].score, &solo[j].score,
+                            sizeof(double)),
+                0)
+          << "slot " << i << " rank " << j;
+    }
+  }
 }
 
 TEST(InvertedIndexTest, LongDocumentPenalizedByLengthNorm) {

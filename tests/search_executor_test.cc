@@ -331,5 +331,107 @@ TEST(EvaluatePredicateTest, DirectEvaluation) {
   EXPECT_FALSE(EvaluatePredicate(lake, *expr2, card).ValueOrDie());
 }
 
+// ---- cost-based planner ------------------------------------------------
+
+/// FakeLake that reports catalog statistics, enabling the cost-based
+/// predicate-vs-ANN choice (the base fake reports none, which pins the
+/// classic predicate-first plans the tests above rely on).
+class StatsLake : public FakeLake {
+ public:
+  void SetStats(CatalogStats stats) { stats_ = std::move(stats); }
+  CatalogStats Stats() const override { return stats_; }
+
+ private:
+  CatalogStats stats_;
+};
+
+/// Synthetic big-lake statistics over the 3-model fake: the planner
+/// only reads Stats(), so inflating them steers the plan choice
+/// without building 10k models.
+StatsLake MakeStatsLake(size_t task_summarization_count) {
+  StatsLake lake;
+  static_cast<FakeLake&>(lake) = MakeLake();
+  SearchContext::CatalogStats stats;
+  stats.valid = true;
+  stats.num_models = 10000;
+  stats.ann_live = 10000;
+  stats.bm25_live = 10000;
+  stats.field_counts["task"]["summarization"] = task_summarization_count;
+  stats.field_counts["task"]["entity-tagging"] =
+      10000 - task_summarization_count;
+  lake.SetStats(stats);
+  return lake;
+}
+
+TEST(PlannerTest, AnnFirstOnLowSelectivityPredicate) {
+  // Half the lake passes task = 'summarization': over-fetching ~2x the
+  // limit through the ANN index beats scanning 10k cards.
+  StatsLake lake = MakeStatsLake(5000);
+  auto result = ExecuteQuery(lake,
+                             "FIND MODELS WHERE task = 'summarization' "
+                             "RANK BY behavior_sim('legal-sum')")
+                    .ValueOrDie();
+  EXPECT_GT(lake.ann_calls(), 0);
+  EXPECT_NE(result.plan.find("ann-first"), std::string::npos) << result.plan;
+  // Same answer as the scan plan: itself excluded, legal-ner filtered.
+  ASSERT_EQ(result.models.size(), 1u);
+  EXPECT_EQ(result.models[0].id, "medical-sum");
+}
+
+TEST(PlannerTest, PredicateFirstOnHighSelectivityPredicate) {
+  // Only 20 of 10000 models pass: the ANN over-fetch needed to surface
+  // 10 survivors would wade through most of the index, so the planner
+  // keeps the exact predicate-first scan and never probes the ANN.
+  StatsLake lake = MakeStatsLake(20);
+  auto result = ExecuteQuery(lake,
+                             "FIND MODELS WHERE task = 'summarization' "
+                             "RANK BY behavior_sim('legal-sum')")
+                    .ValueOrDie();
+  EXPECT_EQ(lake.ann_calls(), 0);
+  EXPECT_NE(result.plan.find("predicate-first"), std::string::npos)
+      << result.plan;
+  ASSERT_EQ(result.models.size(), 1u);
+  EXPECT_EQ(result.models[0].id, "medical-sum");
+}
+
+TEST(PlannerTest, NoStatisticsKeepsClassicPlan) {
+  FakeLake lake = MakeLake();
+  auto result = ExecuteQuery(lake,
+                             "FIND MODELS WHERE task = 'summarization' "
+                             "RANK BY behavior_sim('legal-sum')")
+                    .ValueOrDie();
+  // Without statistics the executor must not annotate (or change) the
+  // plan — fakes and stats-less contexts keep pre-planner behavior.
+  EXPECT_EQ(result.plan.find("predicate-first"), std::string::npos);
+  EXPECT_EQ(result.plan.find("ann-first"), std::string::npos);
+  EXPECT_NE(result.plan.find("scan 3 cards"), std::string::npos);
+}
+
+TEST(PlannerTest, EstimateSelectivityGroundsEqualityInHistogram) {
+  SearchContext::CatalogStats stats;
+  stats.valid = true;
+  stats.num_models = 1000;
+  stats.field_counts["task"]["summarization"] = 250;
+  stats.field_counts["task"]["tagging"] = 750;
+
+  auto sel = [&](const char* pred) {
+    return EstimateSelectivity(*ParsePredicate(pred).MoveValueUnsafe(),
+                               stats);
+  };
+  EXPECT_DOUBLE_EQ(sel("task = 'summarization'"), 0.25);
+  EXPECT_DOUBLE_EQ(sel("task != 'summarization'"), 0.75);
+  EXPECT_DOUBLE_EQ(sel("task = 'absent-value'"), 0.0);
+  // Histogram matching is case-insensitive, like the evaluator.
+  EXPECT_DOUBLE_EQ(sel("task = 'SUMMARIZATION'"), 0.25);
+  // AND multiplies, OR adds (capped at 1), NOT complements.
+  EXPECT_DOUBLE_EQ(sel("task = 'summarization' AND task = 'tagging'"),
+                   0.25 * 0.75);
+  EXPECT_DOUBLE_EQ(sel("task = 'summarization' OR task = 'tagging'"), 1.0);
+  EXPECT_DOUBLE_EQ(sel("NOT task = 'summarization'"), 0.75);
+  // Un-histogrammed comparisons and calls use fixed priors.
+  EXPECT_DOUBLE_EQ(sel("num_params > 100"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(sel("trained_on('corpus/legal')"), 0.1);
+}
+
 }  // namespace
 }  // namespace mlake::search

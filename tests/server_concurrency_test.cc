@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -229,6 +230,109 @@ TEST(ServerConcurrencyTest, MixedTrafficMatchesSerialOracle) {
   uint64_t recorded = 0;
   for (const auto& [endpoint, stats] : snapshot) recorded += stats.requests;
   EXPECT_GE(recorded, uint64_t(kClientThreads) * kRequestsPerThread);
+
+  ASSERT_TRUE(server.Stop().ok());
+  lake.reset();
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// Search batching must be invisible to clients: a response produced
+// inside a coalesced batch is byte-identical to the response the same
+// request gets alone (a batch of one). Sequential requests first build
+// the solo oracle, then a concurrent storm over the same request set
+// checks every answer against it. Runs under TSan in CI with
+// MLAKE_TEST_BATCH_WINDOW_US forcing the coalescing path, and uses a
+// wide window here so batches of size > 1 actually form.
+TEST(ServerConcurrencyTest, BatchedSearchMatchesSoloOracle) {
+  auto dir = MakeTempDir("mlake-server-batch").ValueOrDie();
+  core::LakeOptions lake_options;
+  lake_options.root = dir;
+  lake_options.input_dim = kDim;
+  lake_options.num_classes = kClasses;
+  lake_options.probe_count = 12;
+  auto lake = core::ModelLake::Open(lake_options).MoveValueUnsafe();
+
+  constexpr int kModels = 6;
+  for (int i = 0; i < kModels; ++i) {
+    auto model = TrainSmall(200 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(
+        lake->IngestModel(*model, CardFor("bm" + std::to_string(i))).ok());
+  }
+
+  ServerOptions options;
+  options.threads = 10;
+  options.max_inflight = 64;
+  options.enable_batching = true;
+  options.batch_window_us = 10000;
+  options.max_batch = 8;
+  LakeServer server(lake.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::string> bodies;
+  for (int i = 0; i < kModels; ++i) {
+    bodies.push_back(R"({"type": "ann", "id": "bm)" + std::to_string(i) +
+                     R"(", "k": 3})");
+  }
+  bodies.push_back(R"({"type": "keyword", "query": "sum legal", "k": 5})");
+  bodies.push_back(R"({"type": "keyword", "query": "legal", "k": 3})");
+
+  // ---- solo oracle: sequential requests run as batches of one.
+  std::map<std::string, std::string> oracle;
+  {
+    HttpClient client("127.0.0.1", server.port());
+    for (const std::string& body : bodies) {
+      auto response = client.Post("/v1/search", body);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response.ValueUnsafe().status, 200)
+          << response.ValueUnsafe().body;
+      oracle[body] = response.ValueUnsafe().body;
+    }
+  }
+
+  // ---- concurrent storm over the same request set.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", server.port());
+      client.set_timeout_ms(20000);
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string& body =
+            bodies[static_cast<size_t>(t + r) % bodies.size()];
+        auto response = client.Post("/v1/search", body);
+        if (!response.ok() || response.ValueUnsafe().status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response.ValueUnsafe().body != oracle.at(body)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The storm actually coalesced (more requests than probes), and
+  // /statsz surfaces the occupancy histogram.
+  HttpClient verifier("127.0.0.1", server.port());
+  auto statsz = verifier.Get("/statsz");
+  ASSERT_TRUE(statsz.ok());
+  auto parsed = Json::Parse(statsz.ValueUnsafe().body).ValueOrDie();
+  const Json* batching = parsed.Find("batching");
+  ASSERT_NE(batching, nullptr);
+  int64_t batches = batching->GetInt64("batches", 0);
+  int64_t batched_requests = batching->GetInt64("batched_requests", 0);
+  EXPECT_GE(batched_requests,
+            static_cast<int64_t>(bodies.size()) + kThreads * kRounds);
+  EXPECT_GT(batched_requests, batches);
+  ASSERT_NE(batching->Find("occupancy"), nullptr);
+  EXPECT_EQ(batching->Find("occupancy")->GetInt64("count", -1), batches);
 
   ASSERT_TRUE(server.Stop().ok());
   lake.reset();

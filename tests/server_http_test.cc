@@ -2,7 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
+
+#include "common/file_util.h"
+#include "common/json.h"
+#include "core/model_lake.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace mlake::server {
 namespace {
@@ -177,6 +186,102 @@ TEST(UrlDecodeTest, Decodes) {
   EXPECT_EQ(UrlDecode("a%2Fb+c%20d"), "a/b c d");
   EXPECT_EQ(UrlDecode("plain"), "plain");
   EXPECT_EQ(UrlDecode("%zz"), "%zz");  // malformed escape passes through
+}
+
+// ---- MLQL plan cache (parse once, reuse) -------------------------------
+
+std::unique_ptr<core::ModelLake> OpenEmptyLake(const std::string& dir) {
+  core::LakeOptions options;
+  options.root = dir;
+  options.input_dim = 8;
+  options.num_classes = 2;
+  return core::ModelLake::Open(options).MoveValueUnsafe();
+}
+
+// Regression test: the search handler used to re-parse the MLQL text on
+// every request, including the duplicate sends a client's keep-alive-
+// race retry produces. The lake's plan cache must parse a repeated
+// query exactly once, even when every round trip rides a fresh
+// connection after a server-side idle close.
+TEST(PlanCacheTest, ParseOnceAcrossKeepAliveRetries) {
+  std::string dir = MakeTempDir("mlake-plancache").ValueOrDie();
+  auto lake = OpenEmptyLake(dir);
+
+  ServerOptions options;
+  options.threads = 2;
+  // Time idle connections out quickly so every iteration below runs
+  // the client's retry-once keep-alive-race path.
+  options.keep_alive_timeout_ms = 50;
+  LakeServer server(lake.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  const std::string body =
+      R"({"type": "mlql", "query": "FIND MODELS WHERE task = 'sum' LIMIT 3"})";
+  const int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = client.Post("/v1/search", body);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.ValueUnsafe().status, 200)
+        << response.ValueUnsafe().body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+
+  core::ModelLake::PlanCacheCounters counters = lake->PlanCacheStats();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_GE(counters.hits, static_cast<uint64_t>(kRequests - 1));
+  EXPECT_GE(counters.entries, 1u);
+
+  // The planner block of /statsz surfaces the same counters.
+  auto statsz = client.Get("/statsz");
+  ASSERT_TRUE(statsz.ok());
+  auto parsed = Json::Parse(statsz.ValueUnsafe().body).ValueOrDie();
+  const Json* planner = parsed.Find("planner");
+  ASSERT_NE(planner, nullptr);
+  ASSERT_NE(planner->Find("plan_cache"), nullptr);
+  EXPECT_EQ(planner->Find("plan_cache")->GetInt64("misses", -1), 1);
+  EXPECT_FALSE(planner->GetString("last_plan").empty());
+
+  ASSERT_TRUE(server.Stop().ok());
+  lake.reset();
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// Formatting variants of one query normalize to the same cached parse.
+TEST(PlanCacheTest, NormalizedQueryTextSharesEntry) {
+  std::string dir = MakeTempDir("mlake-plannorm").ValueOrDie();
+  auto lake = OpenEmptyLake(dir);
+  ASSERT_TRUE(lake->Query("FIND MODELS LIMIT 3").ok());   // miss, cached
+  ASSERT_TRUE(lake->Query("find models limit 3").ok());   // miss, aliases
+  // The second query's canonical rendering matched the first entry's
+  // alias, so a third spelling that normalizes identically now hits.
+  core::ModelLake::PlanCacheCounters before = lake->PlanCacheStats();
+  ASSERT_TRUE(lake->Query("FIND MODELS LIMIT 3").ok());
+  core::ModelLake::PlanCacheCounters after = lake->PlanCacheStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  lake.reset();
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// A lake mutation moves the mutation epoch; the plan cache must drop
+// its entries (conservative hygiene: parses cannot go stale, but the
+// cache must never outlive an epoch unbounded).
+TEST(PlanCacheTest, InvalidatedOnLakeMutation) {
+  std::string dir = MakeTempDir("mlake-planinval").ValueOrDie();
+  auto lake = OpenEmptyLake(dir);
+  ASSERT_TRUE(lake->Query("FIND MODELS").ok());
+  EXPECT_GE(lake->PlanCacheStats().entries, 1u);
+
+  ASSERT_TRUE(lake->RegisterDataset("corpus/a", {"s1", "s2"}).ok());
+
+  // The stale-epoch sweep runs on the next lookup: one fresh miss.
+  uint64_t misses_before = lake->PlanCacheStats().misses;
+  ASSERT_TRUE(lake->Query("FIND MODELS").ok());
+  core::ModelLake::PlanCacheCounters counters = lake->PlanCacheStats();
+  EXPECT_EQ(counters.misses, misses_before + 1);
+  lake.reset();
+  ASSERT_TRUE(RemoveAll(dir).ok());
 }
 
 }  // namespace

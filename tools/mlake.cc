@@ -34,9 +34,11 @@
 //   compact                      fold the in-memory index deltas into a
 //                                new on-disk snapshot generation
 //   serve [--port P] [--http-threads N] [--max-inflight M]
-//         [--deadline-ms D]      run mlaked, the JSON-over-HTTP lake
+//         [--deadline-ms D] [--batch-window-us W] [--max-batch B]
+//                                run mlaked, the JSON-over-HTTP lake
 //                                server, until SIGINT/SIGTERM (graceful
-//                                drain; prints /statsz on shutdown)
+//                                drain; prints /statsz on shutdown).
+//                                W=0 disables search batching.
 //
 // Exit code 0 on success, 1 on any error.
 
@@ -353,6 +355,14 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
     if (int_arg("--max-inflight", &options.max_inflight)) continue;
     if (int_arg("--deadline-ms", &options.default_deadline_ms)) continue;
     if (int_arg("--drain-deadline-ms", &options.drain_deadline_ms)) continue;
+    int window_us = -1;
+    if (int_arg("--batch-window-us", &window_us)) {
+      // 0 disables coalescing entirely; >0 sets the leader wait.
+      options.enable_batching = window_us > 0;
+      options.batch_window_us = window_us;
+      continue;
+    }
+    if (int_arg("--max-batch", &options.max_batch)) continue;
     return Usage();
   }
 
