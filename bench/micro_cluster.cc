@@ -1,0 +1,426 @@
+// micro_cluster: the sharded lake's tracked scatter-gather baseline.
+//
+// Drives the in-process cluster (real sockets on loopback: N shard
+// lakes, one LakeServer each, one Router) closed-loop from 32
+// concurrent clients and records three experiments:
+//
+//   scaling      saturated keyword-search QPS at 1 / 2 / 4 shards, in
+//                two labeled modes:
+//                  raw       no injected delay. On a single-core host
+//                            every shard shares one CPU, so this mostly
+//                            measures scatter overhead — tracked for
+//                            honesty, not gated.
+//                  sim_node  each backend injects an idle (non-CPU)
+//                            per-request delay proportional to its
+//                            shard's model count, emulating the
+//                            per-node search cost a dedicated node
+//                            would pay. Sharding 4 ways cuts each
+//                            node's corpus — and so its simulated
+//                            latency — 4x; the derived
+//                            sim_qps_scaling_4v1 is the ratio a real
+//                            4-node cluster's QPS would track.
+//   hedging      p99 under one injected slow replica (80 ms, with a
+//                fast twin serving the same shard lake), hedging on vs
+//                off. Hedging should cut p99 from the slow replica's
+//                delay down to roughly the hedge trigger delay.
+//   identity     the router's ranked "models" answers at 4 shards are
+//                compared byte-for-byte against a single merged oracle
+//                lake (meta.merge_identical must be true).
+//
+// Emits BENCH_cluster.json (shared JsonBench schema).
+//
+// Usage: micro_cluster [--quick] [--out PATH]
+//   --quick  CI-sized run (fewer models, shorter measurement windows)
+//   --out    JSON path (default: BENCH_cluster.json in the cwd)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/exp_util.h"
+#include "cluster/cluster.h"
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "nn/trainer.h"
+#include "server/client.h"
+#include "server/metrics.h"
+#include "storage/model_artifact.h"
+
+namespace mlake::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kClasses = 4;
+constexpr int kClients = 32;
+
+struct BenchModel {
+  std::string artifact;
+  metadata::ModelCard card;
+};
+
+std::vector<BenchModel> TrainModels(size_t count) {
+  const char* families[] = {"sum", "mean"};
+  const char* domains[] = {"legal", "news", "social", "finance"};
+  std::vector<BenchModel> models;
+  models.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    nn::TaskSpec spec;
+    spec.family_id = families[i % 2];
+    spec.domain_id = domains[i % 4];
+    spec.dim = kDim;
+    spec.num_classes = kClasses;
+    Rng rng(1000 + i);
+    nn::Dataset data = nn::SyntheticTask::Make(spec).Sample(48, &rng);
+    auto model = Unwrap(nn::BuildModel(nn::MlpSpec(kDim, {16}, kClasses), &rng),
+                        "BuildModel");
+    nn::TrainConfig config;
+    config.epochs = 2;
+    Unwrap(nn::Train(model.get(), data, config), "Train");
+
+    BenchModel bm;
+    bm.artifact = storage::SerializeArtifact(
+        storage::ArtifactFromModel(*model, Json::MakeObject()));
+    bm.card.model_id = StrFormat("%s-%s-%04llu", domains[i % 4],
+                                 families[i % 2],
+                                 static_cast<unsigned long long>(i));
+    bm.card.name = bm.card.model_id;
+    bm.card.task = families[i % 2];
+    bm.card.training_datasets = {std::string(domains[i % 4]) + "/synthetic"};
+    bm.card.creator = "micro-cluster";
+    models.push_back(std::move(bm));
+  }
+  return models;
+}
+
+core::LakeOptions LakeOpts() {
+  core::LakeOptions options;
+  options.input_dim = kDim;
+  options.num_classes = kClasses;
+  options.probe_count = 8;
+  options.background_compaction = false;
+  return options;
+}
+
+/// An in-process cluster sized so that no layer of the thread-per-
+/// connection stack starves under kClients concurrent searches: every
+/// client connection pins a router worker, every scatter leg pins a
+/// fanout thread, and every pooled router connection pins a backend
+/// worker for its keep-alive lifetime.
+std::unique_ptr<cluster::InProcessCluster> MakeCluster(
+    const std::string& dir, const std::vector<BenchModel>& models,
+    size_t shards, size_t replicas, bool hedging) {
+  cluster::InProcessClusterOptions options;
+  options.shards = shards;
+  options.replicas_per_shard = replicas;
+  options.lake_options = LakeOpts();
+  options.server_options.threads = kClients + 8;
+  options.server_options.max_inflight = kClients * 2;
+  options.router_options.threads = kClients + 8;
+  options.router_options.fanout_threads =
+      static_cast<int>(kClients * shards * replicas + 16);
+  options.router_options.max_idle_per_endpoint = kClients;
+  // One synchronous heartbeat at Start seeds the map; no background
+  // ticks after that, so replica order (and with it which replica is
+  // "primary") stays fixed for the whole measurement.
+  options.router_options.heartbeat_interval_ms = 600000;
+  options.router_options.enable_hedging = hedging;
+  options.router_options.hedge_min_delay_ms = 20;
+  auto cluster = Unwrap(cluster::InProcessCluster::Create(dir, options),
+                        "InProcessCluster::Create");
+  for (const BenchModel& bm : models) {
+    Unwrap(cluster->IngestArtifact(bm.artifact, bm.card), "IngestArtifact");
+  }
+  return cluster;
+}
+
+struct LoadResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double seconds = 0.0;
+  server::LatencyHistogram latency;
+
+  double Qps() const { return seconds > 0 ? double(requests) / seconds : 0; }
+};
+
+/// Closed-loop load: `clients` threads POST the rotating bodies back to
+/// back for `window`. Latency is per round trip, recorded client-side.
+LoadResult RunLoad(int port, int clients, Clock::duration window,
+                   const std::vector<std::string>& bodies) {
+  std::vector<LoadResult> per_client(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  std::atomic<bool> go{false};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::HttpClient client("127.0.0.1", port);
+      LoadResult& mine = per_client[static_cast<size_t>(c)];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      size_t body_index = static_cast<size_t>(c);
+      auto start = Clock::now();
+      auto deadline = start + window;
+      while (Clock::now() < deadline) {
+        auto sent = Clock::now();
+        auto response =
+            client.Post("/v1/search", bodies[body_index++ % bodies.size()]);
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - sent)
+                      .count();
+        ++mine.requests;
+        if (!response.ok() || response.ValueUnsafe().status != 200) {
+          ++mine.errors;
+        } else {
+          mine.latency.Record(static_cast<uint64_t>(us < 0 ? 0 : us));
+        }
+      }
+      mine.seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  LoadResult merged;
+  for (const LoadResult& r : per_client) {
+    merged.requests += r.requests;
+    merged.errors += r.errors;
+    merged.seconds = std::max(merged.seconds, r.seconds);
+    merged.latency.Merge(r.latency);
+  }
+  return merged;
+}
+
+Json EntryJson(const std::string& name, const LoadResult& r) {
+  Json entry = Json::MakeObject();
+  entry.Set("name", name);
+  entry.Set("clients", kClients);
+  entry.Set("qps", r.Qps());
+  entry.Set("p50_us", r.latency.PercentileUs(50));
+  entry.Set("p99_us", r.latency.PercentileUs(99));
+  entry.Set("mean_us", r.latency.MeanUs());
+  entry.Set("requests", r.requests);
+  entry.Set("errors", r.errors);
+  entry.Set("seconds", r.seconds);
+  entry.Set("ns_per_op", r.latency.MeanUs() * 1000.0);
+  std::printf("  %-36s %9.0f qps  p50 %7.0f us  p99 %7.0f us  (%llu reqs, "
+              "%llu errors)\n",
+              name.c_str(), r.Qps(), r.latency.PercentileUs(50),
+              r.latency.PercentileUs(99),
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.errors));
+  return entry;
+}
+
+const std::vector<std::string>& KeywordBodies() {
+  static const std::vector<std::string> bodies = {
+      R"({"type": "keyword", "query": "legal synthetic", "k": 10})",
+      R"({"type": "keyword", "query": "news sum", "k": 10})",
+      R"({"type": "keyword", "query": "social mean", "k": 10})",
+      R"({"type": "keyword", "query": "finance synthetic", "k": 10})",
+  };
+  return bodies;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: micro_cluster [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  Banner("micro_cluster", "sharded lake scatter-gather baseline");
+
+  const size_t num_models = quick ? 48 : 120;
+  // sim_node: each backend sleeps kUsPerModel x (models on its shard)
+  // per search request — at 1 shard the single node carries the whole
+  // corpus, at 4 shards each node carries (and waits) a quarter. Sized
+  // so the simulated per-node cost dominates the real scatter overhead
+  // this host pays on one core (raw_s4 p50), otherwise the overhead
+  // dilutes the very scaling the mode exists to isolate.
+  const int64_t us_per_model = quick ? 1250 : 650;
+  const auto window =
+      quick ? std::chrono::milliseconds(900) : std::chrono::milliseconds(2500);
+
+  std::printf("training %zu models...\n", num_models);
+  std::vector<BenchModel> models = TrainModels(num_models);
+
+  // Oracle: one merged lake over the identical population.
+  TempDir oracle_dir("mlake-micro-cluster-oracle");
+  core::LakeOptions oracle_options = LakeOpts();
+  oracle_options.root = oracle_dir.path();
+  auto oracle_lake =
+      Unwrap(core::ModelLake::Open(oracle_options), "oracle lake");
+  for (const BenchModel& bm : models) {
+    auto artifact =
+        Unwrap(storage::ParseArtifact(bm.artifact), "ParseArtifact");
+    auto model =
+        Unwrap(storage::ModelFromArtifact(artifact), "ModelFromArtifact");
+    Unwrap(oracle_lake->IngestModel(*model, bm.card), "oracle ingest");
+  }
+  server::ServerOptions oracle_server_options;
+  oracle_server_options.threads = 8;
+  server::LakeServer oracle_server(oracle_lake.get(), oracle_server_options);
+  Check(oracle_server.Start(), "oracle server Start");
+
+  Json entries = Json::MakeArray();
+  double qps_raw[3] = {};
+  double qps_sim[3] = {};
+  const size_t shard_counts[] = {1, 2, 4};
+  bool merge_identical = true;
+
+  std::printf("\nscaling: saturated keyword search, %d closed-loop "
+              "clients:\n", kClients);
+  for (int level = 0; level < 3; ++level) {
+    size_t shards = shard_counts[level];
+    TempDir dir("mlake-micro-cluster");
+    auto cluster = MakeCluster(dir.path(), models, shards, 1, true);
+
+    // identity: checked at the widest fanout, against the oracle.
+    if (shards == 4) {
+      std::string ann_body =
+          R"({"type": "ann", "id": ")" + models[0].card.model_id +
+          R"(", "k": 5})";
+      std::vector<std::string> probes = KeywordBodies();
+      probes.push_back(ann_body);
+      probes.push_back(
+          R"({"type": "mlql", "query": "FIND MODELS RANK BY keyword('legal synthetic') LIMIT 10"})");
+      server::HttpClient routed("127.0.0.1", cluster->router_port());
+      server::HttpClient oracled("127.0.0.1", oracle_server.port());
+      for (const std::string& body : probes) {
+        auto r = Unwrap(routed.Post("/v1/search", body), "router probe");
+        auto o = Unwrap(oracled.Post("/v1/search", body), "oracle probe");
+        Json rj = Unwrap(Json::Parse(r.body), "router json");
+        Json oj = Unwrap(Json::Parse(o.body), "oracle json");
+        if (r.status != 200 || o.status != 200 ||
+            rj.Find("models") == nullptr || oj.Find("models") == nullptr ||
+            rj.Find("models")->Dump() != oj.Find("models")->Dump()) {
+          merge_identical = false;
+          std::fprintf(stderr, "MERGE MISMATCH for body: %s\n", body.c_str());
+        }
+      }
+      std::printf("  4-shard answers identical to merged oracle: %s\n",
+                  merge_identical ? "yes" : "NO");
+    }
+
+    {
+      LoadResult r =
+          RunLoad(cluster->router_port(), kClients, window, KeywordBodies());
+      qps_raw[level] = r.Qps();
+      entries.Append(
+          EntryJson(StrFormat("search_keyword_raw_s%zu", shards), r));
+    }
+    {
+      for (size_t shard = 0; shard < shards; ++shard) {
+        int64_t delay =
+            us_per_model *
+            static_cast<int64_t>(cluster->lake(shard)->NumModels());
+        cluster->search_delay_us(shard)->store(delay);
+      }
+      LoadResult r =
+          RunLoad(cluster->router_port(), kClients, window, KeywordBodies());
+      qps_sim[level] = r.Qps();
+      entries.Append(
+          EntryJson(StrFormat("search_keyword_sim_node_s%zu", shards), r));
+    }
+    Check(cluster->Stop(), "cluster Stop");
+  }
+
+  // Hedging: two shards, two replicas each over the same shard lakes;
+  // shard 0's primary replica injects 80 ms. Without hedging every
+  // scatter waits for it; with hedging the 20 ms trigger re-issues the
+  // leg to the fast twin.
+  std::printf("\nhedging: one slow replica (80 ms), hedge trigger 20 ms:\n");
+  double p99_hedged = 0.0;
+  double p99_unhedged = 0.0;
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  for (bool hedging : {true, false}) {
+    TempDir dir("mlake-micro-cluster-hedge");
+    auto cluster = MakeCluster(dir.path(), models, 2, 2, hedging);
+    cluster->search_delay_us(0, 0)->store(80000);
+    LoadResult r =
+        RunLoad(cluster->router_port(), 8, window, KeywordBodies());
+    if (hedging) {
+      p99_hedged = r.latency.PercentileUs(99);
+      hedges_fired = cluster->router()->hedges_fired();
+      hedge_wins = cluster->router()->hedge_wins();
+    } else {
+      p99_unhedged = r.latency.PercentileUs(99);
+    }
+    entries.Append(EntryJson(
+        hedging ? "slow_replica_hedged" : "slow_replica_unhedged", r));
+    Check(cluster->Stop(), "cluster Stop (hedge)");
+  }
+  std::printf("  hedges fired %llu, hedge wins %llu\n",
+              static_cast<unsigned long long>(hedges_fired),
+              static_cast<unsigned long long>(hedge_wins));
+
+  Check(oracle_server.Stop(), "oracle server Stop");
+
+  Json report = Json::MakeObject();
+  report.Set("suite", "cluster");
+
+  Json meta = Json::MakeObject();
+  meta.Set("cores", static_cast<int64_t>(std::thread::hardware_concurrency()));
+  meta.Set("clients", static_cast<int64_t>(kClients));
+  meta.Set("models", num_models);
+  meta.Set("window_ms",
+           static_cast<int64_t>(
+               std::chrono::duration_cast<std::chrono::milliseconds>(window)
+                   .count()));
+  meta.Set("quick", quick);
+  meta.Set("sim_node_us_per_model", us_per_model);
+  meta.Set("merge_identical", merge_identical);
+  meta.Set("hedges_fired", hedges_fired);
+  meta.Set("hedge_wins", hedge_wins);
+  meta.Set(
+      "scaling_note",
+      "raw entries share one host CPU across all shards and mostly "
+      "measure scatter overhead. sim_node entries inject an idle "
+      "per-request delay of sim_node_us_per_model x (models on the "
+      "shard) into each backend, emulating the per-node corpus-"
+      "proportional search cost dedicated nodes would pay; "
+      "sim_qps_scaling_4v1 is the QPS ratio a real 4-node cluster "
+      "would track.");
+  report.Set("meta", std::move(meta));
+  report.Set("entries", std::move(entries));
+
+  Json derived = Json::MakeObject();
+  derived.Set("sim_qps_scaling_4v1",
+              qps_sim[0] > 0 ? qps_sim[2] / qps_sim[0] : 0.0);
+  derived.Set("sim_qps_scaling_2v1",
+              qps_sim[0] > 0 ? qps_sim[1] / qps_sim[0] : 0.0);
+  derived.Set("raw_qps_scaling_4v1",
+              qps_raw[0] > 0 ? qps_raw[2] / qps_raw[0] : 0.0);
+  derived.Set("hedge_p99_cut",
+              p99_hedged > 0 ? p99_unhedged / p99_hedged : 0.0);
+  report.Set("derived", std::move(derived));
+
+  Check(mlake::WriteFile(out, report.Dump(2) + "\n"), "WriteFile");
+  std::printf("\nwrote %s\n", out.c_str());
+  std::printf("sim_qps_scaling_4v1: %.2fx (target >= 2.5x)\n",
+              report.Find("derived")->GetDouble("sim_qps_scaling_4v1"));
+  std::printf("hedge_p99_cut: %.2fx (p99 %0.f us -> %0.f us)\n",
+              report.Find("derived")->GetDouble("hedge_p99_cut"),
+              p99_unhedged, p99_hedged);
+  if (!merge_identical) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlake::bench
+
+int main(int argc, char** argv) { return mlake::bench::Main(argc, argv); }

@@ -1,0 +1,85 @@
+#include "cluster/cluster.h"
+
+#include "common/hash.h"
+#include "common/sharding.h"
+#include "storage/model_artifact.h"
+
+namespace mlake::cluster {
+
+Result<std::unique_ptr<InProcessCluster>> InProcessCluster::Create(
+    const std::string& base_dir, InProcessClusterOptions options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  if (options.replicas_per_shard == 0) options.replicas_per_shard = 1;
+
+  auto cluster =
+      std::unique_ptr<InProcessCluster>(new InProcessCluster(options));
+  std::vector<BackendSpec> backends;
+  for (size_t shard = 0; shard < options.shards; ++shard) {
+    core::LakeOptions lake_options = options.lake_options;
+    lake_options.root = base_dir + "/shard_" + std::to_string(shard);
+    MLAKE_ASSIGN_OR_RETURN(auto lake, core::ModelLake::Open(lake_options));
+    cluster->lakes_.push_back(std::move(lake));
+
+    for (size_t replica = 0; replica < options.replicas_per_shard; ++replica) {
+      server::ServerOptions server_options = options.server_options;
+      server_options.port = 0;  // ephemeral
+      server_options.shard_id = static_cast<int>(shard);
+      server_options.cluster_size = static_cast<int>(options.shards);
+      auto delay = std::make_shared<std::atomic<int64_t>>(0);
+      server_options.test_search_delay_us = delay;
+      cluster->delays_.push_back(std::move(delay));
+      auto server = std::make_unique<server::LakeServer>(
+          cluster->lakes_.back().get(), server_options);
+      MLAKE_RETURN_NOT_OK(server->Start());
+      BackendSpec spec;
+      spec.host = "127.0.0.1";
+      spec.port = server->port();
+      spec.shard_id = static_cast<int>(shard);
+      backends.push_back(spec);
+      cluster->servers_.push_back(std::move(server));
+    }
+  }
+
+  RouterOptions router_options = options.router_options;
+  router_options.backends = std::move(backends);
+  router_options.cluster_size = static_cast<int>(options.shards);
+  cluster->router_ = std::make_unique<Router>(router_options);
+  MLAKE_RETURN_NOT_OK(cluster->router_->Start());
+  return cluster;
+}
+
+InProcessCluster::~InProcessCluster() { (void)Stop(); }
+
+Status InProcessCluster::Stop() {
+  if (stopped_) return Status::OK();
+  stopped_ = true;
+  Status first = Status::OK();
+  if (router_ != nullptr) {
+    Status st = router_->Stop();
+    if (first.ok()) first = st;
+  }
+  for (auto& server : servers_) {
+    Status st = server->Stop();
+    if (first.ok()) first = st;
+  }
+  return first;
+}
+
+uint64_t InProcessCluster::OwnerShard(std::string_view artifact_bytes) const {
+  return ShardSlotForDigest(Sha256::HexDigest(artifact_bytes),
+                            static_cast<uint64_t>(options_.shards));
+}
+
+Result<std::string> InProcessCluster::IngestArtifact(
+    const std::string& artifact_bytes, const metadata::ModelCard& card) {
+  MLAKE_ASSIGN_OR_RETURN(storage::ModelArtifact artifact,
+                         storage::ParseArtifact(artifact_bytes));
+  MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                         storage::ModelFromArtifact(artifact));
+  uint64_t owner = OwnerShard(artifact_bytes);
+  return lakes_[owner]->IngestModel(*model, card);
+}
+
+}  // namespace mlake::cluster

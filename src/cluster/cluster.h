@@ -1,0 +1,100 @@
+#ifndef MLAKE_CLUSTER_CLUSTER_H_
+#define MLAKE_CLUSTER_CLUSTER_H_
+
+// In-process cluster harness: N shard lakes, each served by one or
+// more LakeServers (replicas of a shard share ONE ModelLake object, so
+// they are perfect replicas by construction), fronted by a Router —
+// all inside the current process. This is how tier-1 tests and the
+// bench exercise the scatter-gather path hermetically: real sockets on
+// 127.0.0.1, no external processes, no fixture files.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/router.h"
+#include "common/result.h"
+#include "core/model_lake.h"
+#include "metadata/model_card.h"
+#include "server/server.h"
+
+namespace mlake::cluster {
+
+struct InProcessClusterOptions {
+  size_t shards = 2;
+  /// Servers per shard. Replicas share the shard's lake object — the
+  /// hedging tests slow one replica down via its delay seam while its
+  /// twin answers from the same data.
+  size_t replicas_per_shard = 1;
+  /// Template for every shard lake; `root` is replaced with a
+  /// per-shard subdirectory of Create()'s base_dir.
+  core::LakeOptions lake_options;
+  /// Template for every backend server; port (ephemeral) and the
+  /// shard_id / cluster_size / delay-seam fields are overwritten.
+  server::ServerOptions server_options;
+  /// Template for the router; backends and cluster_size are
+  /// overwritten.
+  RouterOptions router_options;
+};
+
+class InProcessCluster {
+ public:
+  /// Builds and starts the whole cluster under `base_dir`
+  /// (base_dir/shard_0, base_dir/shard_1, ...).
+  static Result<std::unique_ptr<InProcessCluster>> Create(
+      const std::string& base_dir, InProcessClusterOptions options);
+
+  ~InProcessCluster();
+
+  InProcessCluster(const InProcessCluster&) = delete;
+  InProcessCluster& operator=(const InProcessCluster&) = delete;
+
+  /// Stops the router first (so no scatter hits a dying backend), then
+  /// every backend. Idempotent.
+  Status Stop();
+
+  size_t shards() const { return options_.shards; }
+  size_t replicas_per_shard() const { return options_.replicas_per_shard; }
+
+  core::ModelLake* lake(size_t shard) { return lakes_[shard].get(); }
+  server::LakeServer* server(size_t shard, size_t replica = 0) {
+    return servers_[shard * options_.replicas_per_shard + replica].get();
+  }
+  Router* router() { return router_.get(); }
+  int router_port() const { return router_->port(); }
+
+  /// The delay seam of one backend: microseconds of idle (non-CPU)
+  /// wait injected into each of its search requests. Retunable while
+  /// the server runs — how the tests make one replica "slow".
+  std::atomic<int64_t>* search_delay_us(size_t shard, size_t replica = 0) {
+    return delays_[shard * options_.replicas_per_shard + replica].get();
+  }
+
+  /// The shard these artifact bytes route to — identical arithmetic to
+  /// the router's ingest routing and the backend's misroute guard.
+  uint64_t OwnerShard(std::string_view artifact_bytes) const;
+
+  /// Ingests a serialized artifact directly into its owning shard's
+  /// lake (no HTTP), mirroring what a routed POST /v1/ingest would do.
+  /// Returns the ingested model id.
+  Result<std::string> IngestArtifact(const std::string& artifact_bytes,
+                                     const metadata::ModelCard& card);
+
+ private:
+  explicit InProcessCluster(InProcessClusterOptions options)
+      : options_(std::move(options)) {}
+
+  InProcessClusterOptions options_;
+  std::vector<std::unique_ptr<core::ModelLake>> lakes_;
+  // servers_[shard * replicas_per_shard + replica]
+  std::vector<std::unique_ptr<server::LakeServer>> servers_;
+  std::vector<std::shared_ptr<std::atomic<int64_t>>> delays_;
+  std::unique_ptr<Router> router_;
+  bool stopped_ = false;
+};
+
+}  // namespace mlake::cluster
+
+#endif  // MLAKE_CLUSTER_CLUSTER_H_

@@ -1,0 +1,1309 @@
+#include "cluster/router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/sharding.h"
+#include "common/string_util.h"
+#include "search/executor.h"
+#include "search/parser.h"
+
+namespace mlake::cluster {
+
+namespace {
+
+using server::ErrorResponse;
+using server::HttpRequest;
+using server::HttpResponse;
+using server::JsonResponse;
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - since)
+                .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+/// Milliseconds left until `deadline` (0 when already past).
+int64_t RemainingMs(Clock::time_point deadline) {
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  Clock::now())
+                .count();
+  return ms < 0 ? 0 : ms;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Reconstructs a Status from a backend error response so the router
+/// can re-emit it through ErrorResponse with the same code family.
+Status StatusFromResponse(const HttpResponse& response) {
+  std::string message =
+      "backend answered HTTP " + std::to_string(response.status);
+  std::string code;
+  if (auto parsed = Json::Parse(response.body);
+      parsed.ok() && parsed.ValueUnsafe().is_object()) {
+    const Json* err = parsed.ValueUnsafe().Find("error");
+    if (err != nullptr && err->is_object()) {
+      code = err->GetString("code");
+      message = err->GetString("message", message);
+    }
+  }
+  if (code == "NotFound") return Status::NotFound(message);
+  if (code == "InvalidArgument") return Status::InvalidArgument(message);
+  if (code == "AlreadyExists") return Status::AlreadyExists(message);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(message);
+  if (code == "OutOfRange") return Status::OutOfRange(message);
+  if (code == "Unimplemented") return Status::Unimplemented(message);
+  if (code == "ResourceExhausted") return Status::ResourceExhausted(message);
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(message);
+  if (code == "Unavailable") return Status::Unavailable(message);
+  return Status::Internal(message);
+}
+
+/// All legs answered 200? Otherwise `*relay` is the first non-200
+/// backend response, re-emitted verbatim — the backend's error body is
+/// exactly what a single-lake server would have said.
+bool AllOk(const std::vector<HttpResponse>& legs, HttpResponse* relay) {
+  for (const HttpResponse& leg : legs) {
+    if (leg.status != 200) {
+      *relay = leg;
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Json> ParseJsonBody(const HttpResponse& response) {
+  auto parsed = Json::Parse(response.body);
+  if (!parsed.ok()) {
+    return Status::Internal("malformed backend response: " +
+                            parsed.status().message());
+  }
+  if (!parsed.ValueUnsafe().is_object()) {
+    return Status::Internal("backend response is not an object");
+  }
+  return parsed;
+}
+
+Json FloatVecToJson(const std::vector<float>& vec) {
+  Json arr = Json::MakeArray();
+  for (float f : vec) arr.Append(Json(static_cast<double>(f)));
+  return arr;
+}
+
+/// One merged search hit. Scores travel the wire as %.17g doubles
+/// (exact double round trip), so sorting parsed legs with the
+/// executor's comparator reproduces the single-lake order bit for bit.
+struct MergedHit {
+  double score = 0.0;
+  std::string id;
+};
+
+bool ScoreDescIdAsc(const MergedHit& a, const MergedHit& b) {
+  return a.score > b.score || (a.score == b.score && a.id < b.id);
+}
+
+/// Collects every leg's "models" entries into one list.
+Result<std::vector<MergedHit>> CollectHits(
+    const std::vector<HttpResponse>& legs) {
+  std::vector<MergedHit> hits;
+  for (const HttpResponse& leg : legs) {
+    MLAKE_ASSIGN_OR_RETURN(Json body, ParseJsonBody(leg));
+    const Json* models = body.Find("models");
+    if (models == nullptr || !models->is_array()) {
+      return Status::Internal("backend search response has no models array");
+    }
+    for (const Json& m : models->AsArray()) {
+      if (!m.is_object()) continue;
+      hits.push_back(MergedHit{m.GetDouble("score"), m.GetString("id")});
+    }
+  }
+  return hits;
+}
+
+/// Merges per-shard top-k lists: same comparator as the executor's
+/// final sort, truncated to k. Shards hold disjoint models, so no
+/// dedup is needed and each document's score is its exact global one.
+Result<Json> MergeModels(const std::vector<HttpResponse>& legs, size_t k) {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<MergedHit> hits, CollectHits(legs));
+  std::sort(hits.begin(), hits.end(), ScoreDescIdAsc);
+  if (hits.size() > k) hits.resize(k);
+  Json arr = Json::MakeArray();
+  for (const MergedHit& h : hits) {
+    Json j = Json::MakeObject();
+    j.Set("id", h.id);
+    j.Set("score", h.score);
+    arr.Append(std::move(j));
+  }
+  return arr;
+}
+
+/// The server caps k at 10000, so that is the deepest global keyword
+/// ranking one scatter can assemble (documented limitation: hybrid RRF
+/// ranks are exact while every shard has <= 10000 scoring documents).
+constexpr int64_t kMaxServerK = 10000;
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      pool_(options_.max_idle_per_endpoint == 0 ? 1
+                                                : options_.max_idle_per_endpoint) {
+  if (options_.threads <= 0) options_.threads = 8;
+  if (options_.fanout_threads <= 0) {
+    options_.fanout_threads =
+        std::max<int>(8, 2 * static_cast<int>(options_.backends.size()));
+  }
+  if (options_.heartbeat_interval_ms <= 0) options_.heartbeat_interval_ms = 500;
+  if (options_.heartbeat_timeout_ms <= 0) options_.heartbeat_timeout_ms = 250;
+  if (options_.heartbeat_misses_down <= 0) options_.heartbeat_misses_down = 1;
+  if (options_.hedge_min_delay_ms < 0) options_.hedge_min_delay_ms = 0;
+  for (size_t i = 0; i < options_.backends.size(); ++i) {
+    backends_.push_back(std::make_unique<BackendState>());
+  }
+}
+
+Router::~Router() { (void)Stop(); }
+
+std::shared_ptr<const ShardMap> Router::CurrentMap() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return map_;
+}
+
+Status Router::Start() {
+  if (started_.load()) return Status::FailedPrecondition("already started");
+  if (options_.backends.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  int max_shard = 0;
+  for (const BackendSpec& b : options_.backends) {
+    if (b.shard_id < 0) {
+      return Status::InvalidArgument("backend " + b.host + ":" +
+                                     std::to_string(b.port) +
+                                     " has no shard assignment");
+    }
+    max_shard = std::max(max_shard, b.shard_id);
+  }
+  cluster_size_ = options_.cluster_size > 0
+                      ? static_cast<size_t>(options_.cluster_size)
+                      : static_cast<size_t>(max_shard) + 1;
+  std::vector<int> per_slot(cluster_size_, 0);
+  for (const BackendSpec& b : options_.backends) {
+    if (static_cast<size_t>(b.shard_id) < cluster_size_) {
+      per_slot[static_cast<size_t>(b.shard_id)]++;
+    }
+  }
+  for (size_t slot = 0; slot < cluster_size_; ++slot) {
+    if (per_slot[slot] == 0) {
+      return Status::InvalidArgument("shard " + std::to_string(slot) +
+                                     " has no backend");
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  draining_.store(false);
+  start_time_ = Clock::now();
+  worker_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  fanout_pool_ = std::make_unique<ThreadPool>(options_.fanout_threads);
+
+  // Synchronous first poll: Start() returns with a live map, so a
+  // request racing the first heartbeat tick never sees unknown health.
+  PollBackendsOnce();
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    PublishMapLocked();
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  started_.store(true);
+  return Status::OK();
+}
+
+Status Router::Stop() {
+  if (!started_.load()) return Status::OK();
+  draining_.store(true);
+
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_cv_.notify_all();
+  }
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+
+  auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_deadline_ms);
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    drain_cv_.wait_until(lock, deadline,
+                         [this] { return active_conns_.load() == 0; });
+  }
+  if (active_conns_.load() != 0) ForceCloseConnections();
+  worker_pool_.reset();
+  fanout_pool_.reset();
+  started_.store(false);
+  return Status::OK();
+}
+
+void Router::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      return;
+    }
+    SetNoDelay(fd);
+    RegisterConnection(fd);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    worker_pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Router::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  open_conns_.insert(fd);
+}
+
+void Router::UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  open_conns_.erase(fd);
+}
+
+void Router::ForceCloseConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Router::HandleConnection(int fd) {
+  std::string buf;
+  int served = 0;
+  auto entered = Clock::now();
+  for (;;) {
+    // ---- read one request (keep-alive loop) ----
+    HttpRequest request;
+    bool have_request = false;
+    bool malformed = false;
+    Status parse_error;
+    for (;;) {
+      if (!buf.empty()) {
+        auto parsed =
+            server::ParseHttpRequest(buf, options_.max_body_bytes, &request);
+        if (!parsed.ok()) {
+          parse_error = parsed.status();
+          malformed = true;
+          break;
+        }
+        size_t consumed = parsed.ValueUnsafe();
+        if (consumed > 0) {
+          buf.erase(0, consumed);
+          have_request = true;
+          break;
+        }
+      }
+      if (draining_.load() && buf.empty()) break;
+      pollfd pfd{fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready == 0) {
+        if (ElapsedMs(entered) >=
+            static_cast<int64_t>(options_.keep_alive_timeout_ms)) {
+          break;
+        }
+        continue;
+      }
+      char chunk[16384];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        break;
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    if (malformed) {
+      HttpResponse response = ErrorResponse(parse_error);
+      WriteAll(fd, server::SerializeHttpResponse(response, false));
+      metrics_.Record("(malformed)", response.status, 0);
+      break;
+    }
+    if (!have_request) break;
+
+    auto arrival = Clock::now();
+    entered = arrival;  // keep-alive idle clock restarts per request
+    ++served;
+    std::string endpoint;
+    HttpResponse response = Dispatch(request, arrival, &endpoint);
+    bool keep_alive = request.KeepAlive() && !draining_.load() &&
+                      (options_.max_requests_per_connection <= 0 ||
+                       served < options_.max_requests_per_connection);
+    bool wrote =
+        WriteAll(fd, server::SerializeHttpResponse(response, keep_alive));
+    metrics_.Record(endpoint, response.status, ElapsedUs(arrival));
+    if (!wrote || !keep_alive) break;
+  }
+
+  UnregisterConnection(fd);
+  ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request,
+                              Clock::time_point arrival,
+                              std::string* endpoint_label) {
+  const std::string& path = request.path;
+
+  // ---- deadline (same header contract as the backends) ----
+  int64_t deadline_ms = options_.default_deadline_ms;
+  std::string_view header = request.Header("x-mlake-deadline-ms");
+  if (!header.empty()) {
+    char* end = nullptr;
+    long v = std::strtol(std::string(header).c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0) {
+      *endpoint_label = "(malformed)";
+      return ErrorResponse(
+          Status::InvalidArgument("malformed X-Mlake-Deadline-Ms header"));
+    }
+    deadline_ms = v;
+  }
+  auto deadline = arrival + std::chrono::milliseconds(deadline_ms);
+
+  HttpResponse response;
+  if (request.method == "GET" && path == "/healthz") {
+    *endpoint_label = "GET /healthz";
+    return HandleHealthz();
+  } else if (request.method == "GET" && path == "/statsz") {
+    *endpoint_label = "GET /statsz";
+    return HandleStatsz();
+  } else if (request.method == "GET" && path == "/v1/models") {
+    *endpoint_label = "GET /v1/models";
+    response = HandleModelList(deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/")) {
+    *endpoint_label = "GET /v1/models/{id}";
+    response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/lineage/")) {
+    *endpoint_label = "GET /v1/lineage/{id}";
+    response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/embedding/")) {
+    *endpoint_label = "GET /v1/embedding/{id}";
+    response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "POST" && path == "/v1/search") {
+    *endpoint_label = "POST /v1/search";
+    response = HandleSearch(request, endpoint_label, deadline);
+  } else if (request.method == "POST" && path == "/v1/ingest") {
+    *endpoint_label = "POST /v1/ingest";
+    response = HandleIngest(request, deadline);
+  } else {
+    *endpoint_label = "(unmatched)";
+    return ErrorResponse(
+        Status::NotFound(request.method + " " + path + " has no handler"));
+  }
+
+  // A late answer is a missed deadline, like on the backends.
+  if (response.status < 400 && Clock::now() >= deadline) {
+    return ErrorResponse(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(deadline_ms) +
+        " ms expired during scatter"));
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats and the versioned shard map
+// ---------------------------------------------------------------------------
+
+void Router::HeartbeatLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.heartbeat_interval_ms),
+                      [this] { return draining_.load(); });
+    }
+    if (draining_.load()) return;
+    TickNow();
+  }
+}
+
+void Router::TickNow() {
+  PollBackendsOnce();
+  std::lock_guard<std::mutex> lock(map_mu_);
+  PublishMapLocked();
+}
+
+void Router::PollBackendsOnce() {
+  for (size_t i = 0; i < options_.backends.size(); ++i) {
+    const BackendSpec& spec = options_.backends[i];
+    BackendState& state = *backends_[i];
+    auto lease = pool_.Acquire(spec.host, spec.port);
+    auto result =
+        lease->Get("/v1/heartbeat", {}, options_.heartbeat_timeout_ms);
+    if (!result.ok() || result.ValueUnsafe().status != 200) {
+      if (!result.ok()) lease.Discard();
+      int misses = state.misses.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (misses >= options_.heartbeat_misses_down) {
+        state.healthy.store(false, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    auto body = Json::Parse(result.ValueUnsafe().body);
+    if (!body.ok() || !body.ValueUnsafe().is_object()) continue;
+    const Json& hb = body.ValueUnsafe();
+    state.misses.store(0, std::memory_order_relaxed);
+    state.healthy.store(true, std::memory_order_relaxed);
+    state.draining.store(hb.GetBool("draining"), std::memory_order_relaxed);
+    state.inflight.store(hb.GetInt64("inflight"), std::memory_order_relaxed);
+    state.models.store(hb.GetInt64("models"), std::memory_order_relaxed);
+    state.index_generation.store(hb.GetInt64("index_generation"),
+                                 std::memory_order_relaxed);
+    state.p95_us.store(static_cast<int64_t>(hb.GetDouble("search_p95_us")),
+                       std::memory_order_relaxed);
+    state.heartbeats_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Router::PublishMapLocked() {
+  std::vector<BackendHealth> health(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const BackendState& s = *backends_[i];
+    health[i].healthy = s.healthy.load(std::memory_order_relaxed);
+    health[i].draining = s.draining.load(std::memory_order_relaxed);
+    health[i].inflight = s.inflight.load(std::memory_order_relaxed);
+    health[i].p95_us = s.p95_us.load(std::memory_order_relaxed);
+  }
+  ShardMap next =
+      BuildShardMap(options_.backends, health, cluster_size_, epoch_ + 1);
+  // Epoch bumps only on a real assignment change: the deterministic
+  // replica ordering makes the comparison structural, so a quiet
+  // cluster keeps one epoch and in-flight drains are the exception,
+  // not the rule.
+  if (map_ != nullptr && next.replicas == map_->replicas) return;
+  epoch_ += 1;
+  next.epoch = epoch_;
+  map_ = std::make_shared<const ShardMap>(std::move(next));
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather with hedged retries
+// ---------------------------------------------------------------------------
+
+void Router::LaunchAttempt(const std::shared_ptr<LegCall>& call, int backend,
+                           int attempt_index, const std::string& method,
+                           const std::string& path, const std::string& body,
+                           int timeout_ms, int64_t deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(call->mu);
+    call->launched++;
+    call->outstanding++;
+  }
+  const BackendSpec& spec = options_.backends[static_cast<size_t>(backend)];
+  std::string host = spec.host;
+  int port = spec.port;
+  fanout_pool_->Submit([this, call, host, port, attempt_index, method, path,
+                        body, timeout_ms, deadline_ms] {
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (deadline_ms > 0) {
+      headers.emplace_back("X-Mlake-Deadline-Ms", std::to_string(deadline_ms));
+    }
+    auto lease = pool_.Acquire(host, port);
+    Result<HttpResponse> result =
+        method == "GET" ? lease->Get(path, headers, timeout_ms)
+                        : lease->Post(path, body, headers, timeout_ms);
+    // 503 (draining / shutting down) is retryable on a replica; any
+    // other HTTP status is the backend's definitive answer.
+    bool retryable =
+        !result.ok() || result.ValueUnsafe().status == 503;
+    if (!result.ok()) lease.Discard();
+    std::lock_guard<std::mutex> lock(call->mu);
+    call->outstanding--;
+    if (!retryable) {
+      if (!call->have_response) {
+        call->have_response = true;
+        call->response = result.MoveValueUnsafe();
+        call->winner = attempt_index;
+      }
+    } else {
+      call->error = result.ok()
+                        ? Status::Unavailable("backend answered 503")
+                        : result.status();
+    }
+    call->cv.notify_all();
+  });
+}
+
+Result<std::vector<server::HttpResponse>> Router::ScatterAll(
+    const std::string& method, const std::string& path,
+    const std::string& body, Clock::time_point deadline) {
+  std::vector<std::string> bodies(cluster_size_, body);
+  return Scatter(method, path, bodies, deadline);
+}
+
+Result<std::vector<server::HttpResponse>> Router::Scatter(
+    const std::string& method, const std::string& path,
+    const std::vector<std::string>& bodies, Clock::time_point deadline) {
+  std::shared_ptr<const ShardMap> map = CurrentMap();
+  if (map == nullptr || map->cluster_size() != cluster_size_) {
+    return Status::Unavailable("no shard map published yet");
+  }
+  if (RemainingMs(deadline) <= 0) {
+    return Status::DeadlineExceeded("deadline expired before scatter");
+  }
+
+  // Per-leg runtime: the LegCall (shared with attempt tasks) plus the
+  // monitor's bookkeeping (which replica fires next, hedge deadline).
+  struct LegRun {
+    std::vector<int> replicas;
+    std::shared_ptr<LegCall> call = std::make_shared<LegCall>();
+    Clock::time_point hedge_at;
+    size_t next_replica = 1;
+    bool hedged = false;
+    int hedge_attempt = -1;
+  };
+  std::vector<LegRun> legs(cluster_size_);
+
+  // Launch every slot's primary up front; the monitor below never holds
+  // a fanout-pool slot itself, so attempts cannot starve behind waits.
+  for (size_t slot = 0; slot < cluster_size_; ++slot) {
+    LegRun& leg = legs[slot];
+    leg.replicas = map->replicas[slot];
+    if (leg.replicas.empty()) {
+      return Status::Unavailable("shard " + std::to_string(slot) +
+                                 " has no backend");
+    }
+    int primary = leg.replicas[0];
+    int64_t remaining = std::max<int64_t>(1, RemainingMs(deadline));
+    // Hedge when the primary exceeds a multiple of its own advertised
+    // p95 (floor for cold backends with no history yet).
+    int64_t p95_ms =
+        backends_[static_cast<size_t>(primary)]->p95_us.load(
+            std::memory_order_relaxed) /
+        1000;
+    int64_t hedge_ms = std::max<int64_t>(
+        options_.hedge_min_delay_ms,
+        static_cast<int64_t>(static_cast<double>(p95_ms) *
+                             options_.hedge_p95_multiplier));
+    bool can_hedge = options_.enable_hedging && leg.replicas.size() > 1;
+    leg.hedge_at = can_hedge
+                       ? std::min(deadline, Clock::now() + std::chrono::milliseconds(
+                                                hedge_ms))
+                       : deadline;
+    // Transport timeout: the remaining budget plus slack, so a backend
+    // that enforces the forwarded deadline answers 504 in-band instead
+    // of dying as an opaque socket timeout.
+    LaunchAttempt(leg.call, primary, 0, method, path, bodies[slot],
+                  static_cast<int>(remaining + 50), remaining);
+  }
+
+  // Pass 1 — hedging: visit legs in hedge-deadline order. A leg whose
+  // primary failed outright fails over immediately; one that is merely
+  // slow gets a second attempt on the next replica.
+  std::vector<size_t> order(cluster_size_);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return legs[a].hedge_at < legs[b].hedge_at;
+  });
+  for (size_t slot : order) {
+    LegRun& leg = legs[slot];
+    std::unique_lock<std::mutex> lock(leg.call->mu);
+    while (!leg.call->have_response && Clock::now() < leg.hedge_at) {
+      if (leg.call->outstanding == 0) {
+        // Every launched attempt failed: fail over, don't wait.
+        if (leg.next_replica >= leg.replicas.size() ||
+            RemainingMs(deadline) <= 0) {
+          break;
+        }
+        int backend = leg.replicas[leg.next_replica++];
+        int attempt = leg.call->launched;
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        int64_t remaining = std::max<int64_t>(1, RemainingMs(deadline));
+        lock.unlock();
+        LaunchAttempt(leg.call, backend, attempt, method, path, bodies[slot],
+                      static_cast<int>(remaining + 50), remaining);
+        lock.lock();
+        continue;
+      }
+      leg.call->cv.wait_until(lock, leg.hedge_at);
+    }
+    if (!leg.call->have_response && leg.call->outstanding > 0 &&
+        options_.enable_hedging && !leg.hedged &&
+        leg.next_replica < leg.replicas.size() && RemainingMs(deadline) > 0) {
+      int backend = leg.replicas[leg.next_replica++];
+      leg.hedged = true;
+      leg.hedge_attempt = leg.call->launched;
+      hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+      int64_t remaining = std::max<int64_t>(1, RemainingMs(deadline));
+      lock.unlock();
+      LaunchAttempt(leg.call, backend, leg.hedge_attempt, method, path,
+                    bodies[slot], static_cast<int>(remaining + 50), remaining);
+    }
+  }
+
+  // Pass 2 — completion: wait each leg out (keeping failover alive),
+  // up to the request deadline. Abandoned attempts finish in the
+  // background against their shared LegCall.
+  std::vector<HttpResponse> out(cluster_size_);
+  for (size_t slot = 0; slot < cluster_size_; ++slot) {
+    LegRun& leg = legs[slot];
+    std::unique_lock<std::mutex> lock(leg.call->mu);
+    for (;;) {
+      if (leg.call->have_response) break;
+      if (leg.call->outstanding == 0) {
+        if (leg.next_replica < leg.replicas.size() &&
+            RemainingMs(deadline) > 0) {
+          int backend = leg.replicas[leg.next_replica++];
+          int attempt = leg.call->launched;
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          int64_t remaining = std::max<int64_t>(1, RemainingMs(deadline));
+          lock.unlock();
+          LaunchAttempt(leg.call, backend, attempt, method, path, bodies[slot],
+                        static_cast<int>(remaining + 50), remaining);
+          lock.lock();
+          continue;
+        }
+        // Exhausted every replica: the whole scatter fails — a top-k
+        // missing one shard's documents would be silently wrong.
+        return leg.call->error;
+      }
+      if (Clock::now() >= deadline) {
+        return Status::DeadlineExceeded("shard " + std::to_string(slot) +
+                                        " did not answer before the deadline");
+      }
+      leg.call->cv.wait_until(lock, deadline);
+    }
+    if (leg.hedged && leg.call->winner == leg.hedge_attempt) {
+      hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out[slot] = leg.call->response;
+  }
+  return out;
+}
+
+Result<server::HttpResponse> Router::BroadcastFirst(const std::string& path,
+                                                    Clock::time_point deadline) {
+  MLAKE_ASSIGN_OR_RETURN(std::vector<HttpResponse> legs,
+                         ScatterAll("GET", path, "", deadline));
+  for (HttpResponse& leg : legs) {
+    if (leg.status / 100 == 2) return std::move(leg);
+  }
+  // Nobody owns it. Prefer a "real" error over the owner-miss 404s.
+  for (HttpResponse& leg : legs) {
+    if (leg.status != 404) return std::move(leg);
+  }
+  return std::move(legs[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+HttpResponse Router::HandleHealthz() const {
+  Json body = Json::MakeObject();
+  bool draining = draining_.load();
+  body.Set("status", draining ? "draining" : "ok");
+  std::shared_ptr<const ShardMap> map = CurrentMap();
+  body.Set("epoch", static_cast<int64_t>(map != nullptr ? map->epoch : 0));
+  body.Set("cluster_size", static_cast<int64_t>(cluster_size_));
+  return JsonResponse(std::move(body), draining ? 503 : 200);
+}
+
+HttpResponse Router::HandleStatsz() const { return JsonResponse(StatszJson()); }
+
+Json Router::StatszJson() const {
+  Json out = Json::MakeObject();
+  out.Set("cluster_size", static_cast<int64_t>(cluster_size_));
+  std::shared_ptr<const ShardMap> map = CurrentMap();
+  out.Set("epoch", static_cast<int64_t>(map != nullptr ? map->epoch : 0));
+  if (map != nullptr) out.Set("shard_map", map->ToJson());
+
+  Json backends = Json::MakeArray();
+  for (size_t i = 0; i < options_.backends.size(); ++i) {
+    const BackendSpec& spec = options_.backends[i];
+    const BackendState& s = *backends_[i];
+    Json b = Json::MakeObject();
+    b.Set("host", spec.host);
+    b.Set("port", spec.port);
+    b.Set("shard_id", spec.shard_id);
+    b.Set("healthy", s.healthy.load(std::memory_order_relaxed));
+    b.Set("draining", s.draining.load(std::memory_order_relaxed));
+    b.Set("inflight", s.inflight.load(std::memory_order_relaxed));
+    b.Set("search_p95_us", s.p95_us.load(std::memory_order_relaxed));
+    b.Set("models", s.models.load(std::memory_order_relaxed));
+    b.Set("index_generation",
+          s.index_generation.load(std::memory_order_relaxed));
+    b.Set("heartbeats_ok", s.heartbeats_ok.load(std::memory_order_relaxed));
+    b.Set("consecutive_misses", s.misses.load(std::memory_order_relaxed));
+    backends.Append(std::move(b));
+  }
+  out.Set("backends", std::move(backends));
+
+  Json hedging = Json::MakeObject();
+  hedging.Set("enabled", options_.enable_hedging);
+  hedging.Set("fired", hedges_fired_.load(std::memory_order_relaxed));
+  hedging.Set("wins", hedge_wins_.load(std::memory_order_relaxed));
+  hedging.Set("failovers", failovers_.load(std::memory_order_relaxed));
+  out.Set("hedging", std::move(hedging));
+
+  Json server_json = Json::MakeObject();
+  server_json.Set("uptime_ms", ElapsedMs(start_time_));
+  server_json.Set("threads", options_.threads);
+  server_json.Set("fanout_threads", options_.fanout_threads);
+  server_json.Set("draining", draining_.load());
+  out.Set("server", std::move(server_json));
+
+  out.Set("endpoints", metrics_.ToJson());
+  return out;
+}
+
+HttpResponse Router::HandleModelList(Clock::time_point deadline) {
+  auto legs = ScatterAll("GET", "/v1/models", "", deadline);
+  if (!legs.ok()) return ErrorResponse(legs.status());
+  HttpResponse relay;
+  if (!AllOk(legs.ValueUnsafe(), &relay)) return relay;
+
+  // Concatenate and re-sort by id — each shard lists its own models in
+  // id order, so the merged view matches a single lake's listing.
+  std::vector<Json> entries;
+  for (const HttpResponse& leg : legs.ValueUnsafe()) {
+    auto body = ParseJsonBody(leg);
+    if (!body.ok()) return ErrorResponse(body.status());
+    const Json* models = body.ValueUnsafe().Find("models");
+    if (models == nullptr || !models->is_array()) continue;
+    for (const Json& entry : models->AsArray()) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(), [](const Json& a, const Json& b) {
+    return a.GetString("id") < b.GetString("id");
+  });
+  Json arr = Json::MakeArray();
+  for (Json& entry : entries) arr.Append(std::move(entry));
+  Json body = Json::MakeObject();
+  body.Set("count", entries.size());
+  body.Set("models", std::move(arr));
+  return JsonResponse(std::move(body));
+}
+
+HttpResponse Router::HandleBroadcastGet(const std::string& path,
+                                        Clock::time_point deadline) {
+  auto result = BroadcastFirst(path, deadline);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return result.MoveValueUnsafe();
+}
+
+HttpResponse Router::HandleSearch(const HttpRequest& request,
+                                  std::string* endpoint_label,
+                                  Clock::time_point deadline) {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(Status::InvalidArgument("malformed JSON body: " +
+                                                 parsed.status().message()));
+  }
+  const Json& body = parsed.ValueUnsafe();
+  if (!body.is_object()) {
+    return ErrorResponse(Status::InvalidArgument("body must be an object"));
+  }
+  std::string type = body.GetString("type", "mlql");
+  if (endpoint_label != nullptr &&
+      (type == "mlql" || type == "ann" || type == "keyword" ||
+       type == "hybrid" || type == "ann_vec")) {
+    endpoint_label->append(":").append(type);
+  }
+  int64_t k_raw = body.GetInt64("k", 5);
+  if (k_raw <= 0 || k_raw > kMaxServerK) {
+    return ErrorResponse(Status::InvalidArgument("k must be in [1, 10000]"));
+  }
+  size_t k = static_cast<size_t>(k_raw);
+
+  if (type == "mlql") {
+    std::string query = body.GetString("query");
+    if (query.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("mlql search requires \"query\""));
+    }
+    return SearchMlql(query, deadline);
+  } else if (type == "ann" || type == "ann_vec") {
+    return SearchAnn(body, k, deadline);
+  } else if (type == "keyword") {
+    std::string query = body.GetString("query");
+    if (query.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("keyword search requires \"query\""));
+    }
+    return SearchKeyword(body, k, deadline);
+  } else if (type == "hybrid") {
+    std::string text = body.GetString("query");
+    std::string query_id = body.GetString("id");
+    if (text.empty() || query_id.empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "hybrid search requires \"query\" and \"id\""));
+    }
+    // Lower to the exact MLQL HybridSearch lowers to (quote doubling
+    // included) so the shard-side parts carry identical rank args.
+    auto escape = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      return out;
+    };
+    std::string parts_query =
+        StrFormat("FIND MODELS RANK BY hybrid('%s', '%s') LIMIT %zu",
+                  escape(text).c_str(), escape(query_id).c_str(), k);
+    return SearchHybrid(text, query_id, k, "hybrid", parts_query, deadline);
+  }
+  return ErrorResponse(Status::InvalidArgument(
+      "unknown search type \"" + type +
+      "\" (the router serves mlql | ann | keyword | hybrid)"));
+}
+
+HttpResponse Router::SearchMlql(const std::string& query,
+                                Clock::time_point deadline) {
+  auto parsed = search::ParseQuery(query);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const search::Query& q = parsed.ValueUnsafe();
+
+  // Hybrid-ranked queries take the parts path: RRF needs the *global*
+  // keyword and similarity rankings, which no single shard can see.
+  if (q.has_rank && q.rank.function == "hybrid" && q.rank.args.size() == 2 &&
+      q.rank.args[0].kind == search::Literal::Kind::kString &&
+      q.rank.args[1].kind == search::Literal::Kind::kString) {
+    return SearchHybrid(q.rank.args[0].string_value,
+                        q.rank.args[1].string_value, q.limit, "mlql", query,
+                        deadline);
+  }
+
+  Json leg_body = Json::MakeObject();
+  leg_body.Set("type", "mlql");
+  leg_body.Set("query", query);
+
+  // Overlay: whatever cross-shard context a leg needs so its local
+  // scores are bit-identical to a merged lake's.
+  Json overlay = Json::MakeObject();
+  bool has_overlay = false;
+  if (q.has_rank &&
+      (q.rank.function == "behavior_sim" || q.rank.function == "weight_sim") &&
+      q.rank.args.size() == 1 &&
+      q.rank.args[0].kind == search::Literal::Kind::kString) {
+    // The rank-target model lives on one shard; every other shard gets
+    // its embedding as a hint (consulted only after a local miss).
+    const std::string& rank_id = q.rank.args[0].string_value;
+    auto vec = ResolveEmbedding(rank_id, deadline);
+    if (!vec.ok()) return ErrorResponse(vec.status());
+    Json embeddings = Json::MakeObject();
+    embeddings.Set(rank_id, FloatVecToJson(vec.ValueUnsafe()));
+    overlay.Set("embeddings", std::move(embeddings));
+    has_overlay = true;
+  }
+  if (q.has_rank && q.rank.function == "keyword" && q.rank.args.size() == 1 &&
+      q.rank.args[0].kind == search::Literal::Kind::kString) {
+    const std::string& text = q.rank.args[0].string_value;
+    auto stats = GlobalKeywordStats(text, deadline);
+    if (!stats.ok()) return ErrorResponse(stats.status());
+    Json bm25 = Json::MakeObject();
+    bm25.Set("text", text);
+    bm25.Set("stats", stats.MoveValueUnsafe());
+    overlay.Set("bm25", std::move(bm25));
+    has_overlay = true;
+  }
+  if (has_overlay) leg_body.Set("overlay", std::move(overlay));
+
+  auto legs = ScatterAll("POST", "/v1/search", leg_body.Dump(), deadline);
+  if (!legs.ok()) return ErrorResponse(legs.status());
+  HttpResponse relay;
+  if (!AllOk(legs.ValueUnsafe(), &relay)) return relay;
+  auto merged = MergeModels(legs.ValueUnsafe(), q.limit);
+  if (!merged.ok()) return ErrorResponse(merged.status());
+
+  Json out = Json::MakeObject();
+  out.Set("type", "mlql");
+  out.Set("plan",
+          StrFormat("cluster scatter over %zu shards%s; merge top-%zu",
+                    cluster_size_, has_overlay ? " (with overlay)" : "",
+                    q.limit));
+  out.Set("models", merged.MoveValueUnsafe());
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse Router::SearchKeyword(const Json& body, size_t k,
+                                   Clock::time_point deadline) {
+  std::string query = body.GetString("query");
+  auto stats = GlobalKeywordStats(query, deadline);
+  if (!stats.ok()) return ErrorResponse(stats.status());
+
+  Json leg_body = Json::MakeObject();
+  leg_body.Set("type", "keyword");
+  leg_body.Set("query", query);
+  leg_body.Set("k", static_cast<int64_t>(k));
+  leg_body.Set("stats", stats.MoveValueUnsafe());
+  auto legs = ScatterAll("POST", "/v1/search", leg_body.Dump(), deadline);
+  if (!legs.ok()) return ErrorResponse(legs.status());
+  HttpResponse relay;
+  if (!AllOk(legs.ValueUnsafe(), &relay)) return relay;
+  auto merged = MergeModels(legs.ValueUnsafe(), k);
+  if (!merged.ok()) return ErrorResponse(merged.status());
+
+  Json out = Json::MakeObject();
+  out.Set("type", "keyword");
+  out.Set("models", merged.MoveValueUnsafe());
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse Router::SearchAnn(const Json& body, size_t k,
+                               Clock::time_point deadline) {
+  std::string exclude_id;
+  Json vec_json;
+  if (const Json* vec = body.Find("vec"); vec != nullptr) {
+    // ann_vec passthrough: the caller already has the query vector.
+    vec_json = *vec;
+    exclude_id = body.GetString("exclude_id");
+  } else {
+    std::string query_id = body.GetString("id");
+    if (query_id.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("ann search requires \"id\""));
+    }
+    auto resolved = ResolveEmbedding(query_id, deadline);
+    if (!resolved.ok()) return ErrorResponse(resolved.status());
+    vec_json = FloatVecToJson(resolved.ValueUnsafe());
+    exclude_id = query_id;
+  }
+
+  Json leg_body = Json::MakeObject();
+  leg_body.Set("type", "ann_vec");
+  leg_body.Set("vec", std::move(vec_json));
+  leg_body.Set("k", static_cast<int64_t>(k));
+  if (!exclude_id.empty()) leg_body.Set("exclude_id", exclude_id);
+  auto legs = ScatterAll("POST", "/v1/search", leg_body.Dump(), deadline);
+  if (!legs.ok()) return ErrorResponse(legs.status());
+  HttpResponse relay;
+  if (!AllOk(legs.ValueUnsafe(), &relay)) return relay;
+  auto merged = MergeModels(legs.ValueUnsafe(), k);
+  if (!merged.ok()) return ErrorResponse(merged.status());
+
+  Json out = Json::MakeObject();
+  out.Set("type", "ann");
+  out.Set("models", merged.MoveValueUnsafe());
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse Router::SearchHybrid(const std::string& text,
+                                  const std::string& query_id, size_t k,
+                                  const char* type_label,
+                                  const std::string& parts_query,
+                                  Clock::time_point deadline) {
+  // RRF needs three global views: the query model's embedding, the
+  // globally-ranked BM25 list, and every shard's WHERE-surviving
+  // candidates with their dot products. Assemble all three, then fuse
+  // exactly as RankCandidates' hybrid branch does.
+  auto query_vec = ResolveEmbedding(query_id, deadline);
+  if (!query_vec.ok()) return ErrorResponse(query_vec.status());
+  auto stats = GlobalKeywordStats(text, deadline);
+  if (!stats.ok()) return ErrorResponse(stats.status());
+
+  // Global keyword ranking (deepest list one scatter can carry — see
+  // kMaxServerK; the executor uses its unbounded internal list, so
+  // rank parity holds while every shard has <= 10000 scoring docs).
+  Json kw_body = Json::MakeObject();
+  kw_body.Set("type", "keyword");
+  kw_body.Set("query", text);
+  kw_body.Set("k", kMaxServerK);
+  kw_body.Set("stats", stats.MoveValueUnsafe());
+  auto kw_legs = ScatterAll("POST", "/v1/search", kw_body.Dump(), deadline);
+  if (!kw_legs.ok()) return ErrorResponse(kw_legs.status());
+  HttpResponse relay;
+  if (!AllOk(kw_legs.ValueUnsafe(), &relay)) return relay;
+  auto kw_hits = CollectHits(kw_legs.ValueUnsafe());
+  if (!kw_hits.ok()) return ErrorResponse(kw_hits.status());
+  std::sort(kw_hits.ValueUnsafe().begin(), kw_hits.ValueUnsafe().end(),
+            ScoreDescIdAsc);
+  std::unordered_map<std::string, size_t> keyword_rank;
+  for (size_t i = 0; i < kw_hits.ValueUnsafe().size(); ++i) {
+    keyword_rank[kw_hits.ValueUnsafe()[i].id] = i;
+  }
+
+  // Per-shard candidates + dot products.
+  Json parts_body = Json::MakeObject();
+  parts_body.Set("type", "hybrid_parts");
+  parts_body.Set("query", parts_query);
+  parts_body.Set("vec", FloatVecToJson(query_vec.ValueUnsafe()));
+  parts_body.Set("k", 1);  // unused by the handler; satisfies validation
+  auto parts_legs =
+      ScatterAll("POST", "/v1/search", parts_body.Dump(), deadline);
+  if (!parts_legs.ok()) return ErrorResponse(parts_legs.status());
+  if (!AllOk(parts_legs.ValueUnsafe(), &relay)) return relay;
+
+  std::vector<search::HybridCandidate> candidates;
+  for (const HttpResponse& leg : parts_legs.ValueUnsafe()) {
+    auto leg_json = ParseJsonBody(leg);
+    if (!leg_json.ok()) return ErrorResponse(leg_json.status());
+    const Json* arr = leg_json.ValueUnsafe().Find("candidates");
+    if (arr == nullptr || !arr->is_array()) {
+      return ErrorResponse(
+          Status::Internal("hybrid_parts response has no candidates"));
+    }
+    for (const Json& c : arr->AsArray()) {
+      if (!c.is_object()) continue;
+      search::HybridCandidate cand;
+      cand.id = c.GetString("id");
+      if (const Json* dot = c.Find("dot"); dot != nullptr && dot->is_number()) {
+        cand.has_dot = true;
+        cand.dot = dot->AsDouble();
+      }
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  // Similarity ranking over candidates with embeddings — the same
+  // (-dot, id) ascending sort as the executor.
+  std::vector<std::pair<double, std::string>> by_similarity;
+  for (const search::HybridCandidate& c : candidates) {
+    if (c.has_dot) by_similarity.emplace_back(-c.dot, c.id);
+  }
+  std::sort(by_similarity.begin(), by_similarity.end());
+  std::unordered_map<std::string, size_t> embedding_rank;
+  for (size_t i = 0; i < by_similarity.size(); ++i) {
+    embedding_rank[by_similarity[i].second] = i;
+  }
+
+  // Fuse: keyword contribution first, then similarity — the addition
+  // order matters for bit-identical doubles.
+  std::vector<MergedHit> fused;
+  fused.reserve(candidates.size());
+  for (const search::HybridCandidate& c : candidates) {
+    double score = 0.0;
+    if (auto it = keyword_rank.find(c.id); it != keyword_rank.end()) {
+      score += 1.0 / (search::kRrfOffset + static_cast<double>(it->second));
+    }
+    if (auto it = embedding_rank.find(c.id); it != embedding_rank.end()) {
+      score += 1.0 / (search::kRrfOffset + static_cast<double>(it->second));
+    }
+    fused.push_back(MergedHit{score, c.id});
+  }
+  std::sort(fused.begin(), fused.end(), ScoreDescIdAsc);
+  if (fused.size() > k) fused.resize(k);
+
+  Json models = Json::MakeArray();
+  for (const MergedHit& h : fused) {
+    Json j = Json::MakeObject();
+    j.Set("id", h.id);
+    j.Set("score", h.score);
+    models.Append(std::move(j));
+  }
+  Json out = Json::MakeObject();
+  out.Set("type", type_label);
+  if (std::string_view(type_label) == "mlql") {
+    out.Set("plan", StrFormat("cluster scatter over %zu shards (hybrid RRF); "
+                              "merge top-%zu",
+                              cluster_size_, k));
+  }
+  out.Set("models", std::move(models));
+  return JsonResponse(std::move(out));
+}
+
+Result<std::vector<float>> Router::ResolveEmbedding(
+    const std::string& id, Clock::time_point deadline) {
+  MLAKE_ASSIGN_OR_RETURN(HttpResponse response,
+                         BroadcastFirst("/v1/embedding/" + id, deadline));
+  if (response.status != 200) return StatusFromResponse(response);
+  MLAKE_ASSIGN_OR_RETURN(Json body, ParseJsonBody(response));
+  const Json* emb = body.Find("embedding");
+  if (emb == nullptr || !emb->is_array()) {
+    return Status::Internal("embedding response has no vector");
+  }
+  std::vector<float> vec;
+  vec.reserve(emb->size());
+  for (const Json& v : emb->AsArray()) {
+    if (!v.is_number()) {
+      return Status::Internal("embedding response holds a non-number");
+    }
+    vec.push_back(static_cast<float>(v.AsDouble()));
+  }
+  return vec;
+}
+
+Result<Json> Router::GlobalKeywordStats(const std::string& query,
+                                        Clock::time_point deadline) {
+  Json leg_body = Json::MakeObject();
+  leg_body.Set("type", "keyword_stats");
+  leg_body.Set("query", query);
+  leg_body.Set("k", 1);  // unused by the handler; satisfies validation
+  MLAKE_ASSIGN_OR_RETURN(
+      std::vector<HttpResponse> legs,
+      ScatterAll("POST", "/v1/search", leg_body.Dump(), deadline));
+  HttpResponse relay;
+  if (!AllOk(legs, &relay)) return StatusFromResponse(relay);
+
+  // Integer sums — exact regardless of shard count or order.
+  int64_t live_docs = 0;
+  int64_t total_tokens = 0;
+  std::map<std::string, int64_t> df;
+  for (const HttpResponse& leg : legs) {
+    MLAKE_ASSIGN_OR_RETURN(Json body, ParseJsonBody(leg));
+    const Json* stats = body.Find("stats");
+    if (stats == nullptr || !stats->is_object()) {
+      return Status::Internal("keyword_stats response has no stats");
+    }
+    live_docs += stats->GetInt64("live_docs");
+    total_tokens += stats->GetInt64("total_tokens");
+    const Json* df_json = stats->Find("df");
+    if (df_json != nullptr && df_json->is_object()) {
+      for (const auto& [term, count] : df_json->AsObject()) {
+        if (!count.is_number()) continue;
+        df[term] += count.AsInt64();
+      }
+    }
+  }
+  Json out = Json::MakeObject();
+  out.Set("live_docs", live_docs);
+  out.Set("total_tokens", total_tokens);
+  Json df_out = Json::MakeObject();
+  for (const auto& [term, count] : df) df_out.Set(term, count);
+  out.Set("df", std::move(df_out));
+  return out;
+}
+
+HttpResponse Router::HandleIngest(const HttpRequest& request,
+                                  Clock::time_point deadline) {
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(Status::InvalidArgument("malformed JSON body: " +
+                                                 parsed.status().message()));
+  }
+  if (!parsed.ValueUnsafe().is_object()) {
+    return ErrorResponse(Status::InvalidArgument("body must be an object"));
+  }
+  std::string artifact_b64 = parsed.ValueUnsafe().GetString("artifact_b64");
+  if (artifact_b64.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("ingest requires \"artifact_b64\""));
+  }
+  auto bytes = server::Base64Decode(artifact_b64);
+  if (!bytes.ok()) {
+    return ErrorResponse(Status::InvalidArgument("malformed artifact_b64: " +
+                                                 bytes.status().message()));
+  }
+  // Placement is by content digest — any router instance computes the
+  // same owner with no directory service.
+  std::string digest = Sha256::HexDigest(bytes.ValueUnsafe());
+  uint64_t owner =
+      ShardSlotForDigest(digest, static_cast<uint64_t>(cluster_size_));
+
+  std::shared_ptr<const ShardMap> map = CurrentMap();
+  if (map == nullptr || owner >= map->cluster_size()) {
+    return ErrorResponse(Status::Unavailable("no shard map published yet"));
+  }
+  const std::vector<int>& replicas = map->replicas[owner];
+  if (replicas.empty()) {
+    return ErrorResponse(Status::Unavailable(
+        "shard " + std::to_string(owner) + " has no backend"));
+  }
+
+  // Sequential failover down the replica list. Retrying after a
+  // mid-request transport death can re-send a committed ingest; that
+  // is safe here because ingest is content-addressed — the duplicate
+  // lands as AlreadyExists on the same shard, never as divergence.
+  Status last_error = Status::Unavailable("no replica attempted");
+  for (size_t attempt = 0; attempt < replicas.size(); ++attempt) {
+    int64_t remaining = RemainingMs(deadline);
+    if (remaining <= 0) {
+      return ErrorResponse(
+          Status::DeadlineExceeded("deadline expired during ingest routing"));
+    }
+    const BackendSpec& spec =
+        options_.backends[static_cast<size_t>(replicas[attempt])];
+    auto lease = pool_.Acquire(spec.host, spec.port);
+    auto result = lease->Post(
+        "/v1/ingest", request.body,
+        {{"X-Mlake-Deadline-Ms", std::to_string(remaining)}},
+        static_cast<int>(remaining + 50));
+    if (result.ok()) {
+      if (attempt > 0) failovers_.fetch_add(1, std::memory_order_relaxed);
+      return result.MoveValueUnsafe();
+    }
+    lease.Discard();
+    last_error = result.status();
+  }
+  return ErrorResponse(last_error);
+}
+
+}  // namespace mlake::cluster

@@ -1,0 +1,80 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+
+#include "common/status.h"
+
+namespace mlake::cluster {
+
+Result<BackendSpec> ParseBackendSpec(const std::string& spec) {
+  BackendSpec out;
+  out.shard_id = -1;  // caller assigns when absent
+  std::string addr = spec;
+  if (size_t at = spec.find('@'); at != std::string::npos) {
+    addr = spec.substr(0, at);
+    char* end = nullptr;
+    long shard = std::strtol(spec.c_str() + at + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || shard < 0) {
+      return Status::InvalidArgument("bad shard in backend spec: " + spec);
+    }
+    out.shard_id = static_cast<int>(shard);
+  }
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= addr.size()) {
+    return Status::InvalidArgument("backend spec must be host:port[@shard]: " +
+                                   spec);
+  }
+  out.host = addr.substr(0, colon);
+  char* end = nullptr;
+  long port = std::strtol(addr.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in backend spec: " + spec);
+  }
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+Json ShardMap::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("epoch", static_cast<int64_t>(epoch));
+  Json slots = Json::MakeArray();
+  for (const std::vector<int>& slot : replicas) {
+    Json arr = Json::MakeArray();
+    for (int b : slot) arr.Append(Json(static_cast<int64_t>(b)));
+    slots.Append(std::move(arr));
+  }
+  out.Set("replicas", std::move(slots));
+  return out;
+}
+
+ShardMap BuildShardMap(const std::vector<BackendSpec>& backends,
+                       const std::vector<BackendHealth>& health,
+                       size_t cluster_size, uint64_t epoch) {
+  ShardMap map;
+  map.epoch = epoch;
+  map.replicas.resize(cluster_size);
+  for (size_t i = 0; i < backends.size(); ++i) {
+    int slot = backends[i].shard_id;
+    if (slot < 0 || static_cast<size_t>(slot) >= cluster_size) continue;
+    map.replicas[static_cast<size_t>(slot)].push_back(static_cast<int>(i));
+  }
+  auto rank = [&](int b) {
+    const BackendHealth& h = static_cast<size_t>(b) < health.size()
+                                 ? health[static_cast<size_t>(b)]
+                                 : BackendHealth{};
+    // Lexicographic: healthy first, non-draining first, least loaded,
+    // fastest, then stable index order.
+    return std::make_tuple(h.healthy ? 0 : 1, h.draining ? 1 : 0,
+                           h.inflight, h.p95_us, b);
+  };
+  for (std::vector<int>& slot : map.replicas) {
+    std::sort(slot.begin(), slot.end(),
+              [&](int a, int b) { return rank(a) < rank(b); });
+  }
+  return map;
+}
+
+}  // namespace mlake::cluster

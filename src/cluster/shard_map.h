@@ -1,0 +1,71 @@
+#ifndef MLAKE_CLUSTER_SHARD_MAP_H_
+#define MLAKE_CLUSTER_SHARD_MAP_H_
+
+// The router's versioned view of which backend serves which shard.
+//
+// A cluster has `cluster_size` *slots* (shard ids); each slot is served
+// by one or more *backends* (replicas — identical servers over the same
+// shard's documents). The ShardMap orders each slot's replicas best
+// first; the router sends a request to replicas[slot][0] and hedges or
+// fails over down the list. Maps are immutable: the epoch ticker builds
+// a new one from heartbeat state and publishes it via shared_ptr swap,
+// so every in-flight request drains against the epoch it started with
+// while new requests pick up the rebalanced order.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/sharding.h"
+
+namespace mlake::cluster {
+
+/// One backend server of the cluster (static address + shard it
+/// serves). Backends sharing a shard_id are replicas of that shard.
+struct BackendSpec {
+  std::string host;
+  int port = 0;
+  int shard_id = 0;
+};
+
+/// Parses "host:port" or "host:port@shard". With no explicit @shard the
+/// caller assigns one (the CLI uses position modulo cluster size).
+Result<BackendSpec> ParseBackendSpec(const std::string& spec);
+
+/// Immutable slot → ordered replica assignment (see file comment).
+struct ShardMap {
+  uint64_t epoch = 0;
+  /// replicas[slot] = backend indices (into the router's backend list),
+  /// best first. Unhealthy replicas sort last but are never dropped —
+  /// a leg with nothing better may still try them.
+  std::vector<std::vector<int>> replicas;
+
+  size_t cluster_size() const { return replicas.size(); }
+
+  Json ToJson() const;
+};
+
+/// The per-backend signals the epoch ticker ranks replicas by
+/// (collected from heartbeats; defaults describe a never-seen backend).
+struct BackendHealth {
+  bool healthy = false;
+  bool draining = false;
+  int64_t inflight = 0;
+  int64_t p95_us = 0;
+};
+
+/// Builds a map for `cluster_size` slots from backend specs + health:
+/// each slot's replicas ordered by (healthy desc, draining asc,
+/// inflight asc, p95 asc, index asc). The index tiebreak makes the
+/// order deterministic, so the ticker can compare maps structurally
+/// and only bump the epoch when the assignment actually changed.
+ShardMap BuildShardMap(const std::vector<BackendSpec>& backends,
+                       const std::vector<BackendHealth>& health,
+                       size_t cluster_size, uint64_t epoch);
+
+}  // namespace mlake::cluster
+
+#endif  // MLAKE_CLUSTER_SHARD_MAP_H_

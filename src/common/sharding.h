@@ -1,0 +1,52 @@
+#ifndef MLAKE_COMMON_SHARDING_H_
+#define MLAKE_COMMON_SHARDING_H_
+
+// Digest → shard placement, shared by the backend's ingest guard
+// (server/server.cc) and the router's ShardMap (cluster/shard_map.h).
+// Header-only so neither side grows a link dependency on the other.
+//
+// Placement is by *content*: a model lives on the shard its artifact's
+// SHA-256 digest hashes to, so any node (or client) holding the bytes
+// can compute the owner without a directory lookup. Metadata-only
+// documents with no artifact bytes fall back to hashing the model id.
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace mlake {
+
+/// Shard slot for a lowercase-hex content digest: the first 16 hex
+/// characters interpreted as a uint64, modulo `n`. SHA-256 output is
+/// uniform, so a prefix is as good as the whole digest for placement.
+/// n == 0 returns 0 (standalone).
+inline uint64_t ShardSlotForDigest(std::string_view digest_hex, uint64_t n) {
+  uint64_t v = 0;
+  size_t take = digest_hex.size() < 16 ? digest_hex.size() : 16;
+  for (size_t i = 0; i < take; ++i) {
+    char c = digest_hex[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      nibble = static_cast<unsigned char>(c) & 0xF;  // defensive fold
+    }
+    v = (v << 4) | nibble;
+  }
+  return n == 0 ? 0 : v % n;
+}
+
+/// Shard slot for a metadata-only model id (no artifact to digest).
+/// n == 0 returns 0 (standalone).
+inline uint64_t ShardSlotForId(std::string_view model_id, uint64_t n) {
+  return n == 0 ? 0 : Fnv1a64(model_id) % n;
+}
+
+}  // namespace mlake
+
+#endif  // MLAKE_COMMON_SHARDING_H_

@@ -1433,6 +1433,58 @@ Result<search::QueryResult> ModelLake::Query(std::string_view mlql) const {
   return result;
 }
 
+Result<search::QueryResult> ModelLake::QueryWithOverlay(
+    std::string_view mlql, const search::SearchOverlay& overlay) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(std::shared_ptr<const search::Query> plan,
+                         CachedPlanUnlocked(mlql));
+  OverlayView view(this, &overlay);
+  MLAKE_ASSIGN_OR_RETURN(search::QueryResult result,
+                         search::ExecuteQuery(view, *plan));
+  {
+    std::lock_guard<std::mutex> plan_lock(plan_mu_);
+    last_plan_ = result.plan;
+  }
+  return result;
+}
+
+index::Bm25Stats ModelLake::CollectBm25Stats(const std::string& text) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bm25_.CollectStats(text);
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::KeywordScoresWithStats(const std::string& text, size_t k,
+                                  const index::Bm25Stats& stats) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return MapTextHitsUnlocked(
+      bm25_.SearchWithStats(text, k + degraded_.size(), stats), k);
+}
+
+Result<std::vector<search::RankedModel>> ModelLake::RelatedModelsByVector(
+    const std::vector<float>& query, size_t k,
+    const std::string& exclude_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Same over-fetch as RelatedModelsUnlocked: +1 because the excluded
+  // model (if local) matches itself.
+  MLAKE_ASSIGN_OR_RETURN(auto neighbors, NearestModelsUnlocked(query, k + 1));
+  return RelatedFromNeighbors(exclude_id, neighbors, k);
+}
+
+Result<std::vector<search::HybridCandidate>> ModelLake::HybridParts(
+    std::string_view mlql, const std::vector<float>& query_vec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MLAKE_ASSIGN_OR_RETURN(std::shared_ptr<const search::Query> plan,
+                         CachedPlanUnlocked(mlql));
+  UnlockedView view(this);
+  return search::CollectHybridParts(view, *plan, query_vec);
+}
+
+uint64_t ModelLake::IndexGeneration() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_generation_;
+}
+
 Result<std::shared_ptr<const search::Query>> ModelLake::CachedPlanUnlocked(
     std::string_view mlql) const {
   std::string key(mlql);
@@ -1797,6 +1849,55 @@ ModelLake::UnlockedView::TrainedOn(const std::string& dataset,
   return lake_->TrainedOnUnlocked(dataset, min_overlap);
 }
 bool ModelLake::UnlockedView::IsDescendantOf(
+    const std::string& id, const std::string& ancestor) const {
+  return lake_->IsDescendantOfUnlocked(id, ancestor);
+}
+
+// ------------------------------------------------------- overlay view
+
+std::vector<std::string> ModelLake::OverlayView::AllModelIds() const {
+  return lake_->SearchableModelIdsUnlocked();
+}
+search::SearchContext::CatalogStats ModelLake::OverlayView::Stats() const {
+  return lake_->StatsUnlocked();
+}
+Result<metadata::ModelCard> ModelLake::OverlayView::CardFor(
+    const std::string& id) const {
+  return lake_->CardForUnlocked(id);
+}
+Result<std::vector<float>> ModelLake::OverlayView::EmbeddingFor(
+    const std::string& id) const {
+  // Local first: a model the shard owns always resolves locally, so an
+  // overlay can never shadow (or corrupt) owned state. The hint only
+  // fills lookups that would otherwise fail — off-shard query models.
+  auto local = lake_->EmbeddingForUnlocked(id);
+  if (local.ok()) return local;
+  auto it = overlay_->embeddings.find(id);
+  if (it != overlay_->embeddings.end()) return it->second;
+  return local;
+}
+Result<std::vector<std::pair<std::string, float>>>
+ModelLake::OverlayView::NearestModels(const std::vector<float>& query,
+                                      size_t k) const {
+  return lake_->NearestModelsUnlocked(query, k);
+}
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::OverlayView::KeywordScores(const std::string& text,
+                                      size_t k) const {
+  if (overlay_->has_bm25 && text == overlay_->bm25_text) {
+    return lake_->MapTextHitsUnlocked(
+        lake_->bm25_.SearchWithStats(text, k + lake_->degraded_.size(),
+                                     overlay_->bm25_stats),
+        k);
+  }
+  return lake_->KeywordScoresUnlocked(text, k);
+}
+Result<std::vector<std::pair<std::string, double>>>
+ModelLake::OverlayView::TrainedOn(const std::string& dataset,
+                                  double min_overlap) const {
+  return lake_->TrainedOnUnlocked(dataset, min_overlap);
+}
+bool ModelLake::OverlayView::IsDescendantOf(
     const std::string& id, const std::string& ancestor) const {
   return lake_->IsDescendantOfUnlocked(id, ancestor);
 }

@@ -325,6 +325,44 @@ class ModelLake : public search::SearchContext {
   /// whole plan, so the result is a consistent snapshot.
   Result<search::QueryResult> Query(std::string_view mlql) const;
 
+  /// Query() with cross-shard context (search::SearchOverlay): hint
+  /// embeddings for off-shard model ids and global BM25 statistics.
+  /// With a default-constructed overlay this is exactly Query(). The
+  /// cluster scatter path — each shard answers with scores
+  /// bit-identical to the merged lake's, so the router's (score desc,
+  /// id asc) merge of per-shard top-k is the merged lake's top-k.
+  Result<search::QueryResult> QueryWithOverlay(
+      std::string_view mlql, const search::SearchOverlay& overlay) const;
+
+  /// This shard's integer contribution to `text`'s BM25 corpus
+  /// statistics (phase 1 of distributed keyword search; contributions
+  /// sum exactly at the router).
+  index::Bm25Stats CollectBm25Stats(const std::string& text) const;
+
+  /// KeywordScores with externally supplied (global) corpus
+  /// statistics — phase 2 of distributed keyword search. With
+  /// `stats == CollectBm25Stats(text)` this is bit-identical to
+  /// KeywordScores(text, k).
+  Result<std::vector<std::pair<std::string, double>>> KeywordScoresWithStats(
+      const std::string& text, size_t k, const index::Bm25Stats& stats) const;
+
+  /// Related-model search by raw embedding vector, skipping
+  /// `exclude_id` (the query model, which may live on another shard).
+  /// Score = 1 - cosine distance, like RelatedModels. The cluster
+  /// ann scatter probe: the router resolves the query model's
+  /// embedding on its owner, then fans the vector out to every shard.
+  Result<std::vector<search::RankedModel>> RelatedModelsByVector(
+      const std::vector<float>& query, size_t k,
+      const std::string& exclude_id) const;
+
+  /// The shard-local half of a distributed hybrid ranking (see
+  /// search::CollectHybridParts): parses `mlql` (plan cache shared
+  /// with Query), evaluates its WHERE over this shard's models and
+  /// returns the survivors with their dot products against
+  /// `query_vec`. One shared-lock critical section.
+  Result<std::vector<search::HybridCandidate>> HybridParts(
+      std::string_view mlql, const std::vector<float>& query_vec) const;
+
   /// Model-as-query related-model search via the ANN index.
   Result<std::vector<search::RankedModel>> RelatedModels(
       const std::string& id, size_t k) const;
@@ -431,6 +469,10 @@ class ModelLake : public search::SearchContext {
   /// `/statsz` and `mlake stats`.
   Json IndexStatsJson() const;
 
+  /// The loaded index snapshot generation (0 = built from the catalog)
+  /// — what a cluster backend reports on its heartbeat.
+  uint64_t IndexGeneration() const;
+
   /// Counters of the parse-once MLQL plan cache behind Query().
   struct PlanCacheCounters {
     uint64_t hits = 0;
@@ -471,6 +513,34 @@ class ModelLake : public search::SearchContext {
 
    private:
     const ModelLake* lake_;
+  };
+
+  /// UnlockedView plus a SearchOverlay: EmbeddingFor falls back to the
+  /// overlay's hint vectors when the local lookup misses, and
+  /// KeywordScores on the overlay's exact text is answered with the
+  /// overlay's global BM25 statistics. Everything else delegates
+  /// unchanged.
+  class OverlayView : public search::SearchContext {
+   public:
+    OverlayView(const ModelLake* lake, const search::SearchOverlay* overlay)
+        : lake_(lake), overlay_(overlay) {}
+    std::vector<std::string> AllModelIds() const override;
+    search::SearchContext::CatalogStats Stats() const override;
+    Result<metadata::ModelCard> CardFor(const std::string& id) const override;
+    Result<std::vector<float>> EmbeddingFor(
+        const std::string& id) const override;
+    Result<std::vector<std::pair<std::string, float>>> NearestModels(
+        const std::vector<float>& query, size_t k) const override;
+    Result<std::vector<std::pair<std::string, double>>> KeywordScores(
+        const std::string& text, size_t k) const override;
+    Result<std::vector<std::pair<std::string, double>>> TrainedOn(
+        const std::string& dataset, double min_overlap) const override;
+    bool IsDescendantOf(const std::string& id,
+                        const std::string& ancestor) const override;
+
+   private:
+    const ModelLake* lake_;
+    const search::SearchOverlay* overlay_;
   };
 
   explicit ModelLake(LakeOptions options) : options_(std::move(options)) {}

@@ -127,6 +127,119 @@ std::vector<TextHit> InvertedIndex::Search(std::string_view query,
   return std::move(batch[0]);
 }
 
+void Bm25Stats::Merge(const Bm25Stats& other) {
+  live_docs += other.live_docs;
+  total_tokens += other.total_tokens;
+  for (const auto& [term, n] : other.df) df[term] += n;
+}
+
+Bm25Stats InvertedIndex::CollectStats(std::string_view query) const {
+  Bm25Stats stats;
+  stats.live_docs = live_docs_ + base_live_;
+  stats.total_tokens = total_tokens_ + base_tokens_;
+  for (const std::string& term : TokenizeWords(query)) {
+    auto [it, fresh] = stats.df.try_emplace(term, uint64_t{0});
+    if (!fresh) continue;
+    uint64_t df = 0;
+    if (base_terms_ > 0) {
+      int64_t t = BaseTermIndex(term);
+      if (t >= 0) {
+        for (uint64_t p = bpost_off_[t]; p < bpost_off_[t + 1]; ++p) {
+          uint32_t doc = bpost_[2 * p];
+          if (doc >= base_docs_ || BaseDocDead(doc)) continue;
+          ++df;
+        }
+      }
+    }
+    auto pit = postings_.find(term);
+    if (pit != postings_.end()) df += pit->second.size();
+    it->second = df;
+  }
+  return stats;
+}
+
+std::vector<TextHit> InvertedIndex::SearchWithStats(
+    std::string_view query, size_t k, const Bm25Stats& stats) const {
+  std::vector<TextHit> hits;
+  if (stats.live_docs == 0) return hits;
+  // Corpus constants come from `stats` instead of this segment pair;
+  // both are double-of-integer, so local stats reproduce Search's
+  // arithmetic exactly.
+  double avg_len = static_cast<double>(stats.total_tokens) /
+                   static_cast<double>(stats.live_docs);
+  if (avg_len <= 0.0) avg_len = 1.0;
+  double n_docs = static_cast<double>(stats.live_docs);
+  std::vector<std::string> terms = TokenizeWords(query);
+  if (terms.empty()) return hits;
+
+  struct TermScore {
+    bool live = false;
+    double idf = 0.0;
+    std::vector<std::pair<uint32_t, uint32_t>> base_posts;  // (doc, tf)
+    const std::vector<Posting>* delta = nullptr;
+  };
+  std::unordered_map<std::string, TermScore> cache;
+  std::unordered_map<uint64_t, double> scores;
+  for (const std::string& term : terms) {
+    auto [cit, fresh] = cache.try_emplace(term);
+    TermScore& ts = cit->second;
+    if (fresh) {
+      if (base_terms_ > 0) {
+        int64_t t = BaseTermIndex(term);
+        if (t >= 0) {
+          for (uint64_t p = bpost_off_[t]; p < bpost_off_[t + 1]; ++p) {
+            uint32_t doc = bpost_[2 * p];
+            uint32_t tf = bpost_[2 * p + 1];
+            if (doc >= base_docs_) continue;  // corrupt posting: skip
+            if (BaseDocDead(doc)) continue;
+            ts.base_posts.emplace_back(doc, tf);
+          }
+        }
+      }
+      auto it = postings_.find(term);
+      if (it != postings_.end()) ts.delta = &it->second;
+      auto dit = stats.df.find(term);
+      double df =
+          dit == stats.df.end() ? 0.0 : static_cast<double>(dit->second);
+      if (df > 0.0) {
+        ts.live = true;
+        ts.idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+      }
+    }
+    if (!ts.live) continue;
+    double idf = ts.idf;
+    for (const auto& [doc, tf_raw] : ts.base_posts) {
+      double tf = static_cast<double>(tf_raw);
+      double len_norm =
+          1.0 - b_ + b_ * static_cast<double>(bdoc_len_[doc]) / avg_len;
+      scores[doc] += idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+    }
+    if (ts.delta != nullptr) {
+      for (const Posting& p : *ts.delta) {
+        if (doc_lengths_[p.doc] == 0) continue;  // removed
+        double tf = static_cast<double>(p.term_frequency);
+        double len_norm =
+            1.0 - b_ +
+            b_ * static_cast<double>(doc_lengths_[p.doc]) / avg_len;
+        scores[base_docs_ + p.doc] +=
+            idf * (tf * (k1_ + 1.0)) / (tf + k1_ * len_norm);
+      }
+    }
+  }
+
+  hits.reserve(scores.size());
+  for (const auto& [handle, score] : scores) {
+    std::string id = handle < base_docs_ ? std::string(BaseDocId(handle))
+                                         : doc_ids_[handle - base_docs_];
+    hits.push_back(TextHit{std::move(id), score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const TextHit& a, const TextHit& b) {
+    return a.score > b.score || (a.score == b.score && a.doc_id < b.doc_id);
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
 std::vector<std::vector<TextHit>> InvertedIndex::SearchBatch(
     const std::vector<std::string>& queries, size_t k) const {
   std::vector<std::vector<TextHit>> results(queries.size());

@@ -19,6 +19,21 @@ struct TextHit {
   double score = 0.0;
 };
 
+/// Integer corpus statistics for one query's terms — exactly the
+/// inputs BM25 derives from the corpus (live document count, total
+/// live tokens, per-term document frequency). Deliberately integers:
+/// per-shard contributions sum exactly, so a router can add N shards'
+/// stats and hand the global totals back to `SearchWithStats`, which
+/// then scores bit-identically to one merged index holding all shards'
+/// documents.
+struct Bm25Stats {
+  uint64_t live_docs = 0;
+  uint64_t total_tokens = 0;
+  std::unordered_map<std::string, uint64_t> df;  // term -> live doc freq
+
+  void Merge(const Bm25Stats& other);
+};
+
 /// Inverted index with BM25 ranking over model-card text — the
 /// metadata-search baseline the paper says today's model hubs rely on
 /// (name/documentation keyword relevance, "not a semantic notion based
@@ -60,6 +75,17 @@ class InvertedIndex {
   /// what keeps each result bit-identical to a solo search.
   std::vector<std::vector<TextHit>> SearchBatch(
       const std::vector<std::string>& queries, size_t k) const;
+
+  /// This index's contribution to `query`'s corpus statistics: df per
+  /// distinct query term plus the live-doc/token counters.
+  Bm25Stats CollectStats(std::string_view query) const;
+
+  /// BM25 top-k with externally supplied (global) corpus statistics.
+  /// With `stats == CollectStats(query)` the result is bit-identical
+  /// to `Search(query, k)`; with summed cross-shard stats each local
+  /// document scores exactly as it would in the merged corpus.
+  std::vector<TextHit> SearchWithStats(std::string_view query, size_t k,
+                                       const Bm25Stats& stats) const;
 
   /// Live documents across both segments.
   size_t NumDocs() const { return live_docs_ + base_live_; }

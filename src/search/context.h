@@ -8,10 +8,29 @@
 #include <vector>
 
 #include "common/result.h"
+#include "index/inverted_index.h"
 #include "index/vector_index.h"
 #include "metadata/model_card.h"
 
 namespace mlake::search {
+
+/// Cross-shard context a scatter-gather router attaches to one MLQL
+/// query so a single shard scores its documents exactly as a merged
+/// lake would:
+///   - `embeddings`: hint vectors for model ids the shard does not own
+///     (consulted only after the local lookup misses — e.g. the query
+///     model of a behavior_sim rank living on another shard).
+///   - global BM25 corpus statistics for `bm25_text`: KeywordScores on
+///     that exact text is answered via
+///     InvertedIndex::SearchWithStats(bm25_stats), which makes every
+///     local document's score bit-identical to the merged corpus.
+/// Default-constructed overlay = no hints, identical to a plain query.
+struct SearchOverlay {
+  std::map<std::string, std::vector<float>> embeddings;
+  bool has_bm25 = false;
+  std::string bm25_text;
+  index::Bm25Stats bm25_stats;
+};
 
 /// The lake services the MLQL executor needs; implemented by
 /// `core::ModelLake`. Abstracting the surface keeps the query engine

@@ -316,7 +316,6 @@ Result<std::vector<RankedModel>> RankCandidates(
       embedding_rank[by_similarity[i].second] = i;
     }
 
-    constexpr double kRrfOffset = 10.0;
     for (const std::string& id : candidates) {
       if (id == query_id) continue;
       double score = 0.0;
@@ -417,6 +416,52 @@ Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
   PredicateEvaluator evaluator(lake);
   MLAKE_RETURN_NOT_OK(evaluator.Prepare(expr));
   return evaluator.Evaluate(expr, card);
+}
+
+Result<std::vector<HybridCandidate>> CollectHybridParts(
+    const SearchContext& lake, const Query& query,
+    const std::vector<float>& query_vec) {
+  if (!query.has_rank || query.rank.function != "hybrid" ||
+      query.rank.args.size() != 2 ||
+      query.rank.args[0].kind != Literal::Kind::kString ||
+      query.rank.args[1].kind != Literal::Kind::kString) {
+    return Status::InvalidArgument(
+        "hybrid parts require a hybrid(keyword text, model id) ranking");
+  }
+  const std::string& query_id = query.rank.args[1].string_value;
+
+  std::vector<std::string> candidates = lake.AllModelIds();
+  if (query.where != nullptr) {
+    PredicateEvaluator evaluator(lake);
+    MLAKE_RETURN_NOT_OK(evaluator.Prepare(*query.where));
+    std::vector<std::string> kept;
+    for (const std::string& id : candidates) {
+      MLAKE_ASSIGN_OR_RETURN(metadata::ModelCard card, lake.CardFor(id));
+      MLAKE_ASSIGN_OR_RETURN(bool keep,
+                             evaluator.Evaluate(*query.where, card));
+      if (keep) kept.push_back(id);
+    }
+    candidates = std::move(kept);
+  }
+
+  std::vector<HybridCandidate> out;
+  out.reserve(candidates.size());
+  for (const std::string& id : candidates) {
+    if (id == query_id) continue;  // a model is not its own answer
+    MLAKE_ASSIGN_OR_RETURN(std::vector<float> vec, lake.EmbeddingFor(id));
+    HybridCandidate c;
+    c.id = id;
+    if (vec.size() == query_vec.size()) {
+      double dot = 0.0;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        dot += static_cast<double>(vec[i]) * query_vec[i];
+      }
+      c.has_dot = true;
+      c.dot = dot;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 double EstimateSelectivity(const Expr& expr,

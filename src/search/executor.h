@@ -16,6 +16,23 @@ struct RankedModel {
   double score = 0.0;
 };
 
+/// Reciprocal-rank-fusion offset of the hybrid ranking. Shared with
+/// the cluster router, which reproduces the fusion from per-shard
+/// parts — both sides must add 1/(offset + rank) with the same offset
+/// for the distributed result to be bit-identical.
+inline constexpr double kRrfOffset = 10.0;
+
+/// One shard's contribution to a distributed hybrid ranking: a
+/// WHERE-surviving candidate with its embedding dot product against
+/// the query vector (`has_dot == false` when the dimensions mismatch —
+/// the candidate still participates with no similarity contribution,
+/// exactly as in the local executor).
+struct HybridCandidate {
+  std::string id;
+  bool has_dot = false;
+  double dot = 0.0;
+};
+
 /// The result of executing an MLQL query, including the plan the
 /// executor chose (the lake's EXPLAIN).
 struct QueryResult {
@@ -40,6 +57,17 @@ Result<QueryResult> ExecuteQuery(const SearchContext& lake,
 /// Evaluates a predicate against one card (exposed for tests).
 Result<bool> EvaluatePredicate(const SearchContext& lake, const Expr& expr,
                                const metadata::ModelCard& card);
+
+/// The shard-local half of a distributed hybrid ranking: evaluates
+/// `query.where` over this lake's models and returns every survivor
+/// (minus the query model itself) with its dot product against
+/// `query_vec`. The router merges all shards' candidates, fuses them
+/// with the globally-ranked keyword list (RRF, kRrfOffset) and sorts
+/// (score desc, id asc) — bit-identical to RankCandidates' hybrid
+/// branch on one merged lake. `query.rank` must be hybrid(text, id).
+Result<std::vector<HybridCandidate>> CollectHybridParts(
+    const SearchContext& lake, const Query& query,
+    const std::vector<float>& query_vec);
 
 /// Estimated fraction of the lake's models a predicate keeps — the
 /// cost-based planner's selectivity model (exposed for tests).

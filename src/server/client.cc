@@ -74,20 +74,24 @@ Status HttpClient::Connect() {
 
 Result<HttpResponse> HttpClient::Get(
     const std::string& path,
-    const std::vector<std::pair<std::string, std::string>>& headers) {
-  return RoundTrip("GET", path, "", headers);
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    int timeout_ms) {
+  return RoundTrip("GET", path, "", headers, timeout_ms);
 }
 
 Result<HttpResponse> HttpClient::Post(
     const std::string& path, const std::string& body,
-    const std::vector<std::pair<std::string, std::string>>& headers) {
-  return RoundTrip("POST", path, body, headers);
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    int timeout_ms) {
+  return RoundTrip("POST", path, body, headers, timeout_ms);
 }
 
 Result<HttpResponse> HttpClient::RoundTrip(
     const std::string& method, const std::string& path,
     const std::string& body,
-    const std::vector<std::pair<std::string, std::string>>& headers) {
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    int timeout_ms) {
+  if (timeout_ms <= 0) timeout_ms = timeout_ms_;
   auto start = Clock::now();
   std::string wire = SerializeHttpRequest(method, path, body, headers);
 
@@ -117,14 +121,14 @@ Result<HttpResponse> HttpClient::RoundTrip(
       auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                          Clock::now() - start)
                          .count();
-      if (elapsed >= timeout_ms_) {
+      if (elapsed >= timeout_ms) {
         Close();
         return Status::DeadlineExceeded("no response within " +
-                                        std::to_string(timeout_ms_) + " ms");
+                                        std::to_string(timeout_ms) + " ms");
       }
       pollfd pfd{fd_, POLLIN, 0};
       int ready =
-          ::poll(&pfd, 1, static_cast<int>(timeout_ms_ - elapsed));
+          ::poll(&pfd, 1, static_cast<int>(timeout_ms - elapsed));
       if (ready < 0 && errno != EINTR) {
         dead = true;
         break;
@@ -154,6 +158,66 @@ Result<HttpResponse> HttpClient::RoundTrip(
     // Stale keep-alive connection: reconnect and resend once.
   }
   return Status::Internal("unreachable");
+}
+
+HttpClientPool::HttpClientPool(size_t max_idle_per_endpoint)
+    : max_idle_(max_idle_per_endpoint == 0 ? 1 : max_idle_per_endpoint) {}
+
+HttpClientPool::Lease& HttpClientPool::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    key_ = std::move(other.key_);
+    client_ = std::move(other.client_);
+    other.pool_ = nullptr;
+    other.client_.reset();
+  }
+  return *this;
+}
+
+void HttpClientPool::Lease::Discard() {
+  client_.reset();
+  pool_ = nullptr;
+}
+
+void HttpClientPool::Lease::Release() {
+  if (pool_ != nullptr && client_ != nullptr) {
+    pool_->Return(key_, std::move(client_));
+  }
+  pool_ = nullptr;
+  client_.reset();
+}
+
+HttpClientPool::Lease HttpClientPool::Acquire(const std::string& host,
+                                              int port) {
+  std::string key = host + ":" + std::to_string(port);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<HttpClient> client = std::move(it->second.back());
+      it->second.pop_back();
+      return Lease(this, std::move(key), std::move(client));
+    }
+  }
+  return Lease(this, std::move(key),
+               std::make_unique<HttpClient>(host, port));
+}
+
+size_t HttpClientPool::IdleCount(const std::string& host, int port) const {
+  std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = idle_.find(key);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+void HttpClientPool::Return(const std::string& key,
+                            std::unique_ptr<HttpClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = idle_[key];
+  if (list.size() >= max_idle_) return;  // excess: drop, socket closes
+  list.push_back(std::move(client));
 }
 
 }  // namespace mlake::server

@@ -33,39 +33,61 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 }
 
 double LatencyHistogram::PercentileUs(double p) const {
-  if (count == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the requested percentile, 1-based (nearest-rank method,
-  // interpolated within the crossing bucket).
-  double rank = p / 100.0 * static_cast<double>(count);
-  if (rank < 1.0) rank = 1.0;
+  double out = 0.0;
+  PercentilesUs(&p, &out, 1);
+  return out;
+}
+
+void LatencyHistogram::PercentilesUs(const double* ps, double* out,
+                                     size_t n) const {
+  if (n == 0) return;
+  if (count == 0) {
+    std::fill(out, out + n, 0.0);
+    return;
+  }
+  size_t pi = 0;
   uint64_t seen = 0;
-  for (size_t i = 0; i < kLatencyBucketCount; ++i) {
+  for (size_t i = 0; i < kLatencyBucketCount && pi < n; ++i) {
     if (buckets[i] == 0) continue;
-    uint64_t lo_rank = seen + 1;
+    uint64_t below = seen;  // samples strictly before this bucket
     seen += buckets[i];
-    if (rank > static_cast<double>(seen)) continue;
-    double lo = i == 0 ? 0.0 : static_cast<double>(kLatencyBucketBoundsUs[i - 1]);
+    double lo =
+        i == 0 ? 0.0 : static_cast<double>(kLatencyBucketBoundsUs[i - 1]);
     double hi = i == kLatencyBucketCount - 1
                     ? static_cast<double>(max_us)
                     : static_cast<double>(kLatencyBucketBoundsUs[i]);
     hi = std::min(hi, static_cast<double>(max_us));
     if (hi < lo) hi = lo;
-    double frac =
-        (rank - static_cast<double>(lo_rank)) /
-        static_cast<double>(buckets[i]);
-    return lo + (hi - lo) * frac;
+    while (pi < n) {
+      // Rank of the requested percentile, 1-based (nearest-rank
+      // method, interpolated within the crossing bucket).
+      double p = std::clamp(ps[pi], 0.0, 100.0);
+      double rank = p / 100.0 * static_cast<double>(count);
+      if (rank < 1.0) rank = 1.0;
+      if (rank > static_cast<double>(seen)) break;
+      // frac spans (0, 1] across the bucket's own samples, so the
+      // bucket's last sample lands exactly on `hi` — in particular a
+      // lone sample in the overflow bucket reports max_us, not the
+      // bucket's lower bound.
+      double frac = (rank - static_cast<double>(below)) /
+                    static_cast<double>(buckets[i]);
+      out[pi++] = lo + (hi - lo) * frac;
+    }
   }
-  return static_cast<double>(max_us);
+  for (; pi < n; ++pi) out[pi] = static_cast<double>(max_us);
 }
 
 Json LatencyHistogram::ToJson() const {
+  static constexpr double kPs[] = {50, 90, 95, 99};
+  double vals[4];
+  PercentilesUs(kPs, vals, 4);
   Json out = Json::MakeObject();
   out.Set("count", count);
   out.Set("mean_us", MeanUs());
-  out.Set("p50_us", PercentileUs(50));
-  out.Set("p90_us", PercentileUs(90));
-  out.Set("p99_us", PercentileUs(99));
+  out.Set("p50_us", vals[0]);
+  out.Set("p90_us", vals[1]);
+  out.Set("p95_us", vals[2]);
+  out.Set("p99_us", vals[3]);
   out.Set("max_us", max_us);
   return out;
 }
@@ -166,6 +188,22 @@ std::map<std::string, EndpointStats> MetricsRegistry::Snapshot() const {
     std::lock_guard<std::mutex> lock(stripe->mu);
     for (const auto& [endpoint, stats] : stripe->by_endpoint) {
       merged[endpoint].Merge(stats);
+    }
+  }
+  return merged;
+}
+
+EndpointStats MetricsRegistry::AggregateSnapshot(
+    std::string_view prefix) const {
+  EndpointStats merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [endpoint, stats] : stripe->by_endpoint) {
+      if (endpoint.size() < prefix.size() ||
+          std::string_view(endpoint).substr(0, prefix.size()) != prefix) {
+        continue;
+      }
+      merged.Merge(stats);
     }
   }
   return merged;

@@ -41,9 +41,14 @@ struct LatencyHistogram {
   void Merge(const LatencyHistogram& other);
   /// p in [0, 100]; 0 when the histogram is empty.
   double PercentileUs(double p) const;
+  /// Evaluates `n` percentiles (ascending `ps`, each in [0, 100]) in a
+  /// single pass over the buckets — the cheap form heartbeat payloads
+  /// use to get p50/p95/p99 without re-walking the histogram per value.
+  void PercentilesUs(const double* ps, double* out, size_t n) const;
   double MeanUs() const { return count == 0 ? 0.0 : double(sum_us) / count; }
 
-  /// {"count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us"}.
+  /// {"count", "mean_us", "p50_us", "p90_us", "p95_us", "p99_us",
+  ///  "max_us"}.
   Json ToJson() const;
 };
 
@@ -103,6 +108,12 @@ class MetricsRegistry {
 
   /// Merged per-endpoint view (stable order: endpoint name).
   std::map<std::string, EndpointStats> Snapshot() const;
+
+  /// Merged stats of every endpoint whose label starts with `prefix`
+  /// (empty prefix = everything). One pass over the stripes; used by
+  /// the heartbeat to report a single search latency histogram across
+  /// the "POST /v1/search*" label family.
+  EndpointStats AggregateSnapshot(std::string_view prefix) const;
 
   /// {"<endpoint>": EndpointStats json, ...} plus an "_total" rollup.
   Json ToJson() const;

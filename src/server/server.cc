@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/hash.h"
+#include "common/sharding.h"
 #include "common/string_util.h"
 #include "storage/model_artifact.h"
 #include "versioning/model_graph.h"
@@ -92,6 +94,59 @@ Json ScoredPairsJson(const std::vector<std::pair<std::string, Score>>& hits) {
 /// Corruption to InvalidArgument so they surface as 400, not 500.
 Status BodyError(const Status& status, const char* what) {
   return Status::InvalidArgument(std::string(what) + ": " + status.message());
+}
+
+/// Parses a JSON float array ([0.25, -1.5, ...]) into a vector<float>.
+/// Exact round trip: Json::Dump prints doubles with %.17g, and every
+/// float widens to a double and narrows back without loss.
+Result<std::vector<float>> FloatVecFromJson(const Json& arr,
+                                            const char* what) {
+  if (!arr.is_array()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a float array");
+  }
+  std::vector<float> vec;
+  vec.reserve(arr.size());
+  for (const Json& v : arr.AsArray()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " must hold numbers only");
+    }
+    vec.push_back(static_cast<float>(v.AsDouble()));
+  }
+  return vec;
+}
+
+/// Parses the wire form of Bm25Stats ({"live_docs": n, "total_tokens":
+/// n, "df": {"term": n, ...}}). Integer-valued throughout, so summed
+/// router-side stats arrive bit-exact.
+Result<index::Bm25Stats> Bm25StatsFromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("stats must be an object");
+  }
+  index::Bm25Stats stats;
+  stats.live_docs = static_cast<uint64_t>(j.GetInt64("live_docs", 0));
+  stats.total_tokens = static_cast<uint64_t>(j.GetInt64("total_tokens", 0));
+  const Json* df = j.Find("df");
+  if (df != nullptr && df->is_object()) {
+    for (const auto& [term, count] : df->AsObject()) {
+      if (!count.is_number()) continue;
+      stats.df[term] = static_cast<uint64_t>(count.AsInt64());
+    }
+  }
+  return stats;
+}
+
+Json Bm25StatsToJson(const index::Bm25Stats& stats) {
+  Json out = Json::MakeObject();
+  out.Set("live_docs", static_cast<int64_t>(stats.live_docs));
+  out.Set("total_tokens", static_cast<int64_t>(stats.total_tokens));
+  Json df = Json::MakeObject();
+  for (const auto& [term, count] : stats.df) {
+    df.Set(term, static_cast<int64_t>(count));
+  }
+  out.Set("df", std::move(df));
+  return out;
 }
 
 }  // namespace
@@ -354,12 +409,19 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
   const std::string& path = request.path;
   std::string id;
   enum class Route {
-    kHealthz, kStatsz, kModelList, kModelGet, kLineage, kSearch, kIngest,
-    kDebugSleep, kUnmatched
+    kHealthz, kHeartbeat, kStatsz, kModelList, kModelGet, kLineage,
+    kEmbedding, kSearch, kIngest, kDebugSleep, kUnmatched
   } route = Route::kUnmatched;
   if (request.method == "GET" && path == "/healthz") {
     route = Route::kHealthz;
     *endpoint_label = "GET /healthz";
+  } else if (request.method == "GET" && path == "/v1/heartbeat") {
+    route = Route::kHeartbeat;
+    *endpoint_label = "GET /v1/heartbeat";
+  } else if (request.method == "GET" && StartsWith(path, "/v1/embedding/")) {
+    route = Route::kEmbedding;
+    *endpoint_label = "GET /v1/embedding/{id}";
+    id = path.substr(std::strlen("/v1/embedding/"));
   } else if (request.method == "GET" && path == "/statsz") {
     route = Route::kStatsz;
     *endpoint_label = "GET /statsz";
@@ -390,8 +452,11 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
         Status::NotFound(request.method + " " + path + " has no handler"));
   }
 
-  // ---- health is exempt from admission and deadlines ------------------
+  // ---- health + heartbeat are exempt from admission and deadlines -----
+  // (the router must be able to read a saturated backend's load; a 429
+  // heartbeat would blind the rebalancer exactly when it matters).
   if (route == Route::kHealthz) return HandleHealthz();
+  if (route == Route::kHeartbeat) return HandleHeartbeat();
 
   // ---- admission ------------------------------------------------------
   int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -434,6 +499,7 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
     case Route::kModelList: response = HandleModelList(); break;
     case Route::kModelGet: response = HandleModelGet(id); break;
     case Route::kLineage: response = HandleLineage(id); break;
+    case Route::kEmbedding: response = HandleEmbedding(id); break;
     case Route::kSearch:
       response = HandleSearch(request, endpoint_label);
       break;
@@ -442,6 +508,7 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
       response = HandleDebugSleep(request, deadline, has_deadline, fd);
       break;
     case Route::kHealthz:
+    case Route::kHeartbeat:
     case Route::kUnmatched:
       response = ErrorResponse(Status::Internal("unreachable route"));
       break;
@@ -462,6 +529,36 @@ HttpResponse LakeServer::HandleHealthz() const {
   bool draining = draining_.load();
   body.Set("status", draining ? "draining" : "ok");
   return JsonResponse(std::move(body), draining ? 503 : 200);
+}
+
+HttpResponse LakeServer::HandleHeartbeat() const {
+  Json body = Json::MakeObject();
+  body.Set("shard_id", options_.shard_id);
+  body.Set("cluster_size", options_.cluster_size);
+  body.Set("models", lake_->NumModels());
+  body.Set("index_generation",
+           static_cast<int64_t>(lake_->IndexGeneration()));
+  body.Set("draining", draining_.load());
+  body.Set("inflight", inflight_.load());
+  // The search-family p95 (all "POST /v1/search:*" kinds merged) is
+  // what the router's hedging policy keys its per-shard delay off.
+  EndpointStats search = metrics_.AggregateSnapshot("POST /v1/search");
+  body.Set("search_requests", search.requests);
+  body.Set("search_p95_us", search.latency.PercentileUs(95));
+  return JsonResponse(std::move(body));
+}
+
+HttpResponse LakeServer::HandleEmbedding(const std::string& id) const {
+  auto vec = lake_->EmbeddingFor(id);
+  if (!vec.ok()) return ErrorResponse(vec.status());
+  Json arr = Json::MakeArray();
+  for (float f : vec.ValueUnsafe()) {
+    arr.Append(Json(static_cast<double>(f)));
+  }
+  Json body = Json::MakeObject();
+  body.Set("id", id);
+  body.Set("embedding", std::move(arr));
+  return JsonResponse(std::move(body));
 }
 
 HttpResponse LakeServer::HandleStatsz() const { return JsonResponse(StatszJson()); }
@@ -544,6 +641,15 @@ HttpResponse LakeServer::HandleLineage(const std::string& id) const {
 
 HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
                                       std::string* endpoint_label) const {
+  // Test/bench seam: idle (non-CPU) delay modeling per-shard service
+  // time, or slowing one shard so the router's hedge fires.
+  if (options_.test_search_delay_us != nullptr) {
+    int64_t delay =
+        options_.test_search_delay_us->load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) {
     return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
@@ -555,7 +661,8 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
   std::string type = body.GetString("type", "mlql");
   if (endpoint_label != nullptr &&
       (type == "mlql" || type == "ann" || type == "keyword" ||
-       type == "hybrid")) {
+       type == "hybrid" || type == "ann_vec" || type == "keyword_stats" ||
+       type == "hybrid_parts")) {
     // Per-kind latency split in /statsz ("POST /v1/search:ann", ...);
     // unknown types stay under the bare route to bound cardinality.
     endpoint_label->append(":").append(type);
@@ -573,7 +680,43 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
       return ErrorResponse(
           Status::InvalidArgument("mlql search requires \"query\""));
     }
-    auto result = lake_->Query(query);
+    // Cluster-internal: a scatter leg may carry an overlay — hint
+    // embeddings for off-shard query models plus global BM25 stats —
+    // so this shard scores its documents exactly as a merged lake
+    // would.
+    const Json* overlay_json = body.Find("overlay");
+    search::SearchOverlay overlay;
+    bool has_overlay = false;
+    if (overlay_json != nullptr) {
+      if (!overlay_json->is_object()) {
+        return ErrorResponse(
+            Status::InvalidArgument("overlay must be an object"));
+      }
+      has_overlay = true;
+      if (const Json* embs = overlay_json->Find("embeddings");
+          embs != nullptr && embs->is_object()) {
+        for (const auto& [emb_id, arr] : embs->AsObject()) {
+          auto vec = FloatVecFromJson(arr, "overlay embedding");
+          if (!vec.ok()) return ErrorResponse(vec.status());
+          overlay.embeddings[emb_id] = vec.MoveValueUnsafe();
+        }
+      }
+      if (const Json* bm25 = overlay_json->Find("bm25");
+          bm25 != nullptr && bm25->is_object()) {
+        const Json* stats_json = bm25->Find("stats");
+        if (stats_json == nullptr) {
+          return ErrorResponse(
+              Status::InvalidArgument("overlay bm25 requires \"stats\""));
+        }
+        auto stats = Bm25StatsFromJson(*stats_json);
+        if (!stats.ok()) return ErrorResponse(stats.status());
+        overlay.has_bm25 = true;
+        overlay.bm25_text = bm25->GetString("text");
+        overlay.bm25_stats = stats.MoveValueUnsafe();
+      }
+    }
+    auto result = has_overlay ? lake_->QueryWithOverlay(query, overlay)
+                              : lake_->Query(query);
     if (!result.ok()) return ErrorResponse(result.status());
     out.Set("plan", result.ValueUnsafe().plan);
     out.Set("models", RankedModelsJson(result.ValueUnsafe().models));
@@ -593,10 +736,67 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
       return ErrorResponse(
           Status::InvalidArgument("keyword search requires \"query\""));
     }
+    // Cluster-internal: with global "stats" attached, this shard's
+    // documents score exactly as they would in the merged corpus
+    // (bypasses the batcher — stats-carrying probes don't coalesce).
+    if (const Json* stats_json = body.Find("stats"); stats_json != nullptr) {
+      auto stats = Bm25StatsFromJson(*stats_json);
+      if (!stats.ok()) return ErrorResponse(stats.status());
+      auto result =
+          lake_->KeywordScoresWithStats(query, k, stats.ValueUnsafe());
+      if (!result.ok()) return ErrorResponse(result.status());
+      out.Set("models", ScoredPairsJson(result.ValueUnsafe()));
+      return JsonResponse(std::move(out));
+    }
     auto result = batcher_ != nullptr ? batcher_->KeywordScores(query, k)
                                       : lake_->KeywordScores(query, k);
     if (!result.ok()) return ErrorResponse(result.status());
     out.Set("models", ScoredPairsJson(result.ValueUnsafe()));
+  } else if (type == "keyword_stats") {
+    // Cluster-internal phase 1 of distributed BM25: this shard's
+    // integer contribution to the query's corpus statistics.
+    std::string query = body.GetString("query");
+    if (query.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("keyword_stats requires \"query\""));
+    }
+    out.Set("stats", Bm25StatsToJson(lake_->CollectBm25Stats(query)));
+  } else if (type == "ann_vec") {
+    // Cluster-internal: ann search by raw vector (the router resolves
+    // the query model's embedding on its owning shard first).
+    const Json* vec_json = body.Find("vec");
+    if (vec_json == nullptr) {
+      return ErrorResponse(
+          Status::InvalidArgument("ann_vec search requires \"vec\""));
+    }
+    auto vec = FloatVecFromJson(*vec_json, "vec");
+    if (!vec.ok()) return ErrorResponse(vec.status());
+    auto result = lake_->RelatedModelsByVector(
+        vec.ValueUnsafe(), k, body.GetString("exclude_id"));
+    if (!result.ok()) return ErrorResponse(result.status());
+    out.Set("models", RankedModelsJson(result.ValueUnsafe()));
+  } else if (type == "hybrid_parts") {
+    // Cluster-internal: this shard's WHERE-filtered candidates with
+    // their dot products against the query vector — the raw material
+    // the router fuses with the global keyword ranking (RRF).
+    std::string query = body.GetString("query");
+    const Json* vec_json = body.Find("vec");
+    if (query.empty() || vec_json == nullptr) {
+      return ErrorResponse(Status::InvalidArgument(
+          "hybrid_parts requires \"query\" and \"vec\""));
+    }
+    auto vec = FloatVecFromJson(*vec_json, "vec");
+    if (!vec.ok()) return ErrorResponse(vec.status());
+    auto parts = lake_->HybridParts(query, vec.ValueUnsafe());
+    if (!parts.ok()) return ErrorResponse(parts.status());
+    Json arr = Json::MakeArray();
+    for (const search::HybridCandidate& c : parts.ValueUnsafe()) {
+      Json j = Json::MakeObject();
+      j.Set("id", c.id);
+      if (c.has_dot) j.Set("dot", c.dot);
+      arr.Append(std::move(j));
+    }
+    out.Set("candidates", std::move(arr));
   } else if (type == "hybrid") {
     std::string query = body.GetString("query");
     std::string query_id = body.GetString("id");
@@ -610,7 +810,8 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
   } else {
     return ErrorResponse(Status::InvalidArgument(
         "unknown search type \"" + type +
-        "\" (want mlql | ann | keyword | hybrid)"));
+        "\" (want mlql | ann | keyword | hybrid | ann_vec | "
+        "keyword_stats | hybrid_parts)"));
   }
   return JsonResponse(std::move(out));
 }
@@ -640,6 +841,20 @@ HttpResponse LakeServer::HandleIngest(const HttpRequest& request) const {
   auto bytes = Base64Decode(artifact_b64);
   if (!bytes.ok()) {
     return ErrorResponse(BodyError(bytes.status(), "malformed artifact_b64"));
+  }
+  // Shard guard: in a cluster a model lives on the shard its content
+  // digest routes to. A misdirected write would fork the lake (the
+  // router could never find the model again), so reject it here — the
+  // router retries against the owner.
+  if (options_.shard_id >= 0 && options_.cluster_size > 1) {
+    std::string digest = Sha256::HexDigest(bytes.ValueUnsafe());
+    uint64_t owner = ShardSlotForDigest(
+        digest, static_cast<uint64_t>(options_.cluster_size));
+    if (owner != static_cast<uint64_t>(options_.shard_id)) {
+      return ErrorResponse(Status::FailedPrecondition(
+          "artifact digest routes to shard " + std::to_string(owner) +
+          ", not this shard (" + std::to_string(options_.shard_id) + ")"));
+    }
   }
   auto artifact = storage::ParseArtifact(bytes.ValueUnsafe());
   if (!artifact.ok()) {

@@ -6,12 +6,17 @@
 // ModelLake as a JSON API.
 //
 //   GET  /healthz            liveness (503 while draining)
+//   GET  /v1/heartbeat       cluster heartbeat (shard identity, load,
+//                            search p95) — admission-exempt
 //   GET  /statsz             request metrics, admission counters, cache
 //                            stats, recovery report, degraded models
 //   GET  /v1/models          model listing (id, task, degraded)
 //   GET  /v1/models/{id}     card + lineage
 //   GET  /v1/lineage/{id}    version-graph neighborhood of one model
+//   GET  /v1/embedding/{id}  raw embedding vector (cluster-internal)
 //   POST /v1/search          {"type": "mlql"|"ann"|"keyword"|"hybrid", ...}
+//                            plus the cluster-internal scatter types
+//                            "ann_vec" | "keyword_stats" | "hybrid_parts"
 //   POST /v1/ingest          {"card": {...}, "artifact_b64": "..."}
 //
 // Threading model: one blocking accept thread plus a worker pool
@@ -84,6 +89,21 @@ struct ServerOptions {
   bool enable_batching = true;
   int64_t batch_window_us = 250;
   int max_batch = 16;
+  /// Cluster identity. shard_id >= 0 marks this backend as shard
+  /// `shard_id` of a `cluster_size`-way digest-sharded lake:
+  /// /v1/ingest rejects artifacts whose digest routes to another shard
+  /// (a misdirected write would silently fork the lake), and
+  /// /v1/heartbeat reports the identity to the router. shard_id < 0 =
+  /// standalone server, no guard.
+  int shard_id = -1;
+  int cluster_size = 0;
+  /// Test/bench seam: extra per-request delay (µs of idle wait, not
+  /// CPU) injected at the top of every /v1/search handler. Shared and
+  /// atomic so tests and the cluster bench can retune a *running*
+  /// server — e.g. slow one shard down so the router's hedged retry
+  /// fires deterministically, or model per-shard service time in the
+  /// sim_node scaling experiment. Null or <= 0 = no delay.
+  std::shared_ptr<std::atomic<int64_t>> test_search_delay_us;
 };
 
 /// A running lake server. The lake must outlive the server; the server
@@ -130,7 +150,14 @@ class LakeServer {
                         std::string* endpoint_label, int fd);
 
   HttpResponse HandleHealthz() const;
+  /// Cluster heartbeat: shard identity, model count, index generation,
+  /// inflight/draining, and the search-family p95 the router's hedging
+  /// policy keys off. Admission- and deadline-exempt like /healthz.
+  HttpResponse HandleHeartbeat() const;
   HttpResponse HandleStatsz() const;
+  /// Raw embedding vector for one model (router-side ann resolve: the
+  /// owning shard answers, every other shard 404s).
+  HttpResponse HandleEmbedding(const std::string& id) const;
   HttpResponse HandleModelList() const;
   HttpResponse HandleModelGet(const std::string& id) const;
   HttpResponse HandleLineage(const std::string& id) const;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace mlake::index {
 namespace {
@@ -121,6 +123,67 @@ TEST(InvertedIndexTest, SearchBatchBitIdenticalToSolo) {
                             sizeof(double)),
                 0)
           << "slot " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(InvertedIndexTest, SearchWithOwnStatsBitIdenticalToSearch) {
+  InvertedIndex index = MakeCorpus();
+  for (const char* query :
+       {"legal", "legal summarization", "model", "clinical notes", ""}) {
+    Bm25Stats stats = index.CollectStats(query);
+    auto solo = index.Search(query, 10);
+    auto with = index.SearchWithStats(query, 10, stats);
+    ASSERT_EQ(with.size(), solo.size()) << query;
+    for (size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_EQ(with[i].doc_id, solo[i].doc_id) << query;
+      EXPECT_EQ(
+          std::memcmp(&with[i].score, &solo[i].score, sizeof(double)), 0)
+          << query << " rank " << i;
+    }
+  }
+}
+
+TEST(InvertedIndexTest, SummedShardStatsScoreLikeMergedCorpus) {
+  // The distributed-BM25 invariant the cluster router relies on: split
+  // the corpus across two indexes, sum their integer stats, and every
+  // document scores bit-identically to the one merged index.
+  InvertedIndex merged = MakeCorpus();
+  InvertedIndex shard_a;
+  shard_a.Add("m1",
+              "legal summarization model trained on US court opinions legal "
+              "legal");
+  shard_a.Add("m4", "translation model for news articles");
+  InvertedIndex shard_b;
+  shard_b.Add("m2", "medical summarization model for clinical notes");
+  shard_b.Add("m3", "legal entity tagger for contracts");
+
+  for (const char* query : {"legal", "legal summarization model", "model"}) {
+    Bm25Stats global = shard_a.CollectStats(query);
+    global.Merge(shard_b.CollectStats(query));
+    auto oracle = merged.Search(query, 10);
+
+    // Scatter-gather: each shard scores with the summed stats, the
+    // "router" merges by (score desc, id asc) — the executor's final
+    // comparator.
+    std::vector<TextHit> gathered;
+    for (auto hits : {shard_a.SearchWithStats(query, 10, global),
+                      shard_b.SearchWithStats(query, 10, global)}) {
+      gathered.insert(gathered.end(), hits.begin(), hits.end());
+    }
+    std::sort(gathered.begin(), gathered.end(),
+              [](const TextHit& a, const TextHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc_id < b.doc_id;
+              });
+
+    ASSERT_EQ(gathered.size(), oracle.size()) << query;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(gathered[i].doc_id, oracle[i].doc_id) << query;
+      EXPECT_EQ(std::memcmp(&gathered[i].score, &oracle[i].score,
+                            sizeof(double)),
+                0)
+          << query << " rank " << i;
     }
   }
 }

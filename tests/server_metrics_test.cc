@@ -28,8 +28,39 @@ TEST(LatencyHistogramTest, OverflowBucket) {
   h.Record(5'000'000);  // 5s: beyond the last bound
   EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1u);
   EXPECT_EQ(h.max_us, 5'000'000u);
-  // Even the overflow bucket's percentile is capped at observed max.
-  EXPECT_LE(h.PercentileUs(99), 5'000'000.0);
+  // A lone overflow sample must report the observed max, not the
+  // overflow bucket's lower bound (1s) — the old interpolation pinned
+  // the bucket's last sample to its lower edge.
+  EXPECT_DOUBLE_EQ(h.PercentileUs(99), 5'000'000.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(100), 5'000'000.0);
+}
+
+TEST(LatencyHistogramTest, TopOfBucketInterpolatesToUpperBound) {
+  // Four samples in the (200, 500] bucket: p100's rank lands on the
+  // bucket's last sample, which must interpolate to the full upper
+  // bound (clamped to max), and p50 must sit strictly inside.
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.Record(500);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(100), 500.0);
+  double p50 = h.PercentileUs(50);
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 500.0);
+}
+
+TEST(LatencyHistogramTest, MultiPercentileSinglePassMatchesScalar) {
+  LatencyHistogram h;
+  for (uint64_t us : {60u, 150u, 300u, 700u, 1500u, 30'000u, 2'000'000u}) {
+    h.Record(us);
+  }
+  const double ps[] = {10, 50, 90, 95, 99, 100};
+  double vals[6];
+  h.PercentilesUs(ps, vals, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(vals[i], h.PercentileUs(ps[i])) << "p" << ps[i];
+  }
+  // Ascending inputs produce ascending outputs, capped at max.
+  for (size_t i = 1; i < 6; ++i) EXPECT_LE(vals[i - 1], vals[i]);
+  EXPECT_DOUBLE_EQ(vals[5], 2'000'000.0);
 }
 
 TEST(LatencyHistogramTest, MergeAddsEverything) {
@@ -50,8 +81,27 @@ TEST(LatencyHistogramTest, ToJsonFields) {
   EXPECT_EQ(j.GetInt64("count"), 1);
   EXPECT_EQ(j.GetInt64("max_us"), 250);
   EXPECT_TRUE(j.Contains("p50_us"));
+  EXPECT_TRUE(j.Contains("p95_us"));
   EXPECT_TRUE(j.Contains("p99_us"));
   EXPECT_TRUE(j.Contains("mean_us"));
+}
+
+TEST(MetricsRegistryTest, AggregateSnapshotMergesPrefixFamily) {
+  MetricsRegistry registry(2);
+  registry.Record("POST /v1/search:ann", 200, 100);
+  registry.Record("POST /v1/search:keyword", 200, 300);
+  registry.Record("POST /v1/search:mlql", 504, 900);
+  registry.Record("GET /v1/models/{id}", 200, 50);
+
+  EndpointStats search = registry.AggregateSnapshot("POST /v1/search");
+  EXPECT_EQ(search.requests, 3u);
+  EXPECT_EQ(search.responses_2xx, 2u);
+  EXPECT_EQ(search.deadline_exceeded, 1u);
+  EXPECT_EQ(search.latency.count, 3u);
+  EXPECT_EQ(search.latency.max_us, 900u);
+
+  EndpointStats all = registry.AggregateSnapshot("");
+  EXPECT_EQ(all.requests, 4u);
 }
 
 TEST(EndpointStatsTest, StatusClassBuckets) {

@@ -35,10 +35,22 @@
 //                                new on-disk snapshot generation
 //   serve [--port P] [--http-threads N] [--max-inflight M]
 //         [--deadline-ms D] [--batch-window-us W] [--max-batch B]
+//         [--shard-id S --cluster-size N]
 //                                run mlaked, the JSON-over-HTTP lake
 //                                server, until SIGINT/SIGTERM (graceful
 //                                drain; prints /statsz on shutdown).
-//                                W=0 disables search batching.
+//                                W=0 disables search batching. With
+//                                --shard-id/--cluster-size the server
+//                                acts as one shard of a cluster and
+//                                rejects misrouted ingests.
+//   route --backends H:P[@S],... [--cluster-size N] [--port P]
+//         [--http-threads N] [--deadline-ms D] [--no-hedging]
+//                                run the cluster router: scatter-gather
+//                                search over the backend shards with
+//                                hedged retries, digest-routed ingest.
+//                                Backends without an explicit @shard
+//                                get position modulo cluster size.
+//                                Needs no --lake.
 //
 // Exit code 0 on success, 1 on any error.
 
@@ -49,6 +61,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/model_lake.h"
@@ -70,7 +84,9 @@ int Usage() {
                "COMMAND [ARGS...]\n"
                "commands: init demo ls query card gen-card audit cite related "
                "hybrid graph recover-heritage export import fsck [--repair] "
-               "stats compact serve\n");
+               "stats compact serve\n"
+               "       mlake route --backends HOST:PORT[@SHARD],... "
+               "[--cluster-size N] [--port P]\n");
   return 1;
 }
 
@@ -363,6 +379,8 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
       continue;
     }
     if (int_arg("--max-batch", &options.max_batch)) continue;
+    if (int_arg("--shard-id", &options.shard_id)) continue;
+    if (int_arg("--cluster-size", &options.cluster_size)) continue;
     return Usage();
   }
 
@@ -393,6 +411,77 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
   return st.ok() ? 0 : Fail(st);
 }
 
+int CmdRoute(const std::vector<std::string>& args) {
+  cluster::RouterOptions options;
+  options.port = 8090;
+  std::vector<std::string> specs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto int_arg = [&](const char* flag, int* out) {
+      if (args[i] != flag || i + 1 >= args.size()) return false;
+      *out = static_cast<int>(std::strtol(args[++i].c_str(), nullptr, 10));
+      return true;
+    };
+    if (args[i] == "--backends" && i + 1 < args.size()) {
+      specs = Split(args[++i], ',');
+      continue;
+    }
+    if (int_arg("--port", &options.port)) continue;
+    if (int_arg("--http-threads", &options.threads)) continue;
+    if (int_arg("--cluster-size", &options.cluster_size)) continue;
+    if (int_arg("--deadline-ms", &options.default_deadline_ms)) continue;
+    if (int_arg("--drain-deadline-ms", &options.drain_deadline_ms)) continue;
+    if (int_arg("--heartbeat-ms", &options.heartbeat_interval_ms)) continue;
+    if (int_arg("--hedge-min-delay-ms", &options.hedge_min_delay_ms)) continue;
+    if (args[i] == "--no-hedging") {
+      options.enable_hedging = false;
+      continue;
+    }
+    return Usage();
+  }
+  if (specs.empty()) return Usage();
+
+  // Backends without an explicit @shard get position modulo cluster
+  // size, so "a,b,c,d --cluster-size 2" means two shards with two
+  // replicas each.
+  int implied_size =
+      options.cluster_size > 0 ? options.cluster_size
+                               : static_cast<int>(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto spec = cluster::ParseBackendSpec(specs[i]);
+    if (!spec.ok()) return Fail(spec.status());
+    cluster::BackendSpec backend = spec.MoveValueUnsafe();
+    if (backend.shard_id < 0) {
+      backend.shard_id = static_cast<int>(i) % implied_size;
+    }
+    options.backends.push_back(std::move(backend));
+  }
+  if (options.cluster_size == 0) options.cluster_size = implied_size;
+
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  cluster::Router router(options);
+  Status st = router.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("mlake router listening on %s:%d (%d shards, %zu backends)\n",
+              router.options().bind_address.c_str(), router.port(),
+              router.options().cluster_size, router.options().backends.size());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("caught %s, draining (deadline %d ms)...\n",
+              sig == SIGINT ? "SIGINT" : "SIGTERM",
+              router.options().drain_deadline_ms);
+  std::fflush(stdout);
+  st = router.Stop();
+  std::printf("%s\n", router.StatszJson().Dump(2).c_str());
+  return st.ok() ? 0 : Fail(st);
+}
+
 int Run(int argc, char** argv) {
   std::string lake_dir;
   int threads = 0;
@@ -409,9 +498,14 @@ int Run(int argc, char** argv) {
       rest.emplace_back(argv[i]);
     }
   }
-  if (lake_dir.empty() || rest.empty()) return Usage();
+  if (rest.empty()) return Usage();
   std::string command = rest.front();
   std::vector<std::string> args(rest.begin() + 1, rest.end());
+
+  // The router fronts remote backends and owns no lake of its own, so
+  // it is the one command that skips --lake.
+  if (command == "route") return CmdRoute(args);
+  if (lake_dir.empty()) return Usage();
 
   auto lake = OpenLake(lake_dir, threads, cache_mb);
   if (!lake.ok()) return Fail(lake.status());
