@@ -539,6 +539,14 @@ void Router::PollBackendsOnce() {
                                  std::memory_order_relaxed);
     state.p95_us.store(static_cast<int64_t>(hb.GetDouble("search_p95_us")),
                        std::memory_order_relaxed);
+    state.is_replica.store(hb.GetString("role") == "replica",
+                           std::memory_order_relaxed);
+    state.applied_seq.store(
+        static_cast<uint64_t>(hb.GetInt64("applied_seq")),
+        std::memory_order_relaxed);
+    state.replication_epoch.store(
+        static_cast<uint64_t>(hb.GetInt64("replication_epoch")),
+        std::memory_order_relaxed);
     state.heartbeats_ok.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -549,6 +557,7 @@ void Router::PublishMapLocked() {
     const BackendState& s = *backends_[i];
     health[i].healthy = s.healthy.load(std::memory_order_relaxed);
     health[i].draining = s.draining.load(std::memory_order_relaxed);
+    health[i].is_replica = s.is_replica.load(std::memory_order_relaxed);
     health[i].inflight = s.inflight.load(std::memory_order_relaxed);
     health[i].p95_us = s.p95_us.load(std::memory_order_relaxed);
   }
@@ -557,8 +566,12 @@ void Router::PublishMapLocked() {
   // Epoch bumps only on a real assignment change: the deterministic
   // replica ordering makes the comparison structural, so a quiet
   // cluster keeps one epoch and in-flight drains are the exception,
-  // not the rule.
-  if (map_ != nullptr && next.replicas == map_->replicas) return;
+  // not the rule. A role flip (promote) changes the writer lists even
+  // when the read order holds, so both are compared.
+  if (map_ != nullptr && next.replicas == map_->replicas &&
+      next.writers == map_->writers) {
+    return;
+  }
   epoch_ += 1;
   next.epoch = epoch_;
   map_ = std::make_shared<const ShardMap>(std::move(next));
@@ -587,9 +600,12 @@ void Router::LaunchAttempt(const std::shared_ptr<LegCall>& call, int backend,
       headers.emplace_back("X-Mlake-Deadline-Ms", std::to_string(deadline_ms));
     }
     auto lease = pool_.Acquire(host, port);
+    // Scatter legs are read-only (/v1/search families), so the POSTs are
+    // idempotent and may ride the client's keep-alive-race retry.
     Result<HttpResponse> result =
         method == "GET" ? lease->Get(path, headers, timeout_ms)
-                        : lease->Post(path, body, headers, timeout_ms);
+                        : lease->Post(path, body, headers, timeout_ms,
+                                      /*idempotent=*/true);
     // 503 (draining / shutting down) is retryable on a replica; any
     // other HTTP status is the backend's definitive answer.
     bool retryable =
@@ -813,6 +829,13 @@ Json Router::StatszJson() const {
           s.index_generation.load(std::memory_order_relaxed));
     b.Set("heartbeats_ok", s.heartbeats_ok.load(std::memory_order_relaxed));
     b.Set("consecutive_misses", s.misses.load(std::memory_order_relaxed));
+    b.Set("role", s.is_replica.load(std::memory_order_relaxed)
+                      ? "replica"
+                      : "writer");
+    b.Set("applied_seq",
+          Json(s.applied_seq.load(std::memory_order_relaxed)));
+    b.Set("replication_epoch",
+          Json(s.replication_epoch.load(std::memory_order_relaxed)));
     backends.Append(std::move(b));
   }
   out.Set("backends", std::move(backends));
@@ -1272,29 +1295,41 @@ HttpResponse Router::HandleIngest(const HttpRequest& request,
   if (map == nullptr || owner >= map->cluster_size()) {
     return ErrorResponse(Status::Unavailable("no shard map published yet"));
   }
-  const std::vector<int>& replicas = map->replicas[owner];
-  if (replicas.empty()) {
+  if (map->replicas[owner].empty()) {
     return ErrorResponse(Status::Unavailable(
         "shard " + std::to_string(owner) + " has no backend"));
   }
+  // Writes only go to backends whose heartbeat claims a writable role —
+  // a read replica would just answer 409. An empty writer list means
+  // the slot's leader is down and no replica has been promoted.
+  const std::vector<int>& writers =
+      owner < map->writers.size() ? map->writers[owner] : map->replicas[owner];
+  if (writers.empty()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "shard " + std::to_string(owner) +
+        " has no writable backend (leader down?): `mlake promote` a "
+        "replica"));
+  }
 
-  // Sequential failover down the replica list. Retrying after a
-  // mid-request transport death can re-send a committed ingest; that
-  // is safe here because ingest is content-addressed — the duplicate
-  // lands as AlreadyExists on the same shard, never as divergence.
+  // Sequential failover down the writer list. The POST is never
+  // silently resent by the client (non-idempotent); instead each
+  // attempt carries the artifact digest as an idempotency key, so a
+  // shard that already applied a half-delivered attempt answers the
+  // next one with the existing id instead of AlreadyExists.
   Status last_error = Status::Unavailable("no replica attempted");
-  for (size_t attempt = 0; attempt < replicas.size(); ++attempt) {
+  for (size_t attempt = 0; attempt < writers.size(); ++attempt) {
     int64_t remaining = RemainingMs(deadline);
     if (remaining <= 0) {
       return ErrorResponse(
           Status::DeadlineExceeded("deadline expired during ingest routing"));
     }
     const BackendSpec& spec =
-        options_.backends[static_cast<size_t>(replicas[attempt])];
+        options_.backends[static_cast<size_t>(writers[attempt])];
     auto lease = pool_.Acquire(spec.host, spec.port);
     auto result = lease->Post(
         "/v1/ingest", request.body,
-        {{"X-Mlake-Deadline-Ms", std::to_string(remaining)}},
+        {{"X-Mlake-Deadline-Ms", std::to_string(remaining)},
+         {"X-Mlake-Idempotency-Key", digest}},
         static_cast<int>(remaining + 50));
     if (result.ok()) {
       if (attempt > 0) failovers_.fetch_add(1, std::memory_order_relaxed);

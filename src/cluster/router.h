@@ -133,6 +133,12 @@ class Router {
     std::atomic<int64_t> models{0};
     std::atomic<int64_t> index_generation{0};
     std::atomic<uint64_t> heartbeats_ok{0};
+    /// Replication role/watermark (heartbeat "role", "applied_seq",
+    /// "replication_epoch"; standalone backends report is_replica
+    /// false and zeros).
+    std::atomic<bool> is_replica{false};
+    std::atomic<uint64_t> applied_seq{0};
+    std::atomic<uint64_t> replication_epoch{0};
   };
 
   /// One backend round trip's outcome, shared between the caller and

@@ -47,6 +47,13 @@ Json ShardMap::ToJson() const {
     slots.Append(std::move(arr));
   }
   out.Set("replicas", std::move(slots));
+  Json writer_slots = Json::MakeArray();
+  for (const std::vector<int>& slot : writers) {
+    Json arr = Json::MakeArray();
+    for (int b : slot) arr.Append(Json(static_cast<int64_t>(b)));
+    writer_slots.Append(std::move(arr));
+  }
+  out.Set("writers", std::move(writer_slots));
   return out;
 }
 
@@ -61,18 +68,29 @@ ShardMap BuildShardMap(const std::vector<BackendSpec>& backends,
     if (slot < 0 || static_cast<size_t>(slot) >= cluster_size) continue;
     map.replicas[static_cast<size_t>(slot)].push_back(static_cast<int>(i));
   }
+  auto lookup = [&](int b) {
+    return static_cast<size_t>(b) < health.size()
+               ? health[static_cast<size_t>(b)]
+               : BackendHealth{};
+  };
   auto rank = [&](int b) {
-    const BackendHealth& h = static_cast<size_t>(b) < health.size()
-                                 ? health[static_cast<size_t>(b)]
-                                 : BackendHealth{};
-    // Lexicographic: healthy first, non-draining first, least loaded,
-    // fastest, then stable index order.
+    const BackendHealth h = lookup(b);
+    // Lexicographic: healthy first, non-draining first, read replicas
+    // before their leader (reads land on replicas; a cluster with no
+    // replicas is unaffected), least loaded, fastest, then stable
+    // index order.
     return std::make_tuple(h.healthy ? 0 : 1, h.draining ? 1 : 0,
-                           h.inflight, h.p95_us, b);
+                           h.is_replica ? 0 : 1, h.inflight, h.p95_us, b);
   };
   for (std::vector<int>& slot : map.replicas) {
     std::sort(slot.begin(), slot.end(),
               [&](int a, int b) { return rank(a) < rank(b); });
+  }
+  map.writers.resize(cluster_size);
+  for (size_t slot = 0; slot < cluster_size; ++slot) {
+    for (int b : map.replicas[slot]) {
+      if (!lookup(b).is_replica) map.writers[slot].push_back(b);
+    }
   }
   return map;
 }

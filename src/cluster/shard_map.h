@@ -40,8 +40,14 @@ struct ShardMap {
   uint64_t epoch = 0;
   /// replicas[slot] = backend indices (into the router's backend list),
   /// best first. Unhealthy replicas sort last but are never dropped —
-  /// a leg with nothing better may still try them.
+  /// a leg with nothing better may still try them. Read replicas rank
+  /// *before* the leader among equally-healthy backends so reads land
+  /// on replicas and survive a leader loss.
   std::vector<std::vector<int>> replicas;
+  /// writers[slot] = the subset of replicas[slot] that accepts ingest
+  /// (heartbeat role != "replica"), same order. Empty when the slot's
+  /// leader is down and nothing has been promoted yet.
+  std::vector<std::vector<int>> writers;
 
   size_t cluster_size() const { return replicas.size(); }
 
@@ -53,6 +59,8 @@ struct ShardMap {
 struct BackendHealth {
   bool healthy = false;
   bool draining = false;
+  /// Heartbeat role == "replica": serves reads, rejects ingest.
+  bool is_replica = false;
   int64_t inflight = 0;
   int64_t p95_us = 0;
 };

@@ -99,7 +99,8 @@ Status ModelLake::Initialize() {
       storage::Catalog::Open(JoinPath(options_.root, "catalog.log"), fs_));
   MLAKE_ASSIGN_OR_RETURN(
       storage::IntentJournal journal,
-      storage::IntentJournal::Open(JoinPath(options_.root, "journal"), fs_));
+      storage::IntentJournal::Open(JoinPath(options_.root, "journal"), fs_,
+                                   options_.replication_log));
   journal_ = std::make_unique<storage::IntentJournal>(std::move(journal));
 
   artifact_cache_ = std::make_unique<
@@ -160,12 +161,22 @@ Status ModelLake::Recover() {
   MLAKE_ASSIGN_OR_RETURN(std::vector<storage::Intent> pending,
                          journal_->Pending());
   for (const storage::Intent& intent : pending) {
+    // Apply-then-log ops (record_edge, register_dataset) journal only
+    // *after* their mutation is durable, so a pending intent means the
+    // mutation already applied — completing the Commit just finishes
+    // the interrupted log append. Everything else is a write-ahead
+    // intent: roll the mutation back and Abort so the entry never
+    // enters the replayable log.
+    if (intent.op == "record_edge" || intent.op == "register_dataset") {
+      MLAKE_RETURN_NOT_OK(journal_->Commit(intent.seq));
+      continue;
+    }
     MLAKE_LOG_WARNING << "lake " << options_.root
                       << ": rolling back incomplete " << intent.op
                       << " intent #" << intent.seq << " (" << intent.ids.size()
                       << " model(s))";
     MLAKE_RETURN_NOT_OK(RollbackIntent(intent));
-    MLAKE_RETURN_NOT_OK(journal_->Commit(intent.seq));
+    MLAKE_RETURN_NOT_OK(journal_->Abort(intent.seq));
     ++recovery_.rolled_back_intents;
     recovery_.rolled_back_ids.insert(recovery_.rolled_back_ids.end(),
                                      intent.ids.begin(), intent.ids.end());
@@ -190,6 +201,11 @@ Status ModelLake::Recover() {
 }
 
 Status ModelLake::RollbackIntent(const storage::Intent& intent) {
+  if (intent.op == "record_edge" || intent.op == "register_dataset") {
+    // Apply-then-log ops: the intent is written only after the mutation
+    // is durable, so there is nothing to undo (see Recover).
+    return Status::OK();
+  }
   if (intent.op == "compact") {
     // A compaction intent names no models; the mutation is the set of
     // snapshot files plus the atomic manifest swap. Deleting every
@@ -844,7 +860,19 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
   intent.op = "ingest";
   intent.ids = ids;
   intent.digests = digests;
-  MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
+  if (options_.replication_log) {
+    // Replay payload: the cards. Artifact bytes ship by digest and the
+    // embedding is recomputed deterministically from them, so cards are
+    // all a replica needs beyond the blobs.
+    Json cards = Json::MakeArray();
+    for (const IngestRequest& request : batch) {
+      cards.Append(request.card.ToJson());
+    }
+    Json payload = Json::MakeObject();
+    payload.Set("cards", std::move(cards));
+    intent.payload = std::move(payload);
+  }
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, BeginIntentLocked(intent));
 
   // Phase 3: apply the mutation (blobs, catalog, indices, graph).
   const size_t pre_ann_ids = ann_ids_.size();
@@ -863,9 +891,11 @@ Result<std::vector<std::string>> ModelLake::IngestModelsLocked(
     // removal, so undoing the batch is O(batch), not O(lake). If the
     // disk rollback itself fails (filesystem still erroring), the
     // intent stays pending and the next Open() finishes the job.
+    // Abort, not Commit: a rolled-back batch must never enter the
+    // replayable log a replica would ship.
     Status rolled_back = RollbackIntent(intent);
     if (rolled_back.ok()) {
-      rolled_back = journal_->Commit(intent.seq);
+      rolled_back = journal_->Abort(intent.seq);
     }
     if (!rolled_back.ok()) {
       MLAKE_LOG_WARNING << "lake " << options_.root
@@ -914,6 +944,11 @@ void ModelLake::RollbackBatchIndexesLocked(const std::vector<std::string>& ids,
 Result<std::vector<std::string>> ModelLake::IngestCards(
     const std::vector<CardIngest>& batch) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  return IngestCardsLocked(batch);
+}
+
+Result<std::vector<std::string>> ModelLake::IngestCardsLocked(
+    const std::vector<CardIngest>& batch) {
   std::vector<std::string> ids;
   ids.reserve(batch.size());
   for (const CardIngest& item : batch) {
@@ -940,7 +975,21 @@ Result<std::vector<std::string>> ModelLake::IngestCards(
   storage::Intent intent;
   intent.op = "ingest";
   intent.ids = ids;
-  MLAKE_ASSIGN_OR_RETURN(intent.seq, journal_->Begin(intent));
+  if (options_.replication_log) {
+    // Metadata-only ingests have no artifact to recompute from, so the
+    // payload carries the embeddings inline alongside the cards.
+    Json cards = Json::MakeArray();
+    Json embeddings_json = Json::MakeArray();
+    for (const CardIngest& item : batch) {
+      cards.Append(item.card.ToJson());
+      embeddings_json.Append(FloatsToJson(item.embedding));
+    }
+    Json payload = Json::MakeObject();
+    payload.Set("cards", std::move(cards));
+    payload.Set("embeddings", std::move(embeddings_json));
+    intent.payload = std::move(payload);
+  }
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, BeginIntentLocked(intent));
 
   const size_t pre_ann_ids = ann_ids_.size();
   const size_t pre_ann_delta = ann_->DeltaSize();
@@ -952,7 +1001,7 @@ Result<std::vector<std::string>> ModelLake::IngestCards(
   if (!applied.ok()) {
     Status rolled_back = RollbackIntent(intent);
     if (rolled_back.ok()) {
-      rolled_back = journal_->Commit(intent.seq);
+      rolled_back = journal_->Abort(intent.seq);
     }
     if (!rolled_back.ok()) {
       MLAKE_LOG_WARNING << "lake " << options_.root
@@ -1287,6 +1336,11 @@ Result<FsckReport> ModelLake::FsckRepair() {
 Status ModelLake::RegisterDataset(const std::string& name,
                                   const std::vector<std::string>& shards) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  return RegisterDatasetLocked(name, shards);
+}
+
+Status ModelLake::RegisterDatasetLocked(
+    const std::string& name, const std::vector<std::string>& shards) {
   if (name.empty() || shards.empty()) {
     return Status::InvalidArgument("dataset needs a name and shards");
   }
@@ -1299,7 +1353,20 @@ Status ModelLake::RegisterDataset(const std::string& name,
   doc.Set("shards", std::move(arr));
   MLAKE_RETURN_NOT_OK(catalog_->PutDoc("dataset", name, doc));
   ++mutation_epoch_;
-  return dataset_lsh_->Add(name, DatasetSignature(shards));
+  MLAKE_RETURN_NOT_OK(dataset_lsh_->Add(name, DatasetSignature(shards)));
+  if (!options_.replication_log) return Status::OK();
+  // Apply-then-log, like RecordEdgeLocked.
+  MLAKE_RETURN_NOT_OK(catalog_->Sync());
+  storage::Intent intent;
+  intent.op = "register_dataset";
+  Json payload = Json::MakeObject();
+  payload.Set("name", name);
+  Json shards_json = Json::MakeArray();
+  for (const std::string& s : shards) shards_json.Append(Json(s));
+  payload.Set("shards", std::move(shards_json));
+  intent.payload = std::move(payload);
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, BeginIntentLocked(intent));
+  return journal_->Commit(intent.seq);
 }
 
 Result<std::vector<std::string>> ModelLake::DatasetShardsUnlocked(
@@ -1330,8 +1397,442 @@ std::vector<std::string> ModelLake::ListDatasets() const {
 
 Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  return RecordEdgeLocked(edge);
+}
+
+Status ModelLake::RecordEdgeLocked(const versioning::VersionEdge& edge) {
   MLAKE_RETURN_NOT_OK(graph_.AddEdge(edge));
-  return PersistGraph();
+  MLAKE_RETURN_NOT_OK(PersistGraph());
+  if (!options_.replication_log) return Status::OK();
+  // Apply-then-log: make the edge durable first, then append + commit
+  // the log entry so replicas replay it. A crash between Sync and
+  // Commit leaves a pending intent whose mutation already applied;
+  // Recover completes the Commit (never rolls it back). A crash before
+  // Begin loses only the log entry — the periodic fingerprint exchange
+  // catches the divergence and a re-seed repairs it.
+  MLAKE_RETURN_NOT_OK(catalog_->Sync());
+  storage::Intent intent;
+  intent.op = "record_edge";
+  Json payload = Json::MakeObject();
+  payload.Set("parent", edge.parent);
+  payload.Set("child", edge.child);
+  payload.Set("type", std::string(versioning::EdgeTypeToString(edge.type)));
+  payload.Set("confidence", edge.confidence);
+  if (!edge.params.is_null()) payload.Set("params", edge.params);
+  intent.payload = std::move(payload);
+  MLAKE_ASSIGN_OR_RETURN(intent.seq, BeginIntentLocked(intent));
+  return journal_->Commit(intent.seq);
+}
+
+// ----------------------------------------------------------- replication
+
+Result<uint64_t> ModelLake::BeginIntentLocked(const storage::Intent& intent) {
+  if (forced_seq_ == 0) return journal_->Begin(intent);
+  storage::Intent stamped = intent;
+  stamped.epoch = forced_epoch_;
+  return journal_->BeginAt(forced_seq_, stamped);
+}
+
+Result<Json> ModelLake::ReplicationLogJson(uint64_t from_seq,
+                                           size_t max) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!options_.replication_log) {
+    return Status::FailedPrecondition("replication log disabled on this lake");
+  }
+  if (journal_->truncated_upto() != 0 &&
+      from_seq <= journal_->truncated_upto()) {
+    return Status::FailedPrecondition(StrFormat(
+        "log truncated through seq %llu; re-seed from a snapshot",
+        static_cast<unsigned long long>(journal_->truncated_upto())));
+  }
+  MLAKE_ASSIGN_OR_RETURN(std::vector<storage::Intent> entries,
+                         journal_->Committed(from_seq, max));
+  // Exhaustion is judged before filtering local-only ops: when this scan
+  // drained the log, the replica may fast-forward its watermark to
+  // last_seq even though some seqs below it were never shipped.
+  const bool exhausted = entries.size() < max;
+  Json arr = Json::MakeArray();
+  for (const storage::Intent& entry : entries) {
+    if (entry.op == "compact") continue;  // local housekeeping, not state
+    arr.Append(entry.ToJson());
+  }
+  Json out = Json::MakeObject();
+  out.Set("epoch", Json(journal_->epoch()));
+  out.Set("last_seq", Json(journal_->last_committed_seq()));
+  out.Set("exhausted", Json(exhausted));
+  out.Set("entries", std::move(arr));
+  return out;
+}
+
+Result<std::string> ModelLake::ReadBlob(const std::string& digest) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return blobs_->Get(digest);
+}
+
+std::string ModelLake::ReplicationFingerprintUnlocked() const {
+  std::string acc;
+  auto mix = [&acc](const std::string& piece) {
+    acc = Sha256::HexDigest(acc + piece);
+  };
+  for (const char* kind : {"model", "card", "embedding", "dataset"}) {
+    for (const std::string& id : catalog_->ListIds(kind)) {  // sorted
+      Result<Json> doc = catalog_->GetDoc(kind, id);
+      mix(std::string(kind) + "|" + id + "|" +
+          (doc.ok() ? doc.ValueUnsafe().Dump() : std::string("<unreadable>")));
+    }
+  }
+  std::vector<std::string> edges;
+  edges.reserve(graph_.NumEdges());
+  for (const versioning::VersionEdge& e : graph_.Edges()) {
+    edges.push_back(
+        StrFormat("edge|%s|%s|%s|%.17g|%s", e.parent.c_str(), e.child.c_str(),
+                  std::string(versioning::EdgeTypeToString(e.type)).c_str(),
+                  e.confidence, e.params.is_null() ? "" : e.params.Dump().c_str()));
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const std::string& e : edges) mix(e);
+  return acc;
+}
+
+std::string ModelLake::ReplicationFingerprint() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ReplicationFingerprintUnlocked();
+}
+
+Result<Json> ModelLake::ReplicationSeedJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!options_.replication_log) {
+    return Status::FailedPrecondition("replication log disabled on this lake");
+  }
+  // Docs ship verbatim: the replica re-puts these exact bytes, so a
+  // re-seeded catalog fingerprints identically to the leader's by
+  // construction.
+  Json models = Json::MakeArray();
+  for (const std::string& id : catalog_->ListIds("model")) {  // sorted
+    Json entry = Json::MakeObject();
+    entry.Set("id", id);
+    for (const char* kind : {"model", "card", "embedding"}) {
+      if (Result<Json> doc = catalog_->GetDoc(kind, id); doc.ok()) {
+        entry.Set(kind, doc.MoveValueUnsafe());
+      }
+    }
+    models.Append(std::move(entry));
+  }
+  Json datasets = Json::MakeArray();
+  for (const std::string& name : catalog_->ListIds("dataset")) {
+    Json entry = Json::MakeObject();
+    entry.Set("name", name);
+    if (Result<Json> doc = catalog_->GetDoc("dataset", name); doc.ok()) {
+      entry.Set("doc", doc.MoveValueUnsafe());
+    }
+    datasets.Append(std::move(entry));
+  }
+  Json edges = Json::MakeArray();
+  for (const versioning::VersionEdge& e : graph_.Edges()) {
+    Json ej = Json::MakeObject();
+    ej.Set("parent", e.parent);
+    ej.Set("child", e.child);
+    ej.Set("type", std::string(versioning::EdgeTypeToString(e.type)));
+    ej.Set("confidence", e.confidence);
+    if (!e.params.is_null()) ej.Set("params", e.params);
+    edges.Append(std::move(ej));
+  }
+  Json out = Json::MakeObject();
+  out.Set("epoch", Json(journal_->epoch()));
+  out.Set("upto_seq", Json(journal_->last_committed_seq()));
+  out.Set("models", std::move(models));
+  out.Set("edges", std::move(edges));
+  out.Set("datasets", std::move(datasets));
+  return out;
+}
+
+Status ModelLake::ApplyReplicated(
+    const storage::Intent& entry,
+    const std::map<std::string, std::string>& blob_bytes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!options_.replication_log) {
+    return Status::FailedPrecondition("replication log disabled on this lake");
+  }
+  if (entry.seq == 0) {
+    return Status::InvalidArgument("replicated entry needs a seq");
+  }
+  forced_seq_ = entry.seq;
+  forced_epoch_ = entry.epoch;
+  Status applied = [&]() -> Status {
+    if (entry.op == "ingest" && !entry.digests.empty()) {
+      if (entry.digests.size() != entry.ids.size()) {
+        return Status::Corruption("replicated ingest: ids/digests mismatch");
+      }
+      const Json* cards = entry.payload.Find("cards");
+      if (cards == nullptr || !cards->is_array() ||
+          cards->AsArray().size() != entry.ids.size()) {
+        return Status::Corruption("replicated ingest: bad cards payload");
+      }
+      // Decode every artifact and verify its bytes against the shipped
+      // digest before anything durable changes.
+      std::vector<std::unique_ptr<nn::Model>> models;
+      models.reserve(entry.ids.size());
+      std::vector<IngestRequest> batch(entry.ids.size());
+      for (size_t i = 0; i < entry.ids.size(); ++i) {
+        auto it = blob_bytes.find(entry.digests[i]);
+        if (it == blob_bytes.end()) {
+          return Status::InvalidArgument("missing blob bytes for digest " +
+                                         entry.digests[i]);
+        }
+        if (Sha256::HexDigest(it->second) != entry.digests[i]) {
+          return Status::Corruption("blob bytes do not match digest " +
+                                    entry.digests[i]);
+        }
+        MLAKE_ASSIGN_OR_RETURN(storage::ModelArtifact artifact,
+                               storage::ParseArtifact(it->second));
+        MLAKE_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                               storage::ModelFromArtifact(artifact));
+        MLAKE_ASSIGN_OR_RETURN(
+            batch[i].card, metadata::ModelCard::FromJson(cards->AsArray()[i]));
+        if (batch[i].card.model_id != entry.ids[i]) {
+          return Status::Corruption("replicated ingest: card/id mismatch for " +
+                                    entry.ids[i]);
+        }
+        models.push_back(std::move(model));
+        batch[i].model = models.back().get();
+      }
+      MLAKE_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                             IngestModelsLocked(batch));
+      // Determinism check: re-serializing the decoded artifacts must
+      // land on the leader's digests, or this replica just diverged.
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto it = digest_by_id_.find(ids[i]);
+        if (it == digest_by_id_.end() || it->second != entry.digests[i]) {
+          return Status::Corruption("replicated ingest: digest diverged for " +
+                                    ids[i]);
+        }
+      }
+      return Status::OK();
+    }
+    if (entry.op == "ingest") {
+      // Metadata-only batch: cards + embeddings ride in the payload.
+      const Json* cards = entry.payload.Find("cards");
+      const Json* embeddings = entry.payload.Find("embeddings");
+      if (cards == nullptr || !cards->is_array() || embeddings == nullptr ||
+          !embeddings->is_array() ||
+          cards->AsArray().size() != embeddings->AsArray().size()) {
+        return Status::Corruption("replicated card ingest: bad payload");
+      }
+      std::vector<CardIngest> batch(cards->AsArray().size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        MLAKE_ASSIGN_OR_RETURN(
+            batch[i].card, metadata::ModelCard::FromJson(cards->AsArray()[i]));
+        MLAKE_ASSIGN_OR_RETURN(batch[i].embedding,
+                               FloatsFromJson(embeddings->AsArray()[i]));
+      }
+      Result<std::vector<std::string>> ids = IngestCardsLocked(batch);
+      return ids.ok() ? Status::OK() : ids.status();
+    }
+    if (entry.op == "record_edge") {
+      versioning::VersionEdge edge;
+      edge.parent = entry.payload.GetString("parent");
+      edge.child = entry.payload.GetString("child");
+      MLAKE_ASSIGN_OR_RETURN(
+          edge.type,
+          versioning::EdgeTypeFromString(entry.payload.GetString("type")));
+      edge.confidence = entry.payload.GetDouble("confidence", 1.0);
+      if (const Json* params = entry.payload.Find("params")) {
+        edge.params = *params;
+      }
+      return RecordEdgeLocked(edge);
+    }
+    if (entry.op == "register_dataset") {
+      std::string name = entry.payload.GetString("name");
+      std::vector<std::string> shards;
+      if (const Json* arr = entry.payload.Find("shards");
+          arr != nullptr && arr->is_array()) {
+        for (const Json& s : arr->AsArray()) {
+          if (s.is_string()) shards.push_back(s.AsString());
+        }
+      }
+      return RegisterDatasetLocked(name, shards);
+    }
+    return Status::InvalidArgument("unknown replicated op: " + entry.op);
+  }();
+  forced_seq_ = 0;
+  forced_epoch_ = 0;
+  return applied;
+}
+
+Status ModelLake::ReseedFromManifest(
+    const Json& manifest,
+    const std::function<Result<std::string>(const std::string&)>& fetch_blob) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!options_.replication_log) {
+    return Status::FailedPrecondition("replication log disabled on this lake");
+  }
+  const Json* models = manifest.Find("models");
+  if (models == nullptr || !models->is_array()) {
+    return Status::Corruption("seed manifest: missing models array");
+  }
+  std::map<std::string, const Json*> seed;  // id -> manifest entry
+  for (const Json& entry : models->AsArray()) {
+    std::string id = entry.GetString("id");
+    if (id.empty()) {
+      return Status::Corruption("seed manifest: model without id");
+    }
+    seed[id] = &entry;
+  }
+
+  // 1. Blobs: fetch (and verify) every artifact the seed references that
+  // this lake does not already hold. Content addressing makes re-running
+  // this after a crash idempotent; orphaned local blobs are left for GC.
+  for (const auto& [id, entry] : seed) {
+    const Json* model_doc = entry->Find("model");
+    std::string digest =
+        model_doc == nullptr ? "" : model_doc->GetString("artifact_digest");
+    if (digest.empty() || blobs_->Contains(digest)) continue;
+    MLAKE_ASSIGN_OR_RETURN(std::string bytes, fetch_blob(digest));
+    if (Sha256::HexDigest(bytes) != digest) {
+      return Status::Corruption("re-seed blob does not match digest " +
+                                digest);
+    }
+    MLAKE_ASSIGN_OR_RETURN(std::string stored, blobs_->Put(bytes));
+    (void)stored;
+  }
+
+  // 2. Catalog: force model/card/embedding docs to the seed's exact
+  // bytes — extra ids are deleted, divergent docs overwritten.
+  for (const char* kind : {"model", "card", "embedding"}) {
+    for (const std::string& id : catalog_->ListIds(kind)) {
+      auto it = seed.find(id);
+      if (it == seed.end() || it->second->Find(kind) == nullptr) {
+        MLAKE_RETURN_NOT_OK(catalog_->DeleteDoc(kind, id));
+      }
+    }
+    for (const auto& [id, entry] : seed) {
+      const Json* doc = entry->Find(kind);
+      if (doc == nullptr) continue;
+      bool same = false;
+      if (Result<Json> existing = catalog_->GetDoc(kind, id); existing.ok()) {
+        same = existing.ValueUnsafe().Dump() == doc->Dump();
+      }
+      if (!same) MLAKE_RETURN_NOT_OK(catalog_->PutDoc(kind, id, *doc));
+    }
+  }
+
+  // 3. Datasets, wholesale.
+  std::map<std::string, const Json*> want_datasets;
+  if (const Json* datasets = manifest.Find("datasets");
+      datasets != nullptr && datasets->is_array()) {
+    for (const Json& d : datasets->AsArray()) {
+      std::string name = d.GetString("name");
+      const Json* doc = d.Find("doc");
+      if (name.empty() || doc == nullptr) {
+        return Status::Corruption("seed manifest: bad dataset entry");
+      }
+      want_datasets[name] = doc;
+    }
+  }
+  for (const std::string& name : catalog_->ListIds("dataset")) {
+    if (want_datasets.count(name) == 0) {
+      MLAKE_RETURN_NOT_OK(catalog_->DeleteDoc("dataset", name));
+    }
+  }
+  for (const auto& [name, doc] : want_datasets) {
+    bool same = false;
+    if (Result<Json> existing = catalog_->GetDoc("dataset", name);
+        existing.ok()) {
+      same = existing.ValueUnsafe().Dump() == doc->Dump();
+    }
+    if (!same) MLAKE_RETURN_NOT_OK(catalog_->PutDoc("dataset", name, *doc));
+  }
+
+  // 4. Lineage, wholesale: nodes for artifact-backed models, then the
+  // seed's edges (AddEdge auto-registers any endpoint it is missing).
+  versioning::ModelGraph fresh;
+  for (const auto& [id, entry] : seed) {
+    const Json* model_doc = entry->Find("model");
+    if (model_doc != nullptr &&
+        !model_doc->GetString("artifact_digest").empty()) {
+      fresh.AddModel(id);
+    }
+  }
+  if (const Json* edges = manifest.Find("edges");
+      edges != nullptr && edges->is_array()) {
+    for (const Json& ej : edges->AsArray()) {
+      versioning::VersionEdge edge;
+      edge.parent = ej.GetString("parent");
+      edge.child = ej.GetString("child");
+      MLAKE_ASSIGN_OR_RETURN(
+          edge.type, versioning::EdgeTypeFromString(ej.GetString("type")));
+      edge.confidence = ej.GetDouble("confidence", 1.0);
+      if (const Json* params = ej.Find("params")) edge.params = *params;
+      MLAKE_RETURN_NOT_OK(fresh.AddEdge(std::move(edge)));
+    }
+  }
+  graph_ = std::move(fresh);
+  MLAKE_RETURN_NOT_OK(PersistGraph());
+  MLAKE_RETURN_NOT_OK(catalog_->Sync());
+
+  // 5. Every seeded artifact was digest-verified above, so quarantine
+  // state is reset.
+  degraded_.clear();
+
+  // 6. The local log below upto_seq no longer describes what is applied;
+  // truncate it and adopt the leader's epoch so a later promote resumes
+  // from a clean floor.
+  const uint64_t upto =
+      static_cast<uint64_t>(manifest.GetInt64("upto_seq", 0));
+  if (upto > 0) MLAKE_RETURN_NOT_OK(journal_->Truncate(upto));
+  const uint64_t seed_epoch =
+      static_cast<uint64_t>(manifest.GetInt64("epoch", 0));
+  if (seed_epoch > journal_->epoch()) {
+    MLAKE_RETURN_NOT_OK(journal_->SetEpoch(seed_epoch));
+  }
+
+  // 7. Rebuild every index from the repaired catalog.
+  MLAKE_RETURN_NOT_OK(InvalidateIndexSnapshotsUnlocked());
+  MLAKE_RETURN_NOT_OK(RebuildIndices());
+  ++mutation_epoch_;
+  return Status::OK();
+}
+
+uint64_t ModelLake::ReplicationEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return journal_->epoch();
+}
+
+uint64_t ModelLake::ReplicationLastSeq() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return journal_->last_committed_seq();
+}
+
+Status ModelLake::SetReplicationEpoch(uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return journal_->SetEpoch(epoch);
+}
+
+Result<uint64_t> ModelLake::BumpReplicationEpoch() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  uint64_t next = journal_->epoch() + 1;
+  MLAKE_RETURN_NOT_OK(journal_->SetEpoch(next));
+  return next;
+}
+
+Status ModelLake::TruncateReplicationLog(uint64_t upto_seq) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return journal_->Truncate(upto_seq);
+}
+
+Result<std::string> ModelLake::ArtifactDigest(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (auto it = digest_by_id_.find(id); it != digest_by_id_.end()) {
+    return it->second;
+  }
+  MLAKE_ASSIGN_OR_RETURN(Json model_doc, catalog_->GetDoc("model", id));
+  return model_doc.GetString("artifact_digest");
+}
+
+bool ModelLake::HasEdge(const std::string& parent,
+                        const std::string& child) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return graph_.HasEdge(parent, child);
 }
 
 Result<Json> ModelLake::Lineage(const std::string& id) const {

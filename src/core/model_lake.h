@@ -2,6 +2,7 @@
 #define MLAKE_CORE_MODEL_LAKE_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -128,6 +129,17 @@ struct LakeOptions {
   bool background_compaction = true;
   size_t compact_min_delta = 4096;
   double compact_growth = 0.5;
+
+  // ---------------------------------------------- replication layer
+  // (PR 9: journal-streaming replication.)
+
+  /// Promote the intent journal into a replayable op log: committed
+  /// entries are retained as `<seq>.op` files (strictly increasing
+  /// seqs, epoch-stamped) and ingest/lineage/dataset mutations record a
+  /// replay payload, so a leader can stream the log to read replicas.
+  /// Off by default — a standalone lake keeps the delete-on-commit
+  /// journal and pays nothing.
+  bool replication_log = false;
 };
 
 /// What Open() had to clean up from an earlier crash (all zeros on a
@@ -411,6 +423,73 @@ class ModelLake : public search::SearchContext {
   bool IsDescendantOf(const std::string& id,
                       const std::string& ancestor) const override;
 
+  // ------------------------------------------------------ replication
+  // (Meaningful when options().replication_log is set; see
+  // DESIGN.md §14. All take the lake lock themselves.)
+
+  /// True when the journal is retained as a replayable op log.
+  bool ReplicationLogEnabled() const { return options_.replication_log; }
+
+  /// Shippable batch of committed log entries with seq >= `from_seq`:
+  /// {"epoch", "last_seq", "exhausted", "entries": [intent json...]}.
+  /// Local-only ops ("compact") are filtered out of `entries` but still
+  /// advance `last_seq`; `exhausted` tells the replica it may fast-
+  /// forward its watermark to `last_seq` across such gaps.
+  Result<Json> ReplicationLogJson(uint64_t from_seq, size_t max) const;
+
+  /// Raw blob bytes by content digest (the replication blob fetch).
+  Result<std::string> ReadBlob(const std::string& digest) const;
+
+  /// SHA-256 over the lake's replicated logical state: sorted
+  /// model/card/embedding/dataset docs plus sorted lineage edges. Index
+  /// internals and the graph revision counter are deliberately excluded
+  /// (compaction timing and rolled-back ingests may differ between
+  /// leader and replica without any logical divergence). Equal
+  /// fingerprints ⇒ the replica has converged.
+  std::string ReplicationFingerprint() const;
+
+  /// Full logical state as a re-seed manifest: {"epoch", "upto_seq",
+  /// "models": [{id, card, digest|embedding, metadata_only}...],
+  /// "edges": [...], "datasets": [...]}. Artifact bytes ship separately
+  /// by digest.
+  Result<Json> ReplicationSeedJson() const;
+
+  /// Applies one shipped log entry at its original seq + epoch through
+  /// the normal journaled all-or-nothing ingest path, so the replica's
+  /// catalog, indexes and log stay byte-compatible with the leader's.
+  /// `blob_bytes` maps each digest the entry references to its artifact
+  /// bytes (fetched from the leader); bytes are digest-verified before
+  /// anything is applied.
+  Status ApplyReplicated(const storage::Intent& entry,
+                         const std::map<std::string, std::string>& blob_bytes);
+
+  /// Divergence repair: diffs this lake against a leader seed manifest
+  /// (ReplicationSeedJson), deletes divergent/extra models, re-ingests
+  /// missing ones (artifact bytes via `fetch_blob`), replaces lineage
+  /// and datasets wholesale, rebuilds the indexes from the repaired
+  /// catalog and truncates the local log to the seed's upto_seq.
+  Status ReseedFromManifest(
+      const Json& manifest,
+      const std::function<Result<std::string>(const std::string&)>&
+          fetch_blob);
+
+  /// Replication epoch (fencing term) and log high-water mark.
+  uint64_t ReplicationEpoch() const;
+  uint64_t ReplicationLastSeq() const;
+  /// Durably raises the epoch (monotonic; lowering is refused).
+  Status SetReplicationEpoch(uint64_t epoch);
+  /// Epoch+1, durably — leader promotion.
+  Result<uint64_t> BumpReplicationEpoch();
+  /// Log GC / reseed floor: durably removes committed entries <= upto.
+  Status TruncateReplicationLog(uint64_t upto_seq);
+
+  /// id -> artifact content digest ("" for metadata-only models).
+  Result<std::string> ArtifactDigest(const std::string& id) const;
+
+  /// Whether a recorded lineage edge exists (shared-lock safe, unlike
+  /// graph()).
+  bool HasEdge(const std::string& parent, const std::string& child) const;
+
   // ------------------------------------------------------ benchmarking
 
   /// Registers an evaluation dataset under a benchmark name (in-memory;
@@ -621,6 +700,15 @@ class ModelLake : public search::SearchContext {
   Status IndexModel(const std::string& id, const metadata::ModelCard& card);
   Result<std::vector<std::string>> IngestModelsLocked(
       const std::vector<IngestRequest>& batch);
+  Result<std::vector<std::string>> IngestCardsLocked(
+      const std::vector<CardIngest>& batch);
+  /// Journals `intent` — at forced_seq_ (replica apply, preserving the
+  /// leader's seq + epoch stamp) when set, else with a fresh local seq.
+  Result<uint64_t> BeginIntentLocked(const storage::Intent& intent);
+  Status RecordEdgeLocked(const versioning::VersionEdge& edge);
+  Status RegisterDatasetLocked(const std::string& name,
+                               const std::vector<std::string>& shards);
+  std::string ReplicationFingerprintUnlocked() const;
   /// The mutation phase of IngestCards (catalog docs + incremental
   /// index updates; no blobs, no graph).
   Status ApplyCards(const std::vector<CardIngest>& batch);
@@ -731,6 +819,13 @@ class ModelLake : public search::SearchContext {
 
   versioning::ModelGraph graph_;
   std::map<std::string, nn::Dataset> benchmarks_;
+
+  /// When non-zero, BeginIntentLocked journals at this seq with this
+  /// epoch instead of assigning fresh ones — the replica apply path
+  /// replaying a leader entry at its original log position. Only ever
+  /// set under the exclusive lock for the duration of one apply.
+  uint64_t forced_seq_ = 0;
+  uint64_t forced_epoch_ = 0;
 
   /// Generation of the snapshot the current base segments came from
   /// (0 = built from the catalog, no snapshot loaded).

@@ -41,6 +41,10 @@ enum class SnapshotKind : uint32_t {
   kInverted = 2,
   kMinHashLsh = 3,
   kLakeIds = 4,
+  /// Replication re-seed manifest (one "manifest" JSON section) shipped
+  /// leader → replica for divergence repair; generation = the leader's
+  /// log seq the seed was cut at.
+  kReplicationSeed = 5,
 };
 
 inline constexpr uint32_t kSnapshotFormatVersion = 1;

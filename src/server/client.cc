@@ -76,21 +76,23 @@ Result<HttpResponse> HttpClient::Get(
     const std::string& path,
     const std::vector<std::pair<std::string, std::string>>& headers,
     int timeout_ms) {
-  return RoundTrip("GET", path, "", headers, timeout_ms);
+  // GETs don't mutate; the keep-alive-race retry is always safe.
+  return RoundTrip("GET", path, "", headers, timeout_ms,
+                   /*idempotent=*/true);
 }
 
 Result<HttpResponse> HttpClient::Post(
     const std::string& path, const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& headers,
-    int timeout_ms) {
-  return RoundTrip("POST", path, body, headers, timeout_ms);
+    int timeout_ms, bool idempotent) {
+  return RoundTrip("POST", path, body, headers, timeout_ms, idempotent);
 }
 
 Result<HttpResponse> HttpClient::RoundTrip(
     const std::string& method, const std::string& path,
     const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& headers,
-    int timeout_ms) {
+    int timeout_ms, bool idempotent) {
   if (timeout_ms <= 0) timeout_ms = timeout_ms_;
   auto start = Clock::now();
   std::string wire = SerializeHttpRequest(method, path, body, headers);
@@ -98,10 +100,13 @@ Result<HttpResponse> HttpClient::RoundTrip(
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (fd_ < 0) MLAKE_RETURN_NOT_OK(Connect());
     // Only a reused connection may have been closed under us; a request
-    // that dies on a fresh connection is a real error, and retrying a
-    // half-delivered request on anything but a virgin connection could
-    // double-apply a mutation.
-    bool may_retry = reused_ && attempt == 0;
+    // that dies on a fresh connection is a real error. And even on a
+    // reused connection, a non-idempotent POST is never resent — the
+    // server may have applied the half-delivered request before the
+    // connection died, and a silent resend would double-apply it.
+    // Mutating callers carry an idempotency key / sequence and retry at
+    // their own layer instead.
+    bool may_retry = reused_ && attempt == 0 && idempotent;
 
     bool sent = WriteAll(fd_, wire);
     std::string buf;

@@ -32,11 +32,18 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// Blocking GET/POST. A request on a reused connection that dies
-  /// before any response byte arrives is retried once on a fresh
+  /// before any response byte arrives *may* be retried once on a fresh
   /// connection (the keep-alive race: the server may close between our
-  /// send and its read). `timeout_ms` overrides the client default for
-  /// this one round trip (<= 0 keeps the default) — scatter-gather
-  /// callers derive it per request from the caller's deadline.
+  /// send and its read) — but only when the request is idempotent:
+  /// always for GET, and for POST only when the caller passes
+  /// `idempotent = true`. A non-idempotent POST (ingest, replication
+  /// ship) is never silently re-sent, because the server may have
+  /// applied the half-delivered request before the connection died;
+  /// such callers attach an idempotency key / sequence instead and
+  /// retry at their own layer. `timeout_ms` overrides the client
+  /// default for this one round trip (<= 0 keeps the default) —
+  /// scatter-gather callers derive it per request from the caller's
+  /// deadline.
   Result<HttpResponse> Get(
       const std::string& path,
       const std::vector<std::pair<std::string, std::string>>& headers = {},
@@ -44,7 +51,7 @@ class HttpClient {
   Result<HttpResponse> Post(
       const std::string& path, const std::string& body,
       const std::vector<std::pair<std::string, std::string>>& headers = {},
-      int timeout_ms = 0);
+      int timeout_ms = 0, bool idempotent = false);
 
   /// Per-round-trip timeout (connect + response), default 30 s.
   void set_timeout_ms(int ms) { timeout_ms_ = ms; }
@@ -63,7 +70,7 @@ class HttpClient {
       const std::string& method, const std::string& path,
       const std::string& body,
       const std::vector<std::pair<std::string, std::string>>& headers,
-      int timeout_ms);
+      int timeout_ms, bool idempotent);
 
   std::string host_;
   int port_;

@@ -15,6 +15,7 @@
 #include "common/hash.h"
 #include "common/sharding.h"
 #include "common/string_util.h"
+#include "index/snapshot.h"
 #include "storage/model_artifact.h"
 #include "versioning/model_graph.h"
 
@@ -410,7 +411,8 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
   std::string id;
   enum class Route {
     kHealthz, kHeartbeat, kStatsz, kModelList, kModelGet, kLineage,
-    kEmbedding, kSearch, kIngest, kDebugSleep, kUnmatched
+    kEmbedding, kSearch, kIngest, kReplLog, kReplBlob, kReplFingerprint,
+    kReplSeed, kReplShip, kReplPromote, kDebugSleep, kUnmatched
   } route = Route::kUnmatched;
   if (request.method == "GET" && path == "/healthz") {
     route = Route::kHealthz;
@@ -442,6 +444,28 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
   } else if (request.method == "POST" && path == "/v1/ingest") {
     route = Route::kIngest;
     *endpoint_label = "POST /v1/ingest";
+  } else if (request.method == "GET" && path == "/v1/replication/log") {
+    route = Route::kReplLog;
+    *endpoint_label = "GET /v1/replication/log";
+  } else if (request.method == "GET" &&
+             StartsWith(path, "/v1/replication/blob/")) {
+    route = Route::kReplBlob;
+    *endpoint_label = "GET /v1/replication/blob/{digest}";
+    id = path.substr(std::strlen("/v1/replication/blob/"));
+  } else if (request.method == "GET" &&
+             path == "/v1/replication/fingerprint") {
+    route = Route::kReplFingerprint;
+    *endpoint_label = "GET /v1/replication/fingerprint";
+  } else if (request.method == "GET" && path == "/v1/replication/seed") {
+    route = Route::kReplSeed;
+    *endpoint_label = "GET /v1/replication/seed";
+  } else if (request.method == "POST" && path == "/v1/replication/ship") {
+    route = Route::kReplShip;
+    *endpoint_label = "POST /v1/replication/ship";
+  } else if (request.method == "POST" &&
+             path == "/v1/replication/promote") {
+    route = Route::kReplPromote;
+    *endpoint_label = "POST /v1/replication/promote";
   } else if (options_.enable_debug_endpoints && request.method == "GET" &&
              path == "/debug/sleep") {
     route = Route::kDebugSleep;
@@ -504,6 +528,14 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
       response = HandleSearch(request, endpoint_label);
       break;
     case Route::kIngest: response = HandleIngest(request); break;
+    case Route::kReplLog: response = HandleReplicationLog(request); break;
+    case Route::kReplBlob: response = HandleReplicationBlob(id); break;
+    case Route::kReplFingerprint:
+      response = HandleReplicationFingerprint();
+      break;
+    case Route::kReplSeed: response = HandleReplicationSeed(); break;
+    case Route::kReplShip: response = HandleReplicationShip(request); break;
+    case Route::kReplPromote: response = HandleReplicationPromote(); break;
     case Route::kDebugSleep:
       response = HandleDebugSleep(request, deadline, has_deadline, fd);
       break;
@@ -540,6 +572,21 @@ HttpResponse LakeServer::HandleHeartbeat() const {
            static_cast<int64_t>(lake_->IndexGeneration()));
   body.Set("draining", draining_.load());
   body.Set("inflight", inflight_.load());
+  // Replication role, for the router's read routing and failover: a
+  // "replica" serves reads (with a watermark), a "leader" also takes
+  // writes, a "standalone" node predates replication and does both.
+  bool is_replica =
+      options_.replication != nullptr && options_.replication->IsReplica();
+  body.Set("role", is_replica ? "replica"
+                              : (lake_->ReplicationLogEnabled()
+                                     ? "leader"
+                                     : "standalone"));
+  if (lake_->ReplicationLogEnabled()) {
+    body.Set("replication_epoch", lake_->ReplicationEpoch());
+    body.Set("applied_seq", is_replica
+                                ? options_.replication->AppliedSeq()
+                                : lake_->ReplicationLastSeq());
+  }
   // The search-family p95 (all "POST /v1/search:*" kinds merged) is
   // what the router's hedging policy keys its per-shard delay off.
   EndpointStats search = metrics_.AggregateSnapshot("POST /v1/search");
@@ -599,6 +646,16 @@ Json LakeServer::StatszJson() const {
   server.Set("rejected_inflight", rejected_inflight_.load());
   server.Set("rejected_queue", rejected_queue_.load());
   out.Set("server", std::move(server));
+
+  if (options_.replication != nullptr) {
+    out.Set("replication", options_.replication->StatszJson());
+  } else if (lake_->ReplicationLogEnabled()) {
+    Json repl = Json::MakeObject();
+    repl.Set("role", "leader");
+    repl.Set("epoch", lake_->ReplicationEpoch());
+    repl.Set("last_seq", lake_->ReplicationLastSeq());
+    out.Set("replication", std::move(repl));
+  }
 
   out.Set("endpoints", metrics_.ToJson());
   return out;
@@ -817,6 +874,12 @@ HttpResponse LakeServer::HandleSearch(const HttpRequest& request,
 }
 
 HttpResponse LakeServer::HandleIngest(const HttpRequest& request) const {
+  // A read replica's state is exactly the leader's log; a direct write
+  // here would fork it. Promote the node first.
+  if (options_.replication != nullptr && options_.replication->IsReplica()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "read replica: ingest via the leader, or promote this node"));
+  }
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) {
     return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
@@ -842,12 +905,27 @@ HttpResponse LakeServer::HandleIngest(const HttpRequest& request) const {
   if (!bytes.ok()) {
     return ErrorResponse(BodyError(bytes.status(), "malformed artifact_b64"));
   }
+  std::string digest = Sha256::HexDigest(bytes.ValueUnsafe());
+  // Idempotency: a router (or any client) that could not tell whether a
+  // half-delivered ingest applied retries with the artifact digest as
+  // X-Mlake-Idempotency-Key. If the model already exists with exactly
+  // these bytes, answer success instead of AlreadyExists — the retry
+  // and the original are the same logical request.
+  if (std::string_view key = request.Header("x-mlake-idempotency-key");
+      !key.empty() && key == digest) {
+    auto existing = lake_->ArtifactDigest(card.ValueUnsafe().model_id);
+    if (existing.ok() && existing.ValueUnsafe() == digest) {
+      Json out = Json::MakeObject();
+      out.Set("id", card.ValueUnsafe().model_id);
+      out.Set("deduped", true);
+      return JsonResponse(std::move(out));
+    }
+  }
   // Shard guard: in a cluster a model lives on the shard its content
   // digest routes to. A misdirected write would fork the lake (the
   // router could never find the model again), so reject it here — the
   // router retries against the owner.
   if (options_.shard_id >= 0 && options_.cluster_size > 1) {
-    std::string digest = Sha256::HexDigest(bytes.ValueUnsafe());
     uint64_t owner = ShardSlotForDigest(
         digest, static_cast<uint64_t>(options_.cluster_size));
     if (owner != static_cast<uint64_t>(options_.shard_id)) {
@@ -885,6 +963,93 @@ HttpResponse LakeServer::HandleIngest(const HttpRequest& request) const {
     out.Set("edge_recorded", edge_status.ok());
     if (!edge_status.ok()) out.Set("edge_error", edge_status.ToString());
   }
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleReplicationLog(
+    const HttpRequest& request) const {
+  char* end = nullptr;
+  uint64_t from = std::strtoull(request.QueryParam("from", "1").c_str(),
+                                &end, 10);
+  if (from == 0) from = 1;
+  uint64_t max = std::strtoull(request.QueryParam("max", "64").c_str(),
+                               &end, 10);
+  if (max == 0 || max > 4096) max = 64;
+  auto out = lake_->ReplicationLogJson(from, static_cast<size_t>(max));
+  if (!out.ok()) return ErrorResponse(out.status());
+  return JsonResponse(out.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleReplicationBlob(
+    const std::string& digest) const {
+  auto bytes = lake_->ReadBlob(digest);
+  if (!bytes.ok()) return ErrorResponse(bytes.status());
+  Json out = Json::MakeObject();
+  out.Set("digest", digest);
+  out.Set("bytes_b64", Base64Encode(bytes.ValueUnsafe()));
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleReplicationFingerprint() const {
+  if (!lake_->ReplicationLogEnabled()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "replication log disabled on this lake"));
+  }
+  // last_seq rides along so a replica only compares fingerprints when
+  // its watermark has caught up to the state the fingerprint describes.
+  Json out = Json::MakeObject();
+  out.Set("fingerprint", lake_->ReplicationFingerprint());
+  out.Set("epoch", lake_->ReplicationEpoch());
+  out.Set("last_seq", lake_->ReplicationLastSeq());
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleReplicationSeed() const {
+  auto manifest = lake_->ReplicationSeedJson();
+  if (!manifest.ok()) return ErrorResponse(manifest.status());
+  // Framed in the PR-6 snapshot container (magic, CRC'd TOC), so the
+  // replica validates integrity before trusting a multi-megabyte seed.
+  uint64_t upto = static_cast<uint64_t>(
+      manifest.ValueUnsafe().GetInt64("upto_seq", 0));
+  index::SnapshotWriter writer(index::SnapshotKind::kReplicationSeed, upto);
+  std::string dump = manifest.ValueUnsafe().Dump();
+  writer.AddSection("manifest", dump.data(), dump.size());
+  auto container = writer.Serialize();
+  if (!container.ok()) return ErrorResponse(container.status());
+  Json out = Json::MakeObject();
+  out.Set("upto_seq", Json(upto));
+  out.Set("container_b64", Base64Encode(container.ValueUnsafe()));
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse LakeServer::HandleReplicationShip(
+    const HttpRequest& request) const {
+  if (options_.replication == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "not a replica: nothing accepts shipped log entries here"));
+  }
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(BodyError(parsed.status(), "malformed JSON body"));
+  }
+  auto out = options_.replication->Ship(parsed.ValueUnsafe());
+  if (!out.ok()) return ErrorResponse(out.status());
+  return JsonResponse(out.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleReplicationPromote() const {
+  if (options_.replication == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "not a replica: already " +
+        std::string(lake_->ReplicationLogEnabled() ? "a leader"
+                                                   : "standalone")));
+  }
+  Status promoted = options_.replication->Promote();
+  if (!promoted.ok()) return ErrorResponse(promoted);
+  Json out = Json::MakeObject();
+  out.Set("role", "leader");
+  out.Set("epoch", lake_->ReplicationEpoch());
+  out.Set("applied_seq", options_.replication->AppliedSeq());
   return JsonResponse(std::move(out));
 }
 

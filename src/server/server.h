@@ -18,6 +18,18 @@
 //                            plus the cluster-internal scatter types
 //                            "ann_vec" | "keyword_stats" | "hybrid_parts"
 //   POST /v1/ingest          {"card": {...}, "artifact_b64": "..."}
+//                            (rejected with 409 on a read replica; an
+//                            X-Mlake-Idempotency-Key header carrying the
+//                            artifact digest makes a routed retry dedup)
+//
+// Replication endpoints (active when the lake keeps a replication log
+// and/or ServerOptions.replication is set — see src/replication/):
+//   GET  /v1/replication/log?from=N&max=M    committed log entries
+//   GET  /v1/replication/blob/{digest}       artifact bytes (b64)
+//   GET  /v1/replication/fingerprint         logical-state fingerprint
+//   GET  /v1/replication/seed                re-seed snapshot container
+//   POST /v1/replication/ship                leader-pushed log batch
+//   POST /v1/replication/promote             replica -> leader
 //
 // Threading model: one blocking accept thread plus a worker pool
 // (common/thread_pool) running thread-per-connection keep-alive loops.
@@ -50,6 +62,29 @@
 #include "server/metrics.h"
 
 namespace mlake::server {
+
+/// Seam between the server and the replication subsystem. The
+/// replication library links against the server (it follows a leader
+/// over HttpClient), so the server can only see it through this
+/// interface. All methods must be thread-safe; the implementation must
+/// outlive the server.
+class ReplicationControl {
+ public:
+  virtual ~ReplicationControl() = default;
+  /// True while this node is a read replica (direct ingest rejected).
+  virtual bool IsReplica() const = 0;
+  /// Last log seq durably applied on this node (the watermark).
+  virtual uint64_t AppliedSeq() const = 0;
+  /// The /statsz "replication" block: role, watermark, lag, epoch.
+  virtual Json StatszJson() const = 0;
+  /// Applies a leader-pushed log batch (ReplicationLogJson shape);
+  /// epoch-fenced — a stale leader's ship answers FailedPrecondition.
+  /// Returns {"applied_seq": N}.
+  virtual Result<Json> Ship(const Json& batch) = 0;
+  /// Manual promotion: stop following, durably bump the epoch, start
+  /// accepting writes.
+  virtual Status Promote() = 0;
+};
 
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
@@ -97,6 +132,10 @@ struct ServerOptions {
   /// standalone server, no guard.
   int shard_id = -1;
   int cluster_size = 0;
+  /// Replication seam (see ReplicationControl above). Null on a
+  /// standalone server or a pure leader; set on replicas so ingest is
+  /// fenced and ship/promote have somewhere to land.
+  ReplicationControl* replication = nullptr;
   /// Test/bench seam: extra per-request delay (µs of idle wait, not
   /// CPU) injected at the top of every /v1/search handler. Shared and
   /// atomic so tests and the cluster bench can retune a *running*
@@ -166,6 +205,12 @@ class LakeServer {
   HttpResponse HandleSearch(const HttpRequest& request,
                             std::string* endpoint_label) const;
   HttpResponse HandleIngest(const HttpRequest& request) const;
+  HttpResponse HandleReplicationLog(const HttpRequest& request) const;
+  HttpResponse HandleReplicationBlob(const std::string& digest) const;
+  HttpResponse HandleReplicationFingerprint() const;
+  HttpResponse HandleReplicationSeed() const;
+  HttpResponse HandleReplicationShip(const HttpRequest& request) const;
+  HttpResponse HandleReplicationPromote() const;
   HttpResponse HandleDebugSleep(
       const HttpRequest& request,
       std::chrono::steady_clock::time_point deadline, bool has_deadline,

@@ -220,7 +220,10 @@ TEST(PlanCacheTest, ParseOnceAcrossKeepAliveRetries) {
       R"({"type": "mlql", "query": "FIND MODELS WHERE task = 'sum' LIMIT 3"})";
   const int kRequests = 5;
   for (int i = 0; i < kRequests; ++i) {
-    auto response = client.Post("/v1/search", body);
+    // Search is read-only: opting into the idempotent keep-alive-race
+    // retry is what keeps this loop running over timed-out connections.
+    auto response = client.Post("/v1/search", body, {}, /*timeout_ms=*/0,
+                                /*idempotent=*/true);
     ASSERT_TRUE(response.ok()) << response.status().ToString();
     EXPECT_EQ(response.ValueUnsafe().status, 200)
         << response.ValueUnsafe().body;

@@ -36,6 +36,7 @@
 //   serve [--port P] [--http-threads N] [--max-inflight M]
 //         [--deadline-ms D] [--batch-window-us W] [--max-batch B]
 //         [--shard-id S --cluster-size N]
+//         [--replicated] [--replica-of HOST:PORT [--poll-ms M]]
 //                                run mlaked, the JSON-over-HTTP lake
 //                                server, until SIGINT/SIGTERM (graceful
 //                                drain; prints /statsz on shutdown).
@@ -43,6 +44,17 @@
 //                                --shard-id/--cluster-size the server
 //                                acts as one shard of a cluster and
 //                                rejects misrouted ingests.
+//                                --replicated keeps the replayable op
+//                                log a leader streams to replicas;
+//                                --replica-of follows that leader as a
+//                                read replica (implies --replicated):
+//                                ingest answers 409, search is served
+//                                locally with an eventual-consistency
+//                                watermark in /statsz.
+//   promote HOST:PORT            tell a running replica to stop
+//                                following and become the leader
+//                                (fences the old leader by epoch).
+//                                Needs no --lake.
 //   route --backends H:P[@S],... [--cluster-size N] [--port P]
 //         [--http-threads N] [--deadline-ms D] [--no-hedging]
 //                                run the cluster router: scatter-gather
@@ -67,6 +79,8 @@
 #include "common/string_util.h"
 #include "core/model_lake.h"
 #include "lakegen/lakegen.h"
+#include "replication/replicator.h"
+#include "server/client.h"
 #include "server/server.h"
 #include "storage/model_artifact.h"
 
@@ -86,15 +100,17 @@ int Usage() {
                "hybrid graph recover-heritage export import fsck [--repair] "
                "stats compact serve\n"
                "       mlake route --backends HOST:PORT[@SHARD],... "
-               "[--cluster-size N] [--port P]\n");
+               "[--cluster-size N] [--port P]\n"
+               "       mlake promote HOST:PORT\n");
   return 1;
 }
 
 Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root,
-                                                  int threads,
-                                                  int cache_mb) {
+                                                  int threads, int cache_mb,
+                                                  bool replication_log) {
   core::LakeOptions options;
   options.root = root;
+  options.replication_log = replication_log;
   if (threads > 1) options.exec = ExecutionContext::WithThreads(threads);
   if (cache_mb >= 0) {
     options.artifact_cache_bytes = static_cast<size_t>(cache_mb) << 20;
@@ -360,6 +376,8 @@ int CmdFsck(core::ModelLake* lake, const std::vector<std::string>& args) {
 int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
   server::ServerOptions options;
   options.port = 8080;
+  replication::ReplicaOptions replica_options;
+  bool is_replica = false;
   for (size_t i = 0; i < args.size(); ++i) {
     auto int_arg = [&](const char* flag, int* out) {
       if (args[i] != flag || i + 1 >= args.size()) return false;
@@ -381,7 +399,27 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
     if (int_arg("--max-batch", &options.max_batch)) continue;
     if (int_arg("--shard-id", &options.shard_id)) continue;
     if (int_arg("--cluster-size", &options.cluster_size)) continue;
+    // --replicated only affects how the lake was opened (Run() peeks
+    // for it before OpenLake); consume it here.
+    if (args[i] == "--replicated") continue;
+    if (args[i] == "--replica-of" && i + 1 < args.size()) {
+      auto spec = cluster::ParseBackendSpec(args[++i]);
+      if (!spec.ok()) return Fail(spec.status());
+      replica_options.leader_host = spec.ValueUnsafe().host;
+      replica_options.leader_port = spec.ValueUnsafe().port;
+      is_replica = true;
+      continue;
+    }
+    if (int_arg("--poll-ms", &replica_options.poll_interval_ms)) continue;
     return Usage();
+  }
+
+  std::unique_ptr<replication::Replicator> replicator;
+  if (is_replica) {
+    auto opened = replication::Replicator::Open(lake, replica_options);
+    if (!opened.ok()) return Fail(opened.status());
+    replicator = opened.MoveValueUnsafe();
+    options.replication = replicator.get();
   }
 
   // Block the shutdown signals before Start so every server thread
@@ -395,9 +433,20 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
   server::LakeServer server(lake, options);
   Status st = server.Start();
   if (!st.ok()) return Fail(st);
-  std::printf("mlaked listening on %s:%d (%zu models, %d worker threads)\n",
-              server.options().bind_address.c_str(), server.port(),
-              lake->NumModels(), server.options().threads);
+  if (replicator != nullptr) {
+    st = replicator->Start();
+    if (!st.ok()) return Fail(st);
+    std::printf("mlaked (replica of %s:%d) listening on %s:%d (%zu models, "
+                "%d worker threads)\n",
+                replica_options.leader_host.c_str(),
+                replica_options.leader_port,
+                server.options().bind_address.c_str(), server.port(),
+                lake->NumModels(), server.options().threads);
+  } else {
+    std::printf("mlaked listening on %s:%d (%zu models, %d worker threads)\n",
+                server.options().bind_address.c_str(), server.port(),
+                lake->NumModels(), server.options().threads);
+  }
   std::fflush(stdout);
 
   int sig = 0;
@@ -406,9 +455,21 @@ int CmdServe(core::ModelLake* lake, const std::vector<std::string>& args) {
               sig == SIGINT ? "SIGINT" : "SIGTERM",
               server.options().drain_deadline_ms);
   std::fflush(stdout);
+  if (replicator != nullptr) (void)replicator->Stop();
   st = server.Stop();
   std::printf("%s\n", server.StatszJson().Dump(2).c_str());
   return st.ok() ? 0 : Fail(st);
+}
+
+int CmdPromote(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto spec = cluster::ParseBackendSpec(args[0]);
+  if (!spec.ok()) return Fail(spec.status());
+  server::HttpClient client(spec.ValueUnsafe().host, spec.ValueUnsafe().port);
+  auto response = client.Post("/v1/replication/promote", "{}", {});
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response.ValueUnsafe().body.c_str());
+  return response.ValueUnsafe().status == 200 ? 0 : 1;
 }
 
 int CmdRoute(const std::vector<std::string>& args) {
@@ -502,12 +563,21 @@ int Run(int argc, char** argv) {
   std::string command = rest.front();
   std::vector<std::string> args(rest.begin() + 1, rest.end());
 
-  // The router fronts remote backends and owns no lake of its own, so
-  // it is the one command that skips --lake.
+  // The router and promote talk to remote servers and own no lake of
+  // their own, so they skip --lake.
   if (command == "route") return CmdRoute(args);
+  if (command == "promote") return CmdPromote(args);
   if (lake_dir.empty()) return Usage();
 
-  auto lake = OpenLake(lake_dir, threads, cache_mb);
+  // serve needs the replication flags before the lake opens: the op
+  // log is a property of the lake, not the server.
+  bool replication_log = false;
+  for (const std::string& arg : args) {
+    if (arg == "--replicated" || arg == "--replica-of") {
+      replication_log = true;
+    }
+  }
+  auto lake = OpenLake(lake_dir, threads, cache_mb, replication_log);
   if (!lake.ok()) return Fail(lake.status());
   core::ModelLake* lk = lake.ValueUnsafe().get();
 
