@@ -459,9 +459,27 @@ HttpResponse Router::Dispatch(const HttpRequest& request,
   } else if (request.method == "GET" && path == "/v1/models") {
     *endpoint_label = "GET /v1/models";
     response = HandleModelList(deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/") &&
+             EndsWith(path, "/citation")) {
+    // Governance reads: broadcast like any owner-answers read. The
+    // shard map ranks caught-up replicas ahead of their leader, and a
+    // stale replica's 503 is retryable — the leg fails over to the
+    // leader — so these prefer replicas without risking stale answers.
+    *endpoint_label = "GET /v1/models/{id}/citation";
+    response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/") &&
+             EndsWith(path, "/doc")) {
+    *endpoint_label = "GET /v1/models/{id}/doc";
+    response = HandleBroadcastGet(path, deadline);
   } else if (request.method == "GET" && StartsWith(path, "/v1/models/")) {
     *endpoint_label = "GET /v1/models/{id}";
     response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "GET" && StartsWith(path, "/v1/audit/")) {
+    *endpoint_label = "GET /v1/audit/{id}";
+    response = HandleBroadcastGet(path, deadline);
+  } else if (request.method == "GET" && path == "/v1/export") {
+    *endpoint_label = "GET /v1/export";
+    response = HandleExport(deadline);
   } else if (request.method == "GET" && StartsWith(path, "/v1/lineage/")) {
     *endpoint_label = "GET /v1/lineage/{id}";
     response = HandleBroadcastGet(path, deadline);
@@ -890,6 +908,85 @@ HttpResponse Router::HandleBroadcastGet(const std::string& path,
   auto result = BroadcastFirst(path, deadline);
   if (!result.ok()) return ErrorResponse(result.status());
   return result.MoveValueUnsafe();
+}
+
+HttpResponse Router::HandleExport(Clock::time_point deadline) {
+  auto legs = ScatterAll("GET", "/v1/export", "", deadline);
+  if (!legs.ok()) return ErrorResponse(legs.status());
+  HttpResponse relay;
+  if (!AllOk(legs.ValueUnsafe(), &relay)) return relay;
+
+  // Merge the per-shard NDJSON dumps into one lake-wide dump. Records
+  // keep their shard-emitted bytes verbatim (the determinism contract
+  // lives in the record bytes, not the framing): models re-sort by id
+  // globally, edges and datasets deduplicate on their full record line
+  // (cross-shard lineage edges are recorded on both endpoints' shards)
+  // and sort, headers/footers are rebuilt from the merged counts.
+  std::vector<std::pair<std::string, std::string>> models;  // id -> line
+  std::set<std::string> edges;
+  std::set<std::string> datasets;
+  std::string header_line;
+  for (const HttpResponse& leg : legs.ValueUnsafe()) {
+    size_t start = 0;
+    const std::string& text = leg.body;
+    while (start < text.size()) {
+      size_t eol = text.find('\n', start);
+      if (eol == std::string::npos) eol = text.size();
+      std::string line = text.substr(start, eol - start);
+      start = eol + 1;
+      if (line.empty()) continue;
+      auto record = Json::Parse(line);
+      if (!record.ok() || !record.ValueUnsafe().is_object()) {
+        return ErrorResponse(Status::Internal(
+            "malformed export record from a shard: " + line.substr(0, 120)));
+      }
+      const Json& rec = record.ValueUnsafe();
+      std::string kind = rec.GetString("kind");
+      if (kind == "header") {
+        if (header_line.empty()) header_line = line;
+      } else if (kind == "model") {
+        models.emplace_back(rec.GetString("id"), line);
+      } else if (kind == "edge") {
+        edges.insert(line);
+      } else if (kind == "dataset") {
+        datasets.insert(line);
+      }  // footer: rebuilt below
+    }
+  }
+  std::sort(models.begin(), models.end());
+
+  auto header = Json::Parse(header_line);
+  if (!header.ok() || !header.ValueUnsafe().is_object()) {
+    return ErrorResponse(Status::Internal("no export header from any shard"));
+  }
+  Json counts = Json::MakeObject();
+  counts.Set("models", models.size());
+  counts.Set("edges", edges.size());
+  counts.Set("datasets", datasets.size());
+  header.ValueUnsafe().Set("counts", std::move(counts));
+
+  HttpResponse out;
+  out.content_type = "application/x-ndjson";
+  out.body = header.ValueUnsafe().Dump();
+  out.body.push_back('\n');
+  for (const auto& [id, line] : models) {
+    out.body.append(line);
+    out.body.push_back('\n');
+  }
+  for (const std::string& line : edges) {
+    out.body.append(line);
+    out.body.push_back('\n');
+  }
+  for (const std::string& line : datasets) {
+    out.body.append(line);
+    out.body.push_back('\n');
+  }
+  Json footer = Json::MakeObject();
+  footer.Set("kind", std::string("footer"));
+  footer.Set("records", models.size() + edges.size() + datasets.size());
+  out.body.append(footer.Dump());
+  out.body.push_back('\n');
+  return out;
 }
 
 HttpResponse Router::HandleSearch(const HttpRequest& request,

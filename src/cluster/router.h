@@ -202,6 +202,11 @@ class Router {
   server::HttpResponse HandleModelList(Clock::time_point deadline);
   server::HttpResponse HandleBroadcastGet(const std::string& path,
                                           Clock::time_point deadline);
+  /// Merged /v1/export: scatters the per-shard NDJSON dumps and
+  /// re-emits one lake-wide dump (models sorted by id, edges/datasets
+  /// deduplicated, summed header counts). Buffered at the router — the
+  /// O(1)-memory path is the per-shard endpoint (DESIGN.md §15).
+  server::HttpResponse HandleExport(Clock::time_point deadline);
   server::HttpResponse HandleSearch(const server::HttpRequest& request,
                                     std::string* endpoint_label,
                                     Clock::time_point deadline);

@@ -1403,6 +1403,12 @@ Status ModelLake::RecordEdge(const versioning::VersionEdge& edge) {
 Status ModelLake::RecordEdgeLocked(const versioning::VersionEdge& edge) {
   MLAKE_RETURN_NOT_OK(graph_.AddEdge(edge));
   MLAKE_RETURN_NOT_OK(PersistGraph());
+  // Edges are governance-export content, so recording one must move the
+  // (mutation_epoch, index_generation) change key or /v1/export pollers
+  // would keep getting 304 against a stale ETag. The other consumers of
+  // the epoch only get more conservative: a mid-pass compaction aborts
+  // its swap and retries, and the stats/plan caches rebuild lazily.
+  ++mutation_epoch_;
   if (!options_.replication_log) return Status::OK();
   // Apply-then-log: make the edge durable first, then append + commit
   // the log entry so replicas replay it. A crash between Sync and
@@ -1984,6 +1990,11 @@ Result<std::vector<search::HybridCandidate>> ModelLake::HybridParts(
 uint64_t ModelLake::IndexGeneration() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return index_generation_;
+}
+
+uint64_t ModelLake::MutationEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return mutation_epoch_;
 }
 
 Result<std::shared_ptr<const search::Query>> ModelLake::CachedPlanUnlocked(
@@ -2667,6 +2678,224 @@ Result<Json> ModelLake::Cite(const std::string& id) const {
                 static_cast<unsigned long long>(graph_.revision()),
                 Join(path, " -> ").c_str()));
   return citation;
+}
+
+// ------------------------------------------------------------- governance
+
+namespace {
+
+/// The export's (and citation heritage's) edge order: the same
+/// content-derived key the replication fingerprint sorts by, so leader
+/// and replica agree without consulting insertion order.
+std::string ExportEdgeKey(const versioning::VersionEdge& e) {
+  return StrFormat("%s|%s|%s|%.17g|%s", e.parent.c_str(), e.child.c_str(),
+                   std::string(versioning::EdgeTypeToString(e.type)).c_str(),
+                   e.confidence,
+                   e.params.is_null() ? "" : e.params.Dump().c_str());
+}
+
+}  // namespace
+
+Result<Json> ModelLake::CitationDoc(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!catalog_->Contains("model", id)) {
+    return Status::NotFound("model not in lake: " + id);
+  }
+
+  // Lineage path from the deepest root — the same deterministic walk
+  // Cite() takes (lexicographically-first parent at every hop).
+  std::vector<std::string> path;
+  std::string current = id;
+  while (true) {
+    path.push_back(current);
+    std::vector<std::string> parents = graph_.Parents(current);
+    if (parents.empty()) break;
+    current = parents.front();
+  }
+  std::reverse(path.begin(), path.end());
+
+  auto card = CardForUnlocked(id);
+  std::string creator =
+      card.ok() ? card.ValueUnsafe().creator : std::string();
+  std::string license =
+      card.ok() ? card.ValueUnsafe().license : std::string();
+  std::string created_at =
+      card.ok() ? card.ValueUnsafe().created_at : std::string();
+  std::string title = card.ok() && !card.ValueUnsafe().name.empty()
+                          ? card.ValueUnsafe().name
+                          : id;
+
+  std::string digest;
+  if (auto d = DigestForUnlocked(id); d.ok()) digest = d.MoveValueUnsafe();
+
+  Json doc = Json::MakeObject();
+  doc.Set("schema", std::string("mlake.citation"));
+  doc.Set("schema_version", int64_t{1});
+  doc.Set("model_id", id);
+  doc.Set("title", title);
+  doc.Set("creator", creator);
+  doc.Set("license", license);
+  doc.Set("created_at", created_at);
+  doc.Set("artifact_digest", digest);
+  doc.Set("metadata_only", digest.empty());
+  doc.Set("degraded", degraded_.count(id) > 0);
+  doc.Set("graph_revision", graph_.revision());
+
+  Json path_json = Json::MakeArray();
+  for (const std::string& p : path) path_json.Append(Json(p));
+  doc.Set("lineage_path", std::move(path_json));
+
+  // Heritage chain: one record per hop of the path, carrying the edge
+  // that justifies it. Multiple recorded edges between the same pair
+  // pick the ExportEdgeKey-smallest — deterministic like everything
+  // else in this document.
+  Json heritage = Json::MakeArray();
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const versioning::VersionEdge* best = nullptr;
+    std::string best_key;
+    for (const versioning::VersionEdge& e : graph_.Edges()) {
+      if (e.parent != path[i] || e.child != path[i + 1]) continue;
+      std::string key = ExportEdgeKey(e);
+      if (best == nullptr || key < best_key) {
+        best = &e;
+        best_key = std::move(key);
+      }
+    }
+    Json hop = Json::MakeObject();
+    hop.Set("parent", path[i]);
+    hop.Set("child", path[i + 1]);
+    if (best != nullptr) {
+      hop.Set("type",
+              std::string(versioning::EdgeTypeToString(best->type)));
+      hop.Set("confidence", best->confidence);
+    }
+    heritage.Append(std::move(hop));
+  }
+  doc.Set("heritage", std::move(heritage));
+
+  std::string text = StrFormat(
+      "%s%s. Model Lake catalog, version-graph revision %llu. Lineage: %s.",
+      creator.empty() ? "" : (creator + ". ").c_str(), id.c_str(),
+      static_cast<unsigned long long>(graph_.revision()),
+      Join(path, " -> ").c_str());
+  doc.Set("text", text);
+
+  std::string bibtex = StrFormat(
+      "@misc{%s,\n"
+      "  title = {%s},\n"
+      "  author = {%s},\n"
+      "  howpublished = {Model Lake catalog},\n"
+      "  note = {version-graph revision %llu%s%s; lineage %s}\n"
+      "}",
+      id.c_str(), title.c_str(),
+      creator.empty() ? "unknown" : creator.c_str(),
+      static_cast<unsigned long long>(graph_.revision()),
+      digest.empty() ? "" : "; artifact sha256:",
+      digest.c_str(), Join(path, " -> ").c_str());
+  doc.Set("bibtex", bibtex);
+  return doc;
+}
+
+ModelLake::ExportIterator::ExportIterator(const ModelLake* lake)
+    : lake_(lake), lock_(lake->mu_) {
+  mutation_epoch_ = lake_->mutation_epoch_;
+  index_generation_ = lake_->index_generation_;
+  model_ids_ = lake_->catalog_->ListIds("model");        // sorted
+  dataset_names_ = lake_->catalog_->ListIds("dataset");  // sorted
+  for (const versioning::VersionEdge& e : lake_->graph_.Edges()) {
+    edges_.push_back(e);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const versioning::VersionEdge& a,
+               const versioning::VersionEdge& b) {
+              return ExportEdgeKey(a) < ExportEdgeKey(b);
+            });
+}
+
+bool ModelLake::ExportIterator::Next(std::string* line) {
+  line->clear();
+  // Skip past exhausted list stages (including empty ones).
+  auto exhausted = [this] {
+    return (stage_ == Stage::kModels && cursor_ >= model_ids_.size()) ||
+           (stage_ == Stage::kEdges && cursor_ >= edges_.size()) ||
+           (stage_ == Stage::kDatasets && cursor_ >= dataset_names_.size());
+  };
+  while (exhausted()) {
+    stage_ = static_cast<Stage>(static_cast<int>(stage_) + 1);
+    cursor_ = 0;
+  }
+  if (stage_ == Stage::kDone) return false;
+
+  Json record = Json::MakeObject();
+  switch (stage_) {
+    case Stage::kHeader: {
+      record.Set("kind", std::string("header"));
+      record.Set("schema", std::string("mlake.export"));
+      record.Set("schema_version", int64_t{1});
+      Json counts = Json::MakeObject();
+      counts.Set("models", Json(static_cast<uint64_t>(model_ids_.size())));
+      counts.Set("edges", Json(static_cast<uint64_t>(edges_.size())));
+      counts.Set("datasets",
+                 Json(static_cast<uint64_t>(dataset_names_.size())));
+      record.Set("counts", std::move(counts));
+      stage_ = Stage::kModels;
+      cursor_ = 0;
+      break;
+    }
+    case Stage::kModels: {
+      const std::string& id = model_ids_[cursor_++];
+      record.Set("kind", std::string("model"));
+      record.Set("id", id);
+      // Catalog docs ship verbatim — the byte-identity anchor (the
+      // replica re-put these exact bytes at apply time).
+      if (auto doc = lake_->catalog_->GetDoc("model", id); doc.ok()) {
+        record.Set("model", doc.MoveValueUnsafe());
+      }
+      if (auto doc = lake_->catalog_->GetDoc("card", id); doc.ok()) {
+        record.Set("card", doc.MoveValueUnsafe());
+      }
+      record.Set("degraded", lake_->degraded_.count(id) > 0);
+      break;
+    }
+    case Stage::kEdges: {
+      const versioning::VersionEdge& e = edges_[cursor_++];
+      record.Set("kind", std::string("edge"));
+      record.Set("parent", e.parent);
+      record.Set("child", e.child);
+      record.Set("type", std::string(versioning::EdgeTypeToString(e.type)));
+      record.Set("confidence", e.confidence);
+      if (!e.params.is_null()) record.Set("params", e.params);
+      break;
+    }
+    case Stage::kDatasets: {
+      const std::string& name = dataset_names_[cursor_++];
+      record.Set("kind", std::string("dataset"));
+      record.Set("name", name);
+      if (auto doc = lake_->catalog_->GetDoc("dataset", name); doc.ok()) {
+        record.Set("doc", doc.MoveValueUnsafe());
+      }
+      break;
+    }
+    case Stage::kFooter: {
+      record.Set("kind", std::string("footer"));
+      record.Set("records",
+                 Json(static_cast<uint64_t>(model_ids_.size() +
+                                            edges_.size() +
+                                            dataset_names_.size())));
+      stage_ = Stage::kDone;
+      break;
+    }
+    case Stage::kDone:
+      return false;
+  }
+  *line = record.Dump();
+  line->push_back('\n');
+  ++records_emitted_;
+  return true;
+}
+
+std::unique_ptr<ModelLake::ExportIterator> ModelLake::OpenExport() const {
+  return std::unique_ptr<ExportIterator>(new ExportIterator(this));
 }
 
 }  // namespace mlake::core

@@ -519,6 +519,79 @@ class ModelLake : public search::SearchContext {
   /// revision; changes exactly when the graph changes.
   Result<Json> Cite(const std::string& id) const;
 
+  // ------------------------------------------------------- governance
+  // (PR 10: online governance services; see DESIGN.md §15. The lake
+  // contributes the shared-lock primitives, src/governance/ the HTTP
+  // shaping.)
+
+  /// Citation document (governance layer): the §6 citation plus the
+  /// card's attribution fields, the full heritage chain with per-hop
+  /// edge types, the artifact digest, quarantine state, and a
+  /// BibTeX-ish text block. One shared-lock critical section, so every
+  /// field describes the same snapshot. NotFound when `id` is not in
+  /// the lake; degraded models still cite (flagged).
+  Result<Json> CitationDoc(const std::string& id) const;
+
+  /// Streaming point-in-time export of the lake's logical metadata as
+  /// NDJSON records (schema mlake.export, see DESIGN.md §15): header,
+  /// sorted model records (catalog model/card docs verbatim), sorted
+  /// lineage edges, sorted datasets, footer. The iterator holds the
+  /// lake's shared lock for its lifetime — writers queue behind an
+  /// in-flight export, readers proceed — and emits one record per
+  /// Next() call, so resident memory stays O(ids), never O(payload).
+  /// Docs ship verbatim and ordering is content-determined, so two
+  /// caught-up replicas produce byte-identical exports (the same
+  /// property ReplicationFingerprint checks; revision/epoch counters
+  /// are excluded for the same reason).
+  class ExportIterator {
+   public:
+    ExportIterator(ExportIterator&&) = default;
+    ExportIterator& operator=(ExportIterator&&) = default;
+
+    /// Appends the next NDJSON line (record JSON + '\n') to `*line`
+    /// (cleared first). Returns false when the export is complete.
+    bool Next(std::string* line);
+
+    /// Records emitted so far (header and footer included).
+    size_t records_emitted() const { return records_emitted_; }
+
+    /// Counts fixed at open time (what the header declares).
+    size_t num_models() const { return model_ids_.size(); }
+
+    /// The change key of the snapshot this export describes, captured
+    /// under the same lock acquisition as the record lists — what the
+    /// /v1/export ETag is derived from, so tag and body always agree.
+    uint64_t mutation_epoch() const { return mutation_epoch_; }
+    uint64_t index_generation() const { return index_generation_; }
+
+   private:
+    friend class ModelLake;
+    explicit ExportIterator(const ModelLake* lake);
+
+    enum class Stage { kHeader, kModels, kEdges, kDatasets, kFooter, kDone };
+
+    const ModelLake* lake_;
+    std::shared_lock<std::shared_mutex> lock_;
+    std::vector<std::string> model_ids_;
+    std::vector<std::string> dataset_names_;
+    std::vector<versioning::VersionEdge> edges_;  // export-sorted
+    uint64_t mutation_epoch_ = 0;
+    uint64_t index_generation_ = 0;
+    Stage stage_ = Stage::kHeader;
+    size_t cursor_ = 0;
+    size_t records_emitted_ = 0;
+  };
+
+  /// Opens a streaming export at the current snapshot. The returned
+  /// iterator pins the snapshot (shared lock) until destroyed.
+  std::unique_ptr<ExportIterator> OpenExport() const;
+
+  /// Monotone counter bumped by every content mutation (ingest, card
+  /// update, dataset registration, lineage edge, reseed). Paired with
+  /// IndexGeneration() it is the change-detection key the governance
+  /// export ETag uses.
+  uint64_t MutationEpoch() const;
+
   // ------------------------------------------------------------- misc
 
   /// Counters of the lake's two storage caches.

@@ -6,6 +6,7 @@
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "governance/governance.h"
 #include "index/snapshot.h"
 #include "server/http.h"
 
@@ -151,6 +152,9 @@ Result<size_t> Replicator::SyncOnce() {
     MLAKE_RETURN_NOT_OK(batch_status);
     if (batch.GetBool("exhausted", false)) break;
   }
+  // Only now is leader_last_seq_ a trustworthy watermark — governance
+  // reads stay fenced (503) until one full sync has landed.
+  synced_.store(true, std::memory_order_relaxed);
   return applied;
 }
 
@@ -350,7 +354,24 @@ Json Replicator::StatszJson() const {
   out.Set("reseeds", Json(reseeds_.load()));
   out.Set("rejected_stale_epoch", Json(rejected_stale_epoch_.load()));
   out.Set("pull_errors", Json(pull_errors_.load()));
+  out.Set("synced", synced_.load());
+  out.Set("stale_retry_after_s", StaleRetryAfterSeconds());
   return out;
+}
+
+uint64_t Replicator::LagEntries() const {
+  uint64_t applied = applied_seq_.load();
+  uint64_t leader_seq = leader_last_seq_.load();
+  return leader_seq > applied ? leader_seq - applied : uint64_t{0};
+}
+
+bool Replicator::CaughtUp() const {
+  return synced_.load() && LagEntries() == 0;
+}
+
+int Replicator::StaleRetryAfterSeconds() const {
+  return governance::RetryAfterSeconds(LagEntries(), options_.batch_max,
+                                       options_.poll_interval_ms);
 }
 
 Result<Json> Replicator::Ship(const Json& batch) {
@@ -360,6 +381,9 @@ Result<Json> Replicator::Ship(const Json& batch) {
   std::lock_guard<std::mutex> lock(apply_mu_);
   size_t applied = 0;
   MLAKE_RETURN_NOT_OK(ApplyBatchLocked(batch, &applied));
+  // A pushed batch carries the leader's frontier just like a pull does,
+  // so a ship-fed replica is equally eligible for governance reads.
+  synced_.store(true, std::memory_order_relaxed);
   Json out = Json::MakeObject();
   out.Set("applied", Json(static_cast<uint64_t>(applied)));
   out.Set("applied_seq", Json(applied_seq_.load()));

@@ -105,6 +105,17 @@ class Replicator : public server::ReplicationControl {
   Json StatszJson() const override;
   Result<Json> Ship(const Json& batch) override;
   Status Promote() override;
+  /// Entries behind the leader's last observed log seq. Reads 0 before
+  /// the first completed sync (the lag is simply unknown then —
+  /// CaughtUp() is the gate, this is the magnitude).
+  uint64_t LagEntries() const override;
+  /// True once at least one sync has completed AND the watermark has
+  /// reached the leader's last observed seq. Governance reads answer
+  /// 503 until then.
+  bool CaughtUp() const override;
+  /// Retry-After to advertise with that 503: how long clearing the
+  /// current lag should take at our pull cadence, clamped to [1, 30] s.
+  int StaleRetryAfterSeconds() const override;
 
   uint64_t epoch() const { return epoch_.load(); }
   uint64_t reseeds() const { return reseeds_.load(); }
@@ -147,6 +158,10 @@ class Replicator : public server::ReplicationControl {
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> leader_last_seq_{0};
   std::atomic<bool> is_replica_{true};
+  /// Set after the first successful full sync (or accepted Ship batch);
+  /// until then leader_last_seq_ is not trustworthy and the node must
+  /// not claim to be caught up.
+  std::atomic<bool> synced_{false};
 
   std::atomic<bool> running_{false};
   std::thread puller_;

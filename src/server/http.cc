@@ -19,14 +19,69 @@ std::string_view FindHeader(
   return {};
 }
 
+/// Decodes a chunked-transfer body starting at `pos` (just past the
+/// header block). Returns consumed bytes through the final CRLF, 0 for
+/// incomplete, error for malformed framing or an oversized body.
+Result<size_t> ParseChunkedBody(std::string_view buf, size_t pos,
+                                size_t max_body_bytes, std::string* body) {
+  body->clear();
+  while (true) {
+    size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string_view::npos) return size_t{0};  // need more
+    std::string_view size_line = buf.substr(pos, eol - pos);
+    if (size_t semi = size_line.find(';'); semi != std::string_view::npos) {
+      size_line = size_line.substr(0, semi);  // drop chunk extensions
+    }
+    size_line = Trim(size_line);
+    if (size_line.empty() || size_line.size() > 16) {
+      return Status::InvalidArgument("malformed chunk size");
+    }
+    uint64_t chunk_size = 0;
+    for (char c : size_line) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument("malformed chunk size");
+      }
+      int digit = std::isdigit(static_cast<unsigned char>(c))
+                      ? c - '0'
+                      : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      chunk_size = chunk_size * 16 + static_cast<uint64_t>(digit);
+    }
+    pos = eol + 2;
+    if (chunk_size == 0) break;
+    if (body->size() + chunk_size > max_body_bytes) {
+      return Status::ResourceExhausted("chunked body exceeds " +
+                                       std::to_string(max_body_bytes) +
+                                       " bytes");
+    }
+    if (buf.size() - pos < chunk_size + 2) return size_t{0};  // need more
+    body->append(buf.substr(pos, chunk_size));
+    if (buf.substr(pos + chunk_size, 2) != "\r\n") {
+      return Status::InvalidArgument("chunk data not CRLF-terminated");
+    }
+    pos += chunk_size + 2;
+  }
+  // Trailer section: lines until the blank line. mlaked sends none,
+  // but skipping them keeps the parser conforming.
+  while (true) {
+    size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string_view::npos) return size_t{0};  // need more
+    bool blank = eol == pos;
+    pos = eol + 2;
+    if (blank) break;
+  }
+  return pos;
+}
+
 /// Parses the shared "headers then Content-Length body" tail of both
 /// requests and responses. `head_end` points just past "\r\n\r\n".
 /// Returns consumed bytes, 0 for incomplete, error for malformed.
+/// `allow_chunked` admits a chunked body (responses only: the server
+/// streams exports but never accepts a streamed request).
 Result<size_t> ParseHeadersAndBody(
     std::string_view buf, size_t header_start, size_t head_end,
     size_t max_body_bytes,
     std::vector<std::pair<std::string, std::string>>* headers,
-    std::string* body) {
+    std::string* body, bool allow_chunked = false) {
   headers->clear();
   size_t pos = header_start;
   while (pos < head_end) {
@@ -45,8 +100,12 @@ Result<size_t> ParseHeadersAndBody(
                           std::string(Trim(line.substr(colon + 1))));
     pos = eol + 2;
   }
-  if (!FindHeader(*headers, "transfer-encoding").empty()) {
-    return Status::Unimplemented("chunked transfer encoding not supported");
+  std::string_view te = FindHeader(*headers, "transfer-encoding");
+  if (!te.empty()) {
+    if (!allow_chunked || !EqualsIgnoreCase(te, "chunked")) {
+      return Status::Unimplemented("chunked transfer encoding not supported");
+    }
+    return ParseChunkedBody(buf, pos, max_body_bytes, body);
   }
   size_t content_length = 0;
   std::string_view cl = FindHeader(*headers, "content-length");
@@ -188,7 +247,8 @@ Result<size_t> ParseHttpResponse(std::string_view buf, size_t max_body_bytes,
   MLAKE_ASSIGN_OR_RETURN(
       size_t consumed,
       ParseHeadersAndBody(buf, line_end + 2, head_end, max_body_bytes,
-                          &out->headers, &out->body));
+                          &out->headers, &out->body,
+                          /*allow_chunked=*/true));
   if (consumed > 0) {
     out->content_type = std::string(FindHeader(out->headers, "content-type"));
   }
@@ -201,16 +261,34 @@ std::string SerializeHttpResponse(const HttpResponse& response,
   out.reserve(response.body.size() + 256);
   out += "HTTP/1.1 " + std::to_string(response.status) + " " +
          std::string(HttpStatusText(response.status)) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  if (response.is_streaming()) {
+    out += "Transfer-Encoding: chunked\r\n";
+  } else {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   for (const auto& [k, v] : response.headers) {
     out += k + ": " + v + "\r\n";
   }
   out += "\r\n";
-  out += response.body;
+  if (!response.is_streaming()) out += response.body;
   return out;
 }
+
+std::string SerializeChunk(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() + 20);
+  out += StrFormat("%zx", data.size());
+  out += "\r\n";
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+std::string_view FinalChunk() { return "0\r\n\r\n"; }
 
 std::string SerializeHttpRequest(
     std::string_view method, std::string_view target, std::string_view body,
@@ -232,6 +310,7 @@ std::string SerializeHttpRequest(
 std::string_view HttpStatusText(int status) {
   switch (status) {
     case 200: return "OK";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 408: return "Request Timeout";

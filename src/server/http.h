@@ -2,13 +2,15 @@
 #define MLAKE_SERVER_HTTP_H_
 
 // Minimal HTTP/1.1 wire format shared by the lake server and its
-// client: request/response framing (Content-Length bodies only, no
-// chunked transfer), header lookup, query-string decoding, the
-// Status -> HTTP code mapping, and base64 (artifact bytes travel inside
-// JSON ingest bodies). Everything here is transport-agnostic — sockets
-// live in server.cc / client.cc.
+// client: request/response framing (Content-Length bodies, plus
+// chunked transfer for streamed responses — the governance export),
+// header lookup, query-string decoding, the Status -> HTTP code
+// mapping, and base64 (artifact bytes travel inside JSON ingest
+// bodies). Everything here is transport-agnostic — sockets live in
+// server.cc / client.cc.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -53,6 +55,16 @@ struct HttpResponse {
   std::vector<std::pair<std::string, std::string>> headers;  // extra headers
   std::string body;
 
+  /// When set, the response body is produced incrementally: the
+  /// serializer frames the head with `Transfer-Encoding: chunked` (no
+  /// Content-Length, `body` ignored) and the connection loop pumps
+  /// this callback — each call fills `*chunk` with the next block and
+  /// returns false when the stream is done. This is how O(1)-memory
+  /// responses (the governance export) leave the server.
+  std::function<bool(std::string*)> streamer;
+
+  bool is_streaming() const { return static_cast<bool>(streamer); }
+
   std::string_view Header(std::string_view name) const;
 };
 
@@ -65,12 +77,24 @@ Result<size_t> ParseHttpRequest(std::string_view buf, size_t max_body_bytes,
                                 HttpRequest* out);
 
 /// Incremental response parser with the same 0 = "need more" contract.
+/// Unlike requests, responses may arrive chunked (the server's
+/// streamed export); the decoded body lands in `out->body` like any
+/// other, still bounded by `max_body_bytes`.
 Result<size_t> ParseHttpResponse(std::string_view buf, size_t max_body_bytes,
                                  HttpResponse* out);
 
 /// Serializes a response with Content-Length and Connection headers.
+/// For a streaming response (see HttpResponse::streamer) this emits
+/// only the head with `Transfer-Encoding: chunked`; the caller pumps
+/// the streamer through SerializeChunk and finishes with FinalChunk.
 std::string SerializeHttpResponse(const HttpResponse& response,
                                   bool keep_alive);
+
+/// One chunk of a chunked-transfer body (hex size line + data + CRLF).
+std::string SerializeChunk(std::string_view data);
+
+/// The terminating zero-chunk ("0\r\n\r\n").
+std::string_view FinalChunk();
 
 /// Serializes a request (always with Content-Length, even when empty —
 /// keeps server-side framing trivial).

@@ -389,6 +389,20 @@ void LakeServer::HandleConnection(int fd) {
                          served < options_.max_requests_per_connection);
       bool wrote =
           WriteAll(fd, SerializeHttpResponse(response, keep_alive));
+      if (wrote && response.is_streaming()) {
+        // Chunked body: pump the streamer until it runs dry, then the
+        // zero-chunk terminator. A mid-stream write failure means the
+        // peer is gone — the framing is now broken, so just close.
+        std::string chunk;
+        while (wrote && response.streamer(&chunk)) {
+          wrote = WriteAll(fd, SerializeChunk(chunk));
+          chunk.clear();
+        }
+        if (wrote) wrote = WriteAll(fd, std::string(FinalChunk()));
+        // Drop the streamer eagerly: it owns a shared lock on the lake
+        // snapshot, which should not outlive the response.
+        response.streamer = nullptr;
+      }
       metrics_.Record(endpoint, response.status, ElapsedUs(arrival));
       if (!wrote || !keep_alive) break;
     }
@@ -411,8 +425,9 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
   std::string id;
   enum class Route {
     kHealthz, kHeartbeat, kStatsz, kModelList, kModelGet, kLineage,
-    kEmbedding, kSearch, kIngest, kReplLog, kReplBlob, kReplFingerprint,
-    kReplSeed, kReplShip, kReplPromote, kDebugSleep, kUnmatched
+    kEmbedding, kSearch, kIngest, kCitation, kModelDoc, kAudit, kExport,
+    kReplLog, kReplBlob, kReplFingerprint, kReplSeed, kReplShip,
+    kReplPromote, kDebugSleep, kUnmatched
   } route = Route::kUnmatched;
   if (request.method == "GET" && path == "/healthz") {
     route = Route::kHealthz;
@@ -430,10 +445,35 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
   } else if (request.method == "GET" && path == "/v1/models") {
     route = Route::kModelList;
     *endpoint_label = "GET /v1/models";
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/") &&
+             EndsWith(path, "/citation") &&
+             path.size() >
+                 std::strlen("/v1/models/") + std::strlen("/citation")) {
+    // Suffix routes must match before the bare model get below.
+    route = Route::kCitation;
+    *endpoint_label = "GET /v1/models/{id}/citation";
+    id = path.substr(std::strlen("/v1/models/"),
+                     path.size() - std::strlen("/v1/models/") -
+                         std::strlen("/citation"));
+  } else if (request.method == "GET" && StartsWith(path, "/v1/models/") &&
+             EndsWith(path, "/doc") &&
+             path.size() > std::strlen("/v1/models/") + std::strlen("/doc")) {
+    route = Route::kModelDoc;
+    *endpoint_label = "GET /v1/models/{id}/doc";
+    id = path.substr(
+        std::strlen("/v1/models/"),
+        path.size() - std::strlen("/v1/models/") - std::strlen("/doc"));
   } else if (request.method == "GET" && StartsWith(path, "/v1/models/")) {
     route = Route::kModelGet;
     *endpoint_label = "GET /v1/models/{id}";
     id = path.substr(std::strlen("/v1/models/"));
+  } else if (request.method == "GET" && StartsWith(path, "/v1/audit/")) {
+    route = Route::kAudit;
+    *endpoint_label = "GET /v1/audit/{id}";
+    id = path.substr(std::strlen("/v1/audit/"));
+  } else if (request.method == "GET" && path == "/v1/export") {
+    route = Route::kExport;
+    *endpoint_label = "GET /v1/export";
   } else if (request.method == "GET" && StartsWith(path, "/v1/lineage/")) {
     route = Route::kLineage;
     *endpoint_label = "GET /v1/lineage/{id}";
@@ -528,6 +568,10 @@ HttpResponse LakeServer::Dispatch(const HttpRequest& request,
       response = HandleSearch(request, endpoint_label);
       break;
     case Route::kIngest: response = HandleIngest(request); break;
+    case Route::kCitation: response = HandleCitation(request, id); break;
+    case Route::kModelDoc: response = HandleModelDoc(id); break;
+    case Route::kAudit: response = HandleAudit(id); break;
+    case Route::kExport: response = HandleExport(request); break;
     case Route::kReplLog: response = HandleReplicationLog(request); break;
     case Route::kReplBlob: response = HandleReplicationBlob(id); break;
     case Route::kReplFingerprint:
@@ -657,6 +701,8 @@ Json LakeServer::StatszJson() const {
     out.Set("replication", std::move(repl));
   }
 
+  out.Set("governance", governance_stats_.ToJson());
+
   out.Set("endpoints", metrics_.ToJson());
   return out;
 }
@@ -694,6 +740,100 @@ HttpResponse LakeServer::HandleLineage(const std::string& id) const {
   auto lineage = lake_->Lineage(id);
   if (!lineage.ok()) return ErrorResponse(lineage.status());
   return JsonResponse(lineage.MoveValueUnsafe());
+}
+
+bool LakeServer::RejectStaleGovernanceRead(HttpResponse* response) const {
+  if (options_.replication == nullptr) return false;
+  if (!options_.replication->IsReplica()) return false;
+  if (options_.replication->CaughtUp()) return false;
+  governance_stats_.stale_rejected.fetch_add(1, std::memory_order_relaxed);
+  uint64_t lag = options_.replication->LagEntries();
+  *response = ErrorResponse(Status::Unavailable(
+      "replica not caught up (lag " + std::to_string(lag) +
+      " entries); retry against this node shortly or read the leader"));
+  response->headers.emplace_back(
+      "Retry-After",
+      std::to_string(options_.replication->StaleRetryAfterSeconds()));
+  return true;
+}
+
+HttpResponse LakeServer::HandleCitation(const HttpRequest& request,
+                                        const std::string& id) const {
+  HttpResponse stale;
+  if (RejectStaleGovernanceRead(&stale)) return stale;
+  auto doc = governance::CitationDoc(*lake_, id);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+  governance_stats_.citations.fetch_add(1, std::memory_order_relaxed);
+  std::string format = request.QueryParam("format", "json");
+  if (format == "text" || format == "bibtex") {
+    HttpResponse response;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = doc.ValueUnsafe().GetString(format);
+    response.body.push_back('\n');
+    return response;
+  }
+  if (format != "json") {
+    return ErrorResponse(Status::InvalidArgument(
+        "format must be one of json, text, bibtex; got \"" + format + "\""));
+  }
+  return JsonResponse(doc.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleModelDoc(const std::string& id) const {
+  HttpResponse stale;
+  if (RejectStaleGovernanceRead(&stale)) return stale;
+  auto doc = governance::GeneratedDoc(*lake_, id);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+  governance_stats_.docs.fetch_add(1, std::memory_order_relaxed);
+  return JsonResponse(doc.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleAudit(const std::string& id) const {
+  HttpResponse stale;
+  if (RejectStaleGovernanceRead(&stale)) return stale;
+  auto doc = governance::AuditDoc(*lake_, id);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+  governance_stats_.audits.fetch_add(1, std::memory_order_relaxed);
+  return JsonResponse(doc.MoveValueUnsafe());
+}
+
+HttpResponse LakeServer::HandleExport(const HttpRequest& request) const {
+  HttpResponse stale;
+  if (RejectStaleGovernanceRead(&stale)) return stale;
+
+  // Conditional fast path: the change key is (mutation_epoch,
+  // index_generation) — cheap to read without opening a snapshot. If
+  // the client's tag still matches, nothing observable changed since
+  // its last pull.
+  std::string current_etag =
+      governance::ExportEtag(lake_->MutationEpoch(), lake_->IndexGeneration());
+  std::string_view if_none_match = request.Header("if-none-match");
+  if (!if_none_match.empty() && if_none_match == current_etag) {
+    governance_stats_.export_not_modified.fetch_add(
+        1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.status = 304;
+    response.content_type.clear();
+    response.headers.emplace_back("ETag", current_etag);
+    return response;
+  }
+
+  // The iterator pins a consistent snapshot (shared lock) and carries
+  // the change key it observed at acquisition, so the tag we send
+  // always describes the body we stream — even if a writer slips in
+  // between the cheap read above and here.
+  auto iterator = std::shared_ptr<core::ModelLake::ExportIterator>(
+      lake_->OpenExport());
+  governance_stats_.exports.fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  response.headers.emplace_back(
+      "ETag", governance::ExportEtag(iterator->mutation_epoch(),
+                                     iterator->index_generation()));
+  response.streamer =
+      governance::MakeExportStreamer(std::move(iterator), &governance_stats_);
+  return response;
 }
 
 HttpResponse LakeServer::HandleSearch(const HttpRequest& request,

@@ -13,6 +13,19 @@
 //   GET  /v1/models          model listing (id, task, degraded)
 //   GET  /v1/models/{id}     card + lineage
 //   GET  /v1/lineage/{id}    version-graph neighborhood of one model
+//
+// Governance endpoints (DESIGN.md §15; on a replica these answer 503 +
+// Retry-After until the watermark catches up to the leader):
+//   GET  /v1/models/{id}/citation   citation document (?format=json|
+//                                   text|bibtex)
+//   GET  /v1/models/{id}/doc        generated model card + lineage +
+//                                   audit evidence
+//   GET  /v1/audit/{id}             audit questionnaire over HTTP
+//   GET  /v1/export                 streaming NDJSON metadata dump of
+//                                   the whole lake (chunked transfer,
+//                                   O(1) memory; ETag/If-None-Match
+//                                   keyed by (mutation_epoch,
+//                                   index_generation) -> 304)
 //   GET  /v1/embedding/{id}  raw embedding vector (cluster-internal)
 //   POST /v1/search          {"type": "mlql"|"ann"|"keyword"|"hybrid", ...}
 //                            plus the cluster-internal scatter types
@@ -57,6 +70,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/model_lake.h"
+#include "governance/governance.h"
 #include "server/batcher.h"
 #include "server/http.h"
 #include "server/metrics.h"
@@ -84,6 +98,23 @@ class ReplicationControl {
   /// Manual promotion: stop following, durably bump the epoch, start
   /// accepting writes.
   virtual Status Promote() = 0;
+
+  // Watermark-staleness surface (governance reads; defaults describe a
+  // node that never lags, so pre-existing implementations stay valid).
+
+  /// Entries this node still trails the leader's last known log seq by
+  /// (0 when caught up — but see CaughtUp: before the first completed
+  /// sync the lag is unknown and also reads 0).
+  virtual uint64_t LagEntries() const { return 0; }
+  /// True once this node has completed at least one sync against the
+  /// leader and applied everything the leader had. Governance reads on
+  /// a replica that is not caught up answer 503 instead of silently
+  /// serving stale data.
+  virtual bool CaughtUp() const { return true; }
+  /// Client back-off to advertise with that 503, in whole seconds —
+  /// implementations derive it from the watermark lag and their pull
+  /// cadence (governance::RetryAfterSeconds).
+  virtual int StaleRetryAfterSeconds() const { return 1; }
 };
 
 struct ServerOptions {
@@ -200,6 +231,17 @@ class LakeServer {
   HttpResponse HandleModelList() const;
   HttpResponse HandleModelGet(const std::string& id) const;
   HttpResponse HandleLineage(const std::string& id) const;
+  // Governance handlers (DESIGN.md §15). Each begins with the replica
+  // staleness guard below.
+  HttpResponse HandleCitation(const HttpRequest& request,
+                              const std::string& id) const;
+  HttpResponse HandleModelDoc(const std::string& id) const;
+  HttpResponse HandleAudit(const std::string& id) const;
+  HttpResponse HandleExport(const HttpRequest& request) const;
+  /// Governance reads must not silently serve stale data: on a replica
+  /// whose watermark trails the leader, fills `*response` with 503 +
+  /// Retry-After (derived from the lag) and returns true.
+  bool RejectStaleGovernanceRead(HttpResponse* response) const;
   /// Appends ":<kind>" to *endpoint_label for known search kinds so
   /// /statsz reports a per-kind latency split under "endpoints".
   HttpResponse HandleSearch(const HttpRequest& request,
@@ -223,6 +265,9 @@ class LakeServer {
   core::ModelLake* lake_;
   ServerOptions options_;
   MetricsRegistry metrics_;
+  /// Governance counters (/statsz "governance"); mutable because const
+  /// read handlers bump them.
+  mutable governance::GovernanceStats governance_stats_;
   /// Search coalescing (null when options_.enable_batching is false).
   std::unique_ptr<SearchBatcher> batcher_;
 

@@ -345,6 +345,62 @@ TEST_F(ReplicationTest, CatchUpIsByteIdenticalAcrossSearchKinds) {
   EXPECT_EQ(fenced.ValueUnsafe().status, 409);
 }
 
+TEST_F(ReplicationTest, GovernanceExportIsByteIdenticalOnCaughtUpReplica) {
+  OpenReplica();
+  StartReplicaServer();
+  server::HttpClient leader_client("127.0.0.1", leader_server_->port());
+  server::HttpClient replica_client("127.0.0.1", replica_server_->port());
+
+  // Before the first successful sync the replica cannot vouch for its
+  // watermark, so governance reads answer 503 with a Retry-After hint
+  // while plain reads keep serving.
+  auto stale = replica_client.Get("/v1/export");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale.ValueUnsafe().status, 503);
+  EXPECT_FALSE(stale.ValueUnsafe().Header("retry-after").empty());
+  // (404, not 503: the model simply has not arrived yet — plain reads
+  // are answered from whatever state the replica has.)
+  auto plain = replica_client.Get("/v1/models/base-sum");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.ValueUnsafe().status, 404);
+
+  ASSERT_TRUE(replicator_->SyncOnce().ok());
+  ASSERT_EQ(replicator_->AppliedSeq(), leader_lake_->ReplicationLastSeq());
+
+  // The export excludes revision/epoch counters by design, so a
+  // caught-up replica drains byte-identically to its leader.
+  auto drain = [](core::ModelLake* lake) {
+    auto iterator = lake->OpenExport();
+    std::string out, line;
+    while (iterator->Next(&line)) out += line;
+    return out;
+  };
+  const std::string from_leader = drain(leader_lake_.get());
+  ASSERT_FALSE(from_leader.empty());
+  EXPECT_EQ(drain(replica_lake_.get()), from_leader);
+
+  // The same bytes come back through the chunked HTTP endpoint, and
+  // the caught-up replica now serves them itself.
+  auto leader_http = leader_client.Get("/v1/export");
+  auto replica_http = replica_client.Get("/v1/export");
+  ASSERT_TRUE(leader_http.ok());
+  ASSERT_TRUE(replica_http.ok());
+  ASSERT_EQ(leader_http.ValueUnsafe().status, 200);
+  ASSERT_EQ(replica_http.ValueUnsafe().status, 200);
+  EXPECT_EQ(leader_http.ValueUnsafe().body, from_leader);
+  EXPECT_EQ(replica_http.ValueUnsafe().body, from_leader);
+
+  // Citation documents agree too: replaying the leader's op log drives
+  // the replica's graph through the same mutation sequence, so the
+  // revision the citation pins converges along with the content.
+  auto leader_cite = leader_client.Get("/v1/models/ft-sum/citation");
+  auto replica_cite = replica_client.Get("/v1/models/ft-sum/citation");
+  ASSERT_TRUE(leader_cite.ok());
+  ASSERT_TRUE(replica_cite.ok());
+  ASSERT_EQ(leader_cite.ValueUnsafe().status, 200);
+  EXPECT_EQ(replica_cite.ValueUnsafe().body, leader_cite.ValueUnsafe().body);
+}
+
 TEST_F(ReplicationTest, IncrementalCatchUpFollowsNewWrites) {
   OpenReplica();
   ASSERT_TRUE(replicator_->SyncOnce().ok());

@@ -60,6 +60,9 @@ class ServerTest : public ::testing::Test {
     ASSERT_TRUE(RemoveAll(dir_).ok());
   }
 
+  // Public: the DegradedReadsTest fixture below builds its lake from
+  // the same trained-model helpers.
+ public:
   static std::unique_ptr<nn::Model> Train(const std::string& family,
                                           const std::string& domain,
                                           uint64_t seed) {
@@ -89,6 +92,7 @@ class ServerTest : public ::testing::Test {
     return card;
   }
 
+ protected:
   /// A valid ingest body (fresh model) as the HTTP API wants it.
   static std::string IngestBody(const std::string& id, uint64_t seed,
                                 const std::string& extra_fields = "") {
@@ -443,6 +447,132 @@ TEST(ServerAdmissionTest, InflightBoundAnswers429) {
 
   ASSERT_TRUE(server.Stop().ok());
   ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+/// Dedicated server whose lake holds a quarantined model — degraded
+/// and nonexistent behavior of the per-model read endpoints
+/// (/v1/models/{id} and /v1/lineage/{id}), kept out of the shared
+/// fixture so the quarantine cannot perturb other tests.
+class DegradedReadsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = MakeTempDir("mlake-server-degraded").ValueOrDie();
+    core::LakeOptions options;
+    options.root = dir_;
+    options.input_dim = kDim;
+    options.num_classes = kClasses;
+    options.probe_count = 12;
+    lake_ = core::ModelLake::Open(options).MoveValueUnsafe().release();
+
+    auto parent = ServerTest::Train("sum", "legal", 21);
+    auto child = ServerTest::Train("sum", "legal", 22);
+    ASSERT_TRUE(
+        lake_->IngestModel(*parent, ServerTest::Card("parent", "sum")).ok());
+    ASSERT_TRUE(
+        lake_->IngestModel(*child, ServerTest::Card("child", "sum")).ok());
+    versioning::VersionEdge edge;
+    edge.parent = "parent";
+    edge.child = "child";
+    edge.type = versioning::EdgeType::kFinetune;
+    ASSERT_TRUE(lake_->RecordEdge(edge).ok());
+    ASSERT_TRUE(lake_->QuarantineModel("child").ok());
+
+    ServerOptions server_options;
+    server_options.threads = 2;
+    server_ = new LakeServer(lake_, server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+    delete lake_;
+    lake_ = nullptr;
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  HttpClient Client() { return HttpClient("127.0.0.1", server_->port()); }
+
+  static std::string dir_;
+  static core::ModelLake* lake_;
+  static LakeServer* server_;
+};
+
+std::string DegradedReadsTest::dir_;
+core::ModelLake* DegradedReadsTest::lake_ = nullptr;
+LakeServer* DegradedReadsTest::server_ = nullptr;
+
+TEST_F(DegradedReadsTest, ModelGetOnQuarantinedModel) {
+  auto client = Client();
+  // A quarantined model still answers its metadata read — flagged, not
+  // hidden: governance needs to see what is degraded.
+  auto response = client.Get("/v1/models/child");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.ValueUnsafe().status, 200);
+  auto body = Json::Parse(response.ValueUnsafe().body).ValueOrDie();
+  EXPECT_EQ(body.GetString("id"), "child");
+  EXPECT_TRUE(body.GetBool("degraded"));
+  ASSERT_NE(body.Find("card"), nullptr);
+
+  // The healthy sibling is unflagged.
+  auto healthy = client.Get("/v1/models/parent");
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_EQ(healthy.ValueUnsafe().status, 200);
+  EXPECT_FALSE(Json::Parse(healthy.ValueUnsafe().body)
+                   .ValueOrDie()
+                   .GetBool("degraded", true));
+}
+
+TEST_F(DegradedReadsTest, LineageOnQuarantinedModel) {
+  auto client = Client();
+  // Lineage is pure graph metadata — quarantine must not sever it.
+  auto response = client.Get("/v1/lineage/child");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.ValueUnsafe().status, 200);
+  auto body = Json::Parse(response.ValueUnsafe().body).ValueOrDie();
+  const Json* parents = body.Find("parents");
+  ASSERT_NE(parents, nullptr);
+  ASSERT_EQ(parents->size(), 1u);
+  EXPECT_EQ(parents->AsArray()[0].AsString(), "parent");
+}
+
+TEST_F(DegradedReadsTest, NonexistentModelAnswers404OnBothReads) {
+  auto client = Client();
+  for (const char* path : {"/v1/models/ghost", "/v1/lineage/ghost"}) {
+    auto response = client.Get(path);
+    ASSERT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response.ValueUnsafe().status, 404) << path;
+    auto body = Json::Parse(response.ValueUnsafe().body).ValueOrDie();
+    EXPECT_EQ(body.Find("error")->GetString("code"), "NotFound") << path;
+  }
+}
+
+TEST_F(DegradedReadsTest, GovernanceReadsOnQuarantinedModel) {
+  auto client = Client();
+  // Citation still works, flagged (paper §6: degraded content must
+  // remain attributable).
+  auto citation = client.Get("/v1/models/child/citation");
+  ASSERT_TRUE(citation.ok());
+  ASSERT_EQ(citation.ValueUnsafe().status, 200);
+  auto cite = Json::Parse(citation.ValueUnsafe().body).ValueOrDie();
+  EXPECT_TRUE(cite.GetBool("degraded"));
+
+  // The audit questionnaire reports the quarantine.
+  auto audit = client.Get("/v1/audit/child");
+  ASSERT_TRUE(audit.ok());
+  ASSERT_EQ(audit.ValueUnsafe().status, 200);
+  auto report = Json::Parse(audit.ValueUnsafe().body).ValueOrDie();
+  EXPECT_TRUE(report.GetBool("quarantined"));
+
+  // And the export marks the record degraded.
+  auto exported = client.Get("/v1/export");
+  ASSERT_TRUE(exported.ok());
+  ASSERT_EQ(exported.ValueUnsafe().status, 200);
+  EXPECT_NE(exported.ValueUnsafe().body.find(
+                "\"id\":\"child\",\"model\":"),
+            std::string::npos);
+  EXPECT_NE(exported.ValueUnsafe().body.find("\"degraded\":true"),
+            std::string::npos);
 }
 
 TEST(ServerLifecycleTest, StopIsIdempotentAndRestartable) {

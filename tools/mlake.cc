@@ -17,12 +17,18 @@
 //   card ID                      print a model card
 //   gen-card ID [--apply]        draft a card from lake analyses
 //   audit [ID]                   audit one model, or the whole lake
-//   cite ID                      print a revision-pinned citation
+//   cite ID [--json|--bibtex]    print a revision-pinned citation
+//                                (default plain text; --json emits the
+//                                full governance citation document,
+//                                --bibtex a BibTeX entry)
 //   related ID [K]               content-based related-model search
 //   hybrid TEXT ID [K]           RRF fusion of keyword + embedding search
 //   graph                        print the recorded version graph
 //   recover-heritage [--apply]   reconstruct lineage from weights
 //   export ID FILE               write the model artifact to FILE
+//   export --metadata [FILE]     stream the machine-readable NDJSON
+//                                dump of the whole lake (same records
+//                                as GET /v1/export) to FILE, or stdout
 //   import FILE ID [TASK]        ingest an artifact file under ID
 //   fsck [--repair]              verify every stored artifact; with
 //                                --repair, quarantine corrupt blobs
@@ -63,6 +69,8 @@
 //                                Backends without an explicit @shard
 //                                get position modulo cluster size.
 //                                Needs no --lake.
+//   help [COMMAND]               top-level usage, or one command's
+//                                flags in detail. Needs no --lake.
 //
 // Exit code 0 on success, 1 on any error.
 
@@ -78,6 +86,7 @@
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/model_lake.h"
+#include "governance/governance.h"
 #include "lakegen/lakegen.h"
 #include "replication/replicator.h"
 #include "server/client.h"
@@ -93,16 +102,172 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: mlake --lake DIR [--threads N] [--cache-mb N] "
-               "COMMAND [ARGS...]\n"
-               "commands: init demo ls query card gen-card audit cite related "
-               "hybrid graph recover-heritage export import fsck [--repair] "
-               "stats compact serve\n"
-               "       mlake route --backends HOST:PORT[@SHARD],... "
-               "[--cluster-size N] [--port P]\n"
-               "       mlake promote HOST:PORT\n");
+  std::fprintf(
+      stderr,
+      "usage: mlake --lake DIR [--threads N] [--cache-mb N] COMMAND "
+      "[ARGS...]\n"
+      "       mlake route --backends HOST:PORT[@SHARD],... [FLAGS]\n"
+      "       mlake promote HOST:PORT\n"
+      "       mlake help [COMMAND]\n"
+      "\n"
+      "commands:\n"
+      "  init                       create an empty lake\n"
+      "  demo [SEED]                populate with a generated benchmark "
+      "lake\n"
+      "  ls [models|datasets|benchmarks]\n"
+      "  query 'MLQL'               run a declarative query (prints the "
+      "plan)\n"
+      "  card ID                    print a model card\n"
+      "  gen-card ID [--apply]      draft a card from lake analyses\n"
+      "  audit [ID]                 audit one model, or the whole lake\n"
+      "  cite ID [--json|--bibtex]  revision-pinned citation for a model\n"
+      "  related ID [K]             content-based related-model search\n"
+      "  hybrid TEXT ID [K]         RRF fusion of keyword + embedding "
+      "search\n"
+      "  graph                      print the recorded version graph\n"
+      "  recover-heritage [--apply] reconstruct lineage from weights\n"
+      "  export ID FILE             write one model artifact to FILE\n"
+      "  export --metadata [FILE]   NDJSON dump of the whole lake "
+      "(stdout\n"
+      "                             when FILE is omitted)\n"
+      "  import FILE ID [TASK]      ingest an artifact file under ID\n"
+      "  fsck [--repair]            verify artifacts; --repair "
+      "quarantines\n"
+      "  stats                      lake size + cache + index counters\n"
+      "  compact                    fold index deltas into a new on-disk "
+      "snapshot\n"
+      "  serve [FLAGS]              run mlaked (see: mlake help serve)\n"
+      "  route --backends ...       run the cluster router (see: mlake "
+      "help route)\n"
+      "  promote HOST:PORT          promote a running replica to leader\n"
+      "\n"
+      "run `mlake help COMMAND` for per-command flags.\n");
   return 1;
+}
+
+int CmdHelp(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    Usage();
+    return 0;  // explicit `mlake help` is a success, not an error
+  }
+  const std::string& cmd = args[0];
+  struct CommandHelp {
+    const char* name;
+    const char* text;
+  };
+  static const CommandHelp kHelp[] = {
+      {"init", "usage: mlake --lake DIR init\n"
+               "Creates (or reopens) an empty lake at DIR.\n"},
+      {"demo",
+       "usage: mlake --lake DIR demo [SEED]\n"
+       "Populates the lake with a generated benchmark corpus (4 model\n"
+       "families, lineage edges recorded). SEED varies the corpus.\n"},
+      {"ls", "usage: mlake --lake DIR ls [models|datasets|benchmarks]\n"
+             "Lists lake contents (models is the default).\n"},
+      {"query", "usage: mlake --lake DIR query 'MLQL'\n"
+                "Runs a declarative MLQL query and prints the plan plus\n"
+                "matching models with scores.\n"},
+      {"card", "usage: mlake --lake DIR card ID\n"
+               "Prints one model card as JSON plus its completeness score.\n"},
+      {"gen-card",
+       "usage: mlake --lake DIR gen-card ID [--apply]\n"
+       "Drafts a model card from lake analyses (lineage, probes,\n"
+       "artifact inspection). --apply writes the draft to the catalog.\n"},
+      {"audit", "usage: mlake --lake DIR audit [ID]\n"
+                "Audits one model (full JSON report) or every model\n"
+                "(PASS/FAIL summary lines).\n"},
+      {"cite",
+       "usage: mlake --lake DIR cite ID [--json|--bibtex|--text]\n"
+       "Prints a revision-pinned citation for one model.\n"
+       "  (default)   one-line plain-text citation\n"
+       "  --bibtex    BibTeX entry (artifact digest + lineage in the "
+       "note)\n"
+       "  --json      the full governance citation document: heritage\n"
+       "              chain, lineage path, artifact digest, degraded "
+       "flag\n"},
+      {"related", "usage: mlake --lake DIR related ID [K]\n"
+                  "Content-based related-model search (default K=5).\n"},
+      {"hybrid", "usage: mlake --lake DIR hybrid TEXT ID [K]\n"
+                 "RRF fusion of keyword search for TEXT with embedding\n"
+                 "similarity to model ID (default K=5).\n"},
+      {"graph", "usage: mlake --lake DIR graph\n"
+                "Prints the recorded version graph (revision, edges).\n"},
+      {"recover-heritage",
+       "usage: mlake --lake DIR recover-heritage [--apply]\n"
+       "Reconstructs lineage from model weights. --apply records the\n"
+       "recovered edges that are not already in the graph.\n"},
+      {"export",
+       "usage: mlake --lake DIR export ID FILE\n"
+       "       mlake --lake DIR export --metadata [FILE]\n"
+       "First form writes one model's artifact container to FILE.\n"
+       "Second form streams the machine-readable NDJSON dump of the\n"
+       "whole lake — the same records GET /v1/export serves: a header\n"
+       "(schema + counts), one record per model (catalog doc + card +\n"
+       "degraded flag), lineage edges, datasets, and a footer — to\n"
+       "FILE, or stdout when FILE is omitted.\n"},
+      {"import", "usage: mlake --lake DIR import FILE ID [TASK]\n"
+                 "Ingests an artifact container file as model ID.\n"},
+      {"fsck",
+       "usage: mlake --lake DIR fsck [--repair]\n"
+       "Verifies every stored artifact. With --repair: quarantines\n"
+       "corrupt blobs (models marked degraded, rest of the lake stays\n"
+       "searchable), GCs orphan blobs, removes stray temp files.\n"},
+      {"stats", "usage: mlake --lake DIR stats\n"
+                "Prints lake size, storage-cache and index counters.\n"},
+      {"compact",
+       "usage: mlake --lake DIR compact\n"
+       "Folds the in-memory index deltas into a new on-disk snapshot\n"
+       "generation and prints the index counters.\n"},
+      {"serve",
+       "usage: mlake --lake DIR serve [FLAGS]\n"
+       "Runs mlaked, the JSON-over-HTTP lake server, until SIGINT or\n"
+       "SIGTERM (graceful drain; prints /statsz on shutdown).\n"
+       "  --port P               listen port (default 8080)\n"
+       "  --http-threads N       worker threads\n"
+       "  --max-inflight M       admission limit (excess answers 429)\n"
+       "  --deadline-ms D        default request deadline\n"
+       "  --drain-deadline-ms D  shutdown drain budget\n"
+       "  --batch-window-us W    search coalescing window (0 disables)\n"
+       "  --max-batch B          max coalesced searches per batch\n"
+       "  --shard-id S           this server's shard slot (with\n"
+       "  --cluster-size N       the shard count; misrouted ingests are\n"
+       "                         rejected)\n"
+       "  --replicated           keep the replayable op log a leader\n"
+       "                         streams to replicas\n"
+       "  --replica-of HOST:PORT follow that leader as a read replica\n"
+       "                         (implies --replicated; ingest answers\n"
+       "                         409, governance reads answer 503 until\n"
+       "                         the replica is caught up)\n"
+       "  --poll-ms M            replica pull cadence\n"},
+      {"route",
+       "usage: mlake route --backends HOST:PORT[@SHARD],... [FLAGS]\n"
+       "Runs the cluster router (no --lake): scatter-gather search over\n"
+       "the backend shards with hedged retries, digest-routed ingest,\n"
+       "replica-first governance reads. Backends without an explicit\n"
+       "@SHARD get position modulo cluster size.\n"
+       "  --cluster-size N       shard slots (default: backend count)\n"
+       "  --port P               listen port (default 8090)\n"
+       "  --http-threads N       worker threads\n"
+       "  --deadline-ms D        default request deadline\n"
+       "  --drain-deadline-ms D  shutdown drain budget\n"
+       "  --heartbeat-ms M       backend heartbeat cadence\n"
+       "  --hedge-min-delay-ms M hedge floor\n"
+       "  --no-hedging           disable hedged retries\n"},
+      {"promote",
+       "usage: mlake promote HOST:PORT\n"
+       "Tells a running replica (no --lake) to stop following and\n"
+       "become the leader; fences the old leader by epoch.\n"},
+      {"help", "usage: mlake help [COMMAND]\n"
+               "Top-level usage, or one command's flags in detail.\n"},
+  };
+  for (const CommandHelp& entry : kHelp) {
+    if (cmd == entry.name) {
+      std::fputs(entry.text, stdout);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "mlake: unknown command \"%s\"\n", cmd.c_str());
+  return Usage();
 }
 
 Result<std::unique_ptr<core::ModelLake>> OpenLake(const std::string& root,
@@ -222,10 +387,29 @@ int CmdAudit(core::ModelLake* lake, const std::vector<std::string>& args) {
 }
 
 int CmdCite(core::ModelLake* lake, const std::vector<std::string>& args) {
-  if (args.empty()) return Usage();
-  auto citation = lake->Cite(args[0]);
-  if (!citation.ok()) return Fail(citation.status());
-  std::printf("%s\n", citation.ValueUnsafe().GetString("text").c_str());
+  std::string id;
+  std::string format = "text";
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      format = "json";
+    } else if (arg == "--bibtex") {
+      format = "bibtex";
+    } else if (arg == "--text") {
+      format = "text";
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      id = arg;
+    }
+  }
+  if (id.empty()) return Usage();
+  auto doc = governance::CitationDoc(*lake, id);
+  if (!doc.ok()) return Fail(doc.status());
+  if (format == "json") {
+    std::printf("%s\n", doc.ValueUnsafe().Dump(2).c_str());
+  } else {
+    std::printf("%s\n", doc.ValueUnsafe().GetString(format).c_str());
+  }
   return 0;
 }
 
@@ -289,7 +473,42 @@ int CmdRecoverHeritage(core::ModelLake* lake,
   return 0;
 }
 
+int CmdExportMetadata(core::ModelLake* lake,
+                      const std::vector<std::string>& args) {
+  // args[0] == "--metadata"; optional destination file after it.
+  std::FILE* out = stdout;
+  if (args.size() > 1) {
+    out = std::fopen(args[1].c_str(), "wb");
+    if (out == nullptr) {
+      return Fail(Status::IOError("cannot open " + args[1] + " for writing"));
+    }
+  }
+  auto iterator = lake->OpenExport();
+  std::string line;
+  bool write_failed = false;
+  while (iterator->Next(&line)) {
+    if (std::fwrite(line.data(), 1, line.size(), out) != line.size()) {
+      write_failed = true;
+      break;
+    }
+  }
+  write_failed = write_failed || std::ferror(out) != 0;
+  if (out != stdout) {
+    write_failed = std::fclose(out) != 0 || write_failed;
+  }
+  if (write_failed) {
+    return Fail(Status::IOError("short write during metadata export"));
+  }
+  // Summary on stderr so a stdout dump stays machine-clean.
+  std::fprintf(stderr, "exported %zu records (%zu models)\n",
+               iterator->records_emitted(), iterator->num_models());
+  return 0;
+}
+
 int CmdExport(core::ModelLake* lake, const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "--metadata") {
+    return CmdExportMetadata(lake, args);
+  }
   if (args.size() < 2) return Usage();
   auto model = lake->LoadModel(args[0]);
   if (!model.ok()) return Fail(model.status());
@@ -567,6 +786,7 @@ int Run(int argc, char** argv) {
   // their own, so they skip --lake.
   if (command == "route") return CmdRoute(args);
   if (command == "promote") return CmdPromote(args);
+  if (command == "help") return CmdHelp(args);
   if (lake_dir.empty()) return Usage();
 
   // serve needs the replication flags before the lake opens: the op
